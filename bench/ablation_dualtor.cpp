@@ -1,0 +1,106 @@
+// Ablation (P3, §2.1): dual-ToR reliability. Each NIC port lands on a
+// different ToR; when one ToR (or the optical modules toward it) dies,
+// traffic survives on the sibling plane at reduced bandwidth. Single-ToR
+// wiring loses connectivity outright — IBM's and Alibaba's motivation,
+// adopted by Astral.
+#include <cstdio>
+
+#include "core/table.h"
+#include "net/fluid_sim.h"
+
+using namespace astral;
+
+namespace {
+
+topo::FabricParams params_for(bool dual) {
+  topo::FabricParams p;
+  p.rails = 4;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 4;
+  p.pods = 1;
+  p.dual_tor = dual;
+  return p;
+}
+
+struct Outcome {
+  double healthy_gbps = 0.0;
+  double after_failure_gbps = 0.0;  ///< 0 = unreachable.
+  int flows_rerouted = 0;
+};
+
+Outcome run(bool dual) {
+  topo::Fabric fabric(params_for(dual));
+  auto& topo = fabric.topo();
+
+  auto measure = [&](net::FluidSim& sim) {
+    // Same-rail permutation: every host's rail-0 GPU to the next block.
+    std::vector<net::FlowId> ids;
+    core::Seconds t0 = sim.now();
+    auto hosts = topo.hosts();
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      net::FlowSpec s;
+      s.src_host = hosts[h];
+      s.dst_host = hosts[(h + 8) % hosts.size()];
+      s.src_rail = 0;
+      s.dst_rail = 0;
+      s.size = 32ull << 20;
+      s.tag = h;
+      ids.push_back(sim.inject(s));
+    }
+    sim.run_watch(ids, sim.now() + 10.0);
+    int done = 0;
+    double worst = 1e18;
+    for (net::FlowId id : ids) {
+      const auto& st = sim.flow(id);
+      if (st.admitted && st.finish >= 0) {
+        ++done;
+        worst = std::min(worst, st.finish - t0);
+      }
+    }
+    if (done < static_cast<int>(ids.size())) return 0.0;  // some flows dead
+    double bits = (32.0 * (1 << 20)) * 8.0;
+    double slowest = 0.0;
+    for (net::FlowId id : ids) slowest = std::max(slowest, sim.flow(id).finish - t0);
+    return bits / slowest;
+  };
+
+  Outcome out;
+  {
+    net::FluidSim sim(fabric);
+    out.healthy_gbps = core::to_gbps(measure(sim));
+  }
+  // Kill ToR (block 0, rail 0, side 0): take down all its links.
+  topo::NodeId dead_tor = fabric.tor_at(0, 0, 0, 0);
+  std::vector<topo::LinkId> downed;
+  for (const auto& link : topo.links()) {
+    if (link.src == dead_tor || link.dst == dead_tor) downed.push_back(link.id);
+  }
+  for (auto l : downed) topo.set_link_state(l, false);
+  {
+    net::FluidSim sim(fabric);
+    out.after_failure_gbps = core::to_gbps(measure(sim));
+  }
+  for (auto l : downed) topo.set_link_state(l, true);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner("Ablation - dual-ToR reliability (P3) under a ToR failure");
+  core::Table table({"wiring", "healthy per-flow bw", "after ToR death", "job survives"});
+  for (bool dual : {true, false}) {
+    auto o = run(dual);
+    table.add_row({dual ? "dual-ToR (Astral)" : "single-ToR",
+                   core::Table::num(o.healthy_gbps, 1) + " Gbps",
+                   o.after_failure_gbps > 0
+                       ? core::Table::num(o.after_failure_gbps, 1) + " Gbps"
+                       : "unreachable",
+                   o.after_failure_gbps > 0 ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\nWith dual-ToR wiring the failure halves the affected hosts' rail\n"
+              "bandwidth but the job proceeds; single-ToR wiring partitions the\n"
+              "rail and the job fail-stops (the optical-module risk of Section 2).\n");
+  return 0;
+}

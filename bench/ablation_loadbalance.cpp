@@ -1,0 +1,127 @@
+// Ablation (Appendix A): why Astral keeps per-flow ECMP. Three schemes on
+// the same same-rail permutation workload:
+//   plain ECMP            — hash-pinned paths (polarization risk)
+//   ECMP + controller     — the paper's source-port reassignment
+//   8-way packet spray    — idealized per-packet balancing (upper bound),
+//                           modeled as 8 subflows per message on distinct
+//                           hashed paths
+// Plus the two operational arguments: the blast radius of a link failure
+// (flows affected) and path determinism (can the diagnosis tools replay
+// the path of a flow?).
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/table.h"
+#include "net/controller.h"
+
+using namespace astral;
+
+namespace {
+
+topo::Fabric make_fabric() {
+  topo::FabricParams p;
+  p.rails = 4;
+  p.hosts_per_block = 16;
+  p.blocks_per_pod = 8;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+std::vector<net::FlowSpec> permutation(const topo::Fabric& f, core::Bytes size) {
+  std::vector<net::FlowSpec> specs;
+  auto hosts = f.topo().hosts();
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    net::FlowSpec s;
+    s.src_host = hosts[h];
+    s.dst_host = hosts[(h + 16) % hosts.size()];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = size;
+    s.tag = h;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+core::Seconds run_round(topo::Fabric& f, const std::vector<net::FlowSpec>& specs) {
+  net::FluidSim sim(f);
+  core::Seconds t0 = sim.now();
+  for (const auto& s : specs) sim.inject(s);
+  sim.run();
+  return sim.now() - t0;
+}
+
+std::vector<net::FlowSpec> sprayed(const std::vector<net::FlowSpec>& specs, int ways) {
+  std::vector<net::FlowSpec> out;
+  for (const auto& s : specs) {
+    for (int w = 0; w < ways; ++w) {
+      net::FlowSpec sub = s;
+      sub.size = s.size / static_cast<core::Bytes>(ways);
+      sub.src_port = static_cast<std::uint16_t>(10000 + s.tag * 131 + w * 977);
+      sub.tag = s.tag * 100 + static_cast<std::uint64_t>(w);
+      out.push_back(sub);
+    }
+  }
+  return out;
+}
+
+int blast_radius(topo::Fabric& f, const std::vector<net::FlowSpec>& specs) {
+  // Flows whose path crosses the most-loaded ToR->Agg link.
+  net::FluidSim sim(f);
+  std::map<topo::LinkId, std::set<std::uint64_t>> flows_on;
+  for (const auto& s : specs) {
+    if (auto p = sim.predict_path(s)) {
+      for (auto l : *p) flows_on[l].insert(s.tag / 100 == 0 ? s.tag : s.tag / 100);
+    }
+  }
+  std::size_t worst = 0;
+  for (const auto& [l, flows] : flows_on) {
+    const auto& link = f.topo().link(l);
+    if (f.topo().node(link.src).kind == topo::NodeKind::Tor &&
+        f.topo().node(link.dst).kind == topo::NodeKind::Agg) {
+      worst = std::max(worst, flows.size());
+    }
+  }
+  return static_cast<int>(worst);
+}
+
+}  // namespace
+
+int main() {
+  auto fabric = make_fabric();
+  const core::Bytes size = 64ull << 20;
+  auto base = permutation(fabric, size);
+
+  // Controller-optimized variant.
+  auto optimized = base;
+  {
+    net::FluidSim sim(fabric);
+    net::EcmpController ctl(sim);
+    for (int i = 0; i < 3; ++i) ctl.rebalance(optimized);
+  }
+  auto spray = sprayed(base, 8);
+
+  core::print_banner("Appendix A - load balancing schemes, same-rail permutation");
+  core::Table table({"scheme", "round time (ms)", "vs spray", "link-failure blast radius",
+                     "deterministic path"});
+  double t_plain = run_round(fabric, base);
+  double t_opt = run_round(fabric, optimized);
+  double t_spray = run_round(fabric, spray);
+  auto row = [&](const char* name, double t, int blast, const char* det) {
+    table.add_row({name, core::Table::num(t * 1e3, 2),
+                   core::Table::pct(t / t_spray - 1.0), std::to_string(blast), det});
+  };
+  row("per-flow ECMP", t_plain, blast_radius(fabric, base), "yes");
+  row("ECMP + src-port controller", t_opt, blast_radius(fabric, optimized), "yes");
+  row("8-way packet spray (ideal)", t_spray, blast_radius(fabric, spray), "no");
+  table.print();
+
+  std::printf(
+      "\nThe controller closes most of the gap to ideal spraying while keeping\n"
+      "per-flow paths: sFlow/INT can replay any flow's route (fault diagnosis\n"
+      "depends on it), legacy NICs keep in-order delivery, and a link failure\n"
+      "touches only the flows pinned to it rather than every flow in flight\n"
+      "(Appendix A's three arguments).\n");
+  return 0;
+}

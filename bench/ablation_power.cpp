@@ -1,0 +1,68 @@
+// Ablation (§2.2): the HVDC design space — chain efficiency, grid
+// stability vs battery sizing under pulsed LLM load, and the elastic
+// rack headroom trade-off.
+#include <cstdio>
+#include <vector>
+
+#include "core/table.h"
+#include "power/hvdc.h"
+#include "power/profile.h"
+
+using namespace astral;
+
+int main() {
+  // Pulsed load: a training job alternating compute (peak) and comm
+  // (trough) every second on one row of racks.
+  std::vector<double> load;
+  for (int i = 0; i < 1200; ++i) load.push_back(i % 2 == 0 ? 480e3 : 230e3);
+
+  core::print_banner("Chain efficiency and stability: AC-UPS vs distributed HVDC");
+  core::Table chain({"chain", "conversion eff.", "grid peak/mean (pulsed)", "min battery SoC"});
+  for (auto kind : {power::ChainKind::AcUps, power::ChainKind::Hvdc}) {
+    power::PowerUnitConfig cfg;
+    cfg.kind = kind;
+    power::PowerUnit unit(cfg);
+    double ratio = power::grid_stability(unit, load, 1.0);
+    power::PowerUnit probe(cfg);
+    double min_soc = 1.0;
+    for (double w : load) {
+      probe.step(1.0, w);
+      min_soc = std::min(min_soc, probe.soc());
+    }
+    chain.add_row({kind == power::ChainKind::Hvdc ? "HVDC (Astral)" : "AC-UPS",
+                   core::Table::pct(power::chain_efficiency(kind), 1),
+                   core::Table::num(ratio, 3), core::Table::pct(min_soc, 0)});
+  }
+  chain.print();
+
+  core::print_banner("Battery sizing vs grid stability (HVDC)");
+  core::Table battery({"battery energy (MJ)", "grid peak/mean"});
+  for (double mj : {0.05, 0.1, 0.2, 0.5, 1.0, 400.0}) {
+    power::PowerUnitConfig cfg;
+    cfg.battery_capacity_j = mj * 1e6;
+    power::PowerUnit unit(cfg);
+    battery.add_row({core::Table::num(mj, 2), core::Table::num(
+                                                  power::grid_stability(unit, load, 1.0), 3)});
+  }
+  battery.print();
+
+  core::print_banner("Elastic headroom: single-rack burst grant");
+  core::Table elastic({"headroom", "granted to 150%-demand rack", "clipped"});
+  for (double headroom : {0.0, 0.15, 0.30, 0.50}) {
+    power::PowerUnitConfig cfg;
+    cfg.racks = 8;
+    cfg.rack_tdp_watts = 100.0;
+    cfg.elastic_headroom = headroom;
+    power::PowerUnit unit(cfg);
+    std::vector<double> demand(8, 80.0);
+    demand[0] = 150.0;
+    auto a = unit.allocate(demand);
+    elastic.add_row({core::Table::pct(headroom, 0),
+                     core::Table::num(a.granted_watts[0], 0) + " W",
+                     a.clipped ? "yes" : "no"});
+  }
+  elastic.print();
+  std::printf("\nThe paper's +30%% empirical headroom covers the observed above-TDP\n"
+              "peaks (Fig. 15) without growing the shared row budget.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation (§4.3 / §5 "Self-correcting model improves accuracy"): the
+// fidelity-vs-runtime trade that motivated Seer. For the same ring-step
+// collective we compare three fidelity levels:
+//   packet-granular  — per-packet switching + DCQCN + PFC (ASTRA-sim's
+//                      role; at production scale this is the "one day on
+//                      a 48-core server" option)
+//   flow-level fluid — max-min rates (our network substrate)
+//   Seer cost model  — closed-form with calibrated corrections (µs)
+// Accuracy is measured against the packet simulator as ground truth;
+// wall-clock shows why Seer wins operationally.
+#include <chrono>
+#include <cstdio>
+
+#include "core/table.h"
+#include "net/fluid_sim.h"
+#include "pkt/packet_sim.h"
+#include "seer/cost_model.h"
+
+using namespace astral;
+
+namespace {
+
+topo::Fabric make_fabric() {
+  topo::FabricParams p;
+  p.rails = 8;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+std::vector<net::FlowSpec> ring_step(const topo::Fabric& f, int hosts, core::Bytes chunk) {
+  std::vector<net::FlowSpec> specs;
+  for (int i = 0; i < hosts; ++i) {
+    net::FlowSpec s;
+    s.src_host = f.topo().hosts()[static_cast<std::size_t>(i)];
+    s.dst_host = f.topo().hosts()[static_cast<std::size_t>((i + 1) % hosts)];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = chunk;
+    s.tag = static_cast<std::uint64_t>(i);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+template <typename Sim>
+std::pair<double, double> timed_run(Sim& sim, const std::vector<net::FlowSpec>& specs) {
+  auto w0 = std::chrono::steady_clock::now();
+  core::Seconds t0 = sim.now();
+  std::vector<net::FlowId> ids;
+  for (const auto& s : specs) ids.push_back(sim.inject(s));
+  sim.run();
+  core::Seconds fct = 0;
+  for (auto id : ids) fct = std::max(fct, sim.flow(id).finish - t0);
+  auto w1 = std::chrono::steady_clock::now();
+  return {fct, std::chrono::duration<double>(w1 - w0).count()};
+}
+
+}  // namespace
+
+int main() {
+  const int hosts = 16;
+  const core::Bytes chunk = 16ull << 20;
+
+  core::print_banner("Fidelity ladder: one 16-host ring step, 16 MiB chunks");
+  core::Table table({"fidelity", "step time (ms)", "error vs packet", "wall-clock (s)",
+                     "production-scale cost"});
+
+  auto f1 = make_fabric();
+  pkt::PacketSim psim(f1);
+  auto [pkt_fct, pkt_wall] = timed_run(psim, ring_step(f1, hosts, chunk));
+  table.add_row({"packet (DCQCN+PFC)", core::Table::num(pkt_fct * 1e3, 3), "baseline",
+                 core::Table::num(pkt_wall, 3), "~1 day (ASTRA-sim, Sec. 5)"});
+
+  auto f2 = make_fabric();
+  net::FluidSim fsim(f2);
+  auto [fluid_fct, fluid_wall] = timed_run(fsim, ring_step(f2, hosts, chunk));
+  table.add_row({"flow-level fluid", core::Table::num(fluid_fct * 1e3, 3),
+                 core::Table::pct(core::relative_deviation(fluid_fct, pkt_fct)),
+                 core::Table::num(fluid_wall, 3), "hours (SimAI, Sec. 5)"});
+
+  // Seer: calibrate the network efficiency against the packet simulator
+  // (the self-correction loop), then evaluate the closed form.
+  auto truth = seer::TestbedEfficiency();
+  seer::Calibrator calib;
+  // One measured point per probe size: run tiny packet experiments.
+  for (core::Bytes sz : {256ull << 10, 1ull << 20, 4ull << 20, 16ull << 20, 64ull << 20}) {
+    auto fp = make_fabric();
+    pkt::PacketSim probe(fp);
+    auto [fct, wall] = timed_run(probe, ring_step(fp, 4, sz));
+    (void)wall;
+    double achieved = static_cast<double>(sz) * 8.0 / fct;
+    calib.add_network_sample(static_cast<double>(sz), achieved / core::gbps(200.0));
+  }
+  auto corrected = std::make_shared<seer::CalibratedEfficiency>(calib.fit(3));
+  seer::CommEnv env;
+  env.nic_bw = core::gbps(200.0);  // one ring port
+  seer::CostModel model(seer::GpuSpec::h100(), env, corrected);
+  auto w0 = std::chrono::steady_clock::now();
+  double seer_fct = model.comm_time(seer::CommKind::SendRecv, static_cast<double>(chunk),
+                                    2, false);
+  auto w1 = std::chrono::steady_clock::now();
+  double seer_wall = std::chrono::duration<double>(w1 - w0).count();
+  table.add_row({"Seer (calibrated)", core::Table::num(seer_fct * 1e3, 3),
+                 core::Table::pct(core::relative_deviation(seer_fct, pkt_fct)),
+                 core::Table::num(seer_wall, 6), "seconds (Sec. 4.3)"});
+  table.print();
+
+  std::printf("\nPackets simulated: %llu (%llu delivered, %llu ECN marks)\n",
+              static_cast<unsigned long long>(psim.stats().packets_sent),
+              static_cast<unsigned long long>(psim.stats().packets_delivered),
+              static_cast<unsigned long long>(psim.stats().ecn_marks));
+  std::printf("The per-event cost of packet fidelity is what makes Seer's\n"
+              "operator-granular, measurement-corrected closed forms the only\n"
+              "option that answers 'within seconds' at 512K-GPU scale.\n");
+  (void)truth;
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 10: stability improvement after deploying the monitoring system —
+// Mean Time To Locate Failure (MTTLF) per manifestation, manual process
+// vs hierarchical analyzer. Paper: fail-stop 12x, fail-hang 25x faster
+// (days -> minutes); fail-slow ~5x.
+#include <cstdio>
+
+#include "core/table.h"
+#include "monitor/mttlf.h"
+
+using namespace astral;
+using monitor::Manifestation;
+
+int main() {
+  monitor::CampaignConfig cfg;
+  cfg.faults = 400;
+  auto result = monitor::run_campaign(cfg);
+
+  core::print_banner("Fig. 10 - MTTLF before/after the monitoring system");
+  core::Table table({"manifestation", "faults", "manual MTTLF", "with Astral", "reduction",
+                     "paper"});
+  struct Row {
+    Manifestation m;
+    const char* paper;
+  };
+  auto fmt_dur = [](double s) {
+    char buf[32];
+    if (s >= 3600) {
+      std::snprintf(buf, sizeof(buf), "%.1f h", s / 3600.0);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+    }
+    return std::string(buf);
+  };
+  auto counts = result.manifestation_counts();
+  for (auto [m, paper] : {Row{Manifestation::FailStop, "12x"},
+                          Row{Manifestation::FailHang, "25x"},
+                          Row{Manifestation::FailSlow, "~5x"},
+                          Row{Manifestation::FailOnStart, "n/a"}}) {
+    double manual = result.mttlf_manual(m);
+    double with = result.mttlf_with_system(m);
+    if (with <= 0) continue;
+    table.add_row({to_string(m), std::to_string(counts[m]), fmt_dur(manual), fmt_dur(with),
+                   core::Table::num(manual / with, 1) + "x", paper});
+  }
+  table.print();
+
+  int manual_needed = 0;
+  for (const auto& e : result.entries) manual_needed += e.needs_manual ? 1 : 0;
+  std::printf("\nRoot-cause accuracy: %.1f%%; %d/%d faults still required manual"
+              " follow-up (the paper's 'anomalies the automatic correlation system"
+              " cannot recognize').\n",
+              result.accuracy() * 100.0, manual_needed,
+              static_cast<int>(result.entries.size()));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 14: performance impact of the intra-host (NVLink/HB domain)
+// network scale. Paper: MoE training benefits more than GPT-3 (more
+// all-to-all traffic); MoE inference (prefill and decoding) also gains.
+#include <cstdio>
+
+#include "core/table.h"
+#include "workload/trainer.h"
+
+using namespace astral;
+
+namespace {
+
+workload::TrainingSetup moe_setup(int hb) {
+  workload::TrainingSetup s;
+  s.model = seer::ModelSpec::hunyuan_moe();
+  s.parallel = {.tp = 8, .dp = 64, .pp = 1, .ep = 64};
+  s.global_batch = 256;
+  s.seq_len = 4096;
+  s.eff = std::make_shared<seer::TestbedEfficiency>();
+  s.env.hb_domain = hb;
+  return s;
+}
+
+workload::TrainingSetup gpt3_setup(int hb) {
+  workload::TrainingSetup s;
+  s.model = seer::ModelSpec::gpt3_175b();
+  // Data-parallel-heavy layout: the dense model's only fabric traffic is
+  // the gradient AllReduce, so the HB-domain benefit is bounded by how
+  // much of that sync stays exposed.
+  s.parallel = {.tp = 8, .dp = 64, .pp = 1, .ep = 1};
+  s.global_batch = 128;
+  s.seq_len = 2048;
+  s.eff = std::make_shared<seer::TestbedEfficiency>();
+  s.env.hb_domain = hb;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const int domains[] = {8, 16, 32, 64};
+
+  core::print_banner("Fig. 14a/b - Training throughput vs intra-host network scale");
+  core::Table train({"HB domain", "GPT-3-175B (tok/s, norm.)", "MoE (tok/s, norm.)"});
+  double gpt_base = 0.0, moe_base = 0.0;
+  for (int hb : domains) {
+    double gpt = workload::Trainer(gpt3_setup(hb)).forecast_iteration().tokens_per_sec;
+    double moe = workload::Trainer(moe_setup(hb)).forecast_iteration().tokens_per_sec;
+    if (hb == 8) {
+      gpt_base = gpt;
+      moe_base = moe;
+    }
+    train.add_row({std::to_string(hb), core::Table::num(gpt / gpt_base, 3),
+                   core::Table::num(moe / moe_base, 3)});
+  }
+  train.print();
+  std::printf("(paper: the MoE model benefits more — all-to-all moves onto NVLink)\n");
+
+  core::print_banner("Fig. 14c/d - MoE inference vs intra-host network scale");
+  core::Table infer({"HB domain", "prefill (tok/s, norm.)", "decoding (tok/s, norm.)"});
+  double pre_base = 0.0, dec_base = 0.0;
+  for (int hb : domains) {
+    auto s = moe_setup(hb);
+    // Wide expert parallelism, as production MoE serving shards experts
+    // across many hosts.
+    s.parallel = {.tp = 8, .dp = 64, .pp = 1, .ep = 64};
+    workload::Trainer t(s);
+    double pre = t.forecast_prefill(8, 4096).tokens_per_sec;
+    double dec = t.forecast_decode(64, 4096).tokens_per_sec;
+    if (hb == 8) {
+      pre_base = pre;
+      dec_base = dec;
+    }
+    infer.add_row({std::to_string(hb), core::Table::num(pre / pre_base, 3),
+                   core::Table::num(dec / dec_base, 3)});
+  }
+  infer.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 17 (Appendix A): effectiveness of the optimized ECMP scheme — the
+// controller reassigns UDP source ports of congested flows using the
+// switch hash simulator; per-round ECN counters decrease and stabilize.
+#include <cstdio>
+
+#include "core/table.h"
+#include "net/controller.h"
+
+using namespace astral;
+
+int main() {
+  topo::FabricParams fp;
+  fp.rails = 4;
+  fp.hosts_per_block = 16;
+  fp.blocks_per_pod = 8;
+  fp.pods = 1;
+  topo::Fabric fabric(fp);
+  net::FluidSim sim(fabric);
+  net::EcmpController controller(sim);
+
+  // Recurring collective round: same-rail permutation traffic, all hosts
+  // to the next block, rail 0 (one collective ring step at scale).
+  std::vector<net::FlowSpec> specs;
+  int hosts = fabric.host_count();
+  for (int h = 0; h < hosts; ++h) {
+    net::FlowSpec s;
+    s.src_host = fabric.topo().hosts()[static_cast<std::size_t>(h)];
+    s.dst_host = fabric.topo().hosts()[static_cast<std::size_t>(
+        (h + fp.hosts_per_block) % hosts)];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = 32ull * 1024 * 1024;
+    s.tag = static_cast<std::uint64_t>(h);
+    specs.push_back(s);
+  }
+
+  core::print_banner("Fig. 17 - ECN counters across source-port reassignment rounds");
+  core::Table table({"round", "ECN marks", "max link load (flows)", "ports reassigned",
+                     "round time (ms)"});
+  for (int round = 0; round < 8; ++round) {
+    sim.reset_stats();
+    core::Seconds t0 = sim.now();
+    for (auto& s : specs) {
+      s.start = sim.now();
+      sim.inject(s);
+    }
+    sim.run();
+    std::uint64_t marks = 0;
+    for (std::size_t l = 0; l < fabric.topo().link_count(); ++l) {
+      marks += sim.link_stats(static_cast<topo::LinkId>(l)).ecn_marks;
+    }
+    int max_load = controller.max_link_load(specs);
+    int moved = controller.rebalance(specs);
+    table.add_row({std::to_string(round), std::to_string(marks),
+                   std::to_string(max_load), std::to_string(moved),
+                   core::Table::num((sim.now() - t0) * 1e3, 2)});
+    sim.recycle_finished();
+  }
+  table.print();
+  std::printf("\nPaper: counters decrease and eventually stabilize after multiple"
+              " reassignments; reassignment takes effect on the next round of"
+              " collectives.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the performance-sensitive
+// kernels: ECMP hashing, routing, the fluid-simulator solver, Seer graph
+// construction and end-to-end forecasting (the "within seconds" claim),
+// and JSON parsing of operator templates.
+#include <benchmark/benchmark.h>
+
+#include "core/json.h"
+#include "net/controller.h"
+#include "workload/trainer.h"
+
+using namespace astral;
+
+namespace {
+
+topo::Fabric& bench_fabric() {
+  static topo::Fabric fabric([] {
+    topo::FabricParams p;
+    p.rails = 8;
+    p.hosts_per_block = 16;
+    p.blocks_per_pod = 4;
+    p.pods = 2;
+    return p;
+  }());
+  return fabric;
+}
+
+void BM_EcmpHash(benchmark::State& state) {
+  net::EcmpHash hash;
+  net::FiveTuple t{.src_ip = 12, .dst_ip = 9987, .src_port = 4242};
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    t.src_port = static_cast<std::uint16_t>(t.src_port + 1);
+    benchmark::DoNotOptimize(hash.select(t, ++salt, 64));
+  }
+}
+BENCHMARK(BM_EcmpHash);
+
+void BM_RoutePrediction(benchmark::State& state) {
+  auto& fabric = bench_fabric();
+  net::FluidSim sim(fabric);
+  net::FlowSpec spec;
+  spec.src_rail = 0;
+  spec.dst_rail = 0;
+  spec.size = 1;
+  int i = 0;
+  auto hosts = fabric.topo().hosts();
+  for (auto _ : state) {
+    spec.src_host = hosts[static_cast<std::size_t>(i % 64)];
+    spec.dst_host = hosts[static_cast<std::size_t>((i * 7 + 100) % hosts.size())];
+    spec.tag = static_cast<std::uint64_t>(++i);
+    benchmark::DoNotOptimize(sim.predict_path(spec));
+  }
+}
+BENCHMARK(BM_RoutePrediction);
+
+void BM_FluidSimPermutation(benchmark::State& state) {
+  auto& fabric = bench_fabric();
+  const int flows = static_cast<int>(state.range(0));
+  auto hosts = fabric.topo().hosts();
+  for (auto _ : state) {
+    net::FluidSim sim(fabric);
+    for (int i = 0; i < flows; ++i) {
+      net::FlowSpec spec;
+      spec.src_host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+      spec.dst_host = hosts[(static_cast<std::size_t>(i) + 40) % hosts.size()];
+      spec.src_rail = i % 8;
+      spec.dst_rail = i % 8;
+      spec.size = 4 * 1024 * 1024;
+      spec.tag = static_cast<std::uint64_t>(i);
+      sim.inject(spec);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidSimPermutation)->Arg(64)->Arg(256);
+
+void BM_SeerGraphBuild(benchmark::State& state) {
+  auto model = seer::ModelSpec::llama3_70b();
+  parallel::ParallelismConfig cfg{.tp = 8, .dp = 16, .pp = 4, .ep = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seer::build_graph(model, cfg, seer::WorkloadShape{}));
+  }
+}
+BENCHMARK(BM_SeerGraphBuild);
+
+void BM_SeerForecastLlama70B(benchmark::State& state) {
+  workload::TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 16, .pp = 4, .ep = 1};
+  s.global_batch = 512;
+  s.eff = std::make_shared<seer::TestbedEfficiency>();
+  workload::Trainer trainer(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.forecast_iteration().iteration_time);
+  }
+}
+BENCHMARK(BM_SeerForecastLlama70B);
+
+void BM_JsonTemplateParse(benchmark::State& state) {
+  auto graph = seer::build_graph(seer::ModelSpec::llama3_70b(),
+                                 {.tp = 8, .dp = 8, .pp = 8, .ep = 1},
+                                 seer::WorkloadShape{});
+  std::string text = graph.to_json().dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Json::parse(text));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonTemplateParse);
+
+void BM_ControllerRebalance(benchmark::State& state) {
+  auto& fabric = bench_fabric();
+  net::FluidSim sim(fabric);
+  net::EcmpController controller(sim);
+  std::vector<net::FlowSpec> specs;
+  auto hosts = fabric.topo().hosts();
+  for (int h = 0; h < 64; ++h) {
+    net::FlowSpec s;
+    s.src_host = hosts[static_cast<std::size_t>(h)];
+    s.dst_host = hosts[(static_cast<std::size_t>(h) + 16) % hosts.size()];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = 1;
+    s.tag = static_cast<std::uint64_t>(h);
+    specs.push_back(s);
+  }
+  for (auto _ : state) {
+    auto copy = specs;
+    benchmark::DoNotOptimize(controller.rebalance(copy));
+  }
+}
+BENCHMARK(BM_ControllerRebalance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

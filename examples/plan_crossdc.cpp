@@ -1,0 +1,91 @@
+// Cross-datacenter planning with Seer (§4.4 case study #1): given a
+// model and a two-DC deployment, recommend which parallelism dimension
+// should cross the long-haul link and the highest oversubscription ratio
+// that keeps the efficiency loss under a budget — turning the Appendix B
+// fiber-cost trade-off into a concrete purchase recommendation.
+//
+//   $ ./plan_crossdc           # LLaMA-3-70B
+//   $ ./plan_crossdc moe       # Hunyuan-MoE
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/table.h"
+#include "workload/trainer.h"
+
+using namespace astral;
+
+int main(int argc, char** argv) {
+  const bool moe = argc > 1 && std::strcmp(argv[1], "moe") == 0;
+
+  workload::TrainingSetup base;
+  base.model = moe ? seer::ModelSpec::hunyuan_moe() : seer::ModelSpec::llama3_70b();
+  base.parallel = moe ? parallel::ParallelismConfig{.tp = 8, .dp = 16, .pp = 8, .ep = 8}
+                      : parallel::ParallelismConfig{.tp = 8, .dp = 16, .pp = 8, .ep = 1};
+  base.global_batch = 512;
+  base.seq_len = 4096;
+  base.eff = std::make_shared<seer::TestbedEfficiency>();
+  base.env.crossdc_rtt = core::msec(3.0);  // ~300 km of fiber
+
+  const double loss_budget = 0.02;  // accept up to 2% efficiency loss
+  double single_dc = workload::Trainer(base).forecast_iteration().iteration_time;
+
+  std::printf("Model: %s on %d GPUs across two DCs (300 km apart)\n",
+              base.model.name.c_str(), base.parallel.world());
+  auto traffic = workload::Trainer(base).traffic();
+  std::printf("Per-device traffic per iteration: TP %.1f GB, PP %.2f GB, DP %.1f GB"
+              "%s\n\n",
+              traffic.tp_bytes / 1e9, traffic.pp_bytes / 1e9, traffic.dp_bytes / 1e9,
+              moe ? (", EP " + std::to_string(traffic.ep_bytes / 1e9) + " GB").c_str()
+                  : "");
+
+  core::print_banner("Efficiency vs cross-DC oversubscription (Seer forecast)");
+  core::Table table({"oversub", "PP across", "DP across", "ZeRO-DP across",
+                     "fiber cost/yr"});
+  struct Best {
+    seer::CrossDcDim dim = seer::CrossDcDim::None;
+    seer::DpStrategy dp = seer::DpStrategy::AllReduce;
+    double oversub = 1.0;
+    const char* label = "";
+  } best;
+
+  for (double oversub : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    auto eff = [&](seer::CrossDcDim dim, seer::DpStrategy dp) {
+      auto s = base;
+      s.cross_dc = dim;
+      s.dp_strategy = dp;
+      s.env.crossdc_oversub = oversub;
+      return single_dc / workload::Trainer(s).forecast_iteration().iteration_time;
+    };
+    double pp = eff(seer::CrossDcDim::PP, seer::DpStrategy::AllReduce);
+    double dpv = eff(seer::CrossDcDim::DP, seer::DpStrategy::AllReduce);
+    double zero = eff(seer::CrossDcDim::DP, seer::DpStrategy::Zero3);
+    // Higher oversubscription = fewer fibers. Appendix B: ~250K$/yr for a
+    // full-rate 300 km bundle; cost scales inversely with oversub.
+    double cost_k = 250.0 * 32.0 / oversub;
+    table.add_row({core::Table::num(oversub, 0) + ":1", core::Table::pct(pp),
+                   core::Table::pct(dpv), core::Table::pct(zero),
+                   core::Table::num(cost_k, 0) + " K$"});
+    if (pp >= 1.0 - loss_budget && oversub > best.oversub) {
+      best = {seer::CrossDcDim::PP, seer::DpStrategy::AllReduce, oversub, "PP"};
+    }
+    if (dpv >= 1.0 - loss_budget &&
+        (oversub > best.oversub || (oversub == best.oversub && dpv > 1.0 - loss_budget))) {
+      best = {seer::CrossDcDim::DP, seer::DpStrategy::AllReduce, oversub, "DP"};
+    }
+  }
+  table.print();
+
+  if (best.oversub > 1.0) {
+    std::printf("\nRecommendation: route %s traffic across the DCs at %.0f:1"
+                " oversubscription (within the %.0f%% loss budget), fiber cost"
+                " ~%.0f K$/yr.\n",
+                best.label, best.oversub, loss_budget * 100.0,
+                250.0 * 32.0 / best.oversub);
+  } else {
+    std::printf("\nRecommendation: no dimension fits the %.0f%% loss budget at"
+                " reduced fiber counts; provision full-rate links.\n",
+                loss_budget * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Physical-deployment planning: size the distributed HVDC power system,
+// pick the airflow scheme and the air/liquid cooling split for the
+// workload, and report the resulting PUE and renewable mix (§2.2).
+//
+//   $ ./plan_datacenter
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cooling/airflow.h"
+#include "core/table.h"
+#include "power/profile.h"
+#include "power/pue.h"
+#include "power/renewables.h"
+
+using namespace astral;
+
+int main() {
+  // Fleet: 64 rows of 8 racks, 8 servers/rack, 8 GPUs/server.
+  const int rows = 64;
+  const int racks_per_row = 8;
+  const double server_kw = 8.0;  // "8 kWh with GPUs" per server (§2.2)
+  const double rack_tdp = 8 * server_kw * 1e3;
+  const double it_watts = rows * racks_per_row * rack_tdp;
+  std::printf("Fleet: %d rows x %d racks, rack TDP %.0f kW -> IT load %.1f MW\n\n",
+              rows, racks_per_row, rack_tdp / 1e3, it_watts / 1e6);
+
+  // Power: one HVDC unit per row; a GPU-burst scenario on one rack.
+  power::PowerUnitConfig unit_cfg;
+  unit_cfg.racks = racks_per_row;
+  unit_cfg.rack_tdp_watts = rack_tdp;
+  power::PowerUnit unit(unit_cfg);
+  std::vector<double> demand(racks_per_row, rack_tdp * 0.9);
+  demand[0] = rack_tdp * 1.4;  // one rack bursting past TDP
+  auto alloc = unit.allocate(demand);
+  std::printf("HVDC row unit: budget %.0f kW; bursting rack granted %.0f kW"
+              " (cap = TDP + 30%%), others untouched.\n",
+              unit.unit_budget() / 1e3, alloc.granted_watts[0] / 1e3);
+
+  // Grid stability under pulsed LLM load.
+  std::vector<double> pulses;
+  for (int i = 0; i < 600; ++i) {
+    pulses.push_back(i % 2 == 0 ? unit.unit_budget() : unit.unit_budget() * 0.55);
+  }
+  power::PowerUnit hvdc(unit_cfg);
+  auto ups_cfg = unit_cfg;
+  ups_cfg.kind = power::ChainKind::AcUps;
+  power::PowerUnit ups(ups_cfg);
+  std::printf("Grid peak/mean under train pulses: HVDC %.2f vs AC-UPS %.2f\n\n",
+              power::grid_stability(hvdc, pulses, 1.0),
+              power::grid_stability(ups, pulses, 1.0));
+
+  // Cooling: airflow scheme comparison for one row.
+  cooling::RackRowConfig row;
+  row.racks = racks_per_row;
+  row.heat_watts_per_rack = rack_tdp;
+  row.total_airflow_m3s = 60.0;
+  core::Table air({"airflow scheme", "temp spread (degC)", "hottest rack (degC)"});
+  for (auto scheme : {cooling::AirflowScheme::SideIntake, cooling::AirflowScheme::BottomUp}) {
+    auto temps = cooling::rack_temperatures(row, scheme);
+    air.add_row({to_string(scheme),
+                 core::Table::num(cooling::temperature_spread(row, scheme), 2),
+                 core::Table::num(*std::max_element(temps.begin(), temps.end()), 1)});
+  }
+  air.print();
+
+  // Facility PUE, traditional vs Astral.
+  auto trad = power::FacilityConfig::traditional(it_watts);
+  auto astral = power::FacilityConfig::astral(it_watts);
+  std::printf("\nPUE: traditional %.3f -> Astral %.3f (%.1f%% better)\n",
+              power::compute_pue(trad, it_watts), power::compute_pue(astral, it_watts),
+              (power::compute_pue(trad, it_watts) - power::compute_pue(astral, it_watts)) /
+                  power::compute_pue(trad, it_watts) * 100.0);
+
+  // Renewables sized for ~22% of annual energy.
+  auto mix = power::simulate_year(it_watts, it_watts * 0.45, it_watts * 0.25, 0.35);
+  std::printf("Renewables: %.1f%% of annual energy, %.0f kt CO2 avoided\n",
+              mix.renewable_fraction() * 100.0, mix.avoided_co2_tons() / 1e3);
+  return 0;
+}

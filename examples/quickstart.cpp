@@ -1,0 +1,67 @@
+// Quickstart: build an Astral fabric, run collectives on the network
+// simulator, and forecast a training iteration with Seer.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "coll/runner.h"
+#include "core/table.h"
+#include "parallel/placement.h"
+#include "workload/trainer.h"
+
+using namespace astral;
+
+int main() {
+  // 1. A scaled-down Astral fabric: same-rail tier-2 aggregation,
+  //    dual-ToR, identical aggregated bandwidth across tiers.
+  topo::FabricParams params;
+  params.style = topo::FabricStyle::AstralSameRail;
+  params.rails = 8;           // GPUs / rail NICs per host
+  params.hosts_per_block = 8; // paper: 128
+  params.blocks_per_pod = 4;  // paper: 64
+  params.pods = 2;            // paper: 8
+  topo::Fabric fabric(params);
+  std::printf("Fabric: %s, %d GPUs, %zu switches, %zu links\n",
+              to_string(params.style), fabric.gpu_count(),
+              fabric.topo().node_count() - fabric.topo().hosts().size(),
+              fabric.topo().link_count());
+  double t1 = fabric.topo().tier_bandwidth(topo::NodeKind::Host, topo::NodeKind::Tor);
+  double t2 = fabric.topo().tier_bandwidth(topo::NodeKind::Tor, topo::NodeKind::Agg);
+  double t3 = fabric.topo().tier_bandwidth(topo::NodeKind::Agg, topo::NodeKind::Core);
+  std::printf("Aggregated bandwidth per tier: %.1f / %.1f / %.1f Tbps (identical)\n\n",
+              t1 / 1e12, t2 / 1e12, t3 / 1e12);
+
+  // 2. Run collectives on the fluid network simulator.
+  net::FluidSim sim(fabric);
+  coll::CollectiveRunner runner(sim, {.pxn = true, .sample_rounds = 8});
+  auto group = coll::CommGroup{parallel::Placement::packed(fabric, 128).gpus};
+
+  core::Table table({"collective", "size", "time (ms)", "bus bw (Gbps)"});
+  auto ar = runner.all_reduce(group, 256ull << 20);
+  table.add_row({"AllReduce (ring, 128 GPUs)", "256 MiB",
+                 core::Table::num(ar.duration * 1e3, 2),
+                 core::Table::num(core::to_gbps(ar.bus_bw), 1)});
+  auto a2a = runner.all_to_all(group, 1ull << 20);
+  table.add_row({"AllToAll (PXN, 128 GPUs)", "1 MiB/pair",
+                 core::Table::num(a2a.duration * 1e3, 2),
+                 core::Table::num(core::to_gbps(a2a.bus_bw), 1)});
+  table.print();
+
+  // 3. Forecast a LLaMA-3-70B training iteration with Seer.
+  workload::TrainingSetup setup;
+  setup.model = seer::ModelSpec::llama3_70b();
+  setup.parallel = {.tp = 8, .dp = 4, .pp = 4, .ep = 1};  // 128 GPUs
+  setup.global_batch = 128;
+  setup.seq_len = 4096;
+  setup.eff = std::make_shared<seer::TestbedEfficiency>();
+  auto f = workload::Trainer(setup).forecast_iteration();
+  std::printf("\nSeer forecast, %s on %d GPUs:\n", setup.model.name.c_str(),
+              setup.parallel.world());
+  std::printf("  iteration time : %.3f s\n", f.iteration_time);
+  std::printf("  throughput     : %.0f tokens/s (MFU %.1f%%)\n", f.tokens_per_sec,
+              f.mfu * 100.0);
+  std::printf("  exposed comm   : %.1f%% of iteration\n", f.comm_fraction * 100.0);
+  std::printf("  DP sync        : %.1f ms total, %.1f ms exposed\n",
+              f.dp_sync_time * 1e3, f.dp_exposed * 1e3);
+  return 0;
+}

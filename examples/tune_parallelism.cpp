@@ -1,0 +1,64 @@
+// Model-tuning with Seer (§4.1/§4.4): enumerate parallelism plans for a
+// GPU budget, reject what doesn't fit in HBM, forecast the rest in
+// milliseconds, and print the ranked recommendations.
+//
+//   $ ./tune_parallelism              # LLaMA-3-70B on 256 GPUs
+//   $ ./tune_parallelism 405b 1024    # LLaMA-3-405B on 1024 GPUs
+#include <cstdio>
+#include <cstring>
+
+#include "core/table.h"
+#include "workload/tuner.h"
+
+using namespace astral;
+
+int main(int argc, char** argv) {
+  workload::TuningRequest req;
+  req.model = seer::ModelSpec::llama3_70b();
+  req.gpus = 256;
+  req.global_batch = 512;
+  req.seq_len = 4096;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "405b") == 0) req.model = seer::ModelSpec::llama3_405b();
+    if (std::strcmp(argv[1], "moe") == 0) req.model = seer::ModelSpec::hunyuan_moe();
+    if (std::strcmp(argv[1], "gpt3") == 0) req.model = seer::ModelSpec::gpt3_175b();
+  }
+  if (argc > 2) req.gpus = std::atoi(argv[2]);
+
+  std::printf("Tuning %s on %d x %s (%.0f GB HBM), global batch %d, seq %d\n",
+              req.model.name.c_str(), req.gpus, req.gpu.name.c_str(),
+              static_cast<double>(req.gpu.hbm_size) / 1e9, req.global_batch,
+              req.seq_len);
+
+  auto result = workload::tune_parallelism(req);
+  std::printf("Evaluated %d plans; %d rejected for memory.\n\n", result.evaluated,
+              result.rejected_memory);
+
+  core::print_banner("Top plans (Seer-forecast throughput)");
+  core::Table table({"tp", "pp", "dp", "micro", "DP strategy", "mem/GPU", "tokens/s",
+                     "MFU", "iteration"});
+  int shown = 0;
+  for (const auto& c : result.ranked) {
+    if (!c.fits || shown >= 8) break;
+    table.add_row({std::to_string(c.parallel.tp), std::to_string(c.parallel.pp),
+                   std::to_string(c.parallel.dp), std::to_string(c.micro_batch),
+                   c.dp_strategy == seer::DpStrategy::Zero3 ? "ZeRO-3" : "AllReduce",
+                   core::Table::num(c.memory_bytes / 1e9, 1) + " GB",
+                   core::Table::num(c.forecast.tokens_per_sec, 0),
+                   core::Table::pct(c.forecast.mfu, 1),
+                   core::Table::num(c.forecast.iteration_time, 3) + " s"});
+    ++shown;
+  }
+  table.print();
+
+  if (auto best = result.best()) {
+    std::printf("\nRecommendation: tp=%d pp=%d dp=%d micro=%d (%s), %.0f tokens/s.\n",
+                best->parallel.tp, best->parallel.pp, best->parallel.dp,
+                best->micro_batch,
+                best->dp_strategy == seer::DpStrategy::Zero3 ? "ZeRO-3" : "AllReduce",
+                best->forecast.tokens_per_sec);
+  } else {
+    std::printf("\nNo plan fits on this GPU budget — add GPUs or enable ZeRO-3.\n");
+  }
+  return 0;
+}

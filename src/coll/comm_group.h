@@ -1,0 +1,23 @@
+// Communication groups: ordered sets of global GPU indices participating
+// in one collective (a TP group, a DP ring, an EP all-to-all group...).
+#pragma once
+
+#include <vector>
+
+namespace astral::coll {
+
+/// Ordered ranks of a collective. Values are global GPU indices into a
+/// topo::Fabric (host-major numbering).
+struct CommGroup {
+  std::vector<int> gpus;
+
+  int size() const { return static_cast<int>(gpus.size()); }
+  int rank_of(int gpu) const {
+    for (int i = 0; i < size(); ++i) {
+      if (gpus[static_cast<std::size_t>(i)] == gpu) return i;
+    }
+    return -1;
+  }
+};
+
+}  // namespace astral::coll

@@ -1,0 +1,286 @@
+#include "coll/runner.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+namespace astral::coll {
+
+using core::Bytes;
+using core::Seconds;
+
+CollectiveRunner::CollectiveRunner(net::FluidSim& sim, Options opts)
+    : sim_(sim), opts_(opts), next_tag_(opts.tag) {}
+
+CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_pair) {
+  CollectiveResult res;
+  const int n = group.size();
+  if (n < 2 || per_pair == 0) return res;
+  const auto& fabric = sim_.fabric();
+
+  // Choose which shift rounds to simulate.
+  std::vector<int> rounds;
+  const int total_rounds = n - 1;
+  if (opts_.sample_rounds > 0 && opts_.sample_rounds < total_rounds) {
+    for (int j = 0; j < opts_.sample_rounds; ++j) {
+      int r = 1 + static_cast<int>(std::llround(
+                      static_cast<double>(j) * (total_rounds - 1) /
+                      std::max(1, opts_.sample_rounds - 1)));
+      if (rounds.empty() || rounds.back() != r) rounds.push_back(r);
+    }
+  } else {
+    for (int r = 1; r <= total_rounds; ++r) rounds.push_back(r);
+  }
+
+  Seconds fabric_total = 0.0;
+  Seconds nvlink_total = 0.0;
+  Seconds wall_total = 0.0;
+  double fabric_bytes_per_round = 0.0;
+
+  std::vector<double> nvl_bytes(static_cast<std::size_t>(n));
+  for (int r : rounds) {
+    Seconds t0 = sim_.now();
+    std::fill(nvl_bytes.begin(), nvl_bytes.end(), 0.0);
+    int fabric_flows = 0;
+    for (int i = 0; i < n; ++i) {
+      int src = group.gpus[static_cast<std::size_t>(i)];
+      int dst = group.gpus[static_cast<std::size_t>((i + r) % n)];
+      auto la = fabric.gpu(src);
+      auto lb = fabric.gpu(dst);
+      if (la.host == lb.host) {
+        nvl_bytes[static_cast<std::size_t>(i)] += static_cast<double>(per_pair);
+        continue;
+      }
+      net::FlowSpec spec;
+      spec.src_host = la.host;
+      spec.dst_host = lb.host;
+      spec.src_rail = la.rail;
+      spec.dst_rail = lb.rail;
+      // PXN: forward through the local GPU on the destination's rail so
+      // the fabric flow is same-rail end to end. Mandatory on rail-only
+      // fabrics where cross-rail NICs are unreachable.
+      bool need_pxn = la.rail != lb.rail &&
+                      (opts_.pxn || !fabric.fabric_reachable(src, dst));
+      if (need_pxn) {
+        nvl_bytes[static_cast<std::size_t>(i)] += static_cast<double>(per_pair);
+        spec.src_rail = lb.rail;
+      }
+      spec.size = per_pair;
+      spec.start = t0;
+      spec.tag = next_tag_++;
+      sim_.inject(spec);
+      ++fabric_flows;
+    }
+    sim_.run();
+    Seconds fabric_dt = sim_.now() - t0;
+    double max_nvl = 0.0;
+    for (double b : nvl_bytes) max_nvl = std::max(max_nvl, b);
+    Seconds nvl_dt = max_nvl * 8.0 / opts_.nvlink_bw;
+    fabric_total += fabric_dt;
+    nvlink_total += nvl_dt;
+    // NVLink forwarding pipelines with the fabric transfer; the round is
+    // gated by the slower of the two.
+    wall_total += std::max(fabric_dt, nvl_dt);
+    fabric_bytes_per_round += static_cast<double>(fabric_flows) * per_pair;
+    sim_.recycle_finished();
+  }
+
+  const double scale = static_cast<double>(total_rounds) / static_cast<double>(rounds.size());
+  res.rounds_simulated = static_cast<int>(rounds.size());
+  res.duration = wall_total * scale;
+  res.fabric_time = fabric_total * scale;
+  res.nvlink_time = nvlink_total * scale;
+  res.fabric_bytes = static_cast<Bytes>(fabric_bytes_per_round * scale);
+  const double per_rank_bits = static_cast<double>(per_pair) * (n - 1) * 8.0;
+  res.alg_bw = res.duration > 0 ? per_rank_bits / res.duration : 0.0;
+  res.bus_bw = res.alg_bw * static_cast<double>(n - 1) / n;
+  return res;
+}
+
+Seconds CollectiveRunner::ring_step(const CommGroup& group, Bytes chunk,
+                                    int* fabric_edges) {
+  const int n = group.size();
+  const auto& fabric = sim_.fabric();
+  Seconds t0 = sim_.now();
+  if (fabric_edges != nullptr) *fabric_edges = 0;
+  std::vector<double> nvl_bytes(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    int src = group.gpus[static_cast<std::size_t>(i)];
+    int dst = group.gpus[static_cast<std::size_t>((i + 1) % n)];
+    auto la = fabric.gpu(src);
+    auto lb = fabric.gpu(dst);
+    if (la.host == lb.host) {
+      nvl_bytes[static_cast<std::size_t>(i)] += static_cast<double>(chunk);
+      continue;
+    }
+    net::FlowSpec spec;
+    spec.src_host = la.host;
+    spec.dst_host = lb.host;
+    spec.src_rail = la.rail;
+    spec.dst_rail = lb.rail;
+    if (la.rail != lb.rail && (opts_.pxn || !fabric.fabric_reachable(src, dst))) {
+      nvl_bytes[static_cast<std::size_t>(i)] += static_cast<double>(chunk);
+      spec.src_rail = lb.rail;
+    }
+    spec.size = chunk;
+    spec.start = t0;
+    spec.tag = next_tag_++;
+    sim_.inject(spec);
+    if (fabric_edges != nullptr) ++(*fabric_edges);
+  }
+  sim_.run();
+  Seconds fabric_dt = sim_.now() - t0;
+  double max_nvl = 0.0;
+  for (double b : nvl_bytes) max_nvl = std::max(max_nvl, b);
+  sim_.recycle_finished();
+  return std::max(fabric_dt, max_nvl * 8.0 / opts_.nvlink_bw);
+}
+
+CollectiveResult CollectiveRunner::all_reduce(const CommGroup& group, Bytes size) {
+  CollectiveResult res;
+  const int n = group.size();
+  if (n < 2 || size == 0) return res;
+  Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
+  int fabric_edges = 0;
+  Seconds step = ring_step(group, chunk, &fabric_edges);
+  res.rounds_simulated = 1;
+  res.duration = step * 2.0 * (n - 1);
+  res.fabric_time = res.duration;
+  res.fabric_bytes =
+      static_cast<Bytes>(2.0 * (n - 1) * static_cast<double>(chunk) * fabric_edges);
+  res.alg_bw = static_cast<double>(size) * 8.0 / res.duration;
+  res.bus_bw = res.alg_bw * 2.0 * (n - 1) / n;
+  return res;
+}
+
+CollectiveResult CollectiveRunner::all_reduce_hierarchical(const CommGroup& group,
+                                                           Bytes size) {
+  CollectiveResult res;
+  const int n = group.size();
+  if (n < 2 || size == 0) return res;
+  const auto& fabric = sim_.fabric();
+
+  // Group ranks by host, preserving rail identity.
+  std::map<topo::NodeId, std::vector<int>> by_host;
+  for (int gpu : group.gpus) by_host[fabric.gpu(gpu).host].push_back(gpu);
+  const int hosts = static_cast<int>(by_host.size());
+  const int local = static_cast<int>(by_host.begin()->second.size());
+  for (const auto& [host, gpus] : by_host) {
+    if (static_cast<int>(gpus.size()) != local) return all_reduce(group, size);  // ragged
+  }
+  if (hosts < 2) return all_reduce(group, size);  // single host: plain ring on NVLink
+
+  std::vector<topo::NodeId> host_order;
+  for (const auto& [host, gpus] : by_host) host_order.push_back(host);
+
+  // Phase 1: intra-host reduce-scatter on NVLink; every GPU ends up
+  // owning size/local of the data.
+  Seconds t_intra =
+      local > 1 ? (local - 1.0) / local * static_cast<double>(size) * 8.0 / opts_.nvlink_bw
+                : 0.0;
+
+  // Phase 2: per-rail inter-host rings, all rails concurrently. Each
+  // lane all-reduces its size/local shard over `hosts` peers: 2(H-1)
+  // steps of shard/H. One step across all lanes is simulated and scaled.
+  const Bytes shard = std::max<Bytes>(1, size / static_cast<Bytes>(local));
+  const Bytes chunk = std::max<Bytes>(1, shard / static_cast<Bytes>(hosts));
+  Seconds t0 = sim_.now();
+  std::vector<net::FlowId> ids;
+  for (int h = 0; h < hosts; ++h) {
+    for (int lane = 0; lane < local; ++lane) {
+      int src_gpu = by_host[host_order[static_cast<std::size_t>(h)]]
+                           [static_cast<std::size_t>(lane)];
+      int dst_gpu = by_host[host_order[static_cast<std::size_t>((h + 1) % hosts)]]
+                           [static_cast<std::size_t>(lane)];
+      auto la = fabric.gpu(src_gpu);
+      auto lb = fabric.gpu(dst_gpu);
+      net::FlowSpec spec;
+      spec.src_host = la.host;
+      spec.dst_host = lb.host;
+      spec.src_rail = la.rail == lb.rail ? la.rail : lb.rail;  // rail-aligned
+      spec.dst_rail = lb.rail;
+      spec.size = chunk;
+      spec.start = t0;
+      spec.tag = next_tag_++;
+      ids.push_back(sim_.inject(spec));
+    }
+  }
+  sim_.run_watch(ids);
+  Seconds step = sim_.now() - t0;
+  Seconds t_inter = step * 2.0 * (hosts - 1);
+  sim_.recycle_finished();
+
+  // Phase 3: intra-host all-gather mirrors phase 1.
+  res.rounds_simulated = 1;
+  res.nvlink_time = 2.0 * t_intra;
+  res.fabric_time = t_inter;
+  res.duration = 2.0 * t_intra + t_inter;
+  res.fabric_bytes = static_cast<Bytes>(2.0 * (hosts - 1) * static_cast<double>(chunk) *
+                                        hosts * local);
+  res.alg_bw = static_cast<double>(size) * 8.0 / res.duration;
+  res.bus_bw = res.alg_bw * 2.0 * (n - 1) / n;
+  return res;
+}
+
+CollectiveResult CollectiveRunner::reduce_scatter(const CommGroup& group, Bytes size) {
+  CollectiveResult res;
+  const int n = group.size();
+  if (n < 2 || size == 0) return res;
+  Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
+  int fabric_edges = 0;
+  Seconds step = ring_step(group, chunk, &fabric_edges);
+  res.rounds_simulated = 1;
+  res.duration = step * (n - 1);
+  res.fabric_time = res.duration;
+  res.fabric_bytes =
+      static_cast<Bytes>(1.0 * (n - 1) * static_cast<double>(chunk) * fabric_edges);
+  res.alg_bw = static_cast<double>(size) * 8.0 / res.duration;
+  res.bus_bw = res.alg_bw * static_cast<double>(n - 1) / n;
+  return res;
+}
+
+CollectiveResult CollectiveRunner::all_gather(const CommGroup& group, Bytes size) {
+  // Traffic-wise the mirror image of ReduceScatter.
+  return reduce_scatter(group, size);
+}
+
+CollectiveResult CollectiveRunner::send_recv(int src_gpu, int dst_gpu, Bytes size) {
+  CollectiveResult res;
+  if (size == 0 || src_gpu == dst_gpu) return res;
+  const auto& fabric = sim_.fabric();
+  auto la = fabric.gpu(src_gpu);
+  auto lb = fabric.gpu(dst_gpu);
+  Seconds t0 = sim_.now();
+  if (la.host == lb.host) {
+    res.nvlink_time = static_cast<double>(size) * 8.0 / opts_.nvlink_bw;
+    res.duration = res.nvlink_time;
+    res.alg_bw = opts_.nvlink_bw;
+    res.bus_bw = res.alg_bw;
+    return res;
+  }
+  net::FlowSpec spec;
+  spec.src_host = la.host;
+  spec.dst_host = lb.host;
+  spec.src_rail = la.rail;
+  spec.dst_rail = lb.rail;
+  if (la.rail != lb.rail &&
+      (opts_.pxn || !fabric.fabric_reachable(src_gpu, dst_gpu))) {
+    res.nvlink_time = static_cast<double>(size) * 8.0 / opts_.nvlink_bw;
+    spec.src_rail = lb.rail;
+  }
+  spec.size = size;
+  spec.start = t0;
+  spec.tag = next_tag_++;
+  sim_.inject(spec);
+  sim_.run();
+  res.fabric_time = sim_.now() - t0;
+  res.duration = std::max(res.fabric_time, res.nvlink_time);
+  res.fabric_bytes = size;
+  res.alg_bw = res.duration > 0 ? static_cast<double>(size) * 8.0 / res.duration : 0.0;
+  res.bus_bw = res.alg_bw;
+  res.rounds_simulated = 1;
+  sim_.recycle_finished();
+  return res;
+}
+
+}  // namespace astral::coll

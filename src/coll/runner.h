@@ -1,0 +1,86 @@
+// Runs collective communication operations on the fluid simulator and
+// reports completion time and achieved bandwidth.
+//
+// Traffic shapes follow NCCL:
+//  * ring AllReduce / ReduceScatter / AllGather: ring in rank order;
+//    intra-host ring edges ride NVLink, host-crossing edges become fabric
+//    flows. Every ring step moves size/N per rank, so one step is
+//    simulated and scaled by the step count (the fluid rates repeat).
+//  * AllToAll: N-1 shifted rounds; in round r, rank i sends to (i+r)%N.
+//    With PXN enabled (NVLink-optimized, NCCL 2.12 [2]), a message for a
+//    GPU on rail R first hops NVLink to the local rail-R GPU and enters
+//    the fabric on rail R — turning every fabric flow into same-rail
+//    traffic, which is what makes the same-rail tier 2 of Astral pay off.
+//    Without PXN, flows go NIC-to-NIC across rails through Core.
+//  * SendRecv: a single flow (PP traffic).
+//
+// `sample_rounds` simulates an evenly spaced subset of all-to-all rounds
+// and extrapolates; symmetric shifts make this accurate and it keeps 1K-
+// GPU experiments fast.
+#pragma once
+
+#include "coll/comm_group.h"
+#include "core/units.h"
+#include "net/fluid_sim.h"
+
+namespace astral::coll {
+
+struct CollectiveResult {
+  core::Seconds duration = 0.0;  ///< Wall time of the collective.
+  core::Seconds fabric_time = 0.0;   ///< Portion gated by the network.
+  core::Seconds nvlink_time = 0.0;   ///< Portion gated by NVLink hops.
+  core::Bytes fabric_bytes = 0;      ///< Bytes that crossed the fabric.
+  double alg_bw = 0.0;  ///< Algorithm bandwidth, bits/sec (size/duration).
+  double bus_bw = 0.0;  ///< NCCL-convention bus bandwidth, bits/sec.
+  int rounds_simulated = 0;
+};
+
+struct CollectiveOptions {
+  core::Bps nvlink_bw = core::gBps(450.0);  ///< Per-GPU intra-host bw.
+  bool pxn = true;           ///< Rail-aligned all-to-all via NVLink.
+  int sample_rounds = 0;     ///< 0 = simulate every all-to-all round.
+  std::uint64_t tag = 0;     ///< Base tag for injected flows.
+};
+
+class CollectiveRunner {
+ public:
+  using Options = CollectiveOptions;
+
+  CollectiveRunner(net::FluidSim& sim, Options opts = {});
+
+  /// Each rank sends `per_pair` bytes to every other rank.
+  CollectiveResult all_to_all(const CommGroup& group, core::Bytes per_pair);
+
+  /// Ring AllReduce of `size` bytes (2(N-1) steps of size/N).
+  CollectiveResult all_reduce(const CommGroup& group, core::Bytes size);
+
+  /// Hierarchical AllReduce: intra-host reduce-scatter over NVLink, then
+  /// per-rail inter-host rings running concurrently on all rails (the
+  /// algorithm rail fabrics are built for — every NIC of a host is busy
+  /// at once), then intra-host all-gather. Requires whole hosts: the
+  /// group must cover each participating host's GPUs completely.
+  CollectiveResult all_reduce_hierarchical(const CommGroup& group, core::Bytes size);
+
+  /// Ring ReduceScatter of `size` total bytes ((N-1) steps of size/N).
+  CollectiveResult reduce_scatter(const CommGroup& group, core::Bytes size);
+
+  /// Ring AllGather of `size` total bytes ((N-1) steps of size/N).
+  CollectiveResult all_gather(const CommGroup& group, core::Bytes size);
+
+  /// Point-to-point transfer between two GPUs (PP traffic).
+  CollectiveResult send_recv(int src_gpu, int dst_gpu, core::Bytes size);
+
+  net::FluidSim& sim() { return sim_; }
+
+ private:
+  /// Simulates one ring step of `chunk` bytes and returns its duration;
+  /// `fabric_edges` (optional) receives the count of host-crossing edges.
+  core::Seconds ring_step(const CommGroup& group, core::Bytes chunk,
+                          int* fabric_edges = nullptr);
+
+  net::FluidSim& sim_;
+  Options opts_;
+  std::uint64_t next_tag_;
+};
+
+}  // namespace astral::coll

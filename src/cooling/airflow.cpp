@@ -1,0 +1,74 @@
+#include "cooling/airflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astral::cooling {
+
+namespace {
+constexpr double kAirDensity = 1.2;       // kg/m^3
+constexpr double kAirHeatCapacity = 1005; // J/(kg K)
+}  // namespace
+
+const char* to_string(AirflowScheme s) {
+  return s == AirflowScheme::SideIntake ? "side-intake" : "bottom-up";
+}
+
+double duct_velocity(const RackRowConfig& cfg, AirflowScheme scheme) {
+  double area = scheme == AirflowScheme::SideIntake ? cfg.side_duct_area_m2
+                                                    : cfg.bottom_plenum_area_m2;
+  return cfg.total_airflow_m3s / area;
+}
+
+std::vector<double> airflow_distribution(const RackRowConfig& cfg, AirflowScheme scheme) {
+  const int n = cfg.racks;
+  std::vector<double> share(static_cast<std::size_t>(n), 1.0);
+  if (scheme == AirflowScheme::SideIntake) {
+    // Stream enters at both row ends and exits at the center hot-aisle
+    // outlet. Local velocity rises toward the outlet as flows merge;
+    // entrainment into a rack drops with the square of local velocity
+    // (Bernoulli: static pressure deficit ~ v^2).
+    const double v_duct = duct_velocity(cfg, scheme);
+    for (int i = 0; i < n; ++i) {
+      // Distance from the nearer end, normalized to [0, 1] at the outlet.
+      double x = n > 1 ? static_cast<double>(std::min(i, n - 1 - i)) /
+                             (static_cast<double>(n - 1) / 2.0)
+                       : 0.0;
+      double v_local = v_duct * (0.4 + 0.6 * x);  // accelerates inward
+      double deficit = 1.6e-4 * v_local * v_local;  // entrainment loss
+      share[static_cast<std::size_t>(i)] = std::max(0.7, 1.0 - deficit);
+    }
+  } else {
+    // Bottom-up: the plenum's large cross-section keeps velocity low;
+    // only a slight residual tilt from the supply end survives.
+    const double v_duct = duct_velocity(cfg, scheme);
+    for (int i = 0; i < n; ++i) {
+      double x = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+      share[static_cast<std::size_t>(i)] = 1.0 - 1.5e-3 * v_duct * v_duct * x;
+    }
+  }
+  double sum = 0.0;
+  for (double s : share) sum += s;
+  for (double& s : share) s /= sum;
+  return share;
+}
+
+std::vector<double> rack_temperatures(const RackRowConfig& cfg, AirflowScheme scheme) {
+  auto share = airflow_distribution(cfg, scheme);
+  std::vector<double> temps(share.size());
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    double flow = cfg.total_airflow_m3s * share[i];  // m^3/s through rack i
+    double mass_flow = flow * kAirDensity;
+    double rise = cfg.heat_watts_per_rack / (mass_flow * kAirHeatCapacity);
+    temps[i] = cfg.ambient_c + rise;
+  }
+  return temps;
+}
+
+double temperature_spread(const RackRowConfig& cfg, AirflowScheme scheme) {
+  auto temps = rack_temperatures(cfg, scheme);
+  auto [lo, hi] = std::minmax_element(temps.begin(), temps.end());
+  return *hi - *lo;
+}
+
+}  // namespace astral::cooling

@@ -1,0 +1,53 @@
+// Rack-row airflow model (§2.2 Optimization #1, Fig. 5).
+//
+// Reduced 1-D fluid model: a row of high-density racks shares a fixed
+// total cool-airflow budget. With *side intake* the stream enters at the
+// row ends and accelerates toward the hot-aisle outlet; by Bernoulli, the
+// high-velocity region near the outlet has lower static pressure and
+// entrains less cool air into the adjacent racks, starving them and
+// spreading rack temperatures by ~1 degC. With *bottom-up* intake the
+// plenum's much larger cross-section keeps velocity moderate and the
+// per-rack flow uniform, collapsing the spread to ~0.1 degC. Velocity
+// being inversely proportional to cross-sectional area at constant flow
+// is exactly the principle the paper invokes.
+#pragma once
+
+#include <vector>
+
+#include "core/units.h"
+
+namespace astral::cooling {
+
+enum class AirflowScheme : std::uint8_t {
+  SideIntake,  ///< Traditional: intake from both ends of the row.
+  BottomUp,    ///< Astral: vertical intake through a floor plenum.
+};
+
+const char* to_string(AirflowScheme s);
+
+struct RackRowConfig {
+  int racks = 8;
+  double heat_watts_per_rack = 40e3;
+  /// Total cool-air volume flow for the row, m^3/s.
+  double total_airflow_m3s = 40.0;
+  double ambient_c = 22.0;
+  /// Duct cross-section seen by the moving stream, m^2. The bottom
+  /// plenum is far larger than the side duct (the paper's lever).
+  double side_duct_area_m2 = 1.2;
+  double bottom_plenum_area_m2 = 12.0;
+};
+
+/// Per-rack share (fractions summing to 1) of the cool airflow.
+std::vector<double> airflow_distribution(const RackRowConfig& cfg, AirflowScheme scheme);
+
+/// Per-rack steady-state outlet temperature: ambient + Q / (rho cp V).
+std::vector<double> rack_temperatures(const RackRowConfig& cfg, AirflowScheme scheme);
+
+/// Max - min of the rack temperatures (the Fig. 5 metric: ~1 degC side
+/// vs ~0.11 degC bottom-up).
+double temperature_spread(const RackRowConfig& cfg, AirflowScheme scheme);
+
+/// Mean stream velocity in the intake duct, m/s (v = V / A).
+double duct_velocity(const RackRowConfig& cfg, AirflowScheme scheme);
+
+}  // namespace astral::cooling

@@ -1,0 +1,46 @@
+#include "cooling/integrated.h"
+
+namespace astral::cooling {
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::GpuIntensive: return "gpu-intensive";
+    case WorkloadKind::CpuIntensive: return "cpu-intensive";
+    case WorkloadKind::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+CoolingConfig CoolingConfig::traditional_air(double capacity_w) {
+  CoolingConfig c;
+  c.liquid_fraction = 0.0;
+  c.air_cop = 2.8;  // side-intake airflow wastes fan power on recirculation
+  c.primary_capacity_w = capacity_w;
+  return c;
+}
+
+CoolingConfig CoolingConfig::astral_integrated(double capacity_w) {
+  CoolingConfig c;
+  c.liquid_fraction = recommended_liquid_fraction(WorkloadKind::GpuIntensive);
+  c.air_cop = 3.6;  // bottom-up airflow: no starved racks, lower fan speed
+  c.liquid_cop = 12.0;
+  c.primary_capacity_w = capacity_w;
+  return c;
+}
+
+double recommended_liquid_fraction(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::GpuIntensive: return 0.70;  // GPUs dominate rack heat
+    case WorkloadKind::CpuIntensive: return 0.25;
+    case WorkloadKind::Mixed: return 0.50;
+  }
+  return 0.5;
+}
+
+double IntegratedCooling::cooling_power(double it_heat_w) const {
+  double liquid_heat = it_heat_w * cfg_.liquid_fraction;
+  double air_heat = it_heat_w - liquid_heat;
+  return liquid_heat / cfg_.liquid_cop + air_heat / cfg_.air_cop;
+}
+
+}  // namespace astral::cooling

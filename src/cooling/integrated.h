@@ -1,0 +1,60 @@
+// Air-liquid integrated cooling (§2.2 Optimization #2): cold plates pull
+// heat from the high-power components (GPUs) into a liquid loop while air
+// handles the rest; both share one primary cold source sized to 100% of
+// capacity so the liquid:air ratio can follow the workload over the
+// facility's ~10-year life.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace astral::cooling {
+
+enum class WorkloadKind : std::uint8_t { GpuIntensive, CpuIntensive, Mixed };
+
+const char* to_string(WorkloadKind k);
+
+struct CoolingConfig {
+  /// Fraction of IT heat captured by cold plates (0 = pure air cooling).
+  double liquid_fraction = 0.0;
+  /// Coefficient of performance: watts of heat moved per watt consumed.
+  double air_cop = 3.2;
+  double liquid_cop = 12.0;
+  /// Primary cold source capacity in watts of heat. Sized to 100% of the
+  /// facility's IT heat so either subsystem can take the full load.
+  double primary_capacity_w = 0.0;
+
+  /// Traditional all-air datacenter cooling (pre-Astral baseline).
+  static CoolingConfig traditional_air(double capacity_w);
+  /// Astral: bottom-up air + cold plates on high-power parts.
+  static CoolingConfig astral_integrated(double capacity_w);
+};
+
+/// Recommended liquid fraction per workload type: GPU-heavy racks put
+/// most heat in cold-plated parts, CPU-heavy racks do not.
+double recommended_liquid_fraction(WorkloadKind kind);
+
+class IntegratedCooling {
+ public:
+  explicit IntegratedCooling(CoolingConfig cfg) : cfg_(cfg) {}
+
+  const CoolingConfig& config() const { return cfg_; }
+
+  /// True when the shared primary source can absorb this heat load.
+  bool can_handle(double it_heat_w) const {
+    return cfg_.primary_capacity_w <= 0 || it_heat_w <= cfg_.primary_capacity_w;
+  }
+
+  /// Electrical power the cooling plant consumes to remove `it_heat_w`.
+  double cooling_power(double it_heat_w) const;
+
+  /// Re-targets the liquid:air split for a workload; the shared primary
+  /// source means no re-plumbing, just valve settings.
+  void adapt_to(WorkloadKind kind) { cfg_.liquid_fraction = recommended_liquid_fraction(kind); }
+
+ private:
+  CoolingConfig cfg_;
+};
+
+}  // namespace astral::cooling

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel shared by the network fluid simulator,
+// the Seer timeline engine, and the monitoring cluster runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/units.h"
+
+namespace astral::core {
+
+/// A minimal discrete-event scheduler. Events fire in (time, insertion
+/// order); ties are broken FIFO so simulations are deterministic.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute simulated time `at`. Scheduling in
+  /// the past is clamped to `now()`.
+  void schedule_at(Seconds at, Handler fn) {
+    if (at < now_) at = now_;
+    heap_.push(Event{at, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delay` seconds from now.
+  void schedule_in(Seconds delay, Handler fn) {
+    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Current simulated time.
+  Seconds now() const { return now_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // std::priority_queue::top is const; move out via const_cast is the
+    // standard idiom but we copy the handler instead to stay well-defined.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs events until the queue drains or `until` is reached (events at
+  /// exactly `until` still run). Returns the number of events processed.
+  std::size_t run(Seconds until = 1e18) {
+    std::size_t n = 0;
+    while (!heap_.empty() && heap_.top().time <= until) {
+      step();
+      ++n;
+    }
+    if (heap_.empty() && now_ < until && until < 1e18) now_ = until;
+    return n;
+  }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Handler fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Seconds now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace astral::core

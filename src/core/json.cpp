@@ -1,0 +1,314 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace astral::core {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& msg) {
+    if (error_ && error_->empty()) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        break;
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        break;
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        break;
+      default: return parse_number();
+    }
+    fail("invalid token");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    auto res = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ || pos_ == start) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Json(value);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad hex digit in \\u escape");
+                return std::nullopt;
+              }
+            }
+            // UTF-8 encode the BMP code point.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_array() {
+    consume('[');
+    Json::Array arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Json(std::move(arr));
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    consume('{');
+    Json::Object obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj[std::move(*key)] = std::move(*v);
+      skip_ws();
+      if (consume('}')) return Json(std::move(obj));
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+void dump_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+  if (std::floor(d) == d && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string nl = indent > 0 ? "\n" : "";
+  auto pad = [&](int d) {
+    if (indent > 0) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: dump_number(out, num_); break;
+    case Type::String: dump_escaped(out, str_); break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        pad(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += nl;
+      }
+      pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      std::size_t i = 0;
+      for (const auto& [k, v] : obj_) {
+        pad(depth + 1);
+        dump_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+        if (++i < obj_.size()) out += ',';
+        out += nl;
+      }
+      pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace astral::core

@@ -1,0 +1,142 @@
+// Minimal JSON value, parser and serializer.
+//
+// Astral Seer exchanges operator graphs as Chakra-like JSON files and the
+// monitoring system dumps telemetry snapshots as JSON; this self-contained
+// implementation avoids an external dependency. It supports the full JSON
+// grammar except for \u escapes beyond the BMP (surrogate pairs are kept
+// verbatim as two escaped code units).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astral::core {
+
+/// A JSON document node. Value-semantic; copying copies the subtree.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  // std::map keeps object keys ordered, which makes serialized output
+  // deterministic — important for golden-file tests.
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  /// Creates an empty array / object (distinct from null).
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; calling the wrong one returns a zero value rather
+  /// than throwing, so lookups on heterogeneous documents stay terse.
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_number() const { return is_number() ? num_ : 0.0; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+  const Array& as_array() const {
+    static const Array empty;
+    return is_array() ? arr_ : empty;
+  }
+  const Object& as_object() const {
+    static const Object empty;
+    return is_object() ? obj_ : empty;
+  }
+
+  /// Mutable access; converts the node to the requested type if needed.
+  Array& make_array() {
+    if (!is_array()) *this = array();
+    return arr_;
+  }
+  Object& make_object() {
+    if (!is_object()) *this = object();
+    return obj_;
+  }
+
+  /// Object field lookup; returns a null Json when missing or not an object.
+  const Json& operator[](std::string_view key) const {
+    static const Json null_value;
+    if (!is_object()) return null_value;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? null_value : it->second;
+  }
+
+  /// Mutable object field (creates the key, converting to object).
+  Json& operator[](std::string_view key) { return make_object()[std::string(key)]; }
+
+  /// Array element; returns null Json when out of range.
+  const Json& at(std::size_t i) const {
+    static const Json null_value;
+    if (!is_array() || i >= arr_.size()) return null_value;
+    return arr_[i];
+  }
+
+  /// Appends to an array (converting to array if needed).
+  void push_back(Json v) { make_array().push_back(std::move(v)); }
+
+  std::size_t size() const {
+    if (is_array()) return arr_.size();
+    if (is_object()) return obj_.size();
+    return 0;
+  }
+
+  bool contains(std::string_view key) const {
+    return is_object() && obj_.find(key) != obj_.end();
+  }
+
+  /// Field with a fallback when absent / wrong type.
+  double number_or(std::string_view key, double fallback) const {
+    const Json& v = (*this)[key];
+    return v.is_number() ? v.as_number() : fallback;
+  }
+  std::string string_or(std::string_view key, std::string fallback) const {
+    const Json& v = (*this)[key];
+    return v.is_string() ? v.as_string() : fallback;
+  }
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a document. Returns nullopt (with *error set when provided)
+  /// on malformed input.
+  static std::optional<Json> parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace astral::core

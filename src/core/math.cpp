@@ -1,0 +1,137 @@
+#include "core/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astral::core {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> zscores(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  double m = mean(xs);
+  double sd = stddev(xs);
+  if (sd < 1e-12) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / sd;
+  return out;
+}
+
+double Polynomial::eval(double x) const {
+  double acc = 0.0;
+  // Horner evaluation from the highest coefficient.
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+bool solve_linear(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[static_cast<std::size_t>(r) * n + col]) >
+          std::abs(a[static_cast<std::size_t>(pivot) * n + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[static_cast<std::size_t>(pivot) * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a[static_cast<std::size_t>(pivot) * n + c],
+                  a[static_cast<std::size_t>(col) * n + c]);
+      }
+      std::swap(b[static_cast<std::size_t>(pivot)], b[static_cast<std::size_t>(col)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      double f = a[static_cast<std::size_t>(r) * n + col] /
+                 a[static_cast<std::size_t>(col) * n + col];
+      for (int c = col; c < n; ++c) {
+        a[static_cast<std::size_t>(r) * n + c] -= f * a[static_cast<std::size_t>(col) * n + c];
+      }
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  // Back substitution.
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) s -= a[static_cast<std::size_t>(r) * n + c] * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(r)] = s / a[static_cast<std::size_t>(r) * n + r];
+  }
+  return true;
+}
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys, int degree) {
+  const int n = degree + 1;
+  if (degree < 0 || xs.size() != ys.size() || xs.size() < static_cast<std::size_t>(n)) {
+    return {};
+  }
+  // Normal equations: (V^T V) c = V^T y where V is the Vandermonde matrix.
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  // Precompute power sums sum(x^k) for k in [0, 2*degree].
+  std::vector<double> pow_sums(static_cast<std::size_t>(2 * degree + 1), 0.0);
+  for (double x : xs) {
+    double p = 1.0;
+    for (auto& s : pow_sums) {
+      s += p;
+      p *= x;
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a[static_cast<std::size_t>(r) * n + c] = pow_sums[static_cast<std::size_t>(r + c)];
+    }
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double p = 1.0;
+    for (int r = 0; r < n; ++r) {
+      b[static_cast<std::size_t>(r)] += p * ys[i];
+      p *= xs[i];
+    }
+  }
+  if (!solve_linear(a, b, n)) return {};
+  return Polynomial{std::move(b)};
+}
+
+double poly_rmse(const Polynomial& p, std::span<const double> xs, std::span<const double> ys) {
+  if (xs.empty() || xs.size() != ys.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double e = p.eval(xs[i]) - ys[i];
+    s += e * e;
+  }
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double relative_deviation(double a, double b) {
+  double denom = std::max(std::abs(b), 1e-12);
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace astral::core

@@ -1,0 +1,53 @@
+// Small numerical toolbox: summary statistics, z-scores (used by the
+// cross-host outlier detector), and polynomial least-squares fitting
+// (used by Seer's self-correcting bandwidth calibration).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace astral::core {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Median (interpolated); 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Z-score of each sample against the span's own mean/stddev. When the
+/// spread is ~0 all scores are 0 (no outliers in a constant series).
+std::vector<double> zscores(std::span<const double> xs);
+
+/// A polynomial sum_i coeffs[i] * x^i.
+struct Polynomial {
+  std::vector<double> coeffs;
+
+  double eval(double x) const;
+  int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/// Least-squares fit of a degree-`degree` polynomial to (xs, ys). Returns
+/// an empty polynomial when the system is degenerate (e.g. fewer points
+/// than coefficients). Uses normal equations with partial pivoting, which
+/// is ample for the low-degree fits (<= 4) Seer performs.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys, int degree);
+
+/// Root mean square error between a polynomial and samples.
+double poly_rmse(const Polynomial& p, std::span<const double> xs, std::span<const double> ys);
+
+/// Relative deviation |a-b| / max(|b|, eps); the metric Seer reports when
+/// comparing a forecast against a testbed measurement.
+double relative_deviation(double a, double b);
+
+/// Solves the dense linear system A x = b in-place (Gaussian elimination
+/// with partial pivoting). A is row-major n x n. Returns false when the
+/// matrix is singular to working precision.
+bool solve_linear(std::vector<double>& a, std::vector<double>& b, int n);
+
+}  // namespace astral::core

@@ -1,0 +1,76 @@
+// Deterministic random number generation. Every stochastic component in
+// Astral takes an explicit Rng (or seed) so simulations are reproducible
+// run-to-run; nothing reads global entropy.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace astral::core {
+
+/// Small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
+/// Not cryptographic; intended for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 expansion of the seed.
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace astral::core

@@ -1,0 +1,66 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace astral::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      line += ' ';
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t i = 0; i < ncols; ++i) {
+    sep.append(widths[i] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& r : rows_) out += render_row(r);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+void print_banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+}  // namespace astral::core

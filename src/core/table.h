@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harness: every bench binary
+// prints the paper's table/figure series as aligned rows so the output is
+// directly comparable with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace astral::core {
+
+/// Column-aligned ASCII table. Build row by row, then str() / print().
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; missing trailing cells render empty, extra cells widen
+  /// the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows; doubles are formatted with
+  /// `precision` significant decimals.
+  static std::string num(double v, int precision = 3);
+
+  /// Percent formatting, e.g. 0.1634 -> "16.34%".
+  static std::string pct(double fraction, int precision = 2);
+
+  std::string str() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries to separate sub-tables.
+void print_banner(const std::string& title);
+
+}  // namespace astral::core

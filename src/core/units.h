@@ -1,0 +1,48 @@
+// Units used throughout Astral: sizes in bytes, time in seconds,
+// bandwidth in bits per second. Plain doubles/integers with conversion
+// helpers keep the arithmetic in simulators readable while the helper
+// names document intent at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace astral::core {
+
+/// Size in bytes.
+using Bytes = std::uint64_t;
+
+/// Simulated time in seconds.
+using Seconds = double;
+
+/// Bandwidth in bits per second.
+using Bps = double;
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Converts gigabits per second to bits per second.
+constexpr Bps gbps(double v) { return v * 1e9; }
+
+/// Converts bits per second to gigabits per second (for reporting).
+constexpr double to_gbps(Bps v) { return v / 1e9; }
+
+/// Converts gigabytes per second (e.g. NVLink, HBM) to bits per second.
+constexpr Bps gBps(double v) { return v * 8e9; }
+
+/// Time in microseconds expressed as Seconds.
+constexpr Seconds usec(double v) { return v * 1e-6; }
+
+/// Time in milliseconds expressed as Seconds.
+constexpr Seconds msec(double v) { return v * 1e-3; }
+
+/// Transfer time of `size` bytes over `bw` bits/sec (no propagation delay).
+constexpr Seconds transfer_time(Bytes size, Bps bw) {
+  return bw > 0 ? static_cast<double>(size) * 8.0 / bw : 0.0;
+}
+
+/// TFLOPS expressed as floating point operations per second.
+constexpr double tflops(double v) { return v * 1e12; }
+
+}  // namespace astral::core

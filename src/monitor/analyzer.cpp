@@ -1,0 +1,431 @@
+#include "monitor/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/math.h"
+
+namespace astral::monitor {
+
+HierarchicalAnalyzer::HierarchicalAnalyzer(const TelemetryStore& store,
+                                           const topo::Topology& topo,
+                                           core::Seconds expected_compute,
+                                           core::Seconds expected_comm, AnalyzerConfig cfg,
+                                           DetectorRegistry detectors)
+    : store_(store),
+      topo_(topo),
+      expected_compute_(expected_compute),
+      expected_comm_(expected_comm),
+      cfg_(cfg),
+      detectors_(std::move(detectors)) {}
+
+std::optional<RootCause> HierarchicalAnalyzer::cause_from_syslog(
+    const SyslogEvent& ev) const {
+  return detectors_.match(ev);
+}
+
+Manifestation HierarchicalAnalyzer::classify_manifestation(int last_iter,
+                                                           Diagnosis& d) const {
+  auto events = store_.iteration_events(last_iter);
+  bool stalled = false;
+  for (const auto& ev : events) stalled |= ev.comm_time < 0;
+
+  if (stalled) {
+    if (last_iter == 0) {
+      for (const auto& ev : store_.syslog()) {
+        if (ev.message.find("init") != std::string::npos) {
+          d.evidence.push_back("app: job aborted during initialization");
+          return Manifestation::FailOnStart;
+        }
+      }
+    }
+    if (!store_.err_cqes().empty()) {
+      d.evidence.push_back("app: abrupt termination with transport errors");
+      return Manifestation::FailStop;
+    }
+    for (const auto& ev : store_.syslog()) {
+      if (ev.severity == "fatal") {
+        d.evidence.push_back("app: abrupt termination with fatal device log");
+        return Manifestation::FailStop;
+      }
+    }
+    d.evidence.push_back("app: progress stagnated without termination or error logs");
+    return Manifestation::FailHang;
+  }
+
+  // Completed: compare against the Seer-forecast thresholds.
+  for (int iter = 0; iter <= last_iter; ++iter) {
+    for (const auto& ev : store_.iteration_events(iter)) {
+      if (ev.comm_time > cfg_.comm_slow_factor * expected_comm_ ||
+          ev.compute_time > cfg_.compute_slow_factor * expected_compute_) {
+        d.evidence.push_back("app: iteration time exceeds Seer forecast threshold");
+        return Manifestation::FailSlow;
+      }
+    }
+  }
+  return Manifestation::FailSlow;  // caller guards: only reached when anomaly
+}
+
+void HierarchicalAnalyzer::branch_computation(int last_iter, Diagnosis& d) const {
+  d.locate_time += cfg_.step_cross_host;
+  auto events = store_.iteration_events(last_iter);
+
+  // Horizontal comparison: compute-time outliers and ranks that never
+  // issued their work request.
+  std::vector<double> compute_times;
+  for (const auto& ev : events) compute_times.push_back(ev.compute_time);
+  auto z = core::zscores(compute_times);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    bool slow_outlier = z[i] > cfg_.compute_zscore &&
+                        events[i].compute_time > 1.25 * expected_compute_;
+    if (slow_outlier || events[i].wr_started == 0) {
+      d.culprit_hosts.push_back(events[i].host_rank);
+    }
+  }
+  // Slow-host check across all iterations (fail-slow compute).
+  if (d.culprit_hosts.empty()) {
+    std::map<int, std::vector<double>> per_host;
+    for (const auto& ev : store_.nccl_timeline()) {
+      per_host[ev.host_rank].push_back(ev.compute_time);
+    }
+    std::vector<double> means;
+    std::vector<int> ranks;
+    for (auto& [rank, xs] : per_host) {
+      ranks.push_back(rank);
+      means.push_back(core::mean(xs));
+    }
+    auto mz = core::zscores(means);
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (mz[i] > cfg_.compute_zscore && means[i] > 1.25 * expected_compute_) {
+        d.culprit_hosts.push_back(ranks[i]);
+      }
+    }
+  }
+
+  d.locate_time += cfg_.step_physical;
+  if (d.culprit_hosts.size() == 1) {
+    int host = d.culprit_hosts.front();
+    d.evidence.push_back("cross-host: rank " + std::to_string(host) + " is the outlier");
+    for (const auto& log : store_.host_syslog(host)) {
+      if (auto cause = cause_from_syslog(log)) {
+        d.root_cause = *cause;
+        d.root_cause_found = true;
+        d.evidence.push_back("physical: matched log '" + log.message + "'");
+        if (*cause == RootCause::UserCode) d.needs_manual = true;
+        return;
+      }
+    }
+    // Outlier identified but no physical log: suspected software stack.
+    d.root_cause = RootCause::CclBug;
+    d.root_cause_found = false;
+    d.needs_manual = true;
+    d.evidence.push_back("physical: no device log on outlier; suspected software, alarm");
+    return;
+  }
+  if (d.culprit_hosts.size() > 1) {
+    // Multiple devices: empirically software or user code (§3.3).
+    for (const auto& log : store_.syslog()) {
+      if (auto cause = cause_from_syslog(log); cause == RootCause::UserCode) {
+        d.root_cause = RootCause::UserCode;
+        d.root_cause_found = true;
+        d.needs_manual = true;
+        d.evidence.push_back("physical: user-code exception on multiple ranks, alarm");
+        return;
+      }
+    }
+    d.root_cause = RootCause::CclBug;
+    d.root_cause_found = false;
+    d.needs_manual = true;
+    d.evidence.push_back("physical: multi-host anomaly without device logs, alarm");
+  }
+}
+
+void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d) const {
+  d.locate_time += cfg_.step_physical;
+  d.culprit_links.push_back(culprit);
+  const auto& link = topo_.link(culprit);
+
+  // Switch internal metrics: PFC pauses / MOD drops around the culprit.
+  std::uint64_t pfc = 0;
+  for (topo::LinkId up : topo_.in_links(link.src)) pfc += store_.total_pfc(up);
+  std::uint64_t drops = 0;
+  for (const auto& s : store_.link_counters()) {
+    if (s.link == culprit) drops += s.mod_drops;
+  }
+
+  // Syslog at either end of the link.
+  for (topo::NodeId node : {link.src, link.dst}) {
+    for (const auto& log : store_.node_syslog(node)) {
+      if (auto cause = cause_from_syslog(log)) {
+        d.root_cause = *cause;
+        d.root_cause_found = true;
+        d.evidence.push_back("physical: switch/host log '" + log.message + "'");
+        if (*cause == RootCause::PcieDegrade) {
+          // The culprit is the host behind the degraded downlink.
+          if (log.host_rank >= 0) d.culprit_hosts.push_back(log.host_rank);
+        }
+        return;
+      }
+    }
+  }
+
+  if (drops > 0) {
+    d.root_cause = RootCause::SwitchBug;
+    d.root_cause_found = true;
+    d.evidence.push_back("physical: MOD reports drops with no error log -> switch bug");
+    return;
+  }
+  // A switch-to-switch link persistently congested/queueing with clean
+  // configuration logs is a silent switch malfunction. Host-adjacent
+  // links stay unresolved here: the cause lives inside the host and
+  // needs a deeper physical layer (the PCIe lesson of Section 5).
+  bool touches_host = topo_.node(link.src).kind == topo::NodeKind::Host ||
+                      topo_.node(link.dst).kind == topo::NodeKind::Host;
+  if (!touches_host && store_.total_ecn(culprit) > 0) {
+    d.root_cause = RootCause::SwitchBug;
+    d.root_cause_found = true;
+    d.evidence.push_back(
+        "physical: persistent queueing, clean config/optics logs -> suspected switch bug");
+    return;
+  }
+  if (pfc >= cfg_.pfc_storm_threshold) {
+    // PFC storm with no further physical evidence: congestion located,
+    // but the root cause behind it is invisible (the §5 PCIe incident
+    // before PCIe monitoring existed).
+    d.evidence.push_back("physical: PFC storm at switch; no deeper counters available");
+    d.root_cause_found = false;
+    d.needs_manual = true;
+    return;
+  }
+  d.root_cause_found = false;
+  d.needs_manual = true;
+  d.evidence.push_back("physical: no counters or logs implicate a device, alarm");
+}
+
+void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) const {
+  d.locate_time += cfg_.step_transport;
+
+  // errCQE-led path overlap (network device failures hit many flows).
+  if (!store_.err_cqes().empty()) {
+    std::map<topo::LinkId, int> overlap;
+    int paths = 0;
+    for (const auto& err : store_.err_cqes()) {
+      auto path = store_.path_of(err.qp);
+      if (path.empty()) continue;
+      ++paths;
+      for (topo::LinkId l : path) ++overlap[l];
+    }
+    d.evidence.push_back("transport: " + std::to_string(store_.err_cqes().size()) +
+                         " errCQE events; overlapping " + std::to_string(paths) +
+                         " sFlow paths");
+    d.locate_time += cfg_.step_network;
+    int best_count = 0;
+    for (const auto& [l, n] : overlap) best_count = std::max(best_count, n);
+    std::vector<topo::LinkId> candidates;
+    for (const auto& [l, n] : overlap) {
+      if (n == best_count) candidates.push_back(l);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    if (candidates.size() == 1 && best_count >= std::max(1, paths / 2)) {
+      d.evidence.push_back("network: paths overlap at link " +
+                           std::to_string(candidates.front()));
+      physical_drilldown(candidates.front(), d);
+      return;
+    }
+    if (!candidates.empty()) {
+      // A single affected path cannot be disambiguated by overlap alone;
+      // refine with INT per-hop latency, then MOD drop counters.
+      topo::LinkId refined = topo::kInvalidLink;
+      double worst = cfg_.hop_latency_threshold;
+      for (const auto& probe : store_.int_probes()) {
+        for (std::size_t h = 0; h < probe.path.size(); ++h) {
+          bool candidate = std::binary_search(candidates.begin(), candidates.end(),
+                                              probe.path[h]);
+          if (candidate && probe.hop_latency[h] > worst) {
+            worst = probe.hop_latency[h];
+            refined = probe.path[h];
+          }
+        }
+      }
+      if (refined == topo::kInvalidLink) {
+        for (const auto& s : store_.link_counters()) {
+          if (s.mod_drops > 0 &&
+              std::binary_search(candidates.begin(), candidates.end(), s.link)) {
+            refined = s.link;
+            break;
+          }
+        }
+      }
+      if (refined != topo::kInvalidLink) {
+        d.evidence.push_back("network: INT/MOD refine the error paths to link " +
+                             std::to_string(refined));
+        physical_drilldown(refined, d);
+        return;
+      }
+    }
+  }
+
+  // QP-rate-led INT drilldown.
+  auto events = store_.iteration_events(last_iter);
+  std::vector<QpId> slow_qps;
+  for (const auto& ev : events) {
+    QpId qp = static_cast<QpId>(ev.host_rank);
+    double rate = store_.mean_qp_rate(qp, ev.t, ev.t + 1e9);
+    bool never_finished = ev.comm_time < 0;
+    if ((rate > 0 && rate < cfg_.qp_rate_fraction * cfg_.link_bw) ||
+        (never_finished && ev.wr_started > 0)) {
+      slow_qps.push_back(qp);
+    }
+  }
+  if (slow_qps.empty()) {
+    // Look across all iterations for transient slowness (e.g. a flap).
+    for (const auto& ev : store_.nccl_timeline()) {
+      if (ev.comm_time > cfg_.comm_slow_factor * expected_comm_) {
+        slow_qps.push_back(static_cast<QpId>(ev.host_rank));
+      }
+    }
+    std::sort(slow_qps.begin(), slow_qps.end());
+    slow_qps.erase(std::unique(slow_qps.begin(), slow_qps.end()), slow_qps.end());
+  }
+  if (slow_qps.empty()) {
+    d.needs_manual = true;
+    d.evidence.push_back("transport: no abnormal QP found, alarm");
+    return;
+  }
+  d.evidence.push_back("transport: " + std::to_string(slow_qps.size()) +
+                       " QPs below 50% of link bandwidth");
+
+  d.locate_time += cfg_.step_network;
+  // INT per-hop latency over the slow QPs' paths.
+  topo::LinkId worst_link = topo::kInvalidLink;
+  double worst_latency = 0.0;
+  std::map<topo::LinkId, int> on_slow_paths;
+  for (QpId qp : slow_qps) {
+    for (topo::LinkId l : store_.path_of(qp)) ++on_slow_paths[l];
+  }
+  for (const auto& probe : store_.int_probes()) {
+    for (std::size_t h = 0; h < probe.path.size(); ++h) {
+      if (!on_slow_paths.contains(probe.path[h])) continue;
+      if (probe.hop_latency[h] > worst_latency) {
+        worst_latency = probe.hop_latency[h];
+        worst_link = probe.path[h];
+      }
+    }
+  }
+  if (worst_link != topo::kInvalidLink && worst_latency > cfg_.hop_latency_threshold) {
+    d.evidence.push_back("network: INT hop latency " +
+                         std::to_string(worst_latency * 1e6) + "us at link " +
+                         std::to_string(worst_link));
+    physical_drilldown(worst_link, d);
+    return;
+  }
+  // No latency spike: a blackhole drops silently; find the slow-path
+  // link with MOD drops, else overlap the slow paths.
+  for (const auto& s : store_.link_counters()) {
+    if (s.mod_drops > 0 && on_slow_paths.contains(s.link)) {
+      d.evidence.push_back("network: MOD drops on slow path at link " +
+                           std::to_string(s.link));
+      physical_drilldown(s.link, d);
+      return;
+    }
+  }
+  topo::LinkId best = topo::kInvalidLink;
+  int best_count = 0;
+  for (const auto& [l, n] : on_slow_paths) {
+    if (n > best_count) {
+      best = l;
+      best_count = n;
+    }
+  }
+  if (best != topo::kInvalidLink && best_count > 1) {
+    d.evidence.push_back("network: slow paths overlap at link " + std::to_string(best));
+    physical_drilldown(best, d);
+    return;
+  }
+  d.needs_manual = true;
+  d.evidence.push_back("network: no culprit hop identified, alarm");
+}
+
+Diagnosis HierarchicalAnalyzer::diagnose() const {
+  Diagnosis d;
+  d.locate_time += cfg_.step_application;
+  int last_iter = store_.last_iteration();
+  if (last_iter < 0) return d;
+
+  auto events = store_.iteration_events(last_iter);
+  bool stalled = false;
+  bool slow = false;
+  for (const auto& ev : events) stalled |= ev.comm_time < 0;
+  for (int iter = 0; iter <= last_iter && !slow; ++iter) {
+    for (const auto& ev : store_.iteration_events(iter)) {
+      slow |= ev.comm_time > cfg_.comm_slow_factor * expected_comm_;
+      slow |= ev.compute_time > cfg_.compute_slow_factor * expected_compute_;
+    }
+  }
+  if (!stalled && !slow) return d;  // healthy
+
+  d.anomaly_detected = true;
+  d.manifestation = classify_manifestation(last_iter, d);
+
+  // Branch choice: computation anomaly when a rank lags in compute or
+  // never posted its work request (and transport shows no errors);
+  // otherwise communication anomaly.
+  bool compute_anomaly = false;
+  std::vector<double> compute_times;
+  for (const auto& ev : events) compute_times.push_back(ev.compute_time);
+  auto z = core::zscores(compute_times);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Z-scores are scale-free, so require the outlier to also be
+    // materially slower than the Seer forecast — a 1% jitter blip must
+    // not hijack the branch decision.
+    compute_anomaly |= z[i] > cfg_.compute_zscore &&
+                       events[i].compute_time > 1.25 * expected_compute_;
+    compute_anomaly |= events[i].wr_started == 0;
+    compute_anomaly |= events[i].compute_time > cfg_.compute_slow_factor * expected_compute_;
+  }
+  // Fatal host logs pull toward Branch #1 even when comm also stalled
+  // (the crash takes the collective down with it).
+  bool fatal_host_log = false;
+  for (const auto& log : store_.syslog()) {
+    fatal_host_log |= log.severity == "fatal" && log.host_rank >= 0;
+  }
+  bool user_code_log = false;
+  for (const auto& log : store_.syslog()) {
+    user_code_log |= log.message.find("user forward") != std::string::npos;
+  }
+
+  if ((compute_anomaly || fatal_host_log || user_code_log) && store_.err_cqes().empty()) {
+    // Fail-stop with a fatal log: the culprit is the crashed rank.
+    if (fatal_host_log && d.culprit_hosts.empty()) {
+      for (const auto& log : store_.syslog()) {
+        if (log.severity == "fatal" && log.host_rank >= 0) {
+          d.culprit_hosts.push_back(log.host_rank);
+        }
+      }
+      d.locate_time += cfg_.step_cross_host + cfg_.step_physical;
+      for (const auto& log : store_.host_syslog(d.culprit_hosts.front())) {
+        if (auto cause = cause_from_syslog(log)) {
+          d.root_cause = *cause;
+          d.root_cause_found = true;
+          d.evidence.push_back("physical: fatal log '" + log.message + "'");
+          return d;
+        }
+      }
+    }
+    if (user_code_log) {
+      d.locate_time += cfg_.step_cross_host;
+      d.root_cause = RootCause::UserCode;
+      d.root_cause_found = true;
+      d.needs_manual = true;
+      d.evidence.push_back("cross-host: user-code exception on multiple ranks, alarm");
+      return d;
+    }
+    branch_computation(last_iter, d);
+    return d;
+  }
+
+  branch_communication(last_iter, d);
+  return d;
+}
+
+}  // namespace astral::monitor

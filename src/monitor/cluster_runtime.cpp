@@ -1,0 +1,407 @@
+#include "monitor/cluster_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace astral::monitor {
+
+using core::Seconds;
+
+ClusterRuntime::ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed)
+    : fabric_(fabric), cfg_(cfg), rng_(seed) {
+  sim_ = std::make_unique<net::FluidSim>(fabric_, net::FluidSimConfig{}, seed);
+  assert(cfg_.hosts >= 2);
+  assert(static_cast<std::size_t>(cfg_.hosts) <= fabric_.topo().hosts().size());
+  for (int i = 0; i < cfg_.hosts; ++i) {
+    hosts_.push_back(fabric_.topo().hosts()[static_cast<std::size_t>(i)]);
+  }
+  host_configs_.assign(static_cast<std::size_t>(cfg_.hosts), HostConfig{});
+  host_slow_.assign(static_cast<std::size_t>(cfg_.hosts), 1.0);
+
+  // Register the job's ring QPs (host i -> host i+1 on rail 0) with their
+  // transport 5-tuples — the cross-layer key chain of §3.2.
+  for (int i = 0; i < cfg_.hosts; ++i) {
+    int j = (i + 1) % cfg_.hosts;
+    net::FlowSpec spec;
+    spec.src_host = hosts_[static_cast<std::size_t>(i)];
+    spec.dst_host = hosts_[static_cast<std::size_t>(j)];
+    spec.src_rail = 0;
+    spec.dst_rail = 0;
+    spec.tag = static_cast<std::uint64_t>(i);
+    QpMeta meta;
+    meta.qp = static_cast<QpId>(i);
+    meta.src_host_rank = i;
+    meta.dst_host_rank = j;
+    meta.src_host = spec.src_host;
+    meta.dst_host = spec.dst_host;
+    meta.tuple.src_ip = spec.src_host;
+    meta.tuple.dst_ip = spec.dst_host;
+    store_.register_qp(meta);
+  }
+}
+
+Seconds ClusterRuntime::expected_comm() const {
+  // One ring flow per NIC port at line rate.
+  return core::transfer_time(cfg_.comm_bytes, core::gbps(200.0));
+}
+
+void ClusterRuntime::inject(const FaultSpec& fault) { fault_ = fault; }
+
+topo::LinkId ClusterRuntime::pick_job_path_link(int hops_from_src) const {
+  // A link actually on a job QP's path, so the fault is visible. Prefer a
+  // cross-block ring edge: its 4-hop path exposes the Agg tier (the
+  // Fig. 9 case congests an Agg->ToR downlink).
+  int src_rank = 0;
+  const auto& topo = fabric_.topo();
+  for (int i = 0; i + 1 < cfg_.hosts; ++i) {
+    if (topo.node(hosts_[static_cast<std::size_t>(i)]).block !=
+        topo.node(hosts_[static_cast<std::size_t>(i + 1)]).block) {
+      src_rank = i;
+      break;
+    }
+  }
+  net::FlowSpec spec;
+  spec.src_host = hosts_[static_cast<std::size_t>(src_rank)];
+  spec.dst_host = hosts_[static_cast<std::size_t>(src_rank + 1)];
+  spec.src_rail = 0;
+  spec.dst_rail = 0;
+  spec.tag = static_cast<std::uint64_t>(src_rank);
+  auto path = sim_->predict_path(spec);
+  if (!path || path->empty()) return topo::kInvalidLink;
+  std::size_t idx = std::min<std::size_t>(static_cast<std::size_t>(hops_from_src),
+                                          path->size() - 1);
+  return (*path)[idx];
+}
+
+FaultSpec ClusterRuntime::make_fault(RootCause cause, Manifestation m, int at_iteration) {
+  FaultSpec f;
+  f.cause = cause;
+  f.manifestation = m;
+  f.at_iteration = at_iteration;
+  if (is_host_side(cause)) {
+    f.target_host_rank = static_cast<int>(rng_.uniform_int(
+        static_cast<std::uint64_t>(cfg_.hosts)));
+    if (cause == RootCause::PcieDegrade) {
+      // The PCIe bottleneck surfaces at the receiving NIC: the culprit is
+      // the ToR -> host downlink of the affected host.
+      net::FlowSpec spec;
+      int prev = (f.target_host_rank + cfg_.hosts - 1) % cfg_.hosts;
+      spec.src_host = hosts_[static_cast<std::size_t>(prev)];
+      spec.dst_host = hosts_[static_cast<std::size_t>(f.target_host_rank)];
+      spec.src_rail = 0;
+      spec.dst_rail = 0;
+      spec.tag = static_cast<std::uint64_t>(prev);
+      if (auto path = sim_->predict_path(spec); path && !path->empty()) {
+        f.target_link = path->back();
+      }
+    }
+  } else {
+    // Network-side: the NIC uplink (hop 0) for NIC errors, otherwise the
+    // Agg->ToR downlink (hop 2 of a 4-hop same-rail path) — the hop the
+    // paper's Fig. 9 case study congests.
+    int hop = cause == RootCause::NicError ? 0 : 2;
+    f.target_link = pick_job_path_link(hop);
+  }
+  switch (m) {
+    case Manifestation::FailSlow: f.degrade_factor = 0.2; break;
+    case Manifestation::FailHang: f.degrade_factor = 0.0; break;
+    default: break;
+  }
+  return f;
+}
+
+void ClusterRuntime::emit_injection_syslog(Seconds t) {
+  const FaultSpec& f = *fault_;
+  auto host_node = [&](int rank) { return hosts_[static_cast<std::size_t>(rank)]; };
+  auto switch_of_link = [&](topo::LinkId l) { return fabric_.topo().link(l).src; };
+  switch (f.cause) {
+    case RootCause::HostEnvConfig:
+      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+                                "fatal", "nccl init failed: peer env/config mismatch"});
+      host_configs_[static_cast<std::size_t>(f.target_host_rank)].nccl_version = "2.19.3";
+      break;
+    case RootCause::GpuHardware:
+      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+                                "fatal", "NVRM: Xid 79: GPU has fallen off the bus"});
+      break;
+    case RootCause::Memory:
+      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+                                "fatal", "EDAC MC0: UCE ECC error on DIMM"});
+      break;
+    case RootCause::UserCode:
+      // A python exception surfaces on every rank — no hardware log.
+      for (int i = 0; i < cfg_.hosts; ++i) {
+        store_.record(SyslogEvent{t, host_node(i), i, "error",
+                                  "trainer: RuntimeError in user forward()"});
+      }
+      break;
+    case RootCause::CclBug:
+      // Silent: the collective just never completes.
+      break;
+    case RootCause::PcieDegrade:
+      if (cfg_.pcie_monitoring) {
+        store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+                                  "warn", "PCIe: link width degraded to x4"});
+      }
+      break;
+    case RootCause::NicError:
+      if (f.target_link != topo::kInvalidLink) {
+        const auto& link = fabric_.topo().link(f.target_link);
+        int rank = 0;
+        for (int i = 0; i < cfg_.hosts; ++i) {
+          if (hosts_[static_cast<std::size_t>(i)] == link.src) rank = i;
+        }
+        store_.record(SyslogEvent{t, link.src, rank, "error",
+                                  "mlx5: CQE error syndrome 0x04 (retry exceeded)"});
+      }
+      break;
+    case RootCause::SwitchConfig:
+      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+                                "qos: ecn threshold misconfigured on egress queue"});
+      break;
+    case RootCause::SwitchBug:
+      // Silent blackhole; only MOD drop counters betray it.
+      break;
+    case RootCause::OpticalFiber:
+      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+                                "transceiver: rx optical power below threshold"});
+      break;
+    case RootCause::WireConnection:
+      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+                                "lldp: neighbor mismatch with cabling plan"});
+      break;
+    case RootCause::LinkFlap:
+      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+                                "port: link down"});
+      store_.record(SyslogEvent{t + 0.5, switch_of_link(f.target_link), -1, "warn",
+                                "port: link up"});
+      break;
+  }
+}
+
+void ClusterRuntime::apply_network_fault() {
+  const FaultSpec& f = *fault_;
+  if (f.target_link == topo::kInvalidLink) return;
+  double factor = 1.0;
+  switch (f.manifestation) {
+    case Manifestation::FailSlow: factor = f.degrade_factor; break;
+    case Manifestation::FailHang: factor = 0.0; break;
+    case Manifestation::FailStop: factor = 0.0; break;  // + errCQE below
+    case Manifestation::FailOnStart: factor = 0.0; break;
+  }
+  sim_->degrade_link(f.target_link, factor);
+}
+
+RunOutcome ClusterRuntime::run() {
+  RunOutcome out;
+  const Seconds hang_deadline = expected_comm() * cfg_.hang_timeout_factor;
+  Seconds now = 0.0;
+
+  // Host-side compute effects that persist across iterations.
+  if (fault_ && is_host_side(fault_->cause) &&
+      fault_->manifestation == Manifestation::FailSlow &&
+      fault_->cause != RootCause::PcieDegrade) {
+    host_slow_[static_cast<std::size_t>(fault_->target_host_rank)] = 3.0;
+  }
+
+  for (int iter = 0; iter < cfg_.iterations; ++iter) {
+    const bool fault_active = fault_ && iter >= fault_->at_iteration;
+    const bool fault_starts = fault_ && iter == fault_->at_iteration;
+
+    if (fault_starts) {
+      emit_injection_syslog(now);
+      if (!is_host_side(fault_->cause) || fault_->cause == RootCause::PcieDegrade) {
+        apply_network_fault();
+      }
+    }
+
+    // Fail-on-start / host-side fail-stop: job aborts before or during
+    // this iteration's compute.
+    if (fault_active && (fault_->manifestation == Manifestation::FailOnStart ||
+                         (fault_->manifestation == Manifestation::FailStop &&
+                          is_host_side(fault_->cause)))) {
+      for (int i = 0; i < cfg_.hosts; ++i) {
+        NcclTimelineEvent ev;
+        ev.t = now;
+        ev.host_rank = i;
+        ev.iteration = iter;
+        ev.compute_time = i == fault_->target_host_rank ? 0.0 : cfg_.compute_time;
+        ev.comm_time = -1.0;
+        ev.wr_started = 1;
+        ev.wr_finished = 0;
+        store_.record(ev);
+      }
+      out.stopped_at_iteration = iter;
+      out.observed = fault_->manifestation;
+      return out;
+    }
+
+    // Host-side fail-hang (driver/CCL bug, hung user code): the target
+    // host never posts its work request; every rank blocks in the
+    // collective. wr_started distinguishes the culprit (§3.2).
+    if (fault_active && is_host_side(fault_->cause) &&
+        fault_->manifestation == Manifestation::FailHang) {
+      for (int i = 0; i < cfg_.hosts; ++i) {
+        NcclTimelineEvent ev;
+        ev.t = now;
+        ev.host_rank = i;
+        ev.iteration = iter;
+        ev.compute_time = cfg_.compute_time;
+        ev.comm_time = -1.0;
+        ev.wr_started = i == fault_->target_host_rank ? 0 : 1;
+        ev.wr_finished = 0;
+        store_.record(ev);
+      }
+      out.stopped_at_iteration = iter;
+      out.observed = Manifestation::FailHang;
+      return out;
+    }
+
+    // ---- Compute phase.
+    std::vector<Seconds> compute(static_cast<std::size_t>(cfg_.hosts));
+    Seconds max_compute = 0.0;
+    for (int i = 0; i < cfg_.hosts; ++i) {
+      double noise = 1.0 + std::abs(rng_.normal(0.0, 0.01));
+      compute[static_cast<std::size_t>(i)] =
+          cfg_.compute_time * noise * host_slow_[static_cast<std::size_t>(i)];
+      max_compute = std::max(max_compute, compute[static_cast<std::size_t>(i)]);
+    }
+
+    // ---- Communication phase: ring flows on rail 0.
+    Seconds comm_start = now + max_compute;
+    sim_->run(comm_start);  // advance the network clock
+    sim_->reset_stats();
+    std::vector<net::FlowId> flows;
+    for (int i = 0; i < cfg_.hosts; ++i) {
+      net::FlowSpec spec;
+      spec.src_host = hosts_[static_cast<std::size_t>(i)];
+      spec.dst_host = hosts_[static_cast<std::size_t>((i + 1) % cfg_.hosts)];
+      spec.src_rail = 0;
+      spec.dst_rail = 0;
+      spec.size = cfg_.comm_bytes;
+      spec.start = comm_start;
+      spec.tag = static_cast<std::uint64_t>(i);
+      flows.push_back(sim_->inject(spec));
+    }
+    // sFlow path reconstruction + tuple registration (first iteration).
+    for (int i = 0; i < cfg_.hosts; ++i) {
+      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+      if (!st.admitted) continue;
+      SflowPathRecord rec;
+      rec.qp = static_cast<QpId>(i);
+      rec.tuple = st.tuple;
+      rec.path = st.path;
+      store_.record(rec);
+      if (iter == 0) {
+        auto meta = *store_.qp_meta(static_cast<QpId>(i));
+        meta.tuple = st.tuple;
+        store_.register_qp(meta);
+      }
+    }
+
+    // Step the simulation, sampling QP rates (ms-level monitoring) and
+    // one INT pingmesh sweep mid-transfer.
+    bool int_swept = false;
+    Seconds deadline = comm_start + hang_deadline;
+    while (!sim_->idle() && sim_->now() < deadline) {
+      sim_->run(std::min(deadline, sim_->now() + cfg_.qp_sample_interval));
+      for (int i = 0; i < cfg_.hosts; ++i) {
+        store_.record(QpRateSample{sim_->now(), static_cast<QpId>(i),
+                                   sim_->current_rate(flows[static_cast<std::size_t>(i)])});
+      }
+      if (!int_swept) {
+        int_swept = true;
+        for (int i = 0; i < cfg_.hosts; ++i) {
+          const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+          if (!st.admitted) continue;
+          IntProbeResult probe;
+          probe.t = sim_->now();
+          probe.path = st.path;
+          for (topo::LinkId l : st.path) probe.hop_latency.push_back(sim_->hop_latency(l));
+          store_.record(probe);
+        }
+      }
+    }
+
+    // Per-iteration switch counter collection (SNMP + MOD).
+    for (std::size_t l = 0; l < fabric_.topo().link_count(); ++l) {
+      const auto& ls = sim_->link_stats(static_cast<topo::LinkId>(l));
+      std::uint64_t drops = 0;
+      if (fault_active && fault_->target_link == static_cast<topo::LinkId>(l)) {
+        for (net::FlowId fid : flows) {
+          const auto& st = sim_->flow(fid);
+          if (st.finish < 0) drops += static_cast<std::uint64_t>(st.remaining);
+        }
+      }
+      if (ls.ecn_marks || ls.pfc_pauses || drops) {
+        store_.record(LinkCounterSample{sim_->now(), static_cast<topo::LinkId>(l),
+                                        ls.ecn_marks, ls.pfc_pauses, drops, 0.0});
+      }
+    }
+
+    // Application-layer iteration record.
+    bool hung = false;
+    for (int i = 0; i < cfg_.hosts; ++i) {
+      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+      NcclTimelineEvent ev;
+      ev.t = now;
+      ev.host_rank = i;
+      ev.iteration = iter;
+      ev.compute_time = compute[static_cast<std::size_t>(i)];
+      ev.wr_started = 1;
+      if (st.admitted && st.finish >= 0) {
+        ev.comm_time = st.finish - comm_start;
+        ev.wr_finished = 1;
+      } else {
+        ev.comm_time = -1.0;
+        ev.wr_finished = 0;
+        hung = true;
+      }
+      store_.record(ev);
+    }
+
+    // A hard network fault (dead port, misconfigured switch dropping the
+    // queue, severed fiber...) exhausts transport retries: errCQE events
+    // surface on every QP crossing it and the job aborts (fail-stop).
+    // Silent blackholes (switch bugs) drop traffic without errors and
+    // manifest as fail-hang instead.
+    if (fault_active && !is_host_side(fault_->cause) &&
+        fault_->manifestation == Manifestation::FailStop && hung) {
+      for (int i = 0; i < cfg_.hosts; ++i) {
+        const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+        if (st.finish < 0) {
+          store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
+                                    "local protection error / retry exceeded"});
+        }
+      }
+      out.stopped_at_iteration = iter;
+      out.observed = Manifestation::FailStop;
+      return out;
+    }
+
+    if (hung) {
+      out.stopped_at_iteration = iter;
+      out.observed = Manifestation::FailHang;
+      return out;
+    }
+
+    now = sim_->now();
+    sim_->recycle_finished();
+
+    // Transient link flap heals after one iteration.
+    if (fault_active && fault_->cause == RootCause::LinkFlap &&
+        iter == fault_->at_iteration) {
+      sim_->degrade_link(fault_->target_link, 1.0);
+    }
+  }
+
+  out.completed = true;
+  // A run that completed but ran slow is a fail-slow manifestation.
+  if (fault_ && (fault_->manifestation == Manifestation::FailSlow ||
+                 fault_->cause == RootCause::LinkFlap)) {
+    out.observed = Manifestation::FailSlow;
+  }
+  return out;
+}
+
+}  // namespace astral::monitor

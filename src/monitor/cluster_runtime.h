@@ -1,0 +1,92 @@
+// Simulated production training job over a fabric, generating the
+// telemetry of all four monitoring layers while faults are injected.
+// This is the substitution for 18 months of production incidents (see
+// DESIGN.md): each root cause perturbs the run the way its real
+// counterpart does — degraded optics slow a link, a switch bug
+// blackholes silently, a broken PCIe lane turns the receiver into a PFC
+// storm source, a bad driver hangs collectives — and the corresponding
+// layer emits (or pointedly fails to emit) its diagnostic records.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coll/comm_group.h"
+#include "monitor/faults.h"
+#include "monitor/store.h"
+#include "net/fluid_sim.h"
+
+namespace astral::monitor {
+
+struct JobConfig {
+  int hosts = 16;         ///< Job hosts (taken from the fabric in order).
+  int iterations = 10;
+  core::Seconds compute_time = 0.05;  ///< Healthy per-iteration compute.
+  core::Bytes comm_bytes = 32 * 1024 * 1024;  ///< Per ring QP per iteration.
+  core::Seconds qp_sample_interval = core::msec(2.0);
+  /// Communication exceeding this multiple of the expected time is a
+  /// hang (the job's collective timeout).
+  double hang_timeout_factor = 50.0;
+  /// §5 PCIe incident: physical-layer PCIe monitoring was added only
+  /// after the first occurrence; before that the root cause is invisible.
+  bool pcie_monitoring = true;
+};
+
+struct RunOutcome {
+  bool completed = false;
+  int stopped_at_iteration = -1;  ///< Iteration of abort/hang; -1 if none.
+  std::optional<Manifestation> observed;  ///< Empty for a healthy run.
+};
+
+class ClusterRuntime {
+ public:
+  ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed = 1);
+
+  /// Schedules a fault; call before run(). At most one fault per run.
+  void inject(const FaultSpec& fault);
+
+  /// Picks a deterministic injection target for a fault of this cause
+  /// (a host rank or a fabric link on a job path) and returns the spec.
+  FaultSpec make_fault(RootCause cause, Manifestation m, int at_iteration);
+
+  RunOutcome run();
+
+  const TelemetryStore& telemetry() const { return store_; }
+  const JobConfig& config() const { return cfg_; }
+  const std::vector<topo::NodeId>& job_hosts() const { return hosts_; }
+  net::FluidSim& sim() { return *sim_; }
+
+  /// Expected healthy per-iteration times ("thresholds obtained by fast
+  /// forecasts using the Seer", §3.3).
+  core::Seconds expected_compute() const { return cfg_.compute_time; }
+  core::Seconds expected_comm() const;
+
+  /// Host config fingerprints for the offline config-verify tool; the
+  /// HostEnvConfig fault plants an inconsistency.
+  struct HostConfig {
+    std::string nccl_version = "2.21.5";
+    std::string driver_version = "535.161.08";
+    bool pfc_enabled = true;
+    int dcqcn_k = 55;
+    bool operator==(const HostConfig&) const = default;
+  };
+  const std::vector<HostConfig>& host_configs() const { return host_configs_; }
+
+ private:
+  void emit_injection_syslog(core::Seconds t);
+  void apply_network_fault();
+  topo::LinkId pick_job_path_link(int hops_from_src) const;
+
+  topo::Fabric& fabric_;
+  JobConfig cfg_;
+  core::Rng rng_;
+  std::unique_ptr<net::FluidSim> sim_;
+  TelemetryStore store_;
+  std::vector<topo::NodeId> hosts_;
+  std::vector<HostConfig> host_configs_;
+  std::optional<FaultSpec> fault_;
+  std::vector<double> host_slow_;  ///< Compute slow-down factor per host.
+};
+
+}  // namespace astral::monitor

@@ -1,0 +1,38 @@
+#include "monitor/detectors.h"
+
+namespace astral::monitor {
+
+DetectorRegistry DetectorRegistry::with_defaults() {
+  DetectorRegistry r = without_pcie();
+  // The detector added after the §5 PCIe/PFC-storm incident.
+  r.register_detector("PCIe", RootCause::PcieDegrade);
+  return r;
+}
+
+DetectorRegistry DetectorRegistry::without_pcie() {
+  DetectorRegistry r;
+  r.register_detector("Xid", RootCause::GpuHardware);
+  r.register_detector("ECC", RootCause::Memory);
+  r.register_detector("nccl init failed", RootCause::HostEnvConfig);
+  r.register_detector("env/config mismatch", RootCause::HostEnvConfig);
+  r.register_detector("user forward", RootCause::UserCode);
+  r.register_detector("CQE error", RootCause::NicError);
+  r.register_detector("ecn threshold", RootCause::SwitchConfig);
+  r.register_detector("optical power", RootCause::OpticalFiber);
+  r.register_detector("cabling plan", RootCause::WireConnection);
+  r.register_detector("link down", RootCause::LinkFlap);
+  return r;
+}
+
+void DetectorRegistry::register_detector(std::string pattern, RootCause cause) {
+  detectors_.push_back({std::move(pattern), cause});
+}
+
+std::optional<RootCause> DetectorRegistry::match(const SyslogEvent& ev) const {
+  for (auto it = detectors_.rbegin(); it != detectors_.rend(); ++it) {
+    if (ev.message.find(it->pattern) != std::string::npos) return it->cause;
+  }
+  return std::nullopt;
+}
+
+}  // namespace astral::monitor

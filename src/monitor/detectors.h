@@ -1,0 +1,46 @@
+// Evolvable physical-layer detectors (Appendix D): the hierarchical
+// analyzer's bottom layer maps device log patterns to root causes. New
+// anomaly classes are handled by "patching the new detector at the lower
+// level" — registering one more pattern — while the upper layers
+// (manifestation classification, cross-host comparison, path
+// localization) stay untouched. This registry is that patch point.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/faults.h"
+#include "monitor/telemetry.h"
+
+namespace astral::monitor {
+
+struct LogDetector {
+  std::string pattern;  ///< Substring matched against syslog messages.
+  RootCause cause;
+};
+
+class DetectorRegistry {
+ public:
+  /// The production detector set (everything the Fig. 7 taxonomy needs,
+  /// including the PCIe detector added after the §5 incident).
+  static DetectorRegistry with_defaults();
+
+  /// The pre-incident detector set: like defaults but without the PCIe
+  /// pattern — the state of the system when the PFC-storm outage hit.
+  static DetectorRegistry without_pcie();
+
+  /// Appends a detector; later registrations win over earlier ones so a
+  /// refined pattern can shadow a coarse one.
+  void register_detector(std::string pattern, RootCause cause);
+
+  /// First matching cause for a log line (newest detectors first).
+  std::optional<RootCause> match(const SyslogEvent& ev) const;
+
+  std::size_t size() const { return detectors_.size(); }
+
+ private:
+  std::vector<LogDetector> detectors_;
+};
+
+}  // namespace astral::monitor

@@ -1,0 +1,124 @@
+#include "monitor/faults.h"
+
+#include <array>
+
+namespace astral::monitor {
+
+const char* to_string(RootCause cause) {
+  switch (cause) {
+    case RootCause::HostEnvConfig: return "Host Env&Conf.";
+    case RootCause::NicError: return "NIC Error";
+    case RootCause::UserCode: return "User code";
+    case RootCause::SwitchConfig: return "Switch Conf.";
+    case RootCause::SwitchBug: return "Switch BUG";
+    case RootCause::OpticalFiber: return "Optical Fiber";
+    case RootCause::CclBug: return "CCL Bug";
+    case RootCause::WireConnection: return "Wire conn.";
+    case RootCause::GpuHardware: return "GPU Hardware";
+    case RootCause::Memory: return "Memory";
+    case RootCause::LinkFlap: return "Link Flap";
+    case RootCause::PcieDegrade: return "PCIe Degrade";
+  }
+  return "?";
+}
+
+const char* to_string(Manifestation m) {
+  switch (m) {
+    case Manifestation::FailStop: return "fail-stop";
+    case Manifestation::FailSlow: return "fail-slow";
+    case Manifestation::FailHang: return "fail-hang";
+    case Manifestation::FailOnStart: return "fail-on-start";
+  }
+  return "?";
+}
+
+namespace {
+struct CauseWeight {
+  RootCause cause;
+  double weight;
+};
+// Fig. 7 root-cause ring.
+constexpr std::array<CauseWeight, 11> kCauses{{
+    {RootCause::HostEnvConfig, 0.32},
+    {RootCause::NicError, 0.15},
+    {RootCause::UserCode, 0.14},
+    {RootCause::SwitchConfig, 0.14},
+    {RootCause::SwitchBug, 0.07},
+    {RootCause::OpticalFiber, 0.07},
+    {RootCause::CclBug, 0.03},
+    {RootCause::WireConnection, 0.03},
+    {RootCause::GpuHardware, 0.02},
+    {RootCause::Memory, 0.02},
+    {RootCause::LinkFlap, 0.01},
+}};
+}  // namespace
+
+double prevalence(RootCause cause) {
+  for (const auto& cw : kCauses) {
+    if (cw.cause == cause) return cw.weight;
+  }
+  return 0.0;
+}
+
+RootCause sample_root_cause(core::Rng& rng) {
+  double x = rng.uniform();
+  double acc = 0.0;
+  for (const auto& cw : kCauses) {
+    acc += cw.weight;
+    if (x < acc) return cw.cause;
+  }
+  return kCauses.back().cause;
+}
+
+Manifestation sample_manifestation(RootCause cause, core::Rng& rng) {
+  // Conditional manifestation mixes; weighting by cause prevalence gives
+  // a marginal close to (stop .66, hang .17, slow .13, on-start .04).
+  struct Mix {
+    double stop, slow, hang, on_start;
+  };
+  auto mix_of = [](RootCause c) -> Mix {
+    switch (c) {
+      case RootCause::HostEnvConfig: return {0.78, 0.04, 0.08, 0.10};
+      case RootCause::NicError: return {0.62, 0.13, 0.25, 0.00};
+      case RootCause::UserCode: return {0.80, 0.05, 0.15, 0.00};
+      case RootCause::SwitchConfig: return {0.40, 0.35, 0.25, 0.00};
+      case RootCause::SwitchBug: return {0.30, 0.25, 0.45, 0.00};
+      case RootCause::OpticalFiber: return {0.55, 0.30, 0.15, 0.00};
+      case RootCause::CclBug: return {0.40, 0.15, 0.45, 0.00};
+      case RootCause::WireConnection: return {0.60, 0.20, 0.10, 0.10};
+      case RootCause::GpuHardware: return {0.80, 0.10, 0.10, 0.00};
+      case RootCause::Memory: return {0.85, 0.05, 0.10, 0.00};
+      case RootCause::LinkFlap: return {0.55, 0.30, 0.15, 0.00};
+      case RootCause::PcieDegrade: return {0.05, 0.85, 0.10, 0.00};
+    }
+    return {1, 0, 0, 0};
+  };
+  Mix m = mix_of(cause);
+  double x = rng.uniform();
+  if (x < m.stop) return Manifestation::FailStop;
+  if (x < m.stop + m.slow) return Manifestation::FailSlow;
+  if (x < m.stop + m.slow + m.hang) return Manifestation::FailHang;
+  return Manifestation::FailOnStart;
+}
+
+bool is_host_side(RootCause cause) {
+  switch (cause) {
+    case RootCause::HostEnvConfig:
+    case RootCause::UserCode:
+    case RootCause::CclBug:
+    case RootCause::GpuHardware:
+    case RootCause::Memory:
+    case RootCause::PcieDegrade:
+      return true;
+    case RootCause::NicError:
+    case RootCause::SwitchConfig:
+    case RootCause::SwitchBug:
+    case RootCause::OpticalFiber:
+    case RootCause::WireConnection:
+    case RootCause::LinkFlap:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace astral::monitor

@@ -1,0 +1,60 @@
+// Fault taxonomy and injection (§3.1, Fig. 7): root causes with their
+// production prevalence, the failure manifestations they produce, and
+// the FaultSpec the cluster runtime injects.
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "topo/types.h"
+
+namespace astral::monitor {
+
+enum class RootCause : std::uint8_t {
+  HostEnvConfig,   // 32%
+  NicError,        // 15%
+  UserCode,        // 14%
+  SwitchConfig,    // 14%
+  SwitchBug,       // 7%
+  OpticalFiber,    // 7%
+  CclBug,          // 3%
+  WireConnection,  // 3%
+  GpuHardware,     // 2%
+  Memory,          // 2%
+  LinkFlap,        // 2% (the remaining 1% folded in)
+  PcieDegrade,     // the §5 incident; excluded from the sampled taxonomy
+};
+
+enum class Manifestation : std::uint8_t { FailStop, FailSlow, FailHang, FailOnStart };
+
+const char* to_string(RootCause cause);
+const char* to_string(Manifestation m);
+
+/// Production prevalence of a root cause (Fig. 7 inner ring), as a
+/// fraction. PcieDegrade returns 0 (it entered the taxonomy later).
+double prevalence(RootCause cause);
+
+/// Draws a root cause according to the Fig. 7 distribution.
+RootCause sample_root_cause(core::Rng& rng);
+
+/// Draws a manifestation for a cause. The conditional distributions are
+/// chosen so the marginal over causes approximates Fig. 7's outer ring
+/// (fail-stop 66%, fail-hang 17%, fail-slow 13%, fail-on-start 4%).
+Manifestation sample_manifestation(RootCause cause, core::Rng& rng);
+
+/// Whether the cause lives on the host (Branch #1 of the analyzer) or in
+/// the network (Branch #2).
+bool is_host_side(RootCause cause);
+
+struct FaultSpec {
+  RootCause cause = RootCause::NicError;
+  Manifestation manifestation = Manifestation::FailStop;
+  int target_host_rank = 0;               ///< For host-side causes.
+  topo::LinkId target_link = topo::kInvalidLink;  ///< For network causes.
+  int at_iteration = 3;
+  /// Degradation severity for fail-slow (residual capacity fraction).
+  double degrade_factor = 0.25;
+};
+
+}  // namespace astral::monitor

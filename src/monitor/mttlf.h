@@ -1,0 +1,64 @@
+// Mean-Time-To-Locate-Failure experiment harness (Figs. 7 & 10): run a
+// fault-injection campaign sampled from the production taxonomy, let the
+// hierarchical analyzer localize each fault, and compare its locate time
+// against a modeled manual (pre-deployment) process — the grep-logs /
+// binary-search / replace-and-reboot workflow of §5.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "monitor/analyzer.h"
+
+namespace astral::monitor {
+
+struct CampaignConfig {
+  int faults = 100;
+  topo::FabricParams fabric;
+  JobConfig job;
+  std::uint64_t seed = 2024;
+
+  CampaignConfig() {
+    fabric.rails = 2;
+    fabric.hosts_per_block = 8;
+    fabric.blocks_per_pod = 2;
+    fabric.pods = 1;
+    job.hosts = 12;
+    job.iterations = 6;
+    job.comm_bytes = 8ull * 1024 * 1024;
+  }
+};
+
+struct CampaignEntry {
+  RootCause injected_cause;
+  Manifestation injected_manifestation;
+  Manifestation observed;
+  bool detected = false;
+  bool cause_correct = false;
+  bool needs_manual = false;
+  core::Seconds analyzer_time = 0.0;
+  core::Seconds manual_time = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignEntry> entries;
+
+  std::map<RootCause, int> cause_counts() const;
+  std::map<Manifestation, int> manifestation_counts() const;
+  /// Mean locate time with the Astral monitoring system deployed.
+  core::Seconds mttlf_with_system(Manifestation m) const;
+  /// Mean locate time of the modeled manual process.
+  core::Seconds mttlf_manual(Manifestation m) const;
+  /// Fraction of entries whose root cause was identified correctly.
+  double accuracy() const;
+};
+
+/// Modeled manual localization time (§5 experience: log trawling,
+/// batch replace-and-reboot binary search — the 26-hour driver hunt).
+core::Seconds manual_locate_time(RootCause cause, Manifestation m, int hosts,
+                                 core::Rng& rng);
+
+/// Runs the campaign: each fault gets a fresh job on a shared fabric.
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+}  // namespace astral::monitor

@@ -1,0 +1,115 @@
+#include "monitor/offline_tools.h"
+
+#include <algorithm>
+
+#include "core/math.h"
+
+namespace astral::monitor {
+
+std::vector<WiringObservation> collect_wiring(const topo::Fabric& fabric) {
+  std::vector<WiringObservation> out;
+  for (const auto& link : fabric.topo().links()) {
+    out.push_back({link.id, link.src, link.dst});
+  }
+  return out;
+}
+
+void swap_wires(std::vector<WiringObservation>& wiring, std::size_t a, std::size_t b) {
+  if (a >= wiring.size() || b >= wiring.size() || a == b) return;
+  std::swap(wiring[a].observed_dst, wiring[b].observed_dst);
+}
+
+std::vector<WiringMismatch> verify_wiring(const topo::Fabric& fabric,
+                                          std::span<const WiringObservation> observed) {
+  std::vector<WiringMismatch> out;
+  for (const auto& obs : observed) {
+    if (obs.link == topo::kInvalidLink ||
+        static_cast<std::size_t>(obs.link) >= fabric.topo().link_count()) {
+      continue;
+    }
+    const auto& expected = fabric.topo().link(obs.link);
+    if (expected.dst != obs.observed_dst || expected.src != obs.observed_src) {
+      out.push_back({obs.link, expected.dst, obs.observed_dst});
+    }
+  }
+  return out;
+}
+
+std::vector<ConfigMismatch> verify_configs(
+    std::span<const ClusterRuntime::HostConfig> configs) {
+  std::vector<ConfigMismatch> out;
+  if (configs.empty()) return out;
+
+  auto majority_of = [&](auto field) {
+    std::vector<std::pair<decltype(field(configs[0])), int>> counts;
+    for (const auto& c : configs) {
+      auto v = field(c);
+      bool found = false;
+      for (auto& [val, n] : counts) {
+        if (val == v) {
+          ++n;
+          found = true;
+        }
+      }
+      if (!found) counts.push_back({v, 1});
+    }
+    return std::max_element(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+             return a.second < b.second;
+           })->first;
+  };
+
+  auto check = [&](const std::string& name, auto field, auto to_str) {
+    auto majority = majority_of(field);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (field(configs[i]) != majority) {
+        out.push_back({static_cast<int>(i), name, to_str(field(configs[i])),
+                       to_str(majority)});
+      }
+    }
+  };
+  auto id = [](const std::string& s) { return s; };
+  auto b2s = [](bool b) { return std::string(b ? "true" : "false"); };
+  auto i2s = [](int v) { return std::to_string(v); };
+  check("nccl_version", [](const auto& c) { return c.nccl_version; }, id);
+  check("driver_version", [](const auto& c) { return c.driver_version; }, id);
+  check("pfc_enabled", [](const auto& c) { return c.pfc_enabled; }, b2s);
+  check("dcqcn_k", [](const auto& c) { return c.dcqcn_k; }, i2s);
+  return out;
+}
+
+std::vector<SlowPair> hostping_sweep(net::FluidSim& sim,
+                                     std::span<const topo::NodeId> hosts,
+                                     core::Seconds threshold) {
+  std::vector<SlowPair> out;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      net::FlowSpec spec;
+      spec.src_host = hosts[i];
+      spec.dst_host = hosts[j];
+      spec.src_rail = 0;
+      spec.dst_rail = 0;
+      spec.tag = i * hosts.size() + j;
+      auto path = sim.predict_path(spec);
+      if (!path) continue;
+      core::Seconds latency = 0.0;
+      for (topo::LinkId l : *path) latency += sim.hop_latency(l);
+      if (latency > threshold) {
+        out.push_back({static_cast<int>(i), static_cast<int>(j), latency});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> gpu_burn_outliers(std::span<const double> gflops, double fraction) {
+  std::vector<int> out;
+  if (gflops.empty()) return out;
+  double med = core::median(gflops);
+  for (std::size_t i = 0; i < gflops.size(); ++i) {
+    if (gflops[i] < med * (1.0 - fraction)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace astral::monitor

@@ -1,0 +1,74 @@
+// Offline toolsets (§3.2 "offline testing before delivery and after
+// unhandled failure"): wiring verification against the topology rules,
+// host configuration consistency checks, a Hostping-style latency sweep
+// and a GPU-burn-style compute stress check.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/fluid_sim.h"
+#include "monitor/cluster_runtime.h"
+
+namespace astral::monitor {
+
+// ---- Wiring verification (dmidecode + ARP -> switch-port/host-slot map,
+// compared with the architecture's wiring rules).
+
+struct WiringObservation {
+  topo::LinkId link = topo::kInvalidLink;
+  topo::NodeId observed_src = topo::kInvalidNode;
+  topo::NodeId observed_dst = topo::kInvalidNode;
+};
+
+/// Reads the as-built cabling table off a (correctly built) fabric.
+std::vector<WiringObservation> collect_wiring(const topo::Fabric& fabric);
+
+/// Simulates an on-site mistake: the far ends of two cables swapped.
+void swap_wires(std::vector<WiringObservation>& wiring, std::size_t a, std::size_t b);
+
+struct WiringMismatch {
+  topo::LinkId link = topo::kInvalidLink;
+  topo::NodeId expected_dst = topo::kInvalidNode;
+  topo::NodeId observed_dst = topo::kInvalidNode;
+};
+
+/// Compares observations against the fabric's wiring rules.
+std::vector<WiringMismatch> verify_wiring(const topo::Fabric& fabric,
+                                          std::span<const WiringObservation> observed);
+
+// ---- Config verification (nvidia-smi / NCCL logs across rented hosts).
+
+struct ConfigMismatch {
+  int host_rank = -1;
+  std::string field;
+  std::string value;
+  std::string majority_value;
+};
+
+/// Flags hosts whose configuration deviates from the majority.
+std::vector<ConfigMismatch> verify_configs(
+    std::span<const ClusterRuntime::HostConfig> configs);
+
+// ---- Hostping-style pairwise latency sweep.
+
+struct SlowPair {
+  int src_rank = -1;
+  int dst_rank = -1;
+  core::Seconds latency = 0.0;
+};
+
+/// Probes all ordered host pairs of the job through the fabric and flags
+/// pairs whose path latency exceeds `threshold`.
+std::vector<SlowPair> hostping_sweep(net::FluidSim& sim,
+                                     std::span<const topo::NodeId> hosts,
+                                     core::Seconds threshold);
+
+// ---- GPU-burn-style stress result screening.
+
+/// Flags hosts whose measured GFLOPS fall more than `fraction` below the
+/// fleet median.
+std::vector<int> gpu_burn_outliers(std::span<const double> gflops, double fraction = 0.1);
+
+}  // namespace astral::monitor

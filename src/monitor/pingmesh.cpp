@@ -1,0 +1,76 @@
+#include "monitor/pingmesh.h"
+
+#include <algorithm>
+
+namespace astral::monitor {
+
+IntPingmesh::IntPingmesh(net::FluidSim& sim, std::span<const topo::NodeId> hosts,
+                         Config cfg)
+    : sim_(sim), hosts_(hosts.begin(), hosts.end()), cfg_(cfg) {
+  latency_.assign(hosts_.size(), std::vector<core::Seconds>(hosts_.size(), -1.0));
+}
+
+int IntPingmesh::sweep(TelemetryStore& store) {
+  hotspots_.clear();
+  const int n = static_cast<int>(hosts_.size());
+  if (n < 2) return 0;
+  int probes = 0;
+  // Strided peer choice rotates with the sweep counter so consecutive
+  // sweeps jointly cover every pair.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 1; k <= cfg_.fanout; ++k) {
+      int j = (i + k + sweep_count_ * cfg_.fanout) % n;
+      if (j == i) continue;
+      net::FlowSpec spec;
+      spec.src_host = hosts_[static_cast<std::size_t>(i)];
+      spec.dst_host = hosts_[static_cast<std::size_t>(j)];
+      spec.src_rail = 0;
+      spec.dst_rail = 0;
+      spec.tag = 0x9A6E5Dull + static_cast<std::uint64_t>(i) * 131 +
+                 static_cast<std::uint64_t>(k);
+      auto path = sim_.predict_path(spec);
+      if (!path) {
+        latency_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = -1.0;
+        continue;
+      }
+      IntProbeResult probe;
+      probe.t = sim_.now();
+      probe.path = *path;
+      core::Seconds total = 0.0;
+      for (topo::LinkId l : *path) {
+        core::Seconds hop = sim_.hop_latency(l);
+        probe.hop_latency.push_back(hop);
+        total += hop;
+        if (hop > cfg_.hotspot_threshold) hotspots_.push_back({l, hop});
+      }
+      latency_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = total;
+      store.record(std::move(probe));
+      ++probes;
+    }
+  }
+  ++sweep_count_;
+  // Dedup hotspots, keep worst per link, order worst-first.
+  std::sort(hotspots_.begin(), hotspots_.end(), [](const Hotspot& a, const Hotspot& b) {
+    if (a.link != b.link) return a.link < b.link;
+    return a.latency > b.latency;
+  });
+  hotspots_.erase(std::unique(hotspots_.begin(), hotspots_.end(),
+                              [](const Hotspot& a, const Hotspot& b) {
+                                return a.link == b.link;
+                              }),
+                  hotspots_.end());
+  std::sort(hotspots_.begin(), hotspots_.end(),
+            [](const Hotspot& a, const Hotspot& b) { return a.latency > b.latency; });
+  return probes;
+}
+
+core::Seconds IntPingmesh::pair_latency(int src_index, int dst_index) const {
+  if (src_index < 0 || dst_index < 0 ||
+      static_cast<std::size_t>(src_index) >= latency_.size() ||
+      static_cast<std::size_t>(dst_index) >= latency_.size()) {
+    return -1.0;
+  }
+  return latency_[static_cast<std::size_t>(src_index)][static_cast<std::size_t>(dst_index)];
+}
+
+}  // namespace astral::monitor

@@ -1,0 +1,56 @@
+// INT-armed pingmesh (§3.2, network layer; after Guo et al. SIGCOMM'15
+// and R-Pingmesh): a proactive service that periodically probes host
+// pairs with INT-instrumented pings, records hop-by-hop latency into the
+// telemetry store, and surfaces hotspot links without waiting for a
+// training job to notice. Complements the passive sFlow reconstruction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "monitor/store.h"
+#include "net/fluid_sim.h"
+
+namespace astral::monitor {
+
+struct PingmeshConfig {
+  int fanout = 8;  ///< Peers probed per host per sweep (log-ish set).
+  core::Seconds hotspot_threshold = core::usec(50.0);
+};
+
+class IntPingmesh {
+ public:
+  using Config = PingmeshConfig;
+
+  /// Probes travel through the given simulator's current network state;
+  /// hosts are the probe endpoints (typically one agent per server).
+  IntPingmesh(net::FluidSim& sim, std::span<const topo::NodeId> hosts, Config cfg = {});
+
+  /// One probe round at the simulator's current time. Every host pings
+  /// `fanout` deterministic peers (strided, so sweeps jointly cover all
+  /// pairs); each probe is recorded into `store` as an IntProbeResult.
+  /// Returns the number of probes sent.
+  int sweep(TelemetryStore& store);
+
+  struct Hotspot {
+    topo::LinkId link = topo::kInvalidLink;
+    core::Seconds latency = 0.0;
+  };
+  /// Links whose per-hop latency exceeded the threshold in the latest
+  /// sweep, worst first.
+  std::span<const Hotspot> hotspots() const { return hotspots_; }
+
+  /// End-to-end latency of the probed pair from the latest sweep; <0 when
+  /// the pair was not covered or unroutable.
+  core::Seconds pair_latency(int src_index, int dst_index) const;
+
+ private:
+  net::FluidSim& sim_;
+  std::vector<topo::NodeId> hosts_;
+  Config cfg_;
+  int sweep_count_ = 0;
+  std::vector<Hotspot> hotspots_;
+  std::vector<std::vector<core::Seconds>> latency_;  // [src][dst], -1 unknown
+};
+
+}  // namespace astral::monitor

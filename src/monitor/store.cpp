@@ -1,0 +1,188 @@
+#include "monitor/store.h"
+
+#include <algorithm>
+
+namespace astral::monitor {
+
+const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::Application: return "application";
+    case Layer::Transport: return "transport";
+    case Layer::Network: return "network";
+    case Layer::Physical: return "physical";
+  }
+  return "?";
+}
+
+std::optional<QpMeta> TelemetryStore::qp_meta(QpId qp) const {
+  auto it = qp_meta_.find(qp);
+  if (it == qp_meta_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<topo::LinkId> TelemetryStore::path_of(QpId qp) const {
+  auto it = sflow_.find(qp);
+  if (it == sflow_.end()) return {};
+  return it->second.path;
+}
+
+std::vector<QpId> TelemetryStore::qps_of_host(int host_rank) const {
+  std::vector<QpId> out;
+  for (const auto& [qp, meta] : qp_meta_) {
+    if (meta.src_host_rank == host_rank) out.push_back(qp);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NcclTimelineEvent> TelemetryStore::iteration_events(int iteration) const {
+  std::vector<NcclTimelineEvent> out;
+  for (const auto& ev : nccl_) {
+    if (ev.iteration == iteration) out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.host_rank < b.host_rank; });
+  return out;
+}
+
+double TelemetryStore::mean_qp_rate(QpId qp, core::Seconds from, core::Seconds to) const {
+  // Mean rate while transmitting: idle samples (QP drained between
+  // messages) are excluded, matching how the ms-level monitor computes
+  // per-message throughput from mirrored RETH lengths.
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& s : qp_rates_) {
+    if (s.qp == qp && s.t >= from && s.t <= to && s.rate_bps > 0.0) {
+      sum += s.rate_bps;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+std::uint64_t TelemetryStore::total_pfc(topo::LinkId link) const {
+  std::uint64_t total = 0;
+  for (const auto& s : link_counters_) {
+    if (s.link == link) total += s.pfc_pauses;
+  }
+  return total;
+}
+
+std::uint64_t TelemetryStore::total_ecn(topo::LinkId link) const {
+  std::uint64_t total = 0;
+  for (const auto& s : link_counters_) {
+    if (s.link == link) total += s.ecn_marks;
+  }
+  return total;
+}
+
+std::vector<SyslogEvent> TelemetryStore::host_syslog(int host_rank) const {
+  std::vector<SyslogEvent> out;
+  for (const auto& ev : syslog_) {
+    if (ev.host_rank == host_rank) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<SyslogEvent> TelemetryStore::node_syslog(topo::NodeId node) const {
+  std::vector<SyslogEvent> out;
+  for (const auto& ev : syslog_) {
+    if (ev.node == node) out.push_back(ev);
+  }
+  return out;
+}
+
+int TelemetryStore::last_iteration() const {
+  int last = -1;
+  for (const auto& ev : nccl_) last = std::max(last, ev.iteration);
+  return last;
+}
+
+std::size_t TelemetryStore::record_count() const {
+  return nccl_.size() + qp_rates_.size() + err_cqes_.size() + sflow_.size() +
+         int_probes_.size() + link_counters_.size() + syslog_.size();
+}
+
+core::Json TelemetryStore::to_json() const {
+  using core::Json;
+  Json doc = Json::object();
+
+  Json app = Json::array();
+  for (const auto& ev : nccl_) {
+    Json j = Json::object();
+    j["t"] = Json(ev.t);
+    j["host"] = Json(ev.host_rank);
+    j["iter"] = Json(ev.iteration);
+    j["compute"] = Json(ev.compute_time);
+    j["comm"] = Json(ev.comm_time);
+    j["wr_started"] = Json(ev.wr_started);
+    j["wr_finished"] = Json(ev.wr_finished);
+    app.push_back(std::move(j));
+  }
+  doc["application"] = std::move(app);
+
+  Json transport = Json::object();
+  Json rates = Json::array();
+  for (const auto& s : qp_rates_) {
+    Json j = Json::object();
+    j["t"] = Json(s.t);
+    j["qp"] = Json(s.qp);
+    j["rate_bps"] = Json(s.rate_bps);
+    rates.push_back(std::move(j));
+  }
+  transport["qp_rates"] = std::move(rates);
+  Json errs = Json::array();
+  for (const auto& e : err_cqes_) {
+    Json j = Json::object();
+    j["t"] = Json(e.t);
+    j["qp"] = Json(e.qp);
+    j["host"] = Json(e.host_rank);
+    j["error"] = Json(e.error);
+    errs.push_back(std::move(j));
+  }
+  transport["err_cqes"] = std::move(errs);
+  doc["transport"] = std::move(transport);
+
+  Json network = Json::object();
+  Json paths = Json::array();
+  for (const auto& [qp, rec] : sflow_) {
+    Json j = Json::object();
+    j["qp"] = Json(qp);
+    j["src_port"] = Json(rec.tuple.src_port);
+    Json p = Json::array();
+    for (auto l : rec.path) p.push_back(Json(static_cast<std::uint64_t>(l)));
+    j["path"] = std::move(p);
+    paths.push_back(std::move(j));
+  }
+  network["sflow_paths"] = std::move(paths);
+  network["int_probes"] = Json(static_cast<std::uint64_t>(int_probes_.size()));
+  doc["network"] = std::move(network);
+
+  Json physical = Json::object();
+  Json counters = Json::array();
+  for (const auto& s : link_counters_) {
+    Json j = Json::object();
+    j["t"] = Json(s.t);
+    j["link"] = Json(static_cast<std::uint64_t>(s.link));
+    j["ecn"] = Json(s.ecn_marks);
+    j["pfc"] = Json(s.pfc_pauses);
+    if (s.mod_drops) j["mod_drops"] = Json(s.mod_drops);
+    counters.push_back(std::move(j));
+  }
+  physical["link_counters"] = std::move(counters);
+  Json logs = Json::array();
+  for (const auto& ev : syslog_) {
+    Json j = Json::object();
+    j["t"] = Json(ev.t);
+    j["node"] = Json(static_cast<std::uint64_t>(ev.node));
+    j["host"] = Json(ev.host_rank);
+    j["severity"] = Json(ev.severity);
+    j["message"] = Json(ev.message);
+    logs.push_back(std::move(j));
+  }
+  physical["syslog"] = std::move(logs);
+  doc["physical"] = std::move(physical);
+  return doc;
+}
+
+}  // namespace astral::monitor

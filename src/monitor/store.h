@@ -1,0 +1,77 @@
+// The telemetry store: consolidated, queryable record streams from all
+// four monitoring layers with the cross-layer keys preserved, so the
+// analyzer can walk application -> transport -> network -> physical.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/json.h"
+#include "monitor/telemetry.h"
+
+namespace astral::monitor {
+
+class TelemetryStore {
+ public:
+  // Ingestion (collectors append).
+  void record(NcclTimelineEvent ev) { nccl_.push_back(ev); }
+  void record(QpRateSample s) { qp_rates_.push_back(s); }
+  void record(ErrCqeEvent ev) { err_cqes_.push_back(std::move(ev)); }
+  void record(SflowPathRecord r) { sflow_[r.qp] = std::move(r); }
+  void record(IntProbeResult r) { int_probes_.push_back(std::move(r)); }
+  void record(LinkCounterSample s) { link_counters_.push_back(s); }
+  void record(SyslogEvent ev) { syslog_.push_back(std::move(ev)); }
+  void register_qp(QpMeta meta) { qp_meta_[meta.qp] = meta; }
+
+  // Raw streams.
+  std::span<const NcclTimelineEvent> nccl_timeline() const { return nccl_; }
+  std::span<const QpRateSample> qp_rates() const { return qp_rates_; }
+  std::span<const ErrCqeEvent> err_cqes() const { return err_cqes_; }
+  std::span<const IntProbeResult> int_probes() const { return int_probes_; }
+  std::span<const LinkCounterSample> link_counters() const { return link_counters_; }
+  std::span<const SyslogEvent> syslog() const { return syslog_; }
+
+  // Cross-layer lookups.
+  std::optional<QpMeta> qp_meta(QpId qp) const;
+  /// sFlow-reconstructed path for a QP (empty when never sampled).
+  std::vector<topo::LinkId> path_of(QpId qp) const;
+  /// All QPs whose source is the given host rank.
+  std::vector<QpId> qps_of_host(int host_rank) const;
+
+  // Derived queries used by the analyzer.
+  /// Per-host compute/comm times of one iteration, indexed by host rank.
+  std::vector<NcclTimelineEvent> iteration_events(int iteration) const;
+  /// Mean QP rate over a window; 0 when no samples.
+  double mean_qp_rate(QpId qp, core::Seconds from, core::Seconds to) const;
+  /// Sum of PFC pauses recorded for a link over the whole run.
+  std::uint64_t total_pfc(topo::LinkId link) const;
+  std::uint64_t total_ecn(topo::LinkId link) const;
+  /// Syslog events for a job host rank.
+  std::vector<SyslogEvent> host_syslog(int host_rank) const;
+  /// Syslog events attached to an arbitrary node (e.g. a switch).
+  std::vector<SyslogEvent> node_syslog(topo::NodeId node) const;
+  /// Highest iteration index with any timeline event; -1 when none.
+  int last_iteration() const;
+
+  /// Approximate footprint in records (for the Appendix C overhead
+  /// accounting).
+  std::size_t record_count() const;
+
+  /// Consolidated JSON snapshot of all layers (the "log consolidation"
+  /// of §3.2); loadable by offline analysis tooling.
+  core::Json to_json() const;
+
+ private:
+  std::vector<NcclTimelineEvent> nccl_;
+  std::vector<QpRateSample> qp_rates_;
+  std::vector<ErrCqeEvent> err_cqes_;
+  std::unordered_map<QpId, SflowPathRecord> sflow_;
+  std::vector<IntProbeResult> int_probes_;
+  std::vector<LinkCounterSample> link_counters_;
+  std::vector<SyslogEvent> syslog_;
+  std::unordered_map<QpId, QpMeta> qp_meta_;
+};
+
+}  // namespace astral::monitor

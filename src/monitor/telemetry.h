@@ -1,0 +1,100 @@
+// Telemetry record types of the full-stack monitoring system (§3.2,
+// Fig. 8), one family per layer, plus the cross-layer keys (job -> hosts
+// & comm groups -> QP -> 5-tuple -> path -> hops) that make hierarchical
+// correlation possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "net/hash.h"
+#include "topo/types.h"
+
+namespace astral::monitor {
+
+using QpId = std::uint64_t;
+
+enum class Layer : std::uint8_t { Application, Transport, Network, Physical };
+const char* to_string(Layer layer);
+
+// ---- Application layer: training-progress monitoring.
+
+/// One host's view of one iteration (the NCCL timeline of Fig. 9a).
+struct NcclTimelineEvent {
+  core::Seconds t = 0.0;  ///< Iteration start.
+  int host_rank = 0;      ///< Rank within the job's host list.
+  int iteration = 0;
+  core::Seconds compute_time = 0.0;
+  core::Seconds comm_time = 0.0;  ///< < 0: communication never finished.
+  int wr_started = 0;   ///< Work requests issued this iteration.
+  int wr_finished = 0;  ///< Work requests completed; lag => hang.
+};
+
+// ---- Transport layer: millisecond-level flow monitoring.
+
+struct QpRateSample {
+  core::Seconds t = 0.0;
+  QpId qp = 0;
+  double rate_bps = 0.0;
+};
+
+/// Completion-queue error event (errCQE), carrying the QP of the failed
+/// transmission.
+struct ErrCqeEvent {
+  core::Seconds t = 0.0;
+  QpId qp = 0;
+  int host_rank = 0;
+  std::string error;  ///< e.g. "transport retry counter exceeded".
+};
+
+// ---- Network layer: end-to-end path telemetry.
+
+/// sFlow-reconstructed path of a flow (sampled packet mirrors).
+struct SflowPathRecord {
+  QpId qp = 0;
+  net::FiveTuple tuple;
+  std::vector<topo::LinkId> path;
+};
+
+/// INT-armed ping result: per-hop forwarding latency along a path.
+struct IntProbeResult {
+  core::Seconds t = 0.0;
+  std::vector<topo::LinkId> path;
+  std::vector<core::Seconds> hop_latency;  ///< Same length as path.
+};
+
+// ---- Physical layer: per-node internal state.
+
+struct LinkCounterSample {
+  core::Seconds t = 0.0;
+  topo::LinkId link = topo::kInvalidLink;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t pfc_pauses = 0;
+  std::uint64_t mod_drops = 0;  ///< Mirror-on-Drop packet-loss bytes.
+  double utilization = 0.0;
+};
+
+struct SyslogEvent {
+  core::Seconds t = 0.0;
+  topo::NodeId node = topo::kInvalidNode;
+  int host_rank = -1;  ///< Set when the node is a job host.
+  std::string severity;  ///< "fatal" / "error" / "warn".
+  std::string message;
+};
+
+// ---- Cross-layer keys.
+
+/// QP metadata maintained at job setup: the link from application-layer
+/// communication groups down to transport 5-tuples (§3.2).
+struct QpMeta {
+  QpId qp = 0;
+  int src_host_rank = 0;
+  int dst_host_rank = 0;
+  topo::NodeId src_host = topo::kInvalidNode;
+  topo::NodeId dst_host = topo::kInvalidNode;
+  net::FiveTuple tuple;
+};
+
+}  // namespace astral::monitor

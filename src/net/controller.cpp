@@ -1,0 +1,111 @@
+#include "net/controller.h"
+
+#include <algorithm>
+
+namespace astral::net {
+
+EcmpController::EcmpController(const FluidSim& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+std::unordered_map<topo::LinkId, int> EcmpController::estimate_load(
+    const std::vector<FlowSpec>& specs) const {
+  std::unordered_map<topo::LinkId, int> load;
+  for (const FlowSpec& s : specs) {
+    if (auto path = sim_.predict_path(s)) {
+      for (topo::LinkId l : *path) ++load[l];
+    }
+  }
+  return load;
+}
+
+int EcmpController::max_link_load(const std::vector<FlowSpec>& specs) const {
+  int max_load = 0;
+  for (const auto& [l, n] : estimate_load(specs)) max_load = std::max(max_load, n);
+  return max_load;
+}
+
+int EcmpController::rebalance(std::vector<FlowSpec>& specs) const {
+  auto load = estimate_load(specs);
+  if (load.empty()) return 0;
+
+  // Fair level: hosts emit one flow per active NIC, so on a non-blocking
+  // fabric the minimum achievable max-load is the NIC-link load. Use the
+  // median as the baseline and flag links above it.
+  std::vector<double> counts;
+  counts.reserve(load.size());
+  for (const auto& [l, n] : load) counts.push_back(static_cast<double>(n));
+  std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2),
+                   counts.end());
+  double fair = counts[counts.size() / 2];
+  double hot_level = std::max(fair * (1.0 + cfg_.hot_factor), fair + 1.0);
+
+  // Cache each flow's current predicted path so we can subtract it from
+  // the load map before trying alternatives.
+  std::vector<std::vector<topo::LinkId>> paths(specs.size());
+  std::vector<std::size_t> congested;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto p = sim_.predict_path(specs[i]);
+    if (!p) continue;
+    paths[i] = std::move(*p);
+    for (topo::LinkId l : paths[i]) {
+      if (load[l] > hot_level) {
+        congested.push_back(i);
+        break;
+      }
+    }
+  }
+
+  // Worst-first: flows on the hottest links move first.
+  std::sort(congested.begin(), congested.end(), [&](std::size_t a, std::size_t b) {
+    auto worst = [&](std::size_t i) {
+      int w = 0;
+      for (topo::LinkId l : paths[i]) w = std::max(w, load[l]);
+      return w;
+    };
+    return worst(a) > worst(b);
+  });
+
+  int reassigned = 0;
+  for (std::size_t i : congested) {
+    for (topo::LinkId l : paths[i]) --load[l];
+
+    auto score = [&](const std::vector<topo::LinkId>& path) {
+      int max_after = 0;
+      int sum_after = 0;
+      for (topo::LinkId l : path) {
+        int n = load[l] + 1;
+        max_after = std::max(max_after, n);
+        sum_after += n;
+      }
+      return std::pair{max_after, sum_after};
+    };
+
+    auto best_path = paths[i];
+    auto best_score = score(best_path);
+    std::uint16_t best_port = specs[i].src_port;
+
+    FlowSpec candidate = specs[i];
+    for (int k = 0; k < cfg_.port_candidates; ++k) {
+      candidate.src_port = static_cast<std::uint16_t>(
+          cfg_.port_base + (static_cast<std::uint32_t>(i) * 131u + static_cast<std::uint32_t>(k)) %
+                               60000u);
+      auto p = sim_.predict_path(candidate);
+      if (!p) continue;
+      auto s = score(*p);
+      if (s < best_score) {
+        best_score = s;
+        best_path = std::move(*p);
+        best_port = candidate.src_port;
+      }
+    }
+
+    if (best_port != specs[i].src_port) {
+      specs[i].src_port = best_port;
+      paths[i] = best_path;
+      ++reassigned;
+    }
+    for (topo::LinkId l : paths[i]) ++load[l];
+  }
+  return reassigned;
+}
+
+}  // namespace astral::net

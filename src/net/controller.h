@@ -1,0 +1,53 @@
+// Centralized ECMP load-balancing controller (§2.1, footnote 1).
+//
+// Step 1 (at QP setup) is the deterministic per-pair source-port spread
+// implemented in FluidSim's default port assignment. Step 2 is this
+// controller: when switch ECN counters report congestion, it re-runs the
+// production hash algorithm (FluidSim::predict_path — the "hash
+// simulator") over candidate UDP source ports and reassigns ports of the
+// congested flows so the next round of the collective takes balanced
+// paths. Reassignments take effect on the next round, exactly as in the
+// paper; Fig. 17 shows ECN counters decaying and stabilizing over rounds.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/fluid_sim.h"
+
+namespace astral::net {
+
+struct EcmpControllerConfig {
+  int port_candidates = 64;  ///< Source ports tried per congested flow.
+  /// A link is "hot" when its predicted flow count exceeds the fabric
+  /// fair level by this factor.
+  double hot_factor = 1.0;
+  std::uint16_t port_base = 2048;  ///< Candidate ports start here.
+};
+
+class EcmpController {
+ public:
+  using Config = EcmpControllerConfig;
+
+  explicit EcmpController(const FluidSim& sim, Config cfg = {});
+
+  /// Predicted concurrent-flow count per link if `specs` ran together.
+  std::unordered_map<topo::LinkId, int> estimate_load(
+      const std::vector<FlowSpec>& specs) const;
+
+  /// One control round: finds hot links in the predicted load of `specs`
+  /// and greedily reassigns the source ports of flows crossing them to
+  /// minimize the max per-link flow count. Mutates specs in place and
+  /// returns the number of flows whose port changed.
+  int rebalance(std::vector<FlowSpec>& specs) const;
+
+  /// Max per-link predicted flow count (the polarization metric tests
+  /// and Fig. 17 track).
+  int max_link_load(const std::vector<FlowSpec>& specs) const;
+
+ private:
+  const FluidSim& sim_;
+  Config cfg_;
+};
+
+}  // namespace astral::net

@@ -1,0 +1,286 @@
+#include "net/fluid_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace astral::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FluidSim::FluidSim(topo::Fabric& fabric, Config cfg, std::uint64_t seed)
+    : fabric_(fabric), router_(fabric), cfg_(cfg), rng_(seed) {
+  const std::size_t nlinks = fabric_.topo().link_count();
+  stats_.resize(nlinks);
+  degrade_.assign(nlinks, 1.0);
+  link_demand_.assign(nlinks, 0.0);
+  link_overload_.assign(nlinks, 0.0);
+  link_rate_.assign(nlinks, 0.0);
+}
+
+double FluidSim::effective_capacity(topo::LinkId id) const {
+  return fabric_.topo().link(id).capacity * degrade_[id];
+}
+
+std::optional<std::vector<topo::LinkId>> FluidSim::predict_path(const FlowSpec& spec) const {
+  return router_.route(spec, router_.tuple_for(spec));
+}
+
+FlowId FluidSim::inject(const FlowSpec& spec) {
+  FlowState st;
+  st.spec = spec;
+  st.tuple = router_.tuple_for(spec);
+  st.remaining = static_cast<double>(spec.size);
+  auto path = router_.route(spec, st.tuple);
+  if (path) {
+    st.path = std::move(*path);
+    st.admitted = true;
+  } else {
+    st.admitted = false;
+    st.finish = spec.start;  // Unroutable: surfaces immediately to caller.
+  }
+  FlowId id = static_cast<FlowId>(flows_.size());
+  flows_.push_back(std::move(st));
+  if (flows_.back().admitted) {
+    pending_.push_back(id);
+    std::push_heap(pending_.begin(), pending_.end(), [this](FlowId a, FlowId b) {
+      return flows_[a].spec.start > flows_[b].spec.start;
+    });
+  }
+  return id;
+}
+
+void FluidSim::admit(FlowId id) { active_.push_back(id); }
+
+void FluidSim::recompute_rates() {
+  // Progressive filling (max-min fairness). Scratch state is rebuilt each
+  // call; with path lengths <= 7 this is linear in active flows.
+  struct LinkScratch {
+    double remcap = 0.0;
+    int unfrozen = 0;
+    std::vector<std::size_t> members;  // indices into active_
+  };
+  static thread_local std::unordered_map<topo::LinkId, LinkScratch> scratch;
+  scratch.clear();
+
+  std::fill(link_demand_.begin(), link_demand_.end(), 0.0);
+  std::fill(link_overload_.begin(), link_overload_.end(), 0.0);
+  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+
+  for (std::size_t ai = 0; ai < active_.size(); ++ai) {
+    FlowState& f = flows_[active_[ai]];
+    f.rate = 0.0;
+    // Offered demand at each hop is the prefix-min of upstream link
+    // capacities: a degraded downlink sees traffic arriving at full
+    // upstream rate, which is what triggers PFC back-pressure.
+    double prefix = kInf;
+    for (topo::LinkId l : f.path) {
+      double cap_l = effective_capacity(l);
+      auto [it, inserted] = scratch.try_emplace(l);
+      auto& s = it->second;
+      if (inserted) s.remcap = cap_l;
+      s.unfrozen += 1;
+      s.members.push_back(ai);
+      link_demand_[l] += prefix == kInf ? cap_l : prefix;
+      prefix = std::min(prefix, cap_l);
+    }
+  }
+  for (auto& [l, s] : scratch) {
+    double cap = effective_capacity(l);
+    link_overload_[l] = cap > 0 ? link_demand_[l] / cap : (link_demand_[l] > 0 ? 1e9 : 0.0);
+    stats_[l].peak_overload = std::max(stats_[l].peak_overload, link_overload_[l]);
+  }
+
+  std::size_t frozen = 0;
+  static thread_local std::vector<char> is_frozen;
+  is_frozen.assign(active_.size(), 0);
+  while (frozen < active_.size()) {
+    // Find the most constrained link.
+    double best_share = kInf;
+    LinkScratch* best = nullptr;
+    for (auto& [l, s] : scratch) {
+      if (s.unfrozen == 0) continue;
+      double share = s.remcap > 0 ? s.remcap / s.unfrozen : 0.0;
+      if (share < best_share) {
+        best_share = share;
+        best = &s;
+      }
+    }
+    if (best == nullptr) break;
+    if (!std::isfinite(best_share)) best_share = 0.0;
+    for (std::size_t ai : best->members) {
+      if (is_frozen[ai]) continue;
+      is_frozen[ai] = 1;
+      ++frozen;
+      FlowState& f = flows_[active_[ai]];
+      f.rate = best_share;
+      for (topo::LinkId l : f.path) {
+        auto& s = scratch[l];
+        s.remcap -= best_share;
+        s.unfrozen -= 1;
+        link_rate_[l] += best_share;
+      }
+    }
+  }
+}
+
+void FluidSim::accumulate(core::Seconds dt) {
+  if (dt <= 0) return;
+  for (FlowId id : active_) {
+    const FlowState& f = flows_[id];
+    if (f.rate <= 0) continue;
+    for (topo::LinkId l : f.path) {
+      stats_[l].bytes_forwarded += f.rate * dt / 8.0;
+    }
+  }
+  const topo::Topology& topo = fabric_.topo();
+  for (std::size_t l = 0; l < link_rate_.size(); ++l) {
+    double cap = effective_capacity(static_cast<topo::LinkId>(l));
+    if (link_rate_[l] <= 0 && link_demand_[l] <= 0) continue;
+    if (link_rate_[l] > 0) stats_[l].busy_time += dt;
+    if (cap > 0) stats_[l].util_time += dt * std::min(1.0, link_rate_[l] / cap);
+    double overload = link_overload_[l];
+    if (overload > cfg_.ecn_util_threshold) {
+      double excess = overload - cfg_.ecn_util_threshold;
+      stats_[l].ecn_marks += static_cast<std::uint64_t>(
+          std::ceil(dt * cfg_.ecn_marks_per_flow_sec * excess));
+    }
+    if (overload > cfg_.pfc_overload) {
+      // The congested switch pauses every active upstream link: this is
+      // how a single hotspot spreads (the paper's PFC-storm incident).
+      topo::NodeId sw = topo.link(static_cast<topo::LinkId>(l)).src;
+      for (topo::LinkId up : topo.in_links(sw)) {
+        if (link_rate_[up] > 0) {
+          stats_[up].pfc_pauses += static_cast<std::uint64_t>(
+              std::ceil(dt * cfg_.pfc_pauses_per_sec * (overload - cfg_.pfc_overload)));
+        }
+      }
+    }
+  }
+}
+
+bool FluidSim::all_finished(std::span<const FlowId> watch) const {
+  for (FlowId id : watch) {
+    if (flows_[id].admitted && flows_[id].finish < 0) return false;
+  }
+  return true;
+}
+
+void FluidSim::run(core::Seconds until) { run_impl(until, {}); }
+
+void FluidSim::run_watch(std::span<const FlowId> watch, core::Seconds until) {
+  run_impl(until, watch);
+}
+
+void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
+  auto pending_cmp = [this](FlowId a, FlowId b) {
+    return flows_[a].spec.start > flows_[b].spec.start;
+  };
+  bool dirty = true;
+  while (true) {
+    // Admit everything that has started.
+    bool admitted_any = false;
+    while (!pending_.empty() && flows_[pending_.front()].spec.start <= now_ + 1e-15) {
+      std::pop_heap(pending_.begin(), pending_.end(), pending_cmp);
+      admit(pending_.back());
+      pending_.pop_back();
+      admitted_any = true;
+    }
+    if (admitted_any) dirty = true;
+    if (!watch.empty() && all_finished(watch)) return;
+    if (active_.empty()) {
+      if (pending_.empty()) {
+        if (until < 1e17 && now_ < until) now_ = until;
+        return;
+      }
+      core::Seconds next = flows_[pending_.front()].spec.start;
+      if (next > until) {
+        now_ = until;
+        return;
+      }
+      now_ = next;
+      continue;
+    }
+    if (dirty) {
+      recompute_rates();
+      dirty = false;
+    }
+    // Next completion.
+    double min_dt = kInf;
+    for (FlowId id : active_) {
+      const FlowState& f = flows_[id];
+      if (f.rate > 0) min_dt = std::min(min_dt, f.remaining * 8.0 / f.rate);
+    }
+    double dt_arrival = pending_.empty() ? kInf : flows_[pending_.front()].spec.start - now_;
+    double dt_until = until - now_;
+    double dt = std::min({min_dt, dt_arrival, dt_until});
+    if (!std::isfinite(dt)) {
+      // Every active flow is stalled (blocked links) and nothing else is
+      // due: a fail-hang. Park the clock at `until` and stop.
+      if (until < 1e17) now_ = until;
+      return;
+    }
+    dt = std::max(dt, 0.0);
+    accumulate(dt);
+    now_ += dt;
+    for (FlowId id : active_) flows_[id].remaining -= flows_[id].rate * dt / 8.0;
+
+    // Complete flows within the epsilon batch window (symmetric
+    // collectives finish whole waves at once).
+    bool finished_any = false;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      FlowState& f = flows_[active_[i]];
+      bool done = f.rate > 0 && f.remaining * 8.0 / f.rate <= cfg_.completion_epsilon;
+      if (done || f.remaining <= 1e-6) {
+        f.remaining = 0.0;
+        f.rate = 0.0;
+        f.finish = now_;
+        finished_any = true;
+      } else {
+        active_[w++] = active_[i];
+      }
+    }
+    active_.resize(w);
+    if (finished_any) dirty = true;
+    if (now_ >= until) return;
+  }
+}
+
+core::Seconds FluidSim::hop_latency(topo::LinkId id) const {
+  double overload = link_overload_[id];
+  double queue = overload > 1.0
+                     ? cfg_.max_queue_delay * std::min(1.0, overload - 1.0)
+                     : 0.0;
+  return cfg_.base_hop_latency + queue;
+}
+
+void FluidSim::degrade_link(topo::LinkId id, double factor) {
+  degrade_[id] = std::max(0.0, factor);
+  if (!active_.empty()) recompute_rates();
+}
+
+void FluidSim::recycle_finished() {
+  for (auto& f : flows_) {
+    if (f.finish >= 0) {
+      f.path.clear();
+      f.path.shrink_to_fit();
+    }
+  }
+}
+
+void FluidSim::reset_stats() {
+  std::fill(stats_.begin(), stats_.end(), LinkStats{});
+}
+
+core::Bytes FluidSim::backlog() const {
+  double total = 0.0;
+  for (FlowId id : active_) total += flows_[id].remaining;
+  for (FlowId id : pending_) total += flows_[id].remaining;
+  return static_cast<core::Bytes>(total);
+}
+
+}  // namespace astral::net

@@ -1,0 +1,127 @@
+// Flow-level fluid network simulator.
+//
+// Rates follow max-min fairness (progressive filling), the fluid limit of
+// DCQCN-style congestion control on a lossless fabric. The simulator is
+// event-driven: rates are piecewise constant between flow arrivals and
+// completions, so byte counters integrate exactly. Congestion signals are
+// derived per interval:
+//   * a link whose offered demand exceeds capacity accrues ECN marks
+//     proportional to the overload (RED-on-ECN fluid model);
+//   * when the overload passes the PFC threshold, pause frames are
+//     accounted against the links feeding the hotspot (congestion
+//     spreading, as in the paper's PCIe/PFC-storm incident);
+//   * per-hop latency = base switching delay + a queue term that grows
+//     with overload, feeding the INT pingmesh monitors (Fig. 9c).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "net/flow.h"
+#include "net/router.h"
+#include "topo/fabric.h"
+
+namespace astral::net {
+
+struct FluidSimConfig {
+  double ecn_util_threshold = 0.95;  ///< Overload where marking starts.
+  double ecn_marks_per_flow_sec = 2e4;  ///< Marking intensity scale.
+  double pfc_overload = 1.6;  ///< Demand/capacity ratio triggering PFC.
+  double pfc_pauses_per_sec = 5e3;
+  core::Seconds base_hop_latency = core::usec(0.6);
+  core::Seconds max_queue_delay = core::usec(300.0);
+  /// Completions within this window collapse into one rate update;
+  /// symmetric collectives otherwise trigger quadratic recomputation.
+  core::Seconds completion_epsilon = 1e-9;
+};
+
+class FluidSim {
+ public:
+  using Config = FluidSimConfig;
+
+  /// The simulator reads topology routing and link capacities; the fabric
+  /// must outlive the simulator. Link up/down changes through the fabric
+  /// are honored at the next flow admission.
+  FluidSim(topo::Fabric& fabric, Config cfg = {}, std::uint64_t seed = 1);
+
+  /// Injects a flow; routing happens immediately (paths are pinned at QP
+  /// creation, matching per-flow ECMP). Returns the flow id; the flow's
+  /// `admitted` flag is false when no fabric route exists.
+  FlowId inject(const FlowSpec& spec);
+
+  /// Predicts the path a spec would take without injecting it — the
+  /// controller's "hash simulator" entry point.
+  std::optional<std::vector<topo::LinkId>> predict_path(const FlowSpec& spec) const;
+
+  /// Runs until all injected flows complete (or `until`, if given).
+  void run(core::Seconds until = 1e18);
+
+  /// Runs until every flow in `watch` has completed (or `until`). Lets a
+  /// measurement finish while long-lived background flows keep running.
+  void run_watch(std::span<const FlowId> watch, core::Seconds until = 1e18);
+
+  /// True when no active or pending flows remain.
+  bool idle() const { return active_.empty() && pending_.empty(); }
+
+  core::Seconds now() const { return now_; }
+  const FlowState& flow(FlowId id) const { return flows_[id]; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Current fluid rate of a flow (0 once finished) — the transport-layer
+  /// ms-level QP rate monitor samples this.
+  double current_rate(FlowId id) const { return flows_[id].rate; }
+
+  const LinkStats& link_stats(topo::LinkId id) const { return stats_[id]; }
+
+  /// Instantaneous per-hop forwarding latency (INT view).
+  core::Seconds hop_latency(topo::LinkId id) const;
+
+  /// Multiplies a link's effective capacity by `factor` (< 1 models a
+  /// degraded optical module / broken PCIe lane). factor <= 0 blocks the
+  /// link for new rate allocation while keeping it routable, modelling a
+  /// silent blackhole.
+  void degrade_link(topo::LinkId id, double factor);
+
+  /// Removes all finished-flow bookkeeping but keeps counters; long
+  /// campaigns call this between iterations to bound memory.
+  void recycle_finished();
+
+  /// Resets ECN/PFC/byte counters (e.g. between controller rounds).
+  void reset_stats();
+
+  /// Total bytes still in flight.
+  core::Bytes backlog() const;
+
+  const topo::Fabric& fabric() const { return fabric_; }
+
+ private:
+  void run_impl(core::Seconds until, std::span<const FlowId> watch);
+  bool all_finished(std::span<const FlowId> watch) const;
+  void admit(FlowId id);
+  void recompute_rates();
+  void accumulate(core::Seconds dt);
+  double effective_capacity(topo::LinkId id) const;
+
+  topo::Fabric& fabric_;
+  Router router_;
+  Config cfg_;
+  core::Rng rng_;
+  core::Seconds now_ = 0.0;
+
+  std::vector<FlowState> flows_;
+  std::vector<FlowId> active_;
+  // Pending arrivals sorted by start time (min-heap by start).
+  std::vector<FlowId> pending_;
+
+  std::vector<LinkStats> stats_;
+  std::vector<double> degrade_;
+  // Scratch, sized to link count: demand and current overload per link.
+  std::vector<double> link_demand_;
+  std::vector<double> link_overload_;
+  std::vector<double> link_rate_;  ///< Allocated rate sum per link.
+};
+
+}  // namespace astral::net

@@ -1,0 +1,41 @@
+#include "net/hash.h"
+
+namespace astral::net {
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len, std::uint16_t init) {
+  // CRC-16/CCITT polynomial 0x1021, bitwise, MSB-first. No final XOR and
+  // zero init keep the map linear over GF(2).
+  std::uint16_t crc = init;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t EcmpHash::hash(const FiveTuple& t, std::uint32_t salt) const {
+  std::uint8_t buf[13];
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    buf[at] = static_cast<std::uint8_t>(v >> 24);
+    buf[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    buf[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    buf[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, t.src_ip);
+  put32(4, t.dst_ip);
+  buf[8] = static_cast<std::uint8_t>(t.src_port >> 8);
+  buf[9] = static_cast<std::uint8_t>(t.src_port);
+  buf[10] = static_cast<std::uint8_t>(t.dst_port >> 8);
+  buf[11] = static_cast<std::uint8_t>(t.dst_port);
+  buf[12] = t.proto;
+  std::uint16_t h = crc16(buf, sizeof(buf));
+  // Salt folds in after the linear stage so per-switch decisions differ
+  // while tuple-linearity within one switch is preserved.
+  std::uint16_t s = static_cast<std::uint16_t>(salt ^ (salt >> 16));
+  return static_cast<std::uint16_t>(h ^ s ^ static_cast<std::uint16_t>(s << 5));
+}
+
+}  // namespace astral::net

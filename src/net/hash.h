@@ -1,0 +1,44 @@
+// ECMP hashing. Commodity switching ASICs hash the 5-tuple with a
+// GF(2)-linear function (CRC family), a property exploited by the
+// controller footnote in §2.1 and by Zhang et al. (ATC'21) for relative
+// path control: because crc(a XOR b) = crc(a) XOR crc(b), flipping bits
+// of the UDP source port moves the hash by a predictable offset. We model
+// the ASIC with a CRC-16 (init 0, no final XOR) so linearity holds
+// exactly, and the controller runs this very same "hash simulator".
+#pragma once
+
+#include <cstdint>
+
+namespace astral::net {
+
+/// The 5-tuple ECMP hashes on. IPs are node ids in the simulator.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 4791;  ///< RoCEv2 UDP destination port.
+  std::uint8_t proto = 17;        ///< UDP.
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+/// GF(2)-linear CRC-16/CCITT over a byte stream; init 0, no final XOR so
+/// crc(a ^ b) == crc(a) ^ crc(b) for equal-length inputs.
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len, std::uint16_t init = 0);
+
+/// Switch-ASIC ECMP hash model shared by the data plane and the central
+/// controller's hash simulator.
+class EcmpHash {
+ public:
+  /// Hash of the tuple as seen by the switch with the given salt (salts
+  /// decorrelate hop-level decisions; many real ASICs use a per-switch
+  /// seed for the same reason).
+  std::uint16_t hash(const FiveTuple& t, std::uint32_t salt) const;
+
+  /// Picks one of n equal-cost candidates. n must be > 0.
+  int select(const FiveTuple& t, std::uint32_t salt, int n) const {
+    return static_cast<int>(hash(t, salt) % static_cast<std::uint16_t>(n));
+  }
+};
+
+}  // namespace astral::net

@@ -1,0 +1,99 @@
+#include "net/router.h"
+
+#include <algorithm>
+
+namespace astral::net {
+
+namespace {
+// Deterministic default source port for a flow: spreads flows of one
+// src-dst pair across ports (§2.1 footnote, step 1) without an RNG so
+// repeated runs pick identical paths.
+std::uint16_t default_port(const FlowSpec& s) {
+  std::uint64_t x = (static_cast<std::uint64_t>(s.src_host) << 32) ^
+                    (static_cast<std::uint64_t>(s.dst_host) << 16) ^
+                    (s.tag * 0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(s.src_rail) << 8) ^
+                    static_cast<std::uint64_t>(s.dst_rail);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 29;
+  return static_cast<std::uint16_t>(1024 + (x % 60000));
+}
+}  // namespace
+
+FiveTuple Router::tuple_for(const FlowSpec& spec) const {
+  FiveTuple t;
+  t.src_ip = spec.src_host;
+  t.dst_ip = spec.dst_host;
+  t.src_port = spec.src_port != 0 ? spec.src_port : default_port(spec);
+  return t;
+}
+
+std::optional<std::vector<topo::LinkId>> Router::route(const FlowSpec& spec,
+                                                       const FiveTuple& tuple) const {
+  const topo::Topology& topo = fabric_.topo();
+  if (spec.src_host == spec.dst_host) return std::nullopt;
+
+  EcmpHash hasher;
+  const int sides = topo.sides();
+  const auto& dst_node = topo.node(spec.dst_host);
+
+  // The NIC binds the rail; Clos fabrics scramble which ToR that rail
+  // lands on per host (see Fabric::build_tier1).
+  auto tor_rail_for = [&](const topo::Node& host, int rail) {
+    if (fabric_.params().style == topo::FabricStyle::Clos) {
+      return (rail + host.index) % fabric_.params().rails;
+    }
+    return rail;
+  };
+
+  std::vector<topo::LinkId> path;
+  int s1 = sides > 1 ? hasher.select(tuple, spec.src_host * 2654435761u, sides) : 0;
+  topo::LinkId first = topo.host_uplink(spec.src_host, spec.src_rail, s1);
+  if (first == topo::kInvalidLink) {
+    s1 = 0;
+    first = topo.host_uplink(spec.src_host, spec.src_rail, 0);
+  }
+  // Dual-ToR failover (P3): if the hashed side's uplink or ToR is dead,
+  // the NIC's other port carries the rail.
+  if (sides > 1 && (first == topo::kInvalidLink || !topo.link(first).up)) {
+    s1 = 1 - s1;
+    first = topo.host_uplink(spec.src_host, spec.src_rail, s1);
+  }
+  if (first == topo::kInvalidLink || !topo.link(first).up) return std::nullopt;
+  path.push_back(first);
+  topo::NodeId cur = topo.link(first).dst;
+
+  // Destination ToR: same-rail flows stay in the plane (side) they
+  // entered; cross-rail flows pick the arrival side by hash.
+  const int dst_tor_rail = tor_rail_for(dst_node, spec.dst_rail);
+  int s2 = spec.src_rail == spec.dst_rail
+               ? s1
+               : (sides > 1 ? hasher.select(tuple, spec.dst_host * 2654435761u, sides) : 0);
+  topo::NodeId target = fabric_.tor_at(dst_node.pod, dst_node.block, dst_tor_rail,
+                                       std::min(s2, sides - 1));
+  if (target == topo::kInvalidNode) return std::nullopt;
+  if (topo.distance(cur, target) < 0) {
+    // Plane unreachable (e.g. failed links); try the other side.
+    if (sides > 1) {
+      target = fabric_.tor_at(dst_node.pod, dst_node.block, dst_tor_rail, 1 - s2);
+    }
+    if (target == topo::kInvalidNode || topo.distance(cur, target) < 0) return std::nullopt;
+  }
+
+  while (cur != target) {
+    auto hops = topo.next_hops(cur, target);
+    if (hops.empty()) return std::nullopt;
+    topo::LinkId pick = hops[static_cast<std::size_t>(
+        hasher.select(tuple, cur * 0x85ebca6bu, static_cast<int>(hops.size())))];
+    path.push_back(pick);
+    cur = topo.link(pick).dst;
+  }
+
+  auto last_hops = topo.next_hops(target, spec.dst_host);
+  if (last_hops.empty()) return std::nullopt;
+  path.push_back(last_hops.front());
+  return path;
+}
+
+}  // namespace astral::net

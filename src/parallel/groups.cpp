@@ -1,0 +1,50 @@
+#include "parallel/groups.h"
+
+#include <cassert>
+
+namespace astral::parallel {
+
+ParallelGroups build_groups(const Placement& placement, const ParallelismConfig& cfg) {
+  assert(cfg.valid());
+  assert(placement.size() == cfg.world());
+  auto gpu_of = [&](int tp_idx, int dp_idx, int pp_idx) {
+    int rank = tp_idx + cfg.tp * (dp_idx + cfg.dp * pp_idx);
+    return placement.gpus[static_cast<std::size_t>(rank)];
+  };
+
+  ParallelGroups g;
+  for (int p = 0; p < cfg.pp; ++p) {
+    for (int d = 0; d < cfg.dp; ++d) {
+      coll::CommGroup grp;
+      for (int t = 0; t < cfg.tp; ++t) grp.gpus.push_back(gpu_of(t, d, p));
+      g.tp.push_back(std::move(grp));
+    }
+  }
+  for (int p = 0; p < cfg.pp; ++p) {
+    for (int t = 0; t < cfg.tp; ++t) {
+      coll::CommGroup grp;
+      for (int d = 0; d < cfg.dp; ++d) grp.gpus.push_back(gpu_of(t, d, p));
+      g.dp.push_back(std::move(grp));
+    }
+  }
+  for (int d = 0; d < cfg.dp; ++d) {
+    for (int t = 0; t < cfg.tp; ++t) {
+      coll::CommGroup grp;
+      for (int p = 0; p < cfg.pp; ++p) grp.gpus.push_back(gpu_of(t, d, p));
+      g.pp.push_back(std::move(grp));
+    }
+  }
+  // Expert parallelism: consecutive dp indices share an expert group.
+  for (int p = 0; p < cfg.pp; ++p) {
+    for (int t = 0; t < cfg.tp; ++t) {
+      for (int d0 = 0; d0 < cfg.dp; d0 += cfg.ep) {
+        coll::CommGroup grp;
+        for (int e = 0; e < cfg.ep; ++e) grp.gpus.push_back(gpu_of(t, d0 + e, p));
+        g.ep.push_back(std::move(grp));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace astral::parallel

@@ -1,0 +1,38 @@
+// 4-D parallelism (TP x DP x PP, with EP slicing the DP dimension) and
+// the communication groups each dimension induces, following the
+// Megatron-LM rank layout: tensor-parallel ranks are consecutive, then
+// data-parallel, then pipeline stages.
+#pragma once
+
+#include <vector>
+
+#include "coll/comm_group.h"
+#include "parallel/placement.h"
+
+namespace astral::parallel {
+
+struct ParallelismConfig {
+  int tp = 8;  ///< Tensor parallel degree (inside one host ideally).
+  int dp = 1;  ///< Data parallel degree.
+  int pp = 1;  ///< Pipeline parallel degree.
+  int ep = 1;  ///< Expert parallel degree; must divide dp.
+
+  int world() const { return tp * dp * pp; }
+  bool valid() const { return tp >= 1 && dp >= 1 && pp >= 1 && ep >= 1 && dp % ep == 0; }
+};
+
+/// All communication groups of a job. Each group lists global GPU
+/// indices (resolved through the placement).
+struct ParallelGroups {
+  std::vector<coll::CommGroup> tp;  ///< dp*pp groups of size tp.
+  std::vector<coll::CommGroup> dp;  ///< tp*pp groups of size dp.
+  std::vector<coll::CommGroup> pp;  ///< tp*dp chains of size pp.
+  std::vector<coll::CommGroup> ep;  ///< All-to-all groups of size ep*tp? No:
+                                    ///< tp*pp*(dp/ep) groups of size ep.
+};
+
+/// Builds the groups for a placement. Placement size must equal
+/// cfg.world(). Rank layout: rank = tp_idx + tp * (dp_idx + dp * pp_idx).
+ParallelGroups build_groups(const Placement& placement, const ParallelismConfig& cfg);
+
+}  // namespace astral::parallel

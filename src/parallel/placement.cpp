@@ -1,0 +1,40 @@
+#include "parallel/placement.h"
+
+#include <cassert>
+
+namespace astral::parallel {
+
+Placement Placement::packed(const topo::Fabric& fabric, int n) {
+  assert(n <= fabric.gpu_count());
+  (void)fabric;
+  Placement p;
+  p.gpus.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) p.gpus.push_back(g);
+  return p;
+}
+
+Placement Placement::fragmented(const topo::Fabric& fabric, int n, int parts) {
+  const auto& fp = fabric.params();
+  assert(parts >= 1 && parts <= fp.pods);
+  const int rails = fp.rails;
+  const int hosts_needed = (n + rails - 1) / rails;
+  assert((hosts_needed + parts - 1) / parts <= fp.blocks_per_pod * fp.hosts_per_block);
+  (void)hosts_needed;
+
+  Placement p;
+  p.gpus.reserve(static_cast<std::size_t>(n));
+  const int gpus_per_pod_slot = fp.blocks_per_pod * fp.hosts_per_block * rails;
+  int host_cursor = 0;  // host index within the pod slice
+  while (static_cast<int>(p.gpus.size()) < n) {
+    for (int part = 0; part < parts && static_cast<int>(p.gpus.size()) < n; ++part) {
+      int base = part * gpus_per_pod_slot + host_cursor * rails;
+      for (int r = 0; r < rails && static_cast<int>(p.gpus.size()) < n; ++r) {
+        p.gpus.push_back(base + r);
+      }
+    }
+    ++host_cursor;
+  }
+  return p;
+}
+
+}  // namespace astral::parallel

@@ -1,0 +1,29 @@
+// Job placement policies (§2's flexibility attribute): packed placement
+// fills blocks/pods contiguously; fragmented placement spreads a job
+// across pods, the situation Fig. 2 quantifies.
+#pragma once
+
+#include <vector>
+
+#include "topo/fabric.h"
+
+namespace astral::parallel {
+
+/// Maps job ranks to global GPU indices of a fabric.
+struct Placement {
+  std::vector<int> gpus;  ///< job rank -> global GPU index.
+
+  int size() const { return static_cast<int>(gpus.size()); }
+
+  /// Contiguous allocation starting at GPU 0 (fills hosts, then blocks,
+  /// then pods). Requires n <= fabric.gpu_count().
+  static Placement packed(const topo::Fabric& fabric, int n);
+
+  /// Spreads n GPUs across `parts` pods: whole hosts are allocated
+  /// round-robin over pods (GPU granularity stays host-aligned, as
+  /// schedulers allocate whole servers). Requires parts <= pods and the
+  /// per-pod slice to fit.
+  static Placement fragmented(const topo::Fabric& fabric, int n, int parts);
+};
+
+}  // namespace astral::parallel

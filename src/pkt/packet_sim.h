@@ -1,0 +1,115 @@
+// Packet-granular network simulator.
+//
+// The paper's Seer deliberately avoids packet-level simulation for speed
+// (§4.3, §5: ASTRA-sim took a day for one iteration, SimAI hours). This
+// module exists for the two purposes such simulators still serve here:
+// validating the fluid model's completion times on small scenarios, and
+// reproducing the efficiency argument (bench/ablation_seer_vs_packet).
+//
+// Fidelity: store-and-forward output-queued switches, MTU-sized packets,
+// RED-style ECN marking, DCQCN-like end-host rate control (multiplicative
+// decrease on congestion notification, additive recovery), and per-port
+// PFC (XOFF/XON thresholds pausing upstream transmitters) making the
+// fabric lossless under incast. Routing is byte-identical to the fluid
+// simulator via the shared net::Router.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/event_queue.h"
+#include "core/rng.h"
+#include "net/router.h"
+
+namespace astral::pkt {
+
+struct PacketSimConfig {
+  core::Bytes mtu = 4096;
+  core::Bytes queue_capacity = 512 * 1024;  ///< Per egress port.
+  // RED-on-ECN marking ramp.
+  core::Bytes ecn_kmin = 64 * 1024;
+  core::Bytes ecn_kmax = 256 * 1024;
+  double ecn_pmax = 0.2;
+  // PFC thresholds (XOFF pauses upstream; XON resumes).
+  core::Bytes pfc_xoff = 384 * 1024;
+  core::Bytes pfc_xon = 192 * 1024;
+  core::Seconds hop_latency = core::usec(0.6);
+  // DCQCN-like rate control.
+  double rate_decrease = 0.5;  ///< Multiplicative cut per CNP window.
+  core::Seconds cnp_min_interval = core::usec(50.0);
+  core::Seconds increase_interval = core::usec(55.0);
+  double increase_fraction = 0.05;  ///< Of line rate, per interval.
+  double min_rate_fraction = 0.01;
+  std::uint64_t seed = 1;
+};
+
+struct PktFlowState {
+  net::FlowSpec spec;
+  net::FiveTuple tuple;
+  std::vector<topo::LinkId> path;
+  bool admitted = false;
+  core::Bytes delivered = 0;
+  double rate = 0.0;             ///< Current paced sending rate, bits/s.
+  core::Seconds finish = -1.0;   ///< Last byte delivered; <0 while active.
+  std::uint64_t ecn_feedback = 0;  ///< Congestion notifications received.
+};
+
+struct PacketSimStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t pfc_pause_events = 0;
+  std::uint64_t pfc_resume_events = 0;
+};
+
+class PacketSim {
+ public:
+  explicit PacketSim(topo::Fabric& fabric, PacketSimConfig cfg = {});
+  ~PacketSim();
+
+  PacketSim(const PacketSim&) = delete;
+  PacketSim& operator=(const PacketSim&) = delete;
+
+  /// Injects a flow; like the fluid simulator, routing is pinned at
+  /// admission and `admitted` is false when unroutable.
+  net::FlowId inject(const net::FlowSpec& spec);
+
+  /// Runs the event loop until all flows deliver or `until`.
+  void run(core::Seconds until = 1e18);
+
+  core::Seconds now() const;
+  const PktFlowState& flow(net::FlowId id) const;
+  std::size_t flow_count() const;
+  const PacketSimStats& stats() const { return stats_; }
+
+  /// Current depth of the egress queue feeding `link`, bytes.
+  core::Bytes queue_depth(topo::LinkId link) const;
+
+ private:
+  struct Port;
+  struct Packet;
+  struct Flow;
+
+  void pace_next_packet(std::size_t flow_idx);
+  void enqueue(std::size_t port_idx, Packet pkt);
+  void start_transmit(std::size_t port_idx);
+  void finish_transmit(std::size_t port_idx);
+  void deliver(const Packet& pkt);
+  void notify_congestion(std::size_t flow_idx);
+  void schedule_increase(std::size_t flow_idx);
+  void update_pfc(std::size_t port_idx);
+
+  topo::Fabric& fabric_;
+  net::Router router_;
+  PacketSimConfig cfg_;
+  core::Rng rng_;
+  core::EventQueue queue_;
+  std::vector<Flow> flows_;
+  std::vector<Port> ports_;  ///< One per directed link, same indexing.
+  PacketSimStats stats_;
+  int active_flows_ = 0;
+};
+
+}  // namespace astral::pkt

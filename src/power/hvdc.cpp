@@ -1,0 +1,110 @@
+#include "power/hvdc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astral::power {
+
+double chain_efficiency(ChainKind kind) {
+  switch (kind) {
+    // Grid AC -> UPS (AC/DC, DC/AC) -> PSU (AC/DC): three lossy stages.
+    case ChainKind::AcUps: return 0.88;
+    // Grid AC -> rectifier -> DC bus -> PSU (DC/DC): battery charges
+    // directly from the bus.
+    case ChainKind::Hvdc: return 0.962;
+  }
+  return 1.0;
+}
+
+PowerUnit::PowerUnit(PowerUnitConfig cfg)
+    : cfg_(cfg), battery_j_(cfg.battery_capacity_j * 0.8) {}
+
+double PowerUnit::unit_budget() const { return cfg_.racks * cfg_.rack_tdp_watts; }
+
+Allocation PowerUnit::allocate(std::span<const double> demand_watts) const {
+  Allocation out;
+  out.granted_watts.resize(demand_watts.size());
+  const double per_rack_cap = cfg_.rack_tdp_watts * (1.0 + cfg_.elastic_headroom);
+
+  // First pass: clamp to the per-rack elastic cap.
+  double total = 0.0;
+  for (std::size_t i = 0; i < demand_watts.size(); ++i) {
+    double g = std::min(demand_watts[i], per_rack_cap);
+    if (g < demand_watts[i]) out.clipped = true;
+    out.granted_watts[i] = g;
+    total += g;
+  }
+  // Second pass: if the aggregate exceeds the unit budget, shave the
+  // elastic portion (above TDP) proportionally — racks at or below TDP
+  // are always honored.
+  double budget = unit_budget();
+  if (total > budget) {
+    double elastic_total = 0.0;
+    for (std::size_t i = 0; i < out.granted_watts.size(); ++i) {
+      elastic_total += std::max(0.0, out.granted_watts[i] - cfg_.rack_tdp_watts);
+    }
+    double excess = total - budget;
+    double shave = elastic_total > 0 ? std::min(1.0, excess / elastic_total) : 0.0;
+    for (auto& g : out.granted_watts) {
+      double elastic = std::max(0.0, g - cfg_.rack_tdp_watts);
+      g -= elastic * shave;
+    }
+    out.clipped = true;
+    total = budget + std::max(0.0, excess - elastic_total);
+  }
+  out.total_granted = 0.0;
+  for (double g : out.granted_watts) out.total_granted += g;
+  return out;
+}
+
+double PowerUnit::step(core::Seconds dt, double load_watts) {
+  const double eff = chain_efficiency(cfg_.kind);
+  const double input_needed = load_watts / eff;
+  if (cfg_.kind == ChainKind::AcUps) {
+    // Double-conversion UPS: fluctuations pass straight to the grid; the
+    // battery floats and its usable capacity is churned by the pulses
+    // (the paper's 20-30% fluctuation observation).
+    double churn = std::abs(input_needed - (avg_load_ < 0 ? input_needed : avg_load_));
+    battery_j_ = std::clamp(battery_j_ - churn * dt * 0.25,
+                            cfg_.battery_capacity_j * 0.6, cfg_.battery_capacity_j);
+    avg_load_ = input_needed;
+    return input_needed;
+  }
+  // HVDC: track a slow EWMA of the load as the constant grid target; the
+  // DC-bus battery absorbs the difference within its power rating.
+  if (avg_load_ < 0) avg_load_ = input_needed;
+  avg_load_ += (input_needed - avg_load_) * std::min(1.0, dt / 60.0);
+  double grid = avg_load_;
+  double delta = input_needed - grid;  // >0: battery discharges
+  double max_delta = cfg_.battery_power_w;
+  delta = std::clamp(delta, -max_delta, max_delta);
+  double new_soc_j = battery_j_ - delta * dt;
+  if (new_soc_j < 0.0 || new_soc_j > cfg_.battery_capacity_j) {
+    // Battery can't absorb it; the grid takes the remainder.
+    grid = input_needed;
+  } else {
+    battery_j_ = new_soc_j;
+    grid = input_needed - delta;
+  }
+  return grid;
+}
+
+double grid_stability(PowerUnit& unit, std::span<const double> load_watts,
+                      core::Seconds dt) {
+  // Skip the warm-up transient: the metric is about steady operation.
+  const std::size_t warmup = load_watts.size() / 5;
+  double peak = 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < load_watts.size(); ++i) {
+    double grid = unit.step(dt, load_watts[i]);
+    if (i < warmup) continue;
+    peak = std::max(peak, grid);
+    sum += grid;
+    ++counted;
+  }
+  double avg = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+  return avg > 0 ? peak / avg : 0.0;
+}
+
+}  // namespace astral::power

@@ -1,0 +1,77 @@
+// Distributed HVDC power system vs traditional AC-UPS (§2.2, Fig. 4).
+//
+// The chain model captures the three HVDC benefits the paper claims:
+//  1. efficiency — one rectification stage and a directly-coupled battery
+//     vs the UPS double conversion;
+//  2. stability — the battery rides on the DC bus, so pulsed LLM load is
+//     absorbed and grid draw stays near-constant (AC-UPS batteries see
+//     20-30% capacity fluctuation instead);
+//  3. elasticity — a unit feeds a row of racks at aggregate TDP, and any
+//     single rack may draw up to +30% above its TDP from shared headroom.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/units.h"
+
+namespace astral::power {
+
+enum class ChainKind : std::uint8_t { AcUps, Hvdc };
+
+/// End-to-end electrical conversion efficiency of a chain.
+double chain_efficiency(ChainKind kind);
+
+struct PowerUnitConfig {
+  ChainKind kind = ChainKind::Hvdc;
+  int racks = 8;
+  double rack_tdp_watts = 40e3;       ///< Per-rack thermal design power.
+  double elastic_headroom = 0.30;     ///< Single-rack burst above TDP.
+  double battery_capacity_j = 400e6;  ///< Energy buffer.
+  double battery_power_w = 500e3;     ///< Max charge/discharge rate.
+};
+
+struct Allocation {
+  std::vector<double> granted_watts;  ///< Per rack.
+  double total_granted = 0.0;
+  bool clipped = false;  ///< Any rack got less than requested.
+};
+
+/// One distributed power unit feeding a row of racks (plus its share of
+/// the cooling system).
+class PowerUnit {
+ public:
+  explicit PowerUnit(PowerUnitConfig cfg);
+
+  const PowerUnitConfig& config() const { return cfg_; }
+  /// Aggregate budget: racks * rack TDP (the supply "remains constant
+  /// (approximately their TDP)").
+  double unit_budget() const;
+
+  /// Grants rack demands subject to (a) per-rack cap of TDP * (1 +
+  /// headroom) and (b) the aggregate unit budget; excess demand is
+  /// reduced proportionally from the racks exceeding TDP.
+  Allocation allocate(std::span<const double> demand_watts) const;
+
+  /// Advances the battery-buffered supply by dt under `load_watts` of IT
+  /// load. Returns grid draw in watts. HVDC buffers through the DC-bus
+  /// battery toward constant grid draw; AC-UPS passes fluctuations
+  /// through (its battery only backs up outages) and loses more in
+  /// conversion.
+  double step(core::Seconds dt, double load_watts);
+
+  /// Battery state of charge in [0, 1].
+  double soc() const { return battery_j_ / cfg_.battery_capacity_j; }
+
+ private:
+  PowerUnitConfig cfg_;
+  double battery_j_;
+  double avg_load_ = -1.0;  ///< EWMA of load, the constant-draw target.
+};
+
+/// Peak-to-average grid-draw ratio of a chain under a pulsed load trace —
+/// the stability metric (closer to 1 is better).
+double grid_stability(PowerUnit& unit, std::span<const double> load_watts,
+                      core::Seconds dt);
+
+}  // namespace astral::power

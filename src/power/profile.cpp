@@ -1,0 +1,105 @@
+#include "power/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/math.h"
+
+namespace astral::power {
+
+namespace {
+double noisy(double watts, double noise, core::Rng& rng) {
+  return std::max(0.0, watts * (1.0 + rng.normal(0.0, noise)));
+}
+}  // namespace
+
+std::vector<PowerSample> training_power_trace(const GpuPowerModel& gpu,
+                                              const TrainIterationShape& shape,
+                                              int iterations, core::Seconds dt,
+                                              core::Rng& rng) {
+  struct Segment {
+    core::Seconds len;
+    double factor;
+  };
+  const Segment segments[] = {
+      {shape.fwd_compute, gpu.compute_peak_factor},
+      {shape.fwd_comm, gpu.comm_factor},
+      {shape.bwd_compute, gpu.compute_peak_factor},
+      {shape.bwd_comm, gpu.comm_factor},
+      {shape.optimizer, 0.75},
+  };
+  core::Seconds iter_len = 0;
+  for (const auto& s : segments) iter_len += s.len;
+
+  std::vector<PowerSample> trace;
+  for (core::Seconds t = 0; t < iterations * iter_len; t += dt) {
+    core::Seconds phase = std::fmod(t, iter_len);
+    double factor = segments[0].factor;
+    for (const auto& s : segments) {
+      if (phase < s.len) {
+        factor = s.factor;
+        break;
+      }
+      phase -= s.len;
+    }
+    trace.push_back({t, noisy(gpu.tdp_watts * factor, gpu.noise, rng)});
+  }
+  return trace;
+}
+
+std::vector<PowerSample> inference_power_trace(const GpuPowerModel& gpu,
+                                               core::Seconds prefill, core::Seconds decode,
+                                               int requests, core::Seconds dt,
+                                               core::Rng& rng) {
+  const core::Seconds cycle = prefill + decode;
+  std::vector<PowerSample> trace;
+  for (core::Seconds t = 0; t < requests * cycle; t += dt) {
+    core::Seconds phase = std::fmod(t, cycle);
+    double factor = phase < prefill ? gpu.compute_peak_factor : gpu.decode_factor;
+    trace.push_back({t, noisy(gpu.tdp_watts * factor, gpu.noise, rng)});
+  }
+  return trace;
+}
+
+std::vector<PowerSample> diurnal_fleet_trace(const GpuPowerModel& gpu, int gpus,
+                                             double train_fill, core::Seconds dt,
+                                             core::Rng& rng) {
+  // Inference demand: a smooth daily curve peaking mid-afternoon and
+  // bottoming out around 3am; the 22:00-08:00 window carries the dip the
+  // paper describes.
+  auto inference_load = [](double hour) {
+    // 0..1 utilization of the fleet by inference.
+    double phase = (hour - 14.0) / 24.0 * 2.0 * std::numbers::pi;
+    double base = 0.55 + 0.35 * std::cos(phase);
+    return std::clamp(base, 0.15, 0.95);
+  };
+  std::vector<PowerSample> trace;
+  const double day = 24.0 * 3600.0;
+  for (core::Seconds t = 0; t < day; t += dt) {
+    double hour = t / 3600.0;
+    double infer = inference_load(hour);
+    // Nighttime training backfill toward a constant-power contract.
+    double headroom = 0.95 - infer;
+    double train = train_fill * std::max(0.0, headroom);
+    double util = infer + train;
+    double per_gpu = gpu.idle_watts + (gpu.tdp_watts * 0.85 - gpu.idle_watts) * util;
+    trace.push_back({t, noisy(per_gpu * gpus, gpu.noise / 4.0, rng)});
+  }
+  return trace;
+}
+
+TraceStats trace_stats(const std::vector<PowerSample>& trace) {
+  TraceStats s;
+  if (trace.empty()) return s;
+  std::vector<double> w;
+  w.reserve(trace.size());
+  for (const auto& p : trace) w.push_back(p.watts);
+  s.peak_watts = *std::max_element(w.begin(), w.end());
+  s.min_watts = *std::min_element(w.begin(), w.end());
+  s.mean_watts = core::mean(w);
+  s.stddev_watts = core::stddev(w);
+  return s;
+}
+
+}  // namespace astral::power

@@ -1,0 +1,73 @@
+// GPU power-usage profiles (§5, Figs. 15-16): phase-resolved power within
+// training/inference iterations (peaks at/above TDP during compute,
+// troughs during communication and decode) and the diurnal tidal pattern
+// of a production fleet.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace astral::power {
+
+struct PowerSample {
+  core::Seconds t = 0.0;
+  double watts = 0.0;
+};
+
+struct GpuPowerModel {
+  double tdp_watts = 400.0;
+  double idle_watts = 70.0;
+  /// Peak draw during dense compute relative to TDP (>1: the paper's
+  /// "peak power can exceed TDP" observation).
+  double compute_peak_factor = 1.08;
+  /// Draw during communication phases relative to TDP.
+  double comm_factor = 0.55;
+  /// Draw during decode (memory-bound) relative to TDP.
+  double decode_factor = 0.45;
+  /// Relative sample noise (deterministic via the provided Rng).
+  double noise = 0.015;
+};
+
+/// Phase split of one training iteration.
+struct TrainIterationShape {
+  core::Seconds fwd_compute = 0.12;
+  core::Seconds fwd_comm = 0.03;
+  core::Seconds bwd_compute = 0.22;
+  core::Seconds bwd_comm = 0.05;
+  core::Seconds optimizer = 0.04;
+};
+
+/// Per-phase power trace over `iterations` training iterations, sampled
+/// every `dt` seconds (Fig. 15a).
+std::vector<PowerSample> training_power_trace(const GpuPowerModel& gpu,
+                                              const TrainIterationShape& shape,
+                                              int iterations, core::Seconds dt,
+                                              core::Rng& rng);
+
+/// Inference trace alternating prefill (at TDP) and decode (well below)
+/// phases (Fig. 15b).
+std::vector<PowerSample> inference_power_trace(const GpuPowerModel& gpu,
+                                               core::Seconds prefill, core::Seconds decode,
+                                               int requests, core::Seconds dt,
+                                               core::Rng& rng);
+
+/// 24-hour fleet trace with the tidal inference pattern: high daytime
+/// load declining between 22:00 and 08:00 (Fig. 16). `train_fill` is the
+/// fraction of the nighttime dip backfilled with training jobs (the
+/// cheap-night-rental scheduling policy); 0 shows the raw tide.
+std::vector<PowerSample> diurnal_fleet_trace(const GpuPowerModel& gpu, int gpus,
+                                             double train_fill, core::Seconds dt,
+                                             core::Rng& rng);
+
+/// Peak-to-mean and variability summary of a trace.
+struct TraceStats {
+  double peak_watts = 0.0;
+  double mean_watts = 0.0;
+  double min_watts = 0.0;
+  double stddev_watts = 0.0;
+};
+TraceStats trace_stats(const std::vector<PowerSample>& trace);
+
+}  // namespace astral::power

@@ -1,0 +1,37 @@
+#include "power/pue.h"
+
+namespace astral::power {
+
+FacilityConfig FacilityConfig::traditional(double capacity_w) {
+  FacilityConfig f;
+  f.chain = ChainKind::AcUps;
+  f.cooling = cooling::CoolingConfig::traditional_air(capacity_w);
+  f.misc_fraction = 0.03;
+  return f;
+}
+
+FacilityConfig FacilityConfig::astral(double capacity_w) {
+  FacilityConfig f;
+  f.chain = ChainKind::Hvdc;
+  f.cooling = cooling::CoolingConfig::astral_integrated(capacity_w);
+  f.misc_fraction = 0.02;
+  return f;
+}
+
+double compute_pue(const FacilityConfig& cfg, double it_watts) {
+  if (it_watts <= 0) return 1.0;
+  cooling::IntegratedCooling plant(cfg.cooling);
+  double cooling_w = plant.cooling_power(it_watts);
+  double misc_w = it_watts * cfg.misc_fraction;
+  double facility = (it_watts + cooling_w + misc_w) / chain_efficiency(cfg.chain);
+  return facility / it_watts;
+}
+
+double blended_pue(const FacilityConfig& traditional, const FacilityConfig& astral,
+                   double migrated, double it_watts) {
+  double a = compute_pue(astral, it_watts * migrated);
+  double t = compute_pue(traditional, it_watts * (1.0 - migrated));
+  return migrated * a + (1.0 - migrated) * t;
+}
+
+}  // namespace astral::power

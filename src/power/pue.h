@@ -1,0 +1,32 @@
+// Power Usage Effectiveness accounting (Fig. 6): facility draw =
+// (IT + cooling + misc) / distribution-chain efficiency; PUE is that
+// divided by IT power. Combines the HVDC/AC-UPS chain models with the
+// air-liquid cooling plant.
+#pragma once
+
+#include "cooling/integrated.h"
+#include "power/hvdc.h"
+
+namespace astral::power {
+
+struct FacilityConfig {
+  ChainKind chain = ChainKind::Hvdc;
+  cooling::CoolingConfig cooling;
+  double misc_fraction = 0.025;  ///< Lighting, offices, security.
+
+  /// Pre-Astral baseline: AC-UPS distribution, traditional air cooling.
+  static FacilityConfig traditional(double capacity_w);
+  /// Astral: distributed HVDC, air-liquid integrated cooling.
+  static FacilityConfig astral(double capacity_w);
+};
+
+/// PUE at the given IT load.
+double compute_pue(const FacilityConfig& cfg, double it_watts);
+
+/// Capacity-weighted PUE of a fleet that is partially migrated: a
+/// `migrated` fraction of IT load runs on the Astral facility, the rest
+/// on the traditional one (the gradual 18-month rollout of Fig. 6).
+double blended_pue(const FacilityConfig& traditional, const FacilityConfig& astral,
+                   double migrated, double it_watts);
+
+}  // namespace astral::power

@@ -1,0 +1,53 @@
+#include "power/renewables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace astral::power {
+
+double solar_output(double hour_of_day, double peak_watts) {
+  // Daylight window 6:00-18:00, sinusoidal irradiance.
+  if (hour_of_day < 6.0 || hour_of_day > 18.0) return 0.0;
+  double phase = (hour_of_day - 6.0) / 12.0 * std::numbers::pi;
+  return peak_watts * std::sin(phase);
+}
+
+WindFarm::WindFarm(double peak_watts, double capacity_factor, std::uint64_t seed)
+    : peak_(peak_watts), cf_(capacity_factor), state_(capacity_factor), rng_(seed) {}
+
+double WindFarm::step(core::Seconds dt) {
+  // Mean-reverting random walk of the site-wide wind level.
+  double tau = 6.0 * 3600.0;  // weather timescale
+  double pull = (cf_ - state_) * std::min(1.0, dt / tau);
+  double gust = rng_.normal(0.0, 0.08) * std::sqrt(std::min(1.0, dt / tau));
+  state_ = std::clamp(state_ + pull + gust, 0.0, 1.0);
+  return peak_ * state_;
+}
+
+EnergyMix simulate_year(double avg_load_watts, double solar_peak_watts,
+                        double wind_peak_watts, double wind_capacity_factor,
+                        std::uint64_t seed) {
+  EnergyMix mix;
+  WindFarm wind(wind_peak_watts, wind_capacity_factor, seed);
+  const core::Seconds dt = 900.0;  // 15-minute buckets
+  const double days = 365.0;
+  for (core::Seconds t = 0; t < days * 24 * 3600; t += dt) {
+    double hour = std::fmod(t / 3600.0, 24.0);
+    double solar = solar_output(hour, solar_peak_watts);
+    double w = wind.step(dt);
+    double renewable = std::min(avg_load_watts, solar + w);
+    // Split the renewable credit proportionally between sources.
+    double total_green = solar + w;
+    double solar_used = total_green > 0 ? renewable * solar / total_green : 0.0;
+    double wind_used = renewable - solar_used;
+    double grid = avg_load_watts - renewable;
+    double to_kwh = dt / 3600.0 / 1000.0;
+    mix.solar_kwh += solar_used * to_kwh;
+    mix.wind_kwh += wind_used * to_kwh;
+    mix.grid_kwh += grid * to_kwh;
+  }
+  return mix;
+}
+
+}  // namespace astral::power

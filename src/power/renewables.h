@@ -1,0 +1,55 @@
+// Green supplemental energy (§2.2): roof-mounted solar and flatland wind
+// stations feeding the HVDC bus, and the carbon accounting behind the
+// paper's "22% renewable, 778k tons CO2 avoided" 2024 report.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace astral::power {
+
+/// Solar output over a day: a clear-sky bell between sunrise and sunset
+/// scaled by the installation's peak watts.
+double solar_output(double hour_of_day, double peak_watts);
+
+/// Wind output: slowly-varying around a site capacity factor;
+/// deterministic for a given Rng seed.
+class WindFarm {
+ public:
+  WindFarm(double peak_watts, double capacity_factor, std::uint64_t seed = 11);
+  /// Advances the weather state and returns current output.
+  double step(core::Seconds dt);
+
+ private:
+  double peak_;
+  double cf_;
+  double state_;
+  core::Rng rng_;
+};
+
+struct EnergyMix {
+  double grid_kwh = 0.0;
+  double solar_kwh = 0.0;
+  double wind_kwh = 0.0;
+
+  double total_kwh() const { return grid_kwh + solar_kwh + wind_kwh; }
+  double renewable_fraction() const {
+    double t = total_kwh();
+    return t > 0 ? (solar_kwh + wind_kwh) / t : 0.0;
+  }
+  /// Avoided CO2 vs an all-grid supply, using a grid intensity in
+  /// kg CO2 per kWh (China grid average ~0.58).
+  double avoided_co2_tons(double kg_per_kwh = 0.58) const {
+    return (solar_kwh + wind_kwh) * kg_per_kwh / 1000.0;
+  }
+};
+
+/// Simulates one year of a datacenter drawing `avg_load_watts` with the
+/// given renewable installations; returns the mix.
+EnergyMix simulate_year(double avg_load_watts, double solar_peak_watts,
+                        double wind_peak_watts, double wind_capacity_factor,
+                        std::uint64_t seed = 11);
+
+}  // namespace astral::power

@@ -1,0 +1,64 @@
+#include "power/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace astral::power {
+
+std::vector<double> tidal_inference_demand() {
+  std::vector<double> demand(24);
+  for (int h = 0; h < 24; ++h) {
+    double phase = (h - 14.0) / 24.0 * 2.0 * std::numbers::pi;
+    demand[static_cast<std::size_t>(h)] = std::clamp(0.55 + 0.35 * std::cos(phase), 0.15, 0.95);
+  }
+  return demand;
+}
+
+DaySchedule schedule_day(const std::vector<double>& inference_demand, int fleet_gpus,
+                         const GpuPowerModel& gpu, double training_backlog_gpu_hours) {
+  DaySchedule plan;
+  plan.hours.resize(inference_demand.size());
+
+  // Per-GPU draw for busy vs idle GPUs (hour-scale averages).
+  const double busy_w = gpu.tdp_watts * 0.85;
+  const double idle_w = gpu.idle_watts;
+
+  // Contract ceiling: the peak inference hour must fit with no training.
+  double peak_frac = 0.0;
+  for (double d : inference_demand) peak_frac = std::max(peak_frac, d);
+  const int ceiling_gpus = static_cast<int>(std::round(peak_frac * fleet_gpus));
+
+  // Fill the deepest troughs first (they are also the cheapest rentals).
+  std::vector<int> order(inference_demand.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return inference_demand[static_cast<std::size_t>(a)] <
+           inference_demand[static_cast<std::size_t>(b)];
+  });
+
+  double backlog = training_backlog_gpu_hours;
+  for (int h : order) {
+    auto& slot = plan.hours[static_cast<std::size_t>(h)];
+    slot.hour = h;
+    slot.inference_gpus = static_cast<int>(
+        std::round(inference_demand[static_cast<std::size_t>(h)] * fleet_gpus));
+    int spare = std::max(0, ceiling_gpus - slot.inference_gpus);
+    int train = static_cast<int>(std::min<double>(spare, backlog));
+    slot.training_gpus = train;
+    backlog -= train;
+    int busy = slot.inference_gpus + slot.training_gpus;
+    slot.power_watts = busy * busy_w + (fleet_gpus - busy) * idle_w;
+  }
+
+  double sum = 0.0;
+  for (const auto& slot : plan.hours) {
+    plan.peak_watts = std::max(plan.peak_watts, slot.power_watts);
+    sum += slot.power_watts;
+    plan.training_gpu_hours += slot.training_gpus;
+  }
+  plan.mean_watts = sum / static_cast<double>(plan.hours.size());
+  return plan;
+}
+
+}  // namespace astral::power

@@ -1,0 +1,45 @@
+// Constant-power job scheduling (§5 "power consumption patterns and our
+// power allocation strategy"): the fleet signed a constant-power utility
+// contract, inference demand is tidal, so training jobs are scheduled
+// into the nightly trough (incentivized by cheap night rentals). The
+// scheduler fills each hour's spare GPUs with training, subject to the
+// contract ceiling and a training-backlog budget.
+#pragma once
+
+#include <vector>
+
+#include "power/profile.h"
+
+namespace astral::power {
+
+struct HourPlan {
+  int hour = 0;
+  int inference_gpus = 0;
+  int training_gpus = 0;
+  double power_watts = 0.0;  ///< Fleet draw for this hour.
+};
+
+struct DaySchedule {
+  std::vector<HourPlan> hours;  ///< 24 entries.
+  double peak_watts = 0.0;
+  double mean_watts = 0.0;
+  double training_gpu_hours = 0.0;
+  /// Peak-to-mean of the scheduled draw; 1.0 = perfectly flat, the
+  /// contract ideal.
+  double flatness() const { return mean_watts > 0 ? peak_watts / mean_watts : 0.0; }
+};
+
+/// Greedy constant-power scheduling. `inference_demand` holds 24 hourly
+/// fleet fractions required by inference (from the tidal pattern);
+/// `training_backlog_gpu_hours` is how much queued training exists. The
+/// contract line is set to the peak inference hour (inference must always
+/// fit); training backfills each hour up to that line, cheapest (deepest
+/// trough) hours first, until the backlog runs out.
+DaySchedule schedule_day(const std::vector<double>& inference_demand, int fleet_gpus,
+                         const GpuPowerModel& gpu, double training_backlog_gpu_hours);
+
+/// The observed hourly inference fractions behind Fig. 16 (peak at
+/// mid-afternoon, trough around 3am).
+std::vector<double> tidal_inference_demand();
+
+}  // namespace astral::power

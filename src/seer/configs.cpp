@@ -1,0 +1,37 @@
+#include "seer/configs.h"
+
+namespace astral::seer {
+
+using namespace core;
+
+GpuSpec GpuSpec::h100() {
+  GpuSpec g;
+  g.name = "H100";
+  g.flops = tflops(989.0);  // dense BF16
+  g.hbm_bw = 3.35e12;
+  g.hbm_size = 80_GiB;
+  g.tdp_watts = 700.0;
+  return g;
+}
+
+GpuSpec GpuSpec::a100() {
+  GpuSpec g;
+  g.name = "A100";
+  g.flops = tflops(312.0);
+  g.hbm_bw = 2.0e12;
+  g.hbm_size = 80_GiB;
+  g.tdp_watts = 400.0;
+  return g;
+}
+
+GpuSpec GpuSpec::low_tier() {
+  GpuSpec g;
+  g.name = "low-tier";
+  g.flops = tflops(148.0);  // compute-capped export part
+  g.hbm_bw = 4.0e12;
+  g.hbm_size = 96_GiB;
+  g.tdp_watts = 400.0;
+  return g;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,41 @@
+// Modular hardware/software suites for Seer configuration (§4.3): GPU
+// specs generate FLOPS / HBM numbers; the communication environment
+// captures NIC and NVLink bandwidth, the NVLink (HB) domain size, and
+// optional cross-datacenter constraints.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace astral::seer {
+
+/// GPU device parameters. `flops` is dense BF16 throughput.
+struct GpuSpec {
+  std::string name;
+  double flops = 0.0;        ///< FLOP/s (dense, half precision).
+  double hbm_bw = 0.0;       ///< HBM bytes/sec.
+  core::Bytes hbm_size = 0;  ///< HBM capacity.
+  double tdp_watts = 0.0;
+
+  static GpuSpec h100();
+  static GpuSpec a100();
+  /// An export-compliant low-tier part (the paper's setting (ii)):
+  /// H100-class memory bandwidth but heavily reduced compute.
+  static GpuSpec low_tier();
+};
+
+/// Communication environment of one job.
+struct CommEnv {
+  core::Bps nic_bw = core::gbps(400.0);       ///< Per-GPU RDMA bandwidth.
+  core::Bps nvlink_bw = core::gBps(450.0);    ///< Per-GPU intra-host bw.
+  int hb_domain = 8;  ///< GPUs per NVLink (high-bandwidth) domain.
+
+  // Cross-datacenter extension (§4.4 case 1, Appendix B): traffic of the
+  // flagged parallelism dimension crosses DCs over an oversubscribed
+  // long-haul trunk with added propagation delay.
+  double crossdc_oversub = 1.0;
+  core::Seconds crossdc_rtt = 0.0;
+};
+
+}  // namespace astral::seer

@@ -1,0 +1,65 @@
+// Operator execution-time model: the paper's Appendix E closed forms
+// (Eqs. 1-6) for atomic computation / memory / communication operations,
+// generalized with (a) the efficiency correction of §4.3 and (b) an
+// NVLink-domain-aware hierarchical collective model used for the Fig. 14
+// intra-host scaling study.
+#pragma once
+
+#include <memory>
+
+#include "core/units.h"
+#include "seer/configs.h"
+#include "seer/efficiency.h"
+#include "seer/op_graph.h"
+
+namespace astral::seer {
+
+class CostModel {
+ public:
+  CostModel(GpuSpec gpu, CommEnv env, std::shared_ptr<const EfficiencyModel> eff);
+
+  const GpuSpec& gpu() const { return gpu_; }
+  const CommEnv& env() const { return env_; }
+
+  // ----- Appendix E, verbatim (theoretical bandwidths, no correction):
+
+  /// Eq. 1: A(m x n) * B(n x p) -> (2n-1) m p / flops.
+  core::Seconds matmul_time_eq1(double m, double n, double p) const;
+  /// Eq. 2: A + B with A,B (m x n) -> m n / flops.
+  core::Seconds addition_time_eq2(double m, double n) const;
+  /// Eq. 3: touch of matrix (m x n) with f-bit elements over HBM.
+  core::Seconds mem_time_eq3(double m, double n, int f_bits) const;
+  /// Eq. 4: TP collective of activation (b, s, h), f-bit.
+  core::Seconds tp_comm_time_eq4(double b, double s, double h, int f_bits) const;
+  /// Eq. 5: PP point-to-point, activation sharded over tp_groups.
+  core::Seconds pp_comm_time_eq5(double b, double s, double h, int f_bits,
+                                 int tp_groups) const;
+  /// Eq. 6: DP gradient synchronization of the model shard.
+  core::Seconds dp_comm_time_eq6(double model_param_num, int f_bits, int tp_groups,
+                                 int pp_groups) const;
+
+  // ----- Corrected, engine-facing costs:
+
+  /// Kernel compute time with measured-FLOPS correction.
+  core::Seconds compute_time(double flops) const;
+  /// HBM access time with measured-bandwidth correction.
+  core::Seconds memory_time(double bytes) const;
+  /// Collective time: hierarchical (NVLink domain first, NIC between
+  /// domains), with measured-network-throughput correction on the NIC
+  /// stage and cross-datacenter oversubscription/RTT when flagged.
+  core::Seconds comm_time(CommKind kind, double bytes, int group, bool cross_dc) const;
+
+  /// Full operator cost. Fused Mem+Comp ops follow the roofline:
+  /// max(compute_time, memory_time). `fixed_time` overrides everything.
+  core::Seconds op_time(const Operator& op) const;
+
+ private:
+  double nic_rate(double step_bytes, bool cross_dc) const;
+  double nvlink_rate() const;
+
+  GpuSpec gpu_;
+  CommEnv env_;
+  std::shared_ptr<const EfficiencyModel> eff_;
+};
+
+}  // namespace astral::seer

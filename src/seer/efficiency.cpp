@@ -1,0 +1,100 @@
+#include "seer/efficiency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astral::seer {
+
+namespace {
+double saturating(double x, double ceiling, double half) {
+  if (x <= 0) return 0.01;
+  return ceiling * x / (x + half);
+}
+// A smooth, deterministic ripple over log-size; represents residual
+// packet-level structure (message segmentation, window effects) that a
+// polynomial fit tracks only approximately.
+double ripple(double x, double amplitude) {
+  if (x <= 0) return 1.0;
+  return 1.0 + amplitude * std::sin(1.7 * std::log2(x));
+}
+}  // namespace
+
+double TestbedEfficiency::compute_eff(double flops) const {
+  return std::clamp(saturating(flops, p_.compute_ceiling, p_.compute_half_flops) *
+                        ripple(flops, p_.ripple),
+                    0.01, 1.0);
+}
+
+double TestbedEfficiency::memory_eff(double bytes) const {
+  return std::clamp(saturating(bytes, p_.memory_ceiling, p_.memory_half_bytes) *
+                        ripple(bytes, p_.ripple),
+                    0.01, 1.0);
+}
+
+double TestbedEfficiency::network_eff(double bytes) const {
+  double base = saturating(bytes, p_.network_ceiling, p_.network_half_bytes) *
+                ripple(bytes, p_.ripple);
+  return std::clamp(base * (1.0 - p_.congestion), 0.01, 1.0);
+}
+
+CalibratedEfficiency::CalibratedEfficiency(core::Polynomial compute, core::Polynomial memory,
+                                           core::Polynomial network)
+    : compute_(std::move(compute)), memory_(std::move(memory)), network_(std::move(network)) {}
+
+double CalibratedEfficiency::eval_clamped(const core::Polynomial& p, double x) {
+  if (p.coeffs.empty()) return 1.0;  // no calibration data -> basic model
+  if (x <= 0) return 0.01;
+  return std::clamp(p.eval(normalized_log_size(x)), 0.01, 1.0);
+}
+
+double CalibratedEfficiency::compute_eff(double flops) const {
+  return eval_clamped(compute_, flops);
+}
+double CalibratedEfficiency::memory_eff(double bytes) const {
+  return eval_clamped(memory_, bytes);
+}
+double CalibratedEfficiency::network_eff(double bytes) const {
+  return eval_clamped(network_, bytes);
+}
+
+void Calibrator::add_compute_sample(double flops, double eff) {
+  if (flops <= 0) return;
+  comp_x_.push_back(normalized_log_size(flops));
+  comp_y_.push_back(eff);
+}
+void Calibrator::add_memory_sample(double bytes, double eff) {
+  if (bytes <= 0) return;
+  mem_x_.push_back(normalized_log_size(bytes));
+  mem_y_.push_back(eff);
+}
+void Calibrator::add_network_sample(double bytes, double eff) {
+  if (bytes <= 0) return;
+  net_x_.push_back(normalized_log_size(bytes));
+  net_y_.push_back(eff);
+}
+
+CalibratedEfficiency Calibrator::fit(int degree) const {
+  auto fit_one = [&](const std::vector<double>& xs, const std::vector<double>& ys) {
+    if (xs.size() < static_cast<std::size_t>(degree + 1)) return core::Polynomial{};
+    return core::polyfit(xs, ys, degree);
+  };
+  return CalibratedEfficiency(fit_one(comp_x_, comp_y_), fit_one(mem_x_, mem_y_),
+                              fit_one(net_x_, net_y_));
+}
+
+Calibrator Calibrator::probe(const EfficiencyModel& truth, double min_size, double max_size,
+                             int points) {
+  Calibrator c;
+  double lmin = std::log2(min_size);
+  double lmax = std::log2(max_size);
+  for (int i = 0; i < points; ++i) {
+    double l = lmin + (lmax - lmin) * i / std::max(1, points - 1);
+    double size = std::exp2(l);
+    c.add_compute_sample(size, truth.compute_eff(size));
+    c.add_memory_sample(size, truth.memory_eff(size));
+    c.add_network_sample(size, truth.network_eff(size));
+  }
+  return c;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,132 @@
+// Self-correcting throughput models (§4.3 "self-correction of modeling").
+//
+// Basic modeling divides work by *theoretical* bandwidth (efficiency = 1).
+// Reality delivers less: kernels ramp up, HBM has access overheads, and
+// network throughput is a packet-level phenomenon shaped by congestion
+// control and datapath contention. Seer corrects for this by fitting a
+// polynomial curve to throughput *measured* on the production fabric and
+// using measured-throughput-at-this-size instead of the theoretical peak.
+//
+// Three implementations:
+//  * TheoreticalEfficiency — the uncorrected basic model (eff = 1).
+//  * TestbedEfficiency — the "ground truth" our simulated testbed runs
+//    with: saturating size-dependent curves plus a deterministic ripple
+//    (standing in for packet-level effects we cannot model in closed
+//    form). The substitution for real production measurements.
+//  * CalibratedEfficiency — polynomial fits (in log2 size) to samples
+//    collected from a testbed, which is what production Seer uses.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/math.h"
+
+namespace astral::seer {
+
+/// Fraction of theoretical peak achieved, as a function of work size.
+class EfficiencyModel {
+ public:
+  virtual ~EfficiencyModel() = default;
+  /// Compute kernels: `flops` = FLOPs of the kernel.
+  virtual double compute_eff(double flops) const = 0;
+  /// HBM: `bytes` accessed by the kernel.
+  virtual double memory_eff(double bytes) const = 0;
+  /// Network: `bytes` of the per-step message.
+  virtual double network_eff(double bytes) const = 0;
+};
+
+/// The uncorrected basic model: full theoretical throughput everywhere.
+class TheoreticalEfficiency final : public EfficiencyModel {
+ public:
+  double compute_eff(double) const override { return 1.0; }
+  double memory_eff(double) const override { return 1.0; }
+  double network_eff(double) const override { return 1.0; }
+};
+
+/// Ground-truth efficiency of the simulated testbed: saturating curves
+/// with configurable ceilings and half-saturation points, plus a small
+/// deterministic ripple standing in for packet-level behaviour. Also
+/// models on-path congestion via `congestion` (0..1 rate loss).
+class TestbedEfficiency final : public EfficiencyModel {
+ public:
+  struct Params {
+    double compute_ceiling = 0.90;
+    double compute_half_flops = 2e9;
+    double memory_ceiling = 0.88;
+    double memory_half_bytes = 1.6e7;
+    double network_ceiling = 0.94;
+    double network_half_bytes = 4e6;
+    double ripple = 0.004;     ///< Relative amplitude of the ripple term.
+    double congestion = 0.0;   ///< Extra fractional loss on network.
+  };
+
+  TestbedEfficiency() = default;
+  explicit TestbedEfficiency(Params p) : p_(p) {}
+
+  double compute_eff(double flops) const override;
+  double memory_eff(double bytes) const override;
+  double network_eff(double bytes) const override;
+
+ private:
+  Params p_;
+};
+
+/// Polynomial fits over log2(size): what Seer runs in production after
+/// calibration. Efficiencies are clamped to [0.01, 1].
+class CalibratedEfficiency final : public EfficiencyModel {
+ public:
+  CalibratedEfficiency(core::Polynomial compute, core::Polynomial memory,
+                       core::Polynomial network);
+
+  double compute_eff(double flops) const override;
+  double memory_eff(double bytes) const override;
+  double network_eff(double bytes) const override;
+
+ private:
+  static double eval_clamped(const core::Polynomial& p, double x);
+  core::Polynomial compute_, memory_, network_;
+};
+
+/// Normalization of the fit domain: u = (log2(size) - kLogCenter) /
+/// kLogScale maps realistic sizes (~1e5..1e14) into roughly [-1, 1].
+inline constexpr double kLogCenter = 30.0;
+inline constexpr double kLogScale = 18.0;
+inline double normalized_log_size(double size) {
+  return (std::log2(size) - kLogCenter) / kLogScale;
+}
+
+/// Collects (size, efficiency) measurements and fits the calibration
+/// polynomials. Efficiency samples are throughput_measured / peak.
+class Calibrator {
+ public:
+  void add_compute_sample(double flops, double eff);
+  void add_memory_sample(double bytes, double eff);
+  void add_network_sample(double bytes, double eff);
+
+  std::size_t sample_count() const {
+    return comp_x_.size() + mem_x_.size() + net_x_.size();
+  }
+
+  /// Fits degree-`degree` polynomials in the normalized log2(size)
+  /// domain (see kLogCenter/kLogScale — normalization keeps the normal
+  /// equations well-conditioned at higher degrees). Dimensions without
+  /// samples fall back to the theoretical constant 1.
+  CalibratedEfficiency fit(int degree = 8) const;
+
+  /// Convenience: probes a ground-truth model at log-spaced sizes, the
+  /// way offline NCCL-test sweeps probe the production fabric. The
+  /// default range covers realistic LLM kernel/message sizes up to the
+  /// largest fused backward matmuls (~1e13 FLOPs).
+  static Calibrator probe(const EfficiencyModel& truth,
+                          double min_size = 1e5, double max_size = 1e14,
+                          int points = 96);
+
+ private:
+  std::vector<double> comp_x_, comp_y_;
+  std::vector<double> mem_x_, mem_y_;
+  std::vector<double> net_x_, net_y_;
+};
+
+}  // namespace astral::seer

@@ -1,0 +1,167 @@
+#include "seer/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace astral::seer {
+
+const TimelineEvent* Timeline::find(int op_id) const {
+  for (const auto& ev : events) {
+    if (ev.op_id == op_id) return &ev;
+  }
+  return nullptr;
+}
+
+core::Json Timeline::to_chrome_trace() const {
+  core::Json arr = core::Json::array();
+  for (const auto& ev : events) {
+    core::Json j = core::Json::object();
+    j["name"] = core::Json(ev.name);
+    j["ph"] = core::Json("X");
+    j["ts"] = core::Json(ev.start * 1e6);
+    j["dur"] = core::Json(ev.duration() * 1e6);
+    j["pid"] = core::Json(0);
+    j["tid"] = core::Json(ev.type == OpType::Comm ? 1 : 0);
+    core::Json args = core::Json::object();
+    args["op_id"] = core::Json(ev.op_id);
+    args["type"] = core::Json(to_string(ev.type));
+    j["args"] = std::move(args);
+    arr.push_back(std::move(j));
+  }
+  core::Json doc = core::Json::object();
+  doc["traceEvents"] = std::move(arr);
+  return doc;
+}
+
+double timeline_deviation(const Timeline& forecast, const Timeline& measured) {
+  return core::relative_deviation(forecast.makespan, measured.makespan);
+}
+
+namespace {
+// Overlap length of [a0,a1) with a set of disjoint sorted intervals.
+double overlap_with(const std::vector<std::pair<double, double>>& intervals, double a0,
+                    double a1) {
+  double total = 0.0;
+  for (const auto& [b0, b1] : intervals) {
+    double lo = std::max(a0, b0);
+    double hi = std::min(a1, b1);
+    if (hi > lo) total += hi - lo;
+    if (b0 >= a1) break;
+  }
+  return total;
+}
+
+// Merges possibly-adjacent busy intervals (they are produced in start
+// order per stream, so they are already sorted and disjoint).
+std::vector<std::pair<double, double>> merge(std::vector<std::pair<double, double>> iv) {
+  std::vector<std::pair<double, double>> out;
+  for (auto [s, e] : iv) {
+    if (!out.empty() && s <= out.back().second + 1e-15) {
+      out.back().second = std::max(out.back().second, e);
+    } else {
+      out.emplace_back(s, e);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Timeline SeerEngine::run(const OpGraph& graph) const {
+  Timeline tl;
+  const std::size_t n = graph.ops.size();
+  if (n == 0) return tl;
+
+  // id -> index and children adjacency.
+  std::unordered_map<int, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[graph.ops[i].id] = i;
+  std::vector<std::vector<std::size_t>> children(n);
+  std::vector<int> pending_deps(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d : graph.ops[i].deps) {
+      auto it = index.find(d);
+      assert(it != index.end() && "graph must validate() before run()");
+      children[it->second].push_back(i);
+      ++pending_deps[i];
+    }
+  }
+
+  constexpr int kExec = 0;
+  constexpr int kComm = 1;
+  auto stream_of = [&](const Operator& op) {
+    return op.type == OpType::Comm ? kComm : kExec;
+  };
+
+  // Ready queues per stream, ordered by op id for determinism.
+  std::priority_queue<std::pair<int, std::size_t>, std::vector<std::pair<int, std::size_t>>,
+                      std::greater<>>
+      ready[2];
+  double stream_free[2] = {0.0, 0.0};
+  // Completion events: (time, index).
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>, std::greater<>>
+      completions;
+
+  std::vector<std::pair<double, double>> busy[2];
+  std::size_t dispatched = 0;
+  double now = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending_deps[i] == 0) ready[stream_of(graph.ops[i])].push({graph.ops[i].id, i});
+  }
+
+  auto dispatch = [&]() {
+    for (int s : {kExec, kComm}) {
+      // A stream runs one op at a time; dispatch when it is free "now".
+      while (!ready[s].empty() && stream_free[s] <= now + 1e-18) {
+        auto [id, i] = ready[s].top();
+        (void)id;
+        ready[s].pop();
+        const Operator& op = graph.ops[i];
+        double start = std::max(now, stream_free[s]);
+        double dur = model_.op_time(op);
+        double end = start + dur;
+        stream_free[s] = end;
+        busy[s].emplace_back(start, end);
+        tl.events.push_back({op.id, op.name, op.type, start, end});
+        completions.push({end, i});
+        ++dispatched;
+      }
+    }
+  };
+
+  dispatch();
+  while (!completions.empty()) {
+    auto [t, i] = completions.top();
+    completions.pop();
+    now = std::max(now, t);
+    for (std::size_t c : children[i]) {
+      if (--pending_deps[c] == 0) ready[stream_of(graph.ops[c])].push({graph.ops[c].id, c});
+    }
+    // A stream that finished exactly now is free again.
+    dispatch();
+  }
+  assert(dispatched == n && "cycle or missing dependency");
+
+  std::sort(tl.events.begin(), tl.events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.op_id < b.op_id;
+            });
+  for (const auto& ev : tl.events) tl.makespan = std::max(tl.makespan, ev.end);
+
+  std::sort(busy[kExec].begin(), busy[kExec].end());
+  std::sort(busy[kComm].begin(), busy[kComm].end());
+  auto exec_iv = merge(busy[kExec]);
+  auto comm_iv = merge(busy[kComm]);
+  for (auto [s, e] : exec_iv) tl.exec_busy += e - s;
+  for (auto [s, e] : comm_iv) {
+    tl.comm_busy += e - s;
+    tl.exposed_comm += (e - s) - overlap_with(exec_iv, s, e);
+  }
+  return tl;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,64 @@
+// The Seer timeline engine: a discrete-event executor that turns an
+// operator graph + cost model into an operator-granular timeline within
+// milliseconds ("any discrete-event simulation tool can be used to
+// construct the timeline", §4.3 — this is ours).
+//
+// The device model has two streams, matching how frameworks issue work:
+//  * exec stream: compute and memory operators, in dependency order;
+//  * comm stream: NCCL operators, which overlap with exec work whose
+//    dependencies allow it.
+// An operator starts when all dependencies finished AND its stream is
+// free; ready ties dispatch by ascending id (deterministic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/units.h"
+#include "seer/cost_model.h"
+#include "seer/op_graph.h"
+
+namespace astral::seer {
+
+struct TimelineEvent {
+  int op_id = 0;
+  std::string name;
+  OpType type = OpType::Compute;
+  core::Seconds start = 0.0;
+  core::Seconds end = 0.0;
+
+  core::Seconds duration() const { return end - start; }
+};
+
+struct Timeline {
+  std::vector<TimelineEvent> events;  ///< In start order.
+  core::Seconds makespan = 0.0;
+  core::Seconds exec_busy = 0.0;   ///< Compute+memory stream busy time.
+  core::Seconds comm_busy = 0.0;   ///< Comm stream busy time.
+  core::Seconds exposed_comm = 0.0;  ///< Comm time not hidden by exec work.
+
+  const TimelineEvent* find(int op_id) const;
+
+  /// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+  core::Json to_chrome_trace() const;
+};
+
+/// Relative makespan deviation between a forecast and a measurement —
+/// the accuracy metric of Fig. 12.
+double timeline_deviation(const Timeline& forecast, const Timeline& measured);
+
+class SeerEngine {
+ public:
+  explicit SeerEngine(CostModel model) : model_(std::move(model)) {}
+
+  const CostModel& model() const { return model_; }
+
+  /// Executes the graph; the graph must validate().
+  Timeline run(const OpGraph& graph) const;
+
+ private:
+  CostModel model_;
+};
+
+}  // namespace astral::seer

@@ -1,0 +1,132 @@
+#include "seer/model_spec.h"
+
+namespace astral::seer {
+
+double ModelSpec::layer_params() const {
+  const double h = hidden;
+  const double kv_ratio = heads > 0 ? static_cast<double>(kv_heads) / heads : 1.0;
+  // Attention: Q + out are h*h; K,V are h*h*kv_ratio each.
+  double attn = h * h * (2.0 + 2.0 * kv_ratio);
+  double mlp_mats = swiglu ? 3.0 : 2.0;
+  double ffn = mlp_mats * h * static_cast<double>(ffn_hidden);
+  if (is_moe()) ffn *= experts;
+  double norms = 2.0 * h;
+  return attn + ffn + norms;
+}
+
+double ModelSpec::params() const {
+  double emb = static_cast<double>(vocab) * hidden;
+  // Untied output head.
+  return emb * 2.0 + layers * layer_params();
+}
+
+double ModelSpec::active_params() const {
+  if (!is_moe()) return params();
+  const double h = hidden;
+  const double kv_ratio = heads > 0 ? static_cast<double>(kv_heads) / heads : 1.0;
+  double attn = h * h * (2.0 + 2.0 * kv_ratio);
+  double mlp_mats = swiglu ? 3.0 : 2.0;
+  double ffn = mlp_mats * h * static_cast<double>(ffn_hidden) * top_k;
+  double emb = static_cast<double>(vocab) * hidden;
+  return emb * 2.0 + layers * (attn + ffn + 2.0 * h);
+}
+
+double ModelSpec::fwd_flops_per_token(int seq_len) const {
+  // 2 FLOPs per parameter-activation MAC on the active weights, plus the
+  // attention score/value term 4*s*h per layer (causal halves it; we keep
+  // the standard 2*2 factor and let calibration absorb constants).
+  double dense_part = 2.0 * active_params();
+  double attn_quad = 4.0 * static_cast<double>(seq_len) * hidden * layers;
+  return dense_part + attn_quad;
+}
+
+ModelSpec ModelSpec::gpt3_175b() {
+  ModelSpec m;
+  m.name = "GPT-3-175B";
+  m.layers = 96;
+  m.hidden = 12288;
+  m.heads = 96;
+  m.kv_heads = 96;
+  m.ffn_hidden = 4 * 12288;
+  m.vocab = 50257;
+  m.swiglu = false;
+  return m;
+}
+
+ModelSpec ModelSpec::llama2_70b() {
+  ModelSpec m;
+  m.name = "LLaMA-2-70B";
+  m.layers = 80;
+  m.hidden = 8192;
+  m.heads = 64;
+  m.kv_heads = 8;
+  m.ffn_hidden = 28672;
+  m.vocab = 32000;
+  return m;
+}
+
+ModelSpec ModelSpec::llama3_70b() {
+  ModelSpec m;
+  m.name = "LLaMA-3-70B";
+  m.layers = 80;
+  m.hidden = 8192;
+  m.heads = 64;
+  m.kv_heads = 8;
+  m.ffn_hidden = 28672;
+  m.vocab = 128256;
+  return m;
+}
+
+ModelSpec ModelSpec::llama3_405b() {
+  ModelSpec m;
+  m.name = "LLaMA-3-405B";
+  m.layers = 126;
+  m.hidden = 16384;
+  m.heads = 128;
+  m.kv_heads = 8;
+  m.ffn_hidden = 53248;
+  m.vocab = 128256;
+  return m;
+}
+
+ModelSpec ModelSpec::hunyuan_moe() {
+  ModelSpec m;
+  m.name = "Hunyuan-MoE";
+  m.layers = 64;
+  m.hidden = 6400;
+  m.heads = 80;
+  m.kv_heads = 8;
+  m.ffn_hidden = 18304;
+  m.vocab = 128000;
+  m.experts = 16;
+  m.top_k = 2;
+  return m;
+}
+
+ModelSpec ModelSpec::deepseek_moe() {
+  ModelSpec m;
+  m.name = "DeepSeek-MoE";
+  m.layers = 61;
+  m.hidden = 7168;
+  m.heads = 128;
+  m.kv_heads = 16;      // MLA approximated as narrow-KV GQA
+  m.ffn_hidden = 2048;  // fine-grained experts
+  m.vocab = 129280;
+  m.experts = 256;
+  m.top_k = 8;
+  return m;
+}
+
+ModelSpec ModelSpec::tiny() {
+  ModelSpec m;
+  m.name = "tiny";
+  m.layers = 4;
+  m.hidden = 512;
+  m.heads = 8;
+  m.kv_heads = 8;
+  m.ffn_hidden = 2048;
+  m.vocab = 32000;
+  return m;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,53 @@
+// LLM architecture descriptions used by Seer templates and the workload
+// trainer. Dimensions follow the published configurations; the
+// Hunyuan-like MoE spec is an approximation of the paper's in-production
+// model (exact dims are proprietary — see DESIGN.md substitutions).
+#pragma once
+
+#include <string>
+
+namespace astral::seer {
+
+struct ModelSpec {
+  std::string name;
+  int layers = 0;
+  int hidden = 0;      ///< Model (embedding) dimension.
+  int heads = 0;       ///< Attention heads.
+  int kv_heads = 0;    ///< KV heads (GQA); == heads for MHA.
+  int ffn_hidden = 0;  ///< FFN intermediate size (per expert for MoE).
+  int vocab = 0;
+  bool swiglu = true;  ///< SwiGLU MLP (3 matrices) vs GELU (2).
+
+  // MoE extensions; experts == 0 means dense.
+  int experts = 0;
+  int top_k = 0;
+
+  int param_bytes = 2;  ///< FP16/BF16 weights.
+
+  bool is_moe() const { return experts > 0; }
+
+  /// Total parameter count (embedding + layers + head).
+  double params() const;
+  /// Parameters of one transformer layer (all experts included for MoE).
+  double layer_params() const;
+  /// Parameters active per token (top-k experts only for MoE).
+  double active_params() const;
+
+  /// FLOPs for one token of forward pass (approximate 2*active_params
+  /// plus attention quadratic term at sequence length s).
+  double fwd_flops_per_token(int seq_len) const;
+
+  static ModelSpec gpt3_175b();
+  static ModelSpec llama2_70b();
+  static ModelSpec llama3_70b();
+  static ModelSpec llama3_405b();
+  /// Hunyuan-like trillion-parameter MoE (approximation).
+  static ModelSpec hunyuan_moe();
+  /// DeepSeek-R1-like fine-grained MoE (many small experts, high top-k) —
+  /// the architecture §4.3 calls out as hardest for Seer.
+  static ModelSpec deepseek_moe();
+  /// A small dense model for fast tests.
+  static ModelSpec tiny();
+};
+
+}  // namespace astral::seer

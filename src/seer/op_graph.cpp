@@ -1,0 +1,192 @@
+#include "seer/op_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace astral::seer {
+
+const char* to_string(OpType t) {
+  switch (t) {
+    case OpType::Compute: return "comp";
+    case OpType::Memory: return "mem";
+    case OpType::Comm: return "comm";
+  }
+  return "?";
+}
+
+const char* to_string(CommKind k) {
+  switch (k) {
+    case CommKind::None: return "none";
+    case CommKind::AllReduce: return "allreduce";
+    case CommKind::ReduceScatter: return "reducescatter";
+    case CommKind::AllGather: return "allgather";
+    case CommKind::AllToAll: return "alltoall";
+    case CommKind::SendRecv: return "sendrecv";
+  }
+  return "?";
+}
+
+std::optional<OpType> op_type_from(std::string_view s) {
+  if (s == "comp") return OpType::Compute;
+  if (s == "mem") return OpType::Memory;
+  if (s == "comm") return OpType::Comm;
+  return std::nullopt;
+}
+
+std::optional<CommKind> comm_kind_from(std::string_view s) {
+  if (s == "none") return CommKind::None;
+  if (s == "allreduce") return CommKind::AllReduce;
+  if (s == "reducescatter") return CommKind::ReduceScatter;
+  if (s == "allgather") return CommKind::AllGather;
+  if (s == "alltoall") return CommKind::AllToAll;
+  if (s == "sendrecv") return CommKind::SendRecv;
+  return std::nullopt;
+}
+
+int OpGraph::index_of(int id) const {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool OpGraph::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::unordered_set<int> ids;
+  for (const Operator& op : ops) {
+    if (!ids.insert(op.id).second) return fail("duplicate op id " + std::to_string(op.id));
+  }
+  for (const Operator& op : ops) {
+    for (int d : op.deps) {
+      if (!ids.contains(d)) {
+        return fail("op " + std::to_string(op.id) + " depends on unknown id " +
+                    std::to_string(d));
+      }
+      if (d == op.id) return fail("op " + std::to_string(op.id) + " depends on itself");
+    }
+    if (op.type == OpType::Comm && op.comm == CommKind::None) {
+      return fail("comm op " + std::to_string(op.id) + " has no comm kind");
+    }
+    if (op.comm_group < 1) return fail("op " + std::to_string(op.id) + " has comm_group < 1");
+  }
+  if (topo_order().size() != ops.size()) return fail("dependency cycle detected");
+  return true;
+}
+
+std::vector<int> OpGraph::topo_order() const {
+  std::unordered_map<int, int> indegree;
+  std::unordered_map<int, std::vector<int>> children;
+  for (const Operator& op : ops) indegree[op.id] = 0;
+  for (const Operator& op : ops) {
+    for (int d : op.deps) {
+      if (!indegree.contains(d)) continue;  // invalid dep; validate() reports
+      children[d].push_back(op.id);
+      ++indegree[op.id];
+    }
+  }
+  std::priority_queue<int, std::vector<int>, std::greater<>> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.push(id);
+  }
+  std::vector<int> order;
+  order.reserve(ops.size());
+  while (!ready.empty()) {
+    int id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (int c : children[id]) {
+      if (--indegree[c] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != ops.size()) return {};
+  return order;
+}
+
+core::Json OpGraph::to_json() const {
+  core::Json doc = core::Json::object();
+  core::Json arr = core::Json::array();
+  for (const Operator& op : ops) {
+    core::Json j = core::Json::object();
+    j["id"] = core::Json(op.id);
+    j["name"] = core::Json(op.name);
+    j["op"] = core::Json(to_string(op.type));
+    core::Json deps = core::Json::array();
+    for (int d : op.deps) deps.push_back(core::Json(d));
+    j["deps"] = deps;
+    if (op.flops > 0) j["flops"] = core::Json(op.flops);
+    if (op.mem_bytes > 0) j["mem_bytes"] = core::Json(op.mem_bytes);
+    if (op.type == OpType::Comm) {
+      j["comm"] = core::Json(to_string(op.comm));
+      j["comm_bytes"] = core::Json(op.comm_bytes);
+      j["comm_group"] = core::Json(op.comm_group);
+      if (op.cross_dc) j["cross_dc"] = core::Json(true);
+    }
+    if (op.fixed_time >= 0) j["time"] = core::Json(op.fixed_time);
+    arr.push_back(std::move(j));
+  }
+  doc["ops"] = std::move(arr);
+  return doc;
+}
+
+std::optional<OpGraph> OpGraph::from_json(const core::Json& doc, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<OpGraph> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  const core::Json& arr = doc["ops"];
+  if (!arr.is_array()) return fail("missing 'ops' array");
+  OpGraph g;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const core::Json& j = arr.at(i);
+    Operator op;
+    if (!j["id"].is_number()) return fail("op without numeric 'id'");
+    op.id = static_cast<int>(j["id"].as_int());
+    op.name = j.string_or("name", "op" + std::to_string(op.id));
+    auto type = op_type_from(j.string_or("op", ""));
+    if (!type) return fail("op " + std::to_string(op.id) + ": bad 'op' type");
+    op.type = *type;
+    for (const core::Json& d : j["deps"].as_array()) op.deps.push_back(static_cast<int>(d.as_int()));
+    op.flops = j.number_or("flops", 0.0);
+    op.mem_bytes = j.number_or("mem_bytes", 0.0);
+    op.comm_bytes = j.number_or("comm_bytes", 0.0);
+    op.comm_group = static_cast<int>(j.number_or("comm_group", 1.0));
+    op.cross_dc = j["cross_dc"].as_bool();
+    op.fixed_time = j.number_or("time", -1.0);
+    if (op.type == OpType::Comm) {
+      auto kind = comm_kind_from(j.string_or("comm", ""));
+      if (!kind || *kind == CommKind::None) {
+        return fail("comm op " + std::to_string(op.id) + ": bad 'comm' kind");
+      }
+      op.comm = *kind;
+    }
+    g.ops.push_back(std::move(op));
+  }
+  std::string verr;
+  if (!g.validate(&verr)) return fail(verr);
+  return g;
+}
+
+double OpGraph::total_flops() const {
+  double s = 0;
+  for (const auto& op : ops) s += op.flops;
+  return s;
+}
+
+double OpGraph::total_comm_bytes() const {
+  double s = 0;
+  for (const auto& op : ops) s += op.comm_bytes;
+  return s;
+}
+
+double OpGraph::total_mem_bytes() const {
+  double s = 0;
+  for (const auto& op : ops) s += op.mem_bytes;
+  return s;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,84 @@
+// Operator dependency graphs (§4.3). A graph is the workflow of one
+// training/inference iteration on one representative device, expressed
+// as computation, memory-access and communication operators with
+// dependencies — the same structure PyTorch Chakra exports, which is also
+// the JSON schema we load ("converting from realistic profiling data")
+// and save (the "extending with handcraft" template).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace astral::seer {
+
+enum class OpType : std::uint8_t { Compute, Memory, Comm };
+
+enum class CommKind : std::uint8_t {
+  None,
+  AllReduce,
+  ReduceScatter,
+  AllGather,
+  AllToAll,
+  SendRecv,  ///< Point-to-point (PP).
+};
+
+const char* to_string(OpType t);
+const char* to_string(CommKind k);
+std::optional<OpType> op_type_from(std::string_view s);
+std::optional<CommKind> comm_kind_from(std::string_view s);
+
+/// One operator. Compute ops carry `flops` (and often `mem_bytes` for the
+/// weight load fused with them — the Table 1 "Mem. + Comp." rows);
+/// communication ops carry `comm_bytes`, a kind and a group size.
+struct Operator {
+  int id = 0;
+  std::string name;
+  OpType type = OpType::Compute;
+  std::vector<int> deps;
+
+  double flops = 0.0;
+  double mem_bytes = 0.0;
+  double comm_bytes = 0.0;
+  CommKind comm = CommKind::None;
+  int comm_group = 1;     ///< Ranks participating in the collective.
+  bool cross_dc = false;  ///< Traffic leaves the datacenter (App. B).
+
+  /// Handcrafted execution-time override in seconds (the template's
+  /// "corresponding execution time"); < 0 means "model it".
+  double fixed_time = -1.0;
+};
+
+/// A validated DAG of operators.
+class OpGraph {
+ public:
+  std::vector<Operator> ops;
+
+  /// Checks ids are unique, deps reference existing earlier-validated
+  /// ids, and the graph is acyclic. On failure returns false and sets
+  /// *error when provided.
+  bool validate(std::string* error = nullptr) const;
+
+  /// Topological order (Kahn). Empty when the graph is cyclic. Ties are
+  /// broken by ascending id, so the order is deterministic.
+  std::vector<int> topo_order() const;
+
+  /// Index of an op by id; -1 when absent.
+  int index_of(int id) const;
+
+  /// Serializes to the Chakra-like JSON template format.
+  core::Json to_json() const;
+
+  /// Parses the JSON format; validates. Returns nullopt on schema or
+  /// validation errors (message in *error).
+  static std::optional<OpGraph> from_json(const core::Json& doc, std::string* error = nullptr);
+
+  /// Sum of a field across ops, by type.
+  double total_flops() const;
+  double total_comm_bytes() const;
+  double total_mem_bytes() const;
+};
+
+}  // namespace astral::seer

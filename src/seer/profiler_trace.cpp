@@ -1,0 +1,132 @@
+#include "seer/profiler_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace astral::seer {
+
+std::optional<OpGraph> import_profiler_trace(const core::Json& trace,
+                                             bool keep_measured_times,
+                                             std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<OpGraph> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  const core::Json& events = trace["traceEvents"];
+  if (!events.is_array()) return fail("missing 'traceEvents' array");
+
+  struct Ev {
+    std::size_t order = 0;  // original index, stable tiebreak
+    double ts = 0.0;        // us
+    double dur = 0.0;       // us
+    std::int64_t tid = 0;
+    Operator op;
+  };
+  std::vector<Ev> evs;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const core::Json& j = events.at(i);
+    if (j.string_or("ph", "X") != "X") continue;  // only complete events
+    Ev ev;
+    ev.order = i;
+    ev.ts = j.number_or("ts", 0.0);
+    ev.dur = j.number_or("dur", 0.0);
+    ev.tid = j["tid"].as_int();
+    const core::Json& args = j["args"];
+    Operator& op = ev.op;
+    op.name = j.string_or("name", "op" + std::to_string(i));
+    op.flops = args.number_or("flops", 0.0);
+    op.mem_bytes = args.number_or("mem_bytes", 0.0);
+    op.comm_bytes = args.number_or("comm_bytes", 0.0);
+    op.comm_group = static_cast<int>(args.number_or("comm_group", 1.0));
+    op.cross_dc = args["cross_dc"].as_bool();
+    if (auto kind = comm_kind_from(args.string_or("comm", "none"));
+        kind && *kind != CommKind::None) {
+      op.type = OpType::Comm;
+      op.comm = *kind;
+    } else if (op.flops > 0.0) {
+      op.type = OpType::Compute;
+    } else {
+      op.type = OpType::Memory;
+    }
+    if (keep_measured_times) op.fixed_time = ev.dur * 1e-6;
+    evs.push_back(std::move(ev));
+  }
+  if (evs.empty()) return fail("trace contains no complete ('X') events");
+
+  // Chakra-style dependency recovery: sort by launch timestamp; chain
+  // each stream's program order; across streams, depend on the latest
+  // event that *finished* before this one started (a happens-before
+  // witness — real converters use correlation ids, which timestamps
+  // subsume for well-formed traces).
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.order < b.order;
+  });
+  OpGraph g;
+  std::map<std::int64_t, int> last_on_stream;  // tid -> op id
+  struct Done {
+    double end_ts;
+    int id;
+  };
+  std::vector<Done> finished;  // all previously seen events
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    Ev& ev = evs[i];
+    ev.op.id = static_cast<int>(i);
+    if (auto it = last_on_stream.find(ev.tid); it != last_on_stream.end()) {
+      ev.op.deps.push_back(it->second);
+    }
+    // Cross-stream witness: the latest event ending strictly before our
+    // start, if it lives on another stream and is not already implied.
+    const Done* witness = nullptr;
+    for (const Done& d : finished) {
+      if (d.end_ts <= ev.ts + 1e-9 && (witness == nullptr || d.end_ts > witness->end_ts)) {
+        witness = &d;
+      }
+    }
+    if (witness != nullptr) {
+      bool already = false;
+      for (int d : ev.op.deps) already |= d == witness->id;
+      if (!already) ev.op.deps.push_back(witness->id);
+    }
+    last_on_stream[ev.tid] = ev.op.id;
+    finished.push_back({ev.ts + ev.dur, ev.op.id});
+    g.ops.push_back(ev.op);
+  }
+  std::string verr;
+  if (!g.validate(&verr)) return fail("reconstructed graph invalid: " + verr);
+  return g;
+}
+
+core::Json export_profiler_trace(const Timeline& timeline, const OpGraph& graph) {
+  core::Json arr = core::Json::array();
+  for (const auto& ev : timeline.events) {
+    core::Json j = core::Json::object();
+    j["name"] = core::Json(ev.name);
+    j["ph"] = core::Json("X");
+    j["ts"] = core::Json(ev.start * 1e6);
+    j["dur"] = core::Json(ev.duration() * 1e6);
+    j["pid"] = core::Json(0);
+    j["tid"] = core::Json(ev.type == OpType::Comm ? 1 : 0);
+    core::Json args = core::Json::object();
+    int idx = graph.index_of(ev.op_id);
+    if (idx >= 0) {
+      const Operator& op = graph.ops[static_cast<std::size_t>(idx)];
+      if (op.flops > 0) args["flops"] = core::Json(op.flops);
+      if (op.mem_bytes > 0) args["mem_bytes"] = core::Json(op.mem_bytes);
+      if (op.type == OpType::Comm) {
+        args["comm"] = core::Json(to_string(op.comm));
+        args["comm_bytes"] = core::Json(op.comm_bytes);
+        args["comm_group"] = core::Json(op.comm_group);
+        if (op.cross_dc) args["cross_dc"] = core::Json(true);
+      }
+    }
+    j["args"] = std::move(args);
+    arr.push_back(std::move(j));
+  }
+  core::Json doc = core::Json::object();
+  doc["traceEvents"] = std::move(arr);
+  return doc;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,47 @@
+// Profiler-trace conversion (§4.3, method (i)): "use PyTorch profiler to
+// collect GPU traces and export the profiling data to JSON files. By
+// leveraging PyTorch Chakra, model execution can be converted into an
+// executor graph". This module implements that pipeline for the
+// profiler's trace-event format:
+//
+//  * import_profiler_trace() consumes a Kineto-style JSON document
+//    (traceEvents with ph:"X" kernel/comm events carrying dur + args)
+//    and reconstructs an OpGraph: per-stream program order becomes the
+//    dependency chain, cross-stream ordering is recovered from
+//    correlated launch timestamps, and op attributes (flops, bytes,
+//    collective kind) are read from the event args.
+//  * export_profiler_trace() emits a timeline in the same format — so a
+//    Seer forecast can be diffed against a real profile with the same
+//    tooling, and so tests can round-trip.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/json.h"
+#include "seer/engine.h"
+#include "seer/op_graph.h"
+
+namespace astral::seer {
+
+/// Parses a Kineto/PyTorch-profiler style trace into an operator graph.
+/// Recognized event fields:
+///   name, ts (us), dur (us), tid (stream id),
+///   args.flops, args.mem_bytes, args.comm_bytes, args.comm (kind name),
+///   args.comm_group, args.cross_dc
+/// Events on the same tid are chained in ts order; an event additionally
+/// depends on the latest earlier-finishing event of every other stream
+/// (the happens-before edges Chakra derives from correlation ids).
+/// When `keep_measured_times` is true, each op's fixed_time is set from
+/// `dur` (replaying the profile); otherwise durations are left to the
+/// cost model (re-forecasting the same workflow under new configs).
+std::optional<OpGraph> import_profiler_trace(const core::Json& trace,
+                                             bool keep_measured_times = false,
+                                             std::string* error = nullptr);
+
+/// Renders a timeline as a profiler-style trace document (the inverse
+/// direction; equivalent to Timeline::to_chrome_trace but with the op
+/// attributes preserved in args so the trace can be re-imported).
+core::Json export_profiler_trace(const Timeline& timeline, const OpGraph& graph);
+
+}  // namespace astral::seer

@@ -1,0 +1,278 @@
+#include "seer/templates.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace astral::seer {
+namespace {
+
+/// Incremental graph construction with chained dependencies.
+class Builder {
+ public:
+  explicit Builder(OpGraph& g) : g_(g) {}
+
+  /// Adds an op depending on `deps`; empty deps means "after the previous
+  /// exec-chain op" handled by the caller.
+  int add(Operator op, std::vector<int> deps) {
+    op.id = next_id_++;
+    op.deps = std::move(deps);
+    g_.ops.push_back(std::move(op));
+    return g_.ops.back().id;
+  }
+
+  int exec(std::string name, double flops, double mem_bytes, std::vector<int> deps) {
+    Operator op;
+    op.name = std::move(name);
+    op.type = flops > 0 ? OpType::Compute : OpType::Memory;
+    op.flops = flops;
+    op.mem_bytes = mem_bytes;
+    return add(std::move(op), std::move(deps));
+  }
+
+  int comm(std::string name, CommKind kind, double bytes, int group, bool cross_dc,
+           std::vector<int> deps) {
+    Operator op;
+    op.name = std::move(name);
+    op.type = OpType::Comm;
+    op.comm = kind;
+    op.comm_bytes = bytes;
+    op.comm_group = group;
+    op.cross_dc = cross_dc;
+    return add(std::move(op), std::move(deps));
+  }
+
+ private:
+  OpGraph& g_;
+  int next_id_ = 0;
+};
+
+std::vector<int> after(int id) { return id >= 0 ? std::vector<int>{id} : std::vector<int>{}; }
+
+}  // namespace
+
+OpGraph build_graph(const ModelSpec& model, const parallel::ParallelismConfig& cfg,
+                    const WorkloadShape& shape) {
+  assert(cfg.valid());
+  OpGraph g;
+  Builder b(g);
+
+  const double batch = shape.micro_batch;
+  const double s = shape.phase == Phase::Decode ? 1.0 : shape.seq_len;
+  const double s_attn = shape.phase == Phase::Decode ? shape.ctx_len : shape.seq_len;
+  const double h = model.hidden;
+  const double kv_ratio = model.heads > 0 ? static_cast<double>(model.kv_heads) / model.heads : 1.0;
+  const double ffn = model.ffn_hidden;
+  const double t = cfg.tp;
+  const double wbytes = model.param_bytes;
+  const double act_bytes = batch * s * h * wbytes;  // one activation tensor
+  const bool train = shape.phase == Phase::Train;
+  const bool moe = model.is_moe();
+  const int layers = std::max(1, model.layers / cfg.pp);
+
+  const bool pp_cross_dc = shape.cross_dc == CrossDcDim::PP;
+  const bool dp_cross_dc = shape.cross_dc == CrossDcDim::DP;
+
+  // Per-layer weight element counts (per TP shard).
+  const double qkv_w = h * h * (1.0 + 2.0 * kv_ratio) / t;
+  const double proj_w = h * h / t;
+  const double mlp_w = h * ffn / t;  // one of the 3 SwiGLU matrices
+  const double experts_per_rank = moe ? std::max(1.0, static_cast<double>(model.experts) / cfg.ep) : 0.0;
+  // MoE token routing: each token's activation visits top_k experts.
+  const double moe_a2a_bytes = moe ? act_bytes * model.top_k : 0.0;
+  // MoE FFN math is per activated expert path.
+  const double moe_flops_scale = moe ? static_cast<double>(model.top_k) : 1.0;
+
+  // ZeRO-3: per-layer weight shard that must be all-gathered before use.
+  const double layer_param_shard =
+      model.layer_params() / (t * cfg.pp) * wbytes;  // bytes on this device
+  const bool zero3 = train && shape.dp_strategy == DpStrategy::Zero3 && cfg.dp > 1;
+
+  int prev = -1;  // exec-chain tail
+
+  // ---- Input section.
+  if (shape.include_embedding) {
+    int lw = b.exec("LoadWeight", 0.0, static_cast<double>(model.vocab) * h / t * wbytes,
+                    after(prev));
+    prev = b.exec("EmbeddingComputation", 2.0 * batch * s * h, act_bytes, after(lw));
+  }
+
+  // ---- Transformer layers.
+  std::vector<int> layer_tails;  // last bwd-relevant op per layer (fwd tail)
+  int pp_recv = -1;
+  if (cfg.pp > 1) {
+    pp_recv = b.comm("PPRecv", CommKind::SendRecv, act_bytes / t, 2, pp_cross_dc, {});
+  }
+
+  for (int layer = 0; layer < layers; ++layer) {
+    auto n = [&](const char* base) { return std::string(base); };
+    std::vector<int> head_deps = after(prev);
+    if (layer == 0 && pp_recv >= 0) head_deps.push_back(pp_recv);
+
+    if (zero3) {
+      // Prefetchable weight gather for this layer (depends on nothing in
+      // the exec chain, so it overlaps preceding compute).
+      int ag = b.comm("ZeroWeightAllGather", CommKind::AllGather,
+                      layer_param_shard * cfg.dp, cfg.dp, dp_cross_dc, {});
+      head_deps.push_back(ag);
+    }
+
+    int norm_w = b.exec(n("RMSNormLoadWeight"), 0.0, h * wbytes, head_deps);
+    int norm = b.exec(n("RMSNormComputation"), 4.0 * batch * s * h, act_bytes, after(norm_w));
+    int qkv_lw = b.exec(n("GQAQKVLoadWeight"), 0.0, qkv_w * wbytes, after(norm));
+    int qkv = b.exec(n("GQAQKVComputation"), 2.0 * batch * s * qkv_w, act_bytes, after(qkv_lw));
+    // Decode reads the whole KV cache: memory-bound via the roofline.
+    double kv_cache_bytes = batch * s_attn * 2.0 * h * kv_ratio / t * wbytes;
+    int attn = b.exec(n("GQACoreAttn"), 4.0 * batch * s * s_attn * h / t, kv_cache_bytes,
+                      after(qkv));
+    int proj_lw = b.exec(n("GQAAttnProjLoadWeight"), 0.0, proj_w * wbytes, after(attn));
+    int proj = b.exec(n("GQAAttnProjComputation"), 2.0 * batch * s * proj_w, act_bytes,
+                      after(proj_lw));
+    prev = proj;
+    if (cfg.tp > 1) {
+      int ar = b.comm(n("AttnTPAllReduce"), CommKind::AllReduce, act_bytes, cfg.tp, false,
+                      after(proj));
+      prev = ar;
+    }
+
+    if (!moe) {
+      int up = b.exec(n("SwiMLPUpProj"), 2.0 * batch * s * mlp_w, mlp_w * wbytes, after(prev));
+      int gate = b.exec(n("SwiMLPGateProj"), 2.0 * batch * s * mlp_w, mlp_w * wbytes, after(up));
+      int down = b.exec(n("SwiMLPDownProj"), 2.0 * batch * s * mlp_w, mlp_w * wbytes,
+                        after(gate));
+      prev = down;
+    } else {
+      int router = b.exec(n("MoERouter"), 2.0 * batch * s * h * model.experts, act_bytes,
+                          after(prev));
+      int dispatch = b.comm(n("MoEDispatchAllToAll"), CommKind::AllToAll, moe_a2a_bytes / t,
+                            cfg.ep, dp_cross_dc, after(router));
+      int up = b.exec(n("ExpertUpProj"), 2.0 * batch * s * mlp_w * moe_flops_scale,
+                      experts_per_rank * mlp_w * wbytes, after(dispatch));
+      int gate = b.exec(n("ExpertGateProj"), 2.0 * batch * s * mlp_w * moe_flops_scale,
+                        experts_per_rank * mlp_w * wbytes, after(up));
+      int down = b.exec(n("ExpertDownProj"), 2.0 * batch * s * mlp_w * moe_flops_scale,
+                        experts_per_rank * mlp_w * wbytes, after(gate));
+      int combine = b.comm(n("MoECombineAllToAll"), CommKind::AllToAll, moe_a2a_bytes / t,
+                           cfg.ep, dp_cross_dc, after(down));
+      prev = combine;
+    }
+    if (cfg.tp > 1) {
+      prev = b.comm(n("MLPTPAllReduce"), CommKind::AllReduce, act_bytes, cfg.tp, false,
+                    after(prev));
+    }
+    layer_tails.push_back(prev);
+  }
+
+  if (cfg.pp > 1) {
+    prev = b.comm("PPSend", CommKind::SendRecv, act_bytes / t, 2, pp_cross_dc, after(prev));
+  }
+
+  // ---- Output section.
+  if (shape.include_logit) {
+    prev = b.exec("Logit", 2.0 * batch * s * h * model.vocab / t,
+                  h * model.vocab / t * wbytes, after(prev));
+  }
+
+  // ---- Backward pass (training): ~2x forward math per layer, reverse
+  // order, with the same TP collectives and PP grad exchange.
+  if (train) {
+    if (cfg.pp > 1) {
+      prev = b.comm("PPRecvGrad", CommKind::SendRecv, act_bytes / t, 2, pp_cross_dc,
+                    after(prev));
+    }
+    std::vector<int> bwd_tails;
+    for (int layer = layers - 1; layer >= 0; --layer) {
+      double mlp_flops = moe ? 2.0 * batch * s * mlp_w * moe_flops_scale : 2.0 * batch * s * mlp_w;
+      double mlp_mem = moe ? experts_per_rank * mlp_w * wbytes : mlp_w * wbytes;
+      std::vector<int> head = after(prev);
+      if (zero3) {
+        int ag = b.comm("ZeroWeightAllGatherBwd", CommKind::AllGather,
+                        layer_param_shard * cfg.dp, cfg.dp, dp_cross_dc, {});
+        head.push_back(ag);
+      }
+      int d_mlp = b.exec("BwdMLP", 3.0 * 2.0 * mlp_flops, 3.0 * mlp_mem, head);
+      prev = d_mlp;
+      if (moe) {
+        prev = b.comm("BwdMoEAllToAll", CommKind::AllToAll, 2.0 * moe_a2a_bytes / t, cfg.ep,
+                      dp_cross_dc, after(prev));
+      }
+      if (cfg.tp > 1) {
+        prev = b.comm("BwdMLPTPAllReduce", CommKind::AllReduce, act_bytes, cfg.tp, false,
+                      after(prev));
+      }
+      int d_attn = b.exec("BwdAttn",
+                          2.0 * (2.0 * batch * s * (qkv_w + proj_w) +
+                                 4.0 * batch * s * s_attn * h / t),
+                          (qkv_w + proj_w) * wbytes, after(prev));
+      prev = d_attn;
+      if (cfg.tp > 1) {
+        prev = b.comm("BwdAttnTPAllReduce", CommKind::AllReduce, act_bytes, cfg.tp, false,
+                      after(prev));
+      }
+      bwd_tails.push_back(prev);
+    }
+    if (cfg.pp > 1) {
+      prev = b.comm("PPSendGrad", CommKind::SendRecv, act_bytes / t, 2, pp_cross_dc,
+                    after(prev));
+    }
+
+    // ---- DP gradient synchronization, bucketed so it overlaps the
+    // remaining backward compute (the engine's comm stream runs it as
+    // soon as the bucket's producing layers finish).
+    if (shape.include_dp_sync && cfg.dp > 1) {
+      double shard_params = model.params() / (t * cfg.pp);
+      double total_bytes = shard_params * wbytes;
+      CommKind kind = zero3 ? CommKind::ReduceScatter : CommKind::AllReduce;
+      int buckets = std::max(1, shape.dp_buckets);
+      for (int k = 0; k < buckets; ++k) {
+        // Bucket k becomes ready after a proportional prefix of backward.
+        std::size_t idx = std::min(bwd_tails.size() - 1,
+                                   static_cast<std::size_t>((k + 1) * bwd_tails.size() /
+                                                            buckets) -
+                                       (bwd_tails.empty() ? 0 : 1));
+        std::vector<int> deps;
+        if (!bwd_tails.empty()) deps.push_back(bwd_tails[idx]);
+        b.comm("DPGrad" + std::string(zero3 ? "ReduceScatter" : "AllReduce") + "/b" +
+                   std::to_string(k),
+               kind, total_bytes / buckets, cfg.dp, dp_cross_dc, std::move(deps));
+      }
+    }
+  }
+
+  assert(g.validate());
+  return g;
+}
+
+std::vector<OpInventoryRow> op_inventory(const OpGraph& graph) {
+  auto type_label = [](const Operator& op) -> std::string {
+    if (op.type == OpType::Comm) return "Comm.";
+    if (op.flops > 0 && op.mem_bytes > 0) {
+      // Weight-load fused with compute (the Table 1 "Mem. + Comp" rows)
+      // only when the memory side is a weight matrix; dedicated
+      // *Computation ops and activation touches are labelled Comp.
+      bool fused_weight = (op.name.find("Proj") != std::string::npos ||
+                           op.name == "Logit") &&
+                          op.name.find("Computation") == std::string::npos;
+      if (fused_weight) return "Mem. + Comp.";
+      return "Comp.";
+    }
+    if (op.flops > 0) return "Comp.";
+    return "Mem.";
+  };
+  auto section_of = [](const std::string& name) -> std::string {
+    if (name == "LoadWeight" || name == "EmbeddingComputation") return "Input Embedding";
+    if (name == "Logit") return "Output Layer";
+    return "Transformer Layer";
+  };
+  std::vector<OpInventoryRow> rows;
+  std::set<std::string> seen;
+  for (const Operator& op : graph.ops) {
+    // Strip bucket suffixes for inventory purposes.
+    std::string base = op.name.substr(0, op.name.find('/'));
+    if (!seen.insert(base).second) continue;
+    rows.push_back({section_of(base), base, type_label(op)});
+  }
+  return rows;
+}
+
+}  // namespace astral::seer

@@ -1,0 +1,53 @@
+// Operator-dependency templates ("extending with handcraft", §4.3).
+//
+// build_graph() emits the workflow of one microbatch on one pipeline
+// stage as the Table 1 operator inventory: Input (LoadWeight,
+// EmbeddingComputation), per-layer Transformer ops (PPRecv, RMSNorm*,
+// GQA*, AttnTPAllReduce, SwiMLP*, MLPTPAllReduce, PPSend) and the Output
+// Logit. Training appends the backward pass and DP gradient
+// synchronization buckets (overlappable with backward compute). MoE
+// models replace the dense MLP with Router + Dispatch/Combine All-to-All
+// + expert FFNs. ZeRO-3 DP adds per-layer weight AllGather prefetches
+// and turns gradient sync into ReduceScatter.
+#pragma once
+
+#include "parallel/groups.h"
+#include "seer/model_spec.h"
+#include "seer/op_graph.h"
+
+namespace astral::seer {
+
+enum class Phase : std::uint8_t { Train, Prefill, Decode };
+enum class DpStrategy : std::uint8_t { AllReduce, Zero3 };
+/// Which parallelism dimension's traffic crosses datacenters (App. B).
+enum class CrossDcDim : std::uint8_t { None, PP, DP };
+
+struct WorkloadShape {
+  Phase phase = Phase::Train;
+  int micro_batch = 1;
+  int seq_len = 4096;
+  int ctx_len = 4096;  ///< KV length during decode.
+  DpStrategy dp_strategy = DpStrategy::AllReduce;
+  CrossDcDim cross_dc = CrossDcDim::None;
+  int dp_buckets = 4;  ///< Gradient sync granularity (overlap knob).
+  bool include_dp_sync = true;
+  bool include_embedding = true;  ///< First-stage role.
+  bool include_logit = true;      ///< Last-stage role.
+};
+
+/// Builds the per-device operator graph for one microbatch. The graph is
+/// guaranteed to validate(). Layers are divided by cfg.pp (at least one
+/// layer per stage).
+OpGraph build_graph(const ModelSpec& model, const parallel::ParallelismConfig& cfg,
+                    const WorkloadShape& shape);
+
+/// The distinct operator inventory (name, type, comm kind) a graph uses —
+/// what Table 1 lists for LLaMA-3.
+struct OpInventoryRow {
+  std::string section;  ///< "Input" / "Transformer Layer" / "Output Layer".
+  std::string name;
+  std::string type;  ///< "Comp." / "Mem." / "Mem. + Comp." / "Comm."
+};
+std::vector<OpInventoryRow> op_inventory(const OpGraph& graph);
+
+}  // namespace astral::seer

@@ -1,0 +1,289 @@
+#include "topo/fabric.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "core/rng.h"
+
+namespace astral::topo {
+
+const char* to_string(FabricStyle style) {
+  switch (style) {
+    case FabricStyle::AstralSameRail: return "astral-same-rail";
+    case FabricStyle::RailOptimized: return "rail-optimized";
+    case FabricStyle::Clos: return "clos";
+    case FabricStyle::RailOnly: return "rail-only";
+  }
+  return "?";
+}
+
+FabricParams FabricParams::paper_scale() {
+  FabricParams p;
+  p.style = FabricStyle::AstralSameRail;
+  p.rails = 8;
+  p.hosts_per_block = 128;
+  p.blocks_per_pod = 64;
+  p.pods = 8;
+  p.host_port_gbps = 200.0;
+  p.trunk_gbps = 400.0;
+  return p;
+}
+
+int FabricParams::tor_uplinks() const {
+  // ToR downlink capacity must equal uplink capacity (identical aggregated
+  // bandwidth); with single-ToR wiring both NIC ports land on one link.
+  double per_link = host_port_gbps * (dual_tor ? 1.0 : 2.0);
+  double down = hosts_per_block * per_link;
+  return static_cast<int>(std::ceil(down / trunk_gbps));
+}
+
+Fabric::Fabric(FabricParams params) : params_(params) { build(); }
+
+Fabric build_fabric(FabricParams params) { return Fabric(params); }
+
+NodeId Fabric::host_at(int pod, int block, int host_index) const {
+  int idx = (pod * params_.blocks_per_pod + block) * params_.hosts_per_block + host_index;
+  return hosts_[static_cast<std::size_t>(idx)];
+}
+
+NodeId Fabric::tor_at(int pod, int block, int rail, int side) const {
+  int per_block = params_.rails * params_.sides();
+  int idx = (pod * params_.blocks_per_pod + block) * per_block + rail * params_.sides() + side;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= tors_.size()) return kInvalidNode;
+  return tors_[static_cast<std::size_t>(idx)];
+}
+
+GpuLoc Fabric::gpu(int global_gpu) const {
+  GpuLoc loc;
+  loc.rail = global_gpu % params_.rails;
+  int host = global_gpu / params_.rails;
+  loc.host_index = host % params_.hosts_per_block;
+  int block = host / params_.hosts_per_block;
+  loc.block = block % params_.blocks_per_pod;
+  loc.pod = block / params_.blocks_per_pod;  // global pod across DCs
+  loc.host = hosts_[static_cast<std::size_t>(host)];
+  return loc;
+}
+
+bool Fabric::fabric_reachable(int gpu_a, int gpu_b) const {
+  if (params_.style != FabricStyle::RailOnly) return true;
+  GpuLoc a = gpu(gpu_a);
+  GpuLoc b = gpu(gpu_b);
+  // Rail-only fabrics connect only same-rail NICs; different rails must
+  // first hop through NVLink inside the host.
+  return a.rail == b.rail || a.host == b.host;
+}
+
+void Fabric::build() {
+  build_tier1();
+  switch (params_.style) {
+    case FabricStyle::AstralSameRail:
+    case FabricStyle::RailOnly:
+      build_tier2_same_rail();
+      break;
+    case FabricStyle::RailOptimized:
+    case FabricStyle::Clos:
+      build_tier2_full_mesh();
+      break;
+  }
+  if (params_.style != FabricStyle::RailOnly) build_tier3();
+}
+
+void Fabric::build_tier1() {
+  const int sides = params_.sides();
+  const double per_link_gbps = params_.host_port_gbps * (params_.dual_tor ? 1.0 : 2.0);
+
+  for (int p = 0; p < params_.total_pods(); ++p) {
+    for (int b = 0; b < params_.blocks_per_pod; ++b) {
+      // ToRs first so host wiring can reference them.
+      for (int r = 0; r < params_.rails; ++r) {
+        for (int s = 0; s < sides; ++s) {
+          Node n;
+          n.kind = NodeKind::Tor;
+          n.pod = p;
+          n.block = b;
+          n.rail = r;
+          n.side = s;
+          n.name = "p" + std::to_string(p) + ".b" + std::to_string(b) + ".tor.r" +
+                   std::to_string(r) + ".s" + std::to_string(s);
+          tors_.push_back(topo_.add_node(std::move(n)));
+        }
+      }
+      for (int h = 0; h < params_.hosts_per_block; ++h) {
+        Node n;
+        n.kind = NodeKind::Host;
+        n.pod = p;
+        n.block = b;
+        n.index = h;
+        n.name = "p" + std::to_string(p) + ".b" + std::to_string(b) + ".h" + std::to_string(h);
+        NodeId host = topo_.add_node(std::move(n));
+        hosts_.push_back(host);
+        for (int r = 0; r < params_.rails; ++r) {
+          for (int s = 0; s < sides; ++s) {
+            // Clos scrambles the rail->ToR binding per host so same-rank
+            // GPUs do not share a ToR; rail styles keep it aligned (P1/P3).
+            int tor_rail = params_.style == FabricStyle::Clos
+                               ? (r + h) % params_.rails
+                               : r;
+            NodeId tor = tor_at(p, b, tor_rail, s);
+            auto [up, down] = topo_.add_duplex(host, tor, core::gbps(per_link_gbps));
+            (void)down;
+            topo_.set_host_uplink(host, r, s, up);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Fabric::build_tier2_same_rail() {
+  const int sides = params_.sides();
+  const int groups = params_.rails * sides;
+  const int aggs_per_group = params_.tor_uplinks();
+  agg_groups_per_pod_ = groups;
+  aggs_by_group_.assign(static_cast<std::size_t>(params_.total_pods()) * groups, {});
+
+  for (int p = 0; p < params_.total_pods(); ++p) {
+    for (int r = 0; r < params_.rails; ++r) {
+      for (int s = 0; s < sides; ++s) {
+        int g = r * sides + s;
+        auto& group = aggs_by_group_[static_cast<std::size_t>(p) * groups + g];
+        for (int i = 0; i < aggs_per_group; ++i) {
+          Node n;
+          n.kind = NodeKind::Agg;
+          n.pod = p;
+          n.rail = r;
+          n.side = s;
+          n.group = g;
+          n.index = i;
+          n.name = "p" + std::to_string(p) + ".agg.g" + std::to_string(g) + ".i" +
+                   std::to_string(i);
+          group.push_back(topo_.add_node(std::move(n)));
+        }
+        // Every same-rail (and same-side) ToR of every block in the pod
+        // connects once to each Agg of this group: this is P1, the
+        // same-rail aggregation that maximizes the per-rail GPU count.
+        for (int b = 0; b < params_.blocks_per_pod; ++b) {
+          NodeId tor = tor_at(p, b, r, s);
+          for (NodeId agg : group) {
+            topo_.add_duplex(tor, agg, core::gbps(params_.trunk_gbps));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Fabric::build_tier2_full_mesh() {
+  const int sides = params_.sides();
+  const int uplinks = params_.tor_uplinks();
+  const int total_aggs = params_.rails * sides * uplinks;
+  agg_groups_per_pod_ = 1;
+  aggs_by_group_.assign(static_cast<std::size_t>(params_.total_pods()), {});
+
+  for (int p = 0; p < params_.total_pods(); ++p) {
+    auto& group = aggs_by_group_[static_cast<std::size_t>(p)];
+    for (int i = 0; i < total_aggs; ++i) {
+      Node n;
+      n.kind = NodeKind::Agg;
+      n.pod = p;
+      n.group = 0;
+      n.index = i;
+      n.name = "p" + std::to_string(p) + ".agg.mesh.i" + std::to_string(i);
+      group.push_back(topo_.add_node(std::move(n)));
+    }
+    // Fully interconnected tier 2 without rail structure: each ToR gets
+    // full-rate trunk uplinks to a pseudo-random subset of Aggs so that
+    // Aggs serve ToRs of many rails (cross-rail reachability at tier 2).
+    // The shuffled slot list keeps per-Agg down-degree exactly balanced
+    // at `blocks_per_pod` while breaking the modular structure that would
+    // otherwise recreate same-rail groups.
+    const int tors = params_.blocks_per_pod * params_.rails * sides;
+    std::vector<NodeId> slots;
+    slots.reserve(static_cast<std::size_t>(tors) * uplinks);
+    for (int rep = 0; rep < params_.blocks_per_pod; ++rep) {
+      for (NodeId agg : group) slots.push_back(agg);
+    }
+    core::Rng rng(0xA55ull + static_cast<std::uint64_t>(p));
+    for (std::size_t i = slots.size(); i > 1; --i) {
+      std::swap(slots[i - 1], slots[rng.uniform_int(i)]);
+    }
+    std::size_t cursor = 0;
+    for (int b = 0; b < params_.blocks_per_pod; ++b) {
+      for (int r = 0; r < params_.rails; ++r) {
+        for (int s = 0; s < sides; ++s) {
+          NodeId tor = tor_at(p, b, r, s);
+          // Occasional duplicate picks become parallel links — fine for
+          // both capacity accounting and ECMP.
+          for (int k = 0; k < uplinks; ++k) {
+            topo_.add_duplex(tor, slots[cursor++], core::gbps(params_.trunk_gbps));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Fabric::build_tier3() {
+  const int ranks = params_.tor_uplinks();  // core groups, by Agg rank
+  const int cores_per_group = params_.blocks_per_pod;
+  const double up_gbps = params_.trunk_gbps / params_.tier3_oversub;
+  const int groups_per_pod = agg_groups_per_pod_;
+
+  // One core layer per datacenter.
+  std::vector<std::vector<NodeId>> cores_by_dc(static_cast<std::size_t>(params_.datacenters));
+  for (int dc = 0; dc < params_.datacenters; ++dc) {
+    for (int g = 0; g < ranks; ++g) {
+      for (int i = 0; i < cores_per_group; ++i) {
+        Node n;
+        n.kind = NodeKind::Core;
+        n.pod = dc * params_.pods;  // home DC marker (first pod of the DC)
+        n.group = g;
+        n.index = i;
+        n.name = "dc" + std::to_string(dc) + ".core.g" + std::to_string(g) + ".i" +
+                 std::to_string(i);
+        cores_by_dc[static_cast<std::size_t>(dc)].push_back(topo_.add_node(std::move(n)));
+      }
+    }
+  }
+
+  // Same-rank Aggs across all groups and pods of a datacenter connect to
+  // that DC's core group, giving cross-rail and cross-pod reachability in
+  // exactly two extra hops. tier3_oversub > 1 thins each uplink (the
+  // Fig. 2 study).
+  for (std::size_t gi = 0; gi < aggs_by_group_.size(); ++gi) {
+    int pod = static_cast<int>(gi) / groups_per_pod;
+    int dc = pod / params_.pods;
+    const auto& group = aggs_by_group_[gi];
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      int rank = static_cast<int>(i) % ranks;
+      for (int c = 0; c < cores_per_group; ++c) {
+        NodeId core = cores_by_dc[static_cast<std::size_t>(dc)]
+                                 [static_cast<std::size_t>(rank * cores_per_group + c)];
+        topo_.add_duplex(group[i], core, core::gbps(up_gbps));
+      }
+    }
+  }
+
+  if (params_.datacenters > 1) build_long_haul(cores_by_dc);
+}
+
+void Fabric::build_long_haul(const std::vector<std::vector<NodeId>>& cores_by_dc) {
+  // Appendix B: long-haul trunks pair same-rank cores of neighboring
+  // datacenters. Each core's cross-DC capacity is its aggregate down
+  // capacity (pods * rails * sides links of trunk/tier3_oversub each)
+  // divided by the cross-DC oversubscription ratio.
+  const double core_down_gbps = params_.pods * params_.rails * params_.sides() *
+                                params_.trunk_gbps / params_.tier3_oversub;
+  const double haul_gbps = core_down_gbps / params_.crossdc_oversub;
+  for (int dc = 0; dc + 1 < params_.datacenters; ++dc) {
+    const auto& a = cores_by_dc[static_cast<std::size_t>(dc)];
+    const auto& b = cores_by_dc[static_cast<std::size_t>(dc + 1)];
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      topo_.add_duplex(a[i], b[i], core::gbps(haul_gbps));
+    }
+  }
+}
+
+}  // namespace astral::topo

@@ -1,0 +1,120 @@
+// Fabric builders for the architectures compared in the paper:
+//
+//  * AstralSameRail — the paper's contribution (§2.1): rail ToRs at tier 1
+//    (dual-ToR per NIC), tier-2 Agg groups that aggregate *same-rail* ToRs
+//    across all blocks of a Pod, tier-3 Cores connecting same-rank Aggs;
+//    identical aggregated bandwidth at every tier.
+//  * RailOptimized — Alibaba-HPN-like: rail ToRs, but tier 2 fully
+//    interconnects all ToRs of a Pod (cross-rail at Agg).
+//  * Clos — Meta/ByteDance-like 3-tier Clos with no rail awareness: a
+//    host's NIC ports are scrambled across ToRs; tier 2 is a full mesh.
+//  * RailOnly — Meta's rail-only design: per-rail islands, no Core tier;
+//    cross-rail traffic must use the intra-host interconnect.
+//
+// All builders expose a tier-3 oversubscription knob (the paper's Fig. 2
+// study) and produce scaled-down instances by default; paper_scale()
+// gives the published 512K-GPU parameterization for capacity math.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace astral::topo {
+
+enum class FabricStyle : std::uint8_t {
+  AstralSameRail,
+  RailOptimized,
+  Clos,
+  RailOnly,
+};
+
+const char* to_string(FabricStyle style);
+
+struct FabricParams {
+  FabricStyle style = FabricStyle::AstralSameRail;
+  int rails = 8;            ///< GPUs (= rail NICs) per host.
+  int hosts_per_block = 16; ///< Paper: 128 (1024-GPU block).
+  int blocks_per_pod = 8;   ///< Paper: 64 (64K-GPU pod).
+  int pods = 2;             ///< Paper: 8 (512K-GPU cluster).
+  double host_port_gbps = 200.0;  ///< Per NIC port (2 ports per NIC).
+  double trunk_gbps = 400.0;      ///< ToR-Agg and Agg-Core links.
+  double tier3_oversub = 1.0;     ///< >1 divides Agg->Core capacity.
+  bool dual_tor = true;           ///< P3: each NIC port on a distinct ToR.
+
+  // Appendix B extension: multiple datacenters hundreds of km apart,
+  // joined by long-haul trunks between same-rank Core switches. `pods`
+  // counts pods per datacenter; the long-haul aggregate bandwidth is the
+  // tier-3 bandwidth divided by `crossdc_oversub`.
+  int datacenters = 1;
+  double crossdc_oversub = 8.0;
+
+  /// The published production parameterization (512K GPUs). Do not
+  /// instantiate as a Topology — used for capacity accounting only.
+  static FabricParams paper_scale();
+
+  int sides() const { return dual_tor ? 2 : 1; }
+  /// ToR uplink count; equals Aggs per tier-2 group for same-rail styles.
+  int tor_uplinks() const;
+  int total_pods() const { return pods * datacenters; }
+  int gpu_count() const { return total_pods() * blocks_per_pod * hosts_per_block * rails; }
+  int host_count() const { return total_pods() * blocks_per_pod * hosts_per_block; }
+};
+
+/// Where a global GPU index lives.
+struct GpuLoc {
+  NodeId host = kInvalidNode;
+  int rail = 0;  ///< Also the GPU's index within its host.
+  int pod = 0;
+  int block = 0;
+  int host_index = 0;  ///< Host index within the block.
+};
+
+/// A built fabric: the topology graph plus index helpers. GPUs are
+/// numbered host-major: gpu = ((pod * blocks + block) * hosts + host) *
+/// rails + rail.
+class Fabric {
+ public:
+  explicit Fabric(FabricParams params);
+
+  Topology& topo() { return topo_; }
+  const Topology& topo() const { return topo_; }
+  const FabricParams& params() const { return params_; }
+
+  int gpu_count() const { return params_.gpu_count(); }
+  int host_count() const { return params_.host_count(); }
+
+  GpuLoc gpu(int global_gpu) const;
+  NodeId host_at(int pod, int block, int host_index) const;
+  /// ToR id for (pod, block, rail, side); kInvalidNode if absent.
+  NodeId tor_at(int pod, int block, int rail, int side) const;
+
+  /// True when two GPUs can reach each other through the fabric without
+  /// an intra-host hop (always true except cross-rail on RailOnly).
+  bool fabric_reachable(int gpu_a, int gpu_b) const;
+
+  /// Datacenter index of a global GPU (Appendix B twin-DC fabrics).
+  int datacenter_of(int global_gpu) const {
+    return gpu(global_gpu).pod / params_.pods;
+  }
+
+ private:
+  void build();
+  void build_tier1();
+  void build_tier2_same_rail();
+  void build_tier2_full_mesh();
+  void build_tier3();
+  void build_long_haul(const std::vector<std::vector<NodeId>>& cores_by_dc);
+
+  FabricParams params_;
+  Topology topo_;
+  std::vector<NodeId> hosts_;                       // flattened
+  std::vector<NodeId> tors_;                        // flattened
+  std::vector<std::vector<NodeId>> aggs_by_group_;  // [pod * groups + g]
+  int agg_groups_per_pod_ = 0;
+};
+
+/// Convenience factory.
+Fabric build_fabric(FabricParams params);
+
+}  // namespace astral::topo

@@ -1,0 +1,151 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace astral::topo {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Host: return "host";
+    case NodeKind::Tor: return "tor";
+    case NodeKind::Agg: return "agg";
+    case NodeKind::Core: return "core";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(Node node) {
+  node.id = static_cast<NodeId>(nodes_.size());
+  if (!node.name.empty()) by_name_[node.name] = node.id;
+  if (node.kind == NodeKind::Host) hosts_.push_back(node.id);
+  nodes_.push_back(std::move(node));
+  out_.emplace_back();
+  in_.emplace_back();
+  return nodes_.back().id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, core::Bps capacity) {
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.src = src;
+  l.dst = dst;
+  l.capacity = capacity;
+  links_.push_back(l);
+  out_[src].push_back(l.id);
+  in_[dst].push_back(l.id);
+  route_cache_.clear();
+  return l.id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_duplex(NodeId a, NodeId b, core::Bps capacity) {
+  LinkId ab = add_link(a, b, capacity);
+  LinkId ba = add_link(b, a, capacity);
+  return {ab, ba};
+}
+
+void Topology::set_host_uplink(NodeId host, int rail, int side, LinkId link) {
+  rails_ = std::max(rails_, rail + 1);
+  sides_ = std::max(sides_, side + 1);
+  auto& v = uplinks_[host];
+  std::size_t slot = static_cast<std::size_t>(rail) * 2 + static_cast<std::size_t>(side);
+  if (v.size() <= slot) v.resize(slot + 1, kInvalidLink);
+  v[slot] = link;
+}
+
+LinkId Topology::host_uplink(NodeId host, int rail, int side) const {
+  auto it = uplinks_.find(host);
+  if (it == uplinks_.end()) return kInvalidLink;
+  std::size_t slot = static_cast<std::size_t>(rail) * 2 + static_cast<std::size_t>(side);
+  if (slot >= it->second.size()) return kInvalidLink;
+  return it->second[slot];
+}
+
+void Topology::set_link_state(LinkId id, bool up) {
+  if (links_[id].up != up) {
+    links_[id].up = up;
+    route_cache_.clear();
+  }
+}
+
+const Topology::DestRoutes& Topology::routes_for(NodeId dst) const {
+  auto it = route_cache_.find(dst);
+  if (it != route_cache_.end()) return it->second;
+
+  DestRoutes routes;
+  routes.dist.assign(nodes_.size(), -1);
+
+  // BFS from dst over reversed up links yields the hop distance of every
+  // node to dst; a link u->v is a valid next hop iff dist[v] == dist[u]-1.
+  // Hosts never forward transit traffic, so they are only expanded when
+  // they are the destination itself.
+  std::deque<NodeId> queue;
+  routes.dist[dst] = 0;
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    if (nodes_[v].kind == NodeKind::Host && v != dst) continue;
+    for (LinkId lid : in_[v]) {
+      const Link& l = links_[lid];
+      if (!l.up) continue;
+      if (routes.dist[l.src] == -1) {
+        routes.dist[l.src] = routes.dist[v] + 1;
+        queue.push_back(l.src);
+      }
+    }
+  }
+  return route_cache_.emplace(dst, std::move(routes)).first->second;
+}
+
+std::vector<LinkId> Topology::next_hops(NodeId from, NodeId dst) const {
+  const auto& dist = routes_for(dst).dist;
+  std::vector<LinkId> hops;
+  if (dist[from] <= 0) return hops;
+  // out_ link ids are in insertion order, so candidates are deterministic.
+  for (LinkId lid : out_[from]) {
+    const Link& l = links_[lid];
+    if (l.up && dist[l.dst] == dist[from] - 1) hops.push_back(lid);
+  }
+  return hops;
+}
+
+int Topology::distance(NodeId from, NodeId dst) const { return routes_for(dst).dist[from]; }
+
+std::vector<std::vector<LinkId>> Topology::shortest_paths(NodeId src, NodeId dst,
+                                                          std::size_t limit) const {
+  std::vector<std::vector<LinkId>> result;
+  if (distance(src, dst) < 0) return result;
+  // DFS over the next-hop DAG; depth bounded by the shortest-path length.
+  std::vector<LinkId> stack;
+  auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (result.size() >= limit) return;
+    if (at == dst) {
+      result.push_back(stack);
+      return;
+    }
+    for (LinkId lid : next_hops(at, dst)) {
+      stack.push_back(lid);
+      self(self, links_[lid].dst);
+      stack.pop_back();
+      if (result.size() >= limit) return;
+    }
+  };
+  dfs(dfs, src);
+  return result;
+}
+
+core::Bps Topology::tier_bandwidth(NodeKind a, NodeKind b) const {
+  core::Bps total = 0;
+  for (const Link& l : links_) {
+    if (l.up && nodes_[l.src].kind == a && nodes_[l.dst].kind == b) total += l.capacity;
+  }
+  return total;
+}
+
+NodeId Topology::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+}  // namespace astral::topo

@@ -1,0 +1,52 @@
+// Basic vocabulary of the fabric model: nodes (hosts and switches) and
+// directed links. Coordinates (pod / block / rail / side / index) encode
+// where a node sits in the hierarchy so builders, routing and the
+// monitoring system can reason about locality without string parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/units.h"
+
+namespace astral::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+enum class NodeKind : std::uint8_t {
+  Host,  ///< A GPU server: 8 GPUs, 8 rail NICs (2x200G ports each).
+  Tor,   ///< Tier-1 top-of-rack switch, bound to one rail and one side.
+  Agg,   ///< Tier-2 aggregation switch.
+  Core,  ///< Tier-3 core switch (cross-rail / cross-pod).
+};
+
+/// Returns a short human-readable label for a node kind.
+const char* to_string(NodeKind kind);
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::Host;
+  std::string name;
+
+  // Hierarchy coordinates; -1 where not applicable.
+  int pod = -1;    ///< Pod index (hosts, ToRs, Aggs). Cores span pods.
+  int block = -1;  ///< Block index within the pod (hosts, ToRs).
+  int rail = -1;   ///< Rail (same-rank GPU/NIC index) for ToRs/Aggs.
+  int side = -1;   ///< Dual-ToR side (0/1) for ToRs/Aggs.
+  int group = -1;  ///< Agg group within pod, or Core group.
+  int index = -1;  ///< Index within the node's own group.
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  core::Bps capacity = 0;
+  bool up = true;  ///< False when failed/drained; routing skips it.
+};
+
+}  // namespace astral::topo

@@ -1,0 +1,101 @@
+#include "workload/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace astral::workload {
+
+using core::Seconds;
+
+PipelineSchedule schedule_1f1b(std::span<const Seconds> fwd, std::span<const Seconds> bwd,
+                               int num_micro) {
+  PipelineSchedule out;
+  const int pp = static_cast<int>(fwd.size());
+  assert(fwd.size() == bwd.size());
+  if (pp == 0 || num_micro <= 0) return out;
+
+  struct Op {
+    int micro;
+    bool backward;
+  };
+  // Per-stage 1F1B program order.
+  std::vector<std::vector<Op>> program(static_cast<std::size_t>(pp));
+  for (int s = 0; s < pp; ++s) {
+    auto& ops = program[static_cast<std::size_t>(s)];
+    const int warmup = std::min(num_micro, pp - 1 - s);
+    int next_f = 0;
+    int next_b = 0;
+    for (int i = 0; i < warmup; ++i) ops.push_back({next_f++, false});
+    while (next_f < num_micro) {
+      ops.push_back({next_f++, false});
+      ops.push_back({next_b++, true});
+    }
+    while (next_b < num_micro) ops.push_back({next_b++, true});
+  }
+
+  // Dependency-driven sweep: an op is ready when its cross-stage
+  // dependency finished (F(s,m) after F(s-1,m); B(s,m) after B(s+1,m))
+  // and its stage reached it in program order.
+  std::map<std::pair<int, bool>, std::vector<Seconds>> done;  // (stage,bwd) -> per-micro end
+  done.clear();
+  std::vector<Seconds> stage_free(static_cast<std::size_t>(pp), 0.0);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(pp), 0);
+  std::vector<std::vector<Seconds>> f_end(static_cast<std::size_t>(pp),
+                                          std::vector<Seconds>(static_cast<std::size_t>(num_micro), -1.0));
+  std::vector<std::vector<Seconds>> b_end = f_end;
+
+  std::size_t remaining = 0;
+  for (const auto& ops : program) remaining += ops.size();
+  out.stage_busy.assign(static_cast<std::size_t>(pp), 0.0);
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int s = 0; s < pp; ++s) {
+      auto& cur = cursor[static_cast<std::size_t>(s)];
+      if (cur >= program[static_cast<std::size_t>(s)].size()) continue;
+      const Op op = program[static_cast<std::size_t>(s)][cur];
+      Seconds dep = 0.0;
+      if (!op.backward) {
+        if (s > 0) {
+          dep = f_end[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(op.micro)];
+          if (dep < 0) continue;  // upstream forward not done yet
+        }
+      } else {
+        if (s < pp - 1) {
+          dep = b_end[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(op.micro)];
+          if (dep < 0) continue;
+        } else {
+          dep = f_end[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.micro)];
+          if (dep < 0) continue;
+        }
+      }
+      Seconds start = std::max(stage_free[static_cast<std::size_t>(s)], dep);
+      Seconds dur = op.backward ? bwd[static_cast<std::size_t>(s)]
+                                : fwd[static_cast<std::size_t>(s)];
+      Seconds end = start + dur;
+      stage_free[static_cast<std::size_t>(s)] = end;
+      out.stage_busy[static_cast<std::size_t>(s)] += dur;
+      (op.backward ? b_end : f_end)[static_cast<std::size_t>(s)]
+          [static_cast<std::size_t>(op.micro)] = end;
+      out.slots.push_back({s, op.micro, op.backward, start, end});
+      ++cur;
+      --remaining;
+      progressed = true;
+    }
+    assert(progressed && "1F1B program order must be deadlock-free");
+    if (!progressed) break;
+  }
+
+  std::sort(out.slots.begin(), out.slots.end(), [](const StageSlot& a, const StageSlot& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.stage < b.stage;
+  });
+  for (const auto& slot : out.slots) out.makespan = std::max(out.makespan, slot.end);
+  double busy = 0.0;
+  for (Seconds s : out.stage_busy) busy += s;
+  out.bubble_fraction = out.makespan > 0 ? 1.0 - busy / (out.makespan * pp) : 0.0;
+  return out;
+}
+
+}  // namespace astral::workload

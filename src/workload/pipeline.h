@@ -1,0 +1,41 @@
+// 1F1B pipeline schedule construction. The Trainer uses the closed form
+// (mb + pp - 1) * (tf + tb) for iteration time; this module builds the
+// actual interleaved schedule — warmup forwards, steady 1F1B pairs,
+// cooldown backwards — so the closed form can be validated, unequal
+// stage times analyzed, and Fig. 12-style multi-device strips rendered.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/units.h"
+
+namespace astral::workload {
+
+struct StageSlot {
+  int stage = 0;
+  int micro = 0;
+  bool backward = false;
+  core::Seconds start = 0.0;
+  core::Seconds end = 0.0;
+};
+
+struct PipelineSchedule {
+  std::vector<StageSlot> slots;  ///< In start order.
+  core::Seconds makespan = 0.0;
+  /// Idle fraction across all stages (the pipeline bubble).
+  double bubble_fraction = 0.0;
+  /// Busy time of each stage.
+  std::vector<core::Seconds> stage_busy;
+};
+
+/// Builds the 1F1B schedule for `num_micro` microbatches over
+/// fwd.size() == bwd.size() stages, where fwd[s]/bwd[s] are the per-
+/// microbatch forward/backward times of stage s. Stage s runs
+/// (pp - 1 - s) warmup forwards, then alternates one-forward-one-backward,
+/// then drains its remaining backwards — the schedule that bounds
+/// activation memory to `pp` in-flight microbatches.
+PipelineSchedule schedule_1f1b(std::span<const core::Seconds> fwd,
+                               std::span<const core::Seconds> bwd, int num_micro);
+
+}  // namespace astral::workload

@@ -1,0 +1,137 @@
+#include "workload/trainer.h"
+
+#include <algorithm>
+
+namespace astral::workload {
+
+using core::Seconds;
+using seer::CommKind;
+using seer::OpType;
+using seer::Phase;
+using seer::WorkloadShape;
+
+Trainer::Trainer(TrainingSetup setup)
+    : setup_(std::move(setup)),
+      engine_(seer::CostModel(setup_.gpu, setup_.env, setup_.eff)) {}
+
+seer::OpGraph Trainer::micro_graph(bool with_dp_sync) const {
+  WorkloadShape shape;
+  shape.phase = Phase::Train;
+  shape.micro_batch = setup_.micro_batch;
+  shape.seq_len = setup_.seq_len;
+  shape.dp_strategy = setup_.dp_strategy;
+  shape.cross_dc = setup_.cross_dc;
+  shape.include_dp_sync = with_dp_sync;
+  // Representative stage: embedding on the first stage, logit on the
+  // last; with pp == 1 both are present. For deep pipelines the stage
+  // body dominates, so including both keeps one graph per job.
+  shape.include_embedding = true;
+  shape.include_logit = setup_.parallel.pp == 1;
+  return seer::build_graph(setup_.model, setup_.parallel, shape);
+}
+
+IterationForecast Trainer::forecast_iteration() const {
+  IterationForecast out;
+  auto graph_plain = micro_graph(/*with_dp_sync=*/false);
+  auto tl_plain = engine_.run(graph_plain);
+  out.micro_time = tl_plain.makespan;
+  out.micro_timeline = tl_plain;
+
+  // Gradient sync: time and the part the bucket overlap cannot hide.
+  if (setup_.parallel.dp > 1) {
+    auto graph_dp = micro_graph(/*with_dp_sync=*/true);
+    auto tl_dp = engine_.run(graph_dp);
+    out.dp_exposed = std::max(0.0, tl_dp.makespan - tl_plain.makespan);
+    const seer::CostModel& m = engine_.model();
+    for (const auto& op : graph_dp.ops) {
+      if (op.name.rfind("DPGrad", 0) == 0 || op.name.rfind("ZeroWeight", 0) == 0) {
+        out.dp_sync_time += m.op_time(op);
+      }
+    }
+  }
+
+  const int mb = setup_.num_microbatches();
+  const int pp = setup_.parallel.pp;
+  // 1F1B: the pipeline drains after (mb + pp - 1) microbatch slots.
+  // Gradient sync overlaps the final backward and, stage-dependently, the
+  // pipeline drain bubble (stage s idles (pp-1-s) slots after its last
+  // backward; the average stage gets half the drain); the remainder
+  // extends the iteration.
+  core::Seconds drain_window = 0.5 * (pp - 1) * out.micro_time;
+  out.dp_exposed = std::max(0.0, out.dp_exposed - drain_window);
+  out.iteration_time = (mb + pp - 1) * out.micro_time + out.dp_exposed;
+
+  const double tokens = static_cast<double>(setup_.global_batch) * setup_.seq_len;
+  out.tokens_per_sec = tokens / out.iteration_time;
+  // 3x forward FLOPs for fwd+bwd.
+  const double model_flops = 3.0 * setup_.model.fwd_flops_per_token(setup_.seq_len) * tokens;
+  const double world = setup_.parallel.world();
+  out.mfu = model_flops / (out.iteration_time * world * setup_.gpu.flops);
+  out.comm_fraction =
+      (tl_plain.exposed_comm * (mb + pp - 1) + out.dp_exposed) / out.iteration_time;
+  return out;
+}
+
+InferenceForecast Trainer::forecast_prefill(int batch, int seq) const {
+  WorkloadShape shape;
+  shape.phase = Phase::Prefill;
+  shape.micro_batch = batch;
+  shape.seq_len = seq;
+  shape.include_logit = true;
+  auto graph = seer::build_graph(setup_.model, setup_.parallel, shape);
+  InferenceForecast out;
+  out.timeline = engine_.run(graph);
+  // Stages execute sequentially for one request.
+  out.latency = out.timeline.makespan * setup_.parallel.pp;
+  out.tokens_per_sec = static_cast<double>(batch) * seq / out.latency;
+  return out;
+}
+
+InferenceForecast Trainer::forecast_decode(int batch, int ctx_len) const {
+  WorkloadShape shape;
+  shape.phase = Phase::Decode;
+  shape.micro_batch = batch;
+  shape.seq_len = 1;
+  shape.ctx_len = ctx_len;
+  shape.include_logit = true;
+  auto graph = seer::build_graph(setup_.model, setup_.parallel, shape);
+  InferenceForecast out;
+  out.timeline = engine_.run(graph);
+  // Token latency crosses all stages; throughput pipelines across them.
+  out.latency = out.timeline.makespan * setup_.parallel.pp;
+  out.tokens_per_sec = static_cast<double>(batch) / out.timeline.makespan;
+  return out;
+}
+
+TrafficSummary Trainer::traffic() const {
+  TrafficSummary t;
+  auto graph = micro_graph(/*with_dp_sync=*/true);
+  const int mb = setup_.num_microbatches();
+  for (const auto& op : graph.ops) {
+    if (op.type != OpType::Comm) continue;
+    bool per_iteration = op.name.rfind("DPGrad", 0) == 0;
+    double bytes = op.comm_bytes * (per_iteration ? 1.0 : mb);
+    if (op.name.find("TP") != std::string::npos) {
+      t.tp_bytes += bytes;
+    } else if (op.name.rfind("PP", 0) == 0) {
+      t.pp_bytes += bytes;
+    } else if (op.name.find("MoE") != std::string::npos) {
+      t.ep_bytes += bytes;
+    } else {
+      t.dp_bytes += bytes;  // DPGrad* and ZeroWeight*
+    }
+  }
+  return t;
+}
+
+double scaling_efficiency(const IterationForecast& base, int base_gpus, int base_batch,
+                          const IterationForecast& scaled, int scaled_gpus,
+                          int scaled_batch) {
+  double base_per_gpu = base.tokens_per_sec / base_gpus;
+  double scaled_per_gpu = scaled.tokens_per_sec / scaled_gpus;
+  (void)base_batch;
+  (void)scaled_batch;
+  return base_per_gpu > 0 ? scaled_per_gpu / base_per_gpu : 0.0;
+}
+
+}  // namespace astral::workload

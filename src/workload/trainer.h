@@ -1,0 +1,89 @@
+// End-to-end training/inference forecasting: combines the Seer operator
+// templates, cost model and timeline engine with a pipeline schedule to
+// produce per-iteration numbers (the quantities Figs. 12-14, 18, 19
+// report).
+#pragma once
+
+#include <memory>
+
+#include "seer/engine.h"
+#include "seer/templates.h"
+
+namespace astral::workload {
+
+struct TrainingSetup {
+  seer::ModelSpec model;
+  parallel::ParallelismConfig parallel;
+  seer::GpuSpec gpu = seer::GpuSpec::h100();
+  seer::CommEnv env;
+  std::shared_ptr<const seer::EfficiencyModel> eff =
+      std::make_shared<seer::TheoreticalEfficiency>();
+
+  int global_batch = 512;  ///< Sequences per iteration (all DP replicas).
+  int micro_batch = 1;
+  int seq_len = 4096;
+  seer::DpStrategy dp_strategy = seer::DpStrategy::AllReduce;
+  seer::CrossDcDim cross_dc = seer::CrossDcDim::None;
+
+  int num_microbatches() const {
+    int per_replica = global_batch / std::max(1, parallel.dp);
+    return std::max(1, per_replica / std::max(1, micro_batch));
+  }
+};
+
+struct IterationForecast {
+  core::Seconds micro_time = 0.0;      ///< fwd+bwd, one microbatch, one stage.
+  core::Seconds dp_sync_time = 0.0;    ///< Total gradient sync comm time.
+  core::Seconds dp_exposed = 0.0;      ///< Sync time not hidden by backward.
+  core::Seconds iteration_time = 0.0;  ///< 1F1B pipeline makespan + exposed sync.
+  double tokens_per_sec = 0.0;         ///< Global training throughput.
+  double mfu = 0.0;                    ///< Model FLOPs utilization per GPU.
+  double comm_fraction = 0.0;          ///< Exposed comm / iteration time.
+  seer::Timeline micro_timeline;       ///< One microbatch, for inspection.
+};
+
+struct InferenceForecast {
+  core::Seconds latency = 0.0;    ///< Prefill: full prompt; decode: per token.
+  double tokens_per_sec = 0.0;    ///< Steady-state throughput.
+  seer::Timeline timeline;
+};
+
+/// Per-parallelism-dimension fabric traffic of one iteration on one
+/// device — the data behind "PP generates the least traffic" (§4.4).
+struct TrafficSummary {
+  double tp_bytes = 0.0;
+  double pp_bytes = 0.0;
+  double dp_bytes = 0.0;
+  double ep_bytes = 0.0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainingSetup setup);
+
+  const TrainingSetup& setup() const { return setup_; }
+
+  /// Forecasts one training iteration. Runs in milliseconds — the
+  /// "within seconds" efficiency property of §4.2.
+  IterationForecast forecast_iteration() const;
+
+  InferenceForecast forecast_prefill(int batch, int seq) const;
+  InferenceForecast forecast_decode(int batch, int ctx_len) const;
+
+  /// Traffic each parallelism dimension pushes through the fabric per
+  /// iteration (per device).
+  TrafficSummary traffic() const;
+
+ private:
+  seer::OpGraph micro_graph(bool with_dp_sync) const;
+  TrainingSetup setup_;
+  seer::SeerEngine engine_;
+};
+
+/// Weak-scaling efficiency: throughput-per-GPU at `scaled` relative to
+/// `base` (1.0 = perfectly linear; Fig. 19 reports 1 - this).
+double scaling_efficiency(const IterationForecast& base, int base_gpus, int base_batch,
+                          const IterationForecast& scaled, int scaled_gpus,
+                          int scaled_batch);
+
+}  // namespace astral::workload

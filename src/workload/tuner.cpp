@@ -1,0 +1,105 @@
+#include "workload/tuner.h"
+
+#include <algorithm>
+
+namespace astral::workload {
+
+double training_memory_bytes(const TrainingSetup& setup) {
+  const auto& m = setup.model;
+  const auto& p = setup.parallel;
+  const double shard_params = m.params() / (static_cast<double>(p.tp) * p.pp);
+
+  // Weights (fp16) + gradients (fp16) + Adam master weights and two
+  // moments (fp32 each): 2 + 2 + 12 bytes per parameter. ZeRO-3 shards
+  // all of it across DP; plain DP keeps full optimizer state per rank
+  // (ZeRO-1-style optimizer sharding is the production default, so plain
+  // DP here shards the 12 optimizer bytes but not weights/grads).
+  double per_param_local = 0.0;
+  if (setup.dp_strategy == seer::DpStrategy::Zero3) {
+    per_param_local = 16.0 / std::max(1, p.dp);
+  } else {
+    per_param_local = 4.0 + 12.0 / std::max(1, p.dp);
+  }
+  double state = shard_params * per_param_local;
+
+  // Activations: one microbatch's activations per resident stage; 1F1B
+  // keeps up to `pp` microbatches in flight on the first stage. Standard
+  // per-layer activation estimate ~ (34 + 5*s*heads/h) * b*s*h bytes / tp
+  // (Korthikanti et al.) — we use the selective-recompute variant ~18.
+  const double layers_per_stage = std::max(1.0, static_cast<double>(m.layers) / p.pp);
+  const double b = setup.micro_batch;
+  const double s = setup.seq_len;
+  const double act_per_layer = 18.0 * b * s * m.hidden / p.tp;
+  const int inflight = std::min(p.pp, std::max(1, setup.num_microbatches()));
+  double activations = act_per_layer * layers_per_stage * inflight;
+
+  return state + activations;
+}
+
+double inference_memory_bytes(const seer::ModelSpec& model,
+                              const parallel::ParallelismConfig& cfg, int batch,
+                              int ctx_len) {
+  double weights = model.params() / (static_cast<double>(cfg.tp) * cfg.pp) *
+                   model.param_bytes;
+  double kv_ratio = model.heads > 0 ? static_cast<double>(model.kv_heads) / model.heads : 1.0;
+  double layers_per_stage = std::max(1.0, static_cast<double>(model.layers) / cfg.pp);
+  double kv = 2.0 * static_cast<double>(batch) * ctx_len * model.hidden * kv_ratio *
+              layers_per_stage * model.param_bytes / cfg.tp;
+  return weights + kv;
+}
+
+TuningResult tune_parallelism(const TuningRequest& req) {
+  TuningResult result;
+  const double hbm_budget = static_cast<double>(req.gpu.hbm_size) * req.memory_margin;
+
+  for (int tp = 1; tp <= req.max_tp; tp *= 2) {
+    for (int pp = 1; pp <= req.model.layers && tp * pp <= req.gpus; pp *= 2) {
+      if (req.gpus % (tp * pp) != 0) continue;
+      int dp = req.gpus / (tp * pp);
+      if (req.global_batch % dp != 0) continue;
+      int per_replica = req.global_batch / dp;
+      for (int micro : {1, 2, 4}) {
+        if (per_replica % micro != 0) continue;
+        std::vector<seer::DpStrategy> strategies{seer::DpStrategy::AllReduce};
+        if (req.try_zero3 && dp > 1) strategies.push_back(seer::DpStrategy::Zero3);
+        for (auto strategy : strategies) {
+          TrainingSetup setup;
+          setup.model = req.model;
+          setup.parallel = {.tp = tp, .dp = dp, .pp = pp,
+                            .ep = req.model.is_moe() ? dp : 1};
+          setup.global_batch = req.global_batch;
+          setup.micro_batch = micro;
+          setup.seq_len = req.seq_len;
+          setup.gpu = req.gpu;
+          setup.env = req.env;
+          setup.eff = req.eff;
+          setup.dp_strategy = strategy;
+
+          TuningCandidate cand;
+          cand.parallel = setup.parallel;
+          cand.micro_batch = micro;
+          cand.dp_strategy = strategy;
+          cand.memory_bytes = training_memory_bytes(setup);
+          cand.fits = cand.memory_bytes <= hbm_budget;
+          ++result.evaluated;
+          if (!cand.fits) {
+            ++result.rejected_memory;
+          } else {
+            cand.forecast = Trainer(setup).forecast_iteration();
+          }
+          result.ranked.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const TuningCandidate& a, const TuningCandidate& b) {
+              if (a.fits != b.fits) return a.fits;
+              if (!a.fits) return a.memory_bytes < b.memory_bytes;
+              return a.forecast.tokens_per_sec > b.forecast.tokens_per_sec;
+            });
+  return result;
+}
+
+}  // namespace astral::workload

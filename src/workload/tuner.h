@@ -1,0 +1,66 @@
+// Parallelism auto-tuning (§4.1: "tuning the parameters of the model
+// framework, e.g., parallelism and overlap strategies ... for optimal
+// performance before practical deployment"). The tuner enumerates
+// (tp, pp, dp, micro-batch) plans for a GPU budget, rejects plans whose
+// per-GPU memory footprint exceeds HBM, forecasts each survivor with
+// Seer in milliseconds, and ranks by training throughput.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "workload/trainer.h"
+
+namespace astral::workload {
+
+/// Per-GPU memory footprint estimate (bytes) of a training plan:
+/// parameters + gradients + optimizer state (Adam, fp32 moments) on the
+/// TP/PP shard — divided across DP ranks under ZeRO — plus activation
+/// memory for the in-flight microbatches of 1F1B.
+double training_memory_bytes(const TrainingSetup& setup);
+
+/// Per-GPU memory footprint of serving: weights shard + KV cache for
+/// `batch` sequences of `ctx_len` tokens.
+double inference_memory_bytes(const seer::ModelSpec& model,
+                              const parallel::ParallelismConfig& cfg, int batch,
+                              int ctx_len);
+
+struct TuningCandidate {
+  parallel::ParallelismConfig parallel;
+  int micro_batch = 1;
+  seer::DpStrategy dp_strategy = seer::DpStrategy::AllReduce;
+  double memory_bytes = 0.0;
+  bool fits = false;
+  IterationForecast forecast;  ///< Valid only when fits.
+};
+
+struct TuningRequest {
+  seer::ModelSpec model;
+  int gpus = 1024;             ///< World size; plans must use all of them.
+  int global_batch = 512;
+  int seq_len = 4096;
+  seer::GpuSpec gpu = seer::GpuSpec::h100();
+  seer::CommEnv env;
+  std::shared_ptr<const seer::EfficiencyModel> eff =
+      std::make_shared<seer::TestbedEfficiency>();
+  int max_tp = 8;              ///< TP beyond the NVLink domain is madness.
+  bool try_zero3 = true;
+  double memory_margin = 0.90; ///< Use at most this fraction of HBM.
+};
+
+struct TuningResult {
+  std::vector<TuningCandidate> ranked;  ///< fits==true first, by throughput.
+  int evaluated = 0;
+  int rejected_memory = 0;
+
+  /// Best feasible plan; nullopt when nothing fits.
+  std::optional<TuningCandidate> best() const {
+    if (ranked.empty() || !ranked.front().fits) return std::nullopt;
+    return ranked.front();
+  }
+};
+
+/// Enumerates and forecasts all valid plans.
+TuningResult tune_parallelism(const TuningRequest& req);
+
+}  // namespace astral::workload

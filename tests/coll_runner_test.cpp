@@ -1,0 +1,214 @@
+#include "coll/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "parallel/placement.h"
+
+namespace astral::coll {
+namespace {
+
+using core::gbps;
+using namespace core;  // literal operators (_MiB)
+
+topo::Fabric small_fabric(topo::FabricStyle style = topo::FabricStyle::AstralSameRail) {
+  topo::FabricParams p;
+  p.style = style;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  return topo::Fabric(p);
+}
+
+CommGroup group_of(const topo::Fabric& f, int n) {
+  auto placement = parallel::Placement::packed(f, n);
+  return CommGroup{placement.gpus};
+}
+
+TEST(CollectiveRunner, SendRecvSameHostUsesNvlink) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto res = runner.send_recv(0, 1, 32_MiB);
+  EXPECT_DOUBLE_EQ(res.fabric_time, 0.0);
+  EXPECT_GT(res.nvlink_time, 0.0);
+  EXPECT_NEAR(res.duration, core::transfer_time(32_MiB, core::gBps(450)), 1e-9);
+}
+
+TEST(CollectiveRunner, SendRecvCrossHostSameRail) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  int dst = f.params().rails * f.params().hosts_per_block;  // same rail 0
+  auto res = runner.send_recv(0, dst, 25_MiB);
+  EXPECT_DOUBLE_EQ(res.nvlink_time, 0.0);
+  EXPECT_NEAR(res.duration, core::transfer_time(25_MiB, gbps(200)), 1e-6);
+}
+
+TEST(CollectiveRunner, SendRecvCrossRailUsesPxn) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  int dst = f.params().rails * f.params().hosts_per_block + 2;  // rail 2
+  auto res = runner.send_recv(0, dst, 25_MiB);
+  EXPECT_GT(res.nvlink_time, 0.0);  // PXN hop
+  EXPECT_GT(res.fabric_time, 0.0);
+}
+
+TEST(CollectiveRunner, AllReduceScalesWithGroupSize) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto res8 = runner.all_reduce(group_of(f, 8), 256_MiB);
+  auto res16 = runner.all_reduce(group_of(f, 16), 256_MiB);
+  EXPECT_GT(res8.duration, 0.0);
+  EXPECT_GT(res16.duration, 0.0);
+  // Ring bus bandwidth should be stable across sizes on a non-blocking
+  // fabric (within 2x; intra-host steps differ).
+  EXPECT_LT(res16.duration / res8.duration, 3.0);
+}
+
+TEST(CollectiveRunner, AllReduceBusBwBoundedByLineRate) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto res = runner.all_reduce(group_of(f, 16), 512_MiB);
+  // Host-crossing ring edges ride one 200G NIC port.
+  EXPECT_LE(res.bus_bw, gbps(200) * 1.01);
+  EXPECT_GT(res.bus_bw, gbps(200) * 0.3);
+}
+
+TEST(CollectiveRunner, HierarchicalAllReduceUsesAllRailsConcurrently) {
+  // The rail-fabric payoff: per-rail rings keep every NIC of every host
+  // busy at once, beating the flat ring that serializes on one lane.
+  auto f = small_fabric();
+  net::FluidSim sim_flat(f);
+  CollectiveRunner flat(sim_flat);
+  auto res_flat = flat.all_reduce(group_of(f, 16), 512_MiB);
+
+  auto f2 = small_fabric();
+  net::FluidSim sim_h(f2);
+  CollectiveRunner hier(sim_h);
+  auto res_h = hier.all_reduce_hierarchical(group_of(f2, 16), 512_MiB);
+
+  EXPECT_GT(res_h.bus_bw, res_flat.bus_bw * 2.0);  // 4 rails in parallel
+  EXPECT_GT(res_h.nvlink_time, 0.0);               // intra phases present
+}
+
+TEST(CollectiveRunner, HierarchicalFallsBackForPartialHosts) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  // 6 GPUs: host 0 full (4) + half of host 1 (2) -> ragged, falls back.
+  auto res = runner.all_reduce_hierarchical(group_of(f, 6), 64_MiB);
+  auto flat = CollectiveRunner(sim).all_reduce(group_of(f, 6), 64_MiB);
+  EXPECT_NEAR(res.duration, flat.duration, flat.duration * 0.2);
+}
+
+TEST(CollectiveRunner, HierarchicalSingleHostIsNvlinkRing) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto res = runner.all_reduce_hierarchical(group_of(f, 4), 64_MiB);
+  EXPECT_GT(res.duration, 0.0);
+  EXPECT_EQ(res.fabric_bytes, 0u);  // all NVLink
+}
+
+TEST(CollectiveRunner, ReduceScatterIsHalfAllReduce) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto ar = runner.all_reduce(group_of(f, 16), 256_MiB);
+  auto rs = runner.reduce_scatter(group_of(f, 16), 256_MiB);
+  EXPECT_NEAR(ar.duration / rs.duration, 2.0, 0.2);
+}
+
+TEST(CollectiveRunner, AllGatherMatchesReduceScatter) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto rs = runner.reduce_scatter(group_of(f, 16), 128_MiB);
+  auto ag = runner.all_gather(group_of(f, 16), 128_MiB);
+  EXPECT_NEAR(rs.duration, ag.duration, rs.duration * 0.05);
+}
+
+TEST(CollectiveRunner, AllToAllWithinHostIsNvlinkOnly) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  auto res = runner.all_to_all(group_of(f, 4), 8_MiB);  // one host (4 rails)
+  EXPECT_EQ(res.fabric_bytes, 0u);
+  EXPECT_GT(res.duration, 0.0);
+}
+
+TEST(CollectiveRunner, AllToAllPxnMakesAllFlowsSameRail) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.pxn = true});
+  auto res = runner.all_to_all(group_of(f, 16), 4_MiB);
+  EXPECT_GT(res.fabric_bytes, 0u);
+  // With PXN every fabric flow is same-rail: no flow ever visits a Core
+  // switch inside one pod.
+  const auto& topo = f.topo();
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(static_cast<topo::LinkId>(l));
+    if (topo.node(link.src).kind == topo::NodeKind::Core ||
+        topo.node(link.dst).kind == topo::NodeKind::Core) {
+      EXPECT_DOUBLE_EQ(sim.link_stats(static_cast<topo::LinkId>(l)).bytes_forwarded, 0.0);
+    }
+  }
+}
+
+TEST(CollectiveRunner, AllToAllWithoutPxnCrossesCore) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.pxn = false});
+  auto res = runner.all_to_all(group_of(f, 16), 4_MiB);
+  EXPECT_GT(res.fabric_bytes, 0u);
+  const auto& topo = f.topo();
+  double core_bytes = 0;
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(static_cast<topo::LinkId>(l));
+    if (topo.node(link.dst).kind == topo::NodeKind::Core) {
+      core_bytes += sim.link_stats(static_cast<topo::LinkId>(l)).bytes_forwarded;
+    }
+  }
+  EXPECT_GT(core_bytes, 0.0);
+}
+
+TEST(CollectiveRunner, AllToAllSamplingApproximatesFullRun) {
+  auto f = small_fabric();
+  net::FluidSim sim_full(f);
+  CollectiveRunner full(sim_full, {.sample_rounds = 0});
+  auto res_full = full.all_to_all(group_of(f, 16), 2_MiB);
+
+  auto f2 = small_fabric();
+  net::FluidSim sim_sampled(f2);
+  CollectiveRunner sampled(sim_sampled, {.sample_rounds = 5});
+  auto res_sampled = sampled.all_to_all(group_of(f2, 16), 2_MiB);
+
+  EXPECT_EQ(res_sampled.rounds_simulated, 5);
+  EXPECT_NEAR(res_sampled.duration, res_full.duration, res_full.duration * 0.25);
+}
+
+TEST(CollectiveRunner, RailOnlyAllToAllStillCompletes) {
+  auto f = small_fabric(topo::FabricStyle::RailOnly);
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.pxn = false});  // PXN forced when needed
+  auto res = runner.all_to_all(group_of(f, 16), 2_MiB);
+  EXPECT_GT(res.duration, 0.0);
+  EXPECT_GT(res.nvlink_time, 0.0);  // cross-rail had to hop NVLink
+}
+
+TEST(CollectiveRunner, TrivialGroupsReturnZero) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);
+  EXPECT_DOUBLE_EQ(runner.all_reduce(group_of(f, 1), 1_MiB).duration, 0.0);
+  EXPECT_DOUBLE_EQ(runner.all_to_all(group_of(f, 1), 1_MiB).duration, 0.0);
+  EXPECT_DOUBLE_EQ(runner.send_recv(3, 3, 1_MiB).duration, 0.0);
+  EXPECT_DOUBLE_EQ(runner.all_reduce(group_of(f, 8), 0).duration, 0.0);
+}
+
+}  // namespace
+}  // namespace astral::coll

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cooling/airflow.h"
+#include "cooling/integrated.h"
+
+namespace astral::cooling {
+namespace {
+
+TEST(Airflow, VelocityInverselyProportionalToArea) {
+  // The fluid-dynamics principle the paper invokes: at constant flow,
+  // v = V / A, so the bottom plenum's larger area means lower velocity.
+  RackRowConfig cfg;
+  double v_side = duct_velocity(cfg, AirflowScheme::SideIntake);
+  double v_bottom = duct_velocity(cfg, AirflowScheme::BottomUp);
+  EXPECT_NEAR(v_side / v_bottom, cfg.bottom_plenum_area_m2 / cfg.side_duct_area_m2, 1e-9);
+  EXPECT_GT(v_side, v_bottom);
+}
+
+TEST(Airflow, DistributionsSumToOne) {
+  RackRowConfig cfg;
+  for (auto scheme : {AirflowScheme::SideIntake, AirflowScheme::BottomUp}) {
+    auto d = airflow_distribution(cfg, scheme);
+    double sum = 0;
+    for (double s : d) sum += s;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double s : d) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(Airflow, SideIntakeStarvesRacksNearOutlet) {
+  RackRowConfig cfg;
+  auto d = airflow_distribution(cfg, AirflowScheme::SideIntake);
+  // Center racks (near the outlet, high local velocity) get less air
+  // than the end racks.
+  EXPECT_LT(d[d.size() / 2], d.front());
+  EXPECT_LT(d[d.size() / 2], d.back());
+}
+
+TEST(Airflow, Fig5TemperatureSpreads) {
+  // Fig. 5: ~1 degC spread with side intake, ~0.11 degC bottom-up.
+  RackRowConfig cfg;
+  double side = temperature_spread(cfg, AirflowScheme::SideIntake);
+  double bottom = temperature_spread(cfg, AirflowScheme::BottomUp);
+  EXPECT_NEAR(side, 1.0, 0.5);
+  EXPECT_NEAR(bottom, 0.11, 0.09);
+  EXPECT_GT(side / bottom, 4.0);
+}
+
+TEST(Airflow, BottomUpLowersOverallTemperature) {
+  RackRowConfig cfg;
+  auto t_side = rack_temperatures(cfg, AirflowScheme::SideIntake);
+  auto t_bottom = rack_temperatures(cfg, AirflowScheme::BottomUp);
+  double max_side = *std::max_element(t_side.begin(), t_side.end());
+  double max_bottom = *std::max_element(t_bottom.begin(), t_bottom.end());
+  EXPECT_LT(max_bottom, max_side);
+}
+
+TEST(Airflow, MoreHeatMeansHigherRise) {
+  RackRowConfig cfg;
+  auto base = rack_temperatures(cfg, AirflowScheme::BottomUp);
+  cfg.heat_watts_per_rack *= 2;
+  auto hot = rack_temperatures(cfg, AirflowScheme::BottomUp);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(hot[i] - cfg.ambient_c, 2.0 * (base[i] - cfg.ambient_c), 1e-9);
+  }
+}
+
+TEST(Integrated, LiquidCoolingCutsPlantPower) {
+  auto air = CoolingConfig::traditional_air(1e8);
+  auto integrated = CoolingConfig::astral_integrated(1e8);
+  IntegratedCooling plant_air(air);
+  IntegratedCooling plant_int(integrated);
+  double heat = 5e7;
+  EXPECT_LT(plant_int.cooling_power(heat), plant_air.cooling_power(heat) * 0.7);
+}
+
+TEST(Integrated, SharedPrimarySourceCoversFullLoad) {
+  auto cfg = CoolingConfig::astral_integrated(1e8);
+  IntegratedCooling plant(cfg);
+  EXPECT_TRUE(plant.can_handle(1e8));
+  EXPECT_FALSE(plant.can_handle(1.2e8));
+}
+
+TEST(Integrated, AdaptsRatioToWorkload) {
+  auto plant = IntegratedCooling(CoolingConfig::astral_integrated(1e8));
+  plant.adapt_to(WorkloadKind::CpuIntensive);
+  EXPECT_DOUBLE_EQ(plant.config().liquid_fraction,
+                   recommended_liquid_fraction(WorkloadKind::CpuIntensive));
+  double cpu_power = plant.cooling_power(5e7);
+  plant.adapt_to(WorkloadKind::GpuIntensive);
+  double gpu_power = plant.cooling_power(5e7);
+  // GPU-heavy load puts more heat on efficient cold plates.
+  EXPECT_LT(gpu_power, cpu_power);
+}
+
+TEST(Integrated, RecommendedFractionsOrdered) {
+  EXPECT_GT(recommended_liquid_fraction(WorkloadKind::GpuIntensive),
+            recommended_liquid_fraction(WorkloadKind::Mixed));
+  EXPECT_GT(recommended_liquid_fraction(WorkloadKind::Mixed),
+            recommended_liquid_fraction(WorkloadKind::CpuIntensive));
+}
+
+}  // namespace
+}  // namespace astral::cooling

@@ -1,0 +1,89 @@
+#include "core/json.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::core {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-12")->as_number(), -12.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  auto doc = Json::parse(R"({"ops":[{"id":0,"name":"SA","deps":[]},{"id":1,"deps":[0]}],
+                             "ok":true})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE((*doc)["ok"].as_bool());
+  ASSERT_EQ((*doc)["ops"].size(), 2u);
+  EXPECT_EQ((*doc)["ops"].at(0)["name"].as_string(), "SA");
+  EXPECT_EQ((*doc)["ops"].at(1)["deps"].at(0).as_int(), 0);
+}
+
+TEST(Json, ParsesEscapes) {
+  auto doc = Json::parse(R"("a\nb\t\"c\" A")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "a\nb\t\"c\" A");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("12 34").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  Json doc = Json::object();
+  doc["name"] = Json("llama3");
+  doc["layers"] = Json(80);
+  doc["ratio"] = Json(0.25);
+  Json ops = Json::array();
+  ops.push_back(Json("EmbeddingComputation"));
+  ops.push_back(Json("GQACoreAttn"));
+  doc["ops"] = ops;
+
+  auto parsed = Json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["name"].as_string(), "llama3");
+  EXPECT_EQ((*parsed)["layers"].as_int(), 80);
+  EXPECT_DOUBLE_EQ((*parsed)["ratio"].as_number(), 0.25);
+  EXPECT_EQ((*parsed)["ops"].at(1).as_string(), "GQACoreAttn");
+}
+
+TEST(Json, PrettyPrintIsStableAndReparsable) {
+  auto doc = Json::parse(R"({"b":[1,2],"a":{"x":null}})");
+  ASSERT_TRUE(doc.has_value());
+  std::string pretty = doc->dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto again = Json::parse(pretty);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), doc->dump());
+}
+
+TEST(Json, MissingLookupsAreNullNotFatal) {
+  auto doc = Json::parse(R"({"a":1})");
+  EXPECT_TRUE((*doc)["missing"].is_null());
+  EXPECT_TRUE((*doc)["a"]["nested"].is_null());
+  EXPECT_DOUBLE_EQ(doc->number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(doc->string_or("missing", "dflt"), "dflt");
+  EXPECT_TRUE(doc->at(99).is_null());
+}
+
+TEST(Json, ObjectKeysSerializeSorted) {
+  auto doc = Json::parse(R"({"zeta":1,"alpha":2})");
+  std::string s = doc->dump();
+  EXPECT_LT(s.find("alpha"), s.find("zeta"));
+}
+
+}  // namespace
+}  // namespace astral::core

@@ -1,0 +1,109 @@
+#include "core/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace astral::core {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, ZscoresFlagOutlier) {
+  std::vector<double> xs{10, 10.2, 9.9, 10.1, 30.0};
+  auto z = zscores(xs);
+  ASSERT_EQ(z.size(), 5u);
+  EXPECT_GT(z[4], 1.9);
+  for (int i = 0; i < 4; ++i) EXPECT_LT(std::abs(z[static_cast<std::size_t>(i)]), 1.0);
+}
+
+TEST(Stats, ZscoresOfConstantSeriesAreZero) {
+  std::vector<double> xs{5, 5, 5, 5};
+  for (double z : zscores(xs)) EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    double x = i * 0.3;
+    xs.push_back(x);
+    ys.push_back(2.0 - 1.5 * x + 0.25 * x * x);
+  }
+  Polynomial p = polyfit(xs, ys, 2);
+  ASSERT_EQ(p.degree(), 2);
+  EXPECT_NEAR(p.coeffs[0], 2.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[1], -1.5, 1e-9);
+  EXPECT_NEAR(p.coeffs[2], 0.25, 1e-9);
+  EXPECT_NEAR(poly_rmse(p, xs, ys), 0.0, 1e-9);
+}
+
+TEST(Polyfit, SmoothsNoisyData) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.uniform(0, 4);
+    xs.push_back(x);
+    ys.push_back(1.0 + 3.0 * x + rng.normal(0, 0.05));
+  }
+  Polynomial p = polyfit(xs, ys, 1);
+  ASSERT_EQ(p.degree(), 1);
+  EXPECT_NEAR(p.coeffs[0], 1.0, 0.05);
+  EXPECT_NEAR(p.coeffs[1], 3.0, 0.05);
+}
+
+TEST(Polyfit, DegenerateInputsReturnEmpty) {
+  std::vector<double> xs{1.0};
+  std::vector<double> ys{2.0};
+  EXPECT_TRUE(polyfit(xs, ys, 2).coeffs.empty());
+  EXPECT_TRUE(polyfit({}, {}, 1).coeffs.empty());
+  std::vector<double> bad_x{1, 2, 3};
+  std::vector<double> bad_y{1, 2};
+  EXPECT_TRUE(polyfit(bad_x, bad_y, 1).coeffs.empty());
+}
+
+TEST(Polyfit, ConstantXIsSingular) {
+  std::vector<double> xs{2, 2, 2, 2};
+  std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_TRUE(polyfit(xs, ys, 1).coeffs.empty());
+}
+
+TEST(LinearSolve, SolvesSmallSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  std::vector<double> a{2, 1, 1, -1};
+  std::vector<double> b{5, 1};
+  ASSERT_TRUE(solve_linear(a, b, 2));
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(LinearSolve, DetectsSingular) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{3, 6};
+  EXPECT_FALSE(solve_linear(a, b, 2));
+}
+
+TEST(RelativeDeviation, Basics) {
+  EXPECT_DOUBLE_EQ(relative_deviation(101.0, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(relative_deviation(100.0, 100.0), 0.0);
+  EXPECT_GT(relative_deviation(1.0, 0.0), 1e9);
+}
+
+}  // namespace
+}  // namespace astral::core

@@ -1,0 +1,72 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/math.h"
+
+namespace astral::core {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = r.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.uniform());
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.normal(10.0, 2.0));
+  EXPECT_NEAR(mean(xs), 10.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.exponential(0.5));
+  EXPECT_NEAR(mean(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(6);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[r.uniform_int(7)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+}  // namespace
+}  // namespace astral::core

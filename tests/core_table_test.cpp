@@ -1,0 +1,42 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::core {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::string s = t.str();
+  // Every rendered line has the same width.
+  std::size_t first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  std::size_t width = first_nl;
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t nl = s.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t({"a"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({});
+  std::string s = t.str();
+  EXPECT_NE(s.find('3'), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.1634), "16.34%");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace astral::core

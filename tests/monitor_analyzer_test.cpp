@@ -1,0 +1,231 @@
+#include "monitor/analyzer.h"
+
+#include "monitor/offline_tools.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::monitor {
+namespace {
+
+topo::Fabric test_fabric() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+JobConfig small_job() {
+  JobConfig j;
+  j.hosts = 8;
+  j.iterations = 5;
+  j.comm_bytes = 8ull * 1024 * 1024;
+  return j;
+}
+
+Diagnosis run_and_diagnose(topo::Fabric& f, const JobConfig& job, RootCause cause,
+                           Manifestation m, std::uint64_t seed) {
+  ClusterRuntime rt(f, job, seed);
+  rt.inject(rt.make_fault(cause, m, 2));
+  rt.run();
+  HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  return analyzer.diagnose();
+}
+
+TEST(Analyzer, HealthyRunIsClean) {
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 1);
+  rt.run();
+  HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  EXPECT_FALSE(d.anomaly_detected);
+  EXPECT_FALSE(d.manifestation.has_value());
+}
+
+TEST(Analyzer, GpuHardwareLocalizedViaFatalLog) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::GpuHardware,
+                            Manifestation::FailStop, 21);
+  EXPECT_EQ(d.manifestation, Manifestation::FailStop);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::GpuHardware);
+  EXPECT_EQ(d.culprit_hosts.size(), 1u);
+  // Minutes, not hours.
+  EXPECT_LT(d.locate_time, 15 * 60.0);
+}
+
+TEST(Analyzer, MemoryFaultLocalized) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::Memory, Manifestation::FailStop, 22);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::Memory);
+}
+
+TEST(Analyzer, UserCodeRaisesManualAlarm) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::UserCode,
+                            Manifestation::FailStop, 23);
+  EXPECT_EQ(d.root_cause, RootCause::UserCode);
+  EXPECT_TRUE(d.needs_manual);
+}
+
+TEST(Analyzer, NicErrorViaErrCqePathOverlap) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::NicError,
+                            Manifestation::FailStop, 24);
+  EXPECT_EQ(d.manifestation, Manifestation::FailStop);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::NicError);
+  EXPECT_FALSE(d.culprit_links.empty());
+}
+
+TEST(Analyzer, OpticalFiberViaIntLatency) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::OpticalFiber,
+                            Manifestation::FailSlow, 25);
+  EXPECT_EQ(d.manifestation, Manifestation::FailSlow);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::OpticalFiber);
+  ASSERT_FALSE(d.culprit_links.empty());
+}
+
+TEST(Analyzer, SwitchConfigViaIntLatency) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::SwitchConfig,
+                            Manifestation::FailSlow, 26);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::SwitchConfig);
+}
+
+TEST(Analyzer, SwitchBugBlackholeViaModDrops) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::SwitchBug,
+                            Manifestation::FailHang, 27);
+  EXPECT_EQ(d.manifestation, Manifestation::FailHang);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::SwitchBug);
+}
+
+TEST(Analyzer, CclBugHangFlagsCulpritButNeedsManual) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::CclBug, Manifestation::FailHang, 28);
+  EXPECT_EQ(d.manifestation, Manifestation::FailHang);
+  // The silent software hang: culprit host identified by the missing
+  // work request, but no device log names a cause (§3.3 limitations).
+  EXPECT_FALSE(d.root_cause_found);
+  EXPECT_TRUE(d.needs_manual);
+  EXPECT_EQ(d.culprit_hosts.size(), 1u);
+}
+
+TEST(Analyzer, PcieDegradeFoundOnlyWithPcieMonitoring) {
+  // The §5 PCIe incident, before and after the monitoring upgrade.
+  auto f = test_fabric();
+  auto job = small_job();
+  job.comm_bytes = 32ull * 1024 * 1024;
+
+  job.pcie_monitoring = false;
+  {
+    ClusterRuntime rt(f, job, 29);
+    rt.inject(rt.make_fault(RootCause::PcieDegrade, Manifestation::FailSlow, 1));
+    rt.run();
+    HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                  rt.expected_comm());
+    auto d = analyzer.diagnose();
+    EXPECT_TRUE(d.anomaly_detected);
+    EXPECT_FALSE(d.root_cause_found);  // invisible without the PCIe layer
+    EXPECT_TRUE(d.needs_manual);
+  }
+  job.pcie_monitoring = true;
+  {
+    ClusterRuntime rt(f, job, 29);
+    rt.inject(rt.make_fault(RootCause::PcieDegrade, Manifestation::FailSlow, 1));
+    rt.run();
+    HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                  rt.expected_comm());
+    auto d = analyzer.diagnose();
+    ASSERT_TRUE(d.root_cause_found);
+    EXPECT_EQ(d.root_cause, RootCause::PcieDegrade);
+  }
+}
+
+TEST(Analyzer, FailOnStartClassified) {
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 30);
+  rt.inject(rt.make_fault(RootCause::HostEnvConfig, Manifestation::FailOnStart, 0));
+  rt.run();
+  HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  EXPECT_EQ(d.manifestation, Manifestation::FailOnStart);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::HostEnvConfig);
+}
+
+TEST(Analyzer, GpuFailSlowFoundByCrossHostComparison) {
+  // A thermally-throttled GPU: no job abort, just one slow rank — the
+  // horizontal comparison (Branch #1) must find it.
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::GpuHardware,
+                            Manifestation::FailSlow, 40);
+  EXPECT_EQ(d.manifestation, Manifestation::FailSlow);
+  ASSERT_EQ(d.culprit_hosts.size(), 1u);
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::GpuHardware);
+}
+
+TEST(Analyzer, LinkFlapDiagnosedFromTransientSlowdown) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::LinkFlap,
+                            Manifestation::FailSlow, 41);
+  EXPECT_TRUE(d.anomaly_detected);
+  if (d.root_cause_found) {
+    EXPECT_TRUE(d.root_cause == RootCause::LinkFlap ||
+                d.root_cause == RootCause::SwitchBug);
+  }
+}
+
+TEST(Analyzer, WireConnectionCaughtOnlineAndOffline) {
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 42);
+  auto fault = rt.make_fault(RootCause::WireConnection, Manifestation::FailSlow, 2);
+  rt.inject(fault);
+  rt.run();
+  HierarchicalAnalyzer analyzer(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, RootCause::WireConnection);
+  // And the offline wiring-verify would catch an actual mis-cable before
+  // delivery: swap the faulted link's far end in the observation table.
+  auto wiring = collect_wiring(f);
+  swap_wires(wiring, fault.target_link, (fault.target_link + 7) % wiring.size());
+  EXPECT_FALSE(verify_wiring(f, wiring).empty());
+}
+
+TEST(Analyzer, LocateTimesAreMinutesForAllBranches) {
+  auto f = test_fabric();
+  for (auto [cause, m] : {std::pair{RootCause::GpuHardware, Manifestation::FailStop},
+                          std::pair{RootCause::OpticalFiber, Manifestation::FailSlow},
+                          std::pair{RootCause::SwitchBug, Manifestation::FailHang}}) {
+    auto d = run_and_diagnose(f, small_job(), cause, m, 43);
+    ASSERT_TRUE(d.root_cause_found) << to_string(cause);
+    EXPECT_GT(d.locate_time, 60.0);
+    EXPECT_LT(d.locate_time, 20 * 60.0) << to_string(cause);
+  }
+}
+
+TEST(Analyzer, EvidenceChainIsLayered) {
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::OpticalFiber,
+                            Manifestation::FailSlow, 31);
+  // The chain walks app -> transport -> network -> physical in order.
+  ASSERT_GE(d.evidence.size(), 3u);
+  EXPECT_NE(d.evidence.front().find("app:"), std::string::npos);
+  EXPECT_NE(d.evidence.back().find("physical:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astral::monitor

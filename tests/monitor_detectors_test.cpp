@@ -1,0 +1,81 @@
+#include "monitor/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/analyzer.h"
+
+namespace astral::monitor {
+namespace {
+
+SyslogEvent log_with(std::string msg) {
+  SyslogEvent ev;
+  ev.message = std::move(msg);
+  return ev;
+}
+
+TEST(DetectorRegistry, DefaultsCoverTheTaxonomy) {
+  auto r = DetectorRegistry::with_defaults();
+  EXPECT_EQ(r.match(log_with("NVRM: Xid 79: GPU has fallen off the bus")),
+            RootCause::GpuHardware);
+  EXPECT_EQ(r.match(log_with("EDAC MC0: UCE ECC error")), RootCause::Memory);
+  EXPECT_EQ(r.match(log_with("PCIe: link width degraded to x4")),
+            RootCause::PcieDegrade);
+  EXPECT_EQ(r.match(log_with("transceiver: rx optical power below threshold")),
+            RootCause::OpticalFiber);
+  EXPECT_FALSE(r.match(log_with("something benign")).has_value());
+}
+
+TEST(DetectorRegistry, PreIncidentSetLacksPcie) {
+  auto r = DetectorRegistry::without_pcie();
+  EXPECT_FALSE(r.match(log_with("PCIe: link width degraded to x4")).has_value());
+  EXPECT_TRUE(r.match(log_with("Xid 79")).has_value());
+}
+
+TEST(DetectorRegistry, LaterRegistrationsShadowEarlier) {
+  DetectorRegistry r;
+  r.register_detector("link", RootCause::LinkFlap);
+  r.register_detector("link width degraded", RootCause::PcieDegrade);
+  EXPECT_EQ(r.match(log_with("PCIe link width degraded")), RootCause::PcieDegrade);
+  EXPECT_EQ(r.match(log_with("port: link down")), RootCause::LinkFlap);
+}
+
+// The Appendix D evolution story end-to-end: with the old registry the
+// PCIe incident is located as congestion but the root cause stays
+// unknown; patching one detector at the physical layer — without touching
+// any upper analyzer layer — makes the same telemetry fully diagnosable.
+TEST(DetectorRegistry, PatchingOneDetectorResolvesTheIncident) {
+  topo::FabricParams fp;
+  fp.rails = 2;
+  fp.hosts_per_block = 8;
+  fp.blocks_per_pod = 2;
+  fp.pods = 1;
+  topo::Fabric fabric(fp);
+
+  JobConfig job;
+  job.hosts = 8;
+  job.iterations = 5;
+  job.comm_bytes = 32ull * 1024 * 1024;
+  ClusterRuntime rt(fabric, job, 99);
+  rt.inject(rt.make_fault(RootCause::PcieDegrade, Manifestation::FailSlow, 1));
+  rt.run();
+
+  auto diagnose_with = [&](DetectorRegistry registry) {
+    HierarchicalAnalyzer analyzer(rt.telemetry(), fabric.topo(), rt.expected_compute(),
+                                  rt.expected_comm(), AnalyzerConfig{},
+                                  std::move(registry));
+    return analyzer.diagnose();
+  };
+
+  auto before = diagnose_with(DetectorRegistry::without_pcie());
+  EXPECT_TRUE(before.anomaly_detected);
+  EXPECT_FALSE(before.root_cause_found);
+
+  auto patched_registry = DetectorRegistry::without_pcie();
+  patched_registry.register_detector("PCIe", RootCause::PcieDegrade);
+  auto after = diagnose_with(std::move(patched_registry));
+  ASSERT_TRUE(after.root_cause_found);
+  EXPECT_EQ(after.root_cause, RootCause::PcieDegrade);
+}
+
+}  // namespace
+}  // namespace astral::monitor

@@ -1,0 +1,122 @@
+#include "monitor/pingmesh.h"
+
+#include <gtest/gtest.h>
+
+#include "power/scheduler.h"
+
+namespace astral::monitor {
+namespace {
+
+topo::Fabric test_fabric() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+std::vector<topo::NodeId> job_hosts(const topo::Fabric& f, int n) {
+  auto hosts = f.topo().hosts();
+  return {hosts.begin(), hosts.begin() + n};
+}
+
+TEST(Pingmesh, SweepRecordsProbesIntoTheStore) {
+  auto f = test_fabric();
+  net::FluidSim sim(f);
+  auto hosts = job_hosts(f, 8);
+  IntPingmesh mesh(sim, hosts, {.fanout = 3});
+  TelemetryStore store;
+  int probes = mesh.sweep(store);
+  EXPECT_EQ(probes, 8 * 3);
+  EXPECT_EQ(store.int_probes().size(), static_cast<std::size_t>(probes));
+  for (const auto& p : store.int_probes()) {
+    EXPECT_EQ(p.path.size(), p.hop_latency.size());
+    EXPECT_GE(p.path.size(), 2u);
+  }
+}
+
+TEST(Pingmesh, CleanFabricHasNoHotspots) {
+  auto f = test_fabric();
+  net::FluidSim sim(f);
+  IntPingmesh mesh(sim, job_hosts(f, 8));
+  TelemetryStore store;
+  mesh.sweep(store);
+  EXPECT_TRUE(mesh.hotspots().empty());
+  EXPECT_GT(mesh.pair_latency(0, 1), 0.0);
+  EXPECT_LT(mesh.pair_latency(0, 1), core::usec(10));
+}
+
+TEST(Pingmesh, DetectsCongestionHotspot) {
+  auto f = test_fabric();
+  net::FluidSim sim(f);
+  // Incast congestion onto host 0's NIC.
+  for (int h = 1; h <= 5; ++h) {
+    net::FlowSpec s;
+    s.src_host = f.topo().hosts()[static_cast<std::size_t>(h)];
+    s.dst_host = f.topo().hosts()[0];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = 64ull << 20;
+    s.tag = static_cast<std::uint64_t>(h);
+    sim.inject(s);
+  }
+  sim.run(core::usec(200));  // mid-transfer
+  IntPingmesh mesh(sim, job_hosts(f, 8), {.fanout = 7});
+  TelemetryStore store;
+  mesh.sweep(store);
+  ASSERT_FALSE(mesh.hotspots().empty());
+  EXPECT_GT(mesh.hotspots()[0].latency, core::usec(50));
+  sim.run();
+}
+
+TEST(Pingmesh, SweepsRotateCoverage) {
+  auto f = test_fabric();
+  net::FluidSim sim(f);
+  auto hosts = job_hosts(f, 8);
+  IntPingmesh mesh(sim, hosts, {.fanout = 2});
+  TelemetryStore store;
+  mesh.sweep(store);
+  core::Seconds first = mesh.pair_latency(0, 1);  // sweep 1 covers peers 1,2
+  mesh.sweep(store);  // sweep 2 rotates to peers 3,4
+  core::Seconds later = mesh.pair_latency(0, 4);
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(later, 0.0);
+}
+
+TEST(NightScheduler, FlattensPowerAndFillsNights) {
+  auto demand = power::tidal_inference_demand();
+  power::GpuPowerModel gpu;
+  auto plan = power::schedule_day(demand, 10000, gpu, /*backlog=*/1e9);
+  ASSERT_EQ(plan.hours.size(), 24u);
+  // Flat within a few percent of the contract line.
+  EXPECT_LT(plan.flatness(), 1.05);
+  // Training lives at night, not at the afternoon peak.
+  int night = plan.hours[3].training_gpus;   // 3 am
+  int peak = plan.hours[14].training_gpus;   // 2 pm
+  EXPECT_GT(night, peak);
+  EXPECT_EQ(peak, 0);  // no headroom at the peak hour
+}
+
+TEST(NightScheduler, BacklogBudgetRespected) {
+  auto demand = power::tidal_inference_demand();
+  power::GpuPowerModel gpu;
+  auto plan = power::schedule_day(demand, 10000, gpu, /*backlog=*/5000.0);
+  EXPECT_NEAR(plan.training_gpu_hours, 5000.0, 1.0);
+  // Scarce training goes to the deepest (cheapest) troughs first: all of
+  // it lands in the night hours.
+  int night_training = 0;
+  for (int h : {0, 1, 2, 3, 4, 5}) night_training += plan.hours[static_cast<std::size_t>(h)].training_gpus;
+  EXPECT_NEAR(night_training, 5000, 1);
+}
+
+TEST(NightScheduler, NoBacklogMeansRawTide) {
+  auto demand = power::tidal_inference_demand();
+  power::GpuPowerModel gpu;
+  auto plan = power::schedule_day(demand, 10000, gpu, 0.0);
+  EXPECT_DOUBLE_EQ(plan.training_gpu_hours, 0.0);
+  EXPECT_GT(plan.flatness(), 1.2);  // the tide shows
+}
+
+}  // namespace
+}  // namespace astral::monitor

@@ -1,0 +1,109 @@
+// Property sweep over the fault space: every (cause, manifestation)
+// combination must yield a run the analyzer can process — anomalies are
+// always detected, evidence chains are well-formed, and localization
+// never fingers an innocent device when it claims success.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "monitor/analyzer.h"
+
+namespace astral::monitor {
+namespace {
+
+using Params = std::tuple<RootCause, Manifestation>;
+
+bool plausible(RootCause cause, Manifestation m) {
+  // Combinations with zero probability in the Fig. 7 conditional mixes.
+  if (m == Manifestation::FailOnStart) {
+    return cause == RootCause::HostEnvConfig || cause == RootCause::WireConnection;
+  }
+  return true;
+}
+
+class FaultProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FaultProperty, InjectedFaultIsDetectedAndSafelyDiagnosed) {
+  auto [cause, m] = GetParam();
+  if (!plausible(cause, m)) GTEST_SKIP() << "combination not in taxonomy";
+
+  topo::FabricParams fp;
+  fp.rails = 2;
+  fp.hosts_per_block = 8;
+  fp.blocks_per_pod = 2;
+  fp.pods = 1;
+  topo::Fabric fabric(fp);
+  JobConfig job;
+  job.hosts = 10;
+  job.iterations = 5;
+  job.comm_bytes = 16ull * 1024 * 1024;
+
+  ClusterRuntime rt(fabric, job, 7);
+  auto fault = rt.make_fault(cause, m, 2);
+  rt.inject(fault);
+  auto outcome = rt.run();
+
+  // The fault always manifests somehow.
+  ASSERT_TRUE(outcome.observed.has_value())
+      << to_string(cause) << "/" << to_string(m) << " produced a healthy run";
+
+  HierarchicalAnalyzer analyzer(rt.telemetry(), fabric.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  EXPECT_TRUE(d.anomaly_detected);
+  ASSERT_TRUE(d.manifestation.has_value());
+  EXPECT_FALSE(d.evidence.empty());
+  EXPECT_GT(d.locate_time, 0.0);
+  // Evidence starts at the application layer (top-down principle).
+  EXPECT_EQ(d.evidence.front().substr(0, 4), "app:");
+
+  if (d.root_cause_found) {
+    // A confident diagnosis must not blame an innocent device class:
+    // either the exact cause, or (for host-adjacent network faults) the
+    // NIC/host boundary ambiguity we accept.
+    bool acceptable = d.root_cause == cause;
+    if (cause == RootCause::LinkFlap || cause == RootCause::WireConnection ||
+        cause == RootCause::OpticalFiber) {
+      acceptable |= d.root_cause == RootCause::SwitchBug;  // silent twin
+    }
+    EXPECT_TRUE(acceptable) << "claimed " << to_string(*d.root_cause) << " for "
+                            << to_string(cause);
+  }
+
+  // Culprit claims must reference real entities.
+  for (int h : d.culprit_hosts) {
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, job.hosts);
+  }
+  for (auto l : d.culprit_links) EXPECT_LT(l, fabric.topo().link_count());
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  std::string name = std::string(to_string(std::get<0>(info.param))) + "_" +
+                     to_string(std::get<1>(info.param));
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, FaultProperty,
+    ::testing::Combine(
+        ::testing::Values(RootCause::HostEnvConfig, RootCause::NicError,
+                          RootCause::UserCode, RootCause::SwitchConfig,
+                          RootCause::SwitchBug, RootCause::OpticalFiber,
+                          RootCause::CclBug, RootCause::WireConnection,
+                          RootCause::GpuHardware, RootCause::Memory,
+                          RootCause::LinkFlap, RootCause::PcieDegrade),
+        ::testing::Values(Manifestation::FailStop, Manifestation::FailSlow,
+                          Manifestation::FailHang, Manifestation::FailOnStart)),
+    param_name);
+
+}  // namespace
+}  // namespace astral::monitor

@@ -1,0 +1,155 @@
+#include "monitor/store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "monitor/faults.h"
+
+namespace astral::monitor {
+namespace {
+
+TEST(TelemetryStore, QpMetaRoundTrip) {
+  TelemetryStore store;
+  QpMeta meta;
+  meta.qp = 7;
+  meta.src_host_rank = 1;
+  meta.dst_host_rank = 2;
+  meta.tuple.src_port = 4242;
+  store.register_qp(meta);
+  auto got = store.qp_meta(7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->dst_host_rank, 2);
+  EXPECT_EQ(got->tuple.src_port, 4242);
+  EXPECT_FALSE(store.qp_meta(8).has_value());
+}
+
+TEST(TelemetryStore, QpsOfHostSorted) {
+  TelemetryStore store;
+  for (QpId qp : {5ull, 1ull, 9ull}) {
+    QpMeta meta;
+    meta.qp = qp;
+    meta.src_host_rank = 3;
+    store.register_qp(meta);
+  }
+  auto qps = store.qps_of_host(3);
+  EXPECT_EQ(qps, (std::vector<QpId>{1, 5, 9}));
+  EXPECT_TRUE(store.qps_of_host(4).empty());
+}
+
+TEST(TelemetryStore, IterationEventsFilteredAndSorted) {
+  TelemetryStore store;
+  store.record(NcclTimelineEvent{.t = 0, .host_rank = 2, .iteration = 1});
+  store.record(NcclTimelineEvent{.t = 0, .host_rank = 0, .iteration = 1});
+  store.record(NcclTimelineEvent{.t = 0, .host_rank = 1, .iteration = 2});
+  auto evs = store.iteration_events(1);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].host_rank, 0);
+  EXPECT_EQ(evs[1].host_rank, 2);
+  EXPECT_EQ(store.last_iteration(), 2);
+}
+
+TEST(TelemetryStore, MeanQpRateWindows) {
+  TelemetryStore store;
+  store.record(QpRateSample{0.001, 1, 100.0});
+  store.record(QpRateSample{0.002, 1, 200.0});
+  store.record(QpRateSample{0.010, 1, 800.0});
+  store.record(QpRateSample{0.002, 2, 999.0});
+  EXPECT_DOUBLE_EQ(store.mean_qp_rate(1, 0.0, 0.005), 150.0);
+  EXPECT_DOUBLE_EQ(store.mean_qp_rate(1, 0.0, 1.0), 1100.0 / 3);
+  EXPECT_DOUBLE_EQ(store.mean_qp_rate(3, 0.0, 1.0), 0.0);
+}
+
+TEST(TelemetryStore, CounterTotalsByLink) {
+  TelemetryStore store;
+  store.record(LinkCounterSample{.t = 0, .link = 4, .ecn_marks = 10, .pfc_pauses = 2});
+  store.record(LinkCounterSample{.t = 1, .link = 4, .ecn_marks = 5, .pfc_pauses = 3});
+  store.record(LinkCounterSample{.t = 1, .link = 9, .ecn_marks = 99});
+  EXPECT_EQ(store.total_ecn(4), 15u);
+  EXPECT_EQ(store.total_pfc(4), 5u);
+  EXPECT_EQ(store.total_ecn(5), 0u);
+}
+
+TEST(TelemetryStore, SyslogByHostAndNode) {
+  TelemetryStore store;
+  store.record(SyslogEvent{0.0, 42, 3, "fatal", "Xid 79"});
+  store.record(SyslogEvent{0.0, 50, -1, "warn", "optical"});
+  EXPECT_EQ(store.host_syslog(3).size(), 1u);
+  EXPECT_TRUE(store.host_syslog(1).empty());
+  EXPECT_EQ(store.node_syslog(50).size(), 1u);
+  EXPECT_EQ(store.node_syslog(50)[0].message, "optical");
+}
+
+TEST(TelemetryStore, SflowPathOverwrites) {
+  TelemetryStore store;
+  store.record(SflowPathRecord{.qp = 1, .path = {1, 2, 3}});
+  store.record(SflowPathRecord{.qp = 1, .path = {4, 5}});
+  EXPECT_EQ(store.path_of(1), (std::vector<topo::LinkId>{4, 5}));
+  EXPECT_TRUE(store.path_of(2).empty());
+}
+
+TEST(TelemetryStore, JsonSnapshotConsolidatesAllLayers) {
+  TelemetryStore store;
+  store.record(NcclTimelineEvent{.t = 1.0, .host_rank = 2, .iteration = 0,
+                                 .compute_time = 0.05, .comm_time = 0.01,
+                                 .wr_started = 1, .wr_finished = 1});
+  store.record(QpRateSample{1.1, 2, 5e10});
+  store.record(ErrCqeEvent{1.2, 2, 2, "retry exceeded"});
+  store.record(SflowPathRecord{.qp = 2, .path = {3, 4, 5}});
+  store.record(LinkCounterSample{.t = 1.3, .link = 4, .ecn_marks = 7, .mod_drops = 9});
+  store.record(SyslogEvent{1.4, 42, 2, "fatal", "Xid 79"});
+
+  auto doc = store.to_json();
+  EXPECT_EQ(doc["application"].size(), 1u);
+  EXPECT_EQ(doc["application"].at(0)["host"].as_int(), 2);
+  EXPECT_EQ(doc["transport"]["qp_rates"].size(), 1u);
+  EXPECT_EQ(doc["transport"]["err_cqes"].at(0)["error"].as_string(), "retry exceeded");
+  EXPECT_EQ(doc["network"]["sflow_paths"].at(0)["path"].size(), 3u);
+  EXPECT_EQ(doc["physical"]["link_counters"].at(0)["mod_drops"].as_int(), 9);
+  EXPECT_EQ(doc["physical"]["syslog"].at(0)["message"].as_string(), "Xid 79");
+  // The snapshot is valid JSON text end-to-end.
+  auto reparsed = core::Json::parse(doc.dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ((*reparsed)["application"].size(), 1u);
+}
+
+TEST(FaultTaxonomy, PrevalencesSumToOne) {
+  double sum = 0.0;
+  for (auto c : {RootCause::HostEnvConfig, RootCause::NicError, RootCause::UserCode,
+                 RootCause::SwitchConfig, RootCause::SwitchBug, RootCause::OpticalFiber,
+                 RootCause::CclBug, RootCause::WireConnection, RootCause::GpuHardware,
+                 RootCause::Memory, RootCause::LinkFlap}) {
+    sum += prevalence(c);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(prevalence(RootCause::PcieDegrade), 0.0);
+}
+
+TEST(FaultTaxonomy, SampledDistributionMatchesFig7) {
+  core::Rng rng(77);
+  std::map<RootCause, int> cause_counts;
+  std::map<Manifestation, int> manif_counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    RootCause c = sample_root_cause(rng);
+    ++cause_counts[c];
+    ++manif_counts[sample_manifestation(c, rng)];
+  }
+  EXPECT_NEAR(cause_counts[RootCause::HostEnvConfig] / double(n), 0.32, 0.02);
+  EXPECT_NEAR(cause_counts[RootCause::NicError] / double(n), 0.15, 0.02);
+  // Fig. 7 outer ring: 66 / 17 / 13 / 4.
+  EXPECT_NEAR(manif_counts[Manifestation::FailStop] / double(n), 0.66, 0.04);
+  EXPECT_NEAR(manif_counts[Manifestation::FailHang] / double(n), 0.17, 0.04);
+  EXPECT_NEAR(manif_counts[Manifestation::FailSlow] / double(n), 0.13, 0.04);
+  EXPECT_NEAR(manif_counts[Manifestation::FailOnStart] / double(n), 0.04, 0.02);
+}
+
+TEST(FaultTaxonomy, HostVsNetworkSplit) {
+  EXPECT_TRUE(is_host_side(RootCause::GpuHardware));
+  EXPECT_TRUE(is_host_side(RootCause::PcieDegrade));
+  EXPECT_FALSE(is_host_side(RootCause::OpticalFiber));
+  EXPECT_FALSE(is_host_side(RootCause::SwitchBug));
+}
+
+}  // namespace
+}  // namespace astral::monitor

@@ -1,0 +1,134 @@
+#include "monitor/offline_tools.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/mttlf.h"
+
+namespace astral::monitor {
+namespace {
+
+topo::Fabric test_fabric() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+TEST(WiringVerify, CleanBuildPasses) {
+  auto f = test_fabric();
+  auto wiring = collect_wiring(f);
+  EXPECT_TRUE(verify_wiring(f, wiring).empty());
+}
+
+TEST(WiringVerify, DetectsSwappedCables) {
+  auto f = test_fabric();
+  auto wiring = collect_wiring(f);
+  swap_wires(wiring, 3, 17);
+  auto mismatches = verify_wiring(f, wiring);
+  ASSERT_EQ(mismatches.size(), 2u);  // both ends of the swap
+  for (const auto& m : mismatches) {
+    EXPECT_NE(m.expected_dst, m.observed_dst);
+  }
+}
+
+TEST(WiringVerify, SwapWithIdenticalDstIsInvisible) {
+  auto f = test_fabric();
+  auto wiring = collect_wiring(f);
+  swap_wires(wiring, 5, 5);  // no-op
+  EXPECT_TRUE(verify_wiring(f, wiring).empty());
+}
+
+TEST(ConfigVerify, ConsistentFleetPasses) {
+  std::vector<ClusterRuntime::HostConfig> configs(8);
+  EXPECT_TRUE(verify_configs(configs).empty());
+}
+
+TEST(ConfigVerify, FlagsMinorityNcclVersion) {
+  std::vector<ClusterRuntime::HostConfig> configs(8);
+  configs[3].nccl_version = "2.19.3";
+  auto mismatches = verify_configs(configs);
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_EQ(mismatches[0].host_rank, 3);
+  EXPECT_EQ(mismatches[0].field, "nccl_version");
+  EXPECT_EQ(mismatches[0].majority_value, ClusterRuntime::HostConfig{}.nccl_version);
+}
+
+TEST(ConfigVerify, FlagsMultipleFields) {
+  std::vector<ClusterRuntime::HostConfig> configs(6);
+  configs[1].pfc_enabled = false;
+  configs[4].dcqcn_k = 5;
+  auto mismatches = verify_configs(configs);
+  EXPECT_EQ(mismatches.size(), 2u);
+}
+
+TEST(Hostping, CleanFabricHasNoSlowPairs) {
+  auto f = test_fabric();
+  net::FluidSim sim(f);
+  auto hosts = f.topo().hosts();
+  std::vector<topo::NodeId> job(hosts.begin(), hosts.begin() + 4);
+  auto slow = hostping_sweep(sim, job, core::usec(30));
+  EXPECT_TRUE(slow.empty());
+}
+
+TEST(GpuBurn, FlagsUnderperformers) {
+  std::vector<double> gflops{990, 1000, 1010, 995, 700, 1005};
+  auto out = gpu_burn_outliers(gflops);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_TRUE(gpu_burn_outliers({}).empty());
+}
+
+TEST(Mttlf, ManualTimesRankHangWorst) {
+  core::Rng rng(5);
+  double stop = manual_locate_time(RootCause::GpuHardware, Manifestation::FailStop, 16, rng);
+  double hang = manual_locate_time(RootCause::SwitchBug, Manifestation::FailHang, 16, rng);
+  double slow = manual_locate_time(RootCause::OpticalFiber, Manifestation::FailSlow, 16, rng);
+  EXPECT_GT(hang, stop * 2);
+  EXPECT_GT(hang, slow * 2);
+  EXPECT_GT(stop, 600.0);  // manual is never minutes
+}
+
+TEST(Mttlf, CampaignReproducesFig10Shape) {
+  CampaignConfig cfg;
+  cfg.faults = 60;
+  auto result = run_campaign(cfg);
+  ASSERT_EQ(result.entries.size(), 60u);
+
+  // Fig. 10: MTTLF reductions. The exact factors depend on the mix, but
+  // the ordering and magnitudes must hold: hang benefits most, slow the
+  // least, everything improves.
+  for (auto m : {Manifestation::FailStop, Manifestation::FailHang,
+                 Manifestation::FailSlow}) {
+    double with = result.mttlf_with_system(m);
+    double manual = result.mttlf_manual(m);
+    if (with <= 0) continue;  // manifestation absent from this sample
+    EXPECT_LT(with, manual) << to_string(m);
+  }
+  double stop_gain = result.mttlf_manual(Manifestation::FailStop) /
+                     result.mttlf_with_system(Manifestation::FailStop);
+  double hang_gain = result.mttlf_manual(Manifestation::FailHang) /
+                     result.mttlf_with_system(Manifestation::FailHang);
+  EXPECT_GT(stop_gain, 4.0);
+  EXPECT_GT(hang_gain, stop_gain * 0.8);  // hang benefits at least as much
+
+  // Most faults are localized automatically.
+  EXPECT_GT(result.accuracy(), 0.5);
+}
+
+TEST(Mttlf, CampaignTaxonomyMatchesInjection) {
+  CampaignConfig cfg;
+  cfg.faults = 40;
+  cfg.seed = 99;
+  auto result = run_campaign(cfg);
+  auto counts = result.cause_counts();
+  int total = 0;
+  for (const auto& [cause, n] : counts) total += n;
+  EXPECT_EQ(total, 40);
+  // Host env & config should be the plurality over a decent sample.
+  EXPECT_GE(counts[RootCause::HostEnvConfig], 5);
+}
+
+}  // namespace
+}  // namespace astral::monitor

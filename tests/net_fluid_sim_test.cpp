@@ -1,0 +1,296 @@
+#include "net/fluid_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace astral::net {
+namespace {
+
+using core::gbps;
+using core::Seconds;
+using namespace core;  // literal operators (_MiB)
+
+topo::Fabric small_fabric(topo::FabricStyle style = topo::FabricStyle::AstralSameRail) {
+  topo::FabricParams p;
+  p.style = style;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  return topo::Fabric(p);
+}
+
+FlowSpec make_spec(const topo::Fabric& f, int src_gpu, int dst_gpu, core::Bytes size,
+                   std::uint64_t tag = 0) {
+  auto a = f.gpu(src_gpu);
+  auto b = f.gpu(dst_gpu);
+  FlowSpec s;
+  s.src_host = a.host;
+  s.dst_host = b.host;
+  s.src_rail = a.rail;
+  s.dst_rail = b.rail;
+  s.size = size;
+  s.tag = tag;
+  return s;
+}
+
+TEST(FluidSim, SingleFlowRunsAtLineRate) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  // Same-rail, cross-block: 200G NIC port is the bottleneck.
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block * 1, 25_MiB);
+  FlowId id = sim.inject(spec);
+  sim.run();
+  const auto& st = sim.flow(id);
+  ASSERT_TRUE(st.admitted);
+  Seconds expected = core::transfer_time(25_MiB, gbps(200));
+  EXPECT_NEAR(st.finish, expected, expected * 1e-6);
+}
+
+TEST(FluidSim, SameRailPathIsFourHops) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;  // next block, rail 0
+  auto path = sim.predict_path(make_spec(f, 0, dst, 1_MiB));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);  // host->tor->agg->tor->host
+}
+
+TEST(FluidSim, CrossPodPathIsSixHops) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.gpu_count() / 2;  // pod 1, rail 0
+  auto path = sim.predict_path(make_spec(f, 0, dst, 1_MiB));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 6u);
+}
+
+TEST(FluidSim, PathStartsOnSourceRailAndEndsOnDestinationRail) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block + 2;  // rail 2
+  auto spec = make_spec(f, 1, dst, 1_MiB);  // rail 1 -> rail 2
+  auto path = sim.predict_path(spec);
+  ASSERT_TRUE(path.has_value());
+  const auto& topo = f.topo();
+  const auto& first_tor = topo.node(topo.link(path->front()).dst);
+  const auto& last_tor = topo.node(topo.link(path->back()).src);
+  EXPECT_EQ(first_tor.rail, 1);
+  EXPECT_EQ(last_tor.rail, 2);
+}
+
+TEST(FluidSim, TwoFlowsShareBottleneckFairly) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  // Two flows from the same NIC to the same destination NIC: they share
+  // the 200G source port.
+  auto s1 = make_spec(f, 0, dst, 10_MiB, 1);
+  auto s2 = make_spec(f, 0, dst, 10_MiB, 2);
+  FlowId f1 = sim.inject(s1);
+  FlowId f2 = sim.inject(s2);
+  sim.run();
+  Seconds expected = core::transfer_time(20_MiB, gbps(200));
+  EXPECT_NEAR(sim.flow(f1).finish, expected, expected * 0.02);
+  EXPECT_NEAR(sim.flow(f2).finish, expected, expected * 0.02);
+}
+
+TEST(FluidSim, MaxMinShortFlowFinishesThenLongSpeedsUp) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId short_id = sim.inject(make_spec(f, 0, dst, 5_MiB, 1));
+  FlowId long_id = sim.inject(make_spec(f, 0, dst, 15_MiB, 2));
+  sim.run();
+  // Shared 200G until the short one finishes at 2*5MiB, then the long
+  // one gets the full port: total = (10 + 10) MiB at 200G equivalent.
+  Seconds t_short = core::transfer_time(10_MiB, gbps(200));
+  Seconds t_long = core::transfer_time(20_MiB, gbps(200));
+  EXPECT_NEAR(sim.flow(short_id).finish, t_short, t_short * 0.02);
+  EXPECT_NEAR(sim.flow(long_id).finish, t_long, t_long * 0.02);
+}
+
+TEST(FluidSim, StaggeredArrivalHonored) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto s1 = make_spec(f, 0, dst, 10_MiB, 1);
+  auto s2 = make_spec(f, 0, dst, 10_MiB, 2);
+  s2.start = core::msec(10);
+  FlowId f1 = sim.inject(s1);
+  sim.inject(s2);
+  sim.run();
+  // Flow 1 runs alone for 10ms (~25MB at 200G = 250MB/s... it transfers
+  // 0.25 GB/s * 10 ms = 250 MB; actually 200G = 25 GB/s so 250 MB >
+  // 10 MiB). Flow 1 finishes before flow 2 even starts.
+  EXPECT_LT(sim.flow(f1).finish, core::msec(10));
+}
+
+TEST(FluidSim, UnroutableFlowRejected) {
+  auto f = small_fabric(topo::FabricStyle::RailOnly);
+  FluidSim sim(f);
+  // Cross-rail on rail-only fabric: no route.
+  auto spec = make_spec(f, 0, f.params().rails + 1, 1_MiB);
+  FlowId id = sim.inject(spec);
+  EXPECT_FALSE(sim.flow(id).admitted);
+  sim.run();  // Must not hang.
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(FluidSim, SameHostFlowRejected) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  FlowId id = sim.inject(make_spec(f, 0, 1, 1_MiB));
+  EXPECT_FALSE(sim.flow(id).admitted);
+}
+
+TEST(FluidSim, DegradedLinkSlowsFlow) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 10_MiB, 7);
+  auto path = sim.predict_path(spec);
+  ASSERT_TRUE(path.has_value());
+  sim.degrade_link(path->at(1), 0.25);  // damaged optical module on ToR->Agg
+  FlowId id = sim.inject(spec);
+  sim.run();
+  Seconds degraded = core::transfer_time(10_MiB, gbps(100));  // 400G * 0.25
+  EXPECT_NEAR(sim.flow(id).finish, degraded, degraded * 0.02);
+}
+
+TEST(FluidSim, BlockedLinkHangsUntilDeadline) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 10_MiB, 9);
+  auto path = sim.predict_path(spec);
+  ASSERT_TRUE(path.has_value());
+  sim.degrade_link(path->at(1), 0.0);  // silent blackhole -> fail-hang
+  FlowId id = sim.inject(spec);
+  sim.run(1.0);
+  EXPECT_LT(sim.flow(id).finish, 0.0);  // never finished
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(FluidSim, EcnMarksAccrueUnderOverload) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  // Many flows from different hosts, same destination NIC: the ToR->host
+  // downlink is overloaded several-fold.
+  int rails = f.params().rails;
+  int dst = 0;
+  for (int h = 1; h < 6; ++h) {
+    sim.inject(make_spec(f, h * rails, dst, 20_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run();
+  std::uint64_t total_ecn = 0;
+  std::uint64_t total_pfc = 0;
+  for (std::size_t l = 0; l < f.topo().link_count(); ++l) {
+    total_ecn += sim.link_stats(static_cast<topo::LinkId>(l)).ecn_marks;
+    total_pfc += sim.link_stats(static_cast<topo::LinkId>(l)).pfc_pauses;
+  }
+  EXPECT_GT(total_ecn, 0u);
+  EXPECT_GT(total_pfc, 0u);  // 5x overload exceeds the PFC threshold
+}
+
+TEST(FluidSim, HopLatencyGrowsWithCongestion) {
+  auto f = small_fabric();
+  FluidSim::Config cfg;
+  FluidSim sim(f, cfg);
+  int rails = f.params().rails;
+  auto spec0 = make_spec(f, rails, 0, 200_MiB, 1);
+  auto path = sim.predict_path(spec0);
+  ASSERT_TRUE(path.has_value());
+  topo::LinkId last_hop = path->back();
+  sim.inject(spec0);
+  for (int h = 2; h < 6; ++h) {
+    sim.inject(make_spec(f, h * rails, 0, 200_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run(core::msec(1));  // sample mid-transfer
+  EXPECT_GT(sim.hop_latency(last_hop), cfg.base_hop_latency * 10);
+  EXPECT_LE(sim.hop_latency(last_hop), cfg.base_hop_latency + cfg.max_queue_delay);
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(FluidSim, BytesForwardedMatchesFlowSizes) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 8_MiB, 3);
+  FlowId id = sim.inject(spec);
+  sim.run();
+  const auto& st = sim.flow(id);
+  for (topo::LinkId l : st.path) {
+    EXPECT_NEAR(sim.link_stats(l).bytes_forwarded, static_cast<double>(8_MiB),
+                static_cast<double>(8_MiB) * 1e-6);
+  }
+}
+
+TEST(FluidSim, RunUntilPausesAndResumes) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId id = sim.inject(make_spec(f, 0, dst, 25_MiB, 1));
+  Seconds full = core::transfer_time(25_MiB, gbps(200));
+  sim.run(full / 2);
+  EXPECT_LT(sim.flow(id).finish, 0.0);
+  EXPECT_GT(sim.flow(id).remaining, 0.0);
+  sim.run();
+  EXPECT_NEAR(sim.flow(id).finish, full, full * 0.01);
+}
+
+TEST(FluidSim, RunWatchReturnsWhenWatchedFlowsFinish) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  // A short watched flow plus an endless background flow on another rail.
+  auto bg_spec = make_spec(f, 2, dst + 2, static_cast<core::Bytes>(1) << 50, 50);
+  sim.inject(bg_spec);
+  FlowId watched = sim.inject(make_spec(f, 0, dst, 10_MiB, 51));
+  std::vector<FlowId> watch{watched};
+  sim.run_watch(watch);
+  EXPECT_GE(sim.flow(watched).finish, 0.0);
+  EXPECT_FALSE(sim.idle());  // background still running
+}
+
+TEST(FluidSim, RunWatchSharesBandwidthWithBackground) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  // Background pinned to the same NIC port (identical 5-tuple hash):
+  // the watched flow gets half rate.
+  auto bg = make_spec(f, 0, dst, static_cast<core::Bytes>(1) << 50, 60);
+  bg.src_port = 7777;
+  sim.inject(bg);
+  auto w = make_spec(f, 0, dst, 10_MiB, 61);
+  w.src_port = 7777;
+  FlowId watched = sim.inject(w);
+  std::vector<FlowId> watch{watched};
+  sim.run_watch(watch);
+  Seconds shared = core::transfer_time(20_MiB, gbps(200));
+  EXPECT_NEAR(sim.flow(watched).finish, shared, shared * 0.05);
+}
+
+TEST(FluidSim, DeterministicAcrossRuns) {
+  for (int trial = 0; trial < 2; ++trial) {
+    static Seconds first_finish = -1;
+    auto f = small_fabric();
+    FluidSim sim(f);
+    for (int i = 0; i < 8; ++i) {
+      sim.inject(make_spec(f, i * f.params().rails % f.gpu_count(),
+                           (i * f.params().rails + f.params().rails * 5) % f.gpu_count(),
+                           4_MiB, static_cast<std::uint64_t>(i)));
+    }
+    sim.run();
+    if (trial == 0) {
+      first_finish = sim.now();
+    } else {
+      EXPECT_DOUBLE_EQ(sim.now(), first_finish);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace astral::net

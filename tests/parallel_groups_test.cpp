@@ -1,0 +1,114 @@
+#include "parallel/groups.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace astral::parallel {
+namespace {
+
+topo::Fabric small_fabric() {
+  topo::FabricParams p;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  return topo::Fabric(p);
+}
+
+TEST(Placement, PackedIsContiguous) {
+  auto f = small_fabric();
+  auto p = Placement::packed(f, 16);
+  ASSERT_EQ(p.size(), 16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(p.gpus[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Placement, FragmentedSpreadsAcrossPods) {
+  auto f = small_fabric();
+  auto p = Placement::fragmented(f, 16, 2);
+  ASSERT_EQ(p.size(), 16);
+  std::set<int> pods;
+  for (int g : p.gpus) pods.insert(f.gpu(g).pod);
+  EXPECT_EQ(pods.size(), 2u);
+  // No duplicates.
+  std::set<int> uniq(p.gpus.begin(), p.gpus.end());
+  EXPECT_EQ(uniq.size(), 16u);
+}
+
+TEST(Placement, FragmentedKeepsHostsWhole) {
+  auto f = small_fabric();
+  auto p = Placement::fragmented(f, 16, 2);
+  // Each allocated host contributes all of its rails.
+  std::map<topo::NodeId, int> per_host;
+  for (int g : p.gpus) per_host[f.gpu(g).host]++;
+  for (const auto& [host, count] : per_host) EXPECT_EQ(count, f.params().rails);
+}
+
+TEST(ParallelGroups, SizesMatchConfig) {
+  auto f = small_fabric();
+  ParallelismConfig cfg{.tp = 4, .dp = 4, .pp = 2, .ep = 2};
+  ASSERT_TRUE(cfg.valid());
+  auto placement = Placement::packed(f, cfg.world());
+  auto g = build_groups(placement, cfg);
+  EXPECT_EQ(g.tp.size(), static_cast<std::size_t>(cfg.dp * cfg.pp));
+  EXPECT_EQ(g.dp.size(), static_cast<std::size_t>(cfg.tp * cfg.pp));
+  EXPECT_EQ(g.pp.size(), static_cast<std::size_t>(cfg.tp * cfg.dp));
+  EXPECT_EQ(g.ep.size(), static_cast<std::size_t>(cfg.tp * cfg.pp * (cfg.dp / cfg.ep)));
+  for (const auto& grp : g.tp) EXPECT_EQ(grp.size(), cfg.tp);
+  for (const auto& grp : g.dp) EXPECT_EQ(grp.size(), cfg.dp);
+  for (const auto& grp : g.pp) EXPECT_EQ(grp.size(), cfg.pp);
+  for (const auto& grp : g.ep) EXPECT_EQ(grp.size(), cfg.ep);
+}
+
+TEST(ParallelGroups, TpGroupsAreConsecutiveRanks) {
+  auto f = small_fabric();
+  ParallelismConfig cfg{.tp = 4, .dp = 2, .pp = 2, .ep = 1};
+  auto placement = Placement::packed(f, cfg.world());
+  auto g = build_groups(placement, cfg);
+  // With tp == rails and packed placement, every TP group sits inside
+  // one host (the deployment the paper assumes).
+  for (const auto& grp : g.tp) {
+    auto host = f.gpu(grp.gpus[0]).host;
+    for (int gpu : grp.gpus) EXPECT_EQ(f.gpu(gpu).host, host);
+  }
+}
+
+TEST(ParallelGroups, DpGroupsAlignOnRails) {
+  auto f = small_fabric();
+  ParallelismConfig cfg{.tp = 4, .dp = 4, .pp = 1, .ep = 1};
+  auto placement = Placement::packed(f, cfg.world());
+  auto g = build_groups(placement, cfg);
+  // DP peers with packed placement and tp == rails share the same rail:
+  // this is why most DP traffic is same-rail (§5 experience).
+  for (const auto& grp : g.dp) {
+    int rail = f.gpu(grp.gpus[0]).rail;
+    for (int gpu : grp.gpus) EXPECT_EQ(f.gpu(gpu).rail, rail);
+  }
+}
+
+TEST(ParallelGroups, EveryGpuInExactlyOneGroupPerDim) {
+  auto f = small_fabric();
+  ParallelismConfig cfg{.tp = 2, .dp = 4, .pp = 2, .ep = 2};
+  auto placement = Placement::packed(f, cfg.world());
+  auto g = build_groups(placement, cfg);
+  auto check_partition = [&](const std::vector<coll::CommGroup>& groups) {
+    std::set<int> seen;
+    for (const auto& grp : groups) {
+      for (int gpu : grp.gpus) EXPECT_TRUE(seen.insert(gpu).second);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(cfg.world()));
+  };
+  check_partition(g.tp);
+  check_partition(g.dp);
+  check_partition(g.pp);
+  check_partition(g.ep);
+}
+
+TEST(ParallelismConfig, Validation) {
+  EXPECT_TRUE((ParallelismConfig{.tp = 1, .dp = 1, .pp = 1, .ep = 1}).valid());
+  EXPECT_FALSE((ParallelismConfig{.tp = 1, .dp = 3, .pp = 1, .ep = 2}).valid());
+  EXPECT_EQ((ParallelismConfig{.tp = 8, .dp = 16, .pp = 4, .ep = 8}).world(), 512);
+}
+
+}  // namespace
+}  // namespace astral::parallel

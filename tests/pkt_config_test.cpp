@@ -1,0 +1,108 @@
+// Packet-simulator configuration behavior: what PFC buys (losslessness),
+// what ECN parameters change, and host backpressure semantics.
+#include <gtest/gtest.h>
+
+#include "pkt/packet_sim.h"
+
+namespace astral::pkt {
+namespace {
+
+using namespace core;  // literal operators
+
+topo::Fabric small_fabric() {
+  topo::FabricParams p;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+net::FlowSpec incast_spec(const topo::Fabric& f, int src_host, core::Bytes size,
+                          std::uint64_t tag) {
+  net::FlowSpec s;
+  s.src_host = f.topo().hosts()[static_cast<std::size_t>(src_host)];
+  s.dst_host = f.topo().hosts()[0];
+  s.src_rail = 0;
+  s.dst_rail = 0;
+  s.size = size;
+  s.tag = tag;
+  return s;
+}
+
+TEST(PacketSimConfig, DisablingPfcCausesDropsUnderIncast) {
+  auto f = small_fabric();
+  PacketSimConfig cfg;
+  // PFC thresholds above the queue capacity: pauses can never assert, so
+  // the incast must overflow some queue (what losslessness prevents).
+  cfg.pfc_xoff = cfg.queue_capacity * 4;
+  cfg.pfc_xon = cfg.queue_capacity * 2;
+  PacketSim sim(f, cfg);
+  for (int h = 1; h <= 6; ++h) {
+    sim.inject(incast_spec(f, h, 4_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run(0.5);
+  EXPECT_GT(sim.stats().packets_dropped, 0u);
+  EXPECT_EQ(sim.stats().pfc_pause_events, 0u);
+}
+
+TEST(PacketSimConfig, LowerEcnKminMarksMore) {
+  auto run_with_kmin = [&](core::Bytes kmin) {
+    auto f = small_fabric();
+    PacketSimConfig cfg;
+    cfg.ecn_kmin = kmin;
+    cfg.ecn_kmax = kmin * 4;
+    PacketSim sim(f, cfg);
+    for (int h = 1; h <= 6; ++h) {
+      sim.inject(incast_spec(f, h, 2_MiB, static_cast<std::uint64_t>(h)));
+    }
+    sim.run();
+    return sim.stats().ecn_marks;
+  };
+  EXPECT_GT(run_with_kmin(8 * 1024), run_with_kmin(128 * 1024));
+}
+
+TEST(PacketSimConfig, SmallerMtuMeansMorePackets) {
+  auto run_with_mtu = [&](core::Bytes mtu) {
+    auto f = small_fabric();
+    PacketSimConfig cfg;
+    cfg.mtu = mtu;
+    PacketSim sim(f, cfg);
+    sim.inject(incast_spec(f, 1, 1_MiB, 1));
+    sim.run();
+    return sim.stats().packets_sent;
+  };
+  EXPECT_NEAR(static_cast<double>(run_with_mtu(1024)),
+              4.0 * static_cast<double>(run_with_mtu(4096)), 4.0);
+}
+
+TEST(PacketSimConfig, HostBackpressureNeverDropsAtTheNic) {
+  // Many flows from ONE host (its own NIC queue is the constraint):
+  // pacing retries instead of dropping.
+  auto f = small_fabric();
+  PacketSim sim(f);
+  for (int i = 0; i < 8; ++i) {
+    auto s = incast_spec(f, 1, 1_MiB, static_cast<std::uint64_t>(i));
+    s.src_port = 7000;  // all on one NIC port
+    sim.inject(s);
+  }
+  sim.run();
+  EXPECT_EQ(sim.stats().packets_dropped, 0u);
+  for (std::size_t i = 0; i < sim.flow_count(); ++i) {
+    EXPECT_GE(sim.flow(static_cast<net::FlowId>(i)).finish, 0.0);
+  }
+}
+
+TEST(PacketSimConfig, PfcResumeEventuallyFires) {
+  auto f = small_fabric();
+  PacketSim sim(f);
+  for (int h = 1; h <= 6; ++h) {
+    sim.inject(incast_spec(f, h, 2_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run();
+  EXPECT_GT(sim.stats().pfc_pause_events, 0u);
+  EXPECT_EQ(sim.stats().pfc_pause_events, sim.stats().pfc_resume_events);
+}
+
+}  // namespace
+}  // namespace astral::pkt

@@ -1,0 +1,181 @@
+#include "pkt/packet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fluid_sim.h"
+
+namespace astral::pkt {
+namespace {
+
+using core::gbps;
+using core::Seconds;
+using namespace core;  // literal operators
+
+topo::Fabric small_fabric() {
+  topo::FabricParams p;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+net::FlowSpec make_spec(const topo::Fabric& f, int src_gpu, int dst_gpu, core::Bytes size,
+                        std::uint64_t tag = 0) {
+  auto a = f.gpu(src_gpu);
+  auto b = f.gpu(dst_gpu);
+  net::FlowSpec s;
+  s.src_host = a.host;
+  s.dst_host = b.host;
+  s.src_rail = a.rail;
+  s.dst_rail = b.rail;
+  s.size = size;
+  s.tag = tag;
+  return s;
+}
+
+TEST(PacketSim, SingleFlowApproachesLineRate) {
+  auto f = small_fabric();
+  PacketSim sim(f);
+  int dst = f.params().rails;  // next host, same rail 0? rail of gpu 4 is 0
+  auto id = sim.inject(make_spec(f, 0, dst * 1, 8_MiB));
+  sim.run();
+  const auto& st = sim.flow(id);
+  ASSERT_TRUE(st.admitted);
+  ASSERT_GE(st.finish, 0.0);
+  Seconds ideal = core::transfer_time(8_MiB, gbps(200));
+  // Pipeline latency and pacing overheads allowed, but within 10%.
+  EXPECT_NEAR(st.finish, ideal, ideal * 0.10);
+  EXPECT_EQ(sim.stats().packets_dropped, 0u);
+  EXPECT_EQ(st.delivered, 8_MiB);
+}
+
+TEST(PacketSim, UnroutableFlowRejected) {
+  topo::FabricParams p;
+  p.style = topo::FabricStyle::RailOnly;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  topo::Fabric f(p);
+  PacketSim sim(f);
+  auto id = sim.inject(make_spec(f, 0, f.params().rails + 1, 1_MiB));  // cross rail
+  EXPECT_FALSE(sim.flow(id).admitted);
+  sim.run();
+  EXPECT_EQ(sim.stats().packets_sent, 0u);
+}
+
+TEST(PacketSim, TwoFlowsShareFairly) {
+  auto f = small_fabric();
+  PacketSim sim(f);
+  int dst = f.params().rails;
+  auto s1 = make_spec(f, 0, dst, 4_MiB, 1);
+  auto s2 = make_spec(f, 0, dst, 4_MiB, 2);
+  s1.src_port = 4444;  // pin both to the same NIC port / path
+  s2.src_port = 4444;
+  auto f1 = sim.inject(s1);
+  auto f2 = sim.inject(s2);
+  sim.run();
+  Seconds shared = core::transfer_time(8_MiB, gbps(200));
+  EXPECT_NEAR(sim.flow(f1).finish, shared, shared * 0.25);
+  EXPECT_NEAR(sim.flow(f2).finish, shared, shared * 0.25);
+}
+
+TEST(PacketSim, IncastIsLosslessViaPfc) {
+  auto f = small_fabric();
+  PacketSimConfig cfg;
+  PacketSim sim(f, cfg);
+  // 6 hosts blast one destination NIC: oversubscribed 6:1.
+  std::vector<net::FlowId> ids;
+  for (int h = 1; h <= 6; ++h) {
+    ids.push_back(sim.inject(make_spec(f, h * f.params().rails, 0, 2_MiB,
+                                       static_cast<std::uint64_t>(h))));
+  }
+  sim.run();
+  for (auto id : ids) {
+    EXPECT_GE(sim.flow(id).finish, 0.0);
+    EXPECT_EQ(sim.flow(id).delivered, 2_MiB);
+  }
+  EXPECT_EQ(sim.stats().packets_dropped, 0u);       // lossless
+  EXPECT_GT(sim.stats().pfc_pause_events, 0u);      // PFC engaged
+  EXPECT_GT(sim.stats().ecn_marks, 0u);             // ECN marked
+  // Aggregate goodput bounded by the destination NIC's two dual-ToR
+  // ports (2 x 200G); congestion control keeps it near that bound.
+  Seconds ideal = core::transfer_time(12_MiB, gbps(400));
+  Seconds worst = 0;
+  for (auto id : ids) worst = std::max(worst, sim.flow(id).finish);
+  EXPECT_GT(worst, ideal * 0.9);
+  EXPECT_LT(worst, ideal * 3.0);
+}
+
+TEST(PacketSim, DcqcnCutsRateOnCongestion) {
+  auto f = small_fabric();
+  PacketSim sim(f);
+  std::vector<net::FlowId> ids;
+  for (int h = 1; h <= 6; ++h) {
+    ids.push_back(sim.inject(make_spec(f, h * f.params().rails, 0, 2_MiB,
+                                       static_cast<std::uint64_t>(h))));
+  }
+  sim.run();
+  std::uint64_t feedback = 0;
+  double min_rate = 1e18;
+  for (auto id : ids) {
+    feedback += sim.flow(id).ecn_feedback;
+    min_rate = std::min(min_rate, sim.flow(id).rate);
+  }
+  EXPECT_GT(feedback, 0u);
+  EXPECT_LT(min_rate, gbps(200));  // someone backed off
+}
+
+TEST(PacketSim, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    auto f = small_fabric();
+    PacketSim sim(f);
+    for (int h = 1; h <= 4; ++h) {
+      sim.inject(make_spec(f, h * 4, 0, 1_MiB, static_cast<std::uint64_t>(h)));
+    }
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(PacketSim, AgreesWithFluidModelOnUncongestedTransfer) {
+  // The validation role: on clean paths, packet-level completion times
+  // must track the fluid model.
+  auto f1 = small_fabric();
+  auto f2 = small_fabric();
+  PacketSim psim(f1);
+  net::FluidSim fsim(f2);
+  auto spec = make_spec(f1, 0, 2 * f1.params().rails + 2, 16_MiB, 9);
+  auto pid = psim.inject(spec);
+  auto fid = fsim.inject(spec);
+  psim.run();
+  fsim.run();
+  double pkt_fct = psim.flow(pid).finish;
+  double fluid_fct = fsim.flow(fid).finish;
+  EXPECT_NEAR(pkt_fct, fluid_fct, fluid_fct * 0.10);
+}
+
+TEST(PacketSim, QueueDepthVisibleDuringIncast) {
+  auto f = small_fabric();
+  PacketSim sim(f);
+  std::vector<net::FlowId> ids;
+  net::FlowSpec probe = make_spec(f, f.params().rails, 0, 4_MiB, 1);
+  auto path = net::Router(f).route(probe, net::Router(f).tuple_for(probe));
+  ASSERT_TRUE(path.has_value());
+  for (int h = 1; h <= 6; ++h) {
+    sim.inject(make_spec(f, h * f.params().rails, 0, 4_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run(core::usec(300));  // mid-incast
+  // Some egress queue toward host 0 has built up.
+  core::Bytes depth = 0;
+  for (std::size_t l = 0; l < f.topo().link_count(); ++l) {
+    depth = std::max(depth, sim.queue_depth(static_cast<topo::LinkId>(l)));
+  }
+  EXPECT_GT(depth, 0u);
+  sim.run();
+}
+
+}  // namespace
+}  // namespace astral::pkt

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "power/hvdc.h"
+#include "power/profile.h"
+#include "power/pue.h"
+#include "power/renewables.h"
+
+namespace astral::power {
+namespace {
+
+TEST(PowerProfile, TrainingPeaksAtOrAboveTdpAndDipsInComm) {
+  GpuPowerModel gpu;
+  core::Rng rng(1);
+  auto trace = training_power_trace(gpu, TrainIterationShape{}, 5, 0.002, rng);
+  auto s = trace_stats(trace);
+  EXPECT_GE(s.peak_watts, gpu.tdp_watts);               // Fig. 15a: peak hits TDP+
+  EXPECT_LT(s.min_watts, gpu.tdp_watts * 0.65);          // comm troughs
+  EXPECT_LT(s.mean_watts, s.peak_watts);
+}
+
+TEST(PowerProfile, InferencePrefillHighDecodeLow) {
+  GpuPowerModel gpu;
+  core::Rng rng(2);
+  auto trace = inference_power_trace(gpu, 0.05, 0.4, 6, 0.002, rng);
+  auto s = trace_stats(trace);
+  EXPECT_GE(s.peak_watts, gpu.tdp_watts);
+  EXPECT_LT(s.min_watts, gpu.tdp_watts * 0.55);  // decode well under TDP
+  // Decode dominates time, so the mean sits closer to the decode level.
+  EXPECT_LT(s.mean_watts, gpu.tdp_watts * 0.7);
+}
+
+TEST(PowerProfile, DiurnalTraceShowsNightDip) {
+  GpuPowerModel gpu;
+  core::Rng rng(3);
+  auto trace = diurnal_fleet_trace(gpu, 1000, /*train_fill=*/0.0, 600.0, rng);
+  ASSERT_FALSE(trace.empty());
+  auto watts_at = [&](double hour) {
+    std::size_t idx = static_cast<std::size_t>(hour * 3600.0 / 600.0);
+    return trace[std::min(idx, trace.size() - 1)].watts;
+  };
+  EXPECT_GT(watts_at(14.5), watts_at(3.0) * 1.5);  // tidal pattern
+}
+
+TEST(PowerProfile, NightTrainingFlattensTheTide) {
+  GpuPowerModel gpu;
+  core::Rng rng(4);
+  auto raw = trace_stats(diurnal_fleet_trace(gpu, 1000, 0.0, 600.0, rng));
+  core::Rng rng2(4);
+  auto filled = trace_stats(diurnal_fleet_trace(gpu, 1000, 0.9, 600.0, rng2));
+  EXPECT_LT(filled.stddev_watts, raw.stddev_watts * 0.6);
+}
+
+TEST(Hvdc, ChainEfficienciesOrdered) {
+  EXPECT_GT(chain_efficiency(ChainKind::Hvdc), chain_efficiency(ChainKind::AcUps));
+  EXPECT_LT(chain_efficiency(ChainKind::Hvdc), 1.0);
+}
+
+TEST(Hvdc, AllocationHonorsTdpDemand) {
+  PowerUnitConfig cfg;
+  cfg.racks = 4;
+  cfg.rack_tdp_watts = 100.0;
+  PowerUnit unit(cfg);
+  std::vector<double> demand{100, 100, 100, 100};
+  auto a = unit.allocate(demand);
+  EXPECT_FALSE(a.clipped);
+  for (double g : a.granted_watts) EXPECT_DOUBLE_EQ(g, 100.0);
+}
+
+TEST(Hvdc, SingleRackBurstsTo130Percent) {
+  // §2.2 / §5: one rack may elastically draw up to 30% above TDP.
+  PowerUnitConfig cfg;
+  cfg.racks = 4;
+  cfg.rack_tdp_watts = 100.0;
+  PowerUnit unit(cfg);
+  std::vector<double> demand{150, 80, 80, 80};  // others idle-ish
+  auto a = unit.allocate(demand);
+  EXPECT_DOUBLE_EQ(a.granted_watts[0], 130.0);  // clamped at +30%
+  EXPECT_TRUE(a.clipped);
+  EXPECT_DOUBLE_EQ(a.granted_watts[1], 80.0);
+}
+
+TEST(Hvdc, AggregateBudgetShavesElasticShare) {
+  PowerUnitConfig cfg;
+  cfg.racks = 4;
+  cfg.rack_tdp_watts = 100.0;
+  PowerUnit unit(cfg);
+  std::vector<double> demand{130, 130, 130, 130};  // all bursting
+  auto a = unit.allocate(demand);
+  EXPECT_TRUE(a.clipped);
+  EXPECT_LE(a.total_granted, unit.unit_budget() + 1e-9);
+  // Everyone keeps at least TDP.
+  for (double g : a.granted_watts) EXPECT_GE(g, 100.0 - 1e-9);
+}
+
+TEST(Hvdc, BatterySmoothsPulsedLoadBetterThanUps) {
+  auto pulsed_load = [] {
+    std::vector<double> load;
+    for (int i = 0; i < 600; ++i) {
+      load.push_back(i % 2 == 0 ? 300e3 : 150e3);  // compute/comm pulses
+    }
+    return load;
+  }();
+  PowerUnitConfig hvdc_cfg;
+  hvdc_cfg.kind = ChainKind::Hvdc;
+  PowerUnitConfig ups_cfg = hvdc_cfg;
+  ups_cfg.kind = ChainKind::AcUps;
+  PowerUnit hvdc(hvdc_cfg);
+  PowerUnit ups(ups_cfg);
+  double hvdc_ratio = grid_stability(hvdc, pulsed_load, 1.0);
+  double ups_ratio = grid_stability(ups, pulsed_load, 1.0);
+  EXPECT_LT(hvdc_ratio, ups_ratio);
+  EXPECT_LT(hvdc_ratio, 1.15);  // near-constant grid draw
+}
+
+TEST(Hvdc, UpsBatteryCapacityFluctuatesUnderLlmLoad) {
+  PowerUnitConfig cfg;
+  cfg.kind = ChainKind::AcUps;
+  PowerUnit ups(cfg);
+  double min_soc = 1.0;
+  for (int i = 0; i < 3000; ++i) {
+    ups.step(1.0, i % 2 == 0 ? 450e3 : 150e3);
+    min_soc = std::min(min_soc, ups.soc());
+  }
+  // The paper reports 20-30% fluctuation.
+  EXPECT_LT(min_soc, 0.81);
+  EXPECT_GE(min_soc, 0.55);
+}
+
+TEST(Renewables, SolarFollowsDaylight) {
+  EXPECT_DOUBLE_EQ(solar_output(0.0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(solar_output(22.0, 1000), 0.0);
+  EXPECT_NEAR(solar_output(12.0, 1000), 1000.0, 1e-6);
+  EXPECT_GT(solar_output(9.0, 1000), 0.0);
+}
+
+TEST(Renewables, YearMixProducesRenewableFractionAndCo2) {
+  // Sized so renewables cover roughly the paper's 22%.
+  double load = 100e6;  // 100 MW fleet
+  auto mix = simulate_year(load, /*solar*/ 45e6, /*wind*/ 25e6, 0.35);
+  EXPECT_NEAR(mix.renewable_fraction(), 0.22, 0.08);
+  EXPECT_GT(mix.avoided_co2_tons(), 50e3);
+  EXPECT_NEAR(mix.total_kwh(), load / 1000.0 * 24 * 365, load / 1000.0 * 24 * 365 * 0.01);
+}
+
+TEST(Pue, AstralBeatsTraditional) {
+  auto trad = FacilityConfig::traditional(1e8);
+  auto astral = FacilityConfig::astral(1e8);
+  double p_trad = compute_pue(trad, 5e7);
+  double p_astral = compute_pue(astral, 5e7);
+  EXPECT_GT(p_trad, 1.3);
+  EXPECT_LT(p_astral, 1.25);
+  double improvement = (p_trad - p_astral) / p_trad;
+  EXPECT_GT(improvement, 0.12);
+  EXPECT_LT(improvement, 0.30);
+}
+
+TEST(Pue, BlendedPueInterpolates) {
+  auto trad = FacilityConfig::traditional(1e8);
+  auto astral = FacilityConfig::astral(1e8);
+  double p0 = blended_pue(trad, astral, 0.0, 5e7);
+  double p1 = blended_pue(trad, astral, 1.0, 5e7);
+  double p_half = blended_pue(trad, astral, 0.5, 5e7);
+  EXPECT_DOUBLE_EQ(p0, compute_pue(trad, 5e7));
+  EXPECT_DOUBLE_EQ(p1, compute_pue(astral, 5e7));
+  EXPECT_GT(p_half, p1);
+  EXPECT_LT(p_half, p0);
+}
+
+}  // namespace
+}  // namespace astral::power

@@ -1,0 +1,150 @@
+#include "seer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace astral::seer {
+namespace {
+
+CostModel theoretical_model(CommEnv env = {}) {
+  return CostModel(GpuSpec::h100(), env, std::make_shared<TheoreticalEfficiency>());
+}
+
+TEST(CostModelEq, Eq1MatmulTime) {
+  auto m = theoretical_model();
+  // (2n-1) m p / flops.
+  double expected = (2.0 * 4096 - 1) * 1024 * 2048 / GpuSpec::h100().flops;
+  EXPECT_DOUBLE_EQ(m.matmul_time_eq1(1024, 4096, 2048), expected);
+}
+
+TEST(CostModelEq, Eq2AdditionTime) {
+  auto m = theoretical_model();
+  EXPECT_DOUBLE_EQ(m.addition_time_eq2(1024, 4096), 1024.0 * 4096 / GpuSpec::h100().flops);
+}
+
+TEST(CostModelEq, Eq3MemTime) {
+  auto m = theoretical_model();
+  // 16-bit elements.
+  EXPECT_DOUBLE_EQ(m.mem_time_eq3(1024, 4096, 16), 1024.0 * 4096 * 2 / GpuSpec::h100().hbm_bw);
+}
+
+TEST(CostModelEq, Eq4TpCommTime) {
+  CommEnv env;
+  env.nic_bw = core::gbps(400);
+  auto m = theoretical_model(env);
+  double bytes = 4.0 * 4096 * 8192 * 2;  // b*s*h*f
+  EXPECT_DOUBLE_EQ(m.tp_comm_time_eq4(4, 4096, 8192, 16), bytes * 8 / core::gbps(400));
+}
+
+TEST(CostModelEq, Eq5PpIsTpOverGroups) {
+  auto m = theoretical_model();
+  EXPECT_DOUBLE_EQ(m.pp_comm_time_eq5(4, 4096, 8192, 16, 8),
+                   m.tp_comm_time_eq4(4, 4096, 8192, 16) / 8.0);
+}
+
+TEST(CostModelEq, Eq6DpScalesWithParams) {
+  auto m = theoretical_model();
+  double t1 = m.dp_comm_time_eq6(1e12, 16, 8, 8);
+  double t2 = m.dp_comm_time_eq6(2e12, 16, 8, 8);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+  EXPECT_DOUBLE_EQ(m.dp_comm_time_eq6(1e12, 16, 8, 16), t1 / 2.0);
+}
+
+TEST(CostModel, ComputeTimeUsesEfficiency) {
+  auto theo = theoretical_model();
+  CostModel corrected(GpuSpec::h100(), CommEnv{},
+                      std::make_shared<TestbedEfficiency>());
+  double flops = 1e10;
+  EXPECT_GT(corrected.compute_time(flops), theo.compute_time(flops));
+}
+
+TEST(CostModel, ZeroWorkCostsNothing) {
+  auto m = theoretical_model();
+  EXPECT_DOUBLE_EQ(m.compute_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.memory_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.comm_time(CommKind::AllReduce, 0, 8, false), 0.0);
+  EXPECT_DOUBLE_EQ(m.comm_time(CommKind::AllReduce, 1e6, 1, false), 0.0);
+}
+
+TEST(CostModel, AllReduceWithinNvlinkDomainIsFast) {
+  CommEnv env;
+  env.hb_domain = 8;
+  auto m = theoretical_model(env);
+  double intra = m.comm_time(CommKind::AllReduce, 1e9, 8, false);
+  double inter = m.comm_time(CommKind::AllReduce, 1e9, 16, false);
+  EXPECT_GT(inter, intra * 1.3);  // crossing the NIC costs extra
+}
+
+TEST(CostModel, LargerHbDomainSpeedsUpAllToAll) {
+  // The Fig. 14 mechanism: growing the NVLink domain moves all-to-all
+  // traffic off the NIC.
+  CommEnv env8;
+  env8.hb_domain = 8;
+  CommEnv env64;
+  env64.hb_domain = 64;
+  auto m8 = theoretical_model(env8);
+  auto m64 = theoretical_model(env64);
+  double t8 = m8.comm_time(CommKind::AllToAll, 1e9, 64, false);
+  double t64 = m64.comm_time(CommKind::AllToAll, 1e9, 64, false);
+  EXPECT_LT(t64, t8);
+}
+
+TEST(CostModel, ReduceScatterIsHalfAllReduce) {
+  auto m = theoretical_model();
+  double ar = m.comm_time(CommKind::AllReduce, 1e9, 8, false);
+  double rs = m.comm_time(CommKind::ReduceScatter, 1e9, 8, false);
+  EXPECT_NEAR(ar / rs, 2.0, 1e-9);
+}
+
+TEST(CostModel, CrossDcOversubSlowsCollectives) {
+  CommEnv dc1;
+  CommEnv dc8 = dc1;
+  dc8.crossdc_oversub = 8.0;
+  dc8.crossdc_rtt = core::msec(3);
+  auto m1 = theoretical_model(dc1);
+  auto m8 = theoretical_model(dc8);
+  double t1 = m1.comm_time(CommKind::AllReduce, 1e9, 64, true);
+  double t8 = m8.comm_time(CommKind::AllReduce, 1e9, 64, true);
+  EXPECT_GT(t8, t1 * 4);
+  // Non-cross-DC ops unaffected.
+  EXPECT_DOUBLE_EQ(m8.comm_time(CommKind::AllReduce, 1e9, 64, false),
+                   m1.comm_time(CommKind::AllReduce, 1e9, 64, false));
+}
+
+TEST(CostModel, SendRecvStreamingHidesMostCrossDcCost) {
+  // PP traffic streams over the long haul: only a fraction of the extra
+  // wide-area serialization is exposed (Appendix B: 8:1 is ~free).
+  CommEnv env;
+  env.crossdc_rtt = core::msec(3);
+  env.crossdc_oversub = 4.0;
+  auto m = theoretical_model(env);
+  double local = m.comm_time(CommKind::SendRecv, 1e8, 2, false);
+  double remote = m.comm_time(CommKind::SendRecv, 1e8, 2, true);
+  EXPECT_NEAR(local, 1e8 * 8 / core::gbps(400), 1e-12);
+  EXPECT_GT(remote, local);          // still costs something...
+  EXPECT_LT(remote, local * 4.0);    // ...but far less than the full 4x
+}
+
+TEST(CostModel, OpTimeRoofline) {
+  auto m = theoretical_model();
+  Operator op;
+  op.type = OpType::Compute;
+  op.flops = 1e12;   // 1 ms on H100
+  op.mem_bytes = 1e9;  // ~0.3 ms
+  EXPECT_DOUBLE_EQ(m.op_time(op), m.compute_time(1e12));
+  op.flops = 1e9;  // now memory-bound
+  EXPECT_DOUBLE_EQ(m.op_time(op), m.memory_time(1e9));
+}
+
+TEST(CostModel, FixedTimeOverrides) {
+  auto m = theoretical_model();
+  Operator op;
+  op.type = OpType::Compute;
+  op.flops = 1e15;
+  op.fixed_time = 42e-6;
+  EXPECT_DOUBLE_EQ(m.op_time(op), 42e-6);
+}
+
+}  // namespace
+}  // namespace astral::seer

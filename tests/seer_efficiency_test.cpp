@@ -1,0 +1,90 @@
+#include "seer/efficiency.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::seer {
+namespace {
+
+TEST(TheoreticalEfficiency, AlwaysOne) {
+  TheoreticalEfficiency e;
+  EXPECT_DOUBLE_EQ(e.compute_eff(1), 1.0);
+  EXPECT_DOUBLE_EQ(e.memory_eff(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(e.network_eff(1e12), 1.0);
+}
+
+TEST(TestbedEfficiency, SaturatesWithSize) {
+  TestbedEfficiency e;
+  EXPECT_LT(e.network_eff(1e3), e.network_eff(1e9));
+  EXPECT_LT(e.compute_eff(1e6), e.compute_eff(1e12));
+  EXPECT_LT(e.memory_eff(1e4), e.memory_eff(1e10));
+}
+
+TEST(TestbedEfficiency, BoundedAndBelowCeilings) {
+  TestbedEfficiency::Params p;
+  TestbedEfficiency e(p);
+  for (double x : {1e2, 1e5, 1e8, 1e11, 1e14}) {
+    EXPECT_GE(e.compute_eff(x), 0.01);
+    EXPECT_LE(e.compute_eff(x), 1.0);
+    EXPECT_LE(e.network_eff(x), p.network_ceiling * (1 + p.ripple) + 1e-9);
+  }
+}
+
+TEST(TestbedEfficiency, CongestionReducesNetworkOnly) {
+  TestbedEfficiency::Params p;
+  p.congestion = 0.3;
+  TestbedEfficiency clean;
+  TestbedEfficiency congested(p);
+  EXPECT_NEAR(congested.network_eff(1e9), clean.network_eff(1e9) * 0.7, 1e-9);
+  EXPECT_DOUBLE_EQ(congested.compute_eff(1e9), clean.compute_eff(1e9));
+}
+
+TEST(Calibrator, FitTracksGroundTruthClosely) {
+  // The §4.3 self-correction loop: probe the "testbed", fit polynomials,
+  // and check the calibrated curves track the truth to a couple percent
+  // over the operating range.
+  TestbedEfficiency truth;
+  auto calib = Calibrator::probe(truth).fit();
+  // Tightest in the operating range (LLM kernels/messages are MBs+);
+  // the steep low-size knee is fit more loosely, which is fine because
+  // those ops contribute little to the makespan.
+  for (double x : {1e6, 1e7, 1e8, 1e9, 1e10}) {
+    EXPECT_NEAR(calib.network_eff(x), truth.network_eff(x), 0.05) << "size " << x;
+    EXPECT_NEAR(calib.compute_eff(x * 100), truth.compute_eff(x * 100), 0.05);
+    EXPECT_NEAR(calib.memory_eff(x), truth.memory_eff(x), 0.05);
+  }
+}
+
+TEST(Calibrator, UncalibratedDimensionsFallBackToTheoretical) {
+  Calibrator c;
+  c.add_network_sample(1e6, 0.5);
+  c.add_network_sample(1e7, 0.6);
+  c.add_network_sample(1e8, 0.7);
+  c.add_network_sample(1e9, 0.8);
+  c.add_network_sample(1e10, 0.85);
+  auto fit = c.fit(2);
+  EXPECT_DOUBLE_EQ(fit.compute_eff(1e9), 1.0);  // no samples -> basic model
+  EXPECT_NEAR(fit.network_eff(1e8), 0.7, 0.05);
+}
+
+TEST(Calibrator, ClampsOutOfRangeExtrapolation) {
+  TestbedEfficiency truth;
+  auto calib = Calibrator::probe(truth, 1e6, 1e9, 24).fit();
+  // Far outside the sampled range the polynomial may blow up; results
+  // must stay in [0.01, 1].
+  for (double x : {1.0, 1e15, 1e20}) {
+    EXPECT_GE(calib.network_eff(x), 0.01);
+    EXPECT_LE(calib.network_eff(x), 1.0);
+  }
+}
+
+TEST(Calibrator, SampleCountTracksAdds) {
+  Calibrator c;
+  EXPECT_EQ(c.sample_count(), 0u);
+  c.add_compute_sample(1e9, 0.5);
+  c.add_memory_sample(1e6, 0.5);
+  c.add_network_sample(-5, 0.5);  // invalid, ignored
+  EXPECT_EQ(c.sample_count(), 2u);
+}
+
+}  // namespace
+}  // namespace astral::seer

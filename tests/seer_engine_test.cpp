@@ -1,0 +1,141 @@
+#include "seer/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace astral::seer {
+namespace {
+
+SeerEngine make_engine() {
+  return SeerEngine(
+      CostModel(GpuSpec::h100(), CommEnv{}, std::make_shared<TheoreticalEfficiency>()));
+}
+
+Operator fixed_op(int id, std::string name, OpType type, double time,
+                  std::vector<int> deps) {
+  Operator op;
+  op.id = id;
+  op.name = std::move(name);
+  op.type = type;
+  op.deps = std::move(deps);
+  op.fixed_time = time;
+  if (type == OpType::Comm) {
+    op.comm = CommKind::AllReduce;
+    op.comm_group = 8;
+  }
+  return op;
+}
+
+TEST(SeerEngine, EmptyGraph) {
+  auto tl = make_engine().run(OpGraph{});
+  EXPECT_DOUBLE_EQ(tl.makespan, 0.0);
+  EXPECT_TRUE(tl.events.empty());
+}
+
+TEST(SeerEngine, SerialChainSumsDurations) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "a", OpType::Compute, 1.0, {}));
+  g.ops.push_back(fixed_op(1, "b", OpType::Compute, 2.0, {0}));
+  g.ops.push_back(fixed_op(2, "c", OpType::Compute, 3.0, {1}));
+  auto tl = make_engine().run(g);
+  EXPECT_DOUBLE_EQ(tl.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(tl.exec_busy, 6.0);
+  ASSERT_EQ(tl.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(tl.events[2].start, 3.0);
+}
+
+TEST(SeerEngine, IndependentCommOverlapsCompute) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "comp", OpType::Compute, 4.0, {}));
+  g.ops.push_back(fixed_op(1, "comm", OpType::Comm, 3.0, {}));
+  auto tl = make_engine().run(g);
+  EXPECT_DOUBLE_EQ(tl.makespan, 4.0);  // full overlap
+  EXPECT_DOUBLE_EQ(tl.exposed_comm, 0.0);
+}
+
+TEST(SeerEngine, DependentCommIsExposed) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "comp", OpType::Compute, 2.0, {}));
+  g.ops.push_back(fixed_op(1, "comm", OpType::Comm, 3.0, {0}));
+  auto tl = make_engine().run(g);
+  EXPECT_DOUBLE_EQ(tl.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(tl.exposed_comm, 3.0);
+}
+
+TEST(SeerEngine, PartialOverlapAccounting) {
+  // comm (4s) starts at 0; compute ops cover [0, 2): half the comm time
+  // is hidden.
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "comm", OpType::Comm, 4.0, {}));
+  g.ops.push_back(fixed_op(1, "comp", OpType::Compute, 2.0, {}));
+  auto tl = make_engine().run(g);
+  EXPECT_DOUBLE_EQ(tl.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(tl.exposed_comm, 2.0);
+}
+
+TEST(SeerEngine, StreamsSerializeWithinThemselves) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "c1", OpType::Comm, 2.0, {}));
+  g.ops.push_back(fixed_op(1, "c2", OpType::Comm, 2.0, {}));
+  auto tl = make_engine().run(g);
+  // Same stream: sequential despite no dependency.
+  EXPECT_DOUBLE_EQ(tl.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(tl.comm_busy, 4.0);
+}
+
+TEST(SeerEngine, ReadyTiesDispatchByIdDeterministically) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(2, "late", OpType::Compute, 1.0, {}));
+  g.ops.push_back(fixed_op(1, "early", OpType::Compute, 1.0, {}));
+  auto tl = make_engine().run(g);
+  ASSERT_EQ(tl.events.size(), 2u);
+  EXPECT_EQ(tl.events[0].op_id, 1);
+  EXPECT_EQ(tl.events[1].op_id, 2);
+}
+
+TEST(SeerEngine, DiamondDependency) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "src", OpType::Compute, 1.0, {}));
+  g.ops.push_back(fixed_op(1, "left", OpType::Compute, 2.0, {0}));
+  g.ops.push_back(fixed_op(2, "right", OpType::Comm, 5.0, {0}));
+  g.ops.push_back(fixed_op(3, "sink", OpType::Compute, 1.0, {1, 2}));
+  auto tl = make_engine().run(g);
+  // sink waits for the comm: 1 + 5 + 1.
+  EXPECT_DOUBLE_EQ(tl.makespan, 7.0);
+  EXPECT_DOUBLE_EQ(tl.find(3)->start, 6.0);
+}
+
+TEST(SeerEngine, ModeledTimesFromCostModel) {
+  OpGraph g;
+  Operator op;
+  op.id = 0;
+  op.name = "matmul";
+  op.type = OpType::Compute;
+  op.flops = GpuSpec::h100().flops;  // exactly 1 second theoretical
+  g.ops.push_back(op);
+  auto tl = make_engine().run(g);
+  EXPECT_NEAR(tl.makespan, 1.0, 1e-9);
+}
+
+TEST(SeerEngine, ChromeTraceExport) {
+  OpGraph g;
+  g.ops.push_back(fixed_op(0, "a", OpType::Compute, 1e-3, {}));
+  g.ops.push_back(fixed_op(1, "ar", OpType::Comm, 2e-3, {0}));
+  auto tl = make_engine().run(g);
+  auto trace = tl.to_chrome_trace();
+  ASSERT_EQ(trace["traceEvents"].size(), 2u);
+  EXPECT_EQ(trace["traceEvents"].at(0)["ph"].as_string(), "X");
+  EXPECT_EQ(trace["traceEvents"].at(1)["tid"].as_int(), 1);  // comm lane
+}
+
+TEST(SeerEngine, TimelineDeviationMetric) {
+  Timeline a;
+  a.makespan = 1.003;
+  Timeline b;
+  b.makespan = 1.0;
+  EXPECT_NEAR(timeline_deviation(a, b), 0.003, 1e-12);
+}
+
+}  // namespace
+}  // namespace astral::seer

@@ -1,0 +1,157 @@
+#include "seer/op_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::seer {
+namespace {
+
+Operator comp(int id, std::string name, std::vector<int> deps, double flops = 1e9) {
+  Operator op;
+  op.id = id;
+  op.name = std::move(name);
+  op.type = OpType::Compute;
+  op.deps = std::move(deps);
+  op.flops = flops;
+  return op;
+}
+
+Operator comm(int id, std::string name, std::vector<int> deps, CommKind kind,
+              double bytes = 1e6, int group = 8) {
+  Operator op;
+  op.id = id;
+  op.name = std::move(name);
+  op.type = OpType::Comm;
+  op.deps = std::move(deps);
+  op.comm = kind;
+  op.comm_bytes = bytes;
+  op.comm_group = group;
+  return op;
+}
+
+TEST(OpGraph, ValidatesCleanGraph) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {}));
+  g.ops.push_back(comp(1, "b", {0}));
+  g.ops.push_back(comm(2, "ar", {1}, CommKind::AllReduce));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(OpGraph, RejectsDuplicateIds) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {}));
+  g.ops.push_back(comp(0, "b", {}));
+  std::string err;
+  EXPECT_FALSE(g.validate(&err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(OpGraph, RejectsUnknownDeps) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {42}));
+  std::string err;
+  EXPECT_FALSE(g.validate(&err));
+  EXPECT_NE(err.find("unknown"), std::string::npos);
+}
+
+TEST(OpGraph, RejectsSelfDependency) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {0}));
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(OpGraph, RejectsCycle) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {1}));
+  g.ops.push_back(comp(1, "b", {0}));
+  std::string err;
+  EXPECT_FALSE(g.validate(&err));
+  EXPECT_NE(err.find("cycle"), std::string::npos);
+}
+
+TEST(OpGraph, RejectsCommWithoutKind) {
+  OpGraph g;
+  Operator op;
+  op.id = 0;
+  op.type = OpType::Comm;
+  g.ops.push_back(op);
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(OpGraph, TopoOrderRespectsDepsAndIds) {
+  OpGraph g;
+  g.ops.push_back(comp(3, "d", {1, 2}));
+  g.ops.push_back(comp(1, "b", {0}));
+  g.ops.push_back(comp(2, "c", {0}));
+  g.ops.push_back(comp(0, "a", {}));
+  auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(OpGraph, JsonRoundTrip) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "SA", {}));
+  g.ops.push_back(comm(1, "AttnTPAllReduce", {0}, CommKind::AllReduce, 2e6, 8));
+  g.ops.back().cross_dc = true;
+  Operator fixed = comp(2, "custom", {1}, 0);
+  fixed.fixed_time = 1.5e-3;  // handcrafted execution time
+  g.ops.push_back(fixed);
+
+  auto doc = g.to_json();
+  auto parsed = OpGraph::from_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->ops.size(), 3u);
+  EXPECT_EQ(parsed->ops[1].comm, CommKind::AllReduce);
+  EXPECT_DOUBLE_EQ(parsed->ops[1].comm_bytes, 2e6);
+  EXPECT_EQ(parsed->ops[1].comm_group, 8);
+  EXPECT_TRUE(parsed->ops[1].cross_dc);
+  EXPECT_DOUBLE_EQ(parsed->ops[2].fixed_time, 1.5e-3);
+}
+
+TEST(OpGraph, FromJsonRejectsBadSchema) {
+  std::string err;
+  auto missing = core::Json::parse(R"({"nope": []})");
+  EXPECT_FALSE(OpGraph::from_json(*missing, &err).has_value());
+
+  auto bad_type = core::Json::parse(R"({"ops":[{"id":0,"op":"quantum"}]})");
+  EXPECT_FALSE(OpGraph::from_json(*bad_type, &err).has_value());
+
+  auto bad_comm = core::Json::parse(R"({"ops":[{"id":0,"op":"comm","comm":"wat"}]})");
+  EXPECT_FALSE(OpGraph::from_json(*bad_comm, &err).has_value());
+
+  auto cyclic = core::Json::parse(
+      R"({"ops":[{"id":0,"op":"comp","deps":[1]},{"id":1,"op":"comp","deps":[0]}]})");
+  EXPECT_FALSE(OpGraph::from_json(*cyclic, &err).has_value());
+}
+
+TEST(OpGraph, HandcraftedTemplateParses) {
+  // The documentation's minimal template example (§4.3 "Extending with
+  // handcraft").
+  auto doc = core::Json::parse(R"({
+    "ops": [
+      {"id": 0, "name": "SA", "op": "comp", "deps": [], "flops": 1e12},
+      {"id": 1, "name": "NewOverlapOp", "op": "comm", "comm": "alltoall",
+       "comm_bytes": 4e8, "comm_group": 16, "deps": []},
+      {"id": 2, "name": "MLP", "op": "comp", "deps": [0, 1], "time": 0.002}
+    ]})");
+  ASSERT_TRUE(doc.has_value());
+  auto g = OpGraph::from_json(*doc);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g->ops[2].fixed_time, 0.002);
+  EXPECT_DOUBLE_EQ(g->total_flops(), 1e12);
+  EXPECT_DOUBLE_EQ(g->total_comm_bytes(), 4e8);
+}
+
+TEST(OpGraph, Totals) {
+  OpGraph g;
+  g.ops.push_back(comp(0, "a", {}, 5e9));
+  g.ops.push_back(comp(1, "b", {0}, 3e9));
+  g.ops.back().mem_bytes = 7e6;
+  g.ops.push_back(comm(2, "c", {1}, CommKind::AllToAll, 11e6));
+  EXPECT_DOUBLE_EQ(g.total_flops(), 8e9);
+  EXPECT_DOUBLE_EQ(g.total_mem_bytes(), 7e6);
+  EXPECT_DOUBLE_EQ(g.total_comm_bytes(), 11e6);
+}
+
+}  // namespace
+}  // namespace astral::seer

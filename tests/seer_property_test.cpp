@@ -1,0 +1,153 @@
+// Property sweeps over Seer: graph validity, monotonicity of forecasts
+// in hardware knobs, and internal-consistency invariants across the
+// (model x parallelism x phase) grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "workload/trainer.h"
+
+namespace astral::seer {
+namespace {
+
+enum class Which { Tiny, Llama70B, Gpt3, Moe };
+
+ModelSpec model_of(Which w) {
+  switch (w) {
+    case Which::Tiny: return ModelSpec::tiny();
+    case Which::Llama70B: return ModelSpec::llama3_70b();
+    case Which::Gpt3: return ModelSpec::gpt3_175b();
+    case Which::Moe: return ModelSpec::hunyuan_moe();
+  }
+  return ModelSpec::tiny();
+}
+
+// (model, tp, dp, pp, phase)
+using Params = std::tuple<Which, int, int, int, Phase>;
+
+class SeerProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  parallel::ParallelismConfig cfg() const {
+    auto [w, tp, dp, pp, phase] = GetParam();
+    (void)w;
+    (void)phase;
+    int ep = model_of(std::get<0>(GetParam())).is_moe() ? dp : 1;
+    return {.tp = tp, .dp = dp, .pp = pp, .ep = ep};
+  }
+  WorkloadShape shape() const {
+    WorkloadShape s;
+    s.phase = std::get<4>(GetParam());
+    s.micro_batch = 2;
+    s.seq_len = 2048;
+    return s;
+  }
+};
+
+TEST_P(SeerProperty, GraphValidatesAndIsNonTrivial) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  std::string err;
+  ASSERT_TRUE(g.validate(&err)) << err;
+  EXPECT_GT(g.ops.size(), 4u);
+  EXPECT_GT(g.total_flops(), 0.0);
+}
+
+TEST_P(SeerProperty, TimelineCoversEveryOpExactlyOnce) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  SeerEngine engine(
+      CostModel(GpuSpec::h100(), CommEnv{}, std::make_shared<TheoreticalEfficiency>()));
+  auto tl = engine.run(g);
+  EXPECT_EQ(tl.events.size(), g.ops.size());
+  std::set<int> ids;
+  for (const auto& ev : tl.events) {
+    EXPECT_TRUE(ids.insert(ev.op_id).second);
+    EXPECT_GE(ev.start, 0.0);
+    EXPECT_GE(ev.end, ev.start);
+    EXPECT_LE(ev.end, tl.makespan + 1e-12);
+  }
+}
+
+TEST_P(SeerProperty, DependenciesRespectedInTimeline) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  SeerEngine engine(
+      CostModel(GpuSpec::h100(), CommEnv{}, std::make_shared<TheoreticalEfficiency>()));
+  auto tl = engine.run(g);
+  std::map<int, const TimelineEvent*> by_id;
+  for (const auto& ev : tl.events) by_id[ev.op_id] = &ev;
+  for (const auto& op : g.ops) {
+    for (int d : op.deps) {
+      EXPECT_LE(by_id[d]->end, by_id[op.id]->start + 1e-12)
+          << "op " << op.id << " started before dep " << d;
+    }
+  }
+}
+
+TEST_P(SeerProperty, FasterGpuNeverSlower) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  auto eff = std::make_shared<TheoreticalEfficiency>();
+  auto run_with = [&](GpuSpec gpu) {
+    return SeerEngine(CostModel(std::move(gpu), CommEnv{}, eff)).run(g).makespan;
+  };
+  EXPECT_LE(run_with(GpuSpec::h100()), run_with(GpuSpec::a100()) * (1.0 + 1e-9));
+}
+
+TEST_P(SeerProperty, MoreBandwidthNeverSlower) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  auto eff = std::make_shared<TheoreticalEfficiency>();
+  CommEnv slow_env;
+  slow_env.nic_bw = core::gbps(100);
+  CommEnv fast_env;
+  fast_env.nic_bw = core::gbps(800);
+  auto run_with = [&](CommEnv env) {
+    return SeerEngine(CostModel(GpuSpec::h100(), env, eff)).run(g).makespan;
+  };
+  EXPECT_LE(run_with(fast_env), run_with(slow_env) * (1.0 + 1e-9));
+}
+
+TEST_P(SeerProperty, CorrectionOnlySlowsThingsDown) {
+  // Measured efficiency <= 1, so the corrected forecast can never beat
+  // the theoretical one.
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  auto theo =
+      SeerEngine(CostModel(GpuSpec::h100(), CommEnv{},
+                           std::make_shared<TheoreticalEfficiency>()))
+          .run(g)
+          .makespan;
+  auto corrected =
+      SeerEngine(CostModel(GpuSpec::h100(), CommEnv{},
+                           std::make_shared<TestbedEfficiency>()))
+          .run(g)
+          .makespan;
+  EXPECT_GE(corrected, theo * (1.0 - 1e-9));
+}
+
+TEST_P(SeerProperty, ExposedCommNeverExceedsCommBusy) {
+  auto g = build_graph(model_of(std::get<0>(GetParam())), cfg(), shape());
+  SeerEngine engine(
+      CostModel(GpuSpec::h100(), CommEnv{}, std::make_shared<TestbedEfficiency>()));
+  auto tl = engine.run(g);
+  EXPECT_LE(tl.exposed_comm, tl.comm_busy + 1e-12);
+  EXPECT_LE(tl.exec_busy, tl.makespan + 1e-12);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  auto [w, tp, dp, pp, phase] = info.param;
+  const char* model = w == Which::Tiny ? "tiny" : w == Which::Llama70B ? "llama" : "moe";
+  const char* ph = phase == Phase::Train     ? "train"
+                   : phase == Phase::Prefill ? "prefill"
+                                             : "decode";
+  return std::string(model) + "_tp" + std::to_string(tp) + "dp" + std::to_string(dp) +
+         "pp" + std::to_string(pp) + "_" + ph;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeerProperty,
+    ::testing::Combine(::testing::Values(Which::Tiny, Which::Llama70B, Which::Moe),
+                       ::testing::Values(1, 8),   // tp
+                       ::testing::Values(1, 4),   // dp
+                       ::testing::Values(1, 4),   // pp
+                       ::testing::Values(Phase::Train, Phase::Prefill, Phase::Decode)),
+    param_name);
+
+}  // namespace
+}  // namespace astral::seer

@@ -1,0 +1,212 @@
+#include "topo/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fluid_sim.h"
+
+namespace astral::topo {
+namespace {
+
+FabricParams small_params(FabricStyle style) {
+  FabricParams p;
+  p.style = style;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  return p;
+}
+
+TEST(FabricParams, PaperScaleMatchesPublication) {
+  auto p = FabricParams::paper_scale();
+  EXPECT_EQ(p.gpu_count(), 512 * 1024);  // 512K GPUs.
+  EXPECT_EQ(p.hosts_per_block * p.rails, 1024);  // 1024-GPU block.
+  EXPECT_EQ(p.blocks_per_pod * p.hosts_per_block * p.rails, 64 * 1024);  // 64K pod.
+  EXPECT_EQ(p.tor_uplinks(), 64);  // 64 Aggs per same-rail group.
+}
+
+TEST(Fabric, GpuIndexRoundTrips) {
+  Fabric f(small_params(FabricStyle::AstralSameRail));
+  ASSERT_EQ(f.gpu_count(), 4 * 4 * 2 * 2);
+  for (int g = 0; g < f.gpu_count(); ++g) {
+    GpuLoc loc = f.gpu(g);
+    EXPECT_EQ(f.host_at(loc.pod, loc.block, loc.host_index), loc.host);
+    const Node& host = f.topo().node(loc.host);
+    EXPECT_EQ(host.pod, loc.pod);
+    EXPECT_EQ(host.block, loc.block);
+    EXPECT_EQ(host.index, loc.host_index);
+  }
+}
+
+TEST(Fabric, AstralIdenticalAggregatedBandwidthAcrossTiers) {
+  // P2: the aggregated bandwidth between tiers is identical — the
+  // defining property of the Astral architecture (§2.1).
+  Fabric f(small_params(FabricStyle::AstralSameRail));
+  const auto& t = f.topo();
+  double host_tor = t.tier_bandwidth(NodeKind::Host, NodeKind::Tor);
+  double tor_agg = t.tier_bandwidth(NodeKind::Tor, NodeKind::Agg);
+  double agg_core = t.tier_bandwidth(NodeKind::Agg, NodeKind::Core);
+  EXPECT_NEAR(tor_agg / host_tor, 1.0, 1e-9);
+  EXPECT_NEAR(agg_core / tor_agg, 1.0, 1e-9);
+}
+
+TEST(Fabric, Tier3OversubscriptionThinsCoreBandwidth) {
+  auto params = small_params(FabricStyle::AstralSameRail);
+  params.tier3_oversub = 4.0;
+  Fabric f(params);
+  const auto& t = f.topo();
+  double tor_agg = t.tier_bandwidth(NodeKind::Tor, NodeKind::Agg);
+  double agg_core = t.tier_bandwidth(NodeKind::Agg, NodeKind::Core);
+  EXPECT_NEAR(tor_agg / agg_core, 4.0, 1e-9);
+}
+
+TEST(Fabric, SameRailCrossBlockIsFourHops) {
+  // P1: same-rail cross-block stays inside the rail's Agg group:
+  // host -> ToR -> Agg -> ToR -> host.
+  Fabric f(small_params(FabricStyle::AstralSameRail));
+  NodeId a = f.host_at(0, 0, 0);
+  NodeId b = f.host_at(0, 1, 0);
+  EXPECT_EQ(f.topo().distance(a, b), 4);
+}
+
+TEST(Fabric, CrossPodIsSixHops) {
+  Fabric f(small_params(FabricStyle::AstralSameRail));
+  NodeId a = f.host_at(0, 0, 0);
+  NodeId b = f.host_at(1, 0, 0);
+  // host -> ToR -> Agg -> Core -> Agg -> ToR -> host.
+  EXPECT_EQ(f.topo().distance(a, b), 6);
+}
+
+TEST(Fabric, DualTorGivesTwoUplinksPerRail) {
+  // P3: each port of a NIC connects to a different ToR.
+  Fabric f(small_params(FabricStyle::AstralSameRail));
+  NodeId h = f.host_at(0, 0, 0);
+  const auto& t = f.topo();
+  for (int r = 0; r < 4; ++r) {
+    LinkId u0 = t.host_uplink(h, r, 0);
+    LinkId u1 = t.host_uplink(h, r, 1);
+    ASSERT_NE(u0, kInvalidLink);
+    ASSERT_NE(u1, kInvalidLink);
+    EXPECT_NE(t.link(u0).dst, t.link(u1).dst);  // distinct ToRs
+  }
+}
+
+TEST(Fabric, SingleTorVariantHasOneSide) {
+  auto params = small_params(FabricStyle::AstralSameRail);
+  params.dual_tor = false;
+  Fabric f(params);
+  EXPECT_EQ(f.topo().sides(), 1);
+  NodeId h = f.host_at(0, 0, 0);
+  LinkId u = f.topo().host_uplink(h, 0, 0);
+  ASSERT_NE(u, kInvalidLink);
+  // Both NIC ports collapse onto one 400G link.
+  EXPECT_DOUBLE_EQ(f.topo().link(u).capacity, core::gbps(400));
+}
+
+TEST(Fabric, RailOnlyHasNoCoreAndNoCrossRailRoute) {
+  Fabric f(small_params(FabricStyle::RailOnly));
+  const auto& t = f.topo();
+  EXPECT_DOUBLE_EQ(t.tier_bandwidth(NodeKind::Agg, NodeKind::Core), 0.0);
+  // Same rail reachable; same-host pairs always fine (NVLink).
+  EXPECT_TRUE(f.fabric_reachable(0, f.gpu_count() - 4));  // rail 0 to rail 0
+  EXPECT_TRUE(f.fabric_reachable(0, 1));                  // same host
+}
+
+TEST(Fabric, RailOnlyCrossRailDifferentHostsUnreachable) {
+  Fabric f(small_params(FabricStyle::RailOnly));
+  int rails = f.params().rails;
+  int gpu_a = 0;              // host 0, rail 0
+  int gpu_b = rails + 1;      // host 1, rail 1
+  EXPECT_FALSE(f.fabric_reachable(gpu_a, gpu_b));
+  EXPECT_TRUE(f.fabric_reachable(gpu_a, rails));  // host 1, rail 0
+}
+
+TEST(Fabric, ClosScramblesRailToTorBinding) {
+  Fabric f(small_params(FabricStyle::Clos));
+  const auto& t = f.topo();
+  // Same-rank GPUs on different hosts land on different ToRs (no rail
+  // locality), unlike the Astral fabric.
+  NodeId h0 = f.host_at(0, 0, 0);
+  NodeId h1 = f.host_at(0, 0, 1);
+  NodeId tor0 = t.link(t.host_uplink(h0, 0, 0)).dst;
+  NodeId tor1 = t.link(t.host_uplink(h1, 0, 0)).dst;
+  EXPECT_NE(tor0, tor1);
+}
+
+TEST(Fabric, RailOptimizedKeepsRailTorsButMeshesTier2) {
+  Fabric f(small_params(FabricStyle::RailOptimized));
+  const auto& t = f.topo();
+  NodeId h0 = f.host_at(0, 0, 0);
+  NodeId h1 = f.host_at(0, 0, 1);
+  // Rail ToR binding preserved at tier 1...
+  EXPECT_EQ(t.link(t.host_uplink(h0, 0, 0)).dst, t.link(t.host_uplink(h1, 0, 0)).dst);
+  // ...and tier-2 aggregate bandwidth still matches tier 1.
+  double host_tor = t.tier_bandwidth(NodeKind::Host, NodeKind::Tor);
+  double tor_agg = t.tier_bandwidth(NodeKind::Tor, NodeKind::Agg);
+  EXPECT_NEAR(tor_agg / host_tor, 1.0, 1e-9);
+}
+
+TEST(Fabric, TwinDatacentersConnectViaLongHaul) {
+  auto params = small_params(FabricStyle::AstralSameRail);
+  params.pods = 1;
+  params.datacenters = 2;
+  params.crossdc_oversub = 8.0;
+  Fabric f(params);
+  const auto& t = f.topo();
+  // Host in DC0 reaches host in DC1 in 7 links:
+  // host-tor-agg-core =core= agg-tor-host.
+  NodeId a = f.host_at(0, 0, 0);
+  NodeId b = f.host_at(1, 0, 0);  // pod 1 = DC 1 (1 pod per DC)
+  EXPECT_EQ(t.distance(a, b), 7);
+  EXPECT_EQ(f.datacenter_of(0), 0);
+  EXPECT_EQ(f.datacenter_of(f.gpu_count() - 1), 1);
+  // One-way long-haul aggregate = per-DC tier-3 bandwidth / oversub.
+  // (Core->Core counts both directions of the duplex pairs; Agg->Core
+  // covers both DCs.)
+  double agg_core_per_dc = t.tier_bandwidth(NodeKind::Agg, NodeKind::Core) / 2.0;
+  double haul_one_way = t.tier_bandwidth(NodeKind::Core, NodeKind::Core) / 2.0;
+  EXPECT_NEAR(haul_one_way / agg_core_per_dc, 1.0 / 8.0, 1e-9);
+}
+
+TEST(Fabric, CrossDcFlowsAreBandwidthLimited) {
+  auto params = small_params(FabricStyle::AstralSameRail);
+  params.pods = 1;
+  params.datacenters = 2;
+  params.crossdc_oversub = 16.0;
+  Fabric f(params);
+  net::FluidSim sim(f);
+  // Saturate the long haul: every host in DC0 sends to its DC1 twin.
+  std::vector<net::FlowId> ids;
+  int hosts_per_dc = f.host_count() / 2;
+  for (int h = 0; h < hosts_per_dc; ++h) {
+    net::FlowSpec s;
+    s.src_host = f.topo().hosts()[static_cast<std::size_t>(h)];
+    s.dst_host = f.topo().hosts()[static_cast<std::size_t>(h + hosts_per_dc)];
+    s.src_rail = 0;
+    s.dst_rail = 0;
+    s.size = 8ull << 20;
+    s.tag = static_cast<std::uint64_t>(h);
+    ids.push_back(sim.inject(s));
+  }
+  sim.run();
+  // Aggregate cross-DC goodput is bounded by the thin long haul, so the
+  // transfer takes far longer than the intra-DC equivalent would.
+  double total_bits = static_cast<double>(hosts_per_dc) * (8ull << 20) * 8.0;
+  double goodput = total_bits / sim.now();
+  double haul = f.topo().tier_bandwidth(NodeKind::Core, NodeKind::Core) / 2.0;  // one way
+  EXPECT_LE(goodput, haul * 1.01);
+  EXPECT_GE(goodput, haul * 0.4);  // and it actually uses the haul
+}
+
+TEST(Fabric, AllStylesConnectAllHostPairsExceptRailOnly) {
+  for (auto style : {FabricStyle::AstralSameRail, FabricStyle::RailOptimized,
+                     FabricStyle::Clos}) {
+    Fabric f(small_params(style));
+    NodeId a = f.host_at(0, 0, 0);
+    NodeId b = f.host_at(1, 1, 3);
+    EXPECT_GT(f.topo().distance(a, b), 0) << to_string(style);
+  }
+}
+
+}  // namespace
+}  // namespace astral::topo

@@ -1,0 +1,112 @@
+#include "workload/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trainer.h"
+
+namespace astral::workload {
+namespace {
+
+std::vector<core::Seconds> uniform(int pp, double v) {
+  return std::vector<core::Seconds>(static_cast<std::size_t>(pp), v);
+}
+
+TEST(Pipeline1F1B, SingleStageIsSequential) {
+  auto plan = schedule_1f1b(uniform(1, 2.0), uniform(1, 3.0), 4);
+  EXPECT_DOUBLE_EQ(plan.makespan, 4 * 5.0);
+  EXPECT_NEAR(plan.bubble_fraction, 0.0, 1e-12);
+}
+
+TEST(Pipeline1F1B, EqualStagesMatchClosedForm) {
+  // The Trainer's closed form: (mb + pp - 1) * (tf + tb).
+  for (int pp : {2, 4, 8}) {
+    for (int mb : {pp, 2 * pp, 4 * pp}) {
+      auto plan = schedule_1f1b(uniform(pp, 1.0), uniform(pp, 2.0), mb);
+      EXPECT_NEAR(plan.makespan, (mb + pp - 1) * 3.0, 1e-9)
+          << "pp=" << pp << " mb=" << mb;
+    }
+  }
+}
+
+TEST(Pipeline1F1B, BubbleFractionShrinksWithMicrobatches) {
+  auto small = schedule_1f1b(uniform(4, 1.0), uniform(4, 2.0), 4);
+  auto big = schedule_1f1b(uniform(4, 1.0), uniform(4, 2.0), 32);
+  EXPECT_GT(small.bubble_fraction, big.bubble_fraction);
+  // Closed form for the bubble: (pp-1)/(mb+pp-1) = 3/35 at mb=32, pp=4.
+  EXPECT_NEAR(big.bubble_fraction, 3.0 / 35.0, 1e-9);
+}
+
+TEST(Pipeline1F1B, DependenciesHold) {
+  auto plan = schedule_1f1b(uniform(4, 1.0), uniform(4, 1.5), 8);
+  auto find = [&](int stage, int micro, bool bwd) -> const StageSlot* {
+    for (const auto& s : plan.slots) {
+      if (s.stage == stage && s.micro == micro && s.backward == bwd) return &s;
+    }
+    return nullptr;
+  };
+  for (int m = 0; m < 8; ++m) {
+    for (int s = 1; s < 4; ++s) {
+      EXPECT_GE(find(s, m, false)->start, find(s - 1, m, false)->end - 1e-12);
+    }
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_GE(find(s, m, true)->start, find(s + 1, m, true)->end - 1e-12);
+    }
+    EXPECT_GE(find(3, m, true)->start, find(3, m, false)->end - 1e-12);
+  }
+}
+
+TEST(Pipeline1F1B, SlowestStageDominatesUnequalPipelines) {
+  std::vector<core::Seconds> fwd{1.0, 1.0, 3.0, 1.0};  // stage 2 is slow
+  std::vector<core::Seconds> bwd{2.0, 2.0, 6.0, 2.0};
+  auto plan = schedule_1f1b(fwd, bwd, 16);
+  // Steady state is gated by the slow stage: >= mb * (3 + 6).
+  EXPECT_GE(plan.makespan, 16 * 9.0 - 1e-9);
+  // And the slow stage has (almost) no bubble.
+  EXPECT_NEAR(plan.stage_busy[2], 16 * 9.0, 1e-9);
+}
+
+TEST(Pipeline1F1B, ActivationResidencyNeverExceedsPp) {
+  // Count in-flight microbatches per stage: forwards done minus
+  // backwards done must never exceed pp - s (the 1F1B memory bound).
+  const int pp = 4;
+  auto plan = schedule_1f1b(uniform(pp, 1.0), uniform(pp, 2.0), 12);
+  for (int s = 0; s < pp; ++s) {
+    std::vector<std::pair<double, int>> events;  // (time, +1/-1)
+    for (const auto& slot : plan.slots) {
+      if (slot.stage != s) continue;
+      if (!slot.backward) {
+        events.push_back({slot.end, +1});
+      } else {
+        events.push_back({slot.end, -1});
+      }
+    }
+    std::sort(events.begin(), events.end());
+    int live = 0;
+    int peak = 0;
+    for (auto [t, d] : events) {
+      live += d;
+      peak = std::max(peak, live);
+    }
+    EXPECT_LE(peak, pp - s) << "stage " << s;
+  }
+}
+
+TEST(Pipeline1F1B, CrossValidatesTrainerClosedForm) {
+  // The trainer's iteration estimate must match the explicit schedule on
+  // its own micro-time.
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 8, .pp = 4, .ep = 1};
+  s.global_batch = 128;
+  auto f = Trainer(s).forecast_iteration();
+  int mb = s.num_microbatches();
+  // Split micro_time into fwd/bwd thirds (fwd ~ 1/3, bwd ~ 2/3).
+  double tf = f.micro_time / 3.0;
+  double tb = f.micro_time * 2.0 / 3.0;
+  auto plan = schedule_1f1b(uniform(4, tf), uniform(4, tb), mb);
+  EXPECT_NEAR(plan.makespan + f.dp_exposed, f.iteration_time,
+              f.iteration_time * 1e-6);
+}
+
+}  // namespace
+}  // namespace astral::workload

@@ -1,0 +1,151 @@
+#include "workload/trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::workload {
+namespace {
+
+TrainingSetup base_setup() {
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 8, .pp = 4, .ep = 1};
+  s.global_batch = 128;
+  s.micro_batch = 1;
+  s.seq_len = 4096;
+  return s;
+}
+
+TEST(Trainer, ForecastIsFastAndPositive) {
+  Trainer t(base_setup());
+  auto f = t.forecast_iteration();
+  EXPECT_GT(f.micro_time, 0.0);
+  EXPECT_GT(f.iteration_time, f.micro_time);
+  EXPECT_GT(f.tokens_per_sec, 0.0);
+  EXPECT_GT(f.mfu, 0.05);
+  EXPECT_LT(f.mfu, 1.0);
+}
+
+TEST(Trainer, IterationFollows1F1BFormula) {
+  auto s = base_setup();
+  Trainer t(s);
+  auto f = t.forecast_iteration();
+  int mb = s.num_microbatches();
+  EXPECT_NEAR(f.iteration_time, (mb + s.parallel.pp - 1) * f.micro_time + f.dp_exposed,
+              1e-9);
+}
+
+TEST(Trainer, DpSyncMostlyOverlapsBackward) {
+  Trainer t(base_setup());
+  auto f = t.forecast_iteration();
+  EXPECT_GT(f.dp_sync_time, 0.0);
+  // Bucketed gradient sync hides most of itself behind backward compute.
+  EXPECT_LT(f.dp_exposed, f.dp_sync_time);
+}
+
+TEST(Trainer, MoreMicrobatchesAmortizePipelineBubble) {
+  auto s1 = base_setup();
+  s1.global_batch = 64;
+  auto s2 = base_setup();
+  s2.global_batch = 512;
+  auto f1 = Trainer(s1).forecast_iteration();
+  auto f2 = Trainer(s2).forecast_iteration();
+  // Throughput per token improves with more microbatches (bubble
+  // fraction (pp-1)/(mb+pp-1) shrinks).
+  EXPECT_GT(f2.tokens_per_sec, f1.tokens_per_sec);
+}
+
+TEST(Trainer, CalibratedSlowerThanTheoretical) {
+  auto s = base_setup();
+  auto f_theo = Trainer(s).forecast_iteration();
+  s.eff = std::make_shared<seer::TestbedEfficiency>();
+  auto f_real = Trainer(s).forecast_iteration();
+  EXPECT_GT(f_real.iteration_time, f_theo.iteration_time);
+}
+
+TEST(Trainer, CrossDcDpSlowsWithOversubscription) {
+  auto s = base_setup();
+  s.cross_dc = seer::CrossDcDim::DP;
+  s.env.crossdc_oversub = 1.0;
+  auto f1 = Trainer(s).forecast_iteration();
+  s.env.crossdc_oversub = 32.0;
+  s.env.crossdc_rtt = core::msec(3);
+  auto f32 = Trainer(s).forecast_iteration();
+  EXPECT_GE(f32.iteration_time, f1.iteration_time);
+}
+
+TEST(Trainer, Zero3CrossDcWorseThanPlainDp) {
+  // Fig. 13's headline: ZeRO-DP across datacenters is the worst option
+  // because of its heavy, poorly-overlapped traffic.
+  auto s = base_setup();
+  s.cross_dc = seer::CrossDcDim::DP;
+  s.env.crossdc_oversub = 8.0;
+  s.env.crossdc_rtt = core::msec(3);
+  auto plain = Trainer(s).forecast_iteration();
+  s.dp_strategy = seer::DpStrategy::Zero3;
+  auto zero = Trainer(s).forecast_iteration();
+  EXPECT_GT(zero.iteration_time, plain.iteration_time);
+}
+
+TEST(Trainer, PrefillComputeBoundDecodeMemoryBound) {
+  auto s = base_setup();
+  s.parallel = {.tp = 8, .dp = 1, .pp = 1, .ep = 1};
+  Trainer t(s);
+  auto prefill = t.forecast_prefill(4, 4096);
+  auto decode = t.forecast_decode(4, 4096);
+  EXPECT_GT(prefill.latency, 0.0);
+  EXPECT_GT(decode.tokens_per_sec, 0.0);
+  // One decoded token is far cheaper than a full prefill.
+  EXPECT_LT(decode.timeline.makespan, prefill.timeline.makespan);
+}
+
+TEST(Trainer, LargerHbDomainHelpsMoeMoreThanDense) {
+  // The Fig. 14 comparison at test scale.
+  auto make = [&](seer::ModelSpec model, int ep, int hb) {
+    TrainingSetup s;
+    s.model = std::move(model);
+    s.parallel = {.tp = 8, .dp = 64, .pp = 1, .ep = ep};
+    s.global_batch = 128;
+    s.seq_len = 2048;
+    s.env.hb_domain = hb;
+    return Trainer(s).forecast_iteration().iteration_time;
+  };
+  double dense_gain = make(seer::ModelSpec::gpt3_175b(), 1, 8) /
+                      make(seer::ModelSpec::gpt3_175b(), 1, 64);
+  double moe_gain = make(seer::ModelSpec::hunyuan_moe(), 64, 8) /
+                    make(seer::ModelSpec::hunyuan_moe(), 64, 64);
+  EXPECT_GE(moe_gain, dense_gain);
+  EXPECT_GT(moe_gain, 1.0);
+}
+
+TEST(Trainer, TrafficRanking) {
+  // §4.4: PP generates the least traffic; ZeRO-DP the most.
+  auto s = base_setup();
+  auto t = Trainer(s).traffic();
+  EXPECT_GT(t.tp_bytes, 0.0);
+  EXPECT_GT(t.pp_bytes, 0.0);
+  EXPECT_GT(t.dp_bytes, 0.0);
+  EXPECT_LT(t.pp_bytes, t.dp_bytes);
+  EXPECT_LT(t.pp_bytes, t.tp_bytes);
+
+  s.dp_strategy = seer::DpStrategy::Zero3;
+  auto tz = Trainer(s).traffic();
+  EXPECT_GT(tz.dp_bytes, t.dp_bytes * 2);
+}
+
+TEST(Trainer, ScalingEfficiencyIsNearOneForWeakScaling) {
+  auto s1 = base_setup();
+  s1.parallel = {.tp = 8, .dp = 4, .pp = 4, .ep = 1};
+  s1.global_batch = 64;
+  auto s2 = base_setup();
+  s2.parallel = {.tp = 8, .dp = 16, .pp = 4, .ep = 1};
+  s2.global_batch = 256;
+  auto f1 = Trainer(s1).forecast_iteration();
+  auto f2 = Trainer(s2).forecast_iteration();
+  double eff = scaling_efficiency(f1, s1.parallel.world(), s1.global_batch, f2,
+                                  s2.parallel.world(), s2.global_batch);
+  EXPECT_GT(eff, 0.95);
+  EXPECT_LE(eff, 1.02);
+}
+
+}  // namespace
+}  // namespace astral::workload

@@ -1,0 +1,119 @@
+#include "workload/tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace astral::workload {
+namespace {
+
+TEST(MemoryModel, WeightsShardWithTpAndPp) {
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 8, .pp = 4, .ep = 1};
+  double base = training_memory_bytes(s);
+  s.parallel.pp = 8;
+  EXPECT_LT(training_memory_bytes(s), base);
+  s.parallel = {.tp = 4, .dp = 8, .pp = 4, .ep = 1};
+  EXPECT_GT(training_memory_bytes(s), base);
+}
+
+TEST(MemoryModel, Zero3ShardsOptimizerState) {
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 16, .pp = 4, .ep = 1};
+  double plain = training_memory_bytes(s);
+  s.dp_strategy = seer::DpStrategy::Zero3;
+  EXPECT_LT(training_memory_bytes(s), plain * 0.5);
+}
+
+TEST(MemoryModel, ActivationsScaleWithMicroBatchAndSeq) {
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 8, .pp = 4, .ep = 1};
+  s.micro_batch = 1;
+  double m1 = training_memory_bytes(s);
+  s.micro_batch = 4;
+  double m4 = training_memory_bytes(s);
+  EXPECT_GT(m4, m1);
+  s.micro_batch = 1;
+  s.seq_len *= 2;
+  EXPECT_GT(training_memory_bytes(s), m1);
+}
+
+TEST(MemoryModel, Llama70BFitsOn64xH100ButNotWithoutSharding) {
+  // Sanity against well-known deployments: 70B trains on 8x8 H100 with
+  // tp8/pp4, but a single GPU cannot hold the optimizer state.
+  TrainingSetup s;
+  s.model = seer::ModelSpec::llama3_70b();
+  s.parallel = {.tp = 8, .dp = 2, .pp = 4, .ep = 1};
+  EXPECT_LT(training_memory_bytes(s), 80e9 * 0.95);
+  s.parallel = {.tp = 1, .dp = 1, .pp = 1, .ep = 1};
+  EXPECT_GT(training_memory_bytes(s), 1e12);  // ~16 bytes/param >> 80 GB
+}
+
+TEST(MemoryModel, InferenceKvCacheGrowsWithContext) {
+  auto model = seer::ModelSpec::llama3_70b();
+  parallel::ParallelismConfig cfg{.tp = 8, .dp = 1, .pp = 1, .ep = 1};
+  double short_ctx = inference_memory_bytes(model, cfg, 16, 2048);
+  double long_ctx = inference_memory_bytes(model, cfg, 16, 32768);
+  EXPECT_GT(long_ctx, short_ctx);
+  // GQA keeps the KV cache manageable: 16 x 32K tokens fit in one
+  // tp8 H100 shard alongside the weights.
+  EXPECT_LT(long_ctx, 80e9);
+}
+
+TEST(Tuner, FindsAFeasiblePlanAndRanksByThroughput) {
+  TuningRequest req;
+  req.model = seer::ModelSpec::llama3_70b();
+  req.gpus = 256;
+  req.global_batch = 256;
+  req.seq_len = 4096;
+  auto result = tune_parallelism(req);
+  EXPECT_GT(result.evaluated, 4);
+  auto best = result.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->parallel.world(), 256);
+  EXPECT_TRUE(best->fits);
+  // Ranked by throughput among feasible plans.
+  double prev = 1e300;
+  for (const auto& c : result.ranked) {
+    if (!c.fits) break;
+    EXPECT_LE(c.forecast.tokens_per_sec, prev * (1 + 1e-9));
+    prev = c.forecast.tokens_per_sec;
+  }
+}
+
+TEST(Tuner, RejectsMemoryInfeasiblePlans) {
+  TuningRequest req;
+  req.model = seer::ModelSpec::llama3_405b();  // heavy
+  req.gpus = 64;                               // small budget
+  req.global_batch = 64;
+  auto result = tune_parallelism(req);
+  EXPECT_GT(result.rejected_memory, 0);
+  for (const auto& c : result.ranked) {
+    if (c.fits) {
+      EXPECT_LE(c.memory_bytes, static_cast<double>(req.gpu.hbm_size) * req.memory_margin);
+    }
+  }
+}
+
+TEST(Tuner, BestPlanUsesTensorParallelismForBigModels) {
+  TuningRequest req;
+  req.model = seer::ModelSpec::llama3_70b();
+  req.gpus = 128;
+  req.global_batch = 128;
+  auto best = tune_parallelism(req).best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(best->parallel.tp * best->parallel.pp, 1);  // must shard
+}
+
+TEST(Tuner, RespectsWorldSize) {
+  TuningRequest req;
+  req.model = seer::ModelSpec::tiny();
+  req.gpus = 32;
+  req.global_batch = 64;
+  auto result = tune_parallelism(req);
+  for (const auto& c : result.ranked) EXPECT_EQ(c.parallel.world(), 32);
+}
+
+}  // namespace
+}  // namespace astral::workload
