@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dualtor.dir/ablation_dualtor.cpp.o"
+  "CMakeFiles/ablation_dualtor.dir/ablation_dualtor.cpp.o.d"
+  "ablation_dualtor"
+  "ablation_dualtor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dualtor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

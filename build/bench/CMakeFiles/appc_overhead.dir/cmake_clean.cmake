@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appc_overhead.dir/appc_overhead.cpp.o"
+  "CMakeFiles/appc_overhead.dir/appc_overhead.cpp.o.d"
+  "appc_overhead"
+  "appc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_alltoall.dir/fig02_alltoall.cpp.o"
+  "CMakeFiles/fig02_alltoall.dir/fig02_alltoall.cpp.o.d"
+  "fig02_alltoall"
+  "fig02_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_airflow.dir/fig05_airflow.cpp.o"
+  "CMakeFiles/fig05_airflow.dir/fig05_airflow.cpp.o.d"
+  "fig05_airflow"
+  "fig05_airflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_airflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pue.dir/fig06_pue.cpp.o"
+  "CMakeFiles/fig06_pue.dir/fig06_pue.cpp.o.d"
+  "fig06_pue"
+  "fig06_pue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_taxonomy.dir/fig07_taxonomy.cpp.o"
+  "CMakeFiles/fig07_taxonomy.dir/fig07_taxonomy.cpp.o.d"
+  "fig07_taxonomy"
+  "fig07_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

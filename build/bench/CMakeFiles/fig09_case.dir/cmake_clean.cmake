@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_case.dir/fig09_case.cpp.o"
+  "CMakeFiles/fig09_case.dir/fig09_case.cpp.o.d"
+  "fig09_case"
+  "fig09_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

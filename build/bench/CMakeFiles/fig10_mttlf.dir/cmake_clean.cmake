@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mttlf.dir/fig10_mttlf.cpp.o"
+  "CMakeFiles/fig10_mttlf.dir/fig10_mttlf.cpp.o.d"
+  "fig10_mttlf"
+  "fig10_mttlf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mttlf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_crossdc.dir/fig13_crossdc.cpp.o"
+  "CMakeFiles/fig13_crossdc.dir/fig13_crossdc.cpp.o.d"
+  "fig13_crossdc"
+  "fig13_crossdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_crossdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_intrahost.dir/fig14_intrahost.cpp.o"
+  "CMakeFiles/fig14_intrahost.dir/fig14_intrahost.cpp.o.d"
+  "fig14_intrahost"
+  "fig14_intrahost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_intrahost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_power_iter.dir/fig15_power_iter.cpp.o"
+  "CMakeFiles/fig15_power_iter.dir/fig15_power_iter.cpp.o.d"
+  "fig15_power_iter"
+  "fig15_power_iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_power_iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

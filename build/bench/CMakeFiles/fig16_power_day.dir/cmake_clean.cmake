@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_power_day.dir/fig16_power_day.cpp.o"
+  "CMakeFiles/fig16_power_day.dir/fig16_power_day.cpp.o.d"
+  "fig16_power_day"
+  "fig16_power_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

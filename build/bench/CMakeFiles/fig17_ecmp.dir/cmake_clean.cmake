@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ecmp.dir/fig17_ecmp.cpp.o"
+  "CMakeFiles/fig17_ecmp.dir/fig17_ecmp.cpp.o.d"
+  "fig17_ecmp"
+  "fig17_ecmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ecmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_crossdc_pp.dir/fig18_crossdc_pp.cpp.o"
+  "CMakeFiles/fig18_crossdc_pp.dir/fig18_crossdc_pp.cpp.o.d"
+  "fig18_crossdc_pp"
+  "fig18_crossdc_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_crossdc_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_scale.dir/fig19_scale.cpp.o"
+  "CMakeFiles/fig19_scale.dir/fig19_scale.cpp.o.d"
+  "fig19_scale"
+  "fig19_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_failure.dir/diagnose_failure.cpp.o"
+  "CMakeFiles/diagnose_failure.dir/diagnose_failure.cpp.o.d"
+  "diagnose_failure"
+  "diagnose_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_crossdc.dir/plan_crossdc.cpp.o"
+  "CMakeFiles/plan_crossdc.dir/plan_crossdc.cpp.o.d"
+  "plan_crossdc"
+  "plan_crossdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_crossdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

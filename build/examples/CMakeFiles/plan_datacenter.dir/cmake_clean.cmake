@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_datacenter.dir/plan_datacenter.cpp.o"
+  "CMakeFiles/plan_datacenter.dir/plan_datacenter.cpp.o.d"
+  "plan_datacenter"
+  "plan_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_profile.dir/replay_profile.cpp.o"
+  "CMakeFiles/replay_profile.dir/replay_profile.cpp.o.d"
+  "replay_profile"
+  "replay_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

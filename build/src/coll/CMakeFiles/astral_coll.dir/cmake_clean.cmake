@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_coll.dir/runner.cpp.o"
+  "CMakeFiles/astral_coll.dir/runner.cpp.o.d"
+  "libastral_coll.a"
+  "libastral_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

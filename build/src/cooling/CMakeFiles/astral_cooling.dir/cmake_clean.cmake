@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_cooling.dir/airflow.cpp.o"
+  "CMakeFiles/astral_cooling.dir/airflow.cpp.o.d"
+  "CMakeFiles/astral_cooling.dir/integrated.cpp.o"
+  "CMakeFiles/astral_cooling.dir/integrated.cpp.o.d"
+  "libastral_cooling.a"
+  "libastral_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

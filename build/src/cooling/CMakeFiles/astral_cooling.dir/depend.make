@@ -1,0 +1,2 @@
+# Empty dependencies file for astral_cooling.
+# This may be replaced when dependencies are built.

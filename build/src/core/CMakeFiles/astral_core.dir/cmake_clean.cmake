@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_core.dir/json.cpp.o"
+  "CMakeFiles/astral_core.dir/json.cpp.o.d"
+  "CMakeFiles/astral_core.dir/math.cpp.o"
+  "CMakeFiles/astral_core.dir/math.cpp.o.d"
+  "CMakeFiles/astral_core.dir/table.cpp.o"
+  "CMakeFiles/astral_core.dir/table.cpp.o.d"
+  "libastral_core.a"
+  "libastral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

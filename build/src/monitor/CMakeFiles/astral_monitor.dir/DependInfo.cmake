@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/analyzer.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/analyzer.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/analyzer.cpp.o.d"
+  "/root/repo/src/monitor/cluster_runtime.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/cluster_runtime.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/cluster_runtime.cpp.o.d"
+  "/root/repo/src/monitor/detectors.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/detectors.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/detectors.cpp.o.d"
+  "/root/repo/src/monitor/faults.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/faults.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/faults.cpp.o.d"
+  "/root/repo/src/monitor/mttlf.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/mttlf.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/mttlf.cpp.o.d"
+  "/root/repo/src/monitor/offline_tools.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/offline_tools.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/offline_tools.cpp.o.d"
+  "/root/repo/src/monitor/pingmesh.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/pingmesh.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/pingmesh.cpp.o.d"
+  "/root/repo/src/monitor/store.cpp" "src/monitor/CMakeFiles/astral_monitor.dir/store.cpp.o" "gcc" "src/monitor/CMakeFiles/astral_monitor.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/astral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/astral_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astral_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astral_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_monitor.dir/analyzer.cpp.o"
+  "CMakeFiles/astral_monitor.dir/analyzer.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/cluster_runtime.cpp.o"
+  "CMakeFiles/astral_monitor.dir/cluster_runtime.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/detectors.cpp.o"
+  "CMakeFiles/astral_monitor.dir/detectors.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/faults.cpp.o"
+  "CMakeFiles/astral_monitor.dir/faults.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/mttlf.cpp.o"
+  "CMakeFiles/astral_monitor.dir/mttlf.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/offline_tools.cpp.o"
+  "CMakeFiles/astral_monitor.dir/offline_tools.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/pingmesh.cpp.o"
+  "CMakeFiles/astral_monitor.dir/pingmesh.cpp.o.d"
+  "CMakeFiles/astral_monitor.dir/store.cpp.o"
+  "CMakeFiles/astral_monitor.dir/store.cpp.o.d"
+  "libastral_monitor.a"
+  "libastral_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

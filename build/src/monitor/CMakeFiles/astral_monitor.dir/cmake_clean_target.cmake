@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastral_monitor.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/controller.cpp" "src/net/CMakeFiles/astral_net.dir/controller.cpp.o" "gcc" "src/net/CMakeFiles/astral_net.dir/controller.cpp.o.d"
+  "/root/repo/src/net/fluid_sim.cpp" "src/net/CMakeFiles/astral_net.dir/fluid_sim.cpp.o" "gcc" "src/net/CMakeFiles/astral_net.dir/fluid_sim.cpp.o.d"
+  "/root/repo/src/net/hash.cpp" "src/net/CMakeFiles/astral_net.dir/hash.cpp.o" "gcc" "src/net/CMakeFiles/astral_net.dir/hash.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/astral_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/astral_net.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/astral_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astral_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

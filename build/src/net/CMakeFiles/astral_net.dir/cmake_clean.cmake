@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_net.dir/controller.cpp.o"
+  "CMakeFiles/astral_net.dir/controller.cpp.o.d"
+  "CMakeFiles/astral_net.dir/fluid_sim.cpp.o"
+  "CMakeFiles/astral_net.dir/fluid_sim.cpp.o.d"
+  "CMakeFiles/astral_net.dir/hash.cpp.o"
+  "CMakeFiles/astral_net.dir/hash.cpp.o.d"
+  "CMakeFiles/astral_net.dir/router.cpp.o"
+  "CMakeFiles/astral_net.dir/router.cpp.o.d"
+  "libastral_net.a"
+  "libastral_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_parallel.dir/groups.cpp.o"
+  "CMakeFiles/astral_parallel.dir/groups.cpp.o.d"
+  "CMakeFiles/astral_parallel.dir/placement.cpp.o"
+  "CMakeFiles/astral_parallel.dir/placement.cpp.o.d"
+  "libastral_parallel.a"
+  "libastral_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

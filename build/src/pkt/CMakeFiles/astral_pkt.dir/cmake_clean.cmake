@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_pkt.dir/packet_sim.cpp.o"
+  "CMakeFiles/astral_pkt.dir/packet_sim.cpp.o.d"
+  "libastral_pkt.a"
+  "libastral_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/hvdc.cpp" "src/power/CMakeFiles/astral_power.dir/hvdc.cpp.o" "gcc" "src/power/CMakeFiles/astral_power.dir/hvdc.cpp.o.d"
+  "/root/repo/src/power/profile.cpp" "src/power/CMakeFiles/astral_power.dir/profile.cpp.o" "gcc" "src/power/CMakeFiles/astral_power.dir/profile.cpp.o.d"
+  "/root/repo/src/power/pue.cpp" "src/power/CMakeFiles/astral_power.dir/pue.cpp.o" "gcc" "src/power/CMakeFiles/astral_power.dir/pue.cpp.o.d"
+  "/root/repo/src/power/renewables.cpp" "src/power/CMakeFiles/astral_power.dir/renewables.cpp.o" "gcc" "src/power/CMakeFiles/astral_power.dir/renewables.cpp.o.d"
+  "/root/repo/src/power/scheduler.cpp" "src/power/CMakeFiles/astral_power.dir/scheduler.cpp.o" "gcc" "src/power/CMakeFiles/astral_power.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/astral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/astral_cooling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_power.dir/hvdc.cpp.o"
+  "CMakeFiles/astral_power.dir/hvdc.cpp.o.d"
+  "CMakeFiles/astral_power.dir/profile.cpp.o"
+  "CMakeFiles/astral_power.dir/profile.cpp.o.d"
+  "CMakeFiles/astral_power.dir/pue.cpp.o"
+  "CMakeFiles/astral_power.dir/pue.cpp.o.d"
+  "CMakeFiles/astral_power.dir/renewables.cpp.o"
+  "CMakeFiles/astral_power.dir/renewables.cpp.o.d"
+  "CMakeFiles/astral_power.dir/scheduler.cpp.o"
+  "CMakeFiles/astral_power.dir/scheduler.cpp.o.d"
+  "libastral_power.a"
+  "libastral_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seer/configs.cpp" "src/seer/CMakeFiles/astral_seer.dir/configs.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/configs.cpp.o.d"
+  "/root/repo/src/seer/cost_model.cpp" "src/seer/CMakeFiles/astral_seer.dir/cost_model.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/cost_model.cpp.o.d"
+  "/root/repo/src/seer/efficiency.cpp" "src/seer/CMakeFiles/astral_seer.dir/efficiency.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/efficiency.cpp.o.d"
+  "/root/repo/src/seer/engine.cpp" "src/seer/CMakeFiles/astral_seer.dir/engine.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/engine.cpp.o.d"
+  "/root/repo/src/seer/model_spec.cpp" "src/seer/CMakeFiles/astral_seer.dir/model_spec.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/model_spec.cpp.o.d"
+  "/root/repo/src/seer/op_graph.cpp" "src/seer/CMakeFiles/astral_seer.dir/op_graph.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/op_graph.cpp.o.d"
+  "/root/repo/src/seer/profiler_trace.cpp" "src/seer/CMakeFiles/astral_seer.dir/profiler_trace.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/profiler_trace.cpp.o.d"
+  "/root/repo/src/seer/templates.cpp" "src/seer/CMakeFiles/astral_seer.dir/templates.cpp.o" "gcc" "src/seer/CMakeFiles/astral_seer.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/astral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/astral_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/astral_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astral_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

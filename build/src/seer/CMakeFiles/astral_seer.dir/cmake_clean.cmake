@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_seer.dir/configs.cpp.o"
+  "CMakeFiles/astral_seer.dir/configs.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/cost_model.cpp.o"
+  "CMakeFiles/astral_seer.dir/cost_model.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/efficiency.cpp.o"
+  "CMakeFiles/astral_seer.dir/efficiency.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/engine.cpp.o"
+  "CMakeFiles/astral_seer.dir/engine.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/model_spec.cpp.o"
+  "CMakeFiles/astral_seer.dir/model_spec.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/op_graph.cpp.o"
+  "CMakeFiles/astral_seer.dir/op_graph.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/profiler_trace.cpp.o"
+  "CMakeFiles/astral_seer.dir/profiler_trace.cpp.o.d"
+  "CMakeFiles/astral_seer.dir/templates.cpp.o"
+  "CMakeFiles/astral_seer.dir/templates.cpp.o.d"
+  "libastral_seer.a"
+  "libastral_seer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_seer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

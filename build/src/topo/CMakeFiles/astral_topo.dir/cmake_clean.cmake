@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_topo.dir/fabric.cpp.o"
+  "CMakeFiles/astral_topo.dir/fabric.cpp.o.d"
+  "CMakeFiles/astral_topo.dir/topology.cpp.o"
+  "CMakeFiles/astral_topo.dir/topology.cpp.o.d"
+  "libastral_topo.a"
+  "libastral_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astral_workload.dir/pipeline.cpp.o"
+  "CMakeFiles/astral_workload.dir/pipeline.cpp.o.d"
+  "CMakeFiles/astral_workload.dir/trainer.cpp.o"
+  "CMakeFiles/astral_workload.dir/trainer.cpp.o.d"
+  "CMakeFiles/astral_workload.dir/tuner.cpp.o"
+  "CMakeFiles/astral_workload.dir/tuner.cpp.o.d"
+  "libastral_workload.a"
+  "libastral_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astral_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

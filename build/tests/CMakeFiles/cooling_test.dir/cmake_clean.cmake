@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooling_test.dir/cooling_test.cpp.o"
+  "CMakeFiles/cooling_test.dir/cooling_test.cpp.o.d"
+  "cooling_test"
+  "cooling_test.pdb"
+  "cooling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_math_test.dir/core_math_test.cpp.o"
+  "CMakeFiles/core_math_test.dir/core_math_test.cpp.o.d"
+  "core_math_test"
+  "core_math_test.pdb"
+  "core_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

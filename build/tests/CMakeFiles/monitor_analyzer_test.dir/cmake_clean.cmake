@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_analyzer_test.dir/monitor_analyzer_test.cpp.o"
+  "CMakeFiles/monitor_analyzer_test.dir/monitor_analyzer_test.cpp.o.d"
+  "monitor_analyzer_test"
+  "monitor_analyzer_test.pdb"
+  "monitor_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_detectors_test.dir/monitor_detectors_test.cpp.o"
+  "CMakeFiles/monitor_detectors_test.dir/monitor_detectors_test.cpp.o.d"
+  "monitor_detectors_test"
+  "monitor_detectors_test.pdb"
+  "monitor_detectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_detectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_pingmesh_test.dir/monitor_pingmesh_test.cpp.o"
+  "CMakeFiles/monitor_pingmesh_test.dir/monitor_pingmesh_test.cpp.o.d"
+  "monitor_pingmesh_test"
+  "monitor_pingmesh_test.pdb"
+  "monitor_pingmesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_pingmesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_property_test.dir/monitor_property_test.cpp.o"
+  "CMakeFiles/monitor_property_test.dir/monitor_property_test.cpp.o.d"
+  "monitor_property_test"
+  "monitor_property_test.pdb"
+  "monitor_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_runtime_test.dir/monitor_runtime_test.cpp.o"
+  "CMakeFiles/monitor_runtime_test.dir/monitor_runtime_test.cpp.o.d"
+  "monitor_runtime_test"
+  "monitor_runtime_test.pdb"
+  "monitor_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_tools_test.dir/monitor_tools_test.cpp.o"
+  "CMakeFiles/monitor_tools_test.dir/monitor_tools_test.cpp.o.d"
+  "monitor_tools_test"
+  "monitor_tools_test.pdb"
+  "monitor_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

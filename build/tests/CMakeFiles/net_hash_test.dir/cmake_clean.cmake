@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_hash_test.dir/net_hash_test.cpp.o"
+  "CMakeFiles/net_hash_test.dir/net_hash_test.cpp.o.d"
+  "net_hash_test"
+  "net_hash_test.pdb"
+  "net_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

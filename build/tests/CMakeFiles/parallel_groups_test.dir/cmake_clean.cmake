@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_groups_test.dir/parallel_groups_test.cpp.o"
+  "CMakeFiles/parallel_groups_test.dir/parallel_groups_test.cpp.o.d"
+  "parallel_groups_test"
+  "parallel_groups_test.pdb"
+  "parallel_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkt_config_test.dir/pkt_config_test.cpp.o"
+  "CMakeFiles/pkt_config_test.dir/pkt_config_test.cpp.o.d"
+  "pkt_config_test"
+  "pkt_config_test.pdb"
+  "pkt_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkt_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkt_packet_sim_test.dir/pkt_packet_sim_test.cpp.o"
+  "CMakeFiles/pkt_packet_sim_test.dir/pkt_packet_sim_test.cpp.o.d"
+  "pkt_packet_sim_test"
+  "pkt_packet_sim_test.pdb"
+  "pkt_packet_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkt_packet_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

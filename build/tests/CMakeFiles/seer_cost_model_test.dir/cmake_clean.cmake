@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_cost_model_test.dir/seer_cost_model_test.cpp.o"
+  "CMakeFiles/seer_cost_model_test.dir/seer_cost_model_test.cpp.o.d"
+  "seer_cost_model_test"
+  "seer_cost_model_test.pdb"
+  "seer_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

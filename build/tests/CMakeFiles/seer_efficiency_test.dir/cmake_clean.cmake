@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_efficiency_test.dir/seer_efficiency_test.cpp.o"
+  "CMakeFiles/seer_efficiency_test.dir/seer_efficiency_test.cpp.o.d"
+  "seer_efficiency_test"
+  "seer_efficiency_test.pdb"
+  "seer_efficiency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_efficiency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

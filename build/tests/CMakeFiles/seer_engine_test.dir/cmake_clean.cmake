@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_engine_test.dir/seer_engine_test.cpp.o"
+  "CMakeFiles/seer_engine_test.dir/seer_engine_test.cpp.o.d"
+  "seer_engine_test"
+  "seer_engine_test.pdb"
+  "seer_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_op_graph_test.dir/seer_op_graph_test.cpp.o"
+  "CMakeFiles/seer_op_graph_test.dir/seer_op_graph_test.cpp.o.d"
+  "seer_op_graph_test"
+  "seer_op_graph_test.pdb"
+  "seer_op_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_op_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

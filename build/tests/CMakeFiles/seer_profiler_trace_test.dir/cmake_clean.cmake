@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_profiler_trace_test.dir/seer_profiler_trace_test.cpp.o"
+  "CMakeFiles/seer_profiler_trace_test.dir/seer_profiler_trace_test.cpp.o.d"
+  "seer_profiler_trace_test"
+  "seer_profiler_trace_test.pdb"
+  "seer_profiler_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_profiler_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

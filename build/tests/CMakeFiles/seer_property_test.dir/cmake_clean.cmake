@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_property_test.dir/seer_property_test.cpp.o"
+  "CMakeFiles/seer_property_test.dir/seer_property_test.cpp.o.d"
+  "seer_property_test"
+  "seer_property_test.pdb"
+  "seer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

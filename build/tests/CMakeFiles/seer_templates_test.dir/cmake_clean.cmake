@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_templates_test.dir/seer_templates_test.cpp.o"
+  "CMakeFiles/seer_templates_test.dir/seer_templates_test.cpp.o.d"
+  "seer_templates_test"
+  "seer_templates_test.pdb"
+  "seer_templates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_templates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

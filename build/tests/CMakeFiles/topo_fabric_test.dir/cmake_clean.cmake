@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_fabric_test.dir/topo_fabric_test.cpp.o"
+  "CMakeFiles/topo_fabric_test.dir/topo_fabric_test.cpp.o.d"
+  "topo_fabric_test"
+  "topo_fabric_test.pdb"
+  "topo_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

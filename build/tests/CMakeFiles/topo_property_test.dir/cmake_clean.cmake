@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_property_test.dir/topo_property_test.cpp.o"
+  "CMakeFiles/topo_property_test.dir/topo_property_test.cpp.o.d"
+  "topo_property_test"
+  "topo_property_test.pdb"
+  "topo_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_topology_test.dir/topo_topology_test.cpp.o"
+  "CMakeFiles/topo_topology_test.dir/topo_topology_test.cpp.o.d"
+  "topo_topology_test"
+  "topo_topology_test.pdb"
+  "topo_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

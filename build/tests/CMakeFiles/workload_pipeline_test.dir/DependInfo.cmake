@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_pipeline_test.cpp" "tests/CMakeFiles/workload_pipeline_test.dir/workload_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/workload_pipeline_test.dir/workload_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/astral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/seer/CMakeFiles/astral_seer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/astral_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/astral_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astral_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astral_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

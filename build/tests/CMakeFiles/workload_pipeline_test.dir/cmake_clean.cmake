@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_pipeline_test.dir/workload_pipeline_test.cpp.o"
+  "CMakeFiles/workload_pipeline_test.dir/workload_pipeline_test.cpp.o.d"
+  "workload_pipeline_test"
+  "workload_pipeline_test.pdb"
+  "workload_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_trainer_test.dir/workload_trainer_test.cpp.o"
+  "CMakeFiles/workload_trainer_test.dir/workload_trainer_test.cpp.o.d"
+  "workload_trainer_test"
+  "workload_trainer_test.pdb"
+  "workload_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
