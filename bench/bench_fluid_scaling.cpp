@@ -1,0 +1,214 @@
+// Flows-vs-solve-time scaling curves for the fluid simulator's max-min
+// rate solver: the incremental engine (FluidSim::resolve_rates) against
+// the retained pre-change algorithm (MaxMinRef::solve), on the same
+// permutation traffic over the micro_perf bench fabric. Also measures the
+// end-to-end permutation run and verifies that the incremental solver
+// performs zero heap allocations in steady state, via a global
+// operator-new counting hook. Writes BENCH_fluid.json (path = argv[1],
+// default ./BENCH_fluid.json) so the repo keeps a perf trajectory;
+// bench/run_bench.sh drives it from a Release build.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "net/fluid_sim.h"
+#include "net/maxmin_ref.h"
+#include "topo/fabric.h"
+
+// ---- allocation counting hook -------------------------------------------
+// Counts every operator-new in the process; the steady-state solver check
+// reads the delta around a resolve loop. Kept trivially malloc-backed so
+// sanitizer builds still interpose correctly underneath.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+using namespace astral;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+topo::FabricParams bench_params() {
+  topo::FabricParams p;
+  p.rails = 8;
+  p.hosts_per_block = 16;
+  p.blocks_per_pod = 4;
+  p.pods = 2;
+  return p;
+}
+
+std::vector<net::FlowSpec> permutation_specs(const topo::Fabric& fabric, int flows) {
+  auto hosts = fabric.topo().hosts();
+  std::vector<net::FlowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) {
+    net::FlowSpec spec;
+    spec.src_host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    spec.dst_host = hosts[(static_cast<std::size_t>(i) + 40) % hosts.size()];
+    spec.src_rail = i % 8;
+    spec.dst_rail = i % 8;
+    spec.size = 4 * 1024 * 1024;
+    spec.tag = static_cast<std::uint64_t>(i);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+struct Point {
+  int flows = 0;
+  double solve_us_ref = 0.0;
+  double solve_us_incremental = 0.0;
+  double run_ms_end_to_end = 0.0;
+  std::uint64_t steady_state_allocs = 0;
+  int solve_iters = 0;
+};
+
+Point measure(topo::Fabric& fabric, int flows) {
+  Point pt;
+  pt.flows = flows;
+  auto specs = permutation_specs(fabric, flows);
+
+  // Per-solve comparison on the full t=0 active set.
+  {
+    net::FluidSim sim(fabric);
+    sim.inject_batch(specs);
+    sim.run(0.0);  // admit + first solve, no progress
+    const int iters = flows >= 16384 ? 5 : (flows >= 4096 ? 20 : 100);
+    pt.solve_iters = iters;
+
+    sim.resolve_rates();  // warm scratch capacities
+    std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+    auto t0 = Clock::now();
+    for (int k = 0; k < iters; ++k) sim.resolve_rates();
+    pt.solve_us_incremental = ms_since(t0) * 1000.0 / iters;
+    pt.steady_state_allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+
+    // Reference (pre-change) solver over the identical active set.
+    std::vector<std::vector<topo::LinkId>> paths;
+    paths.reserve(sim.active_flows().size());
+    for (net::FlowId id : sim.active_flows()) paths.push_back(sim.flow(id).path);
+    std::vector<double> caps(fabric.topo().link_count());
+    for (std::size_t l = 0; l < caps.size(); ++l) {
+      caps[l] = sim.effective_capacity(static_cast<topo::LinkId>(l));
+    }
+    std::vector<double> rates;
+    net::MaxMinRef::solve(paths, caps, rates);  // warm thread-local scratch
+    t0 = Clock::now();
+    for (int k = 0; k < iters; ++k) net::MaxMinRef::solve(paths, caps, rates);
+    pt.solve_us_ref = ms_since(t0) * 1000.0 / iters;
+  }
+
+  // End-to-end permutation run (inject + drain), incremental solver.
+  {
+    auto t0 = Clock::now();
+    net::FluidSim sim(fabric);
+    sim.inject_batch(specs);
+    sim.run();
+    pt.run_ms_end_to_end = ms_since(t0);
+  }
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fluid.json";
+  topo::Fabric fabric(bench_params());
+
+  const int sizes[] = {256, 1024, 4096, 16384, 65536};
+  std::vector<Point> points;
+  for (int flows : sizes) {
+    points.push_back(measure(fabric, flows));
+    const Point& p = points.back();
+    std::printf(
+        "flows=%6d  solve_ref=%10.1fus  solve_incr=%8.1fus  speedup=%5.1fx  "
+        "end_to_end=%8.2fms  steady_allocs=%llu\n",
+        p.flows, p.solve_us_ref, p.solve_us_incremental,
+        p.solve_us_ref / p.solve_us_incremental, p.run_ms_end_to_end,
+        static_cast<unsigned long long>(p.steady_state_allocs));
+  }
+
+  double speedup_4k = 0.0;
+  bool point_64k = false;
+  std::uint64_t total_steady_allocs = 0;
+  for (const Point& p : points) {
+    if (p.flows == 4096) speedup_4k = p.solve_us_ref / p.solve_us_incremental;
+    if (p.flows == 65536 && p.run_ms_end_to_end > 0) point_64k = true;
+    total_steady_allocs += p.steady_state_allocs;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fluid_scaling\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"permutation alltoall, 4MiB flows, "
+               "rails=8 hosts_per_block=16 blocks_per_pod=4 pods=2\",\n");
+  std::fprintf(f,
+               "  \"reference_solver\": \"MaxMinRef::solve — the pre-change "
+               "FluidSim::recompute_rates algorithm, retained verbatim\",\n");
+  std::fprintf(f,
+               "  \"incremental_solver\": \"FluidSim::resolve_rates — "
+               "epoch-stamped flat arrays, persistent member lists, lazy "
+               "min-heap\",\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"flows\": %d, \"solve_us_ref\": %.2f, "
+                 "\"solve_us_incremental\": %.2f, \"solve_speedup\": %.2f, "
+                 "\"run_ms_end_to_end\": %.2f, \"steady_state_allocs\": %llu, "
+                 "\"solve_iters\": %d}%s\n",
+                 p.flows, p.solve_us_ref, p.solve_us_incremental,
+                 p.solve_us_ref / p.solve_us_incremental, p.run_ms_end_to_end,
+                 static_cast<unsigned long long>(p.steady_state_allocs),
+                 p.solve_iters, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"criteria\": {\n");
+  std::fprintf(f, "    \"solve_speedup_4k\": %.2f,\n", speedup_4k);
+  std::fprintf(f, "    \"solve_speedup_4k_required\": 3.0,\n");
+  std::fprintf(f, "    \"point_64k_completed\": %s,\n", point_64k ? "true" : "false");
+  std::fprintf(f, "    \"steady_state_allocs_total\": %llu\n",
+               static_cast<unsigned long long>(total_steady_allocs));
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (4k solve speedup %.1fx, 64k point %s)\n", out_path.c_str(),
+              speedup_4k, point_64k ? "completed" : "MISSING");
+
+  const bool ok = speedup_4k >= 3.0 && point_64k && total_steady_allocs == 0;
+  return ok ? 0 : 2;
+}

@@ -74,7 +74,10 @@ void BM_FluidSimPermutation(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-BENCHMARK(BM_FluidSimPermutation)->Arg(64)->Arg(256);
+// 4096 was the pre-change 3x-speedup target; 65536 was previously not a
+// feasible benchmark point (see BENCH_fluid.json / bench_fluid_scaling).
+BENCHMARK(BM_FluidSimPermutation)->Arg(64)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SeerGraphBuild(benchmark::State& state) {
   auto model = seer::ModelSpec::llama3_70b();

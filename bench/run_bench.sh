@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the Release preset, runs the fluid-solver scaling benchmark, and
+# writes BENCH_fluid.json at the repo root so every PR leaves a comparable
+# perf data point (flows-vs-solve-time, incremental vs pre-change solver,
+# steady-state allocation count). Exit status mirrors the benchmark's own
+# acceptance checks (>=3x solve speedup at 4K flows, 64K point completed,
+# zero steady-state allocations).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+cmake --preset release
+cmake --build --preset release -j"${jobs}" --target bench_fluid_scaling
+./build-release/bench/bench_fluid_scaling BENCH_fluid.json
+echo "BENCH_fluid.json written at $(pwd)/BENCH_fluid.json"

@@ -38,10 +38,11 @@ CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_
   double fabric_bytes_per_round = 0.0;
 
   std::vector<double> nvl_bytes(static_cast<std::size_t>(n));
+  std::vector<net::FlowSpec> wave;
   for (int r : rounds) {
     Seconds t0 = sim_.now();
     std::fill(nvl_bytes.begin(), nvl_bytes.end(), 0.0);
-    int fabric_flows = 0;
+    wave.clear();
     for (int i = 0; i < n; ++i) {
       int src = group.gpus[static_cast<std::size_t>(i)];
       int dst = group.gpus[static_cast<std::size_t>((i + r) % n)];
@@ -68,9 +69,10 @@ CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_
       spec.size = per_pair;
       spec.start = t0;
       spec.tag = next_tag_++;
-      sim_.inject(spec);
-      ++fabric_flows;
+      wave.push_back(spec);
     }
+    int fabric_flows = static_cast<int>(wave.size());
+    sim_.inject_batch(wave);
     sim_.run();
     Seconds fabric_dt = sim_.now() - t0;
     double max_nvl = 0.0;
@@ -102,8 +104,8 @@ Seconds CollectiveRunner::ring_step(const CommGroup& group, Bytes chunk,
   const int n = group.size();
   const auto& fabric = sim_.fabric();
   Seconds t0 = sim_.now();
-  if (fabric_edges != nullptr) *fabric_edges = 0;
   std::vector<double> nvl_bytes(static_cast<std::size_t>(n), 0.0);
+  std::vector<net::FlowSpec> wave;
   for (int i = 0; i < n; ++i) {
     int src = group.gpus[static_cast<std::size_t>(i)];
     int dst = group.gpus[static_cast<std::size_t>((i + 1) % n)];
@@ -125,9 +127,10 @@ Seconds CollectiveRunner::ring_step(const CommGroup& group, Bytes chunk,
     spec.size = chunk;
     spec.start = t0;
     spec.tag = next_tag_++;
-    sim_.inject(spec);
-    if (fabric_edges != nullptr) ++(*fabric_edges);
+    wave.push_back(spec);
   }
+  if (fabric_edges != nullptr) *fabric_edges = static_cast<int>(wave.size());
+  sim_.inject_batch(wave);
   sim_.run();
   Seconds fabric_dt = sim_.now() - t0;
   double max_nvl = 0.0;
@@ -185,7 +188,7 @@ CollectiveResult CollectiveRunner::all_reduce_hierarchical(const CommGroup& grou
   const Bytes shard = std::max<Bytes>(1, size / static_cast<Bytes>(local));
   const Bytes chunk = std::max<Bytes>(1, shard / static_cast<Bytes>(hosts));
   Seconds t0 = sim_.now();
-  std::vector<net::FlowId> ids;
+  std::vector<net::FlowSpec> wave;
   for (int h = 0; h < hosts; ++h) {
     for (int lane = 0; lane < local; ++lane) {
       int src_gpu = by_host[host_order[static_cast<std::size_t>(h)]]
@@ -202,9 +205,10 @@ CollectiveResult CollectiveRunner::all_reduce_hierarchical(const CommGroup& grou
       spec.size = chunk;
       spec.start = t0;
       spec.tag = next_tag_++;
-      ids.push_back(sim_.inject(spec));
+      wave.push_back(spec);
     }
   }
+  std::vector<net::FlowId> ids = sim_.inject_batch(wave);
   sim_.run_watch(ids);
   Seconds step = sim_.now() - t0;
   Seconds t_inter = step * 2.0 * (hosts - 1);

@@ -299,27 +299,30 @@ RunOutcome ClusterRuntime::run() {
       }
     }
 
-    // Step the simulation, sampling QP rates (ms-level monitoring) and
-    // one INT pingmesh sweep mid-transfer.
-    bool int_swept = false;
+    // One INT pingmesh sweep per iteration, taken mid-transfer: admit the
+    // wave (zero-progress run) so the solver has published this wave's
+    // overloads, then sample hop latencies while the flows are in flight.
+    // Sweeping after a fixed-interval step instead would race the transfer
+    // itself — a short iteration drains within one sample interval and the
+    // probes would read an idle fabric.
+    sim_->run(comm_start);
+    for (int i = 0; i < cfg_.hosts; ++i) {
+      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+      if (!st.admitted) continue;
+      IntProbeResult probe;
+      probe.t = sim_->now();
+      probe.path = st.path;
+      for (topo::LinkId l : st.path) probe.hop_latency.push_back(sim_->hop_latency(l));
+      store_.record(probe);
+    }
+
+    // Step the simulation, sampling QP rates (ms-level monitoring).
     Seconds deadline = comm_start + hang_deadline;
     while (!sim_->idle() && sim_->now() < deadline) {
       sim_->run(std::min(deadline, sim_->now() + cfg_.qp_sample_interval));
       for (int i = 0; i < cfg_.hosts; ++i) {
         store_.record(QpRateSample{sim_->now(), static_cast<QpId>(i),
                                    sim_->current_rate(flows[static_cast<std::size_t>(i)])});
-      }
-      if (!int_swept) {
-        int_swept = true;
-        for (int i = 0; i < cfg_.hosts; ++i) {
-          const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-          if (!st.admitted) continue;
-          IntProbeResult probe;
-          probe.t = sim_->now();
-          probe.path = st.path;
-          for (topo::LinkId l : st.path) probe.hop_latency.push_back(sim_->hop_latency(l));
-          store_.record(probe);
-        }
       }
     }
 

@@ -9,6 +9,16 @@ namespace astral::net {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Min-heap on (share, link); ties break on link id so the freeze order —
+// and therefore the floating-point accumulation order — is deterministic.
+struct HeapCmp {
+  bool operator()(const std::pair<double, topo::LinkId>& a,
+                  const std::pair<double, topo::LinkId>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  }
+};
 }  // namespace
 
 FluidSim::FluidSim(topo::Fabric& fabric, Config cfg, std::uint64_t seed)
@@ -16,20 +26,28 @@ FluidSim::FluidSim(topo::Fabric& fabric, Config cfg, std::uint64_t seed)
   const std::size_t nlinks = fabric_.topo().link_count();
   stats_.resize(nlinks);
   degrade_.assign(nlinks, 1.0);
+  effcap_.resize(nlinks);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    effcap_[l] = fabric_.topo().link(static_cast<topo::LinkId>(l)).capacity;
+  }
   link_demand_.assign(nlinks, 0.0);
   link_overload_.assign(nlinks, 0.0);
   link_rate_.assign(nlinks, 0.0);
-}
-
-double FluidSim::effective_capacity(topo::LinkId id) const {
-  return fabric_.topo().link(id).capacity * degrade_[id];
+  members_.resize(nlinks);
+  touch_epoch_.assign(nlinks, 0);
+  remcap_.assign(nlinks, 0.0);
+  unfrozen_.assign(nlinks, 0);
+  is_live_.assign(nlinks, 0);
+  mark_epoch_.assign(nlinks, 0);
+  mark_count_.assign(nlinks, 0);
+  changed_epoch_mark_.assign(nlinks, 0);
 }
 
 std::optional<std::vector<topo::LinkId>> FluidSim::predict_path(const FlowSpec& spec) const {
   return router_.route(spec, router_.tuple_for(spec));
 }
 
-FlowId FluidSim::inject(const FlowSpec& spec) {
+FlowId FluidSim::inject_impl(const FlowSpec& spec, bool fix_heap) {
   FlowState st;
   st.spec = spec;
   st.tuple = router_.tuple_for(spec);
@@ -38,6 +56,8 @@ FlowId FluidSim::inject(const FlowSpec& spec) {
   if (path) {
     st.path = std::move(*path);
     st.admitted = true;
+    // Membership slots are sized here so admission is allocation-free.
+    st.member_pos.resize(st.path.size());
   } else {
     st.admitted = false;
     st.finish = spec.start;  // Unroutable: surfaces immediately to caller.
@@ -46,103 +66,186 @@ FlowId FluidSim::inject(const FlowSpec& spec) {
   flows_.push_back(std::move(st));
   if (flows_.back().admitted) {
     pending_.push_back(id);
-    std::push_heap(pending_.begin(), pending_.end(), [this](FlowId a, FlowId b) {
-      return flows_[a].spec.start > flows_[b].spec.start;
-    });
+    if (fix_heap) {
+      std::push_heap(pending_.begin(), pending_.end(), [this](FlowId a, FlowId b) {
+        return flows_[a].spec.start > flows_[b].spec.start;
+      });
+    }
   }
   return id;
 }
 
-void FluidSim::admit(FlowId id) { active_.push_back(id); }
+FlowId FluidSim::inject(const FlowSpec& spec) { return inject_impl(spec, true); }
 
-void FluidSim::recompute_rates() {
-  // Progressive filling (max-min fairness). Scratch state is rebuilt each
-  // call; with path lengths <= 7 this is linear in active flows.
-  struct LinkScratch {
-    double remcap = 0.0;
-    int unfrozen = 0;
-    std::vector<std::size_t> members;  // indices into active_
-  };
-  static thread_local std::unordered_map<topo::LinkId, LinkScratch> scratch;
-  scratch.clear();
+std::vector<FlowId> FluidSim::inject_batch(std::span<const FlowSpec> specs) {
+  std::vector<FlowId> ids;
+  ids.reserve(specs.size());
+  const std::size_t before = pending_.size();
+  for (const FlowSpec& s : specs) ids.push_back(inject_impl(s, false));
+  if (pending_.size() != before) {
+    std::make_heap(pending_.begin(), pending_.end(), [this](FlowId a, FlowId b) {
+      return flows_[a].spec.start > flows_[b].spec.start;
+    });
+  }
+  return ids;
+}
 
-  std::fill(link_demand_.begin(), link_demand_.end(), 0.0);
-  std::fill(link_overload_.begin(), link_overload_.end(), 0.0);
-  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+void FluidSim::admit(FlowId id) {
+  active_.push_back(id);
+  FlowState& f = flows_[id];
+  for (std::uint32_t h = 0; h < f.path.size(); ++h) {
+    topo::LinkId l = f.path[h];
+    f.member_pos[h] = static_cast<std::uint32_t>(members_[l].size());
+    members_[l].push_back({id, h});
+  }
+}
 
-  for (std::size_t ai = 0; ai < active_.size(); ++ai) {
-    FlowState& f = flows_[active_[ai]];
+void FluidSim::remove_member(FlowId id) {
+  FlowState& f = flows_[id];
+  for (std::uint32_t h = 0; h < f.path.size(); ++h) {
+    auto& mem = members_[f.path[h]];
+    const std::uint32_t pos = f.member_pos[h];
+    const Member moved = mem.back();
+    mem[pos] = moved;
+    flows_[moved.flow].member_pos[moved.hop] = pos;
+    mem.pop_back();
+  }
+}
+
+bool FluidSim::batch_is_island(std::span<const FlowId> batch) {
+  ++mark_epoch_counter_;
+  for (FlowId id : batch) {
+    for (topo::LinkId l : flows_[id].path) {
+      if (mark_epoch_[l] != mark_epoch_counter_) {
+        mark_epoch_[l] = mark_epoch_counter_;
+        mark_count_[l] = 0;
+      }
+      ++mark_count_[l];
+    }
+  }
+  for (FlowId id : batch) {
+    for (topo::LinkId l : flows_[id].path) {
+      if (members_[l].size() != mark_count_[l]) return false;
+    }
+  }
+  return true;
+}
+
+void FluidSim::publish_zero(topo::LinkId l) {
+  link_demand_[l] = 0.0;
+  link_overload_[l] = 0.0;
+  link_rate_[l] = 0.0;
+}
+
+void FluidSim::clear_live() {
+  for (topo::LinkId l : live_links_) {
+    publish_zero(l);
+    is_live_[l] = 0;
+  }
+  live_links_.clear();
+}
+
+void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
+  ++solve_epoch_;
+  touched_scratch_.clear();
+  for (FlowId id : subset) {
+    FlowState& f = flows_[id];
     f.rate = 0.0;
     // Offered demand at each hop is the prefix-min of upstream link
     // capacities: a degraded downlink sees traffic arriving at full
     // upstream rate, which is what triggers PFC back-pressure.
     double prefix = kInf;
     for (topo::LinkId l : f.path) {
-      double cap_l = effective_capacity(l);
-      auto [it, inserted] = scratch.try_emplace(l);
-      auto& s = it->second;
-      if (inserted) s.remcap = cap_l;
-      s.unfrozen += 1;
-      s.members.push_back(ai);
+      if (touch_epoch_[l] != solve_epoch_) {
+        touch_epoch_[l] = solve_epoch_;
+        remcap_[l] = effcap_[l];
+        unfrozen_[l] = 0;
+        link_demand_[l] = 0.0;
+        link_rate_[l] = 0.0;
+        touched_scratch_.push_back(l);
+        if (!is_live_[l]) {
+          is_live_[l] = 1;
+          live_links_.push_back(l);
+        }
+      }
+      unfrozen_[l] += 1;
+      const double cap_l = effcap_[l];
       link_demand_[l] += prefix == kInf ? cap_l : prefix;
       prefix = std::min(prefix, cap_l);
     }
   }
-  for (auto& [l, s] : scratch) {
-    double cap = effective_capacity(l);
-    link_overload_[l] = cap > 0 ? link_demand_[l] / cap : (link_demand_[l] > 0 ? 1e9 : 0.0);
-    stats_[l].peak_overload = std::max(stats_[l].peak_overload, link_overload_[l]);
-  }
 
+  heap_.clear();
+  for (topo::LinkId l : touched_scratch_) {
+    const double cap = effcap_[l];
+    link_overload_[l] =
+        cap > 0 ? link_demand_[l] / cap : (link_demand_[l] > 0 ? 1e9 : 0.0);
+    stats_[l].peak_overload = std::max(stats_[l].peak_overload, link_overload_[l]);
+    if (unfrozen_[l] > 0) heap_.emplace_back(share_of(l), l);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapCmp{});
+
+  // Progressive filling: repeatedly freeze the most constrained link's
+  // members at its fair share. The heap is lazy — links whose
+  // remcap/unfrozen changed during a level get one fresh entry each
+  // (deduplicated via an epoch-stamped set, so a wave of 10K flows
+  // crossing 500 links pushes 500 entries, not 50K), and popped entries
+  // whose share no longer matches the link's current value are discarded.
   std::size_t frozen = 0;
-  static thread_local std::vector<char> is_frozen;
-  is_frozen.assign(active_.size(), 0);
-  while (frozen < active_.size()) {
-    // Find the most constrained link.
-    double best_share = kInf;
-    LinkScratch* best = nullptr;
-    for (auto& [l, s] : scratch) {
-      if (s.unfrozen == 0) continue;
-      double share = s.remcap > 0 ? s.remcap / s.unfrozen : 0.0;
-      if (share < best_share) {
-        best_share = share;
-        best = &s;
+  while (frozen < subset.size() && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    const auto [share, l] = heap_.back();
+    heap_.pop_back();
+    if (unfrozen_[l] == 0) continue;
+    if (share != share_of(l)) continue;  // stale: a newer entry exists
+    const double level = std::isfinite(share) ? share : 0.0;
+    ++changed_epoch_;
+    changed_scratch_.clear();
+    for (const Member m : members_[l]) {
+      FlowState& f = flows_[m.flow];
+      if (f.freeze_epoch == solve_epoch_) continue;
+      f.freeze_epoch = solve_epoch_;
+      ++frozen;
+      f.rate = level;
+      for (topo::LinkId pl : f.path) {
+        remcap_[pl] -= level;
+        unfrozen_[pl] -= 1;
+        link_rate_[pl] += level;
+        if (changed_epoch_mark_[pl] != changed_epoch_) {
+          changed_epoch_mark_[pl] = changed_epoch_;
+          changed_scratch_.push_back(pl);
+        }
       }
     }
-    if (best == nullptr) break;
-    if (!std::isfinite(best_share)) best_share = 0.0;
-    for (std::size_t ai : best->members) {
-      if (is_frozen[ai]) continue;
-      is_frozen[ai] = 1;
-      ++frozen;
-      FlowState& f = flows_[active_[ai]];
-      f.rate = best_share;
-      for (topo::LinkId l : f.path) {
-        auto& s = scratch[l];
-        s.remcap -= best_share;
-        s.unfrozen -= 1;
-        link_rate_[l] += best_share;
-      }
+    for (topo::LinkId pl : changed_scratch_) {
+      if (pl == l || unfrozen_[pl] == 0) continue;
+      heap_.emplace_back(share_of(pl), pl);
+      std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
     }
   }
 }
 
-void FluidSim::accumulate(core::Seconds dt) {
+void FluidSim::solve_full() {
+  clear_live();
+  fill_and_freeze(active_);
+  solve_pending_ = false;
+}
+
+void FluidSim::resolve_rates() { solve_full(); }
+
+void FluidSim::accumulate_until(core::Seconds t) {
+  const double dt = t - accumulated_until_;
   if (dt <= 0) return;
-  for (FlowId id : active_) {
-    const FlowState& f = flows_[id];
-    if (f.rate <= 0) continue;
-    for (topo::LinkId l : f.path) {
-      stats_[l].bytes_forwarded += f.rate * dt / 8.0;
-    }
-  }
+  accumulated_until_ = t;
   const topo::Topology& topo = fabric_.topo();
-  for (std::size_t l = 0; l < link_rate_.size(); ++l) {
-    double cap = effective_capacity(static_cast<topo::LinkId>(l));
+  for (topo::LinkId l : live_links_) {
     if (link_rate_[l] <= 0 && link_demand_[l] <= 0) continue;
+    // Sum over member flows of rate*dt equals the link's allocated rate.
+    stats_[l].bytes_forwarded += link_rate_[l] * dt / 8.0;
     if (link_rate_[l] > 0) stats_[l].busy_time += dt;
+    const double cap = effcap_[l];
     if (cap > 0) stats_[l].util_time += dt * std::min(1.0, link_rate_[l] / cap);
-    double overload = link_overload_[l];
+    const double overload = link_overload_[l];
     if (overload > cfg_.ecn_util_threshold) {
       double excess = overload - cfg_.ecn_util_threshold;
       stats_[l].ecn_marks += static_cast<std::uint64_t>(
@@ -151,7 +254,7 @@ void FluidSim::accumulate(core::Seconds dt) {
     if (overload > cfg_.pfc_overload) {
       // The congested switch pauses every active upstream link: this is
       // how a single hotspot spreads (the paper's PFC-storm incident).
-      topo::NodeId sw = topo.link(static_cast<topo::LinkId>(l)).src;
+      topo::NodeId sw = topo.link(l).src;
       for (topo::LinkId up : topo.in_links(sw)) {
         if (link_rate_[up] > 0) {
           stats_[up].pfc_pauses += static_cast<std::uint64_t>(
@@ -179,35 +282,44 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
   auto pending_cmp = [this](FlowId a, FlowId b) {
     return flows_[a].spec.start > flows_[b].spec.start;
   };
-  bool dirty = true;
   while (true) {
-    // Admit everything that has started.
-    bool admitted_any = false;
+    // Admit everything that has started, as one batch (same-start waves
+    // from collectives collapse into a single solve).
+    admitted_batch_.clear();
     while (!pending_.empty() && flows_[pending_.front()].spec.start <= now_ + 1e-15) {
       std::pop_heap(pending_.begin(), pending_.end(), pending_cmp);
-      admit(pending_.back());
+      FlowId id = pending_.back();
       pending_.pop_back();
-      admitted_any = true;
+      admit(id);
+      admitted_batch_.push_back(id);
     }
-    if (admitted_any) dirty = true;
+    if (!admitted_batch_.empty()) {
+      if (!solve_pending_ && batch_is_island(admitted_batch_)) {
+        // Arrivals land on links nobody else uses: solve just the wave,
+        // existing water-filling levels stay valid.
+        fill_and_freeze(admitted_batch_);
+      } else {
+        solve_pending_ = true;
+      }
+    }
     if (!watch.empty() && all_finished(watch)) return;
     if (active_.empty()) {
       if (pending_.empty()) {
-        if (until < 1e17 && now_ < until) now_ = until;
+        if (is_bounded(until) && now_ < until) now_ = until;
+        accumulated_until_ = std::max(accumulated_until_, now_);
         return;
       }
       core::Seconds next = flows_[pending_.front()].spec.start;
       if (next > until) {
         now_ = until;
+        accumulated_until_ = std::max(accumulated_until_, now_);
         return;
       }
       now_ = next;
+      accumulated_until_ = std::max(accumulated_until_, now_);
       continue;
     }
-    if (dirty) {
-      recompute_rates();
-      dirty = false;
-    }
+    if (solve_pending_) solve_full();
     // Next completion.
     double min_dt = kInf;
     for (FlowId id : active_) {
@@ -220,17 +332,20 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
     if (!std::isfinite(dt)) {
       // Every active flow is stalled (blocked links) and nothing else is
       // due: a fail-hang. Park the clock at `until` and stop.
-      if (until < 1e17) now_ = until;
+      if (is_bounded(until)) {
+        now_ = until;
+        accumulated_until_ = std::max(accumulated_until_, now_);
+      }
       return;
     }
     dt = std::max(dt, 0.0);
-    accumulate(dt);
+    accumulate_until(now_ + dt);
     now_ += dt;
     for (FlowId id : active_) flows_[id].remaining -= flows_[id].rate * dt / 8.0;
 
     // Complete flows within the epsilon batch window (symmetric
     // collectives finish whole waves at once).
-    bool finished_any = false;
+    completed_batch_.clear();
     std::size_t w = 0;
     for (std::size_t i = 0; i < active_.size(); ++i) {
       FlowState& f = flows_[active_[i]];
@@ -239,13 +354,41 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
         f.remaining = 0.0;
         f.rate = 0.0;
         f.finish = now_;
-        finished_any = true;
+        completed_batch_.push_back(active_[i]);
       } else {
         active_[w++] = active_[i];
       }
     }
     active_.resize(w);
-    if (finished_any) dirty = true;
+    if (!completed_batch_.empty()) {
+      for (FlowId id : completed_batch_) remove_member(id);
+      if (active_.empty()) {
+        // Fabric went idle: publish zero overloads so the INT/pingmesh
+        // view does not report phantom queueing.
+        clear_live();
+      } else {
+        // If the finished wave shared no link with surviving flows (its
+        // member lists are empty now), survivors keep their rates: just
+        // retire the wave's links from the published view.
+        bool detached = true;
+        for (FlowId id : completed_batch_) {
+          for (topo::LinkId l : flows_[id].path) {
+            if (!members_[l].empty()) {
+              detached = false;
+              break;
+            }
+          }
+          if (!detached) break;
+        }
+        if (detached) {
+          for (FlowId id : completed_batch_) {
+            for (topo::LinkId l : flows_[id].path) publish_zero(l);
+          }
+        } else {
+          solve_pending_ = true;
+        }
+      }
+    }
     if (now_ >= until) return;
   }
 }
@@ -259,15 +402,22 @@ core::Seconds FluidSim::hop_latency(topo::LinkId id) const {
 }
 
 void FluidSim::degrade_link(topo::LinkId id, double factor) {
+  // Charge the elapsed interval at pre-degradation overloads before the
+  // rate structure changes; otherwise ECN/PFC/byte counters for the old
+  // interval would be computed with post-degradation state.
+  accumulate_until(now_);
   degrade_[id] = std::max(0.0, factor);
-  if (!active_.empty()) recompute_rates();
+  effcap_[id] = fabric_.topo().link(id).capacity * degrade_[id];
+  if (!active_.empty()) solve_full();
 }
 
 void FluidSim::recycle_finished() {
   for (auto& f : flows_) {
-    if (f.finish >= 0) {
+    if (f.finish >= 0 && !f.path.empty()) {
       f.path.clear();
       f.path.shrink_to_fit();
+      f.member_pos.clear();
+      f.member_pos.shrink_to_fit();
     }
   }
 }

@@ -12,10 +12,20 @@
 //     spreading, as in the paper's PCIe/PFC-storm incident);
 //   * per-hop latency = base switching delay + a queue term that grows
 //     with overload, feeding the INT pingmesh monitors (Fig. 9c).
+//
+// The rate solver is incremental and allocation-free in steady state:
+// per-link membership is maintained by delta as flows arrive and finish,
+// scratch state lives in flat epoch-stamped arrays (no hashing, no
+// clearing), bottleneck selection uses a lazy min-heap, and events whose
+// link footprint is disjoint from the rest of the active set bypass the
+// global refill entirely. See DESIGN.md ("Incremental max-min solver");
+// src/net/maxmin_ref.{h,cpp} retains the naive solver as the equivalence
+// oracle.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/rng.h"
@@ -25,6 +35,12 @@
 #include "topo/fabric.h"
 
 namespace astral::net {
+
+/// Sentinel deadline meaning "run until the workload drains".
+inline constexpr core::Seconds kRunForever = 1e18;
+
+/// True when `until` is an actual deadline rather than kRunForever.
+constexpr bool is_bounded(core::Seconds until) { return until < kRunForever; }
 
 struct FluidSimConfig {
   double ecn_util_threshold = 0.95;  ///< Overload where marking starts.
@@ -44,7 +60,9 @@ class FluidSim {
 
   /// The simulator reads topology routing and link capacities; the fabric
   /// must outlive the simulator. Link up/down changes through the fabric
-  /// are honored at the next flow admission.
+  /// are honored at the next flow admission. Link *capacities* are cached
+  /// at construction (scaled by degrade_link); mutate capacity through
+  /// degrade_link, not the fabric.
   FluidSim(topo::Fabric& fabric, Config cfg = {}, std::uint64_t seed = 1);
 
   /// Injects a flow; routing happens immediately (paths are pinned at QP
@@ -52,16 +70,22 @@ class FluidSim {
   /// `admitted` flag is false when no fabric route exists.
   FlowId inject(const FlowSpec& spec);
 
+  /// Injects a whole wave in one call: per-spec routing, but a single
+  /// heap fix-up instead of one push per flow. Collectives emit their
+  /// same-start waves through this so admission and the first solve are
+  /// batched (the arrival-side mirror of completion batching).
+  std::vector<FlowId> inject_batch(std::span<const FlowSpec> specs);
+
   /// Predicts the path a spec would take without injecting it — the
   /// controller's "hash simulator" entry point.
   std::optional<std::vector<topo::LinkId>> predict_path(const FlowSpec& spec) const;
 
   /// Runs until all injected flows complete (or `until`, if given).
-  void run(core::Seconds until = 1e18);
+  void run(core::Seconds until = kRunForever);
 
   /// Runs until every flow in `watch` has completed (or `until`). Lets a
   /// measurement finish while long-lived background flows keep running.
-  void run_watch(std::span<const FlowId> watch, core::Seconds until = 1e18);
+  void run_watch(std::span<const FlowId> watch, core::Seconds until = kRunForever);
 
   /// True when no active or pending flows remain.
   bool idle() const { return active_.empty() && pending_.empty(); }
@@ -69,6 +93,9 @@ class FluidSim {
   core::Seconds now() const { return now_; }
   const FlowState& flow(FlowId id) const { return flows_[id]; }
   std::size_t flow_count() const { return flows_.size(); }
+
+  /// Flows currently holding fabric bandwidth (admitted, not finished).
+  std::span<const FlowId> active_flows() const { return active_; }
 
   /// Current fluid rate of a flow (0 once finished) — the transport-layer
   /// ms-level QP rate monitor samples this.
@@ -79,11 +106,20 @@ class FluidSim {
   /// Instantaneous per-hop forwarding latency (INT view).
   core::Seconds hop_latency(topo::LinkId id) const;
 
+  /// Capacity after degradations, bits/sec (what the solver allocates).
+  double effective_capacity(topo::LinkId id) const { return effcap_[id]; }
+
   /// Multiplies a link's effective capacity by `factor` (< 1 models a
   /// degraded optical module / broken PCIe lane). factor <= 0 blocks the
   /// link for new rate allocation while keeping it routable, modelling a
-  /// silent blackhole.
+  /// silent blackhole. Any elapsed interval is accumulated against the
+  /// pre-degradation overloads before rates change.
   void degrade_link(topo::LinkId id, double factor);
+
+  /// Forces a full max-min solve now. The event loop schedules solves
+  /// itself; this exists for benchmarks and tests that measure or poke
+  /// the solver directly.
+  void resolve_rates();
 
   /// Removes all finished-flow bookkeeping but keeps counters; long
   /// campaigns call this between iterations to bound memory.
@@ -98,18 +134,41 @@ class FluidSim {
   const topo::Fabric& fabric() const { return fabric_; }
 
  private:
+  /// An entry in a link's persistent member list: which flow crosses the
+  /// link, and at which hop of its path (so swap-removal can fix the
+  /// displaced flow's member_pos in O(1)).
+  struct Member {
+    FlowId flow;
+    std::uint32_t hop;
+  };
+
+  FlowId inject_impl(const FlowSpec& spec, bool fix_heap);
   void run_impl(core::Seconds until, std::span<const FlowId> watch);
   bool all_finished(std::span<const FlowId> watch) const;
   void admit(FlowId id);
-  void recompute_rates();
-  void accumulate(core::Seconds dt);
-  double effective_capacity(topo::LinkId id) const;
+  void remove_member(FlowId id);
+  /// True when every link the batch touches is used by batch flows only:
+  /// the batch forms its own constraint island and the rest of the active
+  /// set keeps its water-filling levels.
+  bool batch_is_island(std::span<const FlowId> batch);
+  void solve_full();
+  /// Progressive filling over `subset` only; existing published rates on
+  /// other links stay valid (caller guarantees the subset is an island).
+  void fill_and_freeze(std::span<const FlowId> subset);
+  double share_of(topo::LinkId l) const {
+    return remcap_[l] > 0 ? remcap_[l] / static_cast<double>(unfrozen_[l]) : 0.0;
+  }
+  void publish_zero(topo::LinkId l);
+  void clear_live();
+  /// Integrates stats over [accumulated_until_, t] at current rates.
+  void accumulate_until(core::Seconds t);
 
   topo::Fabric& fabric_;
   Router router_;
   Config cfg_;
   core::Rng rng_;
   core::Seconds now_ = 0.0;
+  core::Seconds accumulated_until_ = 0.0;  ///< Stats integrated up to here.
 
   std::vector<FlowState> flows_;
   std::vector<FlowId> active_;
@@ -118,10 +177,32 @@ class FluidSim {
 
   std::vector<LinkStats> stats_;
   std::vector<double> degrade_;
-  // Scratch, sized to link count: demand and current overload per link.
+  std::vector<double> effcap_;  ///< capacity * degrade, cached.
+  // Published per-link view of the current solution (what accumulate_
+  // until and hop_latency read). Only links in live_links_ are nonzero.
   std::vector<double> link_demand_;
   std::vector<double> link_overload_;
   std::vector<double> link_rate_;  ///< Allocated rate sum per link.
+
+  // --- incremental solver state ---
+  std::vector<std::vector<Member>> members_;  ///< Per-link active flows.
+  std::uint64_t solve_epoch_ = 0;
+  std::vector<std::uint64_t> touch_epoch_;  ///< Last solve touching link.
+  std::vector<double> remcap_;              ///< Unallocated capacity.
+  std::vector<std::uint32_t> unfrozen_;     ///< Members not yet frozen.
+  std::vector<char> is_live_;               ///< Link in live_links_.
+  std::vector<topo::LinkId> live_links_;    ///< Links with published state.
+  std::vector<topo::LinkId> touched_scratch_;  ///< Links seen this solve.
+  std::vector<std::pair<double, topo::LinkId>> heap_;  ///< Lazy min-heap.
+  std::uint64_t mark_epoch_counter_ = 0;    ///< For batch_is_island.
+  std::vector<std::uint64_t> mark_epoch_;
+  std::vector<std::uint32_t> mark_count_;
+  std::uint64_t changed_epoch_ = 0;  ///< Dedupes heap pushes per level.
+  std::vector<std::uint64_t> changed_epoch_mark_;
+  std::vector<topo::LinkId> changed_scratch_;
+  std::vector<FlowId> admitted_batch_;   ///< Arrival staging (reused).
+  std::vector<FlowId> completed_batch_;  ///< Completion staging (reused).
+  bool solve_pending_ = false;  ///< Active rates stale; full solve due.
 };
 
 }  // namespace astral::net

@@ -1,0 +1,105 @@
+#include "net/maxmin_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace astral::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct LinkScratch {
+  double remcap = 0.0;
+  int unfrozen = 0;
+  std::vector<std::size_t> members;  // indices into paths
+};
+
+std::unordered_map<topo::LinkId, LinkScratch>& scratch_map() {
+  static thread_local std::unordered_map<topo::LinkId, LinkScratch> scratch;
+  return scratch;
+}
+
+std::unordered_map<topo::LinkId, double>& demand_map() {
+  static thread_local std::unordered_map<topo::LinkId, double> demand;
+  return demand;
+}
+
+std::unordered_map<topo::LinkId, double>& overload_map() {
+  static thread_local std::unordered_map<topo::LinkId, double> overload;
+  return overload;
+}
+}  // namespace
+
+void MaxMinRef::solve(const std::vector<std::vector<topo::LinkId>>& paths,
+                      const std::vector<double>& capacity,
+                      std::vector<double>& rates) {
+  auto& scratch = scratch_map();
+  auto& demand = demand_map();
+  auto& overload = overload_map();
+  scratch.clear();
+  demand.clear();
+  overload.clear();
+  rates.assign(paths.size(), 0.0);
+
+  for (std::size_t ai = 0; ai < paths.size(); ++ai) {
+    double prefix = kInf;
+    for (topo::LinkId l : paths[ai]) {
+      double cap_l = capacity[l];
+      auto [it, inserted] = scratch.try_emplace(l);
+      auto& s = it->second;
+      if (inserted) s.remcap = cap_l;
+      s.unfrozen += 1;
+      s.members.push_back(ai);
+      demand[l] += prefix == kInf ? cap_l : prefix;
+      prefix = std::min(prefix, cap_l);
+    }
+  }
+  for (auto& [l, s] : scratch) {
+    double cap = capacity[l];
+    overload[l] = cap > 0 ? demand[l] / cap : (demand[l] > 0 ? 1e9 : 0.0);
+  }
+
+  std::size_t frozen = 0;
+  static thread_local std::vector<char> is_frozen;
+  is_frozen.assign(paths.size(), 0);
+  while (frozen < paths.size()) {
+    // Find the most constrained link.
+    double best_share = kInf;
+    LinkScratch* best = nullptr;
+    for (auto& [l, s] : scratch) {
+      if (s.unfrozen == 0) continue;
+      double share = s.remcap > 0 ? s.remcap / s.unfrozen : 0.0;
+      if (share < best_share) {
+        best_share = share;
+        best = &s;
+      }
+    }
+    if (best == nullptr) break;
+    if (!std::isfinite(best_share)) best_share = 0.0;
+    for (std::size_t ai : best->members) {
+      if (is_frozen[ai]) continue;
+      is_frozen[ai] = 1;
+      ++frozen;
+      rates[ai] = best_share;
+      for (topo::LinkId l : paths[ai]) {
+        auto& s = scratch[l];
+        s.remcap -= best_share;
+        s.unfrozen -= 1;
+      }
+    }
+  }
+}
+
+double MaxMinRef::last_demand(topo::LinkId l) {
+  auto it = demand_map().find(l);
+  return it == demand_map().end() ? 0.0 : it->second;
+}
+
+double MaxMinRef::last_overload(topo::LinkId l) {
+  auto it = overload_map().find(l);
+  return it == overload_map().end() ? 0.0 : it->second;
+}
+
+}  // namespace astral::net

@@ -1,0 +1,37 @@
+// Naive max-min (progressive filling) rate solver, retained verbatim from
+// the pre-incremental FluidSim::recompute_rates(). It rebuilds hash-map
+// scratch on every call: O(flows x hops) unordered_map operations plus an
+// O(bottleneck-rounds x touched-links) linear scan per water-filling
+// level. Two consumers keep it alive:
+//   * tests/net_solver_equivalence_test.cpp uses it as the gold oracle
+//     the incremental solver must match to 1e-9 relative;
+//   * bench/bench_fluid_scaling.cpp uses it as the pre-change baseline
+//     for the flows-vs-solve-time curves in BENCH_fluid.json.
+#pragma once
+
+#include <vector>
+
+#include "topo/types.h"
+
+namespace astral::net {
+
+class MaxMinRef {
+ public:
+  /// Computes max-min fair rates for `paths` over links whose effective
+  /// (post-degradation) capacities are `capacity[link]`, bits/sec.
+  /// `rates` is resized to paths.size(); reusing it across calls avoids
+  /// charging result allocation to the solver (the old solver wrote
+  /// rates into persistent FlowState fields).
+  static void solve(const std::vector<std::vector<topo::LinkId>>& paths,
+                    const std::vector<double>& capacity,
+                    std::vector<double>& rates);
+
+  /// Per-link offered demand (prefix-min of upstream capacities summed
+  /// over crossing flows) and overload from the last solve() call on this
+  /// thread; exposed for equivalence checks against the published
+  /// FluidSim link view.
+  static double last_demand(topo::LinkId l);
+  static double last_overload(topo::LinkId l);
+};
+
+}  // namespace astral::net

@@ -273,6 +273,153 @@ TEST(FluidSim, RunWatchSharesBandwidthWithBackground) {
   EXPECT_NEAR(sim.flow(watched).finish, shared, shared * 0.05);
 }
 
+TEST(FluidSim, IdleFabricReportsNoPhantomQueueing) {
+  auto f = small_fabric();
+  FluidSim::Config cfg;
+  FluidSim sim(f, cfg);
+  // Overload one destination NIC several-fold, then let everything drain.
+  int rails = f.params().rails;
+  for (int h = 1; h < 6; ++h) {
+    sim.inject(make_spec(f, h * rails, 0, 20_MiB, static_cast<std::uint64_t>(h)));
+  }
+  sim.run(core::msec(1));
+  bool congested_mid_run = false;
+  for (std::size_t l = 0; l < f.topo().link_count(); ++l) {
+    if (sim.hop_latency(static_cast<topo::LinkId>(l)) > cfg.base_hop_latency) {
+      congested_mid_run = true;
+    }
+  }
+  EXPECT_TRUE(congested_mid_run);
+  sim.run();
+  ASSERT_TRUE(sim.idle());
+  // Regression: overloads must clear when the last flow completes; the
+  // INT/pingmesh view previously kept reporting phantom queueing.
+  for (std::size_t l = 0; l < f.topo().link_count(); ++l) {
+    EXPECT_EQ(sim.hop_latency(static_cast<topo::LinkId>(l)), cfg.base_hop_latency)
+        << "link " << l << " reports queueing on an idle fabric";
+  }
+}
+
+TEST(FluidSim, DegradeMidRunKeepsPriorIntervalAttribution) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 25_MiB, 1);
+  auto path = sim.predict_path(spec);
+  ASSERT_TRUE(path.has_value());
+  FlowId id = sim.inject(spec);
+  Seconds half = core::transfer_time(25_MiB, gbps(200)) / 2;
+  sim.run(half);
+  // The first half ran at full rate: counters for that interval must be
+  // attributed at pre-degradation rates/overloads, and degrading must not
+  // retroactively change them.
+  double bytes_before = sim.link_stats(path->front()).bytes_forwarded;
+  double busy_before = sim.link_stats(path->front()).busy_time;
+  EXPECT_NEAR(bytes_before, static_cast<double>(25_MiB) / 2,
+              static_cast<double>(25_MiB) * 1e-6);
+  sim.degrade_link(path->at(1), 0.25);
+  EXPECT_DOUBLE_EQ(sim.link_stats(path->front()).bytes_forwarded, bytes_before);
+  EXPECT_DOUBLE_EQ(sim.link_stats(path->front()).busy_time, busy_before);
+  sim.run();
+  // Second half at 100G: total time = half + 4*half of the remaining.
+  Seconds expected = half + core::transfer_time(25_MiB, gbps(100)) / 2;
+  EXPECT_NEAR(sim.flow(id).finish, expected, expected * 0.02);
+  EXPECT_NEAR(sim.link_stats(path->front()).bytes_forwarded,
+              static_cast<double>(25_MiB), static_cast<double>(25_MiB) * 1e-5);
+}
+
+TEST(FluidSim, RecycleFinishedCampaignPreservesInvariants) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int rails = f.params().rails;
+  int dst = rails * f.params().hosts_per_block;
+  Seconds per_iter = core::transfer_time(8_MiB, gbps(200));
+  std::vector<FlowId> iter_ids;
+  Seconds first_duration = -1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    Seconds t0 = sim.now();
+    iter_ids.clear();
+    // A same-start wave plus one flow arriving mid-iteration (pending
+    // while backlog() is sampled).
+    for (int i = 0; i < 4; ++i) {
+      auto spec = make_spec(f, i * rails, dst + i * rails, 8_MiB,
+                            static_cast<std::uint64_t>(iter * 10 + i));
+      spec.start = t0;
+      iter_ids.push_back(sim.inject(spec));
+    }
+    auto late = make_spec(f, 4 * rails, dst, 2_MiB, static_cast<std::uint64_t>(iter * 10 + 9));
+    late.start = t0 + per_iter / 4;
+    FlowId late_id = sim.inject(late);
+    // Mid-iteration: pending flow must be counted in the backlog.
+    sim.run(t0 + per_iter / 8);
+    EXPECT_GE(sim.backlog(), static_cast<core::Bytes>(2_MiB));
+    sim.run();
+    ASSERT_TRUE(sim.idle());
+    EXPECT_EQ(sim.backlog(), 0u);
+    for (FlowId id : iter_ids) EXPECT_GE(sim.flow(id).finish, 0.0);
+    EXPECT_GE(sim.flow(late_id).finish, 0.0);
+    Seconds duration = sim.now() - t0;
+    if (iter == 0) {
+      first_duration = duration;
+    } else {
+      // Recycled state must not leak into later iterations' results.
+      EXPECT_NEAR(duration, first_duration, first_duration * 1e-9);
+    }
+    sim.recycle_finished();
+    // Paths (and solver bookkeeping) freed for every finished flow.
+    for (FlowId id : iter_ids) {
+      EXPECT_TRUE(sim.flow(id).path.empty());
+      EXPECT_EQ(sim.flow(id).path.capacity(), 0u);
+      EXPECT_TRUE(sim.flow(id).member_pos.empty());
+    }
+  }
+  // Counters survive recycling: 100 iterations of 4x8MiB + 1x2MiB.
+  double total_bytes = 0.0;
+  for (std::size_t l = 0; l < f.topo().link_count(); ++l) {
+    total_bytes += sim.link_stats(static_cast<topo::LinkId>(l)).bytes_forwarded;
+  }
+  // Each flow crosses >= 4 links; lower-bound the aggregate.
+  EXPECT_GT(total_bytes, 100 * 4 * static_cast<double>(8_MiB));
+  EXPECT_EQ(sim.flow_count(), 500u);
+}
+
+TEST(FluidSim, InjectBatchMatchesSequentialInject) {
+  auto f = small_fabric();
+  int dst = f.params().rails * f.params().hosts_per_block;
+  std::vector<FlowSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    auto s = make_spec(f, (i % 3) * f.params().rails, dst + (i % 2) * f.params().rails,
+                       6_MiB, static_cast<std::uint64_t>(i));
+    s.start = i < 4 ? 0.0 : core::usec(40);
+    specs.push_back(s);
+  }
+  FluidSim seq(f);
+  for (const auto& s : specs) seq.inject(s);
+  seq.run();
+  FluidSim bat(f);
+  auto ids = bat.inject_batch(specs);
+  ASSERT_EQ(ids.size(), specs.size());
+  bat.run();
+  EXPECT_DOUBLE_EQ(bat.now(), seq.now());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bat.flow(ids[i]).finish, seq.flow(static_cast<FlowId>(i)).finish);
+  }
+}
+
+TEST(FluidSim, RunForeverSentinel) {
+  EXPECT_FALSE(is_bounded(kRunForever));
+  EXPECT_TRUE(is_bounded(1.0));
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId id = sim.inject(make_spec(f, 0, dst, 10_MiB, 1));
+  sim.run(kRunForever);  // explicit sentinel: drain, don't park the clock
+  EXPECT_GE(sim.flow(id).finish, 0.0);
+  EXPECT_DOUBLE_EQ(sim.now(), sim.flow(id).finish);
+  sim.run(5.0);  // bounded deadline on an idle sim parks the clock
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
 TEST(FluidSim, DeterministicAcrossRuns) {
   for (int trial = 0; trial < 2; ++trial) {
     static Seconds first_finish = -1;
