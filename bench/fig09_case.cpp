@@ -8,6 +8,7 @@
 
 #include "core/table.h"
 #include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
 
 using namespace astral;
 

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
 #include "monitor/offline_tools.h"
 
 using namespace astral;

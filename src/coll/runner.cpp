@@ -12,6 +12,32 @@ using core::Seconds;
 CollectiveRunner::CollectiveRunner(net::FluidSim& sim, Options opts)
     : sim_(sim), opts_(opts), next_tag_(opts.tag) {}
 
+void CollectiveRunner::drain_stalled(CollectiveResult* res) {
+  if (!opts_.reroute_on_stall) return;
+  // run() returns with flows still active only when every one of them is
+  // stalled on dead or blackholed links. Fail over in flight: re-resolve
+  // their paths through the router, drop whatever has no surviving route,
+  // and let the survivors finish at re-solved rates.
+  while (!sim_.idle()) {
+    net::FluidSim::RerouteReport rep = sim_.reroute_flows();
+    for (net::FlowId id : rep.stranded) sim_.abort_flow(id);
+    if (res != nullptr) {
+      res->rerouted_flows += static_cast<int>(rep.rerouted.size());
+      res->aborted_flows += static_cast<int>(rep.stranded.size());
+    }
+    if (rep.rerouted.empty() && rep.stranded.empty()) {
+      // Nothing the router can do (e.g. concurrent deaths raced us):
+      // abort the remainder rather than spin.
+      std::vector<net::FlowId> left(sim_.active_flows().begin(),
+                                    sim_.active_flows().end());
+      for (net::FlowId id : left) sim_.abort_flow(id);
+      if (res != nullptr) res->aborted_flows += static_cast<int>(left.size());
+      break;
+    }
+    sim_.run();
+  }
+}
+
 CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_pair) {
   CollectiveResult res;
   const int n = group.size();
@@ -74,6 +100,7 @@ CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_
     int fabric_flows = static_cast<int>(wave.size());
     sim_.inject_batch(wave);
     sim_.run();
+    drain_stalled(&res);
     Seconds fabric_dt = sim_.now() - t0;
     double max_nvl = 0.0;
     for (double b : nvl_bytes) max_nvl = std::max(max_nvl, b);
@@ -100,7 +127,7 @@ CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_
 }
 
 Seconds CollectiveRunner::ring_step(const CommGroup& group, Bytes chunk,
-                                    int* fabric_edges) {
+                                    int* fabric_edges, CollectiveResult* res) {
   const int n = group.size();
   const auto& fabric = sim_.fabric();
   Seconds t0 = sim_.now();
@@ -132,6 +159,7 @@ Seconds CollectiveRunner::ring_step(const CommGroup& group, Bytes chunk,
   if (fabric_edges != nullptr) *fabric_edges = static_cast<int>(wave.size());
   sim_.inject_batch(wave);
   sim_.run();
+  drain_stalled(res);
   Seconds fabric_dt = sim_.now() - t0;
   double max_nvl = 0.0;
   for (double b : nvl_bytes) max_nvl = std::max(max_nvl, b);
@@ -145,7 +173,7 @@ CollectiveResult CollectiveRunner::all_reduce(const CommGroup& group, Bytes size
   if (n < 2 || size == 0) return res;
   Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
   int fabric_edges = 0;
-  Seconds step = ring_step(group, chunk, &fabric_edges);
+  Seconds step = ring_step(group, chunk, &fabric_edges, &res);
   res.rounds_simulated = 1;
   res.duration = step * 2.0 * (n - 1);
   res.fabric_time = res.duration;
@@ -210,6 +238,7 @@ CollectiveResult CollectiveRunner::all_reduce_hierarchical(const CommGroup& grou
   }
   std::vector<net::FlowId> ids = sim_.inject_batch(wave);
   sim_.run_watch(ids);
+  drain_stalled(&res);
   Seconds step = sim_.now() - t0;
   Seconds t_inter = step * 2.0 * (hosts - 1);
   sim_.recycle_finished();
@@ -232,7 +261,7 @@ CollectiveResult CollectiveRunner::reduce_scatter(const CommGroup& group, Bytes 
   if (n < 2 || size == 0) return res;
   Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
   int fabric_edges = 0;
-  Seconds step = ring_step(group, chunk, &fabric_edges);
+  Seconds step = ring_step(group, chunk, &fabric_edges, &res);
   res.rounds_simulated = 1;
   res.duration = step * (n - 1);
   res.fabric_time = res.duration;
@@ -277,6 +306,7 @@ CollectiveResult CollectiveRunner::send_recv(int src_gpu, int dst_gpu, Bytes siz
   spec.tag = next_tag_++;
   sim_.inject(spec);
   sim_.run();
+  drain_stalled(&res);
   res.fabric_time = sim_.now() - t0;
   res.duration = std::max(res.fabric_time, res.nvlink_time);
   res.fabric_bytes = size;

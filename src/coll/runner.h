@@ -33,6 +33,8 @@ struct CollectiveResult {
   double alg_bw = 0.0;  ///< Algorithm bandwidth, bits/sec (size/duration).
   double bus_bw = 0.0;  ///< NCCL-convention bus bandwidth, bits/sec.
   int rounds_simulated = 0;
+  int rerouted_flows = 0;  ///< Flows moved to a surviving path mid-collective.
+  int aborted_flows = 0;   ///< Flows with no surviving path, dropped.
 };
 
 struct CollectiveOptions {
@@ -40,6 +42,12 @@ struct CollectiveOptions {
   bool pxn = true;           ///< Rail-aligned all-to-all via NVLink.
   int sample_rounds = 0;     ///< 0 = simulate every all-to-all round.
   std::uint64_t tag = 0;     ///< Base tag for injected flows.
+  /// When a collective stalls on dead links, fail over in flight: reroute
+  /// live flows through the router (dual-ToR / alternate ECMP) and abort
+  /// the ones with no surviving path instead of hanging forever. Off by
+  /// default — a stalled collective then parks at `now()` like a real
+  /// NCCL hang, which is what the monitoring stack wants to observe.
+  bool reroute_on_stall = false;
 };
 
 class CollectiveRunner {
@@ -76,7 +84,12 @@ class CollectiveRunner {
   /// Simulates one ring step of `chunk` bytes and returns its duration;
   /// `fabric_edges` (optional) receives the count of host-crossing edges.
   core::Seconds ring_step(const CommGroup& group, core::Bytes chunk,
-                          int* fabric_edges = nullptr);
+                          int* fabric_edges = nullptr,
+                          CollectiveResult* res = nullptr);
+
+  /// Stall failover: reroute stalled flows, abort the stranded, re-run
+  /// until the fabric drains. No-op unless `reroute_on_stall` is set.
+  void drain_stalled(CollectiveResult* res);
 
   net::FluidSim& sim_;
   Options opts_;

@@ -21,8 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "monitor/cluster_runtime.h"
 #include "monitor/detectors.h"
+#include "monitor/store.h"
+#include "topo/topology.h"
 
 namespace astral::monitor {
 

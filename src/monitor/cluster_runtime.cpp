@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "monitor/analyzer.h"
 
 namespace astral::monitor {
 
 using core::Seconds;
+
+const char* to_string(MitigationAction a) {
+  switch (a) {
+    case MitigationAction::None: return "none";
+    case MitigationAction::RetryBackoff: return "retry-backoff";
+    case MitigationAction::Reroute: return "reroute";
+    case MitigationAction::IsolateRestart: return "isolate-restart";
+    case MitigationAction::Abort: return "abort";
+  }
+  return "?";
+}
 
 ClusterRuntime::ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed)
     : fabric_(fabric), cfg_(cfg), rng_(seed) {
@@ -45,7 +60,16 @@ Seconds ClusterRuntime::expected_comm() const {
   return core::transfer_time(cfg_.comm_bytes, core::gbps(200.0));
 }
 
-void ClusterRuntime::inject(const FaultSpec& fault) { fault_ = fault; }
+void ClusterRuntime::inject(const FaultSpec& fault) {
+  if (auto err = validate_fault(fault, cfg_.hosts, fabric_.topo().link_count())) {
+    throw std::invalid_argument("ClusterRuntime::inject: " + *err);
+  }
+  faults_.push_back(FaultRt{fault});
+}
+
+void ClusterRuntime::inject(const FaultSchedule& schedule) {
+  for (const FaultSpec& f : schedule.faults) inject(f);
+}
 
 topo::LinkId ClusterRuntime::pick_job_path_link(int hops_from_src) const {
   // A link actually on a job QP's path, so the fault is visible. Prefer a
@@ -102,6 +126,9 @@ FaultSpec ClusterRuntime::make_fault(RootCause cause, Manifestation m, int at_it
     int hop = cause == RootCause::NicError ? 0 : 2;
     f.target_link = pick_job_path_link(hop);
   }
+  // A link flap is the taxonomy's transient: it self-heals after one
+  // iteration (legacy behaviour, now expressed through repair_iterations).
+  if (cause == RootCause::LinkFlap) f.repair_iterations = 1;
   switch (m) {
     case Manifestation::FailSlow: f.degrade_factor = 0.2; break;
     case Manifestation::FailHang: f.degrade_factor = 0.0; break;
@@ -110,8 +137,21 @@ FaultSpec ClusterRuntime::make_fault(RootCause cause, Manifestation m, int at_it
   return f;
 }
 
-void ClusterRuntime::emit_injection_syslog(Seconds t) {
-  const FaultSpec& f = *fault_;
+FaultSpec ClusterRuntime::make_mid_transfer_tor_death(int at_iteration, double fraction) {
+  // The whole ToR over the job's rail-0 uplink dies with flows in flight:
+  // the switch_scope takes every port of the switch down, and the
+  // mid-transfer strike exercises the dual-ToR in-flight failover.
+  FaultSpec f;
+  f.cause = RootCause::SwitchBug;
+  f.manifestation = Manifestation::FailStop;
+  f.at_iteration = at_iteration;
+  f.target_link = pick_job_path_link(0);  // host -> ToR uplink
+  f.switch_scope = true;
+  f.mid_transfer_fraction = fraction;
+  return f;
+}
+
+void ClusterRuntime::emit_injection_syslog(const FaultSpec& f, Seconds t) {
   auto host_node = [&](int rank) { return hosts_[static_cast<std::size_t>(rank)]; };
   auto switch_of_link = [&](topo::LinkId l) { return fabric_.topo().link(l).src; };
   switch (f.cause) {
@@ -179,8 +219,7 @@ void ClusterRuntime::emit_injection_syslog(Seconds t) {
   }
 }
 
-void ClusterRuntime::apply_network_fault() {
-  const FaultSpec& f = *fault_;
+void ClusterRuntime::apply_network_fault(const FaultSpec& f) {
   if (f.target_link == topo::kInvalidLink) return;
   double factor = 1.0;
   switch (f.manifestation) {
@@ -192,55 +231,250 @@ void ClusterRuntime::apply_network_fault() {
   sim_->degrade_link(f.target_link, factor);
 }
 
+void ClusterRuntime::fail_links(const FaultSpec& f) {
+  if (f.target_link == topo::kInvalidLink) return;
+  auto& topo = fabric_.topo();
+  auto down = [&](topo::LinkId l) {
+    if (topo.link(l).up) {
+      sim_->set_link_up(l, false);
+      downed_links_.push_back(l);
+    }
+  };
+  if (f.switch_scope) {
+    // The whole switch at the link's fabric end goes dark: every port.
+    const auto& link = topo.link(f.target_link);
+    topo::NodeId sw =
+        topo.node(link.src).kind == topo::NodeKind::Host ? link.dst : link.src;
+    for (topo::LinkId l : topo.out_links(sw)) down(l);
+    for (topo::LinkId l : topo.in_links(sw)) down(l);
+  } else {
+    down(f.target_link);
+  }
+}
+
+void ClusterRuntime::heal_fault(FaultRt& fr) {
+  const FaultSpec& f = fr.spec;
+  if (is_host_side(f.cause)) {
+    host_slow_[static_cast<std::size_t>(f.target_host_rank)] = 1.0;
+    host_configs_[static_cast<std::size_t>(f.target_host_rank)] = HostConfig{};
+    if (f.target_link != topo::kInvalidLink) sim_->degrade_link(f.target_link, 1.0);
+  } else if (f.target_link != topo::kInvalidLink) {
+    sim_->degrade_link(f.target_link, 1.0);
+  }
+  fr.healed = true;
+}
+
+Seconds ClusterRuntime::analyzer_locate_time() const {
+  HierarchicalAnalyzer analyzer(store_, fabric_.topo(), expected_compute(),
+                                expected_comm());
+  return analyzer.diagnose().locate_time;
+}
+
 RunOutcome ClusterRuntime::run() {
+  RunOutcome out = run_job();
+  // Undo fabric-level link state so a shared fabric (campaigns run many
+  // jobs over one topology) starts the next job repaired.
+  auto& topo = fabric_.topo();
+  for (topo::LinkId l : downed_links_) topo.set_link_state(l, true);
+  downed_links_.clear();
+  return out;
+}
+
+RunOutcome ClusterRuntime::run_job() {
   RunOutcome out;
+  const RecoveryConfig& rc = cfg_.recovery;
   const Seconds hang_deadline = expected_comm() * cfg_.hang_timeout_factor;
+  const Seconds healthy_iter = cfg_.compute_time + expected_comm();
   Seconds now = 0.0;
+  int iter = 0;
+  std::vector<Seconds> iter_useful(static_cast<std::size_t>(cfg_.iterations), 0.0);
+  std::vector<net::FlowId> flows;
+
+  auto finalize = [&](RunOutcome& o) {
+    o.makespan = std::max(now, sim_->now());
+    o.committed_iterations = iter;
+    if (o.makespan > 0.0) {
+      o.goodput = std::min(1.0, static_cast<double>(iter) * healthy_iter / o.makespan);
+    }
+  };
 
   // Host-side compute effects that persist across iterations.
-  if (fault_ && is_host_side(fault_->cause) &&
-      fault_->manifestation == Manifestation::FailSlow &&
-      fault_->cause != RootCause::PcieDegrade) {
-    host_slow_[static_cast<std::size_t>(fault_->target_host_rank)] = 3.0;
+  for (const FaultRt& fr : faults_) {
+    if (is_host_side(fr.spec.cause) &&
+        fr.spec.manifestation == Manifestation::FailSlow &&
+        fr.spec.cause != RootCause::PcieDegrade) {
+      host_slow_[static_cast<std::size_t>(fr.spec.target_host_rank)] = 3.0;
+    }
   }
 
-  for (int iter = 0; iter < cfg_.iterations; ++iter) {
-    const bool fault_active = fault_ && iter >= fault_->at_iteration;
-    const bool fault_starts = fault_ && iter == fault_->at_iteration;
+  // The failure the current iteration attempt died of, if any.
+  FaultRt* resp = nullptr;
 
-    if (fault_starts) {
-      emit_injection_syslog(now);
-      if (!is_host_side(fault_->cause) || fault_->cause == RootCause::PcieDegrade) {
-        apply_network_fault();
+  // Picks the fault a failure is attributed to: the most recently
+  // activated unresolved fault, falling back to the last activated one
+  // (residual damage of an already-mitigated fault).
+  auto responsible = [&]() -> FaultRt* {
+    FaultRt* best = nullptr;
+    for (FaultRt& fr : faults_) {
+      if (fr.applied && !fr.resolved()) best = &fr;
+    }
+    if (best) return best;
+    for (FaultRt& fr : faults_) {
+      if (fr.applied) best = &fr;
+    }
+    return best;
+  };
+
+  // Runs the mitigation state machine after the analyzer has had its
+  // look at the telemetry. Returns false when the job must abort
+  // (budget exhausted / recovery disabled).
+  auto mitigate = [&](FaultRt* fr, Manifestation observed,
+                      Seconds attempt_wall) -> bool {
+    out.wasted_time += attempt_wall;
+    if (!rc.enabled || fr == nullptr) return false;
+    MitigationRecord rec;
+    rec.fault_index = static_cast<int>(fr - faults_.data());
+    rec.at_iteration = iter;
+    rec.observed = observed;
+    rec.detect_time = rc.detect_time;
+    rec.locate_time = analyzer_locate_time();
+    MitigationAction action;
+    if (fr->resolved()) {
+      // Residual damage from an already-handled fault: just retry.
+      action = MitigationAction::RetryBackoff;
+    } else if (is_host_side(fr->spec.cause)) {
+      action = MitigationAction::IsolateRestart;
+    } else if (fr->spec.repair_iterations >= 0) {
+      action = MitigationAction::RetryBackoff;
+    } else {
+      action = MitigationAction::Reroute;
+    }
+    if (action == MitigationAction::IsolateRestart && out.restarts >= rc.max_restarts) {
+      action = MitigationAction::Abort;
+    }
+    if (action == MitigationAction::RetryBackoff && fr->retries >= rc.max_retries) {
+      action = MitigationAction::Abort;
+    }
+    rec.action = action;
+    if (action == MitigationAction::Abort) {
+      rec.succeeded = false;
+      out.mitigations.push_back(rec);
+      return false;
+    }
+    switch (action) {
+      case MitigationAction::RetryBackoff:
+        rec.recover_time = rc.backoff_base *
+                           std::pow(rc.backoff_factor, static_cast<double>(fr->retries));
+        ++fr->retries;
+        ++out.retries;
+        // Waiting out a transient counts as an attempt toward self-heal.
+        if (!fr->healed && fr->spec.repair_iterations >= 0) {
+          ++fr->active_iters;
+          if (fr->active_iters >= fr->spec.repair_iterations) heal_fault(*fr);
+        }
+        break;
+      case MitigationAction::Reroute:
+        // Cordon the dead link/switch so routing (and the next attempt's
+        // fresh flows) steers around it.
+        fail_links(fr->spec);
+        sim_->reroute_flows();
+        fr->mitigated = true;
+        break;
+      case MitigationAction::IsolateRestart: {
+        heal_fault(*fr);
+        fr->mitigated = true;
+        rec.recover_time = rc.restart_time;
+        ++out.restarts;
+        int cp = rc.checkpoint_interval > 0
+                     ? (iter / rc.checkpoint_interval) * rc.checkpoint_interval
+                     : iter;
+        // Committed-but-uncheckpointed iterations are replayed: their
+        // time moves from useful to wasted.
+        for (int k = cp; k < iter; ++k) {
+          out.wasted_time += iter_useful[static_cast<std::size_t>(k)];
+          out.useful_time -= iter_useful[static_cast<std::size_t>(k)];
+          iter_useful[static_cast<std::size_t>(k)] = 0.0;
+        }
+        iter = cp;
+        break;
+      }
+      default: break;
+    }
+    rec.succeeded = true;
+    // Tear down whatever the failed attempt left in the fabric, then let
+    // the wall clock absorb the outage (detect + locate + recover).
+    for (net::FlowId fid : flows) {
+      const auto& st = sim_->flow(fid);
+      if (st.admitted && st.finish < 0 && !st.aborted) sim_->abort_flow(fid);
+    }
+    sim_->run(sim_->now() + rec.mttr());
+    out.downtime += rec.mttr();
+    out.mitigations.push_back(rec);
+    now = sim_->now();
+    sim_->recycle_finished();
+    return true;
+  };
+
+  while (iter < cfg_.iterations) {
+    const Seconds iter_start = now;
+    flows.clear();
+
+    // Iteration-boundary fault activation (mid-transfer faults strike
+    // inside the communication phase instead).
+    for (FaultRt& fr : faults_) {
+      if (!fr.applied && fr.spec.mid_transfer_fraction <= 0.0 &&
+          iter >= fr.spec.at_iteration) {
+        emit_injection_syslog(fr.spec, now);
+        if (!is_host_side(fr.spec.cause) || fr.spec.cause == RootCause::PcieDegrade) {
+          apply_network_fault(fr.spec);
+        }
+        fr.applied = true;
       }
     }
 
     // Fail-on-start / host-side fail-stop: job aborts before or during
     // this iteration's compute.
-    if (fault_active && (fault_->manifestation == Manifestation::FailOnStart ||
-                         (fault_->manifestation == Manifestation::FailStop &&
-                          is_host_side(fault_->cause)))) {
+    resp = nullptr;
+    for (FaultRt& fr : faults_) {
+      if (fr.applied && !fr.resolved() && fr.spec.mid_transfer_fraction <= 0.0 &&
+          (fr.spec.manifestation == Manifestation::FailOnStart ||
+           (fr.spec.manifestation == Manifestation::FailStop &&
+            is_host_side(fr.spec.cause)))) {
+        resp = &fr;
+        break;
+      }
+    }
+    if (resp) {
       for (int i = 0; i < cfg_.hosts; ++i) {
         NcclTimelineEvent ev;
         ev.t = now;
         ev.host_rank = i;
         ev.iteration = iter;
-        ev.compute_time = i == fault_->target_host_rank ? 0.0 : cfg_.compute_time;
+        ev.compute_time = i == resp->spec.target_host_rank ? 0.0 : cfg_.compute_time;
         ev.comm_time = -1.0;
         ev.wr_started = 1;
         ev.wr_finished = 0;
         store_.record(ev);
       }
+      if (mitigate(resp, resp->spec.manifestation, 0.0)) continue;
       out.stopped_at_iteration = iter;
-      out.observed = fault_->manifestation;
+      out.observed = resp->spec.manifestation;
+      finalize(out);
       return out;
     }
 
     // Host-side fail-hang (driver/CCL bug, hung user code): the target
     // host never posts its work request; every rank blocks in the
     // collective. wr_started distinguishes the culprit (§3.2).
-    if (fault_active && is_host_side(fault_->cause) &&
-        fault_->manifestation == Manifestation::FailHang) {
+    for (FaultRt& fr : faults_) {
+      if (fr.applied && !fr.resolved() && is_host_side(fr.spec.cause) &&
+          fr.spec.mid_transfer_fraction <= 0.0 &&
+          fr.spec.manifestation == Manifestation::FailHang) {
+        resp = &fr;
+        break;
+      }
+    }
+    if (resp) {
       for (int i = 0; i < cfg_.hosts; ++i) {
         NcclTimelineEvent ev;
         ev.t = now;
@@ -248,12 +482,17 @@ RunOutcome ClusterRuntime::run() {
         ev.iteration = iter;
         ev.compute_time = cfg_.compute_time;
         ev.comm_time = -1.0;
-        ev.wr_started = i == fault_->target_host_rank ? 0 : 1;
+        ev.wr_started = i == resp->spec.target_host_rank ? 0 : 1;
         ev.wr_finished = 0;
         store_.record(ev);
       }
+      // The collective timeout burns before anyone notices a hang.
+      Seconds stall = rc.enabled ? hang_deadline : 0.0;
+      if (stall > 0.0) sim_->run(sim_->now() + stall);
+      if (mitigate(resp, Manifestation::FailHang, stall)) continue;
       out.stopped_at_iteration = iter;
       out.observed = Manifestation::FailHang;
+      finalize(out);
       return out;
     }
 
@@ -271,7 +510,6 @@ RunOutcome ClusterRuntime::run() {
     Seconds comm_start = now + max_compute;
     sim_->run(comm_start);  // advance the network clock
     sim_->reset_stats();
-    std::vector<net::FlowId> flows;
     for (int i = 0; i < cfg_.hosts; ++i) {
       net::FlowSpec spec;
       spec.src_host = hosts_[static_cast<std::size_t>(i)];
@@ -316,24 +554,108 @@ RunOutcome ClusterRuntime::run() {
       store_.record(probe);
     }
 
+    // Mid-transfer strikes scheduled inside this iteration's transfer.
+    struct Strike {
+      FaultRt* fr;
+      Seconds t;
+    };
+    std::vector<Strike> strikes;
+    for (FaultRt& fr : faults_) {
+      if (!fr.applied && fr.spec.mid_transfer_fraction > 0.0 &&
+          iter >= fr.spec.at_iteration) {
+        strikes.push_back(
+            {&fr, comm_start + fr.spec.mid_transfer_fraction * expected_comm()});
+      }
+    }
+    std::sort(strikes.begin(), strikes.end(),
+              [](const Strike& a, const Strike& b) { return a.t < b.t; });
+    std::size_t next_strike = 0;
+
+    auto strike_fault = [&](FaultRt& fr) {
+      const FaultSpec& f = fr.spec;
+      emit_injection_syslog(f, sim_->now());
+      fr.applied = true;
+      if (is_host_side(f.cause)) {
+        if (f.manifestation == Manifestation::FailStop) {
+          // The host dies with flows in flight: its QPs abort and the
+          // peers see remote errors.
+          topo::NodeId dead = hosts_[static_cast<std::size_t>(f.target_host_rank)];
+          for (int i = 0; i < cfg_.hosts; ++i) {
+            const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+            if (!st.admitted || st.finish >= 0 || st.aborted) continue;
+            if (st.spec.src_host == dead || st.spec.dst_host == dead) {
+              sim_->abort_flow(flows[static_cast<std::size_t>(i)]);
+              store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
+                                        "remote operation error / peer died"});
+            }
+          }
+        } else {
+          host_slow_[static_cast<std::size_t>(f.target_host_rank)] = 3.0;
+        }
+        return;
+      }
+      // Network fault in flight: degrade for fail-slow, dead otherwise.
+      if (f.manifestation == Manifestation::FailSlow) {
+        sim_->degrade_link(f.target_link, f.degrade_factor);
+        return;
+      }
+      fail_links(f);
+      if (rc.enabled) {
+        // In-flight failover (P3): migrate live flows onto the surviving
+        // dual-ToR side. The job never stops, so MTTR is the transport's
+        // sub-second failover — modeled as zero against minutes-scale
+        // detect/locate pipelines.
+        auto rep = sim_->reroute_flows();
+        out.reroutes += static_cast<int>(rep.rerouted.size());
+        for (net::FlowId fid : rep.stranded) sim_->abort_flow(fid);
+        MitigationRecord rec;
+        rec.fault_index = static_cast<int>(&fr - faults_.data());
+        rec.at_iteration = iter;
+        rec.observed = f.manifestation;
+        rec.action = MitigationAction::Reroute;
+        rec.succeeded = rep.all_moved();
+        out.mitigations.push_back(rec);
+        fr.mitigated = true;
+      }
+    };
+
     // Step the simulation, sampling QP rates (ms-level monitoring).
     Seconds deadline = comm_start + hang_deadline;
     while (!sim_->idle() && sim_->now() < deadline) {
-      sim_->run(std::min(deadline, sim_->now() + cfg_.qp_sample_interval));
+      Seconds step_to = std::min(deadline, sim_->now() + cfg_.qp_sample_interval);
+      if (next_strike < strikes.size()) {
+        step_to = std::min(step_to, strikes[next_strike].t);
+      }
+      sim_->run(step_to);
       for (int i = 0; i < cfg_.hosts; ++i) {
         store_.record(QpRateSample{sim_->now(), static_cast<QpId>(i),
                                    sim_->current_rate(flows[static_cast<std::size_t>(i)])});
       }
+      while (next_strike < strikes.size() &&
+             sim_->now() >= strikes[next_strike].t - 1e-12) {
+        strike_fault(*strikes[next_strike].fr);
+        ++next_strike;
+      }
+    }
+    // Strikes the transfer outran (it finished first) still land, on an
+    // idle fabric — the fault exists from now on, it just hit nobody.
+    while (next_strike < strikes.size()) {
+      strike_fault(*strikes[next_strike].fr);
+      ++next_strike;
     }
 
     // Per-iteration switch counter collection (SNMP + MOD).
     for (std::size_t l = 0; l < fabric_.topo().link_count(); ++l) {
       const auto& ls = sim_->link_stats(static_cast<topo::LinkId>(l));
       std::uint64_t drops = 0;
-      if (fault_active && fault_->target_link == static_cast<topo::LinkId>(l)) {
-        for (net::FlowId fid : flows) {
-          const auto& st = sim_->flow(fid);
-          if (st.finish < 0) drops += static_cast<std::uint64_t>(st.remaining);
+      for (const FaultRt& fr : faults_) {
+        if (fr.applied && !fr.healed &&
+            fr.spec.target_link == static_cast<topo::LinkId>(l)) {
+          for (net::FlowId fid : flows) {
+            const auto& st = sim_->flow(fid);
+            if (st.finish < 0) drops += static_cast<std::uint64_t>(st.remaining);
+          }
+          break;
         }
       }
       if (ls.ecn_marks || ls.pfc_pauses || drops) {
@@ -363,46 +685,80 @@ RunOutcome ClusterRuntime::run() {
       store_.record(ev);
     }
 
-    // A hard network fault (dead port, misconfigured switch dropping the
-    // queue, severed fiber...) exhausts transport retries: errCQE events
-    // surface on every QP crossing it and the job aborts (fail-stop).
-    // Silent blackholes (switch bugs) drop traffic without errors and
-    // manifest as fail-hang instead.
-    if (fault_active && !is_host_side(fault_->cause) &&
-        fault_->manifestation == Manifestation::FailStop && hung) {
-      for (int i = 0; i < cfg_.hosts; ++i) {
-        const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-        if (st.finish < 0) {
-          store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
-                                    "local protection error / retry exceeded"});
+    if (hung) {
+      // A hard network fault (dead port, misconfigured switch dropping
+      // the queue, severed fiber...) exhausts transport retries: errCQE
+      // events surface on every QP crossing it and the job observes a
+      // fail-stop. Silent blackholes (switch bugs) drop traffic without
+      // errors and manifest as fail-hang instead.
+      FaultRt* netstop = nullptr;
+      for (FaultRt& fr : faults_) {
+        if (fr.applied && !fr.resolved() && !is_host_side(fr.spec.cause) &&
+            fr.spec.manifestation == Manifestation::FailStop) {
+          netstop = &fr;
         }
       }
-      out.stopped_at_iteration = iter;
-      out.observed = Manifestation::FailStop;
-      return out;
-    }
+      if (netstop) {
+        for (int i = 0; i < cfg_.hosts; ++i) {
+          const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
+          if (st.finish < 0) {
+            store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
+                                      "local protection error / retry exceeded"});
+          }
+        }
+        if (mitigate(netstop, Manifestation::FailStop, sim_->now() - iter_start)) {
+          continue;
+        }
+        out.stopped_at_iteration = iter;
+        out.observed = Manifestation::FailStop;
+        finalize(out);
+        return out;
+      }
 
-    if (hung) {
+      resp = responsible();
+      // A host that died mid-transfer reads as fail-stop (its peers got
+      // remote errCQEs); anything else that starves the collective past
+      // its timeout reads as a hang.
+      Manifestation observed =
+          resp && resp->spec.mid_transfer_fraction > 0.0 &&
+                  resp->spec.manifestation == Manifestation::FailStop &&
+                  is_host_side(resp->spec.cause)
+              ? Manifestation::FailStop
+              : Manifestation::FailHang;
+      if (mitigate(resp, observed, sim_->now() - iter_start)) continue;
       out.stopped_at_iteration = iter;
-      out.observed = Manifestation::FailHang;
+      out.observed = observed;
+      finalize(out);
       return out;
     }
 
     now = sim_->now();
     sim_->recycle_finished();
 
-    // Transient link flap heals after one iteration.
-    if (fault_active && fault_->cause == RootCause::LinkFlap &&
-        iter == fault_->at_iteration) {
-      sim_->degrade_link(fault_->target_link, 1.0);
+    // Transient faults self-heal after surviving enough iterations.
+    for (FaultRt& fr : faults_) {
+      if (fr.applied && !fr.healed && fr.spec.repair_iterations >= 0) {
+        ++fr.active_iters;
+        if (fr.active_iters >= fr.spec.repair_iterations) heal_fault(fr);
+      }
     }
+
+    iter_useful[static_cast<std::size_t>(iter)] = now - iter_start;
+    out.useful_time += now - iter_start;
+    ++iter;
   }
 
   out.completed = true;
+  finalize(out);
   // A run that completed but ran slow is a fail-slow manifestation.
-  if (fault_ && (fault_->manifestation == Manifestation::FailSlow ||
-                 fault_->cause == RootCause::LinkFlap)) {
-    out.observed = Manifestation::FailSlow;
+  for (const FaultRt& fr : faults_) {
+    if (fr.spec.manifestation == Manifestation::FailSlow ||
+        fr.spec.cause == RootCause::LinkFlap) {
+      out.observed = Manifestation::FailSlow;
+    }
+  }
+  if (!out.observed && !out.mitigations.empty()) {
+    out.observed = out.mitigations.front().observed;
   }
   return out;
 }

@@ -6,6 +6,17 @@
 // blackholes silently, a broken PCIe lane turns the receiver into a PFC
 // storm source, a bad driver hangs collectives — and the corresponding
 // layer emits (or pointedly fails to emit) its diagnostic records.
+//
+// With recovery enabled (JobConfig::recovery) the runtime is a full job
+// lifecycle engine: faults come as a FaultSchedule (concurrent and
+// cascading, transient and permanent, optionally striking mid-transfer),
+// the analyzer localizes each failure, and a mitigation state machine
+// decides between retry-with-backoff, routing around the dead
+// link/switch, or isolating the host and restarting from the last
+// checkpoint. The outcome carries the availability ledger: per-fault
+// MTTR, useful vs. wasted iteration time, downtime, and effective
+// goodput. With recovery disabled the runtime reproduces the legacy
+// stop-at-first-fault behaviour bit for bit.
 #pragma once
 
 #include <memory>
@@ -19,6 +30,22 @@
 
 namespace astral::monitor {
 
+/// How the job reacts to a localized failure (§3.3 -> operations).
+struct RecoveryConfig {
+  bool enabled = false;
+  /// A checkpoint is durable every this many committed iterations;
+  /// restarts replay from the last multiple.
+  int checkpoint_interval = 2;
+  int max_restarts = 4;  ///< IsolateRestart budget before giving up.
+  int max_retries = 3;   ///< Retry budget per transient fault.
+  /// Modeled time from failure to the monitoring system noticing.
+  core::Seconds detect_time = 5.0;
+  /// Scheduler + framework time to relaunch from a checkpoint.
+  core::Seconds restart_time = 60.0;
+  core::Seconds backoff_base = 2.0;  ///< First retry wait.
+  double backoff_factor = 2.0;       ///< Exponential backoff multiplier.
+};
+
 struct JobConfig {
   int hosts = 16;         ///< Job hosts (taken from the fabric in order).
   int iterations = 10;
@@ -31,24 +58,75 @@ struct JobConfig {
   /// §5 PCIe incident: physical-layer PCIe monitoring was added only
   /// after the first occurrence; before that the root cause is invisible.
   bool pcie_monitoring = true;
+  RecoveryConfig recovery;
+};
+
+enum class MitigationAction : std::uint8_t {
+  None,            ///< No mitigation ran (recovery disabled).
+  RetryBackoff,    ///< Transient fault: wait it out, retry the iteration.
+  Reroute,         ///< Network fault: route around the dead link/switch.
+  IsolateRestart,  ///< Host fault: cordon the host, restart from checkpoint.
+  Abort,           ///< Budget exhausted; job gives up (legacy behaviour).
+};
+
+const char* to_string(MitigationAction a);
+
+/// One mitigation attempt. MTTR decomposes per the paper's pipeline:
+/// detect (monitoring latency) + locate (hierarchical analyzer) +
+/// recover (backoff / failover / restart-from-checkpoint).
+struct MitigationRecord {
+  int fault_index = 0;   ///< Index into the injected schedule.
+  int at_iteration = 0;  ///< Iteration the failure surfaced in.
+  Manifestation observed = Manifestation::FailStop;
+  MitigationAction action = MitigationAction::None;
+  bool succeeded = false;
+  core::Seconds detect_time = 0.0;
+  core::Seconds locate_time = 0.0;
+  core::Seconds recover_time = 0.0;
+  core::Seconds mttr() const { return detect_time + locate_time + recover_time; }
 };
 
 struct RunOutcome {
   bool completed = false;
   int stopped_at_iteration = -1;  ///< Iteration of abort/hang; -1 if none.
   std::optional<Manifestation> observed;  ///< Empty for a healthy run.
+
+  // ---- Recovery ledger (zeros when recovery is disabled).
+  std::vector<MitigationRecord> mitigations;
+  int restarts = 0;  ///< IsolateRestart mitigations taken.
+  int retries = 0;   ///< RetryBackoff mitigations taken.
+  int reroutes = 0;  ///< Flows moved by in-flight failover.
+  int committed_iterations = 0;  ///< Iterations done and checkpoint-safe.
+  core::Seconds useful_time = 0.0;  ///< Time in iterations that committed.
+  core::Seconds wasted_time = 0.0;  ///< Failed attempts + replayed work.
+  core::Seconds downtime = 0.0;     ///< Detect + locate + recover stalls.
+  core::Seconds makespan = 0.0;     ///< Wall clock of the whole run.
+  /// committed * healthy-iteration-time / makespan: the fraction of wall
+  /// clock converted into training progress (1.0 = no faults, no noise).
+  double goodput = 0.0;
 };
 
 class ClusterRuntime {
  public:
   ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed = 1);
 
-  /// Schedules a fault; call before run(). At most one fault per run.
+  /// Schedules one fault; call before run(). May be called repeatedly —
+  /// each call appends to the run's schedule. Throws std::invalid_argument
+  /// when the spec fails validate_fault (out-of-range rank, network cause
+  /// without a target link, ...).
   void inject(const FaultSpec& fault);
+
+  /// Schedules a whole multi-fault scenario (validated spec by spec).
+  void inject(const FaultSchedule& schedule);
 
   /// Picks a deterministic injection target for a fault of this cause
   /// (a host rank or a fabric link on a job path) and returns the spec.
   FaultSpec make_fault(RootCause cause, Manifestation m, int at_iteration);
+
+  /// A ToR-death scenario striking `fraction` into `at_iteration`'s
+  /// transfer: the whole switch over the job's rail-0 uplink goes down
+  /// with flows in flight — the case dual-ToR failover exists for.
+  FaultSpec make_mid_transfer_tor_death(int at_iteration, double fraction = 0.5);
 
   RunOutcome run();
 
@@ -74,9 +152,28 @@ class ClusterRuntime {
   const std::vector<HostConfig>& host_configs() const { return host_configs_; }
 
  private:
-  void emit_injection_syslog(core::Seconds t);
-  void apply_network_fault();
+  /// Runtime state of one scheduled fault.
+  struct FaultRt {
+    FaultSpec spec;
+    bool applied = false;  ///< Syslog emitted / network effect active.
+    bool healed = false;   ///< Self-repaired or healed by a mitigation.
+    bool mitigated = false;  ///< A mitigation has dealt with it.
+    int active_iters = 0;  ///< Iteration attempts survived while active.
+    int retries = 0;       ///< RetryBackoff attempts spent on it.
+    bool resolved() const { return healed || mitigated; }
+  };
+
+  RunOutcome run_job();
+  void emit_injection_syslog(const FaultSpec& f, core::Seconds t);
+  void apply_network_fault(const FaultSpec& f);
+  /// Takes a link (or, with switch_scope, its whole fabric-side switch)
+  /// down in both routing and the solver, remembering it for restore.
+  void fail_links(const FaultSpec& f);
+  void heal_fault(FaultRt& fr);
   topo::LinkId pick_job_path_link(int hops_from_src) const;
+  /// Runs the hierarchical analyzer on the telemetry recorded so far and
+  /// returns its modeled localization latency.
+  core::Seconds analyzer_locate_time() const;
 
   topo::Fabric& fabric_;
   JobConfig cfg_;
@@ -85,8 +182,9 @@ class ClusterRuntime {
   TelemetryStore store_;
   std::vector<topo::NodeId> hosts_;
   std::vector<HostConfig> host_configs_;
-  std::optional<FaultSpec> fault_;
+  std::vector<FaultRt> faults_;
   std::vector<double> host_slow_;  ///< Compute slow-down factor per host.
+  std::vector<topo::LinkId> downed_links_;  ///< Fabric state to restore.
 };
 
 }  // namespace astral::monitor

@@ -101,6 +101,49 @@ Manifestation sample_manifestation(RootCause cause, core::Rng& rng) {
   return Manifestation::FailOnStart;
 }
 
+std::optional<std::string> validate_fault(const FaultSpec& f, int hosts,
+                                          std::size_t links) {
+  auto cause_name = std::string(to_string(f.cause));
+  if (f.at_iteration < 0) {
+    return cause_name + ": at_iteration must be >= 0, got " +
+           std::to_string(f.at_iteration);
+  }
+  if (f.degrade_factor < 0.0) {
+    return cause_name + ": degrade_factor must be >= 0, got " +
+           std::to_string(f.degrade_factor);
+  }
+  if (f.mid_transfer_fraction < 0.0 || f.mid_transfer_fraction >= 1.0) {
+    return cause_name + ": mid_transfer_fraction must be in [0, 1), got " +
+           std::to_string(f.mid_transfer_fraction);
+  }
+  if (is_host_side(f.cause)) {
+    if (f.target_host_rank < 0 || f.target_host_rank >= hosts) {
+      return cause_name + ": target_host_rank " +
+             std::to_string(f.target_host_rank) + " outside job of " +
+             std::to_string(hosts) + " hosts";
+    }
+    // PcieDegrade additionally pins the host's ToR downlink.
+    if (f.target_link != topo::kInvalidLink &&
+        static_cast<std::size_t>(f.target_link) >= links) {
+      return cause_name + ": target_link " + std::to_string(f.target_link) +
+             " outside fabric of " + std::to_string(links) + " links";
+    }
+    if (f.switch_scope) {
+      return cause_name + ": switch_scope is only meaningful for network causes";
+    }
+  } else {
+    if (f.target_link == topo::kInvalidLink) {
+      return cause_name + ": network fault needs a valid target_link "
+             "(make_fault found no job-path link, or the spec was never targeted)";
+    }
+    if (static_cast<std::size_t>(f.target_link) >= links) {
+      return cause_name + ": target_link " + std::to_string(f.target_link) +
+             " outside fabric of " + std::to_string(links) + " links";
+    }
+  }
+  return std::nullopt;
+}
+
 bool is_host_side(RootCause cause) {
   switch (cause) {
     case RootCause::HostEnvConfig:

@@ -3,7 +3,10 @@
 // the FaultSpec the cluster runtime injects.
 #pragma once
 
+#include <initializer_list>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/rng.h"
 #include "core/units.h"
@@ -55,6 +58,38 @@ struct FaultSpec {
   int at_iteration = 3;
   /// Degradation severity for fail-slow (residual capacity fraction).
   double degrade_factor = 0.25;
+  /// Iteration attempts until the fault self-heals once active; < 0 is
+  /// permanent. A link flap heals after 1; a cut fiber never does.
+  int repair_iterations = -1;
+  /// When > 0, the fault strikes this fraction into the transfer of
+  /// `at_iteration` instead of before it — a ToR/uplink dying with flows
+  /// in flight (exercises the P3 in-flight failover) or a host crashing
+  /// mid-collective (its flows abort).
+  double mid_transfer_fraction = 0.0;
+  /// Network causes only: the whole switch at the target link's fabric
+  /// end dies (every attached link goes down), not just the one link —
+  /// the ToR-death scenario dual-homing exists for.
+  bool switch_scope = false;
 };
+
+/// Faults injected into one run: concurrent and cascading failures (a
+/// link flap during the replay triggered by an earlier NIC error). Each
+/// entry activates independently at its own iteration/strike point.
+struct FaultSchedule {
+  std::vector<FaultSpec> faults;
+
+  FaultSchedule() = default;
+  FaultSchedule(std::initializer_list<FaultSpec> fs) : faults(fs) {}
+  void add(const FaultSpec& f) { faults.push_back(f); }
+  bool empty() const { return faults.empty(); }
+  std::size_t size() const { return faults.size(); }
+};
+
+/// Validates a spec against a job of `hosts` ranks on a fabric of
+/// `links` links. Returns a description of the problem, or nullopt when
+/// the spec is injectable. ClusterRuntime::inject rejects invalid specs
+/// with this message instead of silently no-op'ing or indexing OOB.
+std::optional<std::string> validate_fault(const FaultSpec& f, int hosts,
+                                          std::size_t links);
 
 }  // namespace astral::monitor

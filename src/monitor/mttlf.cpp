@@ -71,6 +71,117 @@ core::Seconds manual_locate_time(RootCause cause, Manifestation m, int hosts,
   return base * (0.85 + 0.3 * rng.uniform());
 }
 
+double AvailabilityResult::completion_rate() const {
+  if (entries.empty()) return 0.0;
+  int done = 0;
+  for (const auto& e : entries) done += e.outcome.completed ? 1 : 0;
+  return static_cast<double>(done) / static_cast<double>(entries.size());
+}
+
+double AvailabilityResult::mean_goodput() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& e : entries) {
+    if (e.outcome.completed) {
+      sum += e.outcome.goodput;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+core::Seconds AvailabilityResult::mean_mttr() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& e : entries) {
+    if (!e.outcome.mitigations.empty()) {
+      sum += e.mttr;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+core::Seconds AvailabilityResult::mean_mttlf() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& e : entries) {
+    if (!e.outcome.mitigations.empty()) {
+      sum += e.mttlf;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+core::Seconds AvailabilityResult::mean_downtime() const {
+  double sum = 0.0;
+  for (const auto& e : entries) sum += e.outcome.downtime;
+  return entries.empty() ? 0.0 : sum / static_cast<double>(entries.size());
+}
+
+int AvailabilityResult::total_reroutes() const {
+  int n = 0;
+  for (const auto& e : entries) n += e.outcome.reroutes;
+  return n;
+}
+
+int AvailabilityResult::total_restarts() const {
+  int n = 0;
+  for (const auto& e : entries) n += e.outcome.restarts;
+  return n;
+}
+
+int AvailabilityResult::total_retries() const {
+  int n = 0;
+  for (const auto& e : entries) n += e.outcome.retries;
+  return n;
+}
+
+AvailabilityResult run_availability_campaign(const AvailabilityConfig& cfg) {
+  AvailabilityResult result;
+  topo::Fabric fabric(cfg.fabric);
+  core::Rng rng(cfg.seed);
+
+  for (int i = 0; i < cfg.runs; ++i) {
+    ClusterRuntime runtime(fabric, cfg.job,
+                           cfg.seed + static_cast<std::uint64_t>(i));
+    FaultSchedule schedule;
+    int last_iter = 0;
+    for (int k = 0; k + 1 < cfg.faults_per_run; ++k) {
+      RootCause cause = sample_root_cause(rng);
+      Manifestation m = sample_manifestation(cause, rng);
+      int at_iter = m == Manifestation::FailOnStart
+                        ? 0
+                        : 1 + static_cast<int>(rng.uniform_int(2));
+      last_iter = std::max(last_iter, at_iter);
+      schedule.add(runtime.make_fault(cause, m, at_iter));
+    }
+    // The closing act of every run: a whole ToR dies mid-transfer, which
+    // only dual-homing plus in-flight failover survives.
+    int tor_iter = std::min(cfg.job.iterations - 1,
+                            last_iter + 2 + static_cast<int>(rng.uniform_int(2)));
+    schedule.add(
+        runtime.make_mid_transfer_tor_death(tor_iter, cfg.mid_transfer_fraction));
+
+    runtime.inject(schedule);
+    AvailabilityEntry entry;
+    entry.outcome = runtime.run();
+    entry.faults_injected = static_cast<int>(schedule.size());
+    if (!entry.outcome.mitigations.empty()) {
+      double mttr = 0.0, locate = 0.0;
+      for (const auto& m : entry.outcome.mitigations) {
+        mttr += m.mttr();
+        locate += m.locate_time;
+      }
+      entry.mttr = mttr / static_cast<double>(entry.outcome.mitigations.size());
+      entry.mttlf = locate / static_cast<double>(entry.outcome.mitigations.size());
+    }
+    result.entries.push_back(entry);
+  }
+  return result;
+}
+
 CampaignResult run_campaign(const CampaignConfig& cfg) {
   CampaignResult result;
   topo::Fabric fabric(cfg.fabric);

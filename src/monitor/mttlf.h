@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
 
 namespace astral::monitor {
 
@@ -60,5 +61,58 @@ core::Seconds manual_locate_time(RootCause cause, Manifestation m, int hosts,
 
 /// Runs the campaign: each fault gets a fresh job on a shared fabric.
 CampaignResult run_campaign(const CampaignConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Availability campaign: multi-fault runs with recovery enabled. Where
+// the MTTLF campaign measures how fast the analyzer *finds* a fault, this
+// one measures whether the job *survives* it — each run takes a sampled
+// taxonomy fault plus a mid-transfer ToR death (the dual-ToR failover
+// case), and reports MTTR, useful vs. wasted time, and effective goodput.
+
+struct AvailabilityConfig {
+  int runs = 40;
+  /// Faults per run: the last is always the mid-transfer ToR death, the
+  /// earlier ones are sampled from the Fig. 7 taxonomy.
+  int faults_per_run = 2;
+  double mid_transfer_fraction = 0.5;
+  topo::FabricParams fabric;
+  JobConfig job;
+  std::uint64_t seed = 2024;
+
+  AvailabilityConfig() {
+    fabric.rails = 2;
+    fabric.hosts_per_block = 8;
+    fabric.blocks_per_pod = 2;
+    fabric.pods = 1;
+    job.hosts = 12;
+    job.iterations = 8;
+    job.comm_bytes = 8ull * 1024 * 1024;
+    job.recovery.enabled = true;
+  }
+};
+
+struct AvailabilityEntry {
+  RunOutcome outcome;
+  int faults_injected = 0;
+  core::Seconds mttr = 0.0;   ///< Mean detect+locate+recover per mitigation.
+  core::Seconds mttlf = 0.0;  ///< Mean analyzer locate time per mitigation.
+};
+
+struct AvailabilityResult {
+  std::vector<AvailabilityEntry> entries;
+
+  double completion_rate() const;
+  double mean_goodput() const;        ///< Over completed runs.
+  core::Seconds mean_mttr() const;    ///< Over runs that mitigated anything.
+  core::Seconds mean_mttlf() const;
+  core::Seconds mean_downtime() const;
+  int total_reroutes() const;
+  int total_restarts() const;
+  int total_retries() const;
+};
+
+/// Runs the availability campaign on a shared fabric (ClusterRuntime
+/// repairs fabric link state after every run).
+AvailabilityResult run_availability_campaign(const AvailabilityConfig& cfg);
 
 }  // namespace astral::monitor

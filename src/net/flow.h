@@ -36,6 +36,10 @@ struct FlowState {
   double rate = 0.0;  ///< Current fluid rate, bits/sec.
   core::Seconds finish = -1.0;  ///< Completion time; <0 while active.
   bool admitted = false;  ///< False when routing failed (unreachable).
+  /// True when the flow was torn down before completing (its sender
+  /// died, or no surviving route existed after a reroute). Aborted flows
+  /// hold no fabric bandwidth and never finish (finish stays < 0).
+  bool aborted = false;
 
   // Solver bookkeeping owned by FluidSim (see "Incremental max-min
   // solver" in DESIGN.md). `member_pos[h]` is this flow's slot in the

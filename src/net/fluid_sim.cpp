@@ -267,7 +267,9 @@ void FluidSim::accumulate_until(core::Seconds t) {
 
 bool FluidSim::all_finished(std::span<const FlowId> watch) const {
   for (FlowId id : watch) {
-    if (flows_[id].admitted && flows_[id].finish < 0) return false;
+    if (flows_[id].admitted && flows_[id].finish < 0 && !flows_[id].aborted) {
+      return false;
+    }
   }
   return true;
 }
@@ -329,13 +331,12 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
     double dt_arrival = pending_.empty() ? kInf : flows_[pending_.front()].spec.start - now_;
     double dt_until = until - now_;
     double dt = std::min({min_dt, dt_arrival, dt_until});
-    if (!std::isfinite(dt)) {
+    if (!std::isfinite(std::min(min_dt, dt_arrival)) && !is_bounded(until)) {
       // Every active flow is stalled (blocked links) and nothing else is
-      // due: a fail-hang. Park the clock at `until` and stop.
-      if (is_bounded(until)) {
-        now_ = until;
-        accumulated_until_ = std::max(accumulated_until_, now_);
-      }
+      // due: a fail-hang. A bounded run integrates the stall up to its
+      // deadline below; with no deadline there is no instant to park at,
+      // so return with the clock where it is — a caller can then fail
+      // over (reroute_flows / abort_flow) and resume.
       return;
     }
     dt = std::max(dt, 0.0);
@@ -411,9 +412,122 @@ void FluidSim::degrade_link(topo::LinkId id, double factor) {
   if (!active_.empty()) solve_full();
 }
 
+void FluidSim::set_link_up(topo::LinkId id, bool up) {
+  // Charge the elapsed interval before the rate structure changes, as in
+  // degrade_link.
+  accumulate_until(now_);
+  fabric_.topo().set_link_state(id, up);
+  effcap_[id] = up ? fabric_.topo().link(id).capacity * degrade_[id] : 0.0;
+  if (!active_.empty()) solve_full();
+}
+
+FluidSim::RerouteReport FluidSim::reroute_flows() {
+  RerouteReport rep;
+  accumulate_until(now_);
+  topo::Topology& topo = fabric_.topo();
+  auto path_dead = [&](const FlowState& f) {
+    for (topo::LinkId l : f.path) {
+      if (!topo.link(l).up || effcap_[l] <= 0.0) return true;
+    }
+    return false;
+  };
+  // The router skips down links but cannot see silent blackholes (up,
+  // zero effective capacity). Mask them down for the duration of the
+  // reroute pass so re-resolution steers around them, then restore:
+  // degrade_link's contract keeps a blackholed link routable for traffic
+  // that has not been explicitly failed over.
+  std::vector<topo::LinkId> masked;
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    if (topo.link(id).up && effcap_[id] <= 0.0) {
+      topo.set_link_state(id, false);
+      masked.push_back(id);
+    }
+  }
+  auto path_alive = [&](const std::vector<topo::LinkId>& path) {
+    for (topo::LinkId l : path) {
+      if (effcap_[l] <= 0.0) return false;
+    }
+    return true;
+  };
+
+  for (FlowId id : active_) {
+    FlowState& f = flows_[id];
+    if (f.path.empty() || !path_dead(f)) continue;
+    remove_member(id);
+    f.rate = 0.0;
+    auto path = router_.route(f.spec, f.tuple);
+    if (path && path_alive(*path)) {
+      f.path = std::move(*path);
+      f.member_pos.assign(f.path.size(), 0);
+      for (std::uint32_t h = 0; h < f.path.size(); ++h) {
+        topo::LinkId l = f.path[h];
+        f.member_pos[h] = static_cast<std::uint32_t>(members_[l].size());
+        members_[l].push_back({id, h});
+      }
+      rep.rerouted.push_back(id);
+    } else {
+      f.path.clear();
+      f.member_pos.clear();
+      rep.stranded.push_back(id);
+    }
+  }
+
+  // Pending flows pinned their paths at injection; refresh dead ones so
+  // they are not admitted onto a link that died while they queued.
+  for (FlowId id : pending_) {
+    FlowState& f = flows_[id];
+    if (f.path.empty() || !path_dead(f)) continue;
+    auto path = router_.route(f.spec, f.tuple);
+    if (path && path_alive(*path)) {
+      f.path = std::move(*path);
+      f.member_pos.assign(f.path.size(), 0);
+      rep.rerouted.push_back(id);
+    } else {
+      f.path.clear();
+      f.member_pos.clear();
+      rep.stranded.push_back(id);
+    }
+  }
+
+  for (topo::LinkId l : masked) topo.set_link_state(l, true);
+
+  if (!active_.empty() && !(rep.rerouted.empty() && rep.stranded.empty())) {
+    solve_full();
+  }
+  return rep;
+}
+
+void FluidSim::abort_flow(FlowId id) {
+  FlowState& f = flows_[id];
+  if (!f.admitted || f.finish >= 0 || f.aborted) return;
+  accumulate_until(now_);
+  f.aborted = true;
+  f.rate = 0.0;
+  auto it = std::find(active_.begin(), active_.end(), id);
+  if (it != active_.end()) {
+    if (!f.path.empty()) remove_member(id);
+    *it = active_.back();
+    active_.pop_back();
+    if (active_.empty()) {
+      clear_live();
+    } else {
+      solve_full();
+    }
+    return;
+  }
+  auto p = std::find(pending_.begin(), pending_.end(), id);
+  if (p != pending_.end()) {
+    pending_.erase(p);
+    std::make_heap(pending_.begin(), pending_.end(), [this](FlowId a, FlowId b) {
+      return flows_[a].spec.start > flows_[b].spec.start;
+    });
+  }
+}
+
 void FluidSim::recycle_finished() {
   for (auto& f : flows_) {
-    if (f.finish >= 0 && !f.path.empty()) {
+    if ((f.finish >= 0 || f.aborted) && !f.path.empty()) {
       f.path.clear();
       f.path.shrink_to_fit();
       f.member_pos.clear();

@@ -116,6 +116,32 @@ class FluidSim {
   /// pre-degradation overloads before rates change.
   void degrade_link(topo::LinkId id, double factor);
 
+  /// Marks a link up or down in both the fabric (so routing skips it
+  /// from now on) and the solver (a down link allocates zero). Bringing
+  /// the link back up restores its degraded capacity, not full capacity.
+  void set_link_up(topo::LinkId id, bool up);
+
+  /// What reroute_flows() did to the live flow set.
+  struct RerouteReport {
+    std::vector<FlowId> rerouted;  ///< Moved onto a surviving path.
+    std::vector<FlowId> stranded;  ///< No surviving path; stalled at rate 0.
+    bool all_moved() const { return stranded.empty(); }
+  };
+
+  /// In-flight failover (the router's P3 path): every live or pending
+  /// flow whose pinned path crosses a dead link (down, or zero effective
+  /// capacity) is re-resolved through the router — which now picks the
+  /// surviving dual-ToR side or an alternate ECMP hop — and rates are
+  /// re-solved. Flows with no surviving route are stripped of their path
+  /// and stall at rate zero until aborted or the fabric heals.
+  RerouteReport reroute_flows();
+
+  /// Aborts a live or pending flow: it releases fabric bandwidth
+  /// immediately and never finishes (`aborted` set, finish stays < 0).
+  /// Models the sending process dying — fail-stop hosts abort their
+  /// flows rather than leaving them hanging in the solver.
+  void abort_flow(FlowId id);
+
   /// Forces a full max-min solve now. The event loop schedules solves
   /// itself; this exists for benchmarks and tests that measure or poke
   /// the solver directly.

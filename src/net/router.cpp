@@ -70,15 +70,24 @@ std::optional<std::vector<topo::LinkId>> Router::route(const FlowSpec& spec,
   int s2 = spec.src_rail == spec.dst_rail
                ? s1
                : (sides > 1 ? hasher.select(tuple, spec.dst_host * 2654435761u, sides) : 0);
+  // A delivery plane works only if the ToR is reachable from the source
+  // side AND still owns a live *direct* downlink to the host (distance
+  // 1). A dead ToR->host link strands the plane even when the spine can
+  // reach the ToR: next_hops would then detour back up through the
+  // aggregation tier, and the single appended last hop would leave the
+  // path dangling mid-fabric.
+  auto plane_ok = [&](topo::NodeId tor) {
+    return tor != topo::kInvalidNode && topo.distance(cur, tor) >= 0 &&
+           topo.distance(tor, spec.dst_host) == 1;
+  };
   topo::NodeId target = fabric_.tor_at(dst_node.pod, dst_node.block, dst_tor_rail,
                                        std::min(s2, sides - 1));
-  if (target == topo::kInvalidNode) return std::nullopt;
-  if (topo.distance(cur, target) < 0) {
-    // Plane unreachable (e.g. failed links); try the other side.
+  if (!plane_ok(target)) {
+    // Plane unreachable or its host downlink is dead; try the other side.
     if (sides > 1) {
       target = fabric_.tor_at(dst_node.pod, dst_node.block, dst_tor_rail, 1 - s2);
     }
-    if (target == topo::kInvalidNode || topo.distance(cur, target) < 0) return std::nullopt;
+    if (!plane_ok(target)) return std::nullopt;
   }
 
   while (cur != target) {

@@ -200,6 +200,81 @@ TEST(CollectiveRunner, RailOnlyAllToAllStillCompletes) {
   EXPECT_GT(res.nvlink_time, 0.0);  // cross-rail had to hop NVLink
 }
 
+TEST(CollectiveRunner, StallFailoverReroutesOntoSurvivingTor) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.reroute_on_stall = true});
+  int dst = f.params().rails * f.params().hosts_per_block;  // same rail 0
+  // Predict the path the first send_recv flow will pin, then silently
+  // blackhole its uplink: the flow admits, stalls at rate 0, and the
+  // runner must fail over to the other dual-ToR side in flight.
+  net::FlowSpec spec;
+  spec.src_host = f.gpu(0).host;
+  spec.dst_host = f.gpu(dst).host;
+  spec.src_rail = 0;
+  spec.dst_rail = 0;
+  spec.size = 25_MiB;
+  spec.tag = 0;  // first tag the runner hands out
+  auto path = sim.predict_path(spec);
+  ASSERT_TRUE(path.has_value());
+  sim.degrade_link(path->front(), 0.0);
+
+  auto res = runner.send_recv(0, dst, 25_MiB);
+  EXPECT_EQ(res.rerouted_flows, 1);
+  EXPECT_EQ(res.aborted_flows, 0);
+  EXPECT_GT(res.fabric_time, 0.0);
+  EXPECT_TRUE(sim.idle());  // the transfer actually finished
+}
+
+TEST(CollectiveRunner, StallFailoverAbortsWhenNoPathSurvives) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.reroute_on_stall = true});
+  int dst = f.params().rails * f.params().hosts_per_block;
+  // Blackhole both dual-ToR uplinks of the source host's rail-0 NIC:
+  // the flow admits (blackholes stay routable), stalls, and has nowhere
+  // to go — the runner must drop it rather than hang.
+  topo::NodeId src_host = f.gpu(0).host;
+  sim.degrade_link(f.topo().host_uplink(src_host, 0, 0), 0.0);
+  sim.degrade_link(f.topo().host_uplink(src_host, 0, 1), 0.0);
+
+  auto res = runner.send_recv(0, dst, 25_MiB);
+  EXPECT_EQ(res.rerouted_flows, 0);
+  EXPECT_EQ(res.aborted_flows, 1);
+  EXPECT_TRUE(sim.idle());  // aborted, not left stalled in the solver
+}
+
+TEST(CollectiveRunner, StallWithoutFailoverParksLikeAHang) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim);  // reroute_on_stall off (default)
+  int dst = f.params().rails * f.params().hosts_per_block;
+  topo::NodeId src_host = f.gpu(0).host;
+  sim.degrade_link(f.topo().host_uplink(src_host, 0, 0), 0.0);
+  sim.degrade_link(f.topo().host_uplink(src_host, 0, 1), 0.0);
+
+  auto res = runner.send_recv(0, dst, 25_MiB);
+  EXPECT_EQ(res.rerouted_flows, 0);
+  EXPECT_EQ(res.aborted_flows, 0);
+  EXPECT_FALSE(sim.idle());  // stalled flow stays live for the monitors
+}
+
+TEST(CollectiveRunner, RingFailoverKeepsAllReduceFinite) {
+  auto f = small_fabric();
+  net::FluidSim sim(f);
+  CollectiveRunner runner(sim, {.reroute_on_stall = true});
+  // Blackhole one ToR side of every host on rail 0: each ring edge that
+  // picked the dead side stalls and must be moved to the other side.
+  const auto& topo = f.topo();
+  for (int g = 0; g < 16; g += f.params().rails) {
+    sim.degrade_link(topo.host_uplink(f.gpu(g).host, 0, 0), 0.0);
+  }
+  auto res = runner.all_reduce(group_of(f, 16), 64_MiB);
+  EXPECT_GT(res.duration, 0.0);
+  EXPECT_EQ(res.aborted_flows, 0);  // the other side always survives
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(CollectiveRunner, TrivialGroupsReturnZero) {
   auto f = small_fabric();
   net::FluidSim sim(f);

@@ -1,5 +1,7 @@
 #include "monitor/analyzer.h"
 
+#include "monitor/cluster_runtime.h"
+
 #include "monitor/offline_tools.h"
 
 #include <gtest/gtest.h>

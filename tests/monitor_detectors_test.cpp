@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
 
 namespace astral::monitor {
 namespace {

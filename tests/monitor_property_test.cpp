@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
 
 namespace astral::monitor {
 namespace {

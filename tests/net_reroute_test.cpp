@@ -1,0 +1,198 @@
+// In-flight failover in the fluid simulator: reroute_flows() migrates
+// live flows off dead links onto the surviving dual-ToR side, and
+// abort_flow() tears down flows whose sender died.
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "net/fluid_sim.h"
+#include "topo/fabric.h"
+
+namespace astral::net {
+namespace {
+
+using core::Seconds;
+using namespace core;  // literal operators (_MiB)
+
+topo::Fabric small_fabric() {
+  topo::FabricParams p;
+  p.style = topo::FabricStyle::AstralSameRail;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+FlowSpec make_spec(const topo::Fabric& f, int src_gpu, int dst_gpu, core::Bytes size,
+                   std::uint64_t tag = 0) {
+  auto a = f.gpu(src_gpu);
+  auto b = f.gpu(dst_gpu);
+  FlowSpec s;
+  s.src_host = a.host;
+  s.dst_host = b.host;
+  s.src_rail = a.rail;
+  s.dst_rail = b.rail;
+  s.size = size;
+  s.tag = tag;
+  return s;
+}
+
+// No active flow may keep a path crossing a dead or blackholed link.
+void expect_no_flow_on_dead_links(const FluidSim& sim) {
+  const auto& topo = sim.fabric().topo();
+  for (FlowId id : sim.active_flows()) {
+    for (topo::LinkId l : sim.flow(id).path) {
+      EXPECT_TRUE(topo.link(l).up) << "flow " << id << " on down link " << l;
+      EXPECT_GT(sim.effective_capacity(l), 0.0)
+          << "flow " << id << " on blackholed link " << l;
+    }
+  }
+}
+
+TEST(Reroute, MidTransferUplinkDeathMovesFlowToOtherSide) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;  // other block
+  FlowId id = sim.inject(make_spec(f, 0, dst, 20_MiB));
+  ASSERT_TRUE(sim.flow(id).admitted);
+
+  // Let roughly half the transfer happen, then kill the first hop.
+  Seconds half = core::transfer_time(10_MiB, core::gbps(200));
+  sim.run(half);
+  topo::LinkId dead = sim.flow(id).path.front();
+  sim.set_link_up(dead, false);
+
+  auto rep = sim.reroute_flows();
+  ASSERT_EQ(rep.rerouted.size(), 1u);
+  EXPECT_EQ(rep.rerouted.front(), id);
+  EXPECT_TRUE(rep.all_moved());
+  expect_no_flow_on_dead_links(sim);
+
+  sim.run();
+  EXPECT_GE(sim.flow(id).finish, half);
+  EXPECT_FALSE(sim.flow(id).aborted);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Reroute, BlackholedLinkCountsAsDead) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId id = sim.inject(make_spec(f, 0, dst, 20_MiB));
+  sim.run(core::msec(0.1));
+
+  // Silent blackhole: link stays up for routing but allocates zero.
+  sim.degrade_link(sim.flow(id).path.front(), 0.0);
+  auto rep = sim.reroute_flows();
+  ASSERT_EQ(rep.rerouted.size(), 1u);
+  expect_no_flow_on_dead_links(sim);
+  sim.run();
+  EXPECT_GT(sim.flow(id).finish, 0.0);
+}
+
+TEST(Reroute, NoSurvivingSideStrandsThenAbortDrains) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId id = sim.inject(make_spec(f, 0, dst, 20_MiB));
+  sim.run(core::msec(0.1));
+
+  // Kill both NIC ports of the source rail: no plane survives.
+  auto spec = sim.flow(id).spec;
+  for (int side = 0; side < topo.sides(); ++side) {
+    topo::LinkId up = topo.host_uplink(spec.src_host, spec.src_rail, side);
+    ASSERT_NE(up, topo::kInvalidLink);
+    sim.set_link_up(up, false);
+  }
+  auto rep = sim.reroute_flows();
+  ASSERT_EQ(rep.stranded.size(), 1u);
+  EXPECT_FALSE(rep.all_moved());
+  EXPECT_TRUE(sim.flow(id).path.empty());
+  EXPECT_EQ(sim.current_rate(id), 0.0);
+
+  // The stranded flow holds the sim open until its sender is torn down.
+  EXPECT_FALSE(sim.idle());
+  sim.abort_flow(id);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_TRUE(sim.flow(id).aborted);
+  EXPECT_LT(sim.flow(id).finish, 0.0);
+  sim.run();  // returns immediately; nothing left to simulate
+}
+
+TEST(Reroute, AbortReleasesBandwidthToSharers) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  FlowId a = sim.inject(make_spec(f, 0, dst, 10_MiB, 1));
+  FlowId b = sim.inject(make_spec(f, 0, dst, 10_MiB, 2));
+  sim.run(core::msec(0.05));
+  double before = sim.current_rate(b);
+  sim.abort_flow(a);
+  EXPECT_GT(sim.current_rate(b), before * 1.5);  // released the shared port
+  sim.run();
+  EXPECT_GT(sim.flow(b).finish, 0.0);
+  EXPECT_LT(sim.flow(a).finish, 0.0);
+}
+
+TEST(Reroute, PendingFlowPinnedPathIsRefreshed) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 4_MiB);
+  spec.start = core::msec(10);
+  FlowId id = sim.inject(spec);  // path pinned now, starts later
+
+  topo::LinkId pinned_first = sim.flow(id).path.front();
+  sim.set_link_up(pinned_first, false);
+  auto rep = sim.reroute_flows();
+  ASSERT_EQ(rep.rerouted.size(), 1u);
+  EXPECT_NE(sim.flow(id).path.front(), pinned_first);
+
+  sim.run();
+  EXPECT_GT(sim.flow(id).finish, 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Reroute, AbortPendingFlowNeverAdmits) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  auto spec = make_spec(f, 0, dst, 4_MiB);
+  spec.start = core::msec(10);
+  FlowId id = sim.inject(spec);
+  sim.abort_flow(id);
+  EXPECT_TRUE(sim.idle());
+  sim.run();
+  EXPECT_TRUE(sim.flow(id).aborted);
+  EXPECT_LT(sim.flow(id).finish, 0.0);
+}
+
+TEST(Reroute, SetLinkUpRestoresDegradedCapacityNotFull) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  topo::LinkId l = 0;
+  double full = sim.effective_capacity(l);
+  sim.degrade_link(l, 0.25);
+  sim.set_link_up(l, false);
+  EXPECT_EQ(sim.effective_capacity(l), 0.0);
+  sim.set_link_up(l, true);
+  EXPECT_NEAR(sim.effective_capacity(l), full * 0.25, full * 1e-9);
+}
+
+TEST(Reroute, RerouteOnHealthyFabricIsANoop) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  int dst = f.params().rails * f.params().hosts_per_block;
+  sim.inject(make_spec(f, 0, dst, 10_MiB, 1));
+  sim.inject(make_spec(f, 2, dst + 2, 10_MiB, 2));
+  sim.run(core::msec(0.05));
+  auto rep = sim.reroute_flows();
+  EXPECT_TRUE(rep.rerouted.empty());
+  EXPECT_TRUE(rep.stranded.empty());
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace astral::net

@@ -1,0 +1,160 @@
+// Dual-ToR (P3) failover edge cases in the router: a flow must survive
+// the loss of either side of a dual-homed host, and must cleanly fail
+// (nullopt, never a stale or dead path) when no side survives.
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "net/fluid_sim.h"
+#include "net/router.h"
+#include "topo/fabric.h"
+
+namespace astral::net {
+namespace {
+
+using namespace core;  // literal operators (_MiB)
+
+topo::Fabric small_fabric(bool dual_tor = true) {
+  topo::FabricParams p;
+  p.style = topo::FabricStyle::AstralSameRail;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  p.dual_tor = dual_tor;
+  return topo::Fabric(p);
+}
+
+FlowSpec make_spec(const topo::Fabric& f, int src_gpu, int dst_gpu) {
+  auto a = f.gpu(src_gpu);
+  auto b = f.gpu(dst_gpu);
+  FlowSpec s;
+  s.src_host = a.host;
+  s.dst_host = b.host;
+  s.src_rail = a.rail;
+  s.dst_rail = b.rail;
+  s.size = 1_MiB;
+  return s;
+}
+
+// The ToR->host reverse of a host->ToR uplink.
+topo::LinkId downlink_of(const topo::Topology& topo, topo::LinkId uplink) {
+  topo::NodeId tor = topo.link(uplink).dst;
+  topo::NodeId host = topo.link(uplink).src;
+  for (topo::LinkId l : topo.out_links(tor)) {
+    if (topo.link(l).dst == host) return l;
+  }
+  return topo::kInvalidLink;
+}
+
+bool path_all_up(const topo::Topology& topo, const std::vector<topo::LinkId>& path) {
+  for (topo::LinkId l : path) {
+    if (!topo.link(l).up) return false;
+  }
+  return true;
+}
+
+TEST(RouterFailover, SourceUplinkDeadUsesOtherSide) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+
+  auto before = router.route(spec, tuple);
+  ASSERT_TRUE(before.has_value());
+  // Kill the side the hash picked (the first hop of the current path).
+  topo.set_link_state(before->front(), false);
+
+  auto after = router.route(spec, tuple);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after->front(), before->front());
+  EXPECT_TRUE(path_all_up(topo, *after));
+}
+
+TEST(RouterFailover, DestinationDownlinkDeadUsesOtherSide) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+
+  auto before = router.route(spec, tuple);
+  ASSERT_TRUE(before.has_value());
+  // Kill the delivering ToR->host downlink the hash picked.
+  topo.set_link_state(before->back(), false);
+
+  auto after = router.route(spec, tuple);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after->back(), before->back());
+  EXPECT_TRUE(path_all_up(topo, *after));
+  // Still lands on the destination host.
+  EXPECT_EQ(topo.link(after->back()).dst, spec.dst_host);
+}
+
+TEST(RouterFailover, BothDestinationSidesDeadReturnsNullopt) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+  ASSERT_TRUE(router.route(spec, tuple).has_value());
+
+  for (int side = 0; side < topo.sides(); ++side) {
+    topo::LinkId up = topo.host_uplink(spec.dst_host, spec.dst_rail, side);
+    ASSERT_NE(up, topo::kInvalidLink);
+    topo.set_link_state(downlink_of(topo, up), false);
+  }
+  // No stale path: both delivery planes are gone.
+  EXPECT_FALSE(router.route(spec, tuple).has_value());
+}
+
+TEST(RouterFailover, BothSourceSidesDeadReturnsNullopt) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+
+  for (int side = 0; side < topo.sides(); ++side) {
+    topo::LinkId up = topo.host_uplink(spec.src_host, spec.src_rail, side);
+    ASSERT_NE(up, topo::kInvalidLink);
+    topo.set_link_state(up, false);
+  }
+  EXPECT_FALSE(router.route(spec, tuple).has_value());
+}
+
+TEST(RouterFailover, SingleTorFabricHasNoFailover) {
+  auto f = small_fabric(/*dual_tor=*/false);
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+
+  auto before = router.route(spec, tuple);
+  ASSERT_TRUE(before.has_value());
+  topo.set_link_state(before->front(), false);
+  // One side only: no surviving plane to fail over to.
+  EXPECT_FALSE(router.route(spec, tuple).has_value());
+}
+
+TEST(RouterFailover, RouteReflectsLinkStateImmediately) {
+  auto f = small_fabric();
+  auto& topo = f.topo();
+  Router router(f);
+  auto spec = make_spec(f, 0, f.params().rails * f.params().hosts_per_block);
+  auto tuple = router.tuple_for(spec);
+
+  auto before = router.route(spec, tuple);
+  ASSERT_TRUE(before.has_value());
+  topo.set_link_state(before->front(), false);
+  auto rerouted = router.route(spec, tuple);
+  ASSERT_TRUE(rerouted.has_value());
+  topo.set_link_state(before->front(), true);
+  // Healed: the hashed side is preferred again (no stale cache).
+  auto healed = router.route(spec, tuple);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->front(), before->front());
+}
+
+}  // namespace
+}  // namespace astral::net
