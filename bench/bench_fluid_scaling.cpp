@@ -17,6 +17,7 @@
 
 #include "net/fluid_sim.h"
 #include "net/maxmin_ref.h"
+#include "obs/metrics.h"
 #include "topo/fabric.h"
 
 // ---- allocation counting hook -------------------------------------------
@@ -157,6 +158,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(p.steady_state_allocs));
   }
 
+  // Solver-step latency distribution via the obs metrics registry, from a
+  // separate instrumented end-to-end run — the timed loops above stay
+  // uninstrumented so the trajectory numbers measure the tracing-disabled
+  // path.
+  obs::Metrics metrics;
+  {
+    net::FluidSim sim(fabric);
+    sim.set_metrics(&metrics);
+    sim.inject_batch(permutation_specs(fabric, 4096));
+    sim.run();
+  }
+  const obs::Histogram* solve_hist = metrics.find_histogram("fluidsim.solve_us");
+
   double speedup_4k = 0.0;
   bool point_64k = false;
   std::uint64_t total_steady_allocs = 0;
@@ -197,6 +211,15 @@ int main(int argc, char** argv) {
                  p.solve_iters, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  if (solve_hist != nullptr && solve_hist->count() > 0) {
+    std::fprintf(f,
+                 "  \"solve_histogram\": {\"flows\": 4096, \"count\": %llu, "
+                 "\"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, "
+                 "\"max_us\": %.3f},\n",
+                 static_cast<unsigned long long>(solve_hist->count()),
+                 solve_hist->percentile(50), solve_hist->percentile(90),
+                 solve_hist->percentile(99), solve_hist->max());
+  }
   std::fprintf(f, "  \"criteria\": {\n");
   std::fprintf(f, "    \"solve_speedup_4k\": %.2f,\n", speedup_4k);
   std::fprintf(f, "    \"solve_speedup_4k_required\": 3.0,\n");
@@ -206,6 +229,13 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
+  if (solve_hist != nullptr && solve_hist->count() > 0) {
+    std::printf("solve histogram (4k flows, instrumented run): count=%llu "
+                "p50=%.1fus p99=%.1fus max=%.1fus\n",
+                static_cast<unsigned long long>(solve_hist->count()),
+                solve_hist->percentile(50), solve_hist->percentile(99),
+                solve_hist->max());
+  }
   std::printf("wrote %s (4k solve speedup %.1fx, 64k point %s)\n", out_path.c_str(),
               speedup_4k, point_64k ? "completed" : "MISSING");
 

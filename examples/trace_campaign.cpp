@@ -1,0 +1,116 @@
+// Flight-recorder campaign: a fault-scheduled training job on a 1K-host
+// fabric with the cross-layer Tracer + Metrics attached. The run emits
+//   campaign.trace.json    one Chrome/Perfetto trace where tracks =
+//                          layers (workload / collective / flow / link /
+//                          fault-mitigation) plus a Seer forecast of the
+//                          same job as a second process, and
+//   campaign.metrics.json  the deterministic metrics snapshot (counters,
+//                          gauges, histogram percentiles).
+// Open the trace at https://ui.perfetto.dev (see EXPERIMENTS.md). Events
+// across tracks share the paper's correlation keys: the flow spans carry
+// the job id stamped by the runtime, the fault instants carry the fault
+// index, and the MTTR phases appear as back-to-back spans.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/table.h"
+#include "monitor/cluster_runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "seer/engine.h"
+#include "seer/templates.h"
+
+using namespace astral;
+
+namespace {
+
+bool write_file(const char* path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path);
+    return false;
+  }
+  out << text << '\n';
+  return out.good();
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner("Flight-recorder campaign - cross-layer run tracing");
+
+  // 1K-host fabric: 16 hosts/block x 8 blocks/pod x 8 pods = 1024 hosts.
+  topo::FabricParams params;
+  params.rails = 2;
+  params.hosts_per_block = 16;
+  params.blocks_per_pod = 8;
+  params.pods = 8;
+  topo::Fabric fabric(params);
+  std::printf("Fabric: %d hosts, %d rails\n",
+              params.hosts_per_block * params.blocks_per_pod * params.pods,
+              params.rails);
+
+  monitor::JobConfig job;
+  job.job_id = 42;
+  job.hosts = 32;
+  job.iterations = 6;
+  job.comm_bytes = 8ull * 1024 * 1024;
+  job.recovery.enabled = true;
+  monitor::ClusterRuntime rt(fabric, job, /*seed=*/7);
+
+  // Fault schedule: one taxonomy fault plus the mid-transfer ToR death
+  // (the dual-ToR failover showcase), so the Fault track carries the full
+  // inject -> detect -> locate -> mitigate chain.
+  rt.inject(rt.make_fault(monitor::RootCause::OpticalFiber,
+                          monitor::Manifestation::FailStop, /*at_iteration=*/2));
+  rt.inject(rt.make_mid_transfer_tor_death(/*at_iteration=*/4));
+
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  rt.set_tracer(&tracer);
+  rt.set_metrics(&metrics);
+
+  auto outcome = rt.run();
+  std::printf("Run %s: %d committed iterations, %zu mitigations, "
+              "%d reroutes, goodput %.1f%%\n",
+              outcome.completed ? "completed" : "aborted",
+              outcome.committed_iterations, outcome.mitigations.size(),
+              outcome.reroutes, outcome.goodput * 100.0);
+
+  // Forecast of one iteration's microbatch with the Seer, appended to the
+  // same trace as a second process so forecast and measured run sit side
+  // by side in one Perfetto view.
+  auto graph = seer::build_graph(seer::ModelSpec::llama3_70b(),
+                                 {.tp = 8, .dp = 2, .pp = 2, .ep = 1},
+                                 seer::WorkloadShape{});
+  auto forecast =
+      seer::SeerEngine(seer::CostModel(seer::GpuSpec::h100(), seer::CommEnv{},
+                                       std::make_shared<seer::TestbedEfficiency>()))
+          .run(graph);
+
+  obs::ChromeTraceBuilder builder;
+  tracer.append_chrome_trace(builder, /*pid=*/1);
+  forecast.append_chrome_trace(builder, /*pid=*/2, "seer forecast");
+  auto trace = builder.build();
+  if (!write_file("campaign.trace.json", trace.dump(2))) return 1;
+
+  auto snapshot = metrics.to_json();
+  if (!write_file("campaign.metrics.json", snapshot.dump(2))) return 1;
+
+  std::printf("\nTrace:   campaign.trace.json (%zu events; open in ui.perfetto.dev)\n",
+              trace["traceEvents"].size());
+  std::printf("Metrics: campaign.metrics.json\n\n");
+
+  core::Table tracks({"track", "retained", "recorded", "dropped"});
+  for (int t = 0; t < obs::kTrackCount; ++t) {
+    auto track = static_cast<obs::Track>(t);
+    tracks.add_row({obs::to_string(track),
+                    std::to_string(tracer.events(track).size()),
+                    std::to_string(tracer.recorded(track)),
+                    std::to_string(tracer.dropped(track))});
+  }
+  tracks.print();
+  std::printf("\n%s", metrics.to_table().c_str());
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <map>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace astral::coll {
 
 using core::Bytes;
@@ -12,14 +14,55 @@ using core::Seconds;
 CollectiveRunner::CollectiveRunner(net::FluidSim& sim, Options opts)
     : sim_(sim), opts_(opts), next_tag_(opts.tag) {}
 
+/// Per-collective recording scope: sets the ambient collective/group keys
+/// for the duration of the call (so FluidSim's flow events inherit them)
+/// and emits the Collective-track span on destruction. No-op when the sim
+/// has no tracer attached.
+struct CollectiveRunner::TraceScope {
+  TraceScope(CollectiveRunner& runner, const char* name, const CommGroup* group,
+             Bytes bytes)
+      : tracer(runner.sim_.tracer()),
+        name(name),
+        bytes(bytes),
+        begin(runner.sim_.now()),
+        sim(runner.sim_) {
+    keys.collective = runner.next_collective_id_++;
+    if (group != nullptr && !group->gpus.empty()) keys.group = group->gpus.front();
+    if (tracer) prev = tracer->push_ambient(keys);
+  }
+  ~TraceScope() {
+    if (!tracer) return;
+    tracer->set_ambient(prev);
+    tracer->span(obs::Track::Collective, name, begin, sim.now() - begin, keys,
+                 static_cast<double>(bytes));
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  obs::Tracer* tracer;
+  const char* name;
+  Bytes bytes;
+  Seconds begin;
+  net::FluidSim& sim;
+  obs::TraceKeys keys;
+  obs::TraceKeys prev;
+};
+
 void CollectiveRunner::drain_stalled(CollectiveResult* res) {
   if (!opts_.reroute_on_stall) return;
   // run() returns with flows still active only when every one of them is
   // stalled on dead or blackholed links. Fail over in flight: re-resolve
   // their paths through the router, drop whatever has no surviving route,
   // and let the survivors finish at re-solved rates.
+  obs::Tracer* tracer = sim_.tracer();
+  if (tracer && !sim_.idle()) {
+    tracer->instant(obs::Track::Collective, "collective.stall", sim_.now());
+  }
   while (!sim_.idle()) {
     net::FluidSim::RerouteReport rep = sim_.reroute_flows();
+    if (tracer) {
+      tracer->instant(obs::Track::Collective, "collective.reroute", sim_.now());
+    }
     for (net::FlowId id : rep.stranded) sim_.abort_flow(id);
     if (res != nullptr) {
       res->rerouted_flows += static_cast<int>(rep.rerouted.size());
@@ -42,6 +85,8 @@ CollectiveResult CollectiveRunner::all_to_all(const CommGroup& group, Bytes per_
   CollectiveResult res;
   const int n = group.size();
   if (n < 2 || per_pair == 0) return res;
+  TraceScope trace(*this, "all_to_all", &group,
+                   static_cast<Bytes>(static_cast<double>(per_pair) * n * (n - 1)));
   const auto& fabric = sim_.fabric();
 
   // Choose which shift rounds to simulate.
@@ -171,6 +216,7 @@ CollectiveResult CollectiveRunner::all_reduce(const CommGroup& group, Bytes size
   CollectiveResult res;
   const int n = group.size();
   if (n < 2 || size == 0) return res;
+  TraceScope trace(*this, "all_reduce", &group, size);
   Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
   int fabric_edges = 0;
   Seconds step = ring_step(group, chunk, &fabric_edges, &res);
@@ -189,6 +235,7 @@ CollectiveResult CollectiveRunner::all_reduce_hierarchical(const CommGroup& grou
   CollectiveResult res;
   const int n = group.size();
   if (n < 2 || size == 0) return res;
+  TraceScope trace(*this, "all_reduce_hierarchical", &group, size);
   const auto& fabric = sim_.fabric();
 
   // Group ranks by host, preserving rail identity.
@@ -259,6 +306,7 @@ CollectiveResult CollectiveRunner::reduce_scatter(const CommGroup& group, Bytes 
   CollectiveResult res;
   const int n = group.size();
   if (n < 2 || size == 0) return res;
+  TraceScope trace(*this, "reduce_scatter", &group, size);
   Bytes chunk = std::max<Bytes>(1, size / static_cast<Bytes>(n));
   int fabric_edges = 0;
   Seconds step = ring_step(group, chunk, &fabric_edges, &res);
@@ -280,6 +328,7 @@ CollectiveResult CollectiveRunner::all_gather(const CommGroup& group, Bytes size
 CollectiveResult CollectiveRunner::send_recv(int src_gpu, int dst_gpu, Bytes size) {
   CollectiveResult res;
   if (size == 0 || src_gpu == dst_gpu) return res;
+  TraceScope trace(*this, "send_recv", nullptr, size);
   const auto& fabric = sim_.fabric();
   auto la = fabric.gpu(src_gpu);
   auto lb = fabric.gpu(dst_gpu);

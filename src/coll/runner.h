@@ -81,6 +81,13 @@ class CollectiveRunner {
   net::FluidSim& sim() { return sim_; }
 
  private:
+  /// The flight recorder rides on the sim (one source of truth): each
+  /// public collective gets a Collective-track span (name = algorithm,
+  /// value = bytes moved) and sets the ambient collective key so flow
+  /// events recorded by FluidSim during the collective inherit it.
+  /// Groups are keyed by their anchor rank (gpus.front()) — stable and
+  /// deterministic, since CommGroup carries no id of its own.
+  struct TraceScope;
   /// Simulates one ring step of `chunk` bytes and returns its duration;
   /// `fabric_edges` (optional) receives the count of host-crossing edges.
   core::Seconds ring_step(const CommGroup& group, core::Bytes chunk,
@@ -94,6 +101,7 @@ class CollectiveRunner {
   net::FluidSim& sim_;
   Options opts_;
   std::uint64_t next_tag_;
+  std::int64_t next_collective_id_ = 0;
 };
 
 }  // namespace astral::coll

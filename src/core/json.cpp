@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace astral::core {
 namespace {
@@ -240,13 +241,29 @@ void dump_escaped(std::string& out, const std::string& s) {
 }
 
 void dump_number(std::string& out, double d) {
+  // JSON has no Infinity/NaN literal; emit null like other serializers
+  // rather than producing an unparseable document.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
   if (std::floor(d) == d && std::abs(d) < 1e15) {
     out += std::to_string(static_cast<std::int64_t>(d));
-  } else {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", d);
-    out += buf;
+    return;
   }
+  // Shortest representation that round-trips to the same bits: %.17g is
+  // always exact but prints noise digits (0.1 -> "0.10000000000000001"),
+  // which makes two serializations of equal values compare unequal and
+  // trace goldens diff dirty. Probing precisions upward yields a single
+  // canonical form per value, platform-independently.
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = 0.0;
+    auto [ptr, ec] = std::from_chars(buf, buf + std::strlen(buf), back);
+    if (ec == std::errc() && ptr == buf + std::strlen(buf) && back == d) break;
+  }
+  out += buf;
 }
 
 }  // namespace

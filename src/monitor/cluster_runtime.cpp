@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "monitor/analyzer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace astral::monitor {
 
@@ -53,6 +55,16 @@ ClusterRuntime::ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_
     meta.tuple.dst_ip = spec.dst_host;
     store_.register_qp(meta);
   }
+}
+
+void ClusterRuntime::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  sim_->set_tracer(tracer);
+}
+
+void ClusterRuntime::set_metrics(obs::Metrics* metrics) {
+  metrics_ = metrics;
+  sim_->set_metrics(metrics);
 }
 
 Seconds ClusterRuntime::expected_comm() const {
@@ -282,6 +294,11 @@ RunOutcome ClusterRuntime::run() {
 
 RunOutcome ClusterRuntime::run_job() {
   RunOutcome out;
+  // Every event recorded below (including FluidSim's flow events) carries
+  // this job's id through the ambient key chain.
+  obs::TraceKeys job_keys;
+  job_keys.job = cfg_.job_id;
+  obs::AmbientScope job_scope(tracer_, job_keys);
   const RecoveryConfig& rc = cfg_.recovery;
   const Seconds hang_deadline = expected_comm() * cfg_.hang_timeout_factor;
   const Seconds healthy_iter = cfg_.compute_time + expected_comm();
@@ -309,6 +326,40 @@ RunOutcome ClusterRuntime::run_job() {
 
   // The failure the current iteration attempt died of, if any.
   FaultRt* resp = nullptr;
+
+  // Fault-track events share the fault's schedule index as their key.
+  auto trace_injection = [&](const FaultRt& fr, Seconds t) {
+    if (metrics_) metrics_->add("runtime.faults.injected");
+    if (!tracer_) return;
+    obs::TraceKeys k;
+    k.fault = static_cast<std::int64_t>(&fr - faults_.data());
+    if (fr.spec.target_link != topo::kInvalidLink) k.link = fr.spec.target_link;
+    tracer_->instant(obs::Track::Fault, "fault.injected", t, k,
+                     to_string(fr.spec.cause));
+  };
+
+  // The MTTR phase breakdown as Fault-track spans, with instants marking
+  // the paper's detect -> locate -> mitigate pipeline stages.
+  auto trace_mitigation = [&](const MitigationRecord& rec, Seconds t0) {
+    if (metrics_) {
+      metrics_->add("runtime.mitigations");
+      metrics_->histogram("runtime.mttr_s").record(rec.mttr());
+    }
+    if (!tracer_) return;
+    obs::TraceKeys k;
+    k.fault = rec.fault_index;
+    tracer_->span(obs::Track::Fault, "mttr.detect", t0, rec.detect_time, k);
+    tracer_->instant(obs::Track::Fault, "fault.detected", t0 + rec.detect_time, k);
+    tracer_->span(obs::Track::Fault, "mttr.locate", t0 + rec.detect_time,
+                  rec.locate_time, k);
+    tracer_->instant(obs::Track::Fault, "fault.located",
+                     t0 + rec.detect_time + rec.locate_time, k);
+    tracer_->span(obs::Track::Fault, "mttr.recover",
+                  t0 + rec.detect_time + rec.locate_time, rec.recover_time, k, 0.0,
+                  to_string(rec.action));
+    tracer_->instant(obs::Track::Fault, "fault.mitigated", t0 + rec.mttr(), k,
+                     to_string(rec.action));
+  };
 
   // Picks the fault a failure is attributed to: the most recently
   // activated unresolved fault, falling back to the last activated one
@@ -359,6 +410,13 @@ RunOutcome ClusterRuntime::run_job() {
     if (action == MitigationAction::Abort) {
       rec.succeeded = false;
       out.mitigations.push_back(rec);
+      if (metrics_) metrics_->add("runtime.mitigation_aborts");
+      if (tracer_) {
+        obs::TraceKeys k;
+        k.fault = rec.fault_index;
+        tracer_->instant(obs::Track::Fault, "mitigation.abort", sim_->now(), k,
+                         to_string(rec.observed));
+      }
       return false;
     }
     switch (action) {
@@ -407,6 +465,7 @@ RunOutcome ClusterRuntime::run_job() {
       const auto& st = sim_->flow(fid);
       if (st.admitted && st.finish < 0 && !st.aborted) sim_->abort_flow(fid);
     }
+    trace_mitigation(rec, sim_->now());
     sim_->run(sim_->now() + rec.mttr());
     out.downtime += rec.mttr();
     out.mitigations.push_back(rec);
@@ -425,6 +484,7 @@ RunOutcome ClusterRuntime::run_job() {
       if (!fr.applied && fr.spec.mid_transfer_fraction <= 0.0 &&
           iter >= fr.spec.at_iteration) {
         emit_injection_syslog(fr.spec, now);
+        trace_injection(fr, now);
         if (!is_host_side(fr.spec.cause) || fr.spec.cause == RootCause::PcieDegrade) {
           apply_network_fault(fr.spec);
         }
@@ -574,6 +634,7 @@ RunOutcome ClusterRuntime::run_job() {
     auto strike_fault = [&](FaultRt& fr) {
       const FaultSpec& f = fr.spec;
       emit_injection_syslog(f, sim_->now());
+      trace_injection(fr, sim_->now());
       fr.applied = true;
       if (is_host_side(f.cause)) {
         if (f.manifestation == Manifestation::FailStop) {
@@ -607,6 +668,13 @@ RunOutcome ClusterRuntime::run_job() {
         // detect/locate pipelines.
         auto rep = sim_->reroute_flows();
         out.reroutes += static_cast<int>(rep.rerouted.size());
+        if (metrics_) metrics_->add("runtime.inflight_reroutes", rep.rerouted.size());
+        if (tracer_) {
+          obs::TraceKeys k;
+          k.fault = static_cast<std::int64_t>(&fr - faults_.data());
+          tracer_->instant(obs::Track::Fault, "fault.inflight_reroute", sim_->now(),
+                           k, to_string(f.cause));
+        }
         for (net::FlowId fid : rep.stranded) sim_->abort_flow(fid);
         MitigationRecord rec;
         rec.fault_index = static_cast<int>(&fr - faults_.data());
@@ -743,6 +811,18 @@ RunOutcome ClusterRuntime::run_job() {
       }
     }
 
+    if (metrics_) metrics_->add("runtime.iterations.committed");
+    if (tracer_) {
+      // The ring comm phase is the job's collective: one Collective-track
+      // span (value = bytes over the fabric) nested under the Workload
+      // iteration span, all stamped with the ambient job key.
+      tracer_->span(obs::Track::Workload, "compute", iter_start, max_compute);
+      tracer_->span(obs::Track::Collective, "ring_step", comm_start,
+                    now - comm_start, {},
+                    static_cast<double>(cfg_.comm_bytes) * cfg_.hosts);
+      tracer_->span(obs::Track::Workload, "iteration", iter_start, now - iter_start,
+                    {}, static_cast<double>(iter));
+    }
     iter_useful[static_cast<std::size_t>(iter)] = now - iter_start;
     out.useful_time += now - iter_start;
     ++iter;

@@ -28,6 +28,11 @@
 #include "monitor/store.h"
 #include "net/fluid_sim.h"
 
+namespace astral::obs {
+class Tracer;
+class Metrics;
+}  // namespace astral::obs
+
 namespace astral::monitor {
 
 /// How the job reacts to a localized failure (§3.3 -> operations).
@@ -59,6 +64,9 @@ struct JobConfig {
   /// after the first occurrence; before that the root cause is invisible.
   bool pcie_monitoring = true;
   RecoveryConfig recovery;
+  /// Ambient trace key identifying this job in a campaign-wide flight
+  /// recording (see obs::TraceKeys); purely observational.
+  std::int64_t job_id = 0;
 };
 
 enum class MitigationAction : std::uint8_t {
@@ -151,6 +159,18 @@ class ClusterRuntime {
   };
   const std::vector<HostConfig>& host_configs() const { return host_configs_; }
 
+  /// Attaches the flight recorder to the runtime and its FluidSim: the
+  /// runtime stamps the ambient job key (JobConfig::job_id), emits
+  /// Workload iteration spans, Collective-track ring-phase spans, and
+  /// Fault-track injection/detection/location/mitigation events carrying
+  /// the MTTR phase breakdown. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches a metrics registry to the runtime and its FluidSim:
+  /// mitigation counters and the "runtime.mttr_s" histogram, on top of
+  /// the sim's solver metrics. nullptr detaches.
+  void set_metrics(obs::Metrics* metrics);
+
  private:
   /// Runtime state of one scheduled fault.
   struct FaultRt {
@@ -185,6 +205,8 @@ class ClusterRuntime {
   std::vector<FaultRt> faults_;
   std::vector<double> host_slow_;  ///< Compute slow-down factor per host.
   std::vector<topo::LinkId> downed_links_;  ///< Fabric state to restore.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace astral::monitor

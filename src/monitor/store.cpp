@@ -61,19 +61,13 @@ double TelemetryStore::mean_qp_rate(QpId qp, core::Seconds from, core::Seconds t
 }
 
 std::uint64_t TelemetryStore::total_pfc(topo::LinkId link) const {
-  std::uint64_t total = 0;
-  for (const auto& s : link_counters_) {
-    if (s.link == link) total += s.pfc_pauses;
-  }
-  return total;
+  auto it = link_totals_.find(link);
+  return it == link_totals_.end() ? 0 : it->second.pfc_pauses;
 }
 
 std::uint64_t TelemetryStore::total_ecn(topo::LinkId link) const {
-  std::uint64_t total = 0;
-  for (const auto& s : link_counters_) {
-    if (s.link == link) total += s.ecn_marks;
-  }
-  return total;
+  auto it = link_totals_.find(link);
+  return it == link_totals_.end() ? 0 : it->second.ecn_marks;
 }
 
 std::vector<SyslogEvent> TelemetryStore::host_syslog(int host_rank) const {

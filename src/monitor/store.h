@@ -21,7 +21,16 @@ class TelemetryStore {
   void record(ErrCqeEvent ev) { err_cqes_.push_back(std::move(ev)); }
   void record(SflowPathRecord r) { sflow_[r.qp] = std::move(r); }
   void record(IntProbeResult r) { int_probes_.push_back(std::move(r)); }
-  void record(LinkCounterSample s) { link_counters_.push_back(s); }
+  void record(LinkCounterSample s) {
+    // Per-link running totals are maintained here so total_pfc/total_ecn
+    // are O(1) lookups instead of a scan over every sample of the run —
+    // the analyzer calls them per candidate link on the hot diagnosis
+    // path of long campaigns.
+    auto& agg = link_totals_[s.link];
+    agg.ecn_marks += s.ecn_marks;
+    agg.pfc_pauses += s.pfc_pauses;
+    link_counters_.push_back(s);
+  }
   void record(SyslogEvent ev) { syslog_.push_back(std::move(ev)); }
   void register_qp(QpMeta meta) { qp_meta_[meta.qp] = meta; }
 
@@ -45,7 +54,8 @@ class TelemetryStore {
   std::vector<NcclTimelineEvent> iteration_events(int iteration) const;
   /// Mean QP rate over a window; 0 when no samples.
   double mean_qp_rate(QpId qp, core::Seconds from, core::Seconds to) const;
-  /// Sum of PFC pauses recorded for a link over the whole run.
+  /// Sum of PFC pauses recorded for a link over the whole run. O(1):
+  /// served from running aggregates maintained by record().
   std::uint64_t total_pfc(topo::LinkId link) const;
   std::uint64_t total_ecn(topo::LinkId link) const;
   /// Syslog events for a job host rank.
@@ -72,6 +82,13 @@ class TelemetryStore {
   std::vector<LinkCounterSample> link_counters_;
   std::vector<SyslogEvent> syslog_;
   std::unordered_map<QpId, QpMeta> qp_meta_;
+
+  /// Running per-link counter totals (see record(LinkCounterSample)).
+  struct LinkTotals {
+    std::uint64_t ecn_marks = 0;
+    std::uint64_t pfc_pauses = 0;
+  };
+  std::unordered_map<topo::LinkId, LinkTotals> link_totals_;
 };
 
 }  // namespace astral::monitor

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace astral::net {
 
@@ -145,7 +149,14 @@ void FluidSim::clear_live() {
   live_links_.clear();
 }
 
+void FluidSim::set_metrics(obs::Metrics* metrics) {
+  metrics_ = metrics;
+  solve_hist_ = metrics ? &metrics->histogram("fluidsim.solve_us") : nullptr;
+}
+
 void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
+  using clock = std::chrono::steady_clock;
+  const auto solve_t0 = solve_hist_ ? clock::now() : clock::time_point{};
   ++solve_epoch_;
   touched_scratch_.clear();
   for (FlowId id : subset) {
@@ -223,9 +234,14 @@ void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
       std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
     }
   }
+  if (solve_hist_) {
+    solve_hist_->record(
+        std::chrono::duration<double, std::micro>(clock::now() - solve_t0).count());
+  }
 }
 
 void FluidSim::solve_full() {
+  if (metrics_) metrics_->add("fluidsim.solves.full");
   clear_live();
   fill_and_freeze(active_);
   solve_pending_ = false;
@@ -236,6 +252,7 @@ void FluidSim::resolve_rates() { solve_full(); }
 void FluidSim::accumulate_until(core::Seconds t) {
   const double dt = t - accumulated_until_;
   if (dt <= 0) return;
+  const core::Seconds interval_start = accumulated_until_;
   accumulated_until_ = t;
   const topo::Topology& topo = fabric_.topo();
   for (topo::LinkId l : live_links_) {
@@ -245,6 +262,14 @@ void FluidSim::accumulate_until(core::Seconds t) {
     if (link_rate_[l] > 0) stats_[l].busy_time += dt;
     const double cap = effcap_[l];
     if (cap > 0) stats_[l].util_time += dt * std::min(1.0, link_rate_[l] / cap);
+    if (tracer_) {
+      // Rates are piecewise constant over [interval_start, t]; one sample
+      // at the interval start reproduces the step function exactly.
+      obs::TraceKeys k;
+      k.link = static_cast<std::int64_t>(l);
+      tracer_->counter(obs::Track::Link, "util", interval_start,
+                       cap > 0 ? std::min(1.0, link_rate_[l] / cap) : 0.0, k);
+    }
     const double overload = link_overload_[l];
     if (overload > cfg_.ecn_util_threshold) {
       double excess = overload - cfg_.ecn_util_threshold;
@@ -299,6 +324,7 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
       if (!solve_pending_ && batch_is_island(admitted_batch_)) {
         // Arrivals land on links nobody else uses: solve just the wave,
         // existing water-filling levels stay valid.
+        if (metrics_) metrics_->add("fluidsim.solves.island");
         fill_and_freeze(admitted_batch_);
       } else {
         solve_pending_ = true;
@@ -362,6 +388,17 @@ void FluidSim::run_impl(core::Seconds until, std::span<const FlowId> watch) {
     }
     active_.resize(w);
     if (!completed_batch_.empty()) {
+      if (metrics_) metrics_->add("fluidsim.flows.completed", completed_batch_.size());
+      if (tracer_) {
+        for (FlowId id : completed_batch_) {
+          const FlowState& f = flows_[id];
+          obs::TraceKeys k;
+          k.flow = static_cast<std::int64_t>(id);
+          k.qp = f.spec.tag;
+          tracer_->span(obs::Track::Flow, "flow", f.spec.start,
+                        now_ - f.spec.start, k, static_cast<double>(f.spec.size));
+        }
+      }
       for (FlowId id : completed_batch_) remove_member(id);
       if (active_.empty()) {
         // Fabric went idle: publish zero overloads so the INT/pingmesh
@@ -492,6 +529,23 @@ FluidSim::RerouteReport FluidSim::reroute_flows() {
 
   for (topo::LinkId l : masked) topo.set_link_state(l, true);
 
+  if (metrics_) {
+    metrics_->add("fluidsim.flows.rerouted", rep.rerouted.size());
+    metrics_->add("fluidsim.flows.stranded", rep.stranded.size());
+  }
+  if (tracer_) {
+    for (FlowId id : rep.rerouted) {
+      obs::TraceKeys k;
+      k.flow = static_cast<std::int64_t>(id);
+      tracer_->instant(obs::Track::Flow, "flow.rerouted", now_, k);
+    }
+    for (FlowId id : rep.stranded) {
+      obs::TraceKeys k;
+      k.flow = static_cast<std::int64_t>(id);
+      tracer_->instant(obs::Track::Flow, "flow.stranded", now_, k);
+    }
+  }
+
   if (!active_.empty() && !(rep.rerouted.empty() && rep.stranded.empty())) {
     solve_full();
   }
@@ -504,6 +558,17 @@ void FluidSim::abort_flow(FlowId id) {
   accumulate_until(now_);
   f.aborted = true;
   f.rate = 0.0;
+  if (metrics_) metrics_->add("fluidsim.flows.aborted");
+  if (tracer_) {
+    obs::TraceKeys k;
+    k.flow = static_cast<std::int64_t>(id);
+    k.qp = f.spec.tag;
+    // A pending flow can be aborted before its start; clamp the span so
+    // the duration stays non-negative.
+    const core::Seconds start = std::min(f.spec.start, now_);
+    tracer_->span(obs::Track::Flow, "flow.aborted", start, now_ - start, k,
+                  static_cast<double>(f.spec.size));
+  }
   auto it = std::find(active_.begin(), active_.end(), id);
   if (it != active_.end()) {
     if (!f.path.empty()) remove_member(id);

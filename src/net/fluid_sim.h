@@ -34,6 +34,12 @@
 #include "net/router.h"
 #include "topo/fabric.h"
 
+namespace astral::obs {
+class Tracer;
+class Metrics;
+class Histogram;
+}  // namespace astral::obs
+
 namespace astral::net {
 
 /// Sentinel deadline meaning "run until the workload drains".
@@ -159,6 +165,18 @@ class FluidSim {
 
   const topo::Fabric& fabric() const { return fabric_; }
 
+  /// Attaches a flight recorder (nullptr detaches). When attached, flow
+  /// completion/abort spans, reroute/strand instants, and per-link
+  /// utilization samples are recorded; flow events inherit the tracer's
+  /// ambient job/collective keys. Every hook is one branch when detached.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry (nullptr detaches): solver-step timing
+  /// histogram ("fluidsim.solve_us") plus solve/flow-outcome counters.
+  void set_metrics(obs::Metrics* metrics);
+  obs::Metrics* metrics() const { return metrics_; }
+
  private:
   /// An entry in a link's persistent member list: which flow crosses the
   /// link, and at which hop of its path (so swap-removal can fix the
@@ -229,6 +247,11 @@ class FluidSim {
   std::vector<FlowId> admitted_batch_;   ///< Arrival staging (reused).
   std::vector<FlowId> completed_batch_;  ///< Completion staging (reused).
   bool solve_pending_ = false;  ///< Active rates stale; full solve due.
+
+  // --- observability (null = disabled; hooks cost one branch) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
+  obs::Histogram* solve_hist_ = nullptr;  ///< Cached "fluidsim.solve_us".
 };
 
 }  // namespace astral::net

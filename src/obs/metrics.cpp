@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/table.h"
+
+namespace astral::obs {
+
+namespace {
+
+constexpr int kOctaves = Histogram::kMaxExponent - Histogram::kMinExponent;
+// Bucket 0 is the underflow bucket (value <= 0 or below 2^kMinExponent).
+constexpr int kBucketCount = 1 + kOctaves * Histogram::kSubBuckets;
+
+/// Maps a value to its bucket index. Within octave e (2^e <= v < 2^{e+1})
+/// the fraction (v/2^e - 1) in [0,1) picks one of kSubBuckets linear
+/// sub-buckets.
+int bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  exp -= 1;                           // now v = (2*frac) * 2^exp, 2*frac in [1, 2)
+  if (exp < Histogram::kMinExponent) return 0;
+  if (exp >= Histogram::kMaxExponent) exp = Histogram::kMaxExponent - 1;
+  int sub = static_cast<int>((frac * 2.0 - 1.0) * Histogram::kSubBuckets);
+  sub = std::clamp(sub, 0, Histogram::kSubBuckets - 1);
+  return 1 + (exp - Histogram::kMinExponent) * Histogram::kSubBuckets + sub;
+}
+
+/// Midpoint of bucket `idx`'s value range — the representative returned
+/// by percentile queries.
+double bucket_midpoint(int idx) {
+  if (idx == 0) return 0.0;
+  int off = idx - 1;
+  int exp = Histogram::kMinExponent + off / Histogram::kSubBuckets;
+  int sub = off % Histogram::kSubBuckets;
+  double lo = std::ldexp(1.0 + static_cast<double>(sub) / Histogram::kSubBuckets, exp);
+  double hi = std::ldexp(1.0 + static_cast<double>(sub + 1) / Histogram::kSubBuckets, exp);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+void Histogram::record(double value) {
+  buckets_[static_cast<std::size_t>(bucket_index(value))]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  count_++;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly; only interior percentiles go
+  // through the bucket approximation.
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Rank of the target sample, 1-based ceil.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // The underflow bucket (zero/negative values) has no meaningful
+      // midpoint; its representative is the observed minimum.
+      if (i == 0) return min_;
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+core::Json Histogram::to_json() const {
+  core::Json::Object o;
+  o["count"] = core::Json(static_cast<std::int64_t>(count_));
+  o["min"] = core::Json(min());
+  o["max"] = core::Json(max());
+  o["mean"] = core::Json(mean());
+  o["p50"] = core::Json(percentile(50));
+  o["p90"] = core::Json(percentile(90));
+  o["p99"] = core::Json(percentile(99));
+  return core::Json(std::move(o));
+}
+
+void Metrics::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double Metrics::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return it->second;
+}
+
+const Histogram* Metrics::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+core::Json Metrics::to_json() const {
+  core::Json::Object counters;
+  for (const auto& [name, v] : counters_) {
+    counters[name] = core::Json(static_cast<std::int64_t>(v));
+  }
+  core::Json::Object gauges;
+  for (const auto& [name, v] : gauges_) {
+    gauges[name] = core::Json(v);
+  }
+  core::Json::Object hists;
+  for (const auto& [name, h] : histograms_) {
+    hists[name] = h.to_json();
+  }
+  core::Json::Object root;
+  root["counters"] = core::Json(std::move(counters));
+  root["gauges"] = core::Json(std::move(gauges));
+  root["histograms"] = core::Json(std::move(hists));
+  return core::Json(std::move(root));
+}
+
+std::string Metrics::to_table() const {
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  std::string out;
+  if (!counters_.empty()) {
+    core::Table t({"counter", "value"});
+    for (const auto& [name, v] : counters_) {
+      t.add_row({name, std::to_string(v)});
+    }
+    out += t.str();
+  }
+  if (!gauges_.empty()) {
+    core::Table t({"gauge", "value"});
+    for (const auto& [name, v] : gauges_) {
+      t.add_row({name, fmt(v)});
+    }
+    out += t.str();
+  }
+  if (!histograms_.empty()) {
+    core::Table t({"histogram", "count", "min", "p50", "p90", "p99", "max", "mean"});
+    for (const auto& [name, h] : histograms_) {
+      t.add_row({name, std::to_string(h.count()), fmt(h.min()), fmt(h.percentile(50)),
+             fmt(h.percentile(90)), fmt(h.percentile(99)), fmt(h.max()), fmt(h.mean())});
+    }
+    out += t.str();
+  }
+  return out;
+}
+
+}  // namespace astral::obs

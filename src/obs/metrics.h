@@ -1,0 +1,96 @@
+// Run-wide metrics registry: named counters, gauges and HDR-style
+// histograms (log-bucketed, bounded relative error) for the simulation
+// stack itself. Astral's §3 pillar is full-stack monitoring of the
+// *trained* system; obs::Metrics is the same idea turned inward — the
+// simulator publishes its own health (solver-step latency, flows
+// completed/aborted/rerouted, mitigation counts) so campaigns are
+// measurable rather than opaque.
+//
+// Snapshots are deterministic: names are kept in sorted order
+// (std::map) and serialization goes through core::Json, whose key order
+// and number formatting are stable — snapshots diff cleanly as goldens.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+
+namespace astral::obs {
+
+/// HDR-style histogram: base-2 log buckets with kSubBuckets linear
+/// sub-buckets per octave, so any recorded value lands in a bucket whose
+/// width is at most 1/kSubBuckets of its magnitude (≤ ~3% relative error
+/// on reported percentiles). Fixed storage, no allocation after
+/// construction; negative and zero values land in a dedicated underflow
+/// bucket.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;  ///< Linear steps per octave.
+  static constexpr int kMinExponent = -32;  ///< ~2e-10: below → underflow.
+  static constexpr int kMaxExponent = 64;   ///< ~1.8e19: above → clamped.
+
+  Histogram();
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Value at percentile `p` in [0, 100]: the representative (bucket
+  /// midpoint) of the bucket containing the p-th ranked sample, clamped
+  /// to the exact observed [min, max].
+  double percentile(double p) const;
+
+  /// {count, min, max, mean, p50, p90, p99} — the snapshot schema.
+  core::Json to_json() const;
+
+ private:
+  std::vector<std::uint32_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The registry. Lookups are by name; hot paths should cache the
+/// returned Histogram* / use `add` sparingly (one map lookup per call).
+class Metrics {
+ public:
+  /// Increments a counter (creating it at zero).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Sets a gauge to the latest value.
+  void set_gauge(std::string_view name, double value);
+  double gauge(std::string_view name) const;
+
+  /// Returns the named histogram, creating it empty. The reference is
+  /// stable (std::map nodes don't move) — hot paths cache it.
+  Histogram& histogram(std::string_view name);
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Deterministic snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, min, max, mean, p50, p90, p99}}}.
+  core::Json to_json() const;
+
+  /// The same snapshot as an aligned ASCII table (core::Table).
+  std::string to_table() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace astral::obs

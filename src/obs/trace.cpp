@@ -1,0 +1,282 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+namespace astral::obs {
+
+namespace {
+
+/// Fields unset in `primary` inherit from `fallback`.
+TraceKeys merge_keys(const TraceKeys& primary, const TraceKeys& fallback) {
+  TraceKeys out = primary;
+  if (out.job < 0) out.job = fallback.job;
+  if (out.group < 0) out.group = fallback.group;
+  if (out.collective < 0) out.collective = fallback.collective;
+  if (out.flow < 0) out.flow = fallback.flow;
+  if (out.qp < 0) out.qp = fallback.qp;
+  if (out.link < 0) out.link = fallback.link;
+  if (out.fault < 0) out.fault = fallback.fault;
+  return out;
+}
+
+core::Json keys_to_args(const TraceKeys& k, const char* detail, double value,
+                        bool with_value) {
+  core::Json::Object args;
+  if (k.job >= 0) args["job"] = core::Json(k.job);
+  if (k.group >= 0) args["group"] = core::Json(k.group);
+  if (k.collective >= 0) args["collective"] = core::Json(k.collective);
+  if (k.flow >= 0) args["flow"] = core::Json(k.flow);
+  if (k.qp >= 0) args["qp"] = core::Json(k.qp);
+  if (k.link >= 0) args["link"] = core::Json(k.link);
+  if (k.fault >= 0) args["fault"] = core::Json(k.fault);
+  if (detail != nullptr) args["detail"] = core::Json(detail);
+  if (with_value) args["value"] = core::Json(value);
+  if (args.empty()) return core::Json();
+  return core::Json(std::move(args));
+}
+
+std::int64_t usec_of(core::Seconds t) {
+  // Round to whole microseconds; Chrome's ts unit. llround keeps
+  // 0.999999... cases stable across platforms.
+  return static_cast<std::int64_t>(std::llround(t * 1e6));
+}
+
+}  // namespace
+
+const char* to_string(Track t) {
+  switch (t) {
+    case Track::Workload: return "workload";
+    case Track::Collective: return "collective";
+    case Track::Flow: return "flow";
+    case Track::Link: return "link";
+    case Track::Fault: return "fault";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceBuilder
+
+void ChromeTraceBuilder::process_name(int pid, std::string_view name) {
+  core::Json::Object ev;
+  ev["ph"] = core::Json("M");
+  ev["pid"] = core::Json(std::int64_t{pid});
+  ev["tid"] = core::Json(std::int64_t{0});
+  ev["name"] = core::Json("process_name");
+  core::Json::Object args;
+  args["name"] = core::Json(name);
+  ev["args"] = core::Json(std::move(args));
+  metadata_.push_back(core::Json(std::move(ev)));
+}
+
+void ChromeTraceBuilder::thread_name(int pid, int tid, std::string_view name) {
+  core::Json::Object ev;
+  ev["ph"] = core::Json("M");
+  ev["pid"] = core::Json(std::int64_t{pid});
+  ev["tid"] = core::Json(std::int64_t{tid});
+  ev["name"] = core::Json("thread_name");
+  core::Json::Object args;
+  args["name"] = core::Json(name);
+  ev["args"] = core::Json(std::move(args));
+  metadata_.push_back(core::Json(std::move(ev)));
+}
+
+void ChromeTraceBuilder::complete(int pid, int tid, std::string_view name,
+                                  core::Seconds start, core::Seconds duration,
+                                  core::Json args) {
+  core::Json::Object ev;
+  ev["ph"] = core::Json("X");
+  ev["pid"] = core::Json(std::int64_t{pid});
+  ev["tid"] = core::Json(std::int64_t{tid});
+  ev["name"] = core::Json(name);
+  ev["ts"] = core::Json(usec_of(start));
+  ev["dur"] = core::Json(usec_of(duration));
+  if (!args.is_null()) ev["args"] = std::move(args);
+  events_.push_back(core::Json(std::move(ev)));
+}
+
+void ChromeTraceBuilder::instant(int pid, int tid, std::string_view name,
+                                 core::Seconds t, core::Json args) {
+  core::Json::Object ev;
+  ev["ph"] = core::Json("i");
+  ev["s"] = core::Json("g");
+  ev["pid"] = core::Json(std::int64_t{pid});
+  ev["tid"] = core::Json(std::int64_t{tid});
+  ev["name"] = core::Json(name);
+  ev["ts"] = core::Json(usec_of(t));
+  if (!args.is_null()) ev["args"] = std::move(args);
+  events_.push_back(core::Json(std::move(ev)));
+}
+
+void ChromeTraceBuilder::counter(int pid, std::string_view name,
+                                 std::string_view series, core::Seconds t,
+                                 double value) {
+  core::Json::Object ev;
+  ev["ph"] = core::Json("C");
+  ev["pid"] = core::Json(std::int64_t{pid});
+  ev["tid"] = core::Json(std::int64_t{0});
+  ev["name"] = core::Json(name);
+  ev["ts"] = core::Json(usec_of(t));
+  core::Json::Object args;
+  args[std::string(series)] = core::Json(value);
+  ev["args"] = core::Json(std::move(args));
+  events_.push_back(core::Json(std::move(ev)));
+}
+
+core::Json ChromeTraceBuilder::build() const {
+  std::vector<core::Json> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const core::Json& a, const core::Json& b) {
+                     return std::make_tuple(a["pid"].as_int(), a["tid"].as_int(),
+                                            a["ts"].as_int(),
+                                            std::string_view(a["name"].as_string())) <
+                            std::make_tuple(b["pid"].as_int(), b["tid"].as_int(),
+                                            b["ts"].as_int(),
+                                            std::string_view(b["name"].as_string()));
+                   });
+  core::Json::Array all;
+  all.reserve(metadata_.size() + sorted.size());
+  for (const auto& m : metadata_) all.push_back(m);
+  for (auto& e : sorted) all.push_back(std::move(e));
+  core::Json::Object root;
+  root["traceEvents"] = core::Json(std::move(all));
+  root["displayTimeUnit"] = core::Json("ms");
+  return core::Json(std::move(root));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(TracerConfig config) : config_(config) {
+  for (auto& ring : rings_) ring.slots.reserve(config_.ring_capacity);
+}
+
+TraceKeys Tracer::set_ambient(TraceKeys keys) {
+  TraceKeys prev = ambient_;
+  ambient_ = keys;
+  return prev;
+}
+
+TraceKeys Tracer::push_ambient(TraceKeys keys) {
+  return set_ambient(merge_keys(keys, ambient_));
+}
+
+void Tracer::record(Track track, TraceEvent ev) {
+  ev.keys = merge_keys(ev.keys, ambient_);
+  Ring& ring = rings_[static_cast<std::size_t>(track)];
+  if (ring.slots.size() < config_.ring_capacity) {
+    ring.slots.push_back(ev);
+  } else {
+    ring.slots[ring.head] = ev;
+  }
+  ring.head = (ring.head + 1) % config_.ring_capacity;
+  ring.total++;
+}
+
+void Tracer::span(Track track, const char* name, core::Seconds start,
+                  core::Seconds duration, TraceKeys keys, double value,
+                  const char* detail) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::Span;
+  ev.track = track;
+  ev.name = name;
+  ev.detail = detail;
+  ev.start = start;
+  ev.duration = duration;
+  ev.value = value;
+  ev.keys = keys;
+  record(track, ev);
+}
+
+void Tracer::instant(Track track, const char* name, core::Seconds t,
+                     TraceKeys keys, const char* detail) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::Instant;
+  ev.track = track;
+  ev.name = name;
+  ev.detail = detail;
+  ev.start = t;
+  ev.keys = keys;
+  record(track, ev);
+}
+
+void Tracer::counter(Track track, const char* name, core::Seconds t,
+                     double value, TraceKeys keys) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::Counter;
+  ev.track = track;
+  ev.name = name;
+  ev.start = t;
+  ev.value = value;
+  ev.keys = keys;
+  record(track, ev);
+}
+
+std::vector<TraceEvent> Tracer::events(Track track) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(track)];
+  std::vector<TraceEvent> out;
+  out.reserve(ring.slots.size());
+  if (ring.slots.size() < config_.ring_capacity) {
+    out = ring.slots;  // Not yet wrapped: insertion order is time order.
+  } else {
+    out.insert(out.end(), ring.slots.begin() + static_cast<std::ptrdiff_t>(ring.head),
+               ring.slots.end());
+    out.insert(out.end(), ring.slots.begin(),
+               ring.slots.begin() + static_cast<std::ptrdiff_t>(ring.head));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded(Track track) const {
+  return rings_[static_cast<std::size_t>(track)].total;
+}
+
+std::uint64_t Tracer::dropped(Track track) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(track)];
+  return ring.total - ring.slots.size();
+}
+
+void Tracer::append_chrome_trace(ChromeTraceBuilder& builder, int pid) const {
+  builder.process_name(pid, "astral");
+  for (int t = 0; t < kTrackCount; ++t) {
+    Track track = static_cast<Track>(t);
+    int tid = t + 1;  // tid 0 is reserved for counter series.
+    builder.thread_name(pid, tid, to_string(track));
+    for (const TraceEvent& ev : events(track)) {
+      switch (ev.phase) {
+        case TraceEvent::Phase::Span:
+          builder.complete(pid, tid, ev.name, ev.start, ev.duration,
+                           keys_to_args(ev.keys, ev.detail, ev.value,
+                                        ev.value != 0.0));
+          break;
+        case TraceEvent::Phase::Instant:
+          builder.instant(pid, tid, ev.name, ev.start,
+                          keys_to_args(ev.keys, ev.detail, 0.0, false));
+          break;
+        case TraceEvent::Phase::Counter:
+          if (ev.keys.link >= 0) {
+            // Per-link series: the link id becomes part of the counter
+            // name so Perfetto draws one counter track per link.
+            char name[64];
+            std::snprintf(name, sizeof name, "link%lld.%s",
+                          static_cast<long long>(ev.keys.link), ev.name);
+            builder.counter(pid, name, ev.name, ev.start, ev.value);
+          } else {
+            builder.counter(pid, ev.name, ev.name, ev.start, ev.value);
+          }
+          break;
+      }
+    }
+  }
+}
+
+core::Json Tracer::to_chrome_trace() const {
+  ChromeTraceBuilder builder;
+  append_chrome_trace(builder);
+  return builder.build();
+}
+
+}  // namespace astral::obs

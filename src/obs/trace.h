@@ -1,0 +1,174 @@
+// Cross-layer flight recorder: typed span/instant/counter events carrying
+// the paper's correlation keys (job → comm group → collective → flow/QP →
+// link, plus fault id) into per-track ring buffers, exported as one
+// Chrome/Perfetto trace-event JSON where tracks = layers.
+//
+// Astral §3.2 links monitoring records across layers by shared keys so an
+// operator can walk job → comm group → QP → 5-tuple → path → hops in one
+// query. The Tracer reproduces that chain for the simulator itself:
+// ClusterRuntime stamps the ambient job key, CollectiveRunner stamps the
+// ambient group/collective keys, and FluidSim events inherit them — so a
+// flow span in Perfetto carries the collective and job that produced it
+// without FluidSim knowing either exists.
+//
+// Cost contract: every hook site is `if (tracer_) tracer_->...`, one
+// predictable branch when disabled (instrumented objects default to a
+// null sink). When enabled, recording is one ring-buffer slot write —
+// event names/details are static strings (const char*), so no allocation
+// per event; rings overwrite oldest and count drops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/json.h"
+#include "core/units.h"
+
+namespace astral::obs {
+
+/// One Perfetto track per simulated layer. Order is the display order
+/// (top of the trace = the workload, bottom = faults).
+enum class Track : std::uint8_t {
+  Workload = 0,    ///< Iterations, compute/comm phases (ClusterRuntime).
+  Collective = 1,  ///< Collective operations (CollectiveRunner).
+  Flow = 2,        ///< Individual fabric flows (FluidSim).
+  Link = 3,        ///< Per-link utilization counters (FluidSim).
+  Fault = 4,       ///< Injection / detection / mitigation (ClusterRuntime).
+};
+constexpr int kTrackCount = 5;
+
+const char* to_string(Track t);
+
+/// The shared correlation keys from the paper's cross-layer schema.
+/// -1 = unset; unset fields inherit the Tracer's ambient keys at record
+/// time, which is how lower layers pick up job/collective context.
+struct TraceKeys {
+  std::int64_t job = -1;
+  std::int64_t group = -1;       ///< Communication group.
+  std::int64_t collective = -1;  ///< Collective op instance.
+  std::int64_t flow = -1;        ///< Fabric flow ≙ QP (one QP per flow).
+  std::int64_t qp = -1;          ///< Transport tag when distinct from flow.
+  std::int64_t link = -1;
+  std::int64_t fault = -1;
+};
+
+/// One recorded event. Fixed-size, no owned memory: `name` and `detail`
+/// must point at string literals / static storage (the recording hot path
+/// must not allocate).
+struct TraceEvent {
+  enum class Phase : std::uint8_t { Span, Instant, Counter };
+
+  Phase phase = Phase::Instant;
+  Track track = Track::Workload;
+  const char* name = "";
+  const char* detail = nullptr;  ///< Optional static annotation (e.g. cause).
+  core::Seconds start = 0.0;     ///< Span start / instant time / sample time.
+  core::Seconds duration = 0.0;  ///< Spans only.
+  double value = 0.0;            ///< Counter value, or span payload (bytes...).
+  TraceKeys keys;
+};
+
+struct TracerConfig {
+  /// Per-track ring capacity; oldest events are overwritten past this.
+  std::size_t ring_capacity = std::size_t{1} << 14;
+};
+
+/// Assembles Chrome trace-event JSON ({"traceEvents": [...]}). Shared by
+/// the Tracer export and seer::Timeline so forecast and measured
+/// timelines land in one Perfetto view as separate processes.
+class ChromeTraceBuilder {
+ public:
+  /// Names a process / thread track (ph "M" metadata events).
+  void process_name(int pid, std::string_view name);
+  void thread_name(int pid, int tid, std::string_view name);
+
+  /// Complete span (ph "X"); ts/dur are emitted in microseconds.
+  void complete(int pid, int tid, std::string_view name, core::Seconds start,
+                core::Seconds duration, core::Json args = core::Json());
+  /// Global instant (ph "i", scope "g" so Perfetto draws a full-height line).
+  void instant(int pid, int tid, std::string_view name, core::Seconds t,
+               core::Json args = core::Json());
+  /// Counter sample (ph "C"); `series` is the key inside args.
+  void counter(int pid, std::string_view name, std::string_view series,
+               core::Seconds t, double value);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// {"traceEvents": [...]} with metadata first, then events sorted by
+  /// (pid, tid, ts, name) — byte-stable across runs for golden diffs.
+  core::Json build() const;
+
+ private:
+  std::vector<core::Json> metadata_;
+  std::vector<core::Json> events_;
+};
+
+/// The flight recorder. Not thread-safe (the simulator is single-threaded).
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+
+  /// Ambient keys: set fields are merged into every subsequently recorded
+  /// event whose own field is unset. Returns the previous value so callers
+  /// can save/restore around a scope.
+  TraceKeys set_ambient(TraceKeys keys);
+  /// Like set_ambient, but fields unset in `keys` inherit the current
+  /// ambient — nested scopes (job → collective) stack instead of replace.
+  TraceKeys push_ambient(TraceKeys keys);
+  const TraceKeys& ambient() const { return ambient_; }
+
+  void span(Track track, const char* name, core::Seconds start,
+            core::Seconds duration, TraceKeys keys = {}, double value = 0.0,
+            const char* detail = nullptr);
+  void instant(Track track, const char* name, core::Seconds t,
+               TraceKeys keys = {}, const char* detail = nullptr);
+  void counter(Track track, const char* name, core::Seconds t, double value,
+               TraceKeys keys = {});
+
+  /// Events currently retained for a track, oldest first.
+  std::vector<TraceEvent> events(Track track) const;
+  /// Total recorded (including overwritten) and dropped-by-overwrite counts.
+  std::uint64_t recorded(Track track) const;
+  std::uint64_t dropped(Track track) const;
+
+  /// Appends this tracer's tracks to `builder` under process `pid`
+  /// (one thread per Track, named after the layer).
+  void append_chrome_trace(ChromeTraceBuilder& builder, int pid = 1) const;
+
+  /// Convenience: a standalone {"traceEvents": [...]} document.
+  core::Json to_chrome_trace() const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> slots;
+    std::size_t head = 0;        ///< Next write position.
+    std::uint64_t total = 0;     ///< Lifetime recorded count.
+  };
+
+  void record(Track track, TraceEvent ev);
+
+  TracerConfig config_;
+  TraceKeys ambient_;
+  std::array<Ring, kTrackCount> rings_;
+};
+
+/// RAII ambient-key scope: merges `keys` into the tracer's ambient set on
+/// construction, restores the previous ambient on destruction. Null-safe.
+class AmbientScope {
+ public:
+  AmbientScope(Tracer* tracer, TraceKeys keys) : tracer_(tracer) {
+    if (tracer_) prev_ = tracer_->push_ambient(keys);
+  }
+  ~AmbientScope() {
+    if (tracer_) tracer_->set_ambient(prev_);
+  }
+  AmbientScope(const AmbientScope&) = delete;
+  AmbientScope& operator=(const AmbientScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  TraceKeys prev_;
+};
+
+}  // namespace astral::obs

@@ -6,6 +6,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace astral::seer {
 
 const TimelineEvent* Timeline::find(int op_id) const {
@@ -15,25 +17,24 @@ const TimelineEvent* Timeline::find(int op_id) const {
   return nullptr;
 }
 
-core::Json Timeline::to_chrome_trace() const {
-  core::Json arr = core::Json::array();
+void Timeline::append_chrome_trace(obs::ChromeTraceBuilder& builder, int pid,
+                                   std::string_view process_name) const {
+  builder.process_name(pid, process_name);
+  builder.thread_name(pid, 0, "exec");
+  builder.thread_name(pid, 1, "comm");
   for (const auto& ev : events) {
-    core::Json j = core::Json::object();
-    j["name"] = core::Json(ev.name);
-    j["ph"] = core::Json("X");
-    j["ts"] = core::Json(ev.start * 1e6);
-    j["dur"] = core::Json(ev.duration() * 1e6);
-    j["pid"] = core::Json(0);
-    j["tid"] = core::Json(ev.type == OpType::Comm ? 1 : 0);
     core::Json args = core::Json::object();
     args["op_id"] = core::Json(ev.op_id);
     args["type"] = core::Json(to_string(ev.type));
-    j["args"] = std::move(args);
-    arr.push_back(std::move(j));
+    builder.complete(pid, ev.type == OpType::Comm ? 1 : 0, ev.name, ev.start,
+                     ev.duration(), std::move(args));
   }
-  core::Json doc = core::Json::object();
-  doc["traceEvents"] = std::move(arr);
-  return doc;
+}
+
+core::Json Timeline::to_chrome_trace() const {
+  obs::ChromeTraceBuilder builder;
+  append_chrome_trace(builder);
+  return builder.build();
 }
 
 double timeline_deviation(const Timeline& forecast, const Timeline& measured) {

@@ -19,6 +19,10 @@
 #include "seer/cost_model.h"
 #include "seer/op_graph.h"
 
+namespace astral::obs {
+class ChromeTraceBuilder;
+}  // namespace astral::obs
+
 namespace astral::seer {
 
 struct TimelineEvent {
@@ -40,7 +44,16 @@ struct Timeline {
 
   const TimelineEvent* find(int op_id) const;
 
+  /// Appends the timeline to a shared Chrome-trace document under process
+  /// `pid` (exec stream tid 0, comm stream tid 1, both named). Campaigns
+  /// use this to land a Seer forecast next to the measured run's flight
+  /// recording in one Perfetto view for visual diffing.
+  void append_chrome_trace(obs::ChromeTraceBuilder& builder, int pid = 0,
+                           std::string_view process_name = "seer") const;
+
   /// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+  /// Routed through obs::ChromeTraceBuilder, so output is deterministic
+  /// and structurally identical to the flight recorder's export.
   core::Json to_chrome_trace() const;
 };
 

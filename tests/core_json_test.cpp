@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace astral::core {
 namespace {
 
@@ -83,6 +85,53 @@ TEST(Json, ObjectKeysSerializeSorted) {
   auto doc = Json::parse(R"({"zeta":1,"alpha":2})");
   std::string s = doc->dump();
   EXPECT_LT(s.find("alpha"), s.find("zeta"));
+}
+
+TEST(Json, NumbersSerializeShortestRoundTrip) {
+  // The canonical form is the shortest decimal string that parses back
+  // to the same double — not %.17g noise digits.
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(1.0 / 3.0).dump(), "0.3333333333333333");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json(1e-9).dump(), "1e-09");
+  EXPECT_EQ(Json(-0.25).dump(), "-0.25");
+  // Integral doubles keep the integer fast path.
+  EXPECT_EQ(Json(3.0).dump(), "3");
+  EXPECT_EQ(Json(-42.0).dump(), "-42");
+}
+
+TEST(Json, NumberDumpRoundTripsBitExact) {
+  // parse(dump(x)) == x for awkward doubles: what makes two
+  // serializations of equal values byte-identical and re-loadable.
+  for (double d : {0.1, 0.2, 0.30000000000000004, 1.0 / 3.0, 3.141592653589793,
+                   1e-300, 1.7976931348623157e308, 123456.789012345,
+                   5.0e-324, -0.0078125}) {
+    auto parsed = Json::parse(Json(d).dump());
+    ASSERT_TRUE(parsed.has_value()) << d;
+    EXPECT_EQ(parsed->as_number(), d) << d;
+    // And the canonical form is a fixpoint: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(parsed->dump(), Json(d).dump()) << d;
+  }
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  // The document stays parseable end-to-end.
+  Json doc = Json::object();
+  doc["bad"] = Json(std::numeric_limits<double>::quiet_NaN());
+  auto parsed = Json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE((*parsed)["bad"].is_null());
+}
+
+TEST(Json, DumpIsStableAcrossCalls) {
+  Json doc = Json::object();
+  doc["ratio"] = Json(0.1);
+  doc["ts"] = Json(123456.789012345);
+  std::string first = doc.dump(2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(doc.dump(2), first);
 }
 
 }  // namespace

@@ -229,5 +229,58 @@ TEST(Analyzer, EvidenceChainIsLayered) {
   EXPECT_NE(d.evidence.back().find("physical:"), std::string::npos);
 }
 
+TEST(MonitorLayer, ToStringCoversEveryLayer) {
+  EXPECT_STREQ(to_string(Layer::Application), "application");
+  EXPECT_STREQ(to_string(Layer::Transport), "transport");
+  EXPECT_STREQ(to_string(Layer::Network), "network");
+  EXPECT_STREQ(to_string(Layer::Physical), "physical");
+}
+
+// Rank of an evidence line in the §3.2 descent order. -1: unknown prefix.
+int evidence_rank(const std::string& line) {
+  if (line.rfind("app:", 0) == 0) return 0;
+  if (line.rfind("cross-host:", 0) == 0) return 1;
+  if (line.rfind("transport:", 0) == 0) return 2;
+  if (line.rfind("network:", 0) == 0) return 3;
+  if (line.rfind("physical:", 0) == 0) return 4;
+  return -1;
+}
+
+void expect_layer_ordered_evidence(const Diagnosis& d, const char* scenario) {
+  ASSERT_FALSE(d.evidence.empty()) << scenario;
+  int prev = -1;
+  for (const auto& line : d.evidence) {
+    int rank = evidence_rank(line);
+    ASSERT_GE(rank, 0) << scenario << ": unknown layer prefix in '" << line << "'";
+    EXPECT_GE(rank, prev) << scenario << ": chain descends out of order at '" << line
+                          << "'";
+    prev = rank;
+  }
+}
+
+TEST(Analyzer, Branch1EvidenceChainIsLayerOrdered) {
+  // Branch #1 (computation anomaly): outlier host -> device log.
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::GpuHardware,
+                            Manifestation::FailStop, 21);
+  ASSERT_TRUE(d.root_cause_found);
+  expect_layer_ordered_evidence(d, "Branch #1 GpuHardware/FailStop");
+  auto slow = run_and_diagnose(f, small_job(), RootCause::GpuHardware,
+                               Manifestation::FailSlow, 33);
+  expect_layer_ordered_evidence(slow, "Branch #1 GpuHardware/FailSlow");
+}
+
+TEST(Analyzer, Branch2EvidenceChainIsLayerOrdered) {
+  // Branch #2 (communication anomaly): errCQEs -> path overlap -> device.
+  auto f = test_fabric();
+  auto d = run_and_diagnose(f, small_job(), RootCause::NicError,
+                            Manifestation::FailStop, 21);
+  ASSERT_TRUE(d.root_cause_found);
+  expect_layer_ordered_evidence(d, "Branch #2 NicError/FailStop");
+  auto fiber = run_and_diagnose(f, small_job(), RootCause::OpticalFiber,
+                                Manifestation::FailSlow, 31);
+  expect_layer_ordered_evidence(fiber, "Branch #2 OpticalFiber/FailSlow");
+}
+
 }  // namespace
 }  // namespace astral::monitor

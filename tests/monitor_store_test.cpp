@@ -70,6 +70,46 @@ TEST(TelemetryStore, CounterTotalsByLink) {
   EXPECT_EQ(store.total_ecn(5), 0u);
 }
 
+TEST(TelemetryStore, CounterTotalsMatchBruteForceSums) {
+  // total_pfc/total_ecn are served from running per-link aggregates; this
+  // pins them to the brute-force definition (sum over every sample of the
+  // run) across many links and interleavings.
+  TelemetryStore store;
+  std::map<topo::LinkId, std::pair<std::uint64_t, std::uint64_t>> expect;
+  std::uint64_t state = 12345;
+  auto next = [&state] {  // Deterministic xorshift stream.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    LinkCounterSample s;
+    s.t = 0.001 * i;
+    s.link = static_cast<topo::LinkId>(next() % 17);
+    s.ecn_marks = next() % 100;
+    s.pfc_pauses = next() % 10;
+    expect[s.link].first += s.ecn_marks;
+    expect[s.link].second += s.pfc_pauses;
+    store.record(s);
+  }
+  for (const auto& [link, sums] : expect) {
+    std::uint64_t ecn = 0, pfc = 0;
+    for (const auto& s : store.link_counters()) {
+      if (s.link == link) {
+        ecn += s.ecn_marks;
+        pfc += s.pfc_pauses;
+      }
+    }
+    EXPECT_EQ(ecn, sums.first);
+    EXPECT_EQ(pfc, sums.second);
+    EXPECT_EQ(store.total_ecn(link), sums.first) << link;
+    EXPECT_EQ(store.total_pfc(link), sums.second) << link;
+  }
+  EXPECT_EQ(store.total_ecn(99), 0u);
+  EXPECT_EQ(store.total_pfc(99), 0u);
+}
+
 TEST(TelemetryStore, SyslogByHostAndNode) {
   TelemetryStore store;
   store.record(SyslogEvent{0.0, 42, 3, "fatal", "Xid 79"});

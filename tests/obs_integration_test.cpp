@@ -1,0 +1,149 @@
+// End-to-end flight-recorder coverage: a faulted recovery run with the
+// Tracer and Metrics attached populates every track, correlates events
+// across layers by the shared job/fault keys, and produces a
+// deterministic Chrome trace + metrics snapshot.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "monitor/cluster_runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace astral::monitor {
+namespace {
+
+topo::FabricParams fabric_params() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return p;
+}
+
+JobConfig job_config() {
+  JobConfig job;
+  job.hosts = 12;
+  job.iterations = 6;
+  job.comm_bytes = 8ull * 1024 * 1024;
+  job.recovery.enabled = true;
+  job.job_id = 42;
+  return job;
+}
+
+struct Capture {
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  RunOutcome outcome;
+};
+
+Capture run_traced() {
+  Capture cap;
+  topo::Fabric fabric(fabric_params());
+  ClusterRuntime rt(fabric, job_config(), /*seed=*/7);
+  rt.inject(rt.make_fault(RootCause::OpticalFiber, Manifestation::FailStop,
+                          /*at_iteration=*/2));
+  rt.set_tracer(&cap.tracer);
+  rt.set_metrics(&cap.metrics);
+  cap.outcome = rt.run();
+  return cap;
+}
+
+TEST(ObsIntegration, AllTracksPopulated) {
+  auto cap = run_traced();
+  EXPECT_TRUE(cap.outcome.completed);
+  for (int i = 0; i < obs::kTrackCount; ++i) {
+    auto track = static_cast<obs::Track>(i);
+    EXPECT_GT(cap.tracer.recorded(track), 0u) << obs::to_string(track);
+  }
+}
+
+TEST(ObsIntegration, EventsInheritTheJobKey) {
+  auto cap = run_traced();
+  // Flow spans originate three layers below the runtime, yet carry the
+  // ambient job id — the paper's cross-layer key chain.
+  for (auto track : {obs::Track::Workload, obs::Track::Flow, obs::Track::Fault}) {
+    auto evs = cap.tracer.events(track);
+    ASSERT_FALSE(evs.empty());
+    for (const auto& ev : evs) {
+      EXPECT_EQ(ev.keys.job, 42) << obs::to_string(track) << " " << ev.name;
+    }
+  }
+}
+
+TEST(ObsIntegration, FaultChainSharesTheFaultId) {
+  auto cap = run_traced();
+  std::set<std::string> names;
+  std::set<std::int64_t> fault_ids;
+  for (const auto& ev : cap.tracer.events(obs::Track::Fault)) {
+    names.insert(ev.name);
+    if (ev.keys.fault >= 0) fault_ids.insert(ev.keys.fault);
+  }
+  for (const char* expected : {"fault.injected", "fault.detected", "fault.located",
+                               "fault.mitigated"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  EXPECT_EQ(fault_ids.size(), 1u);  // One injected fault, one shared id.
+}
+
+TEST(ObsIntegration, MttrPhasesDecomposeTheMitigation) {
+  auto cap = run_traced();
+  ASSERT_FALSE(cap.outcome.mitigations.empty());
+  const auto& rec = cap.outcome.mitigations.front();
+  double detect = -1.0, locate = -1.0, recover = -1.0;
+  for (const auto& ev : cap.tracer.events(obs::Track::Fault)) {
+    if (ev.phase != obs::TraceEvent::Phase::Span) continue;
+    if (std::string(ev.name) == "mttr.detect") detect = ev.duration;
+    if (std::string(ev.name) == "mttr.locate") locate = ev.duration;
+    if (std::string(ev.name) == "mttr.recover") recover = ev.duration;
+  }
+  EXPECT_DOUBLE_EQ(detect, rec.detect_time);
+  EXPECT_DOUBLE_EQ(locate, rec.locate_time);
+  EXPECT_DOUBLE_EQ(recover, rec.recover_time);
+
+  const auto* hist = cap.metrics.find_histogram("runtime.mttr_s");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), cap.outcome.mitigations.size());
+}
+
+TEST(ObsIntegration, MetricsMatchTheOutcomeLedger) {
+  auto cap = run_traced();
+  EXPECT_EQ(cap.metrics.counter("runtime.iterations.committed"),
+            static_cast<std::uint64_t>(cap.outcome.committed_iterations));
+  EXPECT_EQ(cap.metrics.counter("runtime.mitigations"),
+            cap.outcome.mitigations.size());
+  EXPECT_GT(cap.metrics.counter("fluidsim.flows.completed"), 0u);
+  const auto* solve = cap.metrics.find_histogram("fluidsim.solve_us");
+  ASSERT_NE(solve, nullptr);
+  EXPECT_GT(solve->count(), 0u);
+}
+
+TEST(ObsIntegration, TraceAndSnapshotAreDeterministic) {
+  auto a = run_traced();
+  auto b = run_traced();
+  EXPECT_EQ(a.tracer.to_chrome_trace().dump(), b.tracer.to_chrome_trace().dump());
+  // The solver-step histogram is wall-clock timed, so only the sim-time
+  // parts of the snapshot are expected to be bit-stable.
+  EXPECT_EQ(a.metrics.to_json()["counters"].dump(),
+            b.metrics.to_json()["counters"].dump());
+  EXPECT_EQ(a.metrics.to_json()["histograms"]["runtime.mttr_s"].dump(),
+            b.metrics.to_json()["histograms"]["runtime.mttr_s"].dump());
+}
+
+TEST(ObsIntegration, TracingDoesNotPerturbTheRun) {
+  topo::Fabric fabric(fabric_params());
+  ClusterRuntime plain(fabric, job_config(), /*seed=*/7);
+  plain.inject(plain.make_fault(RootCause::OpticalFiber, Manifestation::FailStop, 2));
+  auto baseline = plain.run();
+
+  auto traced = run_traced();
+  EXPECT_EQ(baseline.completed, traced.outcome.completed);
+  EXPECT_EQ(baseline.committed_iterations, traced.outcome.committed_iterations);
+  EXPECT_DOUBLE_EQ(baseline.makespan, traced.outcome.makespan);
+  EXPECT_DOUBLE_EQ(baseline.goodput, traced.outcome.goodput);
+}
+
+}  // namespace
+}  // namespace astral::monitor

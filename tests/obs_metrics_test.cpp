@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace astral::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulateAndDefaultToZero) {
+  Metrics m;
+  EXPECT_EQ(m.counter("missing"), 0u);
+  m.add("flows");
+  m.add("flows", 4);
+  EXPECT_EQ(m.counter("flows"), 5u);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(Metrics, GaugesKeepLatestValue) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.gauge("util"), 0.0);
+  m.set_gauge("util", 0.25);
+  m.set_gauge("util", 0.75);
+  EXPECT_DOUBLE_EQ(m.gauge("util"), 0.75);
+}
+
+TEST(Metrics, HistogramReferenceIsStable) {
+  Metrics m;
+  Histogram& h = m.histogram("lat");
+  m.histogram("a");  // Insert before "lat" in sort order.
+  m.histogram("z");
+  h.record(1.0);
+  EXPECT_EQ(m.find_histogram("lat")->count(), 1u);
+  EXPECT_EQ(m.find_histogram("nope"), nullptr);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, ExactStatsAreExact) {
+  Histogram h;
+  for (double v : {3.0, 1.0, 2.0}) h.record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, PercentilesWithinRelativeErrorBound) {
+  // 1..1000: p50 ≈ 500, p90 ≈ 900, p99 ≈ 990. The log-bucket layout
+  // guarantees ≤ ~1/kSubBuckets relative error on the representative.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  for (auto [p, exact] : std::vector<std::pair<double, double>>{
+           {50, 500.0}, {90, 900.0}, {99, 990.0}}) {
+    double got = h.percentile(p);
+    EXPECT_NEAR(got, exact, exact * 0.04) << "p" << p;
+  }
+  // p0/p100 clamp to the exact observed extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, WideDynamicRange) {
+  Histogram h;
+  for (double v : {1e-6, 1e-3, 1.0, 1e3, 1e6}) h.record(v);
+  EXPECT_NEAR(h.percentile(50), 1.0, 0.04);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+}
+
+TEST(Histogram, NonPositiveValuesUnderflowButCount) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  // The p-th sample for small p sits in the underflow bucket, whose
+  // representative clamps to the observed min.
+  EXPECT_DOUBLE_EQ(h.percentile(1), -5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 2.0);
+}
+
+TEST(Metrics, SnapshotIsDeterministicAndSorted) {
+  auto build = [] {
+    Metrics m;
+    m.add("b.counter", 2);
+    m.add("a.counter", 7);
+    m.set_gauge("g", 0.1);
+    auto& h = m.histogram("h");
+    for (int i = 0; i < 100; ++i) h.record(0.1 * i + 0.05);
+    return m.to_json().dump();
+  };
+  std::string first = build();
+  EXPECT_EQ(first, build());  // Byte-identical across constructions.
+
+  std::string err;
+  auto parsed = core::Json::parse(first, &err);
+  ASSERT_TRUE(parsed) << err;
+  EXPECT_EQ((*parsed)["counters"]["a.counter"].as_int(), 7);
+  EXPECT_EQ((*parsed)["histograms"]["h"]["count"].as_int(), 100);
+  // Counters serialize in sorted name order.
+  EXPECT_LT(first.find("a.counter"), first.find("b.counter"));
+}
+
+TEST(Metrics, TableListsEveryMetric) {
+  Metrics m;
+  m.add("flows.completed", 3);
+  m.set_gauge("util", 0.5);
+  m.histogram("solve_us").record(12.0);
+  std::string table = m.to_table();
+  EXPECT_NE(table.find("flows.completed"), std::string::npos);
+  EXPECT_NE(table.find("util"), std::string::npos);
+  EXPECT_NE(table.find("solve_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astral::obs

@@ -1,0 +1,167 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace astral::obs {
+namespace {
+
+TEST(Tracer, RecordsSpansInstantsAndCounters) {
+  Tracer t;
+  t.span(Track::Flow, "flow", 1.0, 2.0, {.flow = 7}, 4096.0);
+  t.instant(Track::Fault, "fault.injected", 3.0, {.fault = 0}, "optics");
+  t.counter(Track::Link, "util", 0.5, 0.9, {.link = 12});
+
+  auto flows = t.events(Track::Flow);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].phase, TraceEvent::Phase::Span);
+  EXPECT_STREQ(flows[0].name, "flow");
+  EXPECT_DOUBLE_EQ(flows[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(flows[0].duration, 2.0);
+  EXPECT_DOUBLE_EQ(flows[0].value, 4096.0);
+  EXPECT_EQ(flows[0].keys.flow, 7);
+
+  auto faults = t.events(Track::Fault);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_STREQ(faults[0].detail, "optics");
+  EXPECT_TRUE(t.events(Track::Workload).empty());
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer t(TracerConfig{.ring_capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    t.instant(Track::Flow, "e", static_cast<double>(i));
+  }
+  EXPECT_EQ(t.recorded(Track::Flow), 10u);
+  EXPECT_EQ(t.dropped(Track::Flow), 6u);
+  auto evs = t.events(Track::Flow);
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first reassembly across the wrap point.
+  EXPECT_DOUBLE_EQ(evs.front().start, 6.0);
+  EXPECT_DOUBLE_EQ(evs.back().start, 9.0);
+}
+
+TEST(Tracer, AmbientKeysFillUnsetFieldsOnly) {
+  Tracer t;
+  t.set_ambient({.job = 3, .group = 8});
+  t.span(Track::Flow, "flow", 0.0, 1.0, {.group = 99, .flow = 5});
+  auto evs = t.events(Track::Flow);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].keys.job, 3);    // inherited
+  EXPECT_EQ(evs[0].keys.group, 99); // event's own key wins
+  EXPECT_EQ(evs[0].keys.flow, 5);
+  EXPECT_EQ(evs[0].keys.fault, -1);
+}
+
+TEST(Tracer, AmbientScopesNest) {
+  Tracer t;
+  {
+    AmbientScope job(&t, {.job = 1});
+    {
+      AmbientScope coll(&t, {.collective = 7});
+      EXPECT_EQ(t.ambient().job, 1);  // push_ambient keeps the outer key
+      EXPECT_EQ(t.ambient().collective, 7);
+      t.instant(Track::Collective, "x", 0.0);
+    }
+    EXPECT_EQ(t.ambient().collective, -1);
+    EXPECT_EQ(t.ambient().job, 1);
+  }
+  EXPECT_EQ(t.ambient().job, -1);
+  auto evs = t.events(Track::Collective);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].keys.job, 1);
+  EXPECT_EQ(evs[0].keys.collective, 7);
+}
+
+TEST(AmbientScope, NullTracerIsSafe) {
+  AmbientScope scope(nullptr, {.job = 1});  // must not crash
+}
+
+TEST(Tracer, ChromeExportNamesAllFiveTracks) {
+  Tracer t;
+  t.span(Track::Workload, "iteration", 0.0, 1.0);
+  auto doc = t.to_chrome_trace();
+  int thread_names = 0;
+  bool saw[kTrackCount] = {};
+  for (const auto& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "M" && ev["name"].as_string() == "thread_name") {
+      ++thread_names;
+      for (int i = 0; i < kTrackCount; ++i) {
+        if (ev["args"]["name"].as_string() == to_string(static_cast<Track>(i))) {
+          saw[i] = true;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(thread_names, kTrackCount);
+  for (int i = 0; i < kTrackCount; ++i) EXPECT_TRUE(saw[i]) << i;
+}
+
+TEST(Tracer, ChromeExportCarriesKeysAndMicroseconds) {
+  Tracer t;
+  t.set_ambient({.job = 11});
+  t.span(Track::Flow, "flow", 0.5, 0.25, {.flow = 3}, 1024.0);
+  auto doc = t.to_chrome_trace();
+  const core::Json* span = nullptr;
+  for (const auto& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "X") span = &ev;
+  }
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ((*span)["ts"].as_int(), 500000);
+  EXPECT_EQ((*span)["dur"].as_int(), 250000);
+  EXPECT_EQ((*span)["args"]["job"].as_int(), 11);
+  EXPECT_EQ((*span)["args"]["flow"].as_int(), 3);
+  EXPECT_DOUBLE_EQ((*span)["args"]["value"].as_number(), 1024.0);
+  // Unset keys are omitted, not emitted as -1.
+  EXPECT_FALSE((*span)["args"].contains("fault"));
+}
+
+TEST(Tracer, LinkCountersGetPerLinkSeries) {
+  Tracer t;
+  t.counter(Track::Link, "util", 1.0, 0.5, {.link = 42});
+  auto doc = t.to_chrome_trace();
+  bool found = false;
+  for (const auto& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "C") {
+      EXPECT_EQ(ev["name"].as_string(), "link42.util");
+      EXPECT_DOUBLE_EQ(ev["args"]["util"].as_number(), 0.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracer, ChromeExportIsDeterministic) {
+  auto build = [] {
+    Tracer t;
+    t.span(Track::Workload, "iteration", 0.0, 1.0, {.job = 1});
+    t.instant(Track::Fault, "fault.injected", 0.5, {.fault = 0});
+    t.counter(Track::Link, "util", 0.25, 0.125, {.link = 3});
+    return t.to_chrome_trace().dump();
+  };
+  std::string dump = build();
+  EXPECT_EQ(dump, build());
+  std::string err;
+  EXPECT_TRUE(core::Json::parse(dump, &err)) << err;
+}
+
+TEST(ChromeTraceBuilder, SharedBuilderMergesProcesses) {
+  ChromeTraceBuilder b;
+  Tracer t;
+  t.span(Track::Flow, "flow", 0.0, 1.0);
+  t.append_chrome_trace(b, /*pid=*/1);
+  b.process_name(2, "forecast");
+  b.complete(2, 0, "op", 0.0, 1.0);
+  auto doc = b.build();
+  int pids_seen = 0;
+  for (const auto& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "M" && ev["name"].as_string() == "process_name") {
+      ++pids_seen;
+    }
+  }
+  EXPECT_EQ(pids_seen, 2);
+}
+
+}  // namespace
+}  // namespace astral::obs

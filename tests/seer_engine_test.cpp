@@ -124,9 +124,23 @@ TEST(SeerEngine, ChromeTraceExport) {
   g.ops.push_back(fixed_op(1, "ar", OpType::Comm, 2e-3, {0}));
   auto tl = make_engine().run(g);
   auto trace = tl.to_chrome_trace();
-  ASSERT_EQ(trace["traceEvents"].size(), 2u);
-  EXPECT_EQ(trace["traceEvents"].at(0)["ph"].as_string(), "X");
-  EXPECT_EQ(trace["traceEvents"].at(1)["tid"].as_int(), 1);  // comm lane
+  // The shared exporter prefixes metadata (process/thread names) before
+  // the operator spans; the two ops are the only "X" events.
+  int spans = 0;
+  int comm_lane_spans = 0;
+  int thread_names = 0;
+  for (const auto& ev : trace["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "X") {
+      ++spans;
+      if (ev["tid"].as_int() == 1) ++comm_lane_spans;
+    }
+    if (ev["ph"].as_string() == "M" && ev["name"].as_string() == "thread_name") {
+      ++thread_names;
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(comm_lane_spans, 1);  // the comm op rides tid 1
+  EXPECT_EQ(thread_names, 2);     // exec + comm lanes are named
 }
 
 TEST(SeerEngine, TimelineDeviationMetric) {
