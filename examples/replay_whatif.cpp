@@ -1,0 +1,142 @@
+// Trace-driven replay & what-if re-forecast: feeds a recorded
+// `campaign.trace.json` back through the replay engine and re-forecasts
+// it under what-if knobs, closing the Seer validation loop (§4) — the
+// measured iteration timeline is the ground truth the re-forecast is
+// diffed against.
+//
+//   replay_whatif [campaign.trace.json]
+//
+// With no argument, a deterministic 64-host scripted campaign is
+// recorded in-process first (the same run the golden fixture pins).
+// Outputs:
+//   replay.deviation.json  side-by-side measured-vs-forecast deviation
+//                          report, per iteration and per op, for every
+//                          scenario (self-replay + what-ifs),
+//   replay.trace.json      one Perfetto view: the measured tracks next
+//                          to each re-forecast timeline as its own
+//                          process.
+// Exit status is nonzero when the self-replay identity fails: replaying
+// with unchanged knobs must re-forecast every iteration within 1% of the
+// recorded duration.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "replay/recorder.h"
+#include "replay/reforecast.h"
+#include "replay/trace_reader.h"
+
+using namespace astral;
+
+namespace {
+
+bool write_file(const char* path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path);
+    return false;
+  }
+  out << text << '\n';
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::print_banner("Trace-driven replay - re-forecast a recorded campaign");
+
+  core::Json trace_doc;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::printf("cannot read %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    auto parsed = core::Json::parse(buf.str(), &err);
+    if (!parsed) {
+      std::printf("%s: malformed JSON: %s\n", argv[1], err.c_str());
+      return 1;
+    }
+    trace_doc = std::move(*parsed);
+    std::printf("Recorded campaign: %s\n", argv[1]);
+  } else {
+    std::printf("Recording the scripted 64-host campaign in-process...\n");
+    auto artifacts = replay::record_scripted_campaign();
+    trace_doc = std::move(artifacts.trace);
+    if (!write_file("replay.recorded.trace.json", trace_doc.dump())) return 1;
+    std::printf("Recorded campaign: replay.recorded.trace.json\n");
+  }
+
+  std::string err;
+  auto parsed = replay::parse_chrome_trace(trace_doc, &err);
+  if (!parsed) {
+    std::printf("trace parse failed: %s\n", err.c_str());
+    return 1;
+  }
+  auto campaign = replay::extract_campaign(*parsed, &err);
+  if (!campaign) {
+    std::printf("campaign extraction failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("Parsed %zu events; job %lld, %d ranks, %zu committed iterations\n\n",
+              parsed->event_count(), static_cast<long long>(campaign->job),
+              campaign->ranks, campaign->iterations.size());
+
+  std::vector<replay::WhatIfKnobs> scenarios;
+  scenarios.push_back({});  // self-replay identity
+  replay::WhatIfKnobs tier2;
+  tier2.label = "tier2-bw-2x";
+  tier2.nic_bw_scale = 2.0;
+  scenarios.push_back(tier2);
+  replay::WhatIfKnobs faster;
+  faster.label = "compute-1.5x";
+  faster.compute_scale = 1.5;
+  scenarios.push_back(faster);
+  replay::WhatIfKnobs algo;
+  algo.label = "reduce-scatter";
+  algo.collective = seer::CommKind::ReduceScatter;
+  scenarios.push_back(algo);
+
+  obs::ChromeTraceBuilder builder;
+  parsed->append_chrome_trace(builder);  // pid 1: the measured tracks
+
+  core::Json scenario_reports = core::Json::array();
+  double identity_dev = 0.0;
+  int pid = 10;
+  for (const auto& knobs : scenarios) {
+    auto report = replay::reforecast(*campaign, knobs);
+    core::print_banner(report.label);
+    std::printf("%s\n", report.to_table().c_str());
+    std::printf("max iteration deviation %s, replay makespan %.6fs\n\n",
+                core::Table::pct(report.max_iteration_deviation).c_str(),
+                report.replay_makespan);
+    if (knobs.is_identity()) identity_dev = report.max_iteration_deviation;
+    report.append_chrome_trace(builder, pid++, "re-forecast: " + report.label);
+    scenario_reports.push_back(report.to_json());
+  }
+
+  core::Json report_doc = core::Json::object();
+  report_doc["scenarios"] = std::move(scenario_reports);
+  if (!write_file("replay.deviation.json", report_doc.dump(2))) return 1;
+  auto joined = builder.build();
+  if (!write_file("replay.trace.json", joined.dump())) return 1;
+
+  std::printf("Report:  replay.deviation.json\n");
+  std::printf("Trace:   replay.trace.json (%zu events; open in ui.perfetto.dev)\n",
+              joined["traceEvents"].size());
+
+  if (identity_dev >= 0.01) {
+    std::printf("\nFAIL: self-replay identity broken (max iteration deviation "
+                "%s >= 1%%)\n", core::Table::pct(identity_dev).c_str());
+    return 1;
+  }
+  std::printf("\nSelf-replay identity holds: %s < 1%%\n",
+              core::Table::pct(identity_dev).c_str());
+  return 0;
+}

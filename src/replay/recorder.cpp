@@ -1,0 +1,70 @@
+#include "replay/recorder.h"
+
+#include <algorithm>
+
+#include "monitor/cluster_runtime.h"
+#include "obs/trace.h"
+#include "topo/fabric.h"
+
+namespace astral::replay {
+
+namespace {
+
+/// Histograms fed from host wall clocks rather than simulated time;
+/// their sample counts are deterministic, their values are not.
+constexpr const char* kWallClockHistograms[] = {"fluidsim.solve_us"};
+
+}  // namespace
+
+core::Json deterministic_metrics_snapshot(const obs::Metrics& metrics) {
+  core::Json doc = metrics.to_json();
+  for (const char* name : kWallClockHistograms) {
+    const core::Json& hist = doc["histograms"][name];
+    if (hist.is_null()) continue;
+    core::Json redacted = core::Json::object();
+    redacted["count"] = hist["count"];
+    doc["histograms"][name] = std::move(redacted);
+  }
+  return doc;
+}
+
+RecordedArtifacts record_scripted_campaign(const ScriptedCampaignConfig& cfg) {
+  // Fabric sized to hold the job: 8 hosts/block x 4 blocks/pod, at least
+  // two pods so the ring crosses every tier.
+  topo::FabricParams params;
+  params.rails = 2;
+  params.hosts_per_block = 8;
+  params.blocks_per_pod = 4;
+  const int per_pod = params.hosts_per_block * params.blocks_per_pod;
+  params.pods = std::max(2, (cfg.hosts + per_pod - 1) / per_pod);
+  topo::Fabric fabric(params);
+
+  monitor::JobConfig job;
+  job.job_id = cfg.job_id;
+  job.hosts = cfg.hosts;
+  job.iterations = cfg.iterations;
+  job.compute_time = cfg.compute_time;
+  job.comm_bytes = cfg.comm_bytes;
+  job.recovery.enabled = true;
+  monitor::ClusterRuntime rt(fabric, job, cfg.seed);
+
+  if (cfg.inject_faults && cfg.iterations >= 3) {
+    rt.inject(rt.make_fault(monitor::RootCause::OpticalFiber,
+                            monitor::Manifestation::FailStop,
+                            std::min(2, cfg.iterations - 1)));
+    rt.inject(rt.make_mid_transfer_tor_death(std::min(5, cfg.iterations - 1)));
+  }
+
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  rt.set_tracer(&tracer);
+  rt.set_metrics(&metrics);
+  rt.run();
+
+  RecordedArtifacts out;
+  out.trace = tracer.to_chrome_trace();
+  out.metrics = deterministic_metrics_snapshot(metrics);
+  return out;
+}
+
+}  // namespace astral::replay

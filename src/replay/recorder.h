@@ -1,0 +1,47 @@
+// Deterministic scripted campaign recorder: one fixed fault-scheduled
+// training job on a small fabric with the flight recorder and metrics
+// registry attached, producing the golden `campaign.trace.json` /
+// `campaign.metrics.json` pair that the replay subsystem's differential
+// tests are locked to.
+//
+// Everything downstream leans on this being bit-reproducible: same
+// config → byte-identical trace and metrics documents across runs. The
+// one nondeterministic metric the stack emits — the solver's wall-clock
+// `fluidsim.solve_us` histogram — is redacted to its (deterministic)
+// sample count in the snapshot.
+#pragma once
+
+#include <cstdint>
+
+#include "core/json.h"
+#include "core/units.h"
+#include "obs/metrics.h"
+
+namespace astral::replay {
+
+struct ScriptedCampaignConfig {
+  int hosts = 64;        ///< Job size (the golden fixture's 64-host run).
+  int iterations = 8;
+  std::uint64_t seed = 2024;
+  std::int64_t job_id = 7;
+  core::Bytes comm_bytes = core::Bytes{4} * 1024 * 1024;
+  core::Seconds compute_time = 0.05;
+  /// Scripted faults: an optical-fiber fail-stop at iteration 2 and a
+  /// mid-transfer ToR death at iteration 5 (the dual-ToR failover case),
+  /// so the recording exercises the full fault/mitigation chain.
+  bool inject_faults = true;
+};
+
+struct RecordedArtifacts {
+  core::Json trace;    ///< {"traceEvents": [...]} flight recording.
+  core::Json metrics;  ///< Deterministic metrics snapshot (see below).
+};
+
+/// Metrics snapshot with wall-clock histograms reduced to their sample
+/// counts, so the document is byte-stable across machines and runs.
+core::Json deterministic_metrics_snapshot(const obs::Metrics& metrics);
+
+/// Runs the scripted campaign and returns the recorded documents.
+RecordedArtifacts record_scripted_campaign(const ScriptedCampaignConfig& cfg = {});
+
+}  // namespace astral::replay

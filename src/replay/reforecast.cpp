@@ -1,0 +1,228 @@
+#include "replay/reforecast.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/table.h"
+#include "seer/efficiency.h"
+#include "seer/engine.h"
+
+namespace astral::replay {
+
+namespace {
+
+/// Participants to assume when the Flow track was absent or empty: a
+/// degenerate two-rank collective keeps the model's ring terms defined.
+int group_of(const RecordedCampaign& campaign) {
+  return campaign.ranks > 1 ? campaign.ranks : 2;
+}
+
+seer::CostModel make_model(const ReforecastConfig& cfg, const WhatIfKnobs& knobs) {
+  seer::GpuSpec gpu = cfg.gpu;
+  gpu.flops *= knobs.compute_scale;
+  seer::CommEnv env = cfg.env;
+  env.nic_bw *= knobs.nic_bw_scale;
+  env.nvlink_bw *= knobs.nvlink_bw_scale;
+  return seer::CostModel(gpu, env,
+                         std::make_shared<seer::TheoreticalEfficiency>());
+}
+
+double safe_ratio(core::Seconds whatif, core::Seconds base) {
+  if (base <= 0.0 || whatif <= 0.0) return 1.0;
+  return whatif / base;
+}
+
+double rel_dev(core::Seconds forecast, core::Seconds measured) {
+  if (measured <= 0.0) return forecast > 0.0 ? 1.0 : 0.0;
+  return std::abs(forecast - measured) / measured;
+}
+
+}  // namespace
+
+seer::OpGraph to_op_graph(const RecordedCampaign& campaign,
+                          const ReforecastConfig& cfg,
+                          bool keep_measured_times) {
+  seer::OpGraph g;
+  const int group = group_of(campaign);
+  int prev = -1;  // Last op of the previous iteration.
+  for (const RecordedIteration& it : campaign.iterations) {
+    seer::Operator compute;
+    compute.id = static_cast<int>(g.ops.size());
+    compute.name = "iter" + std::to_string(it.index) + ".compute";
+    compute.type = seer::OpType::Compute;
+    // Back-derive flops so the baseline model reproduces the measured
+    // duration exactly (TheoreticalEfficiency: t = flops / gpu.flops).
+    compute.flops = it.compute * cfg.gpu.flops;
+    if (keep_measured_times) compute.fixed_time = it.compute;
+    if (prev >= 0) compute.deps.push_back(prev);
+    prev = compute.id;
+    g.ops.push_back(std::move(compute));
+
+    for (const RecordedCollective& c : it.collectives) {
+      seer::Operator comm;
+      comm.id = static_cast<int>(g.ops.size());
+      comm.name = "iter" + std::to_string(it.index) + "." + c.name;
+      comm.type = seer::OpType::Comm;
+      comm.comm = cfg.recorded_kind;
+      comm.comm_bytes = c.bytes;
+      comm.comm_group = c.group > 1 ? static_cast<int>(c.group) : group;
+      if (keep_measured_times) comm.fixed_time = c.duration;
+      comm.deps.push_back(prev);
+      prev = comm.id;
+      g.ops.push_back(std::move(comm));
+    }
+  }
+  return g;
+}
+
+DeviationReport reforecast(const RecordedCampaign& campaign,
+                           const WhatIfKnobs& knobs,
+                           const ReforecastConfig& cfg) {
+  DeviationReport report;
+  report.label = knobs.label;
+  report.knobs = knobs;
+
+  const seer::CostModel base = make_model(cfg, WhatIfKnobs{});
+  const seer::CostModel whatif = make_model(cfg, knobs);
+  const seer::CommKind whatif_kind = knobs.collective != seer::CommKind::None
+                                         ? knobs.collective
+                                         : cfg.recorded_kind;
+  const int group = group_of(campaign);
+
+  for (const RecordedIteration& it : campaign.iterations) {
+    IterationDeviation iter_dev;
+    iter_dev.iteration = it.index;
+    iter_dev.start = it.start;
+    iter_dev.measured = it.duration;
+
+    OpDeviation comp;
+    comp.iteration = it.index;
+    comp.name = "compute";
+    comp.type = seer::OpType::Compute;
+    comp.measured = it.compute;
+    comp.forecast =
+        it.compute * safe_ratio(whatif.compute_time(it.compute * cfg.gpu.flops),
+                                base.compute_time(it.compute * cfg.gpu.flops));
+    comp.deviation = rel_dev(comp.forecast, comp.measured);
+    iter_dev.forecast += comp.forecast;
+    report.per_op.push_back(std::move(comp));
+
+    for (const RecordedCollective& c : it.collectives) {
+      const int g = c.group > 1 ? static_cast<int>(c.group) : group;
+      OpDeviation comm;
+      comm.iteration = it.index;
+      comm.name = c.name;
+      comm.type = seer::OpType::Comm;
+      comm.measured = c.duration;
+      comm.forecast = c.duration *
+                      safe_ratio(whatif.comm_time(whatif_kind, c.bytes, g,
+                                                  /*cross_dc=*/false),
+                                 base.comm_time(cfg.recorded_kind, c.bytes, g,
+                                                /*cross_dc=*/false));
+      comm.deviation = rel_dev(comm.forecast, comm.measured);
+      iter_dev.forecast += comm.forecast;
+      report.per_op.push_back(std::move(comm));
+    }
+
+    iter_dev.deviation = rel_dev(iter_dev.forecast, iter_dev.measured);
+    report.measured_total += iter_dev.measured;
+    report.forecast_total += iter_dev.forecast;
+    report.max_iteration_deviation =
+        std::max(report.max_iteration_deviation, iter_dev.deviation);
+    report.per_iteration.push_back(std::move(iter_dev));
+  }
+  report.overall_deviation = rel_dev(report.forecast_total, report.measured_total);
+
+  // The OpGraph half of the identity: replaying the reconstructed graph
+  // with measured durations through the Seer engine must reproduce the
+  // measured total (the graph is one serial chain, so makespan = sum).
+  seer::OpGraph replay_graph =
+      to_op_graph(campaign, cfg, /*keep_measured_times=*/true);
+  report.replay_makespan = seer::SeerEngine(base).run(replay_graph).makespan;
+  return report;
+}
+
+core::Json DeviationReport::to_json() const {
+  core::Json doc = core::Json::object();
+  doc["label"] = core::Json(label);
+  core::Json k = core::Json::object();
+  k["compute_scale"] = core::Json(knobs.compute_scale);
+  k["nic_bw_scale"] = core::Json(knobs.nic_bw_scale);
+  k["nvlink_bw_scale"] = core::Json(knobs.nvlink_bw_scale);
+  k["collective"] = core::Json(knobs.collective == seer::CommKind::None
+                                   ? "recorded"
+                                   : seer::to_string(knobs.collective));
+  doc["knobs"] = std::move(k);
+  doc["measured_total_s"] = core::Json(measured_total);
+  doc["forecast_total_s"] = core::Json(forecast_total);
+  doc["overall_deviation"] = core::Json(overall_deviation);
+  doc["max_iteration_deviation"] = core::Json(max_iteration_deviation);
+  doc["replay_makespan_s"] = core::Json(replay_makespan);
+
+  core::Json iters = core::Json::array();
+  for (const IterationDeviation& it : per_iteration) {
+    core::Json j = core::Json::object();
+    j["iteration"] = core::Json(it.iteration);
+    j["start_s"] = core::Json(it.start);
+    j["measured_s"] = core::Json(it.measured);
+    j["forecast_s"] = core::Json(it.forecast);
+    j["deviation"] = core::Json(it.deviation);
+    iters.push_back(std::move(j));
+  }
+  doc["per_iteration"] = std::move(iters);
+
+  core::Json ops = core::Json::array();
+  for (const OpDeviation& op : per_op) {
+    core::Json j = core::Json::object();
+    j["iteration"] = core::Json(op.iteration);
+    j["name"] = core::Json(op.name);
+    j["type"] = core::Json(seer::to_string(op.type));
+    j["measured_s"] = core::Json(op.measured);
+    j["forecast_s"] = core::Json(op.forecast);
+    j["deviation"] = core::Json(op.deviation);
+    ops.push_back(std::move(j));
+  }
+  doc["per_op"] = std::move(ops);
+  return doc;
+}
+
+std::string DeviationReport::to_table() const {
+  core::Table table({"iter", "measured_ms", "forecast_ms", "deviation"});
+  for (const IterationDeviation& it : per_iteration) {
+    table.add_row({std::to_string(it.iteration),
+                   core::Table::num(it.measured * 1e3),
+                   core::Table::num(it.forecast * 1e3),
+                   core::Table::pct(it.deviation)});
+  }
+  table.add_row({"total", core::Table::num(measured_total * 1e3),
+                 core::Table::num(forecast_total * 1e3),
+                 core::Table::pct(overall_deviation)});
+  return table.str();
+}
+
+void DeviationReport::append_chrome_trace(obs::ChromeTraceBuilder& builder,
+                                          int pid,
+                                          std::string_view process_name) const {
+  builder.process_name(pid, process_name);
+  builder.thread_name(pid, 0, "exec");
+  builder.thread_name(pid, 1, "comm");
+  // Forecast ops are laid out serially from each iteration's measured
+  // start, so measured and re-forecast spans line up vertically in
+  // Perfetto and the deviation is visible as the length difference.
+  std::size_t op = 0;
+  for (const IterationDeviation& it : per_iteration) {
+    core::Seconds cursor = it.start;
+    for (; op < per_op.size() && per_op[op].iteration == it.iteration; ++op) {
+      const OpDeviation& o = per_op[op];
+      core::Json args = core::Json::object();
+      args["iteration"] = core::Json(o.iteration);
+      args["measured_us"] = core::Json(o.measured * 1e6);
+      args["deviation"] = core::Json(o.deviation);
+      builder.complete(pid, o.type == seer::OpType::Comm ? 1 : 0, o.name,
+                       cursor, o.forecast, std::move(args));
+      cursor += o.forecast;
+    }
+  }
+}
+
+}  // namespace astral::replay

@@ -1,0 +1,117 @@
+// Trace-driven replay, forecasting side: turns a RecordedCampaign back
+// into a seer::OpGraph (mirroring seer::import_profiler_trace — measured
+// collective/compute spans become Comm/Compute operators with recovered
+// dependencies) and re-forecasts it under what-if knobs: swapped topology
+// tier bandwidths, a changed collective algorithm, faster or slower
+// compute.
+//
+// The re-forecast is calibrated per operator, the way trace-replay
+// simulators (SimAI-style; see PAPERS.md) do what-ifs: each measured
+// duration is scaled by the ratio of the cost model's prediction under
+// the what-if environment to its prediction under the recorded baseline.
+// Model error cancels out of the ratio, and the self-replay identity
+// falls out by construction: with unchanged knobs every ratio is exactly
+// 1, so record → replay → re-forecast must reproduce the measured
+// timeline — a standing differential test over every layer that emits
+// telemetry (net + coll + monitor + seer at once). CI enforces it at <1%
+// per iteration on the golden trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/units.h"
+#include "replay/trace_reader.h"
+#include "seer/cost_model.h"
+#include "seer/op_graph.h"
+
+namespace astral::replay {
+
+/// What-if knobs applied on top of the recorded campaign's environment.
+struct WhatIfKnobs {
+  std::string label = "self-replay";  ///< Scenario name in reports.
+  /// GPU speed multiplier (> 1 = faster compute).
+  double compute_scale = 1.0;
+  /// Tier-2 (inter-host fabric / NIC) bandwidth multiplier.
+  double nic_bw_scale = 1.0;
+  /// Tier-1 (intra-host NVLink domain) bandwidth multiplier.
+  double nvlink_bw_scale = 1.0;
+  /// Collective algorithm override; None keeps the recorded algorithm.
+  seer::CommKind collective = seer::CommKind::None;
+
+  bool is_identity() const {
+    return compute_scale == 1.0 && nic_bw_scale == 1.0 &&
+           nvlink_bw_scale == 1.0 && collective == seer::CommKind::None;
+  }
+};
+
+/// The modeled baseline: what hardware the recording is assumed to have
+/// run on. Only ratios of model predictions enter the forecast, so these
+/// calibrate sensitivity to the knobs rather than absolute accuracy.
+struct ReforecastConfig {
+  seer::GpuSpec gpu = seer::GpuSpec::h100();
+  seer::CommEnv env;
+  /// The collective algorithm the recorded ring phase corresponds to.
+  seer::CommKind recorded_kind = seer::CommKind::AllReduce;
+};
+
+struct OpDeviation {
+  int iteration = 0;
+  std::string name;
+  seer::OpType type = seer::OpType::Compute;
+  core::Seconds measured = 0.0;
+  core::Seconds forecast = 0.0;
+  double deviation = 0.0;  ///< |forecast - measured| / measured.
+};
+
+struct IterationDeviation {
+  int iteration = 0;
+  core::Seconds start = 0.0;  ///< Measured start (trace layout anchor).
+  core::Seconds measured = 0.0;
+  core::Seconds forecast = 0.0;
+  double deviation = 0.0;
+};
+
+/// Side-by-side measured-vs-forecast report for one what-if scenario.
+struct DeviationReport {
+  std::string label;
+  WhatIfKnobs knobs;
+  std::vector<OpDeviation> per_op;
+  std::vector<IterationDeviation> per_iteration;
+  core::Seconds measured_total = 0.0;  ///< Sum of iteration durations.
+  core::Seconds forecast_total = 0.0;
+  double overall_deviation = 0.0;        ///< Of the totals.
+  double max_iteration_deviation = 0.0;  ///< Worst single iteration.
+  /// SeerEngine makespan of the reconstructed graph replayed with the
+  /// measured durations — the OpGraph-level half of the self-replay
+  /// identity (must match measured_total when knobs are identity).
+  core::Seconds replay_makespan = 0.0;
+
+  core::Json to_json() const;
+  std::string to_table() const;
+
+  /// Appends the re-forecast timeline as its own process: compute spans
+  /// on tid 0, comm spans on tid 1, each carrying {iteration, measured_us,
+  /// deviation} args — Perfetto-joinable next to the measured tracks.
+  void append_chrome_trace(obs::ChromeTraceBuilder& builder, int pid,
+                           std::string_view process_name) const;
+};
+
+/// Converts the campaign into an operator graph, mirroring
+/// seer::import_profiler_trace: per iteration one Compute op (flops
+/// back-derived from the measured duration) chained to its Comm ops
+/// (bytes/group from the recorded spans), iterations chained in order.
+/// With `keep_measured_times`, fixed_time pins every op to its recorded
+/// duration so an engine run replays the measurement.
+seer::OpGraph to_op_graph(const RecordedCampaign& campaign,
+                          const ReforecastConfig& cfg,
+                          bool keep_measured_times);
+
+/// Re-forecasts the campaign under `knobs`. Deterministic: same campaign
+/// and knobs produce a byte-identical report.
+DeviationReport reforecast(const RecordedCampaign& campaign,
+                           const WhatIfKnobs& knobs,
+                           const ReforecastConfig& cfg = {});
+
+}  // namespace astral::replay

@@ -1,0 +1,362 @@
+#include "replay/trace_reader.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astral::replay {
+
+namespace {
+
+/// Rounding slack for read-back times. The document stores ts and dur as
+/// independently rounded integer microseconds, so a span's read-back end
+/// (ts + dur) can overshoot an adjacent boundary by up to 1.5 µs even
+/// when the recorded times were exactly contiguous.
+constexpr double kEps = 1.5e-6;
+
+std::int64_t key_or(const core::Json& args, std::string_view name) {
+  const core::Json& v = args[name];
+  return v.is_number() ? v.as_int() : -1;
+}
+
+obs::TraceKeys decode_keys(const core::Json& args) {
+  obs::TraceKeys k;
+  k.job = key_or(args, "job");
+  k.group = key_or(args, "group");
+  k.collective = key_or(args, "collective");
+  k.flow = key_or(args, "flow");
+  k.qp = key_or(args, "qp");
+  k.link = key_or(args, "link");
+  k.fault = key_or(args, "fault");
+  return k;
+}
+
+/// "link42.util" -> 42; -1 when the name is not a per-link series.
+std::int64_t link_of_counter_name(std::string_view name) {
+  if (name.substr(0, 4) != "link") return -1;
+  std::size_t i = 4;
+  std::int64_t id = 0;
+  bool any = false;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    id = id * 10 + (name[i] - '0');
+    ++i;
+    any = true;
+  }
+  return any && i < name.size() && name[i] == '.' ? id : -1;
+}
+
+}  // namespace
+
+const ParsedTrack* ParsedTrace::find_track(int pid, int tid) const {
+  for (const auto& t : tracks) {
+    if (t.pid == pid && t.tid == tid) return &t;
+  }
+  return nullptr;
+}
+
+const ParsedTrack* ParsedTrace::find_track(int pid, std::string_view name) const {
+  for (const auto& t : tracks) {
+    if (t.pid == pid && t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+int ParsedTrace::find_process(std::string_view name) const {
+  for (const auto& [pid, pname] : process_names) {
+    if (pname == name) return pid;
+  }
+  return -1;
+}
+
+std::size_t ParsedTrace::event_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks) n += t.events.size();
+  return n;
+}
+
+void ParsedTrace::append_chrome_trace(obs::ChromeTraceBuilder& builder) const {
+  for (const ParsedMeta& m : metadata) {
+    if (m.is_process) {
+      builder.process_name(m.pid, m.name);
+    } else {
+      builder.thread_name(m.pid, m.tid, m.name);
+    }
+  }
+  // Tracks are kept in ascending (pid, tid) and events in document order,
+  // which is exactly the builder's stable sort order — re-emission feeds
+  // the sort an already-sorted sequence, so ties keep their original
+  // relative order and the rebuilt document is byte-identical.
+  for (const ParsedTrack& t : tracks) {
+    for (const ParsedEvent& ev : t.events) {
+      switch (ev.kind) {
+        case ParsedEvent::Kind::Span:
+          builder.complete(t.pid, t.tid, ev.name, ev.start, ev.duration, ev.args);
+          break;
+        case ParsedEvent::Kind::Instant:
+          builder.instant(t.pid, t.tid, ev.name, ev.start, ev.args);
+          break;
+        case ParsedEvent::Kind::Counter:
+          builder.counter(t.pid, ev.name, ev.counter_series, ev.start, ev.value);
+          break;
+      }
+    }
+  }
+}
+
+core::Json ParsedTrace::to_chrome_trace() const {
+  obs::ChromeTraceBuilder builder;
+  append_chrome_trace(builder);
+  return builder.build();
+}
+
+std::optional<ParsedTrace> parse_chrome_trace(const core::Json& doc,
+                                              std::string* error) {
+  auto fail = [&](std::string msg) -> std::optional<ParsedTrace> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  const core::Json& events = doc["traceEvents"];
+  if (!events.is_array()) return fail("missing 'traceEvents' array");
+
+  ParsedTrace out;
+  auto track_of = [&](int pid, int tid) -> ParsedTrack& {
+    for (auto& t : out.tracks) {
+      if (t.pid == pid && t.tid == tid) return t;
+    }
+    // Insert keeping ascending (pid, tid) so re-emission order matches
+    // the document's sort order.
+    auto it = out.tracks.begin();
+    while (it != out.tracks.end() &&
+           std::make_pair(it->pid, it->tid) < std::make_pair(pid, tid)) {
+      ++it;
+    }
+    it = out.tracks.insert(it, ParsedTrack{pid, tid, "", {}});
+    return *it;
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const core::Json& j = events.at(i);
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!j.is_object()) return fail(at + " is not an object");
+    if (!j["ph"].is_string()) return fail(at + " has no 'ph' phase");
+    const std::string& ph = j["ph"].as_string();
+    const int pid = static_cast<int>(j["pid"].as_int());
+    const int tid = static_cast<int>(j["tid"].as_int());
+    const std::string& name = j["name"].as_string();
+
+    if (ph == "M") {
+      ParsedMeta m;
+      m.pid = pid;
+      m.tid = tid;
+      m.name = j["args"]["name"].as_string();
+      if (name == "process_name") {
+        m.is_process = true;
+        out.process_names[pid] = m.name;
+      } else if (name == "thread_name") {
+        track_of(pid, tid).name = m.name;
+      } else {
+        return fail(at + " unknown metadata '" + name + "'");
+      }
+      out.metadata.push_back(std::move(m));
+      continue;
+    }
+
+    if (!j["ts"].is_number()) return fail(at + " has no numeric 'ts'");
+    ParsedEvent ev;
+    ev.name = name;
+    ev.start = j["ts"].as_number() * 1e-6;
+    ev.args = j["args"];
+
+    if (ph == "X") {
+      if (!j["dur"].is_number()) return fail(at + " span has no numeric 'dur'");
+      ev.kind = ParsedEvent::Kind::Span;
+      ev.duration = j["dur"].as_number() * 1e-6;
+      ev.keys = decode_keys(ev.args);
+      ev.value = ev.args.number_or("value", 0.0);
+      ev.detail = ev.args.string_or("detail", "");
+    } else if (ph == "i") {
+      ev.kind = ParsedEvent::Kind::Instant;
+      ev.keys = decode_keys(ev.args);
+      ev.detail = ev.args.string_or("detail", "");
+    } else if (ph == "C") {
+      ev.kind = ParsedEvent::Kind::Counter;
+      const auto& obj = ev.args.as_object();
+      if (!ev.args.is_object() || obj.size() != 1 ||
+          !obj.begin()->second.is_number()) {
+        return fail(at + " counter args must hold exactly one numeric series");
+      }
+      ev.counter_series = obj.begin()->first;
+      ev.value = obj.begin()->second.as_number();
+      ev.keys.link = link_of_counter_name(ev.name);
+    } else {
+      return fail(at + " unsupported phase '" + ph + "'");
+    }
+    track_of(pid, tid).events.push_back(std::move(ev));
+  }
+  return out;
+}
+
+bool spans_well_nested(const ParsedTrack& track, std::string* error) {
+  std::vector<const ParsedEvent*> spans;
+  for (const ParsedEvent& ev : track.events) {
+    if (ev.kind == ParsedEvent::Kind::Span) spans.push_back(&ev);
+  }
+  // Enclosing spans first: ascending start, then descending end.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const ParsedEvent* a, const ParsedEvent* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->end() > b->end();
+                   });
+  std::vector<const ParsedEvent*> stack;
+  for (const ParsedEvent* s : spans) {
+    while (!stack.empty() && s->start >= stack.back()->end() - kEps) {
+      stack.pop_back();
+    }
+    if (!stack.empty() && s->end() > stack.back()->end() + kEps) {
+      if (error) {
+        *error = "track '" + track.name + "': span '" + s->name +
+                 "' partially overlaps enclosing '" + stack.back()->name + "'";
+      }
+      return false;
+    }
+    stack.push_back(s);
+  }
+  return true;
+}
+
+bool key_chain_consistent(const ParsedTrack& track, std::string* error) {
+  for (const ParsedEvent& ev : track.events) {
+    const obs::TraceKeys& k = ev.keys;
+    const char* broken = nullptr;
+    if (k.collective >= 0 && k.group < 0) broken = "collective without group";
+    if (k.group >= 0 && k.job < 0) broken = "group without job";
+    if (broken != nullptr) {
+      if (error) {
+        *error = "track '" + track.name + "': event '" + ev.name + "' has " +
+                 broken;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign extraction
+
+core::Seconds RecordedCampaign::measured_total() const {
+  core::Seconds t = 0.0;
+  for (const auto& it : iterations) t += it.duration;
+  return t;
+}
+
+std::optional<RecordedCampaign> extract_campaign(const ParsedTrace& trace,
+                                                 std::string* error, int pid) {
+  auto fail = [&](std::string msg) -> std::optional<RecordedCampaign> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (pid < 0) {
+    for (const auto& t : trace.tracks) {
+      if (t.name == obs::to_string(obs::Track::Workload)) {
+        pid = t.pid;
+        break;
+      }
+    }
+    if (pid < 0) return fail("no process with a 'workload' track");
+  }
+  const ParsedTrack* workload =
+      trace.find_track(pid, obs::to_string(obs::Track::Workload));
+  if (workload == nullptr) return fail("process has no 'workload' track");
+  const ParsedTrack* collective =
+      trace.find_track(pid, obs::to_string(obs::Track::Collective));
+  const ParsedTrack* flow = trace.find_track(pid, obs::to_string(obs::Track::Flow));
+
+  RecordedCampaign campaign;
+  for (const ParsedEvent& ev : workload->events) {
+    if (ev.kind != ParsedEvent::Kind::Span || ev.name != "iteration") continue;
+    RecordedIteration it;
+    it.index = static_cast<int>(std::llround(ev.value));
+    it.start = ev.start;
+    it.duration = ev.duration;
+    if (campaign.job < 0) campaign.job = ev.keys.job;
+    campaign.iterations.push_back(it);
+  }
+  if (campaign.iterations.empty()) {
+    return fail("workload track has no 'iteration' spans");
+  }
+  std::sort(campaign.iterations.begin(), campaign.iterations.end(),
+            [](const RecordedIteration& a, const RecordedIteration& b) {
+              return a.start < b.start;
+            });
+
+  auto containing = [&](core::Seconds t) -> RecordedIteration* {
+    for (auto& it : campaign.iterations) {
+      if (t >= it.start - kEps && t < it.start + it.duration - kEps) return &it;
+    }
+    return nullptr;
+  };
+
+  for (const ParsedEvent& ev : workload->events) {
+    if (ev.kind != ParsedEvent::Kind::Span || ev.name != "compute") continue;
+    RecordedIteration* it = containing(ev.start);
+    if (it == nullptr) {
+      return fail("'compute' span at " + std::to_string(ev.start) +
+                  "s outside every iteration");
+    }
+    it->compute += ev.duration;
+  }
+
+  if (collective != nullptr) {
+    for (const ParsedEvent& ev : collective->events) {
+      if (ev.kind != ParsedEvent::Kind::Span) continue;
+      RecordedIteration* it = containing(ev.start);
+      if (it == nullptr) continue;  // Stall markers etc. between iterations.
+      RecordedCollective c;
+      c.name = ev.name;
+      c.start = ev.start;
+      c.duration = ev.duration;
+      c.bytes = ev.value;
+      c.group = ev.keys.group;
+      c.collective = ev.keys.collective;
+      it->collectives.push_back(c);
+    }
+  }
+
+  if (flow != nullptr) {
+    for (const ParsedEvent& ev : flow->events) {
+      if (ev.kind != ParsedEvent::Kind::Span || ev.name != "flow") continue;
+      RecordedIteration* it = containing(ev.start);
+      if (it == nullptr) continue;
+      it->flow_count++;
+      it->flow_bytes += ev.value;
+    }
+  }
+
+  // Participant count: the mode of per-iteration completed-flow counts
+  // (faulted iterations over- or under-count; healthy ones agree).
+  std::map<int, int> votes;
+  for (const auto& it : campaign.iterations) {
+    if (it.flow_count > 0) votes[it.flow_count]++;
+  }
+  int best_votes = 0;
+  for (const auto& [count, n] : votes) {
+    if (n > best_votes) {
+      best_votes = n;
+      campaign.ranks = count;
+    }
+  }
+
+  for (const auto& it : campaign.iterations) {
+    if (it.collectives.empty()) {
+      return fail("iteration " + std::to_string(it.index) +
+                  " has no collective span");
+    }
+    if (it.compute <= 0.0) {
+      return fail("iteration " + std::to_string(it.index) +
+                  " has no compute span");
+    }
+  }
+  return campaign;
+}
+
+}  // namespace astral::replay

@@ -1,0 +1,156 @@
+// Trace-driven replay, reading side: parses a recorded campaign trace
+// (the Chrome trace-event JSON obs::ChromeTraceBuilder emits —
+// `campaign.trace.json`) back into structured per-track events with the
+// ambient job → group → collective → flow key chain reconstructed from
+// the event args.
+//
+// Two contracts make the reader a correctness harness rather than just a
+// loader:
+//  * Losslessness: append_chrome_trace() re-emits a parsed trace through
+//    the same ChromeTraceBuilder, and for any builder-produced document
+//    the round trip is byte-identical (ts/dur are integer microseconds,
+//    args are preserved verbatim, metadata order is kept). CI property
+//    tests byte-compare the loop.
+//  * Well-formedness: spans_well_nested() checks the stack discipline of
+//    spans per track and key_chain_consistent() checks that correlation
+//    keys are prefix-closed (a collective key implies a group key implies
+//    a job key) — the invariants every instrumented layer must uphold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/units.h"
+#include "obs/trace.h"
+
+namespace astral::replay {
+
+/// One event recovered from the trace document. Times are back in
+/// seconds (the document stores integer microseconds); `args` keeps the
+/// original args object verbatim so re-emission is lossless.
+struct ParsedEvent {
+  enum class Kind : std::uint8_t { Span, Instant, Counter };
+
+  Kind kind = Kind::Instant;
+  std::string name;
+  core::Seconds start = 0.0;
+  core::Seconds duration = 0.0;  ///< Spans only.
+  core::Seconds end() const { return start + duration; }
+
+  obs::TraceKeys keys;        ///< Decoded from args; unset fields stay -1.
+  double value = 0.0;         ///< args.value (spans) or the counter sample.
+  std::string detail;         ///< args.detail; empty when absent.
+  std::string counter_series; ///< Counters: the series key inside args.
+  core::Json args;            ///< Verbatim args (empty Json when absent).
+};
+
+/// One (pid, tid) lane of the document — a layer track of the flight
+/// recorder, a Seer stream, or the counter lane (tid 0).
+struct ParsedTrack {
+  int pid = 0;
+  int tid = 0;
+  std::string name;  ///< thread_name metadata; "" for the counter lane.
+  std::vector<ParsedEvent> events;  ///< Document order (ts-sorted).
+};
+
+/// Metadata entry, kept in document order for lossless re-emission.
+struct ParsedMeta {
+  bool is_process = false;  ///< process_name vs thread_name.
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+};
+
+struct ParsedTrace {
+  std::vector<ParsedMeta> metadata;
+  std::map<int, std::string> process_names;
+  std::vector<ParsedTrack> tracks;  ///< Ascending (pid, tid).
+
+  const ParsedTrack* find_track(int pid, int tid) const;
+  const ParsedTrack* find_track(int pid, std::string_view name) const;
+  /// pid of the process named `name`; -1 when absent.
+  int find_process(std::string_view name) const;
+  std::size_t event_count() const;
+
+  /// Re-emits every track into `builder` exactly as originally recorded
+  /// (same pids/tids/names/args). builder.build() of a fresh builder then
+  /// reproduces a builder-produced source document byte for byte.
+  void append_chrome_trace(obs::ChromeTraceBuilder& builder) const;
+  core::Json to_chrome_trace() const;
+};
+
+/// Parses a {"traceEvents": [...]} document produced by
+/// obs::ChromeTraceBuilder. Returns nullopt with a diagnostic in *error
+/// on documents the replay engine cannot faithfully represent (unknown
+/// phases, malformed metadata, counters with non-scalar args).
+std::optional<ParsedTrace> parse_chrome_trace(const core::Json& doc,
+                                              std::string* error = nullptr);
+
+/// Stack discipline of the track's spans: sorted by start, every span
+/// either nests inside the enclosing open span or begins after it ends —
+/// no partial overlap. Tolerance is 1.5 µs: ts and dur are rounded to the
+/// document's 1 µs quantum independently, so exactly contiguous spans can
+/// read back overlapping by up to that much.
+bool spans_well_nested(const ParsedTrack& track, std::string* error = nullptr);
+
+/// Prefix-closure of the ambient key chain on every event of the track:
+/// collective >= 0 implies group >= 0 implies job >= 0 (lower layers must
+/// have inherited the outer scopes they were recorded under).
+bool key_chain_consistent(const ParsedTrack& track, std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Campaign extraction: from parsed tracks back to the run's structure.
+
+/// One collective span recorded inside an iteration (the runtime's
+/// ring_step, or CollectiveRunner algorithm spans).
+struct RecordedCollective {
+  std::string name;
+  core::Seconds start = 0.0;
+  core::Seconds duration = 0.0;
+  double bytes = 0.0;  ///< Span value: payload over the fabric.
+  std::int64_t group = -1;
+  std::int64_t collective = -1;
+};
+
+/// One committed iteration with its nested phases re-associated.
+struct RecordedIteration {
+  int index = 0;  ///< Span value: the runtime's iteration counter.
+  core::Seconds start = 0.0;
+  core::Seconds duration = 0.0;
+  core::Seconds compute = 0.0;  ///< Nested Workload "compute" span.
+  std::vector<RecordedCollective> collectives;
+  int flow_count = 0;    ///< Completed Flow-track spans in the window.
+  double flow_bytes = 0.0;  ///< Sum of their payloads.
+
+  core::Seconds comm() const {
+    core::Seconds t = 0.0;
+    for (const auto& c : collectives) t += c.duration;
+    return t;
+  }
+};
+
+/// A measured campaign reconstructed from the flight recording: the
+/// structured form the what-if re-forecaster consumes.
+struct RecordedCampaign {
+  std::int64_t job = -1;
+  int ranks = 0;  ///< Participants, inferred from the Flow track.
+  std::vector<RecordedIteration> iterations;
+
+  /// Sum of committed-iteration durations (excludes fault downtime
+  /// between iterations — the measured baseline the forecast replays).
+  core::Seconds measured_total() const;
+};
+
+/// Reconstructs the campaign from a parsed flight recording: Workload
+/// "iteration"/"compute" spans, Collective spans and Flow spans are
+/// re-associated by time containment and the shared job key. `pid` -1
+/// auto-detects the recorder process (the one with a "workload" track).
+std::optional<RecordedCampaign> extract_campaign(const ParsedTrace& trace,
+                                                 std::string* error = nullptr,
+                                                 int pid = -1);
+
+}  // namespace astral::replay

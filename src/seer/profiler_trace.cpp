@@ -23,16 +23,28 @@ std::optional<OpGraph> import_profiler_trace(const core::Json& trace,
     std::int64_t tid = 0;
     Operator op;
   };
+  // Strict pass: a malformed entry fails the whole import with an indexed
+  // diagnostic rather than silently shrinking the graph — a partial graph
+  // replays to a shorter makespan, which reads as a (bogus) speedup.
   std::vector<Ev> evs;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const core::Json& j = events.at(i);
-    if (j.string_or("ph", "X") != "X") continue;  // only complete events
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!j.is_object()) return fail(at + ": not an object");
+    if (!j["ph"].is_string()) return fail(at + ": missing 'ph' string");
+    if (j["ph"].as_string() != "X") continue;  // only complete events
+    if (!j["ts"].is_number()) return fail(at + ": 'X' event without numeric 'ts'");
+    if (!j["dur"].is_number()) return fail(at + ": 'X' event without numeric 'dur'");
     Ev ev;
     ev.order = i;
-    ev.ts = j.number_or("ts", 0.0);
-    ev.dur = j.number_or("dur", 0.0);
+    ev.ts = j["ts"].as_number();
+    ev.dur = j["dur"].as_number();
+    if (ev.dur < 0.0) return fail(at + ": negative 'dur'");
     ev.tid = j["tid"].as_int();
     const core::Json& args = j["args"];
+    if (!args.is_null() && !args.is_object()) {
+      return fail(at + ": 'args' present but not an object");
+    }
     Operator& op = ev.op;
     op.name = j.string_or("name", "op" + std::to_string(i));
     op.flops = args.number_or("flops", 0.0);
@@ -40,8 +52,12 @@ std::optional<OpGraph> import_profiler_trace(const core::Json& trace,
     op.comm_bytes = args.number_or("comm_bytes", 0.0);
     op.comm_group = static_cast<int>(args.number_or("comm_group", 1.0));
     op.cross_dc = args["cross_dc"].as_bool();
-    if (auto kind = comm_kind_from(args.string_or("comm", "none"));
-        kind && *kind != CommKind::None) {
+    auto kind = comm_kind_from(args.string_or("comm", "none"));
+    if (!kind) {
+      return fail(at + ": unknown collective kind '" +
+                  args.string_or("comm", "") + "'");
+    }
+    if (*kind != CommKind::None) {
       op.type = OpType::Comm;
       op.comm = *kind;
     } else if (op.flops > 0.0) {

@@ -35,6 +35,11 @@ namespace astral::seer {
 /// When `keep_measured_times` is true, each op's fixed_time is set from
 /// `dur` (replaying the profile); otherwise durations are left to the
 /// cost model (re-forecasting the same workflow under new configs).
+/// Malformed documents — non-object entries, events without a 'ph'
+/// string, 'X' events without numeric ts/dur, negative dur, non-object
+/// args, unknown args.comm kinds — fail the whole import (nullopt plus an
+/// indexed diagnostic in *error) instead of importing a silent partial
+/// graph.
 std::optional<OpGraph> import_profiler_trace(const core::Json& trace,
                                              bool keep_measured_times = false,
                                              std::string* error = nullptr);

@@ -1,0 +1,111 @@
+// Golden-trace regression lock: the deterministic 64-host scripted
+// campaign must reproduce the checked-in fixture byte for byte. Any
+// refactor that changes what net/coll/monitor/obs emit — event order,
+// key stamping, number formatting, ring-buffer behaviour — trips this
+// test before it can silently skew downstream replay/forecast tooling.
+//
+// Intentional changes regenerate the fixture with one command:
+//
+//   GOLDEN_REGEN=1 ./build/tests/golden_trace_test
+//
+// then commit the updated files under tests/fixtures/ (see
+// EXPERIMENTS.md, "Replay & what-if").
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "replay/recorder.h"
+#include "replay/trace_reader.h"
+
+namespace astral::replay {
+namespace {
+
+// Injected by tests/CMakeLists.txt; points at the source-tree fixtures.
+#ifndef GOLDEN_FIXTURE_DIR
+#error "GOLDEN_FIXTURE_DIR must be defined"
+#endif
+
+const char* kTracePath = GOLDEN_FIXTURE_DIR "/golden_campaign.trace.json";
+const char* kMetricsPath = GOLDEN_FIXTURE_DIR "/golden_campaign.metrics.json";
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("GOLDEN_REGEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// The fixture documents: trace compact (one line, Perfetto-loadable),
+/// metrics pretty-printed (small, human-diffable), both newline-ended.
+RecordedArtifacts golden_artifacts() { return record_scripted_campaign(); }
+
+TEST(GoldenTrace, MatchesCheckedInFixture) {
+  auto art = golden_artifacts();
+  const std::string trace_text = art.trace.dump() + "\n";
+  const std::string metrics_text = art.metrics.dump(2) + "\n";
+
+  if (regen_requested()) {
+    std::ofstream(kTracePath) << trace_text;
+    std::ofstream(kMetricsPath) << metrics_text;
+    GTEST_LOG_(INFO) << "regenerated " << kTracePath << " and " << kMetricsPath;
+  }
+
+  const std::string golden_trace = read_file(kTracePath);
+  const std::string golden_metrics = read_file(kMetricsPath);
+  ASSERT_FALSE(golden_trace.empty())
+      << "missing fixture " << kTracePath
+      << " — regenerate with GOLDEN_REGEN=1 ./golden_trace_test";
+
+  EXPECT_EQ(trace_text, golden_trace)
+      << "the scripted campaign no longer reproduces the golden trace; if "
+         "the change is intentional, run GOLDEN_REGEN=1 ./golden_trace_test "
+         "and commit the updated fixtures";
+  EXPECT_EQ(metrics_text, golden_metrics)
+      << "metrics snapshot drifted from the golden fixture (same "
+         "regeneration path as the trace)";
+}
+
+TEST(GoldenTrace, FixtureParsesBackIntoTheRecordedCampaign) {
+  const std::string golden_trace = read_file(kTracePath);
+  ASSERT_FALSE(golden_trace.empty());
+  std::string err;
+  auto doc = core::Json::parse(golden_trace, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  auto parsed = parse_chrome_trace(*doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find_process("astral"), 1);
+
+  auto campaign = extract_campaign(*parsed, &err);
+  ASSERT_TRUE(campaign.has_value()) << err;
+  ScriptedCampaignConfig cfg;  // the defaults the fixture was recorded with
+  EXPECT_EQ(campaign->job, cfg.job_id);
+  EXPECT_EQ(campaign->ranks, cfg.hosts);
+  EXPECT_EQ(static_cast<int>(campaign->iterations.size()), cfg.iterations);
+  for (const auto& it : campaign->iterations) {
+    EXPECT_GT(it.compute, 0.0);
+    EXPECT_FALSE(it.collectives.empty());
+    EXPECT_NEAR(it.collectives.front().bytes,
+                static_cast<double>(cfg.comm_bytes) * cfg.hosts, 1.0);
+  }
+}
+
+TEST(GoldenTrace, WallClockHistogramsAreRedacted) {
+  auto art = golden_artifacts();
+  const core::Json& solve = art.metrics["histograms"]["fluidsim.solve_us"];
+  ASSERT_TRUE(solve.is_object());
+  EXPECT_EQ(solve.size(), 1u);  // count only: values are host wall clock
+  EXPECT_GT(solve["count"].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace astral::replay

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 namespace astral::obs {
@@ -88,6 +89,67 @@ TEST(Histogram, NonPositiveValuesUnderflowButCount) {
   // representative clamps to the observed min.
   EXPECT_DOUBLE_EQ(h.percentile(1), -5.0);
   EXPECT_DOUBLE_EQ(h.percentile(100), 2.0);
+}
+
+TEST(Histogram, ZeroLandsInUnderflowBucketAndIsExactMin) {
+  Histogram h;
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  // Any percentile of the lone underflow sample reports the exact min.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Histogram, TinyPositiveBelowRangeUnderflows) {
+  // 1e-12 < 2^kMinExponent ≈ 2.3e-10: below the bucketed range, but the
+  // exact min/max tracking still reports it faithfully.
+  Histogram h;
+  h.record(1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1e-12);
+}
+
+TEST(Histogram, OverflowBeyondTopOctaveClampsToExactExtremes) {
+  // 1e300 >> 2^kMaxExponent: the sample lands in the top bucket, whose
+  // midpoint (~1e19) is far below the sample — percentiles must clamp to
+  // the exact observed range instead of reporting the bucket midpoint.
+  Histogram h;
+  h.record(1e300);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e300);
+
+  h.record(1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  // p100 is the exact max even though both samples' buckets are ~300
+  // orders of magnitude apart.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+}
+
+TEST(Histogram, NonFiniteValuesAreCountedWithoutPoisoningBuckets) {
+  Histogram h;
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 2u);
+  // The non-finite sample went to the underflow bucket; finite queries
+  // still work and the exact max reflects what was recorded.
+  EXPECT_DOUBLE_EQ(h.max(), std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.percentile(0), 2.0);
+}
+
+TEST(Histogram, PercentileBoundaryRanksSelectFirstAndLastSamples) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  h.record(1.0);      // rank 1 of 11
+  h.record(10000.0);  // rank 11 of 11
+  // Small interior percentile hits the first-ranked (min) sample's
+  // bucket, within the relative-error bound.
+  EXPECT_NEAR(h.percentile(1), 1.0, 1.0 * 0.04);
+  EXPECT_NEAR(h.percentile(50), 100.0, 100.0 * 0.04);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10000.0);
 }
 
 TEST(Metrics, SnapshotIsDeterministicAndSorted) {

@@ -42,6 +42,72 @@ TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
   EXPECT_DOUBLE_EQ(evs.back().start, 9.0);
 }
 
+TEST(Tracer, ExactCapacityBoundaryDropsNothing) {
+  Tracer t(TracerConfig{.ring_capacity = 4});
+  for (int i = 0; i < 4; ++i) {
+    t.instant(Track::Flow, "e", static_cast<double>(i));
+  }
+  EXPECT_EQ(t.recorded(Track::Flow), 4u);
+  EXPECT_EQ(t.dropped(Track::Flow), 0u);
+  auto evs = t.events(Track::Flow);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_DOUBLE_EQ(evs.front().start, 0.0);
+  EXPECT_DOUBLE_EQ(evs.back().start, 3.0);
+
+  // One more: exactly the oldest event is overwritten.
+  t.instant(Track::Flow, "e", 4.0);
+  EXPECT_EQ(t.dropped(Track::Flow), 1u);
+  evs = t.events(Track::Flow);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_DOUBLE_EQ(evs.front().start, 1.0);
+  EXPECT_DOUBLE_EQ(evs.back().start, 4.0);
+}
+
+TEST(Tracer, MultiWrapKeepsNewestWindowInOrder) {
+  // 2.5 full wraps: retention must be the newest `capacity` events,
+  // oldest-first, with the head mid-ring.
+  Tracer t(TracerConfig{.ring_capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    t.instant(Track::Link, "e", static_cast<double>(i));
+  }
+  EXPECT_EQ(t.recorded(Track::Link), 10u);
+  EXPECT_EQ(t.dropped(Track::Link), 6u);
+  auto evs = t.events(Track::Link);
+  ASSERT_EQ(evs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(evs[static_cast<std::size_t>(i)].start, 6.0 + i) << i;
+  }
+}
+
+TEST(Tracer, DropCountersArePerTrack) {
+  Tracer t(TracerConfig{.ring_capacity = 2});
+  for (int i = 0; i < 5; ++i) {
+    t.instant(Track::Flow, "f", static_cast<double>(i));
+  }
+  t.instant(Track::Fault, "x", 0.0);
+  EXPECT_EQ(t.dropped(Track::Flow), 3u);
+  EXPECT_EQ(t.dropped(Track::Fault), 0u);
+  EXPECT_EQ(t.dropped(Track::Workload), 0u);
+  EXPECT_EQ(t.recorded(Track::Fault), 1u);
+  ASSERT_EQ(t.events(Track::Fault).size(), 1u);
+}
+
+TEST(Tracer, ChromeExportAfterWrapEmitsOnlyRetainedEvents) {
+  Tracer t(TracerConfig{.ring_capacity = 2});
+  for (int i = 0; i < 5; ++i) {
+    t.instant(Track::Flow, "e", static_cast<double>(i));
+  }
+  auto doc = t.to_chrome_trace();
+  int instants = 0;
+  for (const auto& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() == "i") {
+      ++instants;
+      EXPECT_GE(ev["ts"].as_int(), 3000000);  // only ts 3s and 4s survive
+    }
+  }
+  EXPECT_EQ(instants, 2);
+}
+
 TEST(Tracer, AmbientKeysFillUnsetFieldsOnly) {
   Tracer t;
   t.set_ambient({.job = 3, .group = 8});

@@ -1,0 +1,169 @@
+// Re-forecast unit tests: the calibrated-ratio what-if engine must (a)
+// satisfy the self-replay identity — unchanged knobs reproduce the
+// measured timeline and the reconstructed OpGraph replays to the same
+// makespan — and (b) move in the physically expected direction under
+// each knob. Extraction failure modes (missing tracks, iterations
+// without phases) must fail loudly with diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "replay/recorder.h"
+#include "replay/reforecast.h"
+#include "replay/trace_reader.h"
+
+namespace astral::replay {
+namespace {
+
+RecordedCampaign recorded_campaign() {
+  ScriptedCampaignConfig cfg;
+  // 16 hosts > the 8-GPU NVLink domain, so collectives cross the NIC
+  // tier and the nic_bw knob has something to bite on.
+  cfg.hosts = 16;
+  cfg.iterations = 4;
+  cfg.inject_faults = false;
+  auto art = record_scripted_campaign(cfg);
+  std::string err;
+  auto parsed = parse_chrome_trace(art.trace, &err);
+  EXPECT_TRUE(parsed.has_value()) << err;
+  auto campaign = extract_campaign(*parsed, &err);
+  EXPECT_TRUE(campaign.has_value()) << err;
+  return *campaign;
+}
+
+TEST(ReplayReforecast, SelfReplayIdentityHolds) {
+  RecordedCampaign campaign = recorded_campaign();
+  DeviationReport report = reforecast(campaign, WhatIfKnobs{});
+  EXPECT_TRUE(report.knobs.is_identity());
+  // The ratio calibration makes identity exact up to float rounding;
+  // 0.1% is orders of magnitude above the observed 1e-16.
+  EXPECT_LT(report.max_iteration_deviation, 1e-3);
+  EXPECT_LT(report.overall_deviation, 1e-3);
+  EXPECT_NEAR(report.forecast_total, report.measured_total,
+              1e-3 * report.measured_total);
+  // OpGraph half of the identity: the engine replay of the reconstructed
+  // graph (serial chain with fixed measured durations) matches the sum.
+  EXPECT_NEAR(report.replay_makespan, campaign.measured_total(),
+              1e-9 + 1e-6 * campaign.measured_total());
+}
+
+TEST(ReplayReforecast, ComputeScaleHalvesComputeOps) {
+  RecordedCampaign campaign = recorded_campaign();
+  WhatIfKnobs knobs;
+  knobs.label = "compute-2x";
+  knobs.compute_scale = 2.0;
+  DeviationReport report = reforecast(campaign, knobs);
+  for (const OpDeviation& op : report.per_op) {
+    if (op.type == seer::OpType::Compute) {
+      EXPECT_NEAR(op.forecast, op.measured / 2.0, 1e-12)
+          << "iteration " << op.iteration;
+    } else {
+      // Comm ops are untouched by the compute knob.
+      EXPECT_DOUBLE_EQ(op.forecast, op.measured) << op.name;
+    }
+  }
+  EXPECT_LT(report.forecast_total, report.measured_total);
+}
+
+TEST(ReplayReforecast, SlowerNicInflatesCommOnly) {
+  RecordedCampaign campaign = recorded_campaign();
+  WhatIfKnobs knobs;
+  knobs.label = "nic-0.5x";
+  knobs.nic_bw_scale = 0.5;
+  DeviationReport report = reforecast(campaign, knobs);
+  bool saw_comm = false;
+  for (const OpDeviation& op : report.per_op) {
+    if (op.type == seer::OpType::Comm) {
+      saw_comm = true;
+      EXPECT_GT(op.forecast, op.measured) << op.name;
+    } else {
+      EXPECT_DOUBLE_EQ(op.forecast, op.measured) << op.name;
+    }
+  }
+  EXPECT_TRUE(saw_comm);
+  EXPECT_GT(report.forecast_total, report.measured_total);
+}
+
+TEST(ReplayReforecast, ReduceScatterOverrideIsCheaperThanAllReduce) {
+  RecordedCampaign campaign = recorded_campaign();
+  WhatIfKnobs knobs;
+  knobs.label = "reduce-scatter";
+  knobs.collective = seer::CommKind::ReduceScatter;
+  DeviationReport report = reforecast(campaign, knobs);
+  for (const OpDeviation& op : report.per_op) {
+    if (op.type == seer::OpType::Comm) {
+      // A reduce-scatter moves strictly less data than the full
+      // allreduce the recording performed.
+      EXPECT_LT(op.forecast, op.measured) << op.name;
+    } else {
+      EXPECT_DOUBLE_EQ(op.forecast, op.measured) << op.name;
+    }
+  }
+}
+
+TEST(ReplayReforecast, OpGraphReconstructionValidatesAndChains) {
+  RecordedCampaign campaign = recorded_campaign();
+  ReforecastConfig cfg;
+  seer::OpGraph g = to_op_graph(campaign, cfg, /*keep_measured_times=*/false);
+  std::string err;
+  EXPECT_TRUE(g.validate(&err)) << err;
+  // One compute + one collective per iteration, chained serially.
+  ASSERT_EQ(g.ops.size(), 2 * campaign.iterations.size());
+  for (std::size_t i = 0; i < g.ops.size(); ++i) {
+    const seer::Operator& op = g.ops[i];
+    EXPECT_EQ(op.type,
+              i % 2 == 0 ? seer::OpType::Compute : seer::OpType::Comm);
+    if (i == 0) {
+      EXPECT_TRUE(op.deps.empty());
+    } else {
+      ASSERT_EQ(op.deps.size(), 1u);
+      EXPECT_EQ(op.deps[0], static_cast<int>(i) - 1);
+    }
+    if (op.type == seer::OpType::Comm) {
+      EXPECT_EQ(op.comm_group, campaign.ranks);
+      EXPECT_GT(op.comm_bytes, 0.0);
+    }
+  }
+}
+
+TEST(ReplayReforecast, ReportJsonIsDeterministic) {
+  RecordedCampaign campaign = recorded_campaign();
+  WhatIfKnobs knobs;
+  knobs.label = "tier2-bw-2x";
+  knobs.nic_bw_scale = 2.0;
+  const std::string a = reforecast(campaign, knobs).to_json().dump();
+  const std::string b = reforecast(campaign, knobs).to_json().dump();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("tier2-bw-2x"), std::string::npos);
+  EXPECT_NE(a.find("per_iteration"), std::string::npos);
+  EXPECT_NE(a.find("per_op"), std::string::npos);
+}
+
+TEST(ReplayReforecast, ExtractionFailsWithoutWorkloadTrack) {
+  obs::Tracer tracer;
+  tracer.span(obs::Track::Collective, "ring_step", 0.0, 0.1, {.job = 1},
+              1e6);
+  std::string err;
+  auto parsed = parse_chrome_trace(tracer.to_chrome_trace(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  auto campaign = extract_campaign(*parsed, &err);
+  EXPECT_FALSE(campaign.has_value());
+  EXPECT_NE(err.find("workload"), std::string::npos) << err;
+}
+
+TEST(ReplayReforecast, ExtractionFailsOnIterationWithoutPhases) {
+  // An "iteration" span with no nested compute span: the recording is
+  // structurally incomplete and must not silently become a campaign.
+  obs::Tracer tracer;
+  obs::AmbientScope job(&tracer, {.job = 3});
+  tracer.span(obs::Track::Workload, "iteration", 0.0, 0.1, {}, 0.0);
+  std::string err;
+  auto parsed = parse_chrome_trace(tracer.to_chrome_trace(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  auto campaign = extract_campaign(*parsed, &err);
+  EXPECT_FALSE(campaign.has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace astral::replay

@@ -1,0 +1,234 @@
+// Replay round-trip property tests: for randomized small campaigns
+// (seeded RNG sweep), a recorded trace must survive
+//   Tracer → ChromeTraceBuilder → replay::parse_chrome_trace →
+//   re-emit via ChromeTraceBuilder
+// byte for byte, and the ambient key chains must be prefix-closed and
+// the spans well-nested on every track. The same properties are checked
+// on full scripted ClusterRuntime campaigns (faults included), which is
+// what makes the replay parser a standing differential harness for every
+// layer that emits telemetry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "obs/trace.h"
+#include "replay/recorder.h"
+#include "replay/trace_reader.h"
+
+namespace astral::replay {
+namespace {
+
+// Tracer event names must be static storage; draw from fixed pools.
+constexpr const char* kIterNames[] = {"iteration", "step", "epoch"};
+constexpr const char* kCollNames[] = {"ring_step", "allreduce", "allgather"};
+constexpr const char* kFaultDetails[] = {"optics", "switch_bug", nullptr};
+
+/// Builds a randomized but well-formed campaign: nested ambient scopes
+/// (job → group → collective), spans nested by construction, per-link
+/// counters, fault instants.
+obs::Tracer synthetic_campaign(std::uint64_t seed) {
+  core::Rng rng(seed);
+  obs::Tracer tracer;
+  double t = 0.0;
+  const int jobs = 1 + static_cast<int>(rng.next_u64() % 3);
+  for (int j = 0; j < jobs; ++j) {
+    obs::AmbientScope job_scope(&tracer, {.job = j});
+    const int iters = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int it = 0; it < iters; ++it) {
+      const double iter_start = t;
+      double cursor = iter_start;
+      const int groups = 1 + static_cast<int>(rng.next_u64() % 2);
+      for (int g = 0; g < groups; ++g) {
+        obs::AmbientScope group_scope(&tracer, {.group = 10 + g});
+        const int colls = 1 + static_cast<int>(rng.next_u64() % 3);
+        for (int c = 0; c < colls; ++c) {
+          obs::AmbientScope coll_scope(&tracer, {.collective = 100 * g + c});
+          // Whole (even) microseconds: the trace stores integer-µs
+          // timestamps, and unquantized durations would accumulate ±1µs
+          // rounding that reads back as span overlap.
+          const double dur = (100 + rng.next_u64() % 2450) * 2e-6;
+          tracer.span(obs::Track::Collective,
+                      kCollNames[rng.next_u64() % 3], cursor, dur, {},
+                      rng.uniform(1e3, 1e7));
+          // A flow nested inside the collective window.
+          tracer.span(obs::Track::Flow, "flow", cursor, dur * 0.5,
+                      {.flow = static_cast<std::int64_t>(rng.next_u64() % 64),
+                       .qp = static_cast<std::int64_t>(rng.next_u64() % 64)},
+                      rng.uniform(1e3, 1e6));
+          cursor += dur;
+        }
+      }
+      if (rng.next_u64() % 2) {
+        tracer.instant(obs::Track::Fault, "fault.injected",
+                       rng.uniform(iter_start, cursor),
+                       {.fault = static_cast<std::int64_t>(rng.next_u64() % 8)},
+                       kFaultDetails[rng.next_u64() % 3]);
+      }
+      tracer.counter(obs::Track::Link, "util", iter_start,
+                     rng.uniform(0.0, 1.0),
+                     {.link = static_cast<std::int64_t>(rng.next_u64() % 512)});
+      tracer.span(obs::Track::Workload, kIterNames[rng.next_u64() % 3],
+                  iter_start, cursor - iter_start, {},
+                  static_cast<double>(it));
+      t = cursor + (100 + rng.next_u64() % 900) * 1e-6;
+    }
+  }
+  return tracer;
+}
+
+void expect_lossless_and_well_formed(const core::Json& doc,
+                                     const std::string& context) {
+  std::string err;
+  auto parsed = parse_chrome_trace(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << context << ": " << err;
+
+  // Losslessness: re-emission through the builder is byte-identical.
+  EXPECT_EQ(parsed->to_chrome_trace().dump(), doc.dump())
+      << context << ": parse -> re-emit round trip is not lossless";
+
+  // Well-formedness of every track.
+  for (const ParsedTrack& track : parsed->tracks) {
+    EXPECT_TRUE(spans_well_nested(track, &err)) << context << ": " << err;
+    EXPECT_TRUE(key_chain_consistent(track, &err)) << context << ": " << err;
+  }
+}
+
+TEST(ReplayRoundtrip, SyntheticCampaignSweepIsLossless) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    obs::Tracer tracer = synthetic_campaign(seed);
+    expect_lossless_and_well_formed(tracer.to_chrome_trace(),
+                                    "seed " + std::to_string(seed));
+  }
+}
+
+TEST(ReplayRoundtrip, ScriptedRuntimeCampaignsAreLossless) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    ScriptedCampaignConfig cfg;
+    cfg.hosts = 8;
+    cfg.iterations = 3;
+    cfg.seed = seed;
+    auto art = record_scripted_campaign(cfg);
+    expect_lossless_and_well_formed(art.trace, "runtime seed " + std::to_string(seed));
+  }
+}
+
+TEST(ReplayRoundtrip, ParsedEventsDecodeKeysAndSeries) {
+  obs::Tracer tracer;
+  tracer.set_ambient({.job = 4});
+  tracer.span(obs::Track::Flow, "flow", 0.5, 0.25, {.flow = 3, .qp = 9}, 2048.0);
+  tracer.counter(obs::Track::Link, "util", 1.0, 0.75, {.link = 42});
+  tracer.instant(obs::Track::Fault, "fault.injected", 2.0, {.fault = 1}, "optics");
+
+  std::string err;
+  auto parsed = parse_chrome_trace(tracer.to_chrome_trace(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+
+  const ParsedTrack* flow = parsed->find_track(1, "flow");
+  ASSERT_NE(flow, nullptr);
+  ASSERT_EQ(flow->events.size(), 1u);
+  EXPECT_EQ(flow->events[0].kind, ParsedEvent::Kind::Span);
+  EXPECT_EQ(flow->events[0].keys.job, 4);
+  EXPECT_EQ(flow->events[0].keys.flow, 3);
+  EXPECT_EQ(flow->events[0].keys.qp, 9);
+  EXPECT_DOUBLE_EQ(flow->events[0].value, 2048.0);
+  EXPECT_DOUBLE_EQ(flow->events[0].start, 0.5);
+  EXPECT_DOUBLE_EQ(flow->events[0].duration, 0.25);
+
+  // Counters land on the tid-0 lane; the link id is recovered from the
+  // per-link series name.
+  const ParsedTrack* counters = parsed->find_track(1, 0);
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->events.size(), 1u);
+  EXPECT_EQ(counters->events[0].kind, ParsedEvent::Kind::Counter);
+  EXPECT_EQ(counters->events[0].name, "link42.util");
+  EXPECT_EQ(counters->events[0].counter_series, "util");
+  EXPECT_EQ(counters->events[0].keys.link, 42);
+
+  const ParsedTrack* fault = parsed->find_track(1, "fault");
+  ASSERT_NE(fault, nullptr);
+  EXPECT_EQ(fault->events[0].detail, "optics");
+  EXPECT_EQ(fault->events[0].keys.fault, 1);
+}
+
+TEST(ReplayRoundtrip, WellNestedCatchesPartialOverlap) {
+  ParsedTrack track;
+  track.name = "workload";
+  ParsedEvent a;
+  a.kind = ParsedEvent::Kind::Span;
+  a.name = "a";
+  a.start = 0.0;
+  a.duration = 10.0;
+  ParsedEvent b = a;
+  b.name = "b";
+  b.start = 5.0;
+  b.duration = 10.0;  // ends at 15 — pokes out of a
+  track.events = {a, b};
+  std::string err;
+  EXPECT_FALSE(spans_well_nested(track, &err));
+  EXPECT_NE(err.find("partially overlaps"), std::string::npos) << err;
+
+  // Nested and disjoint layouts pass.
+  b.duration = 5.0;  // [5, 10) nests in [0, 10)
+  track.events = {a, b};
+  EXPECT_TRUE(spans_well_nested(track));
+  b.start = 10.0;  // disjoint
+  track.events = {a, b};
+  EXPECT_TRUE(spans_well_nested(track));
+}
+
+TEST(ReplayRoundtrip, KeyChainCatchesOrphanKeys) {
+  ParsedTrack track;
+  track.name = "collective";
+  ParsedEvent ev;
+  ev.kind = ParsedEvent::Kind::Instant;
+  ev.name = "x";
+  ev.keys.collective = 5;  // no group, no job
+  track.events = {ev};
+  std::string err;
+  EXPECT_FALSE(key_chain_consistent(track, &err));
+  EXPECT_NE(err.find("collective without group"), std::string::npos) << err;
+
+  track.events[0].keys.group = 2;  // still no job
+  EXPECT_FALSE(key_chain_consistent(track, &err));
+  EXPECT_NE(err.find("group without job"), std::string::npos) << err;
+
+  track.events[0].keys.job = 1;
+  EXPECT_TRUE(key_chain_consistent(track));
+}
+
+TEST(ReplayRoundtrip, ParserRejectsMalformedDocuments) {
+  std::string err;
+  auto missing = core::Json::parse(R"({"nope": 1})");
+  EXPECT_FALSE(parse_chrome_trace(*missing, &err).has_value());
+  EXPECT_NE(err.find("traceEvents"), std::string::npos);
+
+  auto bad_ph = core::Json::parse(
+      R"({"traceEvents": [{"name":"x","pid":1,"tid":1,"ts":0}]})");
+  EXPECT_FALSE(parse_chrome_trace(*bad_ph, &err).has_value());
+  EXPECT_NE(err.find("ph"), std::string::npos);
+
+  auto bad_phase = core::Json::parse(
+      R"({"traceEvents": [{"ph":"B","name":"x","pid":1,"tid":1,"ts":0}]})");
+  EXPECT_FALSE(parse_chrome_trace(*bad_phase, &err).has_value());
+  EXPECT_NE(err.find("unsupported phase"), std::string::npos);
+
+  auto bad_counter = core::Json::parse(
+      R"({"traceEvents": [{"ph":"C","name":"c","pid":1,"tid":0,"ts":0,
+          "args":{"a":1,"b":2}}]})");
+  EXPECT_FALSE(parse_chrome_trace(*bad_counter, &err).has_value());
+  EXPECT_NE(err.find("counter"), std::string::npos);
+
+  auto no_dur = core::Json::parse(
+      R"({"traceEvents": [{"ph":"X","name":"x","pid":1,"tid":1,"ts":0}]})");
+  EXPECT_FALSE(parse_chrome_trace(*no_dur, &err).has_value());
+  EXPECT_NE(err.find("dur"), std::string::npos);
+
+  auto non_object = core::Json::parse(R"({"traceEvents": ["junk"]})");
+  EXPECT_FALSE(parse_chrome_trace(*non_object, &err).has_value());
+  EXPECT_NE(err.find("not an object"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astral::replay

@@ -96,5 +96,69 @@ TEST(ProfilerTrace, RejectsBadDocuments) {
   EXPECT_FALSE(import_profiler_trace(*missing).has_value());
 }
 
+TEST(ProfilerTrace, MalformedEntriesFailTheWholeImport) {
+  // A garbage entry must not silently shrink the graph — a partial
+  // import replays to a shorter makespan, which reads as a bogus speedup.
+  std::string err;
+
+  auto non_object = core::Json::parse(R"({"traceEvents": ["junk"]})");
+  EXPECT_FALSE(import_profiler_trace(*non_object, false, &err).has_value());
+  EXPECT_NE(err.find("traceEvents[0]"), std::string::npos) << err;
+  EXPECT_NE(err.find("not an object"), std::string::npos) << err;
+
+  // Entry without a 'ph' string: previously defaulted to "X" and became
+  // a zero-duration op.
+  auto no_ph = core::Json::parse(
+      R"({"traceEvents": [
+        {"name":"a","ph":"X","ts":0,"dur":10,"args":{"flops":1e9}},
+        {"name":"garbage"}
+      ]})");
+  EXPECT_FALSE(import_profiler_trace(*no_ph, false, &err).has_value());
+  EXPECT_NE(err.find("traceEvents[1]"), std::string::npos) << err;
+  EXPECT_NE(err.find("'ph'"), std::string::npos) << err;
+
+  auto no_ts = core::Json::parse(
+      R"({"traceEvents": [{"name":"a","ph":"X","dur":10}]})");
+  EXPECT_FALSE(import_profiler_trace(*no_ts, false, &err).has_value());
+  EXPECT_NE(err.find("'ts'"), std::string::npos) << err;
+
+  auto no_dur = core::Json::parse(
+      R"({"traceEvents": [{"name":"a","ph":"X","ts":0}]})");
+  EXPECT_FALSE(import_profiler_trace(*no_dur, false, &err).has_value());
+  EXPECT_NE(err.find("'dur'"), std::string::npos) << err;
+
+  auto neg_dur = core::Json::parse(
+      R"({"traceEvents": [{"name":"a","ph":"X","ts":0,"dur":-5}]})");
+  EXPECT_FALSE(import_profiler_trace(*neg_dur, false, &err).has_value());
+  EXPECT_NE(err.find("negative"), std::string::npos) << err;
+
+  auto bad_args = core::Json::parse(
+      R"({"traceEvents": [{"name":"a","ph":"X","ts":0,"dur":1,"args":[1]}]})");
+  EXPECT_FALSE(import_profiler_trace(*bad_args, false, &err).has_value());
+  EXPECT_NE(err.find("'args'"), std::string::npos) << err;
+
+  auto bad_kind = core::Json::parse(
+      R"({"traceEvents": [{"name":"a","ph":"X","ts":0,"dur":1,
+          "args":{"comm":"warpspeed"}}]})");
+  EXPECT_FALSE(import_profiler_trace(*bad_kind, false, &err).has_value());
+  EXPECT_NE(err.find("warpspeed"), std::string::npos) << err;
+}
+
+TEST(ProfilerTrace, NonCompleteEventsNeedNoTimestamps) {
+  // Metadata / counter / instant phases are skipped without demanding
+  // the X-event fields.
+  auto doc = core::Json::parse(
+      R"({"traceEvents": [
+        {"ph":"M","name":"process_name","args":{"name":"p"}},
+        {"ph":"C","name":"c","args":{"v":1}},
+        {"ph":"i","name":"mark"},
+        {"name":"a","ph":"X","ts":0,"dur":10,"args":{"flops":1e9}}
+      ]})");
+  std::string err;
+  auto g = import_profiler_trace(*doc, false, &err);
+  ASSERT_TRUE(g.has_value()) << err;
+  EXPECT_EQ(g->ops.size(), 1u);
+}
+
 }  // namespace
 }  // namespace astral::seer
