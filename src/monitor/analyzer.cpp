@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/math.h"
+#include "monitor/pingmesh.h"
 
 namespace astral::monitor {
 
@@ -22,6 +23,11 @@ HierarchicalAnalyzer::HierarchicalAnalyzer(const TelemetryStore& store,
 std::optional<RootCause> HierarchicalAnalyzer::cause_from_syslog(
     const SyslogEvent& ev) const {
   return detectors_.match(ev);
+}
+
+std::optional<Detection> HierarchicalAnalyzer::detection_from_syslog(
+    const SyslogEvent& ev) const {
+  return detectors_.detect(ev);
 }
 
 Manifestation HierarchicalAnalyzer::classify_manifestation(int last_iter,
@@ -106,19 +112,32 @@ void HierarchicalAnalyzer::branch_computation(int last_iter, Diagnosis& d) const
   if (d.culprit_hosts.size() == 1) {
     int host = d.culprit_hosts.front();
     d.evidence.push_back("cross-host: rank " + std::to_string(host) + " is the outlier");
-    for (const auto& log : store_.host_syslog(host)) {
-      if (auto cause = cause_from_syslog(log)) {
-        d.root_cause = *cause;
+    auto host_logs = store_.host_syslog(host);
+    for (const auto& log : host_logs) {
+      if (auto det = detection_from_syslog(log)) {
+        d.root_cause = det->cause;
         d.root_cause_found = true;
+        d.confidence = det->confidence;
         d.evidence.push_back("physical: matched log '" + log.message + "'");
-        if (*cause == RootCause::UserCode) d.needs_manual = true;
+        if (det->cause == RootCause::UserCode) d.needs_manual = true;
         return;
       }
     }
     // Outlier identified but no physical log: suspected software stack.
+    // A lossy syslog collector is indistinguishable from genuinely clean
+    // hardware here, so this stays a ranked guess, never a confident one.
+    if (host_logs.empty()) {
+      d.evidence_gaps.push_back(
+          "syslog: no device log at all from outlier rank " + std::to_string(host) +
+          " (collector outage?)");
+    }
     d.root_cause = RootCause::CclBug;
     d.root_cause_found = false;
     d.needs_manual = true;
+    d.confidence = 0.4;
+    d.candidates = {{RootCause::CclBug, 0.4},
+                    {RootCause::UserCode, 0.3},
+                    {RootCause::HostEnvConfig, 0.3}};
     d.evidence.push_back("physical: no device log on outlier; suspected software, alarm");
     return;
   }
@@ -129,6 +148,7 @@ void HierarchicalAnalyzer::branch_computation(int last_iter, Diagnosis& d) const
         d.root_cause = RootCause::UserCode;
         d.root_cause_found = true;
         d.needs_manual = true;
+        d.confidence = 0.95;
         d.evidence.push_back("physical: user-code exception on multiple ranks, alarm");
         return;
       }
@@ -136,11 +156,27 @@ void HierarchicalAnalyzer::branch_computation(int last_iter, Diagnosis& d) const
     d.root_cause = RootCause::CclBug;
     d.root_cause_found = false;
     d.needs_manual = true;
+    d.confidence = 0.4;
+    d.candidates = {{RootCause::UserCode, 0.4},
+                    {RootCause::CclBug, 0.35},
+                    {RootCause::HostEnvConfig, 0.25}};
     d.evidence.push_back("physical: multi-host anomaly without device logs, alarm");
+    return;
   }
+  // Compute anomaly flagged but cross-host comparison found no outlier —
+  // the per-rank timeline is too thin (lost samples) to localize.
+  d.evidence_gaps.push_back(
+      "nccl: compute anomaly without a cross-host outlier; timeline too sparse");
+  d.needs_manual = true;
+  d.confidence = 0.3;
+  d.candidates = {{RootCause::GpuHardware, 0.35},
+                  {RootCause::CclBug, 0.35},
+                  {RootCause::UserCode, 0.3}};
+  d.evidence.push_back("cross-host: no outlier rank identified, alarm");
 }
 
-void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d) const {
+void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d,
+                                              double path_conf) const {
   d.locate_time += cfg_.step_physical;
   d.culprit_links.push_back(culprit);
   const auto& link = topo_.link(culprit);
@@ -156,11 +192,12 @@ void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d
   // Syslog at either end of the link.
   for (topo::NodeId node : {link.src, link.dst}) {
     for (const auto& log : store_.node_syslog(node)) {
-      if (auto cause = cause_from_syslog(log)) {
-        d.root_cause = *cause;
+      if (auto det = detection_from_syslog(log)) {
+        d.root_cause = det->cause;
         d.root_cause_found = true;
+        d.confidence = det->confidence * path_conf;
         d.evidence.push_back("physical: switch/host log '" + log.message + "'");
-        if (*cause == RootCause::PcieDegrade) {
+        if (det->cause == RootCause::PcieDegrade) {
           // The culprit is the host behind the degraded downlink.
           if (log.host_rank >= 0) d.culprit_hosts.push_back(log.host_rank);
         }
@@ -172,6 +209,7 @@ void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d
   if (drops > 0) {
     d.root_cause = RootCause::SwitchBug;
     d.root_cause_found = true;
+    d.confidence = 0.85 * path_conf;
     d.evidence.push_back("physical: MOD reports drops with no error log -> switch bug");
     return;
   }
@@ -182,8 +220,12 @@ void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d
   bool touches_host = topo_.node(link.src).kind == topo::NodeKind::Host ||
                       topo_.node(link.dst).kind == topo::NodeKind::Host;
   if (!touches_host && store_.total_ecn(culprit) > 0) {
+    // Counter-only attribution: no log names the device, so the queueing
+    // could equally be collateral from a config rollout we never saw.
     d.root_cause = RootCause::SwitchBug;
     d.root_cause_found = true;
+    d.confidence = 0.7 * path_conf;
+    d.candidates = {{RootCause::SwitchBug, 0.7}, {RootCause::SwitchConfig, 0.3}};
     d.evidence.push_back(
         "physical: persistent queueing, clean config/optics logs -> suspected switch bug");
     return;
@@ -193,12 +235,26 @@ void HierarchicalAnalyzer::physical_drilldown(topo::LinkId culprit, Diagnosis& d
     // but the root cause behind it is invisible (the §5 PCIe incident
     // before PCIe monitoring existed).
     d.evidence.push_back("physical: PFC storm at switch; no deeper counters available");
+    d.evidence_gaps.push_back(
+        "physical: no counters below the PFC layer at the storm's epicenter");
     d.root_cause_found = false;
     d.needs_manual = true;
+    d.confidence = 0.4 * path_conf;
+    d.candidates = {{RootCause::PcieDegrade, 0.5},
+                    {RootCause::SwitchConfig, 0.3},
+                    {RootCause::SwitchBug, 0.2}};
     return;
   }
   d.root_cause_found = false;
   d.needs_manual = true;
+  d.confidence = 0.3 * path_conf;
+  d.evidence_gaps.push_back(
+      "physical: localized link " + std::to_string(culprit) +
+      " has no corroborating counters or logs");
+  d.candidates = {{RootCause::LinkFlap, 0.3},
+                  {RootCause::WireConnection, 0.25},
+                  {RootCause::OpticalFiber, 0.25},
+                  {RootCause::SwitchBug, 0.2}};
   d.evidence.push_back("physical: no counters or logs implicate a device, alarm");
 }
 
@@ -209,9 +265,13 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
   if (!store_.err_cqes().empty()) {
     std::map<topo::LinkId, int> overlap;
     int paths = 0;
+    int missing = 0;
     for (const auto& err : store_.err_cqes()) {
       auto path = store_.path_of(err.qp);
-      if (path.empty()) continue;
+      if (path.empty()) {
+        ++missing;
+        continue;
+      }
       ++paths;
       for (topo::LinkId l : path) ++overlap[l];
     }
@@ -219,6 +279,42 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
                          " errCQE events; overlapping " + std::to_string(paths) +
                          " sFlow paths");
     d.locate_time += cfg_.step_network;
+    // Fallback rung 1: every erred QP lost its sFlow reconstruction
+    // (sampled mirrors dropped, collector down). The INT pingmesh rides
+    // the same fabric, so its probe paths stand in for the flows' own —
+    // weaker (ECMP may hash the flow elsewhere), hence the discount.
+    double path_conf = 1.0;
+    if (paths == 0) {
+      d.evidence_gaps.push_back(
+          "sflow: no reconstructed path for any of the " +
+          std::to_string(missing) + " erred QPs");
+      int inferred = 0;
+      for (const auto& err : store_.err_cqes()) {
+        auto meta = store_.qp_meta(err.qp);
+        if (!meta) continue;
+        auto path = infer_path_from_probes(store_, *meta, topo_);
+        if (path.empty()) continue;
+        ++inferred;
+        for (topo::LinkId l : path) ++overlap[l];
+      }
+      if (inferred > 0) {
+        path_conf = 0.75;
+        paths = inferred;
+        d.evidence.push_back("network: sFlow paths lost; substituted " +
+                             std::to_string(inferred) +
+                             " INT pingmesh probe paths");
+      } else {
+        d.evidence_gaps.push_back(
+            "pingmesh: no probe shares a source host with the erred QPs");
+      }
+    } else if (missing > 0) {
+      d.evidence_gaps.push_back("sflow: path missing for " + std::to_string(missing) +
+                                " of " + std::to_string(missing + paths) +
+                                " erred QPs");
+      // Partial loss thins the overlap vote but the surviving paths are
+      // still first-class evidence; discount mildly.
+      path_conf = 0.9;
+    }
     int best_count = 0;
     for (const auto& [l, n] : overlap) best_count = std::max(best_count, n);
     std::vector<topo::LinkId> candidates;
@@ -229,7 +325,7 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
     if (candidates.size() == 1 && best_count >= std::max(1, paths / 2)) {
       d.evidence.push_back("network: paths overlap at link " +
                            std::to_string(candidates.front()));
-      physical_drilldown(candidates.front(), d);
+      physical_drilldown(candidates.front(), d, path_conf);
       return;
     }
     if (!candidates.empty()) {
@@ -259,18 +355,33 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
       if (refined != topo::kInvalidLink) {
         d.evidence.push_back("network: INT/MOD refine the error paths to link " +
                              std::to_string(refined));
-        physical_drilldown(refined, d);
+        physical_drilldown(refined, d, 0.85 * path_conf);
         return;
       }
     }
   }
 
-  // QP-rate-led INT drilldown.
+  // QP-rate-led INT drilldown. Fallback rung 2: when the run stalled
+  // outright yet the errCQE stream is silent, the transport layer's
+  // primary witness was lost (collector outage) and the rate heuristics
+  // below carry its weight — at a discount, they see symptoms, not the
+  // NIC's own verdict.
+  bool stalled_last = false;
+  for (const auto& ev : store_.iteration_events(last_iter)) {
+    stalled_last |= ev.comm_time < 0;
+  }
+  double rate_conf = 1.0;
+  if (stalled_last && store_.err_cqes().empty()) {
+    rate_conf = 0.8;
+    d.evidence_gaps.push_back(
+        "errcqe: run stalled but transport reported no errCQE; rate heuristics only");
+  }
   auto events = store_.iteration_events(last_iter);
   std::vector<QpId> slow_qps;
   for (const auto& ev : events) {
     QpId qp = static_cast<QpId>(ev.host_rank);
-    double rate = store_.mean_qp_rate(qp, ev.t, ev.t + 1e9);
+    double rate =
+        store_.mean_qp_rate(qp, ev.t - cfg_.clock_skew_tolerance, ev.t + 1e9);
     bool never_finished = ev.comm_time < 0;
     if ((rate > 0 && rate < cfg_.qp_rate_fraction * cfg_.link_bw) ||
         (never_finished && ev.wr_started > 0)) {
@@ -289,6 +400,13 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
   }
   if (slow_qps.empty()) {
     d.needs_manual = true;
+    d.confidence = 0.3;
+    d.evidence_gaps.push_back(
+        "qp-rates: no per-QP rate anomaly recorded for an anomalous run");
+    d.candidates = {{RootCause::NicError, 0.3},
+                    {RootCause::LinkFlap, 0.25},
+                    {RootCause::SwitchBug, 0.25},
+                    {RootCause::CclBug, 0.2}};
     d.evidence.push_back("transport: no abnormal QP found, alarm");
     return;
   }
@@ -296,12 +414,28 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
                        " QPs below 50% of link bandwidth");
 
   d.locate_time += cfg_.step_network;
-  // INT per-hop latency over the slow QPs' paths.
+  // INT per-hop latency over the slow QPs' paths. Lost sFlow paths are
+  // backfilled from pingmesh probes so the INT drilldown still has a
+  // footprint to walk (rung 1 again, on the slow-QP side).
   topo::LinkId worst_link = topo::kInvalidLink;
   double worst_latency = 0.0;
   std::map<topo::LinkId, int> on_slow_paths;
+  int missing_slow_paths = 0;
   for (QpId qp : slow_qps) {
-    for (topo::LinkId l : store_.path_of(qp)) ++on_slow_paths[l];
+    auto path = store_.path_of(qp);
+    if (path.empty()) {
+      ++missing_slow_paths;
+      if (auto meta = store_.qp_meta(qp)) {
+        path = infer_path_from_probes(store_, *meta, topo_);
+      }
+      if (!path.empty()) rate_conf = std::min(rate_conf, 0.75);
+    }
+    for (topo::LinkId l : path) ++on_slow_paths[l];
+  }
+  if (missing_slow_paths > 0) {
+    d.evidence_gaps.push_back("sflow: path missing for " +
+                              std::to_string(missing_slow_paths) + " of " +
+                              std::to_string(slow_qps.size()) + " slow QPs");
   }
   for (const auto& probe : store_.int_probes()) {
     for (std::size_t h = 0; h < probe.path.size(); ++h) {
@@ -316,7 +450,7 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
     d.evidence.push_back("network: INT hop latency " +
                          std::to_string(worst_latency * 1e6) + "us at link " +
                          std::to_string(worst_link));
-    physical_drilldown(worst_link, d);
+    physical_drilldown(worst_link, d, rate_conf);
     return;
   }
   // No latency spike: a blackhole drops silently; find the slow-path
@@ -325,7 +459,7 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
     if (s.mod_drops > 0 && on_slow_paths.contains(s.link)) {
       d.evidence.push_back("network: MOD drops on slow path at link " +
                            std::to_string(s.link));
-      physical_drilldown(s.link, d);
+      physical_drilldown(s.link, d, rate_conf);
       return;
     }
   }
@@ -339,10 +473,17 @@ void HierarchicalAnalyzer::branch_communication(int last_iter, Diagnosis& d) con
   }
   if (best != topo::kInvalidLink && best_count > 1) {
     d.evidence.push_back("network: slow paths overlap at link " + std::to_string(best));
-    physical_drilldown(best, d);
+    physical_drilldown(best, d, 0.85 * rate_conf);
     return;
   }
   d.needs_manual = true;
+  d.confidence = 0.3;
+  d.evidence_gaps.push_back(
+      "int: no probe crossed the slow paths and no counter implicates a hop");
+  d.candidates = {{RootCause::LinkFlap, 0.3},
+                  {RootCause::SwitchBug, 0.25},
+                  {RootCause::NicError, 0.25},
+                  {RootCause::SwitchConfig, 0.2}};
   d.evidence.push_back("network: no culprit hop identified, alarm");
 }
 
@@ -362,7 +503,45 @@ Diagnosis HierarchicalAnalyzer::diagnose() const {
       slow |= ev.compute_time > cfg_.compute_slow_factor * expected_compute_;
     }
   }
-  if (!stalled && !slow) return d;  // healthy
+  if (!stalled && !slow) {
+    // Healthy by the application timeline — but a lossy collector can
+    // hide a stall by dropping exactly the records that showed it. Fault
+    // residue surviving in the lower layers contradicts the verdict.
+    bool cqe_residue = !store_.err_cqes().empty();
+    const SyslogEvent* fatal_residue = nullptr;
+    for (const auto& log : store_.syslog()) {
+      if (log.severity == "fatal" && fatal_residue == nullptr) fatal_residue = &log;
+    }
+    if (!cqe_residue && fatal_residue == nullptr) return d;  // healthy
+    d.anomaly_detected = true;
+    d.evidence_gaps.push_back(
+        "nccl: timeline reads healthy yet lower layers carry fault residue");
+    d.evidence.push_back(
+        "app: timeline healthy but transport/physical streams disagree");
+    d.manifestation =
+        cqe_residue ? Manifestation::FailStop : Manifestation::FailHang;
+    if (cqe_residue) {
+      branch_communication(last_iter, d);
+    } else {
+      d.locate_time += cfg_.step_cross_host + cfg_.step_physical;
+      if (auto det = detection_from_syslog(*fatal_residue)) {
+        d.root_cause = det->cause;
+        d.root_cause_found = true;
+        d.confidence = det->confidence;
+        if (fatal_residue->host_rank >= 0) {
+          d.culprit_hosts.push_back(fatal_residue->host_rank);
+        }
+        d.evidence.push_back("physical: fatal log '" + fatal_residue->message + "'");
+      } else {
+        d.needs_manual = true;
+        d.confidence = 0.35;
+      }
+    }
+    // The contradiction itself caps trust: half the story is missing.
+    d.confidence = std::min(d.confidence, 0.85);
+    if (!d.root_cause_found) d.needs_manual = true;
+    return d;
+  }
 
   d.anomaly_detected = true;
   d.manifestation = classify_manifestation(last_iter, d);
@@ -404,9 +583,10 @@ Diagnosis HierarchicalAnalyzer::diagnose() const {
       }
       d.locate_time += cfg_.step_cross_host + cfg_.step_physical;
       for (const auto& log : store_.host_syslog(d.culprit_hosts.front())) {
-        if (auto cause = cause_from_syslog(log)) {
-          d.root_cause = *cause;
+        if (auto det = detection_from_syslog(log)) {
+          d.root_cause = det->cause;
           d.root_cause_found = true;
+          d.confidence = det->confidence;
           d.evidence.push_back("physical: fatal log '" + log.message + "'");
           return d;
         }
@@ -417,6 +597,7 @@ Diagnosis HierarchicalAnalyzer::diagnose() const {
       d.root_cause = RootCause::UserCode;
       d.root_cause_found = true;
       d.needs_manual = true;
+      d.confidence = 0.95;
       d.evidence.push_back("cross-host: user-code exception on multiple ranks, alarm");
       return d;
     }

@@ -35,6 +35,10 @@ struct AnalyzerConfig {
   core::Bps link_bw = core::gbps(200.0);
   core::Seconds hop_latency_threshold = core::usec(50.0);
   std::uint64_t pfc_storm_threshold = 1000;
+  /// Collector clocks may disagree by up to this much (degraded
+  /// monitoring plane); timestamp-window queries are widened by it so a
+  /// skewed sample still lands in its iteration. 0 = trust clocks.
+  core::Seconds clock_skew_tolerance = 0.0;
 
   // Modeled per-layer analysis latencies (minutes-scale automation).
   core::Seconds step_application = 60.0;
@@ -42,6 +46,14 @@ struct AnalyzerConfig {
   core::Seconds step_transport = 120.0;
   core::Seconds step_network = 180.0;
   core::Seconds step_physical = 120.0;
+};
+
+/// One entry of the ranked fallback when the evidence cannot pin a single
+/// root cause: a plausible cause with a relative score (descending).
+struct CandidateCause {
+  RootCause cause;
+  double score = 0.0;
+  friend bool operator==(const CandidateCause&, const CandidateCause&) = default;
 };
 
 struct Diagnosis {
@@ -54,6 +66,24 @@ struct Diagnosis {
   std::vector<topo::LinkId> culprit_links;
   std::vector<std::string> evidence;  ///< Layer-by-layer chain, in order.
   core::Seconds locate_time = 0.0;    ///< Modeled time to localization.
+
+  /// How strongly the evidence chain supports `root_cause`, in [0, 1].
+  /// Direct fatal-log matches over uniquely-overlapping sFlow paths score
+  /// near 1; every fallback hop (inferred paths, rate heuristics instead
+  /// of errCQE, counter-only attribution) discounts multiplicatively.
+  /// The calibration contract: a diagnosis at >= 0.9 must never name a
+  /// wrong cause, and a miss must surface as needs_manual or < 0.5.
+  double confidence = 1.0;
+  /// Telemetry the algorithm wanted but did not find (lost sFlow paths,
+  /// silent transport stream, missing device logs) — the explicit record
+  /// of *why* confidence is below 1, in the order gaps were hit.
+  std::vector<std::string> evidence_gaps;
+  /// When the evidence is too thin for a single answer, the ranked
+  /// plausible causes (best first) that a human should check; paired
+  /// with needs_manual instead of a confidently wrong root_cause.
+  std::vector<CandidateCause> candidates;
+
+  friend bool operator==(const Diagnosis&, const Diagnosis&) = default;
 };
 
 class HierarchicalAnalyzer {
@@ -72,8 +102,14 @@ class HierarchicalAnalyzer {
   Manifestation classify_manifestation(int last_iter, Diagnosis& d) const;
   void branch_computation(int last_iter, Diagnosis& d) const;
   void branch_communication(int last_iter, Diagnosis& d) const;
-  void physical_drilldown(topo::LinkId culprit, Diagnosis& d) const;
+  /// `path_conf` is the confidence of the localization that nominated
+  /// `culprit` (1.0 = unique sFlow overlap; fallbacks discount it); the
+  /// final diagnosis confidence multiplies it with the strength of the
+  /// physical evidence found here.
+  void physical_drilldown(topo::LinkId culprit, Diagnosis& d,
+                          double path_conf = 1.0) const;
   std::optional<RootCause> cause_from_syslog(const SyslogEvent& ev) const;
+  std::optional<Detection> detection_from_syslog(const SyslogEvent& ev) const;
 
   const TelemetryStore& store_;
   const topo::Topology& topo_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "monitor/analyzer.h"
+#include "monitor/degrade.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -168,22 +169,22 @@ void ClusterRuntime::emit_injection_syslog(const FaultSpec& f, Seconds t) {
   auto switch_of_link = [&](topo::LinkId l) { return fabric_.topo().link(l).src; };
   switch (f.cause) {
     case RootCause::HostEnvConfig:
-      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
                                 "fatal", "nccl init failed: peer env/config mismatch"});
       host_configs_[static_cast<std::size_t>(f.target_host_rank)].nccl_version = "2.19.3";
       break;
     case RootCause::GpuHardware:
-      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
                                 "fatal", "NVRM: Xid 79: GPU has fallen off the bus"});
       break;
     case RootCause::Memory:
-      store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
                                 "fatal", "EDAC MC0: UCE ECC error on DIMM"});
       break;
     case RootCause::UserCode:
       // A python exception surfaces on every rank — no hardware log.
       for (int i = 0; i < cfg_.hosts; ++i) {
-        store_.record(SyslogEvent{t, host_node(i), i, "error",
+        ingest(SyslogEvent{t, host_node(i), i, "error",
                                   "trainer: RuntimeError in user forward()"});
       }
       break;
@@ -192,7 +193,7 @@ void ClusterRuntime::emit_injection_syslog(const FaultSpec& f, Seconds t) {
       break;
     case RootCause::PcieDegrade:
       if (cfg_.pcie_monitoring) {
-        store_.record(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
+        ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
                                   "warn", "PCIe: link width degraded to x4"});
       }
       break;
@@ -203,29 +204,29 @@ void ClusterRuntime::emit_injection_syslog(const FaultSpec& f, Seconds t) {
         for (int i = 0; i < cfg_.hosts; ++i) {
           if (hosts_[static_cast<std::size_t>(i)] == link.src) rank = i;
         }
-        store_.record(SyslogEvent{t, link.src, rank, "error",
+        ingest(SyslogEvent{t, link.src, rank, "error",
                                   "mlx5: CQE error syndrome 0x04 (retry exceeded)"});
       }
       break;
     case RootCause::SwitchConfig:
-      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
                                 "qos: ecn threshold misconfigured on egress queue"});
       break;
     case RootCause::SwitchBug:
       // Silent blackhole; only MOD drop counters betray it.
       break;
     case RootCause::OpticalFiber:
-      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
                                 "transceiver: rx optical power below threshold"});
       break;
     case RootCause::WireConnection:
-      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
                                 "lldp: neighbor mismatch with cabling plan"});
       break;
     case RootCause::LinkFlap:
-      store_.record(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
+      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
                                 "port: link down"});
-      store_.record(SyslogEvent{t + 0.5, switch_of_link(f.target_link), -1, "warn",
+      ingest(SyslogEvent{t + 0.5, switch_of_link(f.target_link), -1, "warn",
                                 "port: link up"});
       break;
   }
@@ -284,12 +285,23 @@ Seconds ClusterRuntime::analyzer_locate_time() const {
 
 RunOutcome ClusterRuntime::run() {
   RunOutcome out = run_job();
+  // Held-back (reordered) collector batches land after the run ends.
+  if (degrade_) degrade_->flush(store_);
   // Undo fabric-level link state so a shared fabric (campaigns run many
   // jobs over one topology) starts the next job repaired.
   auto& topo = fabric_.topo();
   for (topo::LinkId l : downed_links_) topo.set_link_state(l, true);
   downed_links_.clear();
   return out;
+}
+
+template <typename T>
+void ClusterRuntime::ingest(T rec) {
+  if (degrade_) {
+    degrade_->record(std::move(rec), store_);
+  } else {
+    store_.record(std::move(rec));
+  }
 }
 
 RunOutcome ClusterRuntime::run_job() {
@@ -514,7 +526,7 @@ RunOutcome ClusterRuntime::run_job() {
         ev.comm_time = -1.0;
         ev.wr_started = 1;
         ev.wr_finished = 0;
-        store_.record(ev);
+        ingest(ev);
       }
       if (mitigate(resp, resp->spec.manifestation, 0.0)) continue;
       out.stopped_at_iteration = iter;
@@ -544,7 +556,7 @@ RunOutcome ClusterRuntime::run_job() {
         ev.comm_time = -1.0;
         ev.wr_started = i == resp->spec.target_host_rank ? 0 : 1;
         ev.wr_finished = 0;
-        store_.record(ev);
+        ingest(ev);
       }
       // The collective timeout burns before anyone notices a hang.
       Seconds stall = rc.enabled ? hang_deadline : 0.0;
@@ -586,10 +598,11 @@ RunOutcome ClusterRuntime::run_job() {
       const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
       if (!st.admitted) continue;
       SflowPathRecord rec;
+      rec.t = sim_->now();
       rec.qp = static_cast<QpId>(i);
       rec.tuple = st.tuple;
       rec.path = st.path;
-      store_.record(rec);
+      ingest(rec);
       if (iter == 0) {
         auto meta = *store_.qp_meta(static_cast<QpId>(i));
         meta.tuple = st.tuple;
@@ -611,7 +624,7 @@ RunOutcome ClusterRuntime::run_job() {
       probe.t = sim_->now();
       probe.path = st.path;
       for (topo::LinkId l : st.path) probe.hop_latency.push_back(sim_->hop_latency(l));
-      store_.record(probe);
+      ingest(probe);
     }
 
     // Mid-transfer strikes scheduled inside this iteration's transfer.
@@ -646,7 +659,7 @@ RunOutcome ClusterRuntime::run_job() {
             if (!st.admitted || st.finish >= 0 || st.aborted) continue;
             if (st.spec.src_host == dead || st.spec.dst_host == dead) {
               sim_->abort_flow(flows[static_cast<std::size_t>(i)]);
-              store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
+              ingest(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
                                         "remote operation error / peer died"});
             }
           }
@@ -696,7 +709,7 @@ RunOutcome ClusterRuntime::run_job() {
       }
       sim_->run(step_to);
       for (int i = 0; i < cfg_.hosts; ++i) {
-        store_.record(QpRateSample{sim_->now(), static_cast<QpId>(i),
+        ingest(QpRateSample{sim_->now(), static_cast<QpId>(i),
                                    sim_->current_rate(flows[static_cast<std::size_t>(i)])});
       }
       while (next_strike < strikes.size() &&
@@ -727,7 +740,7 @@ RunOutcome ClusterRuntime::run_job() {
         }
       }
       if (ls.ecn_marks || ls.pfc_pauses || drops) {
-        store_.record(LinkCounterSample{sim_->now(), static_cast<topo::LinkId>(l),
+        ingest(LinkCounterSample{sim_->now(), static_cast<topo::LinkId>(l),
                                         ls.ecn_marks, ls.pfc_pauses, drops, 0.0});
       }
     }
@@ -750,7 +763,7 @@ RunOutcome ClusterRuntime::run_job() {
         ev.wr_finished = 0;
         hung = true;
       }
-      store_.record(ev);
+      ingest(ev);
     }
 
     if (hung) {
@@ -770,7 +783,7 @@ RunOutcome ClusterRuntime::run_job() {
         for (int i = 0; i < cfg_.hosts; ++i) {
           const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
           if (st.finish < 0) {
-            store_.record(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
+            ingest(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
                                       "local protection error / retry exceeded"});
           }
         }

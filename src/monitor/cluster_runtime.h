@@ -35,6 +35,8 @@ class Metrics;
 
 namespace astral::monitor {
 
+class TelemetryFaultModel;
+
 /// How the job reacts to a localized failure (§3.3 -> operations).
 struct RecoveryConfig {
   bool enabled = false;
@@ -171,6 +173,13 @@ class ClusterRuntime {
   /// the sim's solver metrics. nullptr detaches.
   void set_metrics(obs::Metrics* metrics);
 
+  /// Interposes a lossy-collector fault model between the in-simulator
+  /// collectors and the TelemetryStore (see monitor/degrade.h): every
+  /// telemetry record is routed through it, and run() flushes held-back
+  /// records at the end. A clean profile is bit-identical to no model.
+  /// nullptr detaches. The model must outlive the runtime's run() calls.
+  void set_telemetry_faults(TelemetryFaultModel* model) { degrade_ = model; }
+
  private:
   /// Runtime state of one scheduled fault.
   struct FaultRt {
@@ -194,6 +203,10 @@ class ClusterRuntime {
   /// Runs the hierarchical analyzer on the telemetry recorded so far and
   /// returns its modeled localization latency.
   core::Seconds analyzer_locate_time() const;
+  /// Routes one telemetry record through the degradation model when one
+  /// is attached, else straight into the store.
+  template <typename T>
+  void ingest(T rec);
 
   topo::Fabric& fabric_;
   JobConfig cfg_;
@@ -207,6 +220,7 @@ class ClusterRuntime {
   std::vector<topo::LinkId> downed_links_;  ///< Fabric state to restore.
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  TelemetryFaultModel* degrade_ = nullptr;
 };
 
 }  // namespace astral::monitor

@@ -1,0 +1,514 @@
+#include "monitor/degrade.h"
+
+#include <algorithm>
+
+#include "monitor/mttlf.h"
+#include "obs/trace.h"
+
+namespace astral::monitor {
+
+namespace {
+
+// Collector identities for the per-collector clock skew: each simulated
+// host agent, switch scraper, and central service keeps its own clock.
+constexpr std::int64_t kSflowCollector = -2;
+constexpr std::int64_t kPingmeshCollector = -3;
+constexpr std::int64_t kCounterCollectorBase = 1'000'000;
+constexpr std::int64_t kSyslogCollectorBase = 2'000'000;
+
+}  // namespace
+
+bool DegradationProfile::is_clean() const {
+  auto zero = [](const StreamFaults& s) {
+    return s.drop_prob == 0.0 && s.duplicate_prob == 0.0 && s.reorder_prob == 0.0;
+  };
+  return zero(nccl) && zero(qp_rate) && zero(err_cqe) && zero(sflow) &&
+         zero(int_probe) && zero(counters) && zero(syslog) && outages == 0 &&
+         max_clock_skew == 0.0 && max_jitter == 0.0 &&
+         sflow_truncate_prob == 0.0 && !cumulative_counters &&
+         counter_reset_prob == 0.0;
+}
+
+DegradationProfile DegradationProfile::clean() {
+  DegradationProfile p;
+  p.name = "clean";
+  return p;
+}
+
+DegradationProfile DegradationProfile::mild() {
+  DegradationProfile p;
+  p.name = "mild";
+  // ~10% sample loss on the high-rate streams; the low-rate streams the
+  // diagnosis leans on hardest (syslog, errCQE, the iteration timeline)
+  // ride more reliable channels and lose less.
+  StreamFaults reliable{0.05, 0.02, 0.02};
+  StreamFaults sampled{0.10, 0.03, 0.03};
+  p.nccl = reliable;
+  p.err_cqe = reliable;
+  p.syslog = reliable;
+  p.qp_rate = sampled;
+  p.sflow = sampled;
+  p.int_probe = sampled;
+  p.counters = sampled;
+  p.outages = 1;
+  p.outage_duration = 0.05;
+  p.outage_horizon = 1.0;
+  p.max_clock_skew = 0.005;
+  p.max_jitter = 0.001;
+  p.sflow_truncate_prob = 0.05;
+  p.cumulative_counters = true;
+  p.counter_reset_prob = 0.01;
+  return p;
+}
+
+DegradationProfile DegradationProfile::severe() {
+  DegradationProfile p;
+  p.name = "severe";
+  StreamFaults reliable{0.20, 0.05, 0.08};
+  StreamFaults sampled{0.35, 0.10, 0.10};
+  p.nccl = reliable;
+  p.err_cqe = reliable;
+  p.syslog = reliable;
+  p.qp_rate = sampled;
+  p.sflow = sampled;
+  p.int_probe = sampled;
+  p.counters = sampled;
+  p.outages = 2;
+  p.outage_duration = 0.15;
+  p.outage_horizon = 1.5;
+  p.max_clock_skew = 0.05;
+  p.max_jitter = 0.01;
+  p.sflow_truncate_prob = 0.30;
+  p.cumulative_counters = true;
+  p.counter_reset_prob = 0.05;
+  return p;
+}
+
+DegradationProfile DegradationProfile::adversarial() {
+  DegradationProfile p;
+  p.name = "adversarial";
+  // The monitoring plane is mostly gone and what's left lies about
+  // clocks and ordering. sFlow (sampled mirrors through the most
+  // overloaded path) dies first; errCQE delivery is best-effort.
+  p.nccl = {0.40, 0.15, 0.20};
+  p.err_cqe = {0.70, 0.20, 0.25};
+  p.syslog = {0.50, 0.20, 0.25};
+  p.qp_rate = {0.60, 0.20, 0.25};
+  p.sflow = {0.90, 0.20, 0.25};
+  p.int_probe = {0.60, 0.20, 0.25};
+  p.counters = {0.60, 0.20, 0.25};
+  p.outages = 3;
+  p.outage_duration = 0.25;
+  p.outage_horizon = 2.0;
+  p.max_clock_skew = 0.2;
+  p.max_jitter = 0.05;
+  p.sflow_truncate_prob = 0.60;
+  p.cumulative_counters = true;
+  p.counter_reset_prob = 0.15;
+  return p;
+}
+
+std::optional<DegradationProfile> DegradationProfile::by_name(
+    std::string_view name) {
+  if (name == "clean") return clean();
+  if (name == "mild") return mild();
+  if (name == "severe") return severe();
+  if (name == "adversarial") return adversarial();
+  return std::nullopt;
+}
+
+const std::vector<std::string>& DegradationProfile::names() {
+  static const std::vector<std::string> all = {"clean", "mild", "severe",
+                                               "adversarial"};
+  return all;
+}
+
+TelemetryFaultModel::TelemetryFaultModel(DegradationProfile profile,
+                                         std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {
+  passthrough_ = profile_.is_clean();
+  for (int i = 0; i < profile_.outages; ++i) {
+    core::Seconds start = rng_.uniform(0.0, profile_.outage_horizon);
+    outages_.emplace_back(start, start + profile_.outage_duration);
+  }
+  std::sort(outages_.begin(), outages_.end());
+}
+
+void TelemetryFaultModel::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer_) return;
+  for (const auto& [start, end] : outages_) {
+    tracer_->span(obs::Track::Telemetry, "telemetry.outage", start, end - start);
+  }
+}
+
+bool TelemetryFaultModel::in_outage(core::Seconds t) const {
+  for (const auto& [start, end] : outages_) {
+    if (t >= start && t < end) return true;
+  }
+  return false;
+}
+
+core::Seconds TelemetryFaultModel::skew_for(std::int64_t collector) {
+  if (profile_.max_clock_skew <= 0.0) return 0.0;
+  auto it = skews_.find(collector);
+  if (it != skews_.end()) return it->second;
+  core::Seconds skew =
+      rng_.uniform(-profile_.max_clock_skew, profile_.max_clock_skew);
+  skews_.emplace(collector, skew);
+  return skew;
+}
+
+template <typename T>
+void TelemetryFaultModel::process(T rec, const StreamFaults& sf,
+                                  std::int64_t collector, TelemetryStore& store,
+                                  std::vector<T>& held) {
+  last_t_ = std::max(last_t_, rec.t);
+  if (in_outage(rec.t)) {
+    ++stats_.outage_dropped;
+    return;
+  }
+  if (sf.drop_prob > 0.0 && rng_.chance(sf.drop_prob)) {
+    ++stats_.dropped;
+    return;
+  }
+  rec.t += skew_for(collector);
+  if (profile_.max_jitter > 0.0) {
+    rec.t += rng_.uniform(-profile_.max_jitter, profile_.max_jitter);
+  }
+  bool dup = sf.duplicate_prob > 0.0 && rng_.chance(sf.duplicate_prob);
+  if (sf.reorder_prob > 0.0 && rng_.chance(sf.reorder_prob)) {
+    // Held back: delivered after the next record of this stream (or at
+    // flush) — a pairwise inversion, the common collector-batch case.
+    ++stats_.reordered;
+    if (dup) {
+      ++stats_.duplicated;
+      held.push_back(rec);
+    }
+    held.push_back(std::move(rec));
+    return;
+  }
+  store.record(rec);
+  ++stats_.delivered;
+  if (dup) {
+    ++stats_.duplicated;
+    store.record(rec);
+  }
+  if (!held.empty()) {
+    for (auto& h : held) {
+      store.record(std::move(h));
+      ++stats_.delivered;
+    }
+    held.clear();
+  }
+}
+
+void TelemetryFaultModel::record(NcclTimelineEvent ev, TelemetryStore& store) {
+  if (passthrough_) return store.record(ev);
+  process(ev, profile_.nccl, ev.host_rank, store, held_nccl_);
+}
+
+void TelemetryFaultModel::record(QpRateSample s, TelemetryStore& store) {
+  if (passthrough_) return store.record(s);
+  process(s, profile_.qp_rate, static_cast<std::int64_t>(s.qp), store, held_qp_);
+}
+
+void TelemetryFaultModel::record(ErrCqeEvent ev, TelemetryStore& store) {
+  if (passthrough_) return store.record(std::move(ev));
+  std::int64_t collector = ev.host_rank;
+  process(std::move(ev), profile_.err_cqe, collector, store, held_cqe_);
+}
+
+void TelemetryFaultModel::record(SflowPathRecord r, TelemetryStore& store) {
+  if (passthrough_) return store.record(std::move(r));
+  if (profile_.sflow_truncate_prob > 0.0 && r.path.size() >= 2 &&
+      rng_.chance(profile_.sflow_truncate_prob)) {
+    // The mirrors past the cut never reached the collector; the
+    // reconstruction ends mid-fabric.
+    std::size_t keep = 1 + static_cast<std::size_t>(
+                               rng_.uniform_int(r.path.size() - 1));
+    r.path.resize(keep);
+    ++stats_.truncated;
+  }
+  process(std::move(r), profile_.sflow, kSflowCollector, store, held_sflow_);
+}
+
+void TelemetryFaultModel::record(IntProbeResult r, TelemetryStore& store) {
+  if (passthrough_) return store.record(std::move(r));
+  process(std::move(r), profile_.int_probe, kPingmeshCollector, store, held_int_);
+}
+
+void TelemetryFaultModel::record(LinkCounterSample s, TelemetryStore& store) {
+  if (passthrough_) return store.record(s);
+  if (profile_.cumulative_counters) {
+    auto& c = cum_[s.link];
+    if (profile_.counter_reset_prob > 0.0 &&
+        rng_.chance(profile_.counter_reset_prob)) {
+      // Switch reboot: since-boot totals restart at this interval.
+      c = {};
+      ++stats_.counter_resets;
+      if (tracer_) {
+        obs::TraceKeys k;
+        k.link = static_cast<std::int64_t>(s.link);
+        tracer_->instant(obs::Track::Telemetry, "telemetry.counter_reset", s.t, k);
+      }
+    }
+    c.ecn += s.ecn_marks;
+    c.pfc += s.pfc_pauses;
+    s.ecn_marks = c.ecn;
+    s.pfc_pauses = c.pfc;
+    s.cumulative = true;
+  }
+  process(s, profile_.counters,
+          kCounterCollectorBase + static_cast<std::int64_t>(s.link), store,
+          held_counters_);
+}
+
+void TelemetryFaultModel::record(SyslogEvent ev, TelemetryStore& store) {
+  if (passthrough_) return store.record(std::move(ev));
+  std::int64_t collector = kSyslogCollectorBase + static_cast<std::int64_t>(ev.node);
+  process(std::move(ev), profile_.syslog, collector, store, held_syslog_);
+}
+
+void TelemetryFaultModel::flush(TelemetryStore& store) {
+  auto drain = [&](auto& held) {
+    for (auto& h : held) {
+      store.record(std::move(h));
+      ++stats_.delivered;
+    }
+    held.clear();
+  };
+  drain(held_nccl_);
+  drain(held_qp_);
+  drain(held_cqe_);
+  drain(held_sflow_);
+  drain(held_int_);
+  drain(held_counters_);
+  drain(held_syslog_);
+  if (tracer_) {
+    tracer_->counter(obs::Track::Telemetry, "telemetry.dropped", last_t_,
+                     static_cast<double>(stats_.dropped + stats_.outage_dropped));
+    tracer_->counter(obs::Track::Telemetry, "telemetry.delivered", last_t_,
+                     static_cast<double>(stats_.delivered));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-diagnosis campaign.
+
+bool cause_acceptable(RootCause injected, RootCause diagnosed) {
+  if (injected == diagnosed) return true;
+  // The silent-twin ambiguity the property tests accept: a flapping /
+  // miswired / dimming link and a buggy switch present identically when
+  // the only witness is the counters on the shared hop.
+  if (injected == RootCause::LinkFlap || injected == RootCause::WireConnection ||
+      injected == RootCause::OpticalFiber) {
+    return diagnosed == RootCause::SwitchBug;
+  }
+  return false;
+}
+
+double DegradedProfileResult::accuracy() const {
+  if (entries.empty()) return 0.0;
+  int ok = 0;
+  for (const auto& e : entries) ok += e.cause_correct ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(entries.size());
+}
+
+core::Seconds DegradedProfileResult::mean_locate_time() const {
+  if (entries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : entries) sum += e.locate_time;
+  return sum / static_cast<double>(entries.size());
+}
+
+int DegradedProfileResult::silently_wrong_count() const {
+  int n = 0;
+  for (const auto& e : entries) n += e.silently_wrong ? 1 : 0;
+  return n;
+}
+
+double DegradedProfileResult::flagged_miss_rate() const {
+  int misses = 0;
+  int flagged = 0;
+  for (const auto& e : entries) {
+    if (e.cause_correct) continue;
+    ++misses;
+    flagged += e.flagged_miss ? 1 : 0;
+  }
+  return misses > 0 ? static_cast<double>(flagged) / static_cast<double>(misses)
+                    : 1.0;
+}
+
+double DegradedProfileResult::mean_confidence() const {
+  if (entries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : entries) sum += e.confidence;
+  return sum / static_cast<double>(entries.size());
+}
+
+double DegradedCampaignResult::mttlf_inflation(
+    const DegradedProfileResult& p) const {
+  for (const auto& base : profiles) {
+    if (base.profile == "clean") {
+      core::Seconds clean_t = base.mean_locate_time();
+      return clean_t > 0.0 ? p.mean_locate_time() / clean_t : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+core::Json DegradedCampaignResult::to_json() const {
+  core::Json doc = core::Json::object();
+  core::Json rows = core::Json::array();
+  for (const auto& p : profiles) {
+    core::Json row = core::Json::object();
+    row["profile"] = p.profile;
+    row["runs"] = static_cast<std::int64_t>(p.entries.size());
+    row["accuracy"] = p.accuracy();
+    row["mean_locate_time_s"] = p.mean_locate_time();
+    row["mttlf_inflation"] = mttlf_inflation(p);
+    row["mean_confidence"] = p.mean_confidence();
+    row["silently_wrong"] = static_cast<std::int64_t>(p.silently_wrong_count());
+    row["flagged_miss_rate"] = p.flagged_miss_rate();
+    core::Json stats = core::Json::object();
+    stats["delivered"] = p.stats.delivered;
+    stats["dropped"] = p.stats.dropped;
+    stats["outage_dropped"] = p.stats.outage_dropped;
+    stats["duplicated"] = p.stats.duplicated;
+    stats["reordered"] = p.stats.reordered;
+    stats["truncated"] = p.stats.truncated;
+    stats["counter_resets"] = p.stats.counter_resets;
+    row["telemetry"] = std::move(stats);
+    rows.push_back(std::move(row));
+  }
+  doc["profiles"] = std::move(rows);
+  return doc;
+}
+
+DegradedCampaignResult run_degraded_campaign(const DegradedCampaignConfig& cfg,
+                                             obs::Tracer* tracer) {
+  DegradedCampaignResult result;
+
+  // The fault plan is drawn once, before any profile runs: every profile
+  // replays the exact same schedules, so curve movement is attributable
+  // to the monitoring plane alone.
+  struct PlannedFault {
+    RootCause cause;
+    Manifestation m;
+    int at_iter;
+  };
+  std::vector<std::vector<PlannedFault>> plans;
+  core::Rng plan_rng(cfg.seed);
+  for (int i = 0; i < cfg.runs; ++i) {
+    int nfaults =
+        cfg.multi_fault_every > 0 && (i + 1) % cfg.multi_fault_every == 0 ? 2 : 1;
+    std::vector<PlannedFault> plan;
+    for (int k = 0; k < nfaults; ++k) {
+      RootCause cause = sample_root_cause(plan_rng);
+      Manifestation m = sample_manifestation(cause, plan_rng);
+      int at_iter =
+          m == Manifestation::FailOnStart
+              ? 0
+              : 1 + static_cast<int>(plan_rng.uniform_int(static_cast<std::uint64_t>(
+                        std::max(1, cfg.job.iterations - 2))));
+      plan.push_back({cause, m, at_iter});
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  for (const std::string& name : cfg.profiles) {
+    auto profile = DegradationProfile::by_name(name);
+    if (!profile) continue;
+    topo::Fabric fabric(cfg.fabric);
+    DegradedProfileResult pres;
+    pres.profile = name;
+
+    for (int i = 0; i < cfg.runs; ++i) {
+      ClusterRuntime runtime(fabric, cfg.job,
+                             cfg.seed + static_cast<std::uint64_t>(i));
+      TelemetryFaultModel model(
+          *profile, cfg.seed ^ (0xD15EA5Eull + static_cast<std::uint64_t>(i) *
+                                                   1315423911ull));
+      if (tracer && i == 0) {
+        model.set_tracer(tracer);
+        runtime.set_tracer(tracer);
+      }
+      runtime.set_telemetry_faults(&model);
+
+      FaultSchedule schedule;
+      for (const PlannedFault& f : plans[static_cast<std::size_t>(i)]) {
+        schedule.add(runtime.make_fault(f.cause, f.m, f.at_iter));
+      }
+      runtime.inject(schedule);
+      RunOutcome outcome = runtime.run();
+
+      AnalyzerConfig acfg;
+      // The operator knows the plane's NTP bound and configures the
+      // analyzer's tolerance to it.
+      acfg.clock_skew_tolerance = profile->max_clock_skew + profile->max_jitter;
+      HierarchicalAnalyzer analyzer(runtime.telemetry(), fabric.topo(),
+                                    runtime.expected_compute(),
+                                    runtime.expected_comm(), acfg);
+      Diagnosis d = analyzer.diagnose();
+
+      DegradedRunEntry e;
+      for (const PlannedFault& f : plans[static_cast<std::size_t>(i)]) {
+        e.injected.push_back(f.cause);
+      }
+      e.observed =
+          outcome.observed.value_or(plans[static_cast<std::size_t>(i)][0].m);
+      e.detected = d.anomaly_detected;
+      e.root_cause_found = d.root_cause_found;
+      if (d.root_cause_found && d.root_cause) {
+        for (const PlannedFault& f : plans[static_cast<std::size_t>(i)]) {
+          e.cause_correct |= cause_acceptable(f.cause, *d.root_cause);
+        }
+      }
+      e.needs_manual = d.needs_manual;
+      e.confidence = d.confidence;
+      e.evidence_gaps = d.evidence_gaps.size();
+      e.candidates = d.candidates.size();
+      // Degradation can wipe every witness of the fault: the analyzer
+      // reads the surviving records as a healthy run. The job itself
+      // still reports its death (application-level detection is the
+      // training framework, not the plane), so an empty-handed analyzer
+      // on a failed run is an automatic manual escalation, never a
+      // silent clean bill.
+      bool job_failed = outcome.observed.has_value() || !outcome.completed;
+      if (job_failed && !d.anomaly_detected) {
+        e.needs_manual = true;
+        e.confidence = 0.0;
+      }
+      e.silently_wrong = d.root_cause_found && !e.cause_correct &&
+                         e.confidence >= cfg.confident_threshold;
+      e.flagged_miss = !e.cause_correct &&
+                       (e.needs_manual || e.confidence < cfg.flagged_threshold);
+      e.locate_time = d.locate_time;
+      if (!d.root_cause_found) {
+        // A dead-ended automation hands its evidence to a human; the
+        // surcharge draw is seeded per run so profiles stay comparable.
+        core::Rng manual_rng(cfg.seed ^
+                             (0xABCDull + static_cast<std::uint64_t>(i) *
+                                              2654435761ull));
+        e.locate_time +=
+            0.3 * manual_locate_time(plans[static_cast<std::size_t>(i)][0].cause,
+                                     e.observed, cfg.job.hosts, manual_rng);
+      }
+
+      const DegradationStats& s = model.stats();
+      pres.stats.delivered += s.delivered;
+      pres.stats.dropped += s.dropped;
+      pres.stats.outage_dropped += s.outage_dropped;
+      pres.stats.duplicated += s.duplicated;
+      pres.stats.reordered += s.reordered;
+      pres.stats.truncated += s.truncated;
+      pres.stats.counter_resets += s.counter_resets;
+      pres.entries.push_back(std::move(e));
+    }
+    result.profiles.push_back(std::move(pres));
+  }
+  return result;
+}
+
+}  // namespace astral::monitor

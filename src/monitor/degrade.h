@@ -1,0 +1,262 @@
+// Lossy-collector fault model for the monitoring plane itself (§3.2's
+// unstated assumption, made explicit): the paper's hierarchical analysis
+// presumes every layer's records arrive complete, ordered, and on one
+// clock. Real collectors drop sampled sFlow mirrors, restart mid-campaign,
+// skew against each other, and re-deliver batches — and the plane degrades
+// hardest exactly when the fabric is sickest. TelemetryFaultModel sits
+// between the in-simulator collectors and the TelemetryStore and injects
+// those pathologies, seeded and independently parameterized, so the
+// analyzer's accuracy and confidence calibration can be measured against
+// monitoring-plane truth decay instead of assumed away.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/json.h"
+#include "core/rng.h"
+#include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
+#include "monitor/store.h"
+
+namespace astral::obs {
+class Tracer;
+}
+
+namespace astral::monitor {
+
+/// Per-stream degradation knobs (i.i.d. per record, seeded).
+struct StreamFaults {
+  double drop_prob = 0.0;       ///< Record lost between collector and store.
+  double duplicate_prob = 0.0;  ///< Batch re-delivery: record ingested twice.
+  double reorder_prob = 0.0;    ///< Record held back, delivered after a
+                                ///< later one (pairwise inversion).
+};
+
+/// A named, composable degradation scenario. Every dimension is
+/// independent; the presets stack them the way real incidents do.
+struct DegradationProfile {
+  std::string name = "clean";
+
+  // Per-stream loss/duplication/reordering, one knob set per layer.
+  StreamFaults nccl;       ///< Application: per-iteration timeline.
+  StreamFaults qp_rate;    ///< Transport: ms-level QP rates.
+  StreamFaults err_cqe;    ///< Transport: completion-queue errors.
+  StreamFaults sflow;      ///< Network: sampled path reconstructions.
+  StreamFaults int_probe;  ///< Network: INT pingmesh probes.
+  StreamFaults counters;   ///< Physical: switch counter scrapes.
+  StreamFaults syslog;     ///< Physical: device logs.
+
+  /// Whole-plane collector outages: `outages` windows of
+  /// `outage_duration`, start times drawn uniformly in
+  /// [0, outage_horizon); every record timestamped inside a window is
+  /// silently discarded (the collector was down).
+  int outages = 0;
+  core::Seconds outage_duration = 0.0;
+  core::Seconds outage_horizon = 1.0;
+
+  /// Per-collector clock error: a fixed skew drawn once per collector in
+  /// [-max_clock_skew, +max_clock_skew], plus i.i.d. per-record jitter in
+  /// [-max_jitter, +max_jitter]. Applied to record timestamps only — the
+  /// simulation itself keeps one true clock.
+  core::Seconds max_clock_skew = 0.0;
+  core::Seconds max_jitter = 0.0;
+
+  /// sFlow reconstruction truncation: with this probability a path loses
+  /// its tail hops (the samples past the cut were never mirrored).
+  double sflow_truncate_prob = 0.0;
+
+  /// Re-emit link counters as SNMP-style since-boot cumulative totals
+  /// (the store deltas them itself) instead of per-interval deltas.
+  bool cumulative_counters = false;
+  /// Per cumulative sample: probability the switch rebooted since the
+  /// last scrape, resetting its totals to the current interval.
+  double counter_reset_prob = 0.0;
+
+  /// True when every knob is zero — records pass through bit-identically.
+  bool is_clean() const;
+
+  // Presets, in escalating severity.
+  static DegradationProfile clean();
+  /// The ISSUE's calibration point: ~10% sample loss on the high-rate
+  /// streams, one collector outage, <=5ms clock skew.
+  static DegradationProfile mild();
+  static DegradationProfile severe();
+  /// Worst case the model can express: most of the plane is gone.
+  static DegradationProfile adversarial();
+
+  static std::optional<DegradationProfile> by_name(std::string_view name);
+  static const std::vector<std::string>& names();
+};
+
+/// What the fault model did to the stream, for reporting and the
+/// degradation Perfetto track.
+struct DegradationStats {
+  std::uint64_t delivered = 0;      ///< Records that reached the store.
+  std::uint64_t dropped = 0;        ///< Lost to per-stream drop_prob.
+  std::uint64_t outage_dropped = 0; ///< Lost to collector outage windows.
+  std::uint64_t duplicated = 0;     ///< Extra deliveries.
+  std::uint64_t reordered = 0;      ///< Held back past a later record.
+  std::uint64_t truncated = 0;      ///< sFlow paths that lost their tail.
+  std::uint64_t counter_resets = 0; ///< Simulated switch reboots.
+  std::uint64_t total() const {
+    return delivered + dropped + outage_dropped;
+  }
+};
+
+/// The interposition layer. ClusterRuntime routes every telemetry record
+/// through record(rec, store) when attached (set_telemetry_faults); a
+/// clean profile short-circuits to plain ingestion, guaranteeing
+/// bit-identical stores. All randomness comes from the explicit seed.
+class TelemetryFaultModel {
+ public:
+  TelemetryFaultModel(DegradationProfile profile, std::uint64_t seed);
+
+  void record(NcclTimelineEvent ev, TelemetryStore& store);
+  void record(QpRateSample s, TelemetryStore& store);
+  void record(ErrCqeEvent ev, TelemetryStore& store);
+  void record(SflowPathRecord r, TelemetryStore& store);
+  void record(IntProbeResult r, TelemetryStore& store);
+  void record(LinkCounterSample s, TelemetryStore& store);
+  void record(SyslogEvent ev, TelemetryStore& store);
+
+  /// Delivers every held-back (reordered) record. Call at end of run;
+  /// ClusterRuntime does when attached.
+  void flush(TelemetryStore& store);
+
+  const DegradationProfile& profile() const { return profile_; }
+  const DegradationStats& stats() const { return stats_; }
+  /// The materialized outage windows (start, end), for tests/reports.
+  const std::vector<std::pair<core::Seconds, core::Seconds>>& outage_windows()
+      const {
+    return outages_;
+  }
+
+  /// Attaches the flight recorder: outage windows become spans and
+  /// counter resets instants on Track::Telemetry; flush() emits the
+  /// loss counters. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer);
+
+ private:
+  template <typename T>
+  void process(T rec, const StreamFaults& sf, std::int64_t collector,
+               TelemetryStore& store, std::vector<T>& held);
+  bool in_outage(core::Seconds t) const;
+  core::Seconds skew_for(std::int64_t collector);
+
+  DegradationProfile profile_;
+  core::Rng rng_;
+  bool passthrough_ = false;
+  DegradationStats stats_;
+  std::vector<std::pair<core::Seconds, core::Seconds>> outages_;
+  std::unordered_map<std::int64_t, core::Seconds> skews_;
+  /// Per-switch since-boot totals for the cumulative re-emission.
+  struct CumTotals {
+    std::uint64_t ecn = 0;
+    std::uint64_t pfc = 0;
+  };
+  std::unordered_map<topo::LinkId, CumTotals> cum_;
+  // Hold-back buffers, one per stream.
+  std::vector<NcclTimelineEvent> held_nccl_;
+  std::vector<QpRateSample> held_qp_;
+  std::vector<ErrCqeEvent> held_cqe_;
+  std::vector<SflowPathRecord> held_sflow_;
+  std::vector<IntProbeResult> held_int_;
+  std::vector<LinkCounterSample> held_counters_;
+  std::vector<SyslogEvent> held_syslog_;
+  core::Seconds last_t_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Degraded-diagnosis campaign: the MTTLF campaign re-run under each
+// degradation profile with the *same* per-run fault schedules, so any
+// accuracy or locate-time movement is attributable to the monitoring
+// plane alone. Reports the accuracy/MTTLF-inflation curve and checks the
+// calibration contract (no silently-wrong confident diagnosis; every
+// miss flagged).
+
+struct DegradedCampaignConfig {
+  int runs = 40;
+  std::vector<std::string> profiles = {"clean", "mild", "severe", "adversarial"};
+  /// Every Nth run schedules a second, concurrent taxonomy fault (the
+  /// PR 2 multi-fault schedules); 0 disables.
+  int multi_fault_every = 4;
+  topo::FabricParams fabric;
+  JobConfig job;
+  std::uint64_t seed = 2024;
+  /// Misses at or above this confidence count as silently wrong.
+  double confident_threshold = 0.9;
+  /// Below this, a wrong answer is considered self-flagged.
+  double flagged_threshold = 0.5;
+
+  DegradedCampaignConfig() {
+    fabric.rails = 2;
+    fabric.hosts_per_block = 8;
+    fabric.blocks_per_pod = 2;
+    fabric.pods = 1;
+    job.hosts = 12;
+    job.iterations = 6;
+    job.comm_bytes = 8ull * 1024 * 1024;
+  }
+};
+
+struct DegradedRunEntry {
+  std::vector<RootCause> injected;  ///< All scheduled causes, in order.
+  Manifestation observed = Manifestation::FailStop;
+  bool detected = false;
+  bool root_cause_found = false;
+  /// Diagnosed cause matches an injected one (or its accepted silent
+  /// twin: LinkFlap/WireConnection/OpticalFiber may read as SwitchBug).
+  bool cause_correct = false;
+  bool needs_manual = false;
+  double confidence = 0.0;
+  std::size_t evidence_gaps = 0;
+  std::size_t candidates = 0;
+  /// Wrong confident (>= confident_threshold) named cause: the failure
+  /// mode this PR exists to prevent.
+  bool silently_wrong = false;
+  /// Miss that announced itself (needs_manual or confidence below the
+  /// flagged threshold).
+  bool flagged_miss = false;
+  core::Seconds locate_time = 0.0;  ///< Incl. manual surcharge on misses.
+};
+
+struct DegradedProfileResult {
+  std::string profile;
+  std::vector<DegradedRunEntry> entries;
+  DegradationStats stats;  ///< Aggregated over the profile's runs.
+
+  double accuracy() const;
+  core::Seconds mean_locate_time() const;
+  int silently_wrong_count() const;
+  /// Of the misses, the fraction that flagged themselves.
+  double flagged_miss_rate() const;
+  double mean_confidence() const;
+};
+
+struct DegradedCampaignResult {
+  std::vector<DegradedProfileResult> profiles;
+
+  /// MTTLF inflation of `profile` relative to the clean profile (1.0 =
+  /// no inflation; requires a "clean" entry, else returns 1.0).
+  double mttlf_inflation(const DegradedProfileResult& p) const;
+  /// The accuracy/MTTLF-inflation curve as a deterministic JSON document.
+  core::Json to_json() const;
+};
+
+/// Acceptable-cause check shared by the campaign and the property tests:
+/// exact match, or the silent-twin ambiguity for link-level faults.
+bool cause_acceptable(RootCause injected, RootCause diagnosed);
+
+/// Runs the campaign. `tracer`, when given, records the first run of
+/// each profile (degradation events on Track::Telemetry alongside the
+/// usual workload/fault tracks).
+DegradedCampaignResult run_degraded_campaign(const DegradedCampaignConfig& cfg,
+                                             obs::Tracer* tracer = nullptr);
+
+}  // namespace astral::monitor

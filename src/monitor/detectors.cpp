@@ -11,26 +11,37 @@ DetectorRegistry DetectorRegistry::with_defaults() {
 
 DetectorRegistry DetectorRegistry::without_pcie() {
   DetectorRegistry r;
-  r.register_detector("Xid", RootCause::GpuHardware);
-  r.register_detector("ECC", RootCause::Memory);
-  r.register_detector("nccl init failed", RootCause::HostEnvConfig);
-  r.register_detector("env/config mismatch", RootCause::HostEnvConfig);
-  r.register_detector("user forward", RootCause::UserCode);
-  r.register_detector("CQE error", RootCause::NicError);
-  r.register_detector("ecn threshold", RootCause::SwitchConfig);
-  r.register_detector("optical power", RootCause::OpticalFiber);
-  r.register_detector("cabling plan", RootCause::WireConnection);
-  r.register_detector("link down", RootCause::LinkFlap);
+  // Fatal device signatures pin their cause; warn-level configuration /
+  // optics / cabling patterns are strong but can shadow a shared symptom
+  // (e.g. a marginal transceiver behind a "clean" config warning).
+  r.register_detector("Xid", RootCause::GpuHardware, 0.98);
+  r.register_detector("ECC", RootCause::Memory, 0.98);
+  r.register_detector("nccl init failed", RootCause::HostEnvConfig, 0.95);
+  r.register_detector("env/config mismatch", RootCause::HostEnvConfig, 0.95);
+  r.register_detector("user forward", RootCause::UserCode, 0.95);
+  r.register_detector("CQE error", RootCause::NicError, 0.95);
+  r.register_detector("ecn threshold", RootCause::SwitchConfig, 0.92);
+  r.register_detector("optical power", RootCause::OpticalFiber, 0.92);
+  r.register_detector("cabling plan", RootCause::WireConnection, 0.92);
+  r.register_detector("link down", RootCause::LinkFlap, 0.9);
   return r;
 }
 
-void DetectorRegistry::register_detector(std::string pattern, RootCause cause) {
-  detectors_.push_back({std::move(pattern), cause});
+void DetectorRegistry::register_detector(std::string pattern, RootCause cause,
+                                         double confidence) {
+  detectors_.push_back({std::move(pattern), cause, confidence});
 }
 
 std::optional<RootCause> DetectorRegistry::match(const SyslogEvent& ev) const {
+  if (auto d = detect(ev)) return d->cause;
+  return std::nullopt;
+}
+
+std::optional<Detection> DetectorRegistry::detect(const SyslogEvent& ev) const {
   for (auto it = detectors_.rbegin(); it != detectors_.rend(); ++it) {
-    if (ev.message.find(it->pattern) != std::string::npos) return it->cause;
+    if (ev.message.find(it->pattern) != std::string::npos) {
+      return Detection{it->cause, it->confidence};
+    }
   }
   return std::nullopt;
 }

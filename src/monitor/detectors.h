@@ -18,6 +18,17 @@ namespace astral::monitor {
 struct LogDetector {
   std::string pattern;  ///< Substring matched against syslog messages.
   RootCause cause;
+  /// How strongly this pattern pins its cause when matched. Device-fatal
+  /// signatures (Xid, ECC) are near-certain; warn-level configuration and
+  /// optics patterns leave a little room for a shared symptom.
+  double confidence = 0.95;
+};
+
+/// A scored detector hit: the cause plus the detector's confidence in it,
+/// consumed by the analyzer's confidence accounting.
+struct Detection {
+  RootCause cause;
+  double confidence = 0.95;
 };
 
 class DetectorRegistry {
@@ -32,10 +43,14 @@ class DetectorRegistry {
 
   /// Appends a detector; later registrations win over earlier ones so a
   /// refined pattern can shadow a coarse one.
-  void register_detector(std::string pattern, RootCause cause);
+  void register_detector(std::string pattern, RootCause cause,
+                         double confidence = 0.95);
 
   /// First matching cause for a log line (newest detectors first).
   std::optional<RootCause> match(const SyslogEvent& ev) const;
+
+  /// Like match, but carries the matched detector's confidence.
+  std::optional<Detection> detect(const SyslogEvent& ev) const;
 
   std::size_t size() const { return detectors_.size(); }
 

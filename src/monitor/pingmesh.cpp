@@ -64,6 +64,32 @@ int IntPingmesh::sweep(TelemetryStore& store) {
   return probes;
 }
 
+std::vector<topo::LinkId> infer_path_from_probes(const TelemetryStore& store,
+                                                 const QpMeta& meta,
+                                                 const topo::Topology& topo) {
+  if (meta.src_host == topo::kInvalidNode) return {};
+  const std::vector<topo::LinkId>* best = nullptr;
+  bool best_reaches_dst = false;
+  core::Seconds best_t = 0.0;
+  for (const IntProbeResult& probe : store.int_probes()) {
+    if (probe.path.empty()) continue;
+    if (topo.link(probe.path.front()).src != meta.src_host) continue;
+    bool reaches_dst = meta.dst_host != topo::kInvalidNode &&
+                       topo.link(probe.path.back()).dst == meta.dst_host;
+    bool better = best == nullptr ||
+                  (reaches_dst && !best_reaches_dst) ||
+                  (reaches_dst == best_reaches_dst && probe.t > best_t);
+    if (better) {
+      best = &probe.path;
+      best_reaches_dst = reaches_dst;
+      best_t = probe.t;
+    }
+  }
+  // A probe that only shares the source host still pins the first hops
+  // (NIC uplink, ToR) — the hops host-adjacent failures live on.
+  return best ? *best : std::vector<topo::LinkId>{};
+}
+
 core::Seconds IntPingmesh::pair_latency(int src_index, int dst_index) const {
   if (src_index < 0 || dst_index < 0 ||
       static_cast<std::size_t>(src_index) >= latency_.size() ||

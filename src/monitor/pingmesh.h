@@ -10,6 +10,7 @@
 
 #include "monitor/store.h"
 #include "net/fluid_sim.h"
+#include "topo/topology.h"
 
 namespace astral::monitor {
 
@@ -52,5 +53,16 @@ class IntPingmesh {
   std::vector<Hotspot> hotspots_;
   std::vector<std::vector<core::Seconds>> latency_;  // [src][dst], -1 unknown
 };
+
+/// Fallback path inference for a QP whose sFlow reconstruction is missing
+/// (sampled mirrors lost, collector restarted): among the recorded INT
+/// probe paths, picks the newest one that leaves the QP's source host,
+/// preferring one that also terminates at its destination host — the
+/// pingmesh probes ride the same ECMP fabric, so a matching probe is the
+/// best available stand-in for the flow's own path. Returns empty when no
+/// probe ties the endpoints together.
+std::vector<topo::LinkId> infer_path_from_probes(const TelemetryStore& store,
+                                                 const QpMeta& meta,
+                                                 const topo::Topology& topo);
 
 }  // namespace astral::monitor

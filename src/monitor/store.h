@@ -15,11 +15,24 @@ namespace astral::monitor {
 
 class TelemetryStore {
  public:
-  // Ingestion (collectors append).
+  // Ingestion (collectors append). Collector batches may arrive lossy,
+  // duplicated, and reordered (see monitor/degrade.h), so ingestion of
+  // keyed records is idempotent: sFlow paths keep the newest record by
+  // collector timestamp, and cumulative switch counters are delta'd
+  // against the last-seen total with wrap/reset resynchronization.
   void record(NcclTimelineEvent ev) { nccl_.push_back(ev); }
   void record(QpRateSample s) { qp_rates_.push_back(s); }
   void record(ErrCqeEvent ev) { err_cqes_.push_back(std::move(ev)); }
-  void record(SflowPathRecord r) { sflow_[r.qp] = std::move(r); }
+  void record(SflowPathRecord r) {
+    // Newest-by-timestamp wins, not arrival order: a reordered or
+    // re-delivered collector batch must never regress a QP's path to a
+    // stale reconstruction. Ties go to the later arrival, which makes
+    // exact duplicates idempotent.
+    auto it = sflow_.find(r.qp);
+    if (it == sflow_.end() || r.t >= it->second.t) {
+      sflow_[r.qp] = std::move(r);
+    }
+  }
   void record(IntProbeResult r) { int_probes_.push_back(std::move(r)); }
   void record(LinkCounterSample s) {
     // Per-link running totals are maintained here so total_pfc/total_ecn
@@ -27,8 +40,33 @@ class TelemetryStore {
     // the analyzer calls them per candidate link on the hot diagnosis
     // path of long campaigns.
     auto& agg = link_totals_[s.link];
-    agg.ecn_marks += s.ecn_marks;
-    agg.pfc_pauses += s.pfc_pauses;
+    if (s.cumulative) {
+      // Since-boot switch totals (the SNMP convention). Stale samples
+      // (at or before the last accepted timestamp) are ignored so
+      // duplicated or reordered batches cannot double-count; a total
+      // running backwards at a newer timestamp is a counter wrap or a
+      // switch reboot — resynchronize on the new baseline, counting only
+      // what accumulated since the reset instead of adding garbage.
+      if (!agg.have_cumulative || s.t > agg.last_t) {
+        std::uint64_t d_ecn =
+            agg.have_cumulative && s.ecn_marks >= agg.last_ecn
+                ? s.ecn_marks - agg.last_ecn
+                : s.ecn_marks;
+        std::uint64_t d_pfc =
+            agg.have_cumulative && s.pfc_pauses >= agg.last_pfc
+                ? s.pfc_pauses - agg.last_pfc
+                : s.pfc_pauses;
+        agg.ecn_marks += d_ecn;
+        agg.pfc_pauses += d_pfc;
+        agg.last_ecn = s.ecn_marks;
+        agg.last_pfc = s.pfc_pauses;
+        agg.last_t = s.t;
+        agg.have_cumulative = true;
+      }
+    } else {
+      agg.ecn_marks += s.ecn_marks;
+      agg.pfc_pauses += s.pfc_pauses;
+    }
     link_counters_.push_back(s);
   }
   void record(SyslogEvent ev) { syslog_.push_back(std::move(ev)); }
@@ -87,6 +125,11 @@ class TelemetryStore {
   struct LinkTotals {
     std::uint64_t ecn_marks = 0;
     std::uint64_t pfc_pauses = 0;
+    // Delta baseline for cumulative (SNMP-style) samples.
+    std::uint64_t last_ecn = 0;
+    std::uint64_t last_pfc = 0;
+    core::Seconds last_t = 0.0;
+    bool have_cumulative = false;
   };
   std::unordered_map<topo::LinkId, LinkTotals> link_totals_;
 };

@@ -53,6 +53,7 @@ struct ErrCqeEvent {
 
 /// sFlow-reconstructed path of a flow (sampled packet mirrors).
 struct SflowPathRecord {
+  core::Seconds t = 0.0;  ///< Reconstruction time at the collector.
   QpId qp = 0;
   net::FiveTuple tuple;
   std::vector<topo::LinkId> path;
@@ -74,6 +75,11 @@ struct LinkCounterSample {
   std::uint64_t pfc_pauses = 0;
   std::uint64_t mod_drops = 0;  ///< Mirror-on-Drop packet-loss bytes.
   double utilization = 0.0;
+  /// SNMP counter convention: when true, ecn_marks/pfc_pauses are
+  /// since-boot switch totals and the store derives deltas itself (with
+  /// wrap/reset resynchronization); when false (the in-simulator
+  /// collectors) they are already per-collection-interval deltas.
+  bool cumulative = false;
 };
 
 struct SyslogEvent {

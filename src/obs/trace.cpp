@@ -53,6 +53,7 @@ const char* to_string(Track t) {
     case Track::Flow: return "flow";
     case Track::Link: return "link";
     case Track::Fault: return "fault";
+    case Track::Telemetry: return "telemetry";
   }
   return "?";
 }

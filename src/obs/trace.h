@@ -35,8 +35,9 @@ enum class Track : std::uint8_t {
   Flow = 2,        ///< Individual fabric flows (FluidSim).
   Link = 3,        ///< Per-link utilization counters (FluidSim).
   Fault = 4,       ///< Injection / detection / mitigation (ClusterRuntime).
+  Telemetry = 5,   ///< Monitoring-plane degradation (TelemetryFaultModel).
 };
-constexpr int kTrackCount = 5;
+constexpr int kTrackCount = 6;
 
 const char* to_string(Track t);
 

@@ -1,0 +1,113 @@
+// Property test of the degraded-telemetry calibration contract: over
+// hundreds of random (fault schedule x degradation profile) pairs the
+// pipeline must (1) never crash, (2) never produce a confident (>= 0.9)
+// root cause contradicting every injected fault, and (3) be bit-identical
+// to the undegraded analyzer whenever the profile is clean.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
+#include "monitor/degrade.h"
+
+namespace astral::monitor {
+namespace {
+
+constexpr int kPairs = 200;
+constexpr double kConfident = 0.9;
+
+struct PlannedFault {
+  RootCause cause;
+  Manifestation m;
+  int at_iter;
+};
+
+JobConfig property_job() {
+  JobConfig j;
+  j.hosts = 8;
+  j.iterations = 5;
+  j.comm_bytes = 8ull * 1024 * 1024;
+  return j;
+}
+
+TEST(DegradeProperty, RandomSchedulesNeverYieldSilentlyWrongConfidence) {
+  topo::FabricParams fp;
+  fp.rails = 2;
+  fp.hosts_per_block = 8;
+  fp.blocks_per_pod = 2;
+  fp.pods = 1;
+  topo::Fabric fabric(fp);
+  const JobConfig job = property_job();
+  const auto& names = DegradationProfile::names();
+
+  core::Rng rng(20240806);
+  int clean_pairs = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    // Cycle profiles so every severity (clean included) gets ~kPairs/4.
+    auto profile =
+        *DegradationProfile::by_name(names[static_cast<std::size_t>(i) % names.size()]);
+    SCOPED_TRACE("pair " + std::to_string(i) + " profile " + profile.name);
+
+    // Draw the schedule: mostly single faults, some concurrent pairs.
+    int nfaults = rng.chance(0.25) ? 2 : 1;
+    std::vector<PlannedFault> plan;
+    for (int k = 0; k < nfaults; ++k) {
+      RootCause cause = sample_root_cause(rng);
+      Manifestation m = sample_manifestation(cause, rng);
+      int at_iter = m == Manifestation::FailOnStart
+                        ? 0
+                        : 1 + static_cast<int>(rng.uniform_int(
+                                  static_cast<std::uint64_t>(job.iterations - 2)));
+      plan.push_back({cause, m, at_iter});
+    }
+
+    auto run_with = [&](TelemetryFaultModel* model) {
+      ClusterRuntime rt(fabric, job, 5000 + static_cast<std::uint64_t>(i));
+      if (model) rt.set_telemetry_faults(model);
+      for (const auto& f : plan) rt.inject(rt.make_fault(f.cause, f.m, f.at_iter));
+      rt.run();
+      AnalyzerConfig acfg;
+      acfg.clock_skew_tolerance = profile.max_clock_skew + profile.max_jitter;
+      HierarchicalAnalyzer analyzer(rt.telemetry(), fabric.topo(),
+                                    rt.expected_compute(), rt.expected_comm(),
+                                    acfg);
+      return analyzer.diagnose();
+    };
+
+    TelemetryFaultModel model(profile, 0xFEEDull + static_cast<std::uint64_t>(i) *
+                                                       2654435761ull);
+    Diagnosis d = run_with(&model);
+
+    // (2) Calibration: a confident named cause must match an injected
+    // fault (or its accepted silent twin) — the no-silently-wrong rule.
+    if (d.root_cause_found && d.root_cause && d.confidence >= kConfident) {
+      bool acceptable = false;
+      for (const auto& f : plan) {
+        acceptable |= cause_acceptable(f.cause, *d.root_cause);
+      }
+      EXPECT_TRUE(acceptable)
+          << "confident (" << d.confidence << ") diagnosis "
+          << to_string(*d.root_cause) << " contradicts every injected fault";
+    }
+    // A detected-but-unlocalized anomaly must never be silent: either
+    // the cause is named or the diagnosis flags itself for a human. (A
+    // fully blinded plane — no anomaly detected at all — is caught at
+    // the application layer: the job itself reports its death, which the
+    // campaign books as an automatic manual escalation.)
+    if (d.anomaly_detected && !d.root_cause_found) {
+      EXPECT_TRUE(d.needs_manual || d.confidence < 0.5);
+    }
+
+    // (3) Clean profile: bit-identical to running without the model.
+    if (profile.is_clean()) {
+      ++clean_pairs;
+      Diagnosis undegraded = run_with(nullptr);
+      EXPECT_EQ(d, undegraded);
+    }
+  }
+  EXPECT_GE(clean_pairs, kPairs / 4);
+}
+
+}  // namespace
+}  // namespace astral::monitor

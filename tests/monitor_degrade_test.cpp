@@ -1,0 +1,427 @@
+#include "monitor/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/analyzer.h"
+#include "monitor/cluster_runtime.h"
+
+namespace astral::monitor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Profile presets.
+
+TEST(DegradationProfile, PresetsAndLookup) {
+  EXPECT_TRUE(DegradationProfile::clean().is_clean());
+  EXPECT_FALSE(DegradationProfile::mild().is_clean());
+  EXPECT_FALSE(DegradationProfile::severe().is_clean());
+  EXPECT_FALSE(DegradationProfile::adversarial().is_clean());
+  for (const auto& name : DegradationProfile::names()) {
+    auto p = DegradationProfile::by_name(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->name, name);
+  }
+  EXPECT_FALSE(DegradationProfile::by_name("nope").has_value());
+}
+
+TEST(DegradationProfile, MildMatchesIssueCalibrationPoint) {
+  // The ISSUE's calibration point: ~10% loss on the sampled streams, one
+  // collector outage, clock skew bounded by 5ms.
+  auto p = DegradationProfile::mild();
+  EXPECT_DOUBLE_EQ(p.sflow.drop_prob, 0.10);
+  EXPECT_EQ(p.outages, 1);
+  EXPECT_LE(p.max_clock_skew, 0.005);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-model units (synthetic records into a raw store).
+
+NcclTimelineEvent nccl_ev(core::Seconds t, int rank, int iter) {
+  NcclTimelineEvent ev;
+  ev.t = t;
+  ev.host_rank = rank;
+  ev.iteration = iter;
+  ev.compute_time = 0.05;
+  ev.comm_time = 0.01;
+  ev.wr_started = 1;
+  ev.wr_finished = 1;
+  return ev;
+}
+
+TEST(TelemetryFaultModel, CleanProfilePassesThroughBitIdentically) {
+  TelemetryStore direct;
+  TelemetryStore degraded;
+  TelemetryFaultModel model(DegradationProfile::clean(), 42);
+  for (int i = 0; i < 8; ++i) {
+    auto ev = nccl_ev(0.01 * i, i % 4, i / 4);
+    direct.record(ev);
+    model.record(ev, degraded);
+    QpRateSample s{0.01 * i, static_cast<QpId>(i % 4), 1e9 * i};
+    direct.record(s);
+    model.record(s, degraded);
+  }
+  SflowPathRecord r;
+  r.t = 0.5;
+  r.qp = 2;
+  r.path = {3, 4, 5};
+  direct.record(r);
+  model.record(r, degraded);
+  model.flush(degraded);
+  EXPECT_EQ(direct.to_json().dump(2), degraded.to_json().dump(2));
+  EXPECT_EQ(model.stats().total(), 0u);  // passthrough bypasses accounting
+}
+
+TEST(TelemetryFaultModel, DropProbabilityOneLosesEveryRecord) {
+  DegradationProfile p;
+  p.name = "droptest";
+  p.nccl.drop_prob = 1.0;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  for (int i = 0; i < 10; ++i) model.record(nccl_ev(0.01 * i, 0, i), store);
+  model.flush(store);
+  EXPECT_TRUE(store.nccl_timeline().empty());
+  EXPECT_EQ(model.stats().dropped, 10u);
+  EXPECT_EQ(model.stats().delivered, 0u);
+}
+
+TEST(TelemetryFaultModel, DuplicateProbabilityOneDeliversTwice) {
+  DegradationProfile p;
+  p.name = "duptest";
+  p.nccl.duplicate_prob = 1.0;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  for (int i = 0; i < 5; ++i) model.record(nccl_ev(0.01 * i, 0, i), store);
+  model.flush(store);
+  EXPECT_EQ(store.nccl_timeline().size(), 10u);
+  EXPECT_EQ(model.stats().duplicated, 5u);
+}
+
+TEST(TelemetryFaultModel, ReorderedRecordsHeldBackUntilFlush) {
+  DegradationProfile p;
+  p.name = "reordertest";
+  p.nccl.reorder_prob = 1.0;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  for (int i = 0; i < 3; ++i) model.record(nccl_ev(0.01 * i, 0, i), store);
+  // Every record was held back and nothing delivered after it, so the
+  // store is empty until flush drains the hold-back buffer.
+  EXPECT_TRUE(store.nccl_timeline().empty());
+  EXPECT_EQ(model.stats().reordered, 3u);
+  model.flush(store);
+  EXPECT_EQ(store.nccl_timeline().size(), 3u);
+}
+
+TEST(TelemetryFaultModel, OutageWindowSilentlyDiscards) {
+  DegradationProfile p;
+  p.name = "outagetest";
+  p.outages = 1;
+  p.outage_horizon = 0.001;  // start ~0, so the window covers [~0, ~10]
+  p.outage_duration = 10.0;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  ASSERT_EQ(model.outage_windows().size(), 1u);
+  model.record(nccl_ev(5.0, 0, 0), store);   // inside the window
+  model.record(nccl_ev(50.0, 0, 1), store);  // long after it
+  model.flush(store);
+  ASSERT_EQ(store.nccl_timeline().size(), 1u);
+  EXPECT_EQ(store.nccl_timeline().front().iteration, 1);
+  EXPECT_EQ(model.stats().outage_dropped, 1u);
+}
+
+TEST(TelemetryFaultModel, ClockSkewIsBoundedAndStablePerCollector) {
+  DegradationProfile p;
+  p.name = "skewtest";
+  p.max_clock_skew = 0.05;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  model.record(QpRateSample{1.0, 3, 1e9}, store);
+  model.record(QpRateSample{2.0, 3, 1e9}, store);
+  model.flush(store);
+  ASSERT_EQ(store.qp_rates().size(), 2u);
+  double skew0 = store.qp_rates()[0].t - 1.0;
+  double skew1 = store.qp_rates()[1].t - 2.0;
+  EXPECT_LE(std::abs(skew0), 0.05);
+  // One collector, one clock: the same fixed skew on both samples.
+  EXPECT_DOUBLE_EQ(skew0, skew1);
+}
+
+TEST(TelemetryFaultModel, SflowTruncationDropsTailHops) {
+  DegradationProfile p;
+  p.name = "trunctest";
+  p.sflow_truncate_prob = 1.0;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  SflowPathRecord r;
+  r.t = 0.1;
+  r.qp = 1;
+  r.path = {10, 11, 12, 13};
+  model.record(r, store);
+  model.flush(store);
+  auto path = store.path_of(1);
+  ASSERT_FALSE(path.empty());
+  EXPECT_LT(path.size(), 4u);  // strictly shorter: the tail was cut
+  EXPECT_EQ(path.front(), 10u);  // ... but the head hops survive intact
+  EXPECT_EQ(model.stats().truncated, 1u);
+}
+
+TEST(TelemetryFaultModel, CumulativeReemissionPreservesTotals) {
+  DegradationProfile p;
+  p.name = "cumtest";
+  p.cumulative_counters = true;
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  model.record(LinkCounterSample{.t = 0.1, .link = 2, .ecn_marks = 5, .pfc_pauses = 7},
+               store);
+  model.record(LinkCounterSample{.t = 0.2, .link = 2, .ecn_marks = 3, .pfc_pauses = 1},
+               store);
+  model.flush(store);
+  // Samples were rewritten as since-boot totals; the store deltas them
+  // back, so the aggregate matches the original per-interval deltas.
+  ASSERT_EQ(store.link_counters().size(), 2u);
+  EXPECT_TRUE(store.link_counters()[0].cumulative);
+  EXPECT_EQ(store.link_counters()[1].ecn_marks, 8u);
+  EXPECT_EQ(store.total_ecn(2), 8u);
+  EXPECT_EQ(store.total_pfc(2), 8u);
+}
+
+TEST(TelemetryFaultModel, CounterResetResynchronizesInsteadOfDoubleCounting) {
+  DegradationProfile p;
+  p.name = "resettest";
+  p.cumulative_counters = true;
+  p.counter_reset_prob = 1.0;  // the switch reboots before every scrape
+  TelemetryStore store;
+  TelemetryFaultModel model(p, 7);
+  model.record(LinkCounterSample{.t = 0.1, .link = 2, .ecn_marks = 10}, store);
+  model.record(LinkCounterSample{.t = 0.2, .link = 2, .ecn_marks = 3}, store);
+  model.flush(store);
+  EXPECT_EQ(model.stats().counter_resets, 2u);
+  // Post-reset totals run backwards (10 -> 3); the store must resync and
+  // count 10 + 3, not garbage.
+  EXPECT_EQ(store.total_ecn(2), 13u);
+}
+
+TEST(TelemetryFaultModel, SameSeedSameProfileIsDeterministic) {
+  auto run_once = [] {
+    TelemetryStore store;
+    TelemetryFaultModel model(DegradationProfile::severe(), 99);
+    for (int i = 0; i < 50; ++i) {
+      model.record(nccl_ev(0.01 * i, i % 8, i / 8), store);
+      model.record(QpRateSample{0.01 * i, static_cast<QpId>(i % 8), 1e9}, store);
+      SflowPathRecord r;
+      r.t = 0.01 * i;
+      r.qp = static_cast<QpId>(i % 8);
+      r.path = {1, 2, 3};
+      model.record(r, store);
+    }
+    model.flush(store);
+    return std::pair{store.to_json().dump(2), model.stats()};
+  };
+  auto [json_a, stats_a] = run_once();
+  auto [json_b, stats_b] = run_once();
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_EQ(stats_a.delivered, stats_b.delivered);
+  EXPECT_EQ(stats_a.dropped, stats_b.dropped);
+  EXPECT_EQ(stats_a.reordered, stats_b.reordered);
+  EXPECT_EQ(stats_a.truncated, stats_b.truncated);
+}
+
+TEST(CauseAcceptable, ExactAndSilentTwinOnly) {
+  EXPECT_TRUE(cause_acceptable(RootCause::NicError, RootCause::NicError));
+  // The link-level silent twins may read as a switch bug...
+  EXPECT_TRUE(cause_acceptable(RootCause::LinkFlap, RootCause::SwitchBug));
+  EXPECT_TRUE(cause_acceptable(RootCause::WireConnection, RootCause::SwitchBug));
+  EXPECT_TRUE(cause_acceptable(RootCause::OpticalFiber, RootCause::SwitchBug));
+  // ... but not the reverse, and nothing else cross-matches.
+  EXPECT_FALSE(cause_acceptable(RootCause::SwitchBug, RootCause::LinkFlap));
+  EXPECT_FALSE(cause_acceptable(RootCause::NicError, RootCause::SwitchBug));
+  EXPECT_FALSE(cause_acceptable(RootCause::GpuHardware, RootCause::Memory));
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer fallback ladder (Branch #2 under lost telemetry). Scenarios
+// are produced by a real run, then rebuilt with selected streams wiped —
+// the lossy collector's worst case, made deterministic.
+
+topo::Fabric test_fabric() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+JobConfig small_job() {
+  JobConfig j;
+  j.hosts = 8;
+  j.iterations = 5;
+  j.comm_bytes = 8ull * 1024 * 1024;
+  return j;
+}
+
+struct StreamFilter {
+  bool err_cqe = true;
+  bool int_probes = true;
+  bool syslog = true;
+  // sFlow is always wiped: every scenario here is "paths lost".
+};
+
+TelemetryStore rebuild_without(const TelemetryStore& src, int hosts,
+                               StreamFilter keep) {
+  TelemetryStore out;
+  for (const auto& ev : src.nccl_timeline()) out.record(ev);
+  for (const auto& s : src.qp_rates()) out.record(s);
+  if (keep.err_cqe) {
+    for (const auto& ev : src.err_cqes()) out.record(ErrCqeEvent(ev));
+  }
+  if (keep.int_probes) {
+    for (const auto& r : src.int_probes()) out.record(IntProbeResult(r));
+  }
+  for (const auto& s : src.link_counters()) out.record(s);
+  if (keep.syslog) {
+    for (const auto& ev : src.syslog()) out.record(SyslogEvent(ev));
+  }
+  for (int h = 0; h < hosts; ++h) {
+    for (QpId qp : src.qps_of_host(h)) out.register_qp(*src.qp_meta(qp));
+  }
+  return out;
+}
+
+TEST(AnalyzerFallback, ErrCqeWithoutSflowFallsBackToPingmeshPaths) {
+  // NIC failure: errCQEs arrive but every sFlow reconstruction was lost.
+  // The INT pingmesh rides the same fabric, so its probe paths stand in —
+  // at a confidence discount.
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 24);
+  rt.inject(rt.make_fault(RootCause::NicError, Manifestation::FailStop, 2));
+  rt.run();
+  ASSERT_FALSE(rt.telemetry().err_cqes().empty());
+
+  auto store = rebuild_without(rt.telemetry(), small_job().hosts, {});
+  HierarchicalAnalyzer analyzer(store, f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  EXPECT_TRUE(d.anomaly_detected);
+  bool gap_logged = false;
+  for (const auto& g : d.evidence_gaps) {
+    gap_logged |= g.find("sflow: no reconstructed path") != std::string::npos;
+  }
+  EXPECT_TRUE(gap_logged);
+  bool substituted = false;
+  for (const auto& ev : d.evidence) {
+    substituted |= ev.find("substituted") != std::string::npos;
+  }
+  EXPECT_TRUE(substituted);
+  // Inferred paths are weaker evidence: whatever the verdict, it must not
+  // claim the confidence a unique sFlow overlap would earn.
+  EXPECT_LT(d.confidence, 0.9);
+  if (d.root_cause_found) {
+    EXPECT_TRUE(cause_acceptable(RootCause::NicError, *d.root_cause));
+  } else {
+    EXPECT_TRUE(d.needs_manual);
+  }
+}
+
+TEST(AnalyzerFallback, AllNetworkWitnessesLostYieldsRankedCandidates) {
+  // Silent switch blackhole with errCQE, sFlow, and INT probes all lost:
+  // no fabricated single cause — ranked candidates plus a manual alarm.
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 27);
+  rt.inject(rt.make_fault(RootCause::SwitchBug, Manifestation::FailHang, 2));
+  rt.run();
+
+  StreamFilter keep;
+  keep.err_cqe = false;
+  keep.int_probes = false;
+  auto store = rebuild_without(rt.telemetry(), small_job().hosts, keep);
+  HierarchicalAnalyzer analyzer(store, f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto d = analyzer.diagnose();
+  EXPECT_TRUE(d.anomaly_detected);
+  EXPECT_FALSE(d.root_cause_found);
+  EXPECT_TRUE(d.needs_manual);
+  EXPECT_LT(d.confidence, 0.5);
+  ASSERT_FALSE(d.candidates.empty());
+  EXPECT_FALSE(d.evidence_gaps.empty());
+  // The true cause is on the ranked list a human would walk.
+  bool listed = false;
+  for (const auto& c : d.candidates) listed |= c.cause == RootCause::SwitchBug;
+  EXPECT_TRUE(listed);
+  // Ranked best-first.
+  for (std::size_t i = 1; i < d.candidates.size(); ++i) {
+    EXPECT_GE(d.candidates[i - 1].score, d.candidates[i].score);
+  }
+}
+
+TEST(AnalyzerFallback, SkewToleranceKeepsSlowQpDetection) {
+  // Collector clocks skewed against the simulation: QP-rate samples drift
+  // up to 4ms early. With the tolerance configured to the plane's NTP
+  // bound, the diagnosis matches the clean-clock baseline.
+  auto f = test_fabric();
+  ClusterRuntime rt(f, small_job(), 25);
+  rt.inject(rt.make_fault(RootCause::OpticalFiber, Manifestation::FailSlow, 2));
+  rt.run();
+  HierarchicalAnalyzer baseline(rt.telemetry(), f.topo(), rt.expected_compute(),
+                                rt.expected_comm());
+  auto want = baseline.diagnose();
+  ASSERT_TRUE(want.root_cause_found);
+
+  TelemetryStore skewed;
+  for (const auto& ev : rt.telemetry().nccl_timeline()) skewed.record(ev);
+  for (auto s : rt.telemetry().qp_rates()) {
+    s.t -= 0.004;
+    skewed.record(s);
+  }
+  for (const auto& ev : rt.telemetry().err_cqes()) skewed.record(ErrCqeEvent(ev));
+  for (const auto& r : rt.telemetry().int_probes()) skewed.record(IntProbeResult(r));
+  for (const auto& s : rt.telemetry().link_counters()) skewed.record(s);
+  for (const auto& ev : rt.telemetry().syslog()) skewed.record(SyslogEvent(ev));
+  for (int h = 0; h < small_job().hosts; ++h) {
+    for (QpId qp : rt.telemetry().qps_of_host(h)) {
+      skewed.register_qp(*rt.telemetry().qp_meta(qp));
+    }
+    for (QpId qp : rt.telemetry().qps_of_host(h)) {
+      auto path = rt.telemetry().path_of(qp);
+      if (path.empty()) continue;
+      SflowPathRecord r;
+      r.qp = qp;
+      r.path = path;
+      skewed.record(r);
+    }
+  }
+
+  AnalyzerConfig tolerant;
+  tolerant.clock_skew_tolerance = 0.005;
+  HierarchicalAnalyzer analyzer(skewed, f.topo(), rt.expected_compute(),
+                                rt.expected_comm(), tolerant);
+  auto d = analyzer.diagnose();
+  ASSERT_TRUE(d.root_cause_found);
+  EXPECT_EQ(d.root_cause, want.root_cause);
+  EXPECT_EQ(d.culprit_links, want.culprit_links);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign smoke: a small sweep wires model + runtime + analyzer together.
+
+TEST(DegradedCampaign, SmallSweepHoldsCalibrationContract) {
+  DegradedCampaignConfig cfg;
+  cfg.runs = 4;
+  cfg.profiles = {"clean", "mild"};
+  auto result = run_degraded_campaign(cfg);
+  ASSERT_EQ(result.profiles.size(), 2u);
+  for (const auto& p : result.profiles) {
+    EXPECT_EQ(p.entries.size(), 4u);
+    EXPECT_EQ(p.silently_wrong_count(), 0) << p.profile;
+  }
+  EXPECT_EQ(result.profiles[0].profile, "clean");
+  EXPECT_EQ(result.profiles[0].stats.total(), 0u);  // passthrough
+  EXPECT_GT(result.profiles[1].stats.dropped, 0u);
+  auto doc = result.to_json();
+  EXPECT_EQ(doc["profiles"].size(), 2u);
+  EXPECT_EQ(doc["profiles"].at(1)["profile"].as_string(), "mild");
+}
+
+}  // namespace
+}  // namespace astral::monitor

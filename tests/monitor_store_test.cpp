@@ -120,12 +120,72 @@ TEST(TelemetryStore, SyslogByHostAndNode) {
   EXPECT_EQ(store.node_syslog(50)[0].message, "optical");
 }
 
+SflowPathRecord sflow(core::Seconds t, QpId qp, std::vector<topo::LinkId> path) {
+  SflowPathRecord r;
+  r.t = t;
+  r.qp = qp;
+  r.path = std::move(path);
+  return r;
+}
+
 TEST(TelemetryStore, SflowPathOverwrites) {
   TelemetryStore store;
-  store.record(SflowPathRecord{.qp = 1, .path = {1, 2, 3}});
-  store.record(SflowPathRecord{.qp = 1, .path = {4, 5}});
+  store.record(sflow(0.0, 1, {1, 2, 3}));
+  store.record(sflow(0.1, 1, {4, 5}));
   EXPECT_EQ(store.path_of(1), (std::vector<topo::LinkId>{4, 5}));
   EXPECT_TRUE(store.path_of(2).empty());
+}
+
+TEST(TelemetryStore, SflowReorderedBatchCannotRegressPath) {
+  // Collector batches re-deliver and invert (monitor/degrade.h): the
+  // newest reconstruction by collector timestamp must win regardless of
+  // arrival order, and exact duplicates must be idempotent.
+  TelemetryStore store;
+  store.record(sflow(2.0, 7, {4, 5}));
+  // A stale reconstruction arrives late (reordered batch): ignored.
+  store.record(sflow(1.0, 7, {1, 2, 3}));
+  EXPECT_EQ(store.path_of(7), (std::vector<topo::LinkId>{4, 5}));
+  // The same batch is re-delivered (duplicate): idempotent.
+  store.record(sflow(2.0, 7, {4, 5}));
+  EXPECT_EQ(store.path_of(7), (std::vector<topo::LinkId>{4, 5}));
+  // A genuinely newer reconstruction still overwrites.
+  store.record(sflow(3.0, 7, {9}));
+  EXPECT_EQ(store.path_of(7), (std::vector<topo::LinkId>{9}));
+}
+
+LinkCounterSample snmp(core::Seconds t, topo::LinkId link, std::uint64_t ecn,
+                       std::uint64_t pfc) {
+  LinkCounterSample s;
+  s.t = t;
+  s.link = link;
+  s.ecn_marks = ecn;
+  s.pfc_pauses = pfc;
+  s.cumulative = true;
+  return s;
+}
+
+TEST(TelemetryStore, CumulativeCountersResyncAcrossSwitchReboot) {
+  // SNMP-style since-boot totals with a mid-campaign switch reboot: the
+  // totals must count what accumulated, never the raw post-reset values,
+  // and duplicated/reordered scrapes must not double-count.
+  TelemetryStore store;
+  store.record(snmp(0.1, 4, 100, 10));
+  store.record(snmp(0.2, 4, 150, 12));   // +50 / +2
+  store.record(snmp(0.2, 4, 150, 12));   // duplicate scrape: ignored
+  store.record(snmp(0.15, 4, 120, 11));  // reordered stale scrape: ignored
+  EXPECT_EQ(store.total_ecn(4), 150u);
+  EXPECT_EQ(store.total_pfc(4), 12u);
+  // The switch reboots: totals restart below the last-seen baseline.
+  // Resynchronize, counting only what accumulated since the reset.
+  store.record(snmp(0.3, 4, 30, 5));  // +30 / +5
+  EXPECT_EQ(store.total_ecn(4), 180u);
+  EXPECT_EQ(store.total_pfc(4), 17u);
+  store.record(snmp(0.4, 4, 70, 9));  // +40 / +4
+  EXPECT_EQ(store.total_ecn(4), 220u);
+  EXPECT_EQ(store.total_pfc(4), 21u);
+  // Delta-convention samples on another link are unaffected.
+  store.record(LinkCounterSample{.t = 0.5, .link = 9, .ecn_marks = 3});
+  EXPECT_EQ(store.total_ecn(9), 3u);
 }
 
 TEST(TelemetryStore, JsonSnapshotConsolidatesAllLayers) {
@@ -135,7 +195,7 @@ TEST(TelemetryStore, JsonSnapshotConsolidatesAllLayers) {
                                  .wr_started = 1, .wr_finished = 1});
   store.record(QpRateSample{1.1, 2, 5e10});
   store.record(ErrCqeEvent{1.2, 2, 2, "retry exceeded"});
-  store.record(SflowPathRecord{.qp = 2, .path = {3, 4, 5}});
+  store.record(sflow(1.25, 2, {3, 4, 5}));
   store.record(LinkCounterSample{.t = 1.3, .link = 4, .ecn_marks = 7, .mod_drops = 9});
   store.record(SyslogEvent{1.4, 42, 2, "fatal", "Xid 79"});
 

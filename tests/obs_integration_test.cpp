@@ -8,6 +8,7 @@
 #include <string>
 
 #include "monitor/cluster_runtime.h"
+#include "monitor/degrade.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -52,7 +53,20 @@ Capture run_traced() {
 }
 
 TEST(ObsIntegration, AllTracksPopulated) {
-  auto cap = run_traced();
+  // The telemetry track only speaks when a lossy collector model is
+  // interposed (outage spans, loss counters); every other track
+  // populates from the faulted recovery run itself.
+  Capture cap;
+  topo::Fabric fabric(fabric_params());
+  ClusterRuntime rt(fabric, job_config(), /*seed=*/7);
+  rt.inject(rt.make_fault(RootCause::OpticalFiber, Manifestation::FailStop,
+                          /*at_iteration=*/2));
+  TelemetryFaultModel model(DegradationProfile::mild(), /*seed=*/11);
+  model.set_tracer(&cap.tracer);
+  rt.set_telemetry_faults(&model);
+  rt.set_tracer(&cap.tracer);
+  rt.set_metrics(&cap.metrics);
+  cap.outcome = rt.run();
   EXPECT_TRUE(cap.outcome.completed);
   for (int i = 0; i < obs::kTrackCount; ++i) {
     auto track = static_cast<obs::Track>(i);
