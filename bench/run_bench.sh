@@ -1,15 +1,28 @@
 #!/usr/bin/env bash
 # Builds the Release preset, runs the fluid-solver scaling benchmark, and
 # writes BENCH_fluid.json at the repo root so every PR leaves a comparable
-# perf data point (flows-vs-solve-time, incremental vs pre-change solver,
-# steady-state allocation count). Exit status mirrors the benchmark's own
-# acceptance checks (>=3x solve speedup at 4K flows, 64K point completed,
-# zero steady-state allocations).
+# perf data point (flows-vs-solve-time up to 1M flows, sharded vs
+# pre-change solver, 64K thread-count sweep, steady-state allocation
+# count). Exit status mirrors the benchmark's own acceptance checks
+# (>=3x solve speedup at 4K flows, >=10x at 64K, 64K and 1M points
+# completed, zero steady-state allocations).
+#
+# Usage: run_bench.sh [--threads=1,2,4,8]
+#   --threads  comma-separated solver thread counts for the 64K sweep
+#              (default 1,2,4,8).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+threads_arg=""
+for arg in "$@"; do
+  case "$arg" in
+    --threads=*) threads_arg="$arg" ;;
+    *) echo "unknown argument: $arg" >&2; exit 1 ;;
+  esac
+done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 cmake --preset release
 cmake --build --preset release -j"${jobs}" --target bench_fluid_scaling
-./build-release/bench/bench_fluid_scaling BENCH_fluid.json
+./build-release/bench/bench_fluid_scaling BENCH_fluid.json ${threads_arg:+"$threads_arg"}
 echo "BENCH_fluid.json written at $(pwd)/BENCH_fluid.json"

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "net/shard_solver.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -45,6 +46,26 @@ FluidSim::FluidSim(topo::Fabric& fabric, Config cfg, std::uint64_t seed)
   mark_epoch_.assign(nlinks, 0);
   mark_count_.assign(nlinks, 0);
   changed_epoch_mark_.assign(nlinks, 0);
+  shard_ = std::make_unique<ShardSolver>(*this);
+}
+
+FluidSim::~FluidSim() = default;
+
+void FluidSim::set_shard_domains(std::vector<std::int32_t> domains) {
+  shard_->set_domains(std::move(domains));
+}
+
+std::size_t FluidSim::solver_shard_count() const { return shard_->shard_count(); }
+
+std::uint64_t FluidSim::solver_reconcile_passes() const {
+  return shard_->reconcile_passes();
+}
+
+void FluidSim::debug_set_epoch_counters(std::uint64_t value) {
+  mark_epoch_counter_ = value;
+  solve_epoch_ = value;
+  changed_epoch_ = value;
+  shard_->debug_set_epoch_counter(value);
 }
 
 std::optional<std::vector<topo::LinkId>> FluidSim::predict_path(const FlowSpec& spec) const {
@@ -95,6 +116,7 @@ std::vector<FlowId> FluidSim::inject_batch(std::span<const FlowSpec> specs) {
 }
 
 void FluidSim::admit(FlowId id) {
+  shard_->invalidate_structure();
   active_.push_back(id);
   FlowState& f = flows_[id];
   for (std::uint32_t h = 0; h < f.path.size(); ++h) {
@@ -105,6 +127,7 @@ void FluidSim::admit(FlowId id) {
 }
 
 void FluidSim::remove_member(FlowId id) {
+  shard_->invalidate_structure();
   FlowState& f = flows_[id];
   for (std::uint32_t h = 0; h < f.path.size(); ++h) {
     auto& mem = members_[f.path[h]];
@@ -117,7 +140,12 @@ void FluidSim::remove_member(FlowId id) {
 }
 
 bool FluidSim::batch_is_island(std::span<const FlowId> batch) {
-  ++mark_epoch_counter_;
+  if (++mark_epoch_counter_ == 0) {
+    // Counter wrapped: ancient stamps could alias it. Reset and restart
+    // above the cleared value.
+    std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0);
+    mark_epoch_counter_ = 1;
+  }
   for (FlowId id : batch) {
     for (topo::LinkId l : flows_[id].path) {
       if (mark_epoch_[l] != mark_epoch_counter_) {
@@ -157,7 +185,12 @@ void FluidSim::set_metrics(obs::Metrics* metrics) {
 void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
   using clock = std::chrono::steady_clock;
   const auto solve_t0 = solve_hist_ ? clock::now() : clock::time_point{};
-  ++solve_epoch_;
+  if (++solve_epoch_ == 0) {
+    // Wrapped: reset both stamp families keyed by this counter.
+    std::fill(touch_epoch_.begin(), touch_epoch_.end(), 0);
+    for (FlowState& f : flows_) f.freeze_epoch = 0;
+    solve_epoch_ = 1;
+  }
   touched_scratch_.clear();
   for (FlowId id : subset) {
     FlowState& f = flows_[id];
@@ -210,7 +243,10 @@ void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
     if (unfrozen_[l] == 0) continue;
     if (share != share_of(l)) continue;  // stale: a newer entry exists
     const double level = std::isfinite(share) ? share : 0.0;
-    ++changed_epoch_;
+    if (++changed_epoch_ == 0) {
+      std::fill(changed_epoch_mark_.begin(), changed_epoch_mark_.end(), 0);
+      changed_epoch_ = 1;
+    }
     changed_scratch_.clear();
     for (const Member m : members_[l]) {
       FlowState& f = flows_[m.flow];
@@ -242,6 +278,20 @@ void FluidSim::fill_and_freeze(std::span<const FlowId> subset) {
 
 void FluidSim::solve_full() {
   if (metrics_) metrics_->add("fluidsim.solves.full");
+  if (cfg_.sharding) {
+    // The sharded engine publishes rates and link state itself; record
+    // one "fluidsim.solve_us" sample per full solve, matching the
+    // monolithic path's cadence exactly (snapshot counts are golden).
+    using clock = std::chrono::steady_clock;
+    const auto t0 = solve_hist_ ? clock::now() : clock::time_point{};
+    shard_->solve();
+    solve_pending_ = false;
+    if (solve_hist_) {
+      solve_hist_->record(
+          std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+    }
+    return;
+  }
   clear_live();
   fill_and_freeze(active_);
   solve_pending_ = false;
@@ -446,6 +496,7 @@ void FluidSim::degrade_link(topo::LinkId id, double factor) {
   accumulate_until(now_);
   degrade_[id] = std::max(0.0, factor);
   effcap_[id] = fabric_.topo().link(id).capacity * degrade_[id];
+  shard_->invalidate_caps();
   if (!active_.empty()) solve_full();
 }
 
@@ -455,6 +506,7 @@ void FluidSim::set_link_up(topo::LinkId id, bool up) {
   accumulate_until(now_);
   fabric_.topo().set_link_state(id, up);
   effcap_[id] = up ? fabric_.topo().link(id).capacity * degrade_[id] : 0.0;
+  shard_->invalidate_caps();
   if (!active_.empty()) solve_full();
 }
 
@@ -572,6 +624,9 @@ void FluidSim::abort_flow(FlowId id) {
   auto it = std::find(active_.begin(), active_.end(), id);
   if (it != active_.end()) {
     if (!f.path.empty()) remove_member(id);
+    // The swap below reorders active_ even for path-less flows, and the
+    // sharded solver caches that order.
+    shard_->invalidate_structure();
     *it = active_.back();
     active_.pop_back();
     if (active_.empty()) {

@@ -23,6 +23,7 @@
 // oracle.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -42,6 +43,8 @@ class Histogram;
 
 namespace astral::net {
 
+class ShardSolver;
+
 /// Sentinel deadline meaning "run until the workload drains".
 inline constexpr core::Seconds kRunForever = 1e18;
 
@@ -58,6 +61,17 @@ struct FluidSimConfig {
   /// Completions within this window collapse into one rate update;
   /// symmetric collectives otherwise trigger quadratic recomputation.
   core::Seconds completion_epsilon = 1e-9;
+  /// Full solves go through the pod-sharded engine (see shard_solver.h):
+  /// connected bottleneck components solve independently over cached
+  /// structure. Bit-identical to the monolithic path; off = legacy solver.
+  bool sharding = true;
+  /// Worker lanes for shard solves (1 = inline, no threads spawned).
+  /// Rates are bit-identical across any thread count.
+  int solver_threads = 1;
+  /// Emit per-shard solve spans/counters/histogram when a tracer or
+  /// metrics registry is attached. Off by default so traces and metric
+  /// snapshots are byte-identical to the pre-sharding solver's.
+  bool shard_telemetry = false;
 };
 
 class FluidSim {
@@ -70,6 +84,7 @@ class FluidSim {
   /// at construction (scaled by degrade_link); mutate capacity through
   /// degrade_link, not the fabric.
   FluidSim(topo::Fabric& fabric, Config cfg = {}, std::uint64_t seed = 1);
+  ~FluidSim();
 
   /// Injects a flow; routing happens immediately (paths are pinned at QP
   /// creation, matching per-flow ECMP). Returns the flow id; the flow's
@@ -177,7 +192,25 @@ class FluidSim {
   void set_metrics(obs::Metrics* metrics);
   obs::Metrics* metrics() const { return metrics_; }
 
+  /// Installs per-link locality domains for the sharded solver (see
+  /// parallel::link_locality_domains): links with domain -1 are relaxed
+  /// out of shard discovery and reconciled sequentially. Empty vector
+  /// restores exact connected-component sharding (the default).
+  void set_shard_domains(std::vector<std::int32_t> domains);
+
+  /// Shards used by the most recent sharded solve (0 before any, or when
+  /// cfg.sharding is off).
+  std::size_t solver_shard_count() const;
+  /// Lifetime reconciliation passes forced by saturated boundary links.
+  std::uint64_t solver_reconcile_passes() const;
+
+  /// Test hook: fast-forwards every internal epoch counter (island-mark,
+  /// solve, changed-set, shard-build) so tests can exercise the
+  /// wraparound reset paths without 2^64 solves.
+  void debug_set_epoch_counters(std::uint64_t value);
+
  private:
+  friend class ShardSolver;
   /// An entry in a link's persistent member list: which flow crosses the
   /// link, and at which hop of its path (so swap-removal can fix the
   /// displaced flow's member_pos in O(1)).
@@ -247,6 +280,7 @@ class FluidSim {
   std::vector<FlowId> admitted_batch_;   ///< Arrival staging (reused).
   std::vector<FlowId> completed_batch_;  ///< Completion staging (reused).
   bool solve_pending_ = false;  ///< Active rates stale; full solve due.
+  std::unique_ptr<ShardSolver> shard_;  ///< Sharded full-solve engine.
 
   // --- observability (null = disabled; hooks cost one branch) ---
   obs::Tracer* tracer_ = nullptr;

@@ -1,0 +1,177 @@
+// Pod-sharded parallel max-min engine behind FluidSim::resolve_rates.
+//
+// The active constraint graph (links as vertices, "some flow crosses
+// both" as edges) decomposes along the fabric's locality structure:
+// rail-aligned traffic never leaves its rail subgraph, pod-local traffic
+// never leaves its pod. This engine discovers the connected bottleneck
+// components with a union-find over the active flows' paths, compiles
+// each component into a dense shard-local CSR problem (local link ids,
+// contiguous path and member arrays, per-shard arenas), and solves the
+// shards independently — concurrently on a core::ThreadPool when
+// configured, or inline. Progressive filling inside a shard is the same
+// algorithm as FluidSim::fill_and_freeze, so shard rates are bit-
+// identical to the global solve: heap pops are value-ordered with ties
+// broken on link id (local ids are assigned in ascending global-id
+// order), demand accumulates in active-set order, and freeze order
+// mirrors the persistent member lists. Because every shard is a function
+// of its own inputs only, results are also bit-identical across thread
+// counts.
+//
+// Two cache tiers make repeated solves cheap: the *structure* tier
+// (partition, CSRs, live-link list) is invalidated by membership changes
+// (admission, completion, abort, reroute); the *capacity* tier (per-link
+// caps, offered demand, overloads, the initial heap — all pure functions
+// of structure + effective capacities) is invalidated by degradations.
+// A clean re-solve only replays the freeze loop over cached arenas and
+// allocates nothing.
+//
+// Optional boundary relaxation (install domains via set_domains, seeded
+// from parallel::link_locality_domains): links marked -1 (core tier /
+// cross-pod) are dropped from the union-find so shards stay pod-sized
+// even when traffic crosses pods. After the shards solve, a sequential
+// reconciliation pass checks each relaxed link; one that saturates is
+// pinned as internal (sticky until capacities change), the partition
+// rebuilds, and the shards re-solve — each pass pins at least one link,
+// so the loop terminates and the fixed point satisfies every constraint.
+// By the bottleneck characterization of max-min fairness the fixed point
+// is exact (see DESIGN.md "Pod-sharded parallel solver"); rates agree
+// with the reference solver to floating-point tolerance rather than
+// bit-for-bit, which is why relaxation is opt-in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/flow.h"
+#include "topo/types.h"
+
+namespace astral::core {
+class ThreadPool;
+}
+
+namespace astral::net {
+
+class FluidSim;
+
+class ShardSolver {
+ public:
+  explicit ShardSolver(FluidSim& sim);
+  ~ShardSolver();
+
+  ShardSolver(const ShardSolver&) = delete;
+  ShardSolver& operator=(const ShardSolver&) = delete;
+
+  /// Membership changed (admit / complete / abort / reroute): partition,
+  /// CSRs and the live-link list must be rebuilt at the next solve.
+  void invalidate_structure() { structure_valid_ = false; }
+
+  /// Effective capacities changed: demand/overload/initial-heap caches
+  /// must be rebuilt; boundary pins reset (what saturates may differ).
+  void invalidate_caps();
+
+  /// Installs per-link locality domains (-1 = boundary) and enables
+  /// boundary relaxation + reconciliation. Empty vector disables (exact
+  /// connected-component sharding, the default).
+  void set_domains(std::vector<std::int32_t> domains);
+
+  /// Full sharded max-min solve over the simulator's active set; leaves
+  /// published link state and flow rates exactly as the global
+  /// fill_and_freeze would (bit-identical without domains).
+  void solve();
+
+  /// Shards used by the most recent solve (0 before any).
+  std::size_t shard_count() const { return nshards_; }
+  /// Lifetime reconciliation passes (re-solves forced by a saturated
+  /// boundary link).
+  std::uint64_t reconcile_passes() const { return reconcile_passes_; }
+
+  /// Test hook for the epoch-wraparound guard: fast-forwards the build
+  /// counter so the next builds exercise the wrap reset path.
+  void debug_set_epoch_counter(std::uint64_t value) { build_epoch_ = value; }
+
+ private:
+  /// One connected bottleneck component, compiled to dense local form.
+  /// Local link ids ascend with global ids (tie-breaks match the global
+  /// solver); local flow ids follow active-set order.
+  struct Shard {
+    std::vector<FlowId> flows;            ///< Global ids, active order.
+    std::vector<topo::LinkId> links;      ///< Global ids, ascending.
+    // Path CSR: per local flow, the local ids of its internal links in
+    // hop order (boundary links are excluded from the shard problem).
+    std::vector<std::uint32_t> path_off;
+    std::vector<std::uint32_t> path_lnk;
+    // Member CSR: per local link, local flow ids mirroring the order of
+    // FluidSim::members_ (freeze order must match the global solver).
+    std::vector<std::uint32_t> mem_off;
+    std::vector<std::uint32_t> mem_flow;
+    // Capacity tier: pure functions of structure + effective caps.
+    std::vector<double> cap;
+    std::vector<double> demand;
+    std::vector<double> overload;
+    std::vector<std::uint32_t> nmembers;
+    std::vector<std::pair<double, std::uint32_t>> heap0;  ///< Heapified.
+    // Per-solve arenas (reset by copy/fill, never reallocated).
+    std::vector<double> remcap;
+    std::vector<double> link_rate;
+    std::vector<double> rate;
+    std::vector<std::uint32_t> unfrozen;
+    std::vector<char> frozen;
+    std::vector<char> changed_mark;
+    std::vector<std::pair<double, std::uint32_t>> heap;
+    std::vector<std::uint32_t> changed_list;
+    double solve_us = 0.0;  ///< Wall time of the last solve (telemetry).
+  };
+
+  bool relaxing() const { return !domains_.empty(); }
+  /// True when `l` is excluded from the shard graph this build.
+  bool is_boundary(topo::LinkId l) const {
+    return relaxing() && domains_[l] < 0 && !pinned_[l];
+  }
+
+  void bump_build_epoch();
+  std::uint32_t uf_find(std::uint32_t x);
+  void rebuild_structure();
+  void rebuild_caps();
+  void run_shards();
+  void solve_shard(Shard& s, bool timed);
+  /// Publishes relaxed links and pins saturated ones; returns the number
+  /// of new pins (0 = converged).
+  std::size_t reconcile_boundary();
+  void emit_telemetry(std::size_t passes);
+
+  FluidSim& sim_;
+  bool structure_valid_ = false;
+  bool caps_valid_ = false;
+
+  std::vector<std::int32_t> domains_;  ///< Empty = exact sharding.
+  std::vector<char> pinned_;           ///< Boundary links forced internal.
+
+  std::vector<Shard> shards_;  ///< Reused across builds; only nshards_ live.
+  std::size_t nshards_ = 0;
+  std::vector<FlowId> unsharded_;  ///< Active flows with no path (stranded).
+
+  // Build-time scratch, all epoch-stamped so builds never clear arrays.
+  std::uint64_t build_epoch_ = 0;
+  std::vector<std::uint64_t> uf_stamp_;    ///< Link seen by union-find.
+  std::vector<std::uint32_t> uf_parent_;
+  std::vector<std::uint64_t> root_stamp_;  ///< Root assigned a shard id.
+  std::vector<std::uint32_t> root_shard_;
+  std::vector<std::uint64_t> seen_stamp_;  ///< Link collected this build.
+  std::vector<std::int32_t> link_shard_;   ///< Owning shard per link.
+  std::vector<std::uint32_t> link_local_;  ///< Local id within its shard.
+  std::vector<std::uint32_t> flow_local_;  ///< Local id within its shard.
+
+  // Relaxed links active this build, in first-touch active-set order.
+  std::vector<topo::LinkId> boundary_links_;
+  std::vector<std::uint32_t> boundary_slot_;  ///< Per link, slot index.
+  std::vector<double> boundary_demand_;
+  std::vector<double> boundary_overload_;
+
+  std::uint64_t reconcile_passes_ = 0;
+
+  std::unique_ptr<core::ThreadPool> pool_;  ///< Lazily created.
+};
+
+}  // namespace astral::net

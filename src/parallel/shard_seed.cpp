@@ -1,0 +1,24 @@
+#include "parallel/shard_seed.h"
+
+namespace astral::parallel {
+
+std::vector<std::int32_t> link_locality_domains(const topo::Fabric& fabric) {
+  const topo::Topology& topo = fabric.topo();
+  std::vector<std::int32_t> domains(topo.link_count(), -1);
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& link = topo.link(static_cast<topo::LinkId>(l));
+    const topo::Node& src = topo.node(link.src);
+    const topo::Node& dst = topo.node(link.dst);
+    // Core nodes carry a home-DC pod marker, not a real pod: always
+    // boundary. Everything else is pod-local iff the pods match.
+    if (src.kind == topo::NodeKind::Core || dst.kind == topo::NodeKind::Core) {
+      continue;
+    }
+    if (src.pod >= 0 && src.pod == dst.pod) {
+      domains[l] = src.pod;
+    }
+  }
+  return domains;
+}
+
+}  // namespace astral::parallel

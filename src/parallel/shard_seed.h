@@ -1,0 +1,30 @@
+// Topology-derived shard seeds for the pod-sharded max-min solver.
+//
+// The placement machinery in this directory packs jobs into pods because
+// Astral keeps collective traffic pod-local whenever the scheduler can
+// manage it (§2.1); the same locality makes per-pod solver shards the
+// common case. link_locality_domains() turns that structure into a
+// per-link domain table: the solver's union-find treats links in the
+// same domain as freely mergeable, while boundary links (domain -1, the
+// core tier and anything crossing pods) are relaxed out of the shard
+// graph and re-checked by the sequential reconciliation pass — they only
+// force shards to merge when they actually saturate.
+//
+// The table is advisory: FluidSim falls back to exact connected-
+// component sharding when no domains are installed, so feeding it a
+// coarser or finer domain map changes parallelism, never results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/fabric.h"
+
+namespace astral::parallel {
+
+/// Per-link locality domain, indexed by topo::LinkId. Links whose both
+/// endpoints sit inside one pod (hosts, ToRs, Aggs) get that pod's id;
+/// links touching the core tier or crossing pods get -1 (boundary).
+std::vector<std::int32_t> link_locality_domains(const topo::Fabric& fabric);
+
+}  // namespace astral::parallel

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "core/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace astral::net {
 namespace {
@@ -436,6 +440,61 @@ TEST(FluidSim, DeterministicAcrossRuns) {
     } else {
       EXPECT_DOUBLE_EQ(sim.now(), first_finish);
     }
+  }
+}
+
+// Shard telemetry is opt-in: with cfg.shard_telemetry the sharded solver
+// reports per-shard spans on the Link track plus shard/reconcile
+// counters and a per-shard solve-time histogram.
+TEST(FluidSim, ShardTelemetryEmitsSpansAndCounters) {
+  auto f = small_fabric();
+  FluidSimConfig cfg;
+  cfg.shard_telemetry = true;
+  FluidSim sim(f, cfg);
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  sim.set_metrics(&metrics);
+  sim.set_tracer(&tracer);
+  for (int i = 0; i < 16; ++i) {
+    sim.inject(make_spec(f, i % 8, (i + 3) % 8, 4_MiB, static_cast<std::uint64_t>(i)));
+  }
+  sim.run(core::usec(10));
+  sim.resolve_rates();
+
+  EXPECT_GT(metrics.counter("fluidsim.solves.sharded"), 0u);
+  EXPECT_GT(metrics.counter("fluidsim.shards.solved"), 0u);
+  const obs::Histogram* h = metrics.find_histogram("fluidsim.shard_solve_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0u);
+  std::size_t shard_spans = 0;
+  for (const auto& ev : tracer.events(obs::Track::Link)) {
+    if (std::string_view(ev.name) == "solver.shard") ++shard_spans;
+  }
+  EXPECT_GT(shard_spans, 0u);
+  EXPECT_GT(sim.solver_shard_count(), 1u);
+}
+
+// With telemetry off (the default), the sharded solver must add nothing
+// to the registry beyond what the monolithic solver records — metric
+// snapshots and traces stay byte-identical to pre-sharding fixtures.
+TEST(FluidSim, ShardTelemetryOffAddsNoMetrics) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  sim.set_metrics(&metrics);
+  sim.set_tracer(&tracer);
+  for (int i = 0; i < 16; ++i) {
+    sim.inject(make_spec(f, i % 8, (i + 3) % 8, 4_MiB, static_cast<std::uint64_t>(i)));
+  }
+  sim.run(core::usec(10));
+  sim.resolve_rates();
+
+  EXPECT_EQ(metrics.counter("fluidsim.solves.sharded"), 0u);
+  EXPECT_EQ(metrics.counter("fluidsim.shards.solved"), 0u);
+  EXPECT_EQ(metrics.find_histogram("fluidsim.shard_solve_us"), nullptr);
+  for (const auto& ev : tracer.events(obs::Track::Link)) {
+    EXPECT_NE(std::string_view(ev.name), "solver.shard");
   }
 }
 

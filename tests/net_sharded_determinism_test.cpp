@@ -1,0 +1,178 @@
+// Bit-identity contract of the pod-sharded solver (see shard_solver.h):
+// for the default exact component sharding, rates must be *bitwise*
+// equal — not merely close — to the pre-sharding monolithic solver, and
+// across every thread count. With boundary relaxation the rates may
+// differ from the monolithic solver in the last ulps (different
+// floating-point evaluation order across reconciliation passes), but
+// they must still be bitwise reproducible across thread counts.
+//
+// One deterministic scenario script (waves of same-pod and cross-pod
+// flows on an oversubscribed AstralSameRail fabric, with mid-run
+// degradations, a link flap, and an abort) is replayed into identically
+// seeded simulators that differ only in solver configuration; flow
+// rates, hop latencies (capturing published per-link overloads) and
+// final byte counters are compared exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "net/fluid_sim.h"
+#include "parallel/shard_seed.h"
+
+namespace astral::net {
+namespace {
+
+using core::Seconds;
+
+topo::FabricParams fabric_params() {
+  topo::FabricParams p;
+  p.style = topo::FabricStyle::AstralSameRail;
+  p.rails = 4;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  p.tier3_oversub = 2.0;  // Cross-pod waves saturate the core tier.
+  return p;
+}
+
+struct Observation {
+  std::vector<std::vector<double>> rates;      ///< Per checkpoint.
+  std::vector<std::vector<double>> latencies;  ///< Per checkpoint, per link.
+  std::vector<double> bytes_forwarded;         ///< Final, per link.
+};
+
+// Replays the fixed script into a fresh simulator and records everything
+// the solver publishes. `domains` enables boundary relaxation.
+Observation run_script(const FluidSimConfig& cfg, bool domains) {
+  topo::Fabric fabric(fabric_params());
+  FluidSim sim(fabric, cfg, /*seed=*/42);
+  if (domains) sim.set_shard_domains(parallel::link_locality_domains(fabric));
+  auto hosts = fabric.topo().hosts();
+  const std::size_t nhosts = hosts.size();
+  core::Rng rng(99);
+
+  // Six waves: even waves stay inside a pod (shardable), odd waves cross
+  // pods (boundary traffic under relaxation).
+  std::vector<FlowId> tracked;
+  for (int w = 0; w < 6; ++w) {
+    std::vector<FlowSpec> specs;
+    for (int i = 0; i < 24; ++i) {
+      FlowSpec s;
+      std::size_t a = rng.uniform_int(nhosts / 2);
+      std::size_t b = rng.uniform_int(nhosts / 2);
+      if (w % 2 == 1) b += nhosts / 2;  // cross into the other pod
+      s.src_host = hosts[a];
+      s.dst_host = hosts[b];
+      s.src_rail = i % 4;
+      s.dst_rail = i % 4;
+      s.size = (2 + rng.uniform_int(16)) * (1 << 20);
+      s.start = core::usec(25.0 * w);
+      s.tag = static_cast<std::uint64_t>(w * 100 + i);
+      specs.push_back(s);
+    }
+    auto ids = sim.inject_batch(specs);
+    if (w == 0) tracked = ids;
+  }
+
+  const std::size_t nlinks = fabric.topo().link_count();
+  Observation obs;
+  int step = 0;
+  for (Seconds t : {core::usec(40), core::usec(90), core::usec(160),
+                    core::usec(400), core::msec(2), core::msec(20)}) {
+    sim.run(t);
+    ++step;
+    if (step == 2) sim.degrade_link(static_cast<topo::LinkId>(3), 0.4);
+    if (step == 3) {
+      sim.set_link_up(static_cast<topo::LinkId>(11), false);
+      sim.reroute_flows();
+    }
+    if (step == 4) {
+      sim.set_link_up(static_cast<topo::LinkId>(11), true);
+      if (!tracked.empty()) sim.abort_flow(tracked[0]);
+    }
+    auto active = sim.active_flows();
+    std::vector<double> rates;
+    for (FlowId id : active) rates.push_back(sim.current_rate(id));
+    obs.rates.push_back(std::move(rates));
+    std::vector<double> lat(nlinks);
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      lat[l] = sim.hop_latency(static_cast<topo::LinkId>(l));
+    }
+    obs.latencies.push_back(std::move(lat));
+  }
+  sim.run(1.0);
+  obs.bytes_forwarded.resize(nlinks);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    obs.bytes_forwarded[l] = sim.link_stats(static_cast<topo::LinkId>(l)).bytes_forwarded;
+  }
+  return obs;
+}
+
+// Bitwise equality: 0.0 vs -0.0 and NaN payloads count as differences.
+void expect_bitwise(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what, int step) {
+  ASSERT_EQ(a.size(), b.size()) << what << " step " << step;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+        << what << " step " << step << " index " << i << ": " << a[i]
+        << " vs " << b[i];
+  }
+}
+
+void expect_same(const Observation& a, const Observation& b) {
+  ASSERT_EQ(a.rates.size(), b.rates.size());
+  for (std::size_t s = 0; s < a.rates.size(); ++s) {
+    expect_bitwise(a.rates[s], b.rates[s], "rates", static_cast<int>(s));
+    if (::testing::Test::HasFatalFailure()) return;
+    expect_bitwise(a.latencies[s], b.latencies[s], "hop latencies",
+                   static_cast<int>(s));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  expect_bitwise(a.bytes_forwarded, b.bytes_forwarded, "bytes", -1);
+}
+
+TEST(ShardedDeterminism, ExactShardingMatchesLegacyBitwise) {
+  FluidSimConfig legacy;
+  legacy.sharding = false;
+  const Observation base = run_script(legacy, /*domains=*/false);
+  const Observation sharded = run_script(FluidSimConfig{}, /*domains=*/false);
+  expect_same(base, sharded);
+}
+
+TEST(ShardedDeterminism, ExactShardingIsThreadCountInvariant) {
+  const Observation t1 = run_script(FluidSimConfig{}, /*domains=*/false);
+  for (int threads : {2, 4, 8}) {
+    FluidSimConfig cfg;
+    cfg.solver_threads = threads;
+    const Observation tn = run_script(cfg, /*domains=*/false);
+    expect_same(t1, tn);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardedDeterminism, RelaxedShardingIsThreadCountInvariant) {
+  FluidSimConfig cfg1;
+  cfg1.solver_threads = 1;
+  const Observation t1 = run_script(cfg1, /*domains=*/true);
+  for (int threads : {2, 4}) {
+    FluidSimConfig cfg;
+    cfg.solver_threads = threads;
+    const Observation tn = run_script(cfg, /*domains=*/true);
+    expect_same(t1, tn);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardedDeterminism, RepeatedRunsAreBitwiseStable) {
+  FluidSimConfig cfg;
+  cfg.solver_threads = 4;
+  const Observation a = run_script(cfg, /*domains=*/false);
+  const Observation b = run_script(cfg, /*domains=*/false);
+  expect_same(a, b);
+}
+
+}  // namespace
+}  // namespace astral::net

@@ -1,5 +1,5 @@
-// Property test: the incremental max-min solver inside FluidSim must
-// produce the same rates as the retained naive reference solver
+// Property test: the max-min solvers inside FluidSim must produce the
+// same rates as the retained naive reference solver
 // (src/net/maxmin_ref.{h,cpp}, the verbatim pre-incremental algorithm)
 // across randomized topologies, degradations and arrival patterns.
 //
@@ -9,8 +9,12 @@
 // steps the simulator through several checkpoints. At every checkpoint
 // the reference solver is run over the live active set's paths and the
 // current effective capacities; every flow's rate must match to 1e-9
-// relative. This pins the incremental engine — epoch-stamped scratch,
-// lazy min-heap, island fast paths — to the naive semantics.
+// relative. The sweep runs in three configurations: the default
+// pod-sharded engine, the legacy monolithic solver, and the sharded
+// engine with boundary relaxation + reconciliation on 4 worker threads —
+// pinning every engine (epoch-stamped scratch, lazy min-heap, island
+// fast paths, shard partition caches, boundary pinning) to the naive
+// semantics.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -19,6 +23,7 @@
 #include "core/units.h"
 #include "net/fluid_sim.h"
 #include "net/maxmin_ref.h"
+#include "parallel/shard_seed.h"
 
 namespace astral::net {
 namespace {
@@ -34,6 +39,8 @@ struct ScenarioStats {
   int degraded = 0;
   int blocked = 0;
   int batched = 0;
+  std::size_t max_shards = 0;
+  std::uint64_t reconcile_passes = 0;
 };
 
 void expect_rates_match(const FluidSim& sim, ScenarioStats& stats, int scenario) {
@@ -61,15 +68,18 @@ void expect_rates_match(const FluidSim& sim, ScenarioStats& stats, int scenario)
   }
 }
 
-TEST(SolverEquivalence, RandomizedScenariosMatchNaiveReference) {
+// Runs `scenarios` randomized scenarios under `cfg` (optionally feeding
+// the solver topology-derived locality domains) and checks every
+// checkpoint against MaxMinRef. The rng seed is fixed, so every
+// configuration sees the identical scenario sequence.
+void run_randomized_sweep(const FluidSimConfig& cfg, bool locality_domains,
+                          int scenarios, ScenarioStats& stats) {
   core::Rng rng(20250806);
-  ScenarioStats stats;
-  constexpr int kScenarios = 1100;
   const topo::FabricStyle styles[] = {
       topo::FabricStyle::AstralSameRail, topo::FabricStyle::RailOptimized,
       topo::FabricStyle::Clos, topo::FabricStyle::RailOnly};
 
-  for (int sc = 0; sc < kScenarios; ++sc) {
+  for (int sc = 0; sc < scenarios; ++sc) {
     topo::FabricParams p;
     p.style = styles[rng.uniform_int(4)];
     p.rails = 2 + 2 * static_cast<int>(rng.uniform_int(2));  // 2 or 4
@@ -79,7 +89,10 @@ TEST(SolverEquivalence, RandomizedScenariosMatchNaiveReference) {
     p.dual_tor = rng.chance(0.5);
     p.tier3_oversub = rng.chance(0.3) ? 2.0 : 1.0;
     topo::Fabric fabric(p);
-    FluidSim sim(fabric, {}, /*seed=*/7 + static_cast<std::uint64_t>(sc));
+    FluidSim sim(fabric, cfg, /*seed=*/7 + static_cast<std::uint64_t>(sc));
+    if (locality_domains) {
+      sim.set_shard_domains(parallel::link_locality_domains(fabric));
+    }
     auto hosts = fabric.topo().hosts();
     // Rail-only fabrics have no inter-pod connectivity: stay in pod 0.
     std::size_t usable = p.style == topo::FabricStyle::RailOnly
@@ -143,13 +156,20 @@ TEST(SolverEquivalence, RandomizedScenariosMatchNaiveReference) {
       }
       expect_rates_match(sim, stats, sc);
       if (::testing::Test::HasFatalFailure()) return;
+      stats.max_shards = std::max(stats.max_shards, sim.solver_shard_count());
     }
     // Bounded drain: blocked flows may legitimately never finish.
     sim.run(1.0);
     expect_rates_match(sim, stats, sc);
     if (::testing::Test::HasFatalFailure()) return;
+    stats.reconcile_passes += sim.solver_reconcile_passes();
     ++stats.scenarios;
   }
+}
+
+TEST(SolverEquivalence, RandomizedScenariosMatchNaiveReference) {
+  ScenarioStats stats;
+  run_randomized_sweep(FluidSimConfig{}, /*locality_domains=*/false, 1100, stats);
   EXPECT_GE(stats.scenarios, 1000);
   // The sweep must actually exercise the interesting paths.
   EXPECT_GT(stats.checkpoints, 2000);
@@ -157,6 +177,39 @@ TEST(SolverEquivalence, RandomizedScenariosMatchNaiveReference) {
   EXPECT_GT(stats.degraded, 100);
   EXPECT_GT(stats.blocked, 50);
   EXPECT_GT(stats.batched, 300);
+  // Exact component sharding must split the constraint graph sometimes.
+  EXPECT_GT(stats.max_shards, 1u);
+}
+
+// The pre-sharding monolithic solver stays available (cfg.sharding =
+// false) and must still match the reference — it is the baseline the
+// determinism test pins the sharded engine against.
+TEST(SolverEquivalence, LegacyMonolithicSolverMatchesReference) {
+  FluidSimConfig cfg;
+  cfg.sharding = false;
+  ScenarioStats stats;
+  run_randomized_sweep(cfg, /*locality_domains=*/false, 300, stats);
+  EXPECT_GE(stats.scenarios, 300);
+  EXPECT_GT(stats.checkpoints, 500);
+  EXPECT_GT(stats.rates_compared, 3000);
+}
+
+// Boundary relaxation (pod-locality domains + sequential reconciliation)
+// on 4 worker threads: shard discovery drops core-tier links, saturated
+// boundaries are pinned back, and the fixed point must still match the
+// global reference to 1e-9.
+TEST(SolverEquivalence, RelaxedDomainsParallelMatchReference) {
+  FluidSimConfig cfg;
+  cfg.solver_threads = 4;
+  ScenarioStats stats;
+  run_randomized_sweep(cfg, /*locality_domains=*/true, 300, stats);
+  EXPECT_GE(stats.scenarios, 300);
+  EXPECT_GT(stats.checkpoints, 500);
+  EXPECT_GT(stats.rates_compared, 3000);
+  EXPECT_GT(stats.max_shards, 1u);
+  // Oversubscribed cross-pod scenarios must saturate boundaries and force
+  // reconciliation re-solves, or the pinning path went untested.
+  EXPECT_GT(stats.reconcile_passes, 0u);
 }
 
 // resolve_rates() must be idempotent: re-solving an unchanged active set
