@@ -1,0 +1,309 @@
+// Fleet campaign: a multi-tenant scheduling sweep over arrival rate x
+// placement policy on one shared fabric, with fleet-level faults playing
+// while mixed-size tenants arrive, queue, preempt each other, and
+// elastically shrink/regrow around dead hardware. Emits
+//   fleet_campaign.json        per-cell fleet ledgers (goodput, queueing
+//                              percentiles, preemption cost, blast radius)
+//   fleet_campaign.trace.json  a Perfetto trace of the showcase cell
+//                              (open at https://ui.perfetto.dev)
+// and prints the sweep table. The binary self-gates (nonzero exit) on:
+// single-job fleet/ClusterRuntime ledger equivalence, determinism of a
+// re-run cell, at least one elastic shrink and one preemption across the
+// sweep, and a fleet-goodput floor.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/table.h"
+#include "monitor/cluster_runtime.h"
+#include "monitor/fleet_runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace astral;
+
+namespace {
+
+bool write_file(const char* path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path);
+    return false;
+  }
+  out << text << '\n';
+  return out.good();
+}
+
+topo::FabricParams fabric_params() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;  // 16 hosts: tight enough that tenants contend
+  return p;
+}
+
+monitor::RecoveryConfig campaign_recovery() {
+  monitor::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.checkpoint_interval = 2;
+  rc.max_restarts = 0;  // a dead host is terminal -> elastic shrink path
+  rc.detect_time = 0.05;
+  rc.restart_time = 0.2;
+  rc.backoff_base = 0.05;
+  return rc;
+}
+
+struct Cell {
+  double arrival_rate = 0.0;
+  parallel::HostPolicy policy = parallel::HostPolicy::RailAligned;
+  monitor::FleetOutcome outcome;
+  int shrinks = 0;
+  int regrows = 0;
+  int preemptions = 0;
+};
+
+monitor::FleetOutcome run_cell(double arrival_rate, parallel::HostPolicy policy,
+                               int jobs, std::uint64_t seed,
+                               obs::Tracer* tracer = nullptr) {
+  topo::Fabric fabric(fabric_params());
+  monitor::FleetConfig fc;
+  fc.placement = policy;
+  fc.elastic.cordon_heal_time = 0.15;
+  fc.seed = seed;
+  monitor::FleetRuntime fleet(fabric, fc);
+  if (tracer) fleet.set_tracer(tracer);
+
+  monitor::ArrivalProcessConfig ap;
+  ap.jobs = jobs;
+  ap.arrival_rate = arrival_rate;
+  ap.sizes = {4, 8, 12};
+  ap.size_weights = {0.5, 0.3, 0.2};
+  ap.priorities = {0, 0, 0, 1};
+  ap.iterations = 10;
+  ap.comm_bytes = 8ull * 1024 * 1024;
+  ap.recovery = campaign_recovery();
+  ap.seed = seed;
+  for (const monitor::FleetJobSpec& spec : monitor::generate_arrivals(ap)) {
+    fleet.submit(spec);
+  }
+
+  // A deterministic VIP on top of the stochastic stream: a near-full-rack
+  // high-priority tenant arriving while the low-priority stream holds the
+  // fabric, so the preemption path is exercised at every seed.
+  monitor::FleetJobSpec vip;
+  vip.job.hosts = 12;
+  vip.job.iterations = 10;
+  vip.job.comm_bytes = 8ull * 1024 * 1024;
+  vip.job.recovery = campaign_recovery();
+  vip.arrival = 0.5;
+  vip.priority = 2;
+  vip.seed = seed * 1000003ull + 777;
+  fleet.submit(vip);
+
+  // Fleet-level faults: a GPU dies under the running VIP (max_restarts = 0
+  // makes that terminal -> shrink, then regrow once the cordon heals), and
+  // a rail-0 ToR dies mid-campaign and later heals.
+  monitor::FleetFault host_death;
+  host_death.at_time = 0.7;
+  host_death.cause = monitor::RootCause::GpuHardware;
+  host_death.manifestation = monitor::Manifestation::FailStop;
+  host_death.target_host = 1;
+  fleet.inject(host_death);
+
+  monitor::FleetFault tor_death;
+  tor_death.at_time = 1.0;
+  tor_death.cause = monitor::RootCause::SwitchBug;
+  tor_death.manifestation = monitor::Manifestation::FailStop;
+  tor_death.target_link = fabric.topo().out_links(fabric.topo().hosts()[0])[0];
+  tor_death.switch_scope = true;
+  tor_death.heal_after = 1.5;
+  fleet.inject(tor_death);
+
+  return fleet.run();
+}
+
+/// Gate: a one-tenant fleet must reproduce the single-job ClusterRuntime
+/// ledger exactly (same doubles, same mitigation records).
+bool single_job_equivalent() {
+  monitor::JobConfig job;
+  job.hosts = 12;
+  job.iterations = 8;
+  job.comm_bytes = 8ull * 1024 * 1024;
+  job.recovery.enabled = true;
+
+  // Schedule built on a scratch runtime so neither measured side consumes
+  // the engine rng for target selection.
+  std::vector<monitor::FaultSpec> schedule;
+  {
+    topo::Fabric scratch(fabric_params());
+    monitor::ClusterRuntime rt(scratch, job, /*seed=*/77);
+    schedule.push_back(rt.make_fault(monitor::RootCause::GpuHardware,
+                                     monitor::Manifestation::FailStop, 2));
+    schedule.push_back(rt.make_mid_transfer_tor_death(5, 0.5));
+  }
+
+  topo::Fabric ref_fabric(fabric_params());
+  monitor::ClusterRuntime ref(ref_fabric, job, /*seed=*/77);
+  for (const auto& f : schedule) ref.inject(f);
+  monitor::RunOutcome want = ref.run();
+
+  topo::Fabric fleet_fabric(fabric_params());
+  monitor::FleetConfig fc;
+  fc.placement = parallel::HostPolicy::InOrder;
+  monitor::FleetRuntime fleet(fleet_fabric, fc);
+  monitor::FleetJobSpec spec;
+  spec.job = job;
+  spec.seed = 77;
+  fleet.submit(spec, schedule);
+  monitor::FleetOutcome out = fleet.run();
+  if (out.jobs.size() != 1 || out.jobs[0].segments.size() != 1) return false;
+  const monitor::RunOutcome& got = out.jobs[0].merged;
+
+  bool same = want.completed == got.completed &&
+              want.committed_iterations == got.committed_iterations &&
+              want.restarts == got.restarts && want.retries == got.retries &&
+              want.reroutes == got.reroutes &&
+              want.useful_time == got.useful_time &&
+              want.wasted_time == got.wasted_time &&
+              want.downtime == got.downtime &&
+              want.makespan == got.makespan && want.goodput == got.goodput &&
+              want.mitigations.size() == got.mitigations.size();
+  if (!same) return false;
+  for (std::size_t i = 0; i < want.mitigations.size(); ++i) {
+    const auto& a = want.mitigations[i];
+    const auto& b = got.mitigations[i];
+    if (a.action != b.action || a.detect_time != b.detect_time ||
+        a.locate_time != b.locate_time || a.recover_time != b.recover_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 10;
+  std::uint64_t seed = 1;
+  if (argc > 1) jobs = std::max(2, std::atoi(argv[1]));
+  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  core::print_banner("Fleet campaign - multi-tenant scheduling sweep");
+  std::printf("16-host fabric, %d jobs/cell (sizes 4/8/12, 25%% high-priority), "
+              "GPU death @0.7s + ToR death @1.0s (heals @2.5s)\n\n",
+              jobs);
+
+  const double rates[] = {1.0, 6.0};
+  const parallel::HostPolicy policies[] = {parallel::HostPolicy::RailAligned,
+                                           parallel::HostPolicy::Scattered,
+                                           parallel::HostPolicy::LocalityFirst};
+
+  std::vector<Cell> cells;
+  obs::Tracer tracer;  // attached to the showcase cell only
+  for (double rate : rates) {
+    for (parallel::HostPolicy policy : policies) {
+      bool showcase = rate == rates[1] && policy == policies[0];
+      Cell cell;
+      cell.arrival_rate = rate;
+      cell.policy = policy;
+      cell.outcome =
+          run_cell(rate, policy, jobs, seed, showcase ? &tracer : nullptr);
+      for (const auto& jl : cell.outcome.jobs) {
+        cell.shrinks += jl.shrinks;
+        cell.regrows += jl.regrows;
+        cell.preemptions += jl.preemptions;
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  core::Table table({"rate", "policy", "goodput", "q-p50", "q-p99",
+                     "jobs/h", "preempt", "shrink", "regrow", "done"});
+  for (const Cell& cell : cells) {
+    const auto& o = cell.outcome;
+    table.add_row({core::Table::num(cell.arrival_rate, 1) + "/s",
+                   parallel::to_string(cell.policy),
+                   core::Table::num(o.fleet_goodput * 100.0, 1) + " %",
+                   core::Table::num(o.queue_delay_p50, 2) + " s",
+                   core::Table::num(o.queue_delay_p99, 2) + " s",
+                   core::Table::num(o.jobs_per_hour, 0),
+                   std::to_string(cell.preemptions),
+                   std::to_string(cell.shrinks),
+                   std::to_string(cell.regrows),
+                   core::Table::num(o.completion_rate * 100.0, 0) + " %"});
+  }
+  table.print();
+
+  // Blast radius of the showcase cell's two hardware events.
+  const monitor::FleetOutcome& showcase = cells[3].outcome;
+  std::printf("\nBlast radius (rate %.1f/s, rail-aligned):\n", rates[1]);
+  for (const auto& fl : showcase.faults) {
+    std::printf("  %-14s %-9s at %.2fs: %zu job(s) touched, %.4f host-hours lost\n",
+                monitor::to_string(fl.fault.cause),
+                monitor::to_string(fl.fault.manifestation), fl.fault.at_time,
+                fl.jobs_touched.size(), fl.host_hours_lost);
+  }
+
+  // ---- Artifacts.
+  core::Json doc = core::Json::object();
+  doc["jobs_per_cell"] = static_cast<double>(jobs);
+  doc["seed"] = static_cast<double>(seed);
+  core::Json jcells = core::Json::array();
+  for (const Cell& cell : cells) {
+    core::Json c = core::Json::object();
+    c["arrival_rate"] = cell.arrival_rate;
+    c["policy"] = std::string(parallel::to_string(cell.policy));
+    c["preemptions"] = static_cast<double>(cell.preemptions);
+    c["shrinks"] = static_cast<double>(cell.shrinks);
+    c["regrows"] = static_cast<double>(cell.regrows);
+    c["fleet"] = cell.outcome.to_json();
+    jcells.push_back(std::move(c));
+  }
+  doc["cells"] = std::move(jcells);
+  if (!write_file("fleet_campaign.json", doc.dump(2))) return 1;
+
+  obs::ChromeTraceBuilder builder;
+  tracer.append_chrome_trace(builder, /*pid=*/1);
+  if (!write_file("fleet_campaign.trace.json", builder.build().dump(2))) return 1;
+  std::printf("\nWrote fleet_campaign.json and fleet_campaign.trace.json\n");
+
+  // ---- Acceptance gates.
+  int failures = 0;
+  auto gate = [&](bool ok, const char* what) {
+    std::printf("gate %-34s %s\n", what, ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  std::printf("\n");
+  gate(single_job_equivalent(), "single-job ledger equivalence");
+
+  std::string once = cells[3].outcome.to_json().dump(0);
+  std::string again =
+      run_cell(rates[1], policies[0], jobs, seed).to_json().dump(0);
+  gate(once == again, "deterministic re-run");
+
+  int shrinks = 0, regrows = 0, preemptions = 0;
+  double min_goodput = 1.0, min_completion = 1.0;
+  for (const Cell& cell : cells) {
+    shrinks += cell.shrinks;
+    regrows += cell.regrows;
+    preemptions += cell.preemptions;
+    min_goodput = std::min(min_goodput, cell.outcome.fleet_goodput);
+    min_completion = std::min(min_completion, cell.outcome.completion_rate);
+  }
+  gate(shrinks >= 1, "elastic shrink exercised");
+  gate(regrows >= 1, "elastic regrow exercised");
+  gate(preemptions >= 1, "preemption exercised");
+  gate(min_goodput >= 0.30, "fleet goodput floor (30%)");
+  gate(min_completion >= 0.80, "completion floor (80%)");
+
+  if (failures > 0) {
+    std::printf("\n%d gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nAll gates passed\n");
+  return 0;
+}

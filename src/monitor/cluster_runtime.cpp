@@ -1,858 +1,53 @@
 #include "monitor/cluster_runtime.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "monitor/analyzer.h"
-#include "monitor/degrade.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "parallel/placement.h"
 
 namespace astral::monitor {
 
-using core::Seconds;
-
-const char* to_string(MitigationAction a) {
-  switch (a) {
-    case MitigationAction::None: return "none";
-    case MitigationAction::RetryBackoff: return "retry-backoff";
-    case MitigationAction::Reroute: return "reroute";
-    case MitigationAction::IsolateRestart: return "isolate-restart";
-    case MitigationAction::Abort: return "abort";
-  }
-  return "?";
-}
-
-ClusterRuntime::ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed)
-    : fabric_(fabric), cfg_(cfg), rng_(seed) {
+ClusterRuntime::ClusterRuntime(topo::Fabric& fabric, JobConfig cfg,
+                               std::uint64_t seed)
+    : fabric_(fabric) {
   sim_ = std::make_unique<net::FluidSim>(fabric_, net::FluidSimConfig{}, seed);
-  assert(cfg_.hosts >= 2);
-  assert(static_cast<std::size_t>(cfg_.hosts) <= fabric_.topo().hosts().size());
-  for (int i = 0; i < cfg_.hosts; ++i) {
-    hosts_.push_back(fabric_.topo().hosts()[static_cast<std::size_t>(i)]);
+  std::vector<int> placed =
+      parallel::place_hosts(fabric_, cfg.hosts, cfg.placement);
+  if (placed.empty()) {
+    throw std::invalid_argument(
+        "ClusterRuntime: placement " +
+        std::string(parallel::to_string(cfg.placement)) + " cannot fit " +
+        std::to_string(cfg.hosts) + " hosts on this fabric");
   }
-  host_configs_.assign(static_cast<std::size_t>(cfg_.hosts), HostConfig{});
-  host_slow_.assign(static_cast<std::size_t>(cfg_.hosts), 1.0);
-
-  // Register the job's ring QPs (host i -> host i+1 on rail 0) with their
-  // transport 5-tuples — the cross-layer key chain of §3.2.
-  for (int i = 0; i < cfg_.hosts; ++i) {
-    int j = (i + 1) % cfg_.hosts;
-    net::FlowSpec spec;
-    spec.src_host = hosts_[static_cast<std::size_t>(i)];
-    spec.dst_host = hosts_[static_cast<std::size_t>(j)];
-    spec.src_rail = 0;
-    spec.dst_rail = 0;
-    spec.tag = static_cast<std::uint64_t>(i);
-    QpMeta meta;
-    meta.qp = static_cast<QpId>(i);
-    meta.src_host_rank = i;
-    meta.dst_host_rank = j;
-    meta.src_host = spec.src_host;
-    meta.dst_host = spec.dst_host;
-    meta.tuple.src_ip = spec.src_host;
-    meta.tuple.dst_ip = spec.dst_host;
-    store_.register_qp(meta);
+  std::vector<topo::NodeId> hosts;
+  hosts.reserve(placed.size());
+  for (int h : placed) {
+    hosts.push_back(fabric_.topo().hosts()[static_cast<std::size_t>(h)]);
   }
+  engine_ = std::make_unique<JobEngine>(fabric_, *sim_, std::move(cfg), seed,
+                                        std::move(hosts));
 }
 
 void ClusterRuntime::set_tracer(obs::Tracer* tracer) {
-  tracer_ = tracer;
+  engine_->set_tracer(tracer);
   sim_->set_tracer(tracer);
 }
 
 void ClusterRuntime::set_metrics(obs::Metrics* metrics) {
-  metrics_ = metrics;
+  engine_->set_metrics(metrics);
   sim_->set_metrics(metrics);
 }
 
-Seconds ClusterRuntime::expected_comm() const {
-  // One ring flow per NIC port at line rate.
-  return core::transfer_time(cfg_.comm_bytes, core::gbps(200.0));
-}
-
-void ClusterRuntime::inject(const FaultSpec& fault) {
-  if (auto err = validate_fault(fault, cfg_.hosts, fabric_.topo().link_count())) {
-    throw std::invalid_argument("ClusterRuntime::inject: " + *err);
-  }
-  faults_.push_back(FaultRt{fault});
-}
-
-void ClusterRuntime::inject(const FaultSchedule& schedule) {
-  for (const FaultSpec& f : schedule.faults) inject(f);
-}
-
-topo::LinkId ClusterRuntime::pick_job_path_link(int hops_from_src) const {
-  // A link actually on a job QP's path, so the fault is visible. Prefer a
-  // cross-block ring edge: its 4-hop path exposes the Agg tier (the
-  // Fig. 9 case congests an Agg->ToR downlink).
-  int src_rank = 0;
-  const auto& topo = fabric_.topo();
-  for (int i = 0; i + 1 < cfg_.hosts; ++i) {
-    if (topo.node(hosts_[static_cast<std::size_t>(i)]).block !=
-        topo.node(hosts_[static_cast<std::size_t>(i + 1)]).block) {
-      src_rank = i;
-      break;
-    }
-  }
-  net::FlowSpec spec;
-  spec.src_host = hosts_[static_cast<std::size_t>(src_rank)];
-  spec.dst_host = hosts_[static_cast<std::size_t>(src_rank + 1)];
-  spec.src_rail = 0;
-  spec.dst_rail = 0;
-  spec.tag = static_cast<std::uint64_t>(src_rank);
-  auto path = sim_->predict_path(spec);
-  if (!path || path->empty()) return topo::kInvalidLink;
-  std::size_t idx = std::min<std::size_t>(static_cast<std::size_t>(hops_from_src),
-                                          path->size() - 1);
-  return (*path)[idx];
-}
-
-FaultSpec ClusterRuntime::make_fault(RootCause cause, Manifestation m, int at_iteration) {
-  FaultSpec f;
-  f.cause = cause;
-  f.manifestation = m;
-  f.at_iteration = at_iteration;
-  if (is_host_side(cause)) {
-    f.target_host_rank = static_cast<int>(rng_.uniform_int(
-        static_cast<std::uint64_t>(cfg_.hosts)));
-    if (cause == RootCause::PcieDegrade) {
-      // The PCIe bottleneck surfaces at the receiving NIC: the culprit is
-      // the ToR -> host downlink of the affected host.
-      net::FlowSpec spec;
-      int prev = (f.target_host_rank + cfg_.hosts - 1) % cfg_.hosts;
-      spec.src_host = hosts_[static_cast<std::size_t>(prev)];
-      spec.dst_host = hosts_[static_cast<std::size_t>(f.target_host_rank)];
-      spec.src_rail = 0;
-      spec.dst_rail = 0;
-      spec.tag = static_cast<std::uint64_t>(prev);
-      if (auto path = sim_->predict_path(spec); path && !path->empty()) {
-        f.target_link = path->back();
-      }
-    }
-  } else {
-    // Network-side: the NIC uplink (hop 0) for NIC errors, otherwise the
-    // Agg->ToR downlink (hop 2 of a 4-hop same-rail path) — the hop the
-    // paper's Fig. 9 case study congests.
-    int hop = cause == RootCause::NicError ? 0 : 2;
-    f.target_link = pick_job_path_link(hop);
-  }
-  // A link flap is the taxonomy's transient: it self-heals after one
-  // iteration (legacy behaviour, now expressed through repair_iterations).
-  if (cause == RootCause::LinkFlap) f.repair_iterations = 1;
-  switch (m) {
-    case Manifestation::FailSlow: f.degrade_factor = 0.2; break;
-    case Manifestation::FailHang: f.degrade_factor = 0.0; break;
-    default: break;
-  }
-  return f;
-}
-
-FaultSpec ClusterRuntime::make_mid_transfer_tor_death(int at_iteration, double fraction) {
-  // The whole ToR over the job's rail-0 uplink dies with flows in flight:
-  // the switch_scope takes every port of the switch down, and the
-  // mid-transfer strike exercises the dual-ToR in-flight failover.
-  FaultSpec f;
-  f.cause = RootCause::SwitchBug;
-  f.manifestation = Manifestation::FailStop;
-  f.at_iteration = at_iteration;
-  f.target_link = pick_job_path_link(0);  // host -> ToR uplink
-  f.switch_scope = true;
-  f.mid_transfer_fraction = fraction;
-  return f;
-}
-
-void ClusterRuntime::emit_injection_syslog(const FaultSpec& f, Seconds t) {
-  auto host_node = [&](int rank) { return hosts_[static_cast<std::size_t>(rank)]; };
-  auto switch_of_link = [&](topo::LinkId l) { return fabric_.topo().link(l).src; };
-  switch (f.cause) {
-    case RootCause::HostEnvConfig:
-      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
-                                "fatal", "nccl init failed: peer env/config mismatch"});
-      host_configs_[static_cast<std::size_t>(f.target_host_rank)].nccl_version = "2.19.3";
-      break;
-    case RootCause::GpuHardware:
-      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
-                                "fatal", "NVRM: Xid 79: GPU has fallen off the bus"});
-      break;
-    case RootCause::Memory:
-      ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
-                                "fatal", "EDAC MC0: UCE ECC error on DIMM"});
-      break;
-    case RootCause::UserCode:
-      // A python exception surfaces on every rank — no hardware log.
-      for (int i = 0; i < cfg_.hosts; ++i) {
-        ingest(SyslogEvent{t, host_node(i), i, "error",
-                                  "trainer: RuntimeError in user forward()"});
-      }
-      break;
-    case RootCause::CclBug:
-      // Silent: the collective just never completes.
-      break;
-    case RootCause::PcieDegrade:
-      if (cfg_.pcie_monitoring) {
-        ingest(SyslogEvent{t, host_node(f.target_host_rank), f.target_host_rank,
-                                  "warn", "PCIe: link width degraded to x4"});
-      }
-      break;
-    case RootCause::NicError:
-      if (f.target_link != topo::kInvalidLink) {
-        const auto& link = fabric_.topo().link(f.target_link);
-        int rank = 0;
-        for (int i = 0; i < cfg_.hosts; ++i) {
-          if (hosts_[static_cast<std::size_t>(i)] == link.src) rank = i;
-        }
-        ingest(SyslogEvent{t, link.src, rank, "error",
-                                  "mlx5: CQE error syndrome 0x04 (retry exceeded)"});
-      }
-      break;
-    case RootCause::SwitchConfig:
-      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
-                                "qos: ecn threshold misconfigured on egress queue"});
-      break;
-    case RootCause::SwitchBug:
-      // Silent blackhole; only MOD drop counters betray it.
-      break;
-    case RootCause::OpticalFiber:
-      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
-                                "transceiver: rx optical power below threshold"});
-      break;
-    case RootCause::WireConnection:
-      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
-                                "lldp: neighbor mismatch with cabling plan"});
-      break;
-    case RootCause::LinkFlap:
-      ingest(SyslogEvent{t, switch_of_link(f.target_link), -1, "warn",
-                                "port: link down"});
-      ingest(SyslogEvent{t + 0.5, switch_of_link(f.target_link), -1, "warn",
-                                "port: link up"});
-      break;
-  }
-}
-
-void ClusterRuntime::apply_network_fault(const FaultSpec& f) {
-  if (f.target_link == topo::kInvalidLink) return;
-  double factor = 1.0;
-  switch (f.manifestation) {
-    case Manifestation::FailSlow: factor = f.degrade_factor; break;
-    case Manifestation::FailHang: factor = 0.0; break;
-    case Manifestation::FailStop: factor = 0.0; break;  // + errCQE below
-    case Manifestation::FailOnStart: factor = 0.0; break;
-  }
-  sim_->degrade_link(f.target_link, factor);
-}
-
-void ClusterRuntime::fail_links(const FaultSpec& f) {
-  if (f.target_link == topo::kInvalidLink) return;
-  auto& topo = fabric_.topo();
-  auto down = [&](topo::LinkId l) {
-    if (topo.link(l).up) {
-      sim_->set_link_up(l, false);
-      downed_links_.push_back(l);
-    }
-  };
-  if (f.switch_scope) {
-    // The whole switch at the link's fabric end goes dark: every port.
-    const auto& link = topo.link(f.target_link);
-    topo::NodeId sw =
-        topo.node(link.src).kind == topo::NodeKind::Host ? link.dst : link.src;
-    for (topo::LinkId l : topo.out_links(sw)) down(l);
-    for (topo::LinkId l : topo.in_links(sw)) down(l);
-  } else {
-    down(f.target_link);
-  }
-}
-
-void ClusterRuntime::heal_fault(FaultRt& fr) {
-  const FaultSpec& f = fr.spec;
-  if (is_host_side(f.cause)) {
-    host_slow_[static_cast<std::size_t>(f.target_host_rank)] = 1.0;
-    host_configs_[static_cast<std::size_t>(f.target_host_rank)] = HostConfig{};
-    if (f.target_link != topo::kInvalidLink) sim_->degrade_link(f.target_link, 1.0);
-  } else if (f.target_link != topo::kInvalidLink) {
-    sim_->degrade_link(f.target_link, 1.0);
-  }
-  fr.healed = true;
-}
-
-Seconds ClusterRuntime::analyzer_locate_time() const {
-  HierarchicalAnalyzer analyzer(store_, fabric_.topo(), expected_compute(),
-                                expected_comm());
-  return analyzer.diagnose().locate_time;
-}
-
 RunOutcome ClusterRuntime::run() {
-  RunOutcome out = run_job();
+  engine_->start();
+  while (!engine_->done()) engine_->resume();  // single mode: already done
+  RunOutcome out = engine_->outcome();
   // Held-back (reordered) collector batches land after the run ends.
-  if (degrade_) degrade_->flush(store_);
+  engine_->flush_telemetry();
   // Undo fabric-level link state so a shared fabric (campaigns run many
   // jobs over one topology) starts the next job repaired.
-  auto& topo = fabric_.topo();
-  for (topo::LinkId l : downed_links_) topo.set_link_state(l, true);
-  downed_links_.clear();
-  return out;
-}
-
-template <typename T>
-void ClusterRuntime::ingest(T rec) {
-  if (degrade_) {
-    degrade_->record(std::move(rec), store_);
-  } else {
-    store_.record(std::move(rec));
-  }
-}
-
-RunOutcome ClusterRuntime::run_job() {
-  RunOutcome out;
-  // Every event recorded below (including FluidSim's flow events) carries
-  // this job's id through the ambient key chain.
-  obs::TraceKeys job_keys;
-  job_keys.job = cfg_.job_id;
-  obs::AmbientScope job_scope(tracer_, job_keys);
-  const RecoveryConfig& rc = cfg_.recovery;
-  const Seconds hang_deadline = expected_comm() * cfg_.hang_timeout_factor;
-  const Seconds healthy_iter = cfg_.compute_time + expected_comm();
-  Seconds now = 0.0;
-  int iter = 0;
-  std::vector<Seconds> iter_useful(static_cast<std::size_t>(cfg_.iterations), 0.0);
-  std::vector<net::FlowId> flows;
-
-  auto finalize = [&](RunOutcome& o) {
-    o.makespan = std::max(now, sim_->now());
-    o.committed_iterations = iter;
-    if (o.makespan > 0.0) {
-      o.goodput = std::min(1.0, static_cast<double>(iter) * healthy_iter / o.makespan);
-    }
-  };
-
-  // Host-side compute effects that persist across iterations.
-  for (const FaultRt& fr : faults_) {
-    if (is_host_side(fr.spec.cause) &&
-        fr.spec.manifestation == Manifestation::FailSlow &&
-        fr.spec.cause != RootCause::PcieDegrade) {
-      host_slow_[static_cast<std::size_t>(fr.spec.target_host_rank)] = 3.0;
-    }
-  }
-
-  // The failure the current iteration attempt died of, if any.
-  FaultRt* resp = nullptr;
-
-  // Fault-track events share the fault's schedule index as their key.
-  auto trace_injection = [&](const FaultRt& fr, Seconds t) {
-    if (metrics_) metrics_->add("runtime.faults.injected");
-    if (!tracer_) return;
-    obs::TraceKeys k;
-    k.fault = static_cast<std::int64_t>(&fr - faults_.data());
-    if (fr.spec.target_link != topo::kInvalidLink) k.link = fr.spec.target_link;
-    tracer_->instant(obs::Track::Fault, "fault.injected", t, k,
-                     to_string(fr.spec.cause));
-  };
-
-  // The MTTR phase breakdown as Fault-track spans, with instants marking
-  // the paper's detect -> locate -> mitigate pipeline stages.
-  auto trace_mitigation = [&](const MitigationRecord& rec, Seconds t0) {
-    if (metrics_) {
-      metrics_->add("runtime.mitigations");
-      metrics_->histogram("runtime.mttr_s").record(rec.mttr());
-    }
-    if (!tracer_) return;
-    obs::TraceKeys k;
-    k.fault = rec.fault_index;
-    tracer_->span(obs::Track::Fault, "mttr.detect", t0, rec.detect_time, k);
-    tracer_->instant(obs::Track::Fault, "fault.detected", t0 + rec.detect_time, k);
-    tracer_->span(obs::Track::Fault, "mttr.locate", t0 + rec.detect_time,
-                  rec.locate_time, k);
-    tracer_->instant(obs::Track::Fault, "fault.located",
-                     t0 + rec.detect_time + rec.locate_time, k);
-    tracer_->span(obs::Track::Fault, "mttr.recover",
-                  t0 + rec.detect_time + rec.locate_time, rec.recover_time, k, 0.0,
-                  to_string(rec.action));
-    tracer_->instant(obs::Track::Fault, "fault.mitigated", t0 + rec.mttr(), k,
-                     to_string(rec.action));
-  };
-
-  // Picks the fault a failure is attributed to: the most recently
-  // activated unresolved fault, falling back to the last activated one
-  // (residual damage of an already-mitigated fault).
-  auto responsible = [&]() -> FaultRt* {
-    FaultRt* best = nullptr;
-    for (FaultRt& fr : faults_) {
-      if (fr.applied && !fr.resolved()) best = &fr;
-    }
-    if (best) return best;
-    for (FaultRt& fr : faults_) {
-      if (fr.applied) best = &fr;
-    }
-    return best;
-  };
-
-  // Runs the mitigation state machine after the analyzer has had its
-  // look at the telemetry. Returns false when the job must abort
-  // (budget exhausted / recovery disabled).
-  auto mitigate = [&](FaultRt* fr, Manifestation observed,
-                      Seconds attempt_wall) -> bool {
-    out.wasted_time += attempt_wall;
-    if (!rc.enabled || fr == nullptr) return false;
-    MitigationRecord rec;
-    rec.fault_index = static_cast<int>(fr - faults_.data());
-    rec.at_iteration = iter;
-    rec.observed = observed;
-    rec.detect_time = rc.detect_time;
-    rec.locate_time = analyzer_locate_time();
-    MitigationAction action;
-    if (fr->resolved()) {
-      // Residual damage from an already-handled fault: just retry.
-      action = MitigationAction::RetryBackoff;
-    } else if (is_host_side(fr->spec.cause)) {
-      action = MitigationAction::IsolateRestart;
-    } else if (fr->spec.repair_iterations >= 0) {
-      action = MitigationAction::RetryBackoff;
-    } else {
-      action = MitigationAction::Reroute;
-    }
-    if (action == MitigationAction::IsolateRestart && out.restarts >= rc.max_restarts) {
-      action = MitigationAction::Abort;
-    }
-    if (action == MitigationAction::RetryBackoff && fr->retries >= rc.max_retries) {
-      action = MitigationAction::Abort;
-    }
-    rec.action = action;
-    if (action == MitigationAction::Abort) {
-      rec.succeeded = false;
-      out.mitigations.push_back(rec);
-      if (metrics_) metrics_->add("runtime.mitigation_aborts");
-      if (tracer_) {
-        obs::TraceKeys k;
-        k.fault = rec.fault_index;
-        tracer_->instant(obs::Track::Fault, "mitigation.abort", sim_->now(), k,
-                         to_string(rec.observed));
-      }
-      return false;
-    }
-    switch (action) {
-      case MitigationAction::RetryBackoff:
-        rec.recover_time = rc.backoff_base *
-                           std::pow(rc.backoff_factor, static_cast<double>(fr->retries));
-        ++fr->retries;
-        ++out.retries;
-        // Waiting out a transient counts as an attempt toward self-heal.
-        if (!fr->healed && fr->spec.repair_iterations >= 0) {
-          ++fr->active_iters;
-          if (fr->active_iters >= fr->spec.repair_iterations) heal_fault(*fr);
-        }
-        break;
-      case MitigationAction::Reroute:
-        // Cordon the dead link/switch so routing (and the next attempt's
-        // fresh flows) steers around it.
-        fail_links(fr->spec);
-        sim_->reroute_flows();
-        fr->mitigated = true;
-        break;
-      case MitigationAction::IsolateRestart: {
-        heal_fault(*fr);
-        fr->mitigated = true;
-        rec.recover_time = rc.restart_time;
-        ++out.restarts;
-        int cp = rc.checkpoint_interval > 0
-                     ? (iter / rc.checkpoint_interval) * rc.checkpoint_interval
-                     : iter;
-        // Committed-but-uncheckpointed iterations are replayed: their
-        // time moves from useful to wasted.
-        for (int k = cp; k < iter; ++k) {
-          out.wasted_time += iter_useful[static_cast<std::size_t>(k)];
-          out.useful_time -= iter_useful[static_cast<std::size_t>(k)];
-          iter_useful[static_cast<std::size_t>(k)] = 0.0;
-        }
-        iter = cp;
-        break;
-      }
-      default: break;
-    }
-    rec.succeeded = true;
-    // Tear down whatever the failed attempt left in the fabric, then let
-    // the wall clock absorb the outage (detect + locate + recover).
-    for (net::FlowId fid : flows) {
-      const auto& st = sim_->flow(fid);
-      if (st.admitted && st.finish < 0 && !st.aborted) sim_->abort_flow(fid);
-    }
-    trace_mitigation(rec, sim_->now());
-    sim_->run(sim_->now() + rec.mttr());
-    out.downtime += rec.mttr();
-    out.mitigations.push_back(rec);
-    now = sim_->now();
-    sim_->recycle_finished();
-    return true;
-  };
-
-  while (iter < cfg_.iterations) {
-    const Seconds iter_start = now;
-    flows.clear();
-
-    // Iteration-boundary fault activation (mid-transfer faults strike
-    // inside the communication phase instead).
-    for (FaultRt& fr : faults_) {
-      if (!fr.applied && fr.spec.mid_transfer_fraction <= 0.0 &&
-          iter >= fr.spec.at_iteration) {
-        emit_injection_syslog(fr.spec, now);
-        trace_injection(fr, now);
-        if (!is_host_side(fr.spec.cause) || fr.spec.cause == RootCause::PcieDegrade) {
-          apply_network_fault(fr.spec);
-        }
-        fr.applied = true;
-      }
-    }
-
-    // Fail-on-start / host-side fail-stop: job aborts before or during
-    // this iteration's compute.
-    resp = nullptr;
-    for (FaultRt& fr : faults_) {
-      if (fr.applied && !fr.resolved() && fr.spec.mid_transfer_fraction <= 0.0 &&
-          (fr.spec.manifestation == Manifestation::FailOnStart ||
-           (fr.spec.manifestation == Manifestation::FailStop &&
-            is_host_side(fr.spec.cause)))) {
-        resp = &fr;
-        break;
-      }
-    }
-    if (resp) {
-      for (int i = 0; i < cfg_.hosts; ++i) {
-        NcclTimelineEvent ev;
-        ev.t = now;
-        ev.host_rank = i;
-        ev.iteration = iter;
-        ev.compute_time = i == resp->spec.target_host_rank ? 0.0 : cfg_.compute_time;
-        ev.comm_time = -1.0;
-        ev.wr_started = 1;
-        ev.wr_finished = 0;
-        ingest(ev);
-      }
-      if (mitigate(resp, resp->spec.manifestation, 0.0)) continue;
-      out.stopped_at_iteration = iter;
-      out.observed = resp->spec.manifestation;
-      finalize(out);
-      return out;
-    }
-
-    // Host-side fail-hang (driver/CCL bug, hung user code): the target
-    // host never posts its work request; every rank blocks in the
-    // collective. wr_started distinguishes the culprit (§3.2).
-    for (FaultRt& fr : faults_) {
-      if (fr.applied && !fr.resolved() && is_host_side(fr.spec.cause) &&
-          fr.spec.mid_transfer_fraction <= 0.0 &&
-          fr.spec.manifestation == Manifestation::FailHang) {
-        resp = &fr;
-        break;
-      }
-    }
-    if (resp) {
-      for (int i = 0; i < cfg_.hosts; ++i) {
-        NcclTimelineEvent ev;
-        ev.t = now;
-        ev.host_rank = i;
-        ev.iteration = iter;
-        ev.compute_time = cfg_.compute_time;
-        ev.comm_time = -1.0;
-        ev.wr_started = i == resp->spec.target_host_rank ? 0 : 1;
-        ev.wr_finished = 0;
-        ingest(ev);
-      }
-      // The collective timeout burns before anyone notices a hang.
-      Seconds stall = rc.enabled ? hang_deadline : 0.0;
-      if (stall > 0.0) sim_->run(sim_->now() + stall);
-      if (mitigate(resp, Manifestation::FailHang, stall)) continue;
-      out.stopped_at_iteration = iter;
-      out.observed = Manifestation::FailHang;
-      finalize(out);
-      return out;
-    }
-
-    // ---- Compute phase.
-    std::vector<Seconds> compute(static_cast<std::size_t>(cfg_.hosts));
-    Seconds max_compute = 0.0;
-    for (int i = 0; i < cfg_.hosts; ++i) {
-      double noise = 1.0 + std::abs(rng_.normal(0.0, 0.01));
-      compute[static_cast<std::size_t>(i)] =
-          cfg_.compute_time * noise * host_slow_[static_cast<std::size_t>(i)];
-      max_compute = std::max(max_compute, compute[static_cast<std::size_t>(i)]);
-    }
-
-    // ---- Communication phase: ring flows on rail 0.
-    Seconds comm_start = now + max_compute;
-    sim_->run(comm_start);  // advance the network clock
-    sim_->reset_stats();
-    for (int i = 0; i < cfg_.hosts; ++i) {
-      net::FlowSpec spec;
-      spec.src_host = hosts_[static_cast<std::size_t>(i)];
-      spec.dst_host = hosts_[static_cast<std::size_t>((i + 1) % cfg_.hosts)];
-      spec.src_rail = 0;
-      spec.dst_rail = 0;
-      spec.size = cfg_.comm_bytes;
-      spec.start = comm_start;
-      spec.tag = static_cast<std::uint64_t>(i);
-      flows.push_back(sim_->inject(spec));
-    }
-    // sFlow path reconstruction + tuple registration (first iteration).
-    for (int i = 0; i < cfg_.hosts; ++i) {
-      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-      if (!st.admitted) continue;
-      SflowPathRecord rec;
-      rec.t = sim_->now();
-      rec.qp = static_cast<QpId>(i);
-      rec.tuple = st.tuple;
-      rec.path = st.path;
-      ingest(rec);
-      if (iter == 0) {
-        auto meta = *store_.qp_meta(static_cast<QpId>(i));
-        meta.tuple = st.tuple;
-        store_.register_qp(meta);
-      }
-    }
-
-    // One INT pingmesh sweep per iteration, taken mid-transfer: admit the
-    // wave (zero-progress run) so the solver has published this wave's
-    // overloads, then sample hop latencies while the flows are in flight.
-    // Sweeping after a fixed-interval step instead would race the transfer
-    // itself — a short iteration drains within one sample interval and the
-    // probes would read an idle fabric.
-    sim_->run(comm_start);
-    for (int i = 0; i < cfg_.hosts; ++i) {
-      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-      if (!st.admitted) continue;
-      IntProbeResult probe;
-      probe.t = sim_->now();
-      probe.path = st.path;
-      for (topo::LinkId l : st.path) probe.hop_latency.push_back(sim_->hop_latency(l));
-      ingest(probe);
-    }
-
-    // Mid-transfer strikes scheduled inside this iteration's transfer.
-    struct Strike {
-      FaultRt* fr;
-      Seconds t;
-    };
-    std::vector<Strike> strikes;
-    for (FaultRt& fr : faults_) {
-      if (!fr.applied && fr.spec.mid_transfer_fraction > 0.0 &&
-          iter >= fr.spec.at_iteration) {
-        strikes.push_back(
-            {&fr, comm_start + fr.spec.mid_transfer_fraction * expected_comm()});
-      }
-    }
-    std::sort(strikes.begin(), strikes.end(),
-              [](const Strike& a, const Strike& b) { return a.t < b.t; });
-    std::size_t next_strike = 0;
-
-    auto strike_fault = [&](FaultRt& fr) {
-      const FaultSpec& f = fr.spec;
-      emit_injection_syslog(f, sim_->now());
-      trace_injection(fr, sim_->now());
-      fr.applied = true;
-      if (is_host_side(f.cause)) {
-        if (f.manifestation == Manifestation::FailStop) {
-          // The host dies with flows in flight: its QPs abort and the
-          // peers see remote errors.
-          topo::NodeId dead = hosts_[static_cast<std::size_t>(f.target_host_rank)];
-          for (int i = 0; i < cfg_.hosts; ++i) {
-            const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-            if (!st.admitted || st.finish >= 0 || st.aborted) continue;
-            if (st.spec.src_host == dead || st.spec.dst_host == dead) {
-              sim_->abort_flow(flows[static_cast<std::size_t>(i)]);
-              ingest(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
-                                        "remote operation error / peer died"});
-            }
-          }
-        } else {
-          host_slow_[static_cast<std::size_t>(f.target_host_rank)] = 3.0;
-        }
-        return;
-      }
-      // Network fault in flight: degrade for fail-slow, dead otherwise.
-      if (f.manifestation == Manifestation::FailSlow) {
-        sim_->degrade_link(f.target_link, f.degrade_factor);
-        return;
-      }
-      fail_links(f);
-      if (rc.enabled) {
-        // In-flight failover (P3): migrate live flows onto the surviving
-        // dual-ToR side. The job never stops, so MTTR is the transport's
-        // sub-second failover — modeled as zero against minutes-scale
-        // detect/locate pipelines.
-        auto rep = sim_->reroute_flows();
-        out.reroutes += static_cast<int>(rep.rerouted.size());
-        if (metrics_) metrics_->add("runtime.inflight_reroutes", rep.rerouted.size());
-        if (tracer_) {
-          obs::TraceKeys k;
-          k.fault = static_cast<std::int64_t>(&fr - faults_.data());
-          tracer_->instant(obs::Track::Fault, "fault.inflight_reroute", sim_->now(),
-                           k, to_string(f.cause));
-        }
-        for (net::FlowId fid : rep.stranded) sim_->abort_flow(fid);
-        MitigationRecord rec;
-        rec.fault_index = static_cast<int>(&fr - faults_.data());
-        rec.at_iteration = iter;
-        rec.observed = f.manifestation;
-        rec.action = MitigationAction::Reroute;
-        rec.succeeded = rep.all_moved();
-        out.mitigations.push_back(rec);
-        fr.mitigated = true;
-      }
-    };
-
-    // Step the simulation, sampling QP rates (ms-level monitoring).
-    Seconds deadline = comm_start + hang_deadline;
-    while (!sim_->idle() && sim_->now() < deadline) {
-      Seconds step_to = std::min(deadline, sim_->now() + cfg_.qp_sample_interval);
-      if (next_strike < strikes.size()) {
-        step_to = std::min(step_to, strikes[next_strike].t);
-      }
-      sim_->run(step_to);
-      for (int i = 0; i < cfg_.hosts; ++i) {
-        ingest(QpRateSample{sim_->now(), static_cast<QpId>(i),
-                                   sim_->current_rate(flows[static_cast<std::size_t>(i)])});
-      }
-      while (next_strike < strikes.size() &&
-             sim_->now() >= strikes[next_strike].t - 1e-12) {
-        strike_fault(*strikes[next_strike].fr);
-        ++next_strike;
-      }
-    }
-    // Strikes the transfer outran (it finished first) still land, on an
-    // idle fabric — the fault exists from now on, it just hit nobody.
-    while (next_strike < strikes.size()) {
-      strike_fault(*strikes[next_strike].fr);
-      ++next_strike;
-    }
-
-    // Per-iteration switch counter collection (SNMP + MOD).
-    for (std::size_t l = 0; l < fabric_.topo().link_count(); ++l) {
-      const auto& ls = sim_->link_stats(static_cast<topo::LinkId>(l));
-      std::uint64_t drops = 0;
-      for (const FaultRt& fr : faults_) {
-        if (fr.applied && !fr.healed &&
-            fr.spec.target_link == static_cast<topo::LinkId>(l)) {
-          for (net::FlowId fid : flows) {
-            const auto& st = sim_->flow(fid);
-            if (st.finish < 0) drops += static_cast<std::uint64_t>(st.remaining);
-          }
-          break;
-        }
-      }
-      if (ls.ecn_marks || ls.pfc_pauses || drops) {
-        ingest(LinkCounterSample{sim_->now(), static_cast<topo::LinkId>(l),
-                                        ls.ecn_marks, ls.pfc_pauses, drops, 0.0});
-      }
-    }
-
-    // Application-layer iteration record.
-    bool hung = false;
-    for (int i = 0; i < cfg_.hosts; ++i) {
-      const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-      NcclTimelineEvent ev;
-      ev.t = now;
-      ev.host_rank = i;
-      ev.iteration = iter;
-      ev.compute_time = compute[static_cast<std::size_t>(i)];
-      ev.wr_started = 1;
-      if (st.admitted && st.finish >= 0) {
-        ev.comm_time = st.finish - comm_start;
-        ev.wr_finished = 1;
-      } else {
-        ev.comm_time = -1.0;
-        ev.wr_finished = 0;
-        hung = true;
-      }
-      ingest(ev);
-    }
-
-    if (hung) {
-      // A hard network fault (dead port, misconfigured switch dropping
-      // the queue, severed fiber...) exhausts transport retries: errCQE
-      // events surface on every QP crossing it and the job observes a
-      // fail-stop. Silent blackholes (switch bugs) drop traffic without
-      // errors and manifest as fail-hang instead.
-      FaultRt* netstop = nullptr;
-      for (FaultRt& fr : faults_) {
-        if (fr.applied && !fr.resolved() && !is_host_side(fr.spec.cause) &&
-            fr.spec.manifestation == Manifestation::FailStop) {
-          netstop = &fr;
-        }
-      }
-      if (netstop) {
-        for (int i = 0; i < cfg_.hosts; ++i) {
-          const auto& st = sim_->flow(flows[static_cast<std::size_t>(i)]);
-          if (st.finish < 0) {
-            ingest(ErrCqeEvent{sim_->now(), static_cast<QpId>(i), i,
-                                      "local protection error / retry exceeded"});
-          }
-        }
-        if (mitigate(netstop, Manifestation::FailStop, sim_->now() - iter_start)) {
-          continue;
-        }
-        out.stopped_at_iteration = iter;
-        out.observed = Manifestation::FailStop;
-        finalize(out);
-        return out;
-      }
-
-      resp = responsible();
-      // A host that died mid-transfer reads as fail-stop (its peers got
-      // remote errCQEs); anything else that starves the collective past
-      // its timeout reads as a hang.
-      Manifestation observed =
-          resp && resp->spec.mid_transfer_fraction > 0.0 &&
-                  resp->spec.manifestation == Manifestation::FailStop &&
-                  is_host_side(resp->spec.cause)
-              ? Manifestation::FailStop
-              : Manifestation::FailHang;
-      if (mitigate(resp, observed, sim_->now() - iter_start)) continue;
-      out.stopped_at_iteration = iter;
-      out.observed = observed;
-      finalize(out);
-      return out;
-    }
-
-    now = sim_->now();
-    sim_->recycle_finished();
-
-    // Transient faults self-heal after surviving enough iterations.
-    for (FaultRt& fr : faults_) {
-      if (fr.applied && !fr.healed && fr.spec.repair_iterations >= 0) {
-        ++fr.active_iters;
-        if (fr.active_iters >= fr.spec.repair_iterations) heal_fault(fr);
-      }
-    }
-
-    if (metrics_) metrics_->add("runtime.iterations.committed");
-    if (tracer_) {
-      // The ring comm phase is the job's collective: one Collective-track
-      // span (value = bytes over the fabric) nested under the Workload
-      // iteration span, all stamped with the ambient job key.
-      tracer_->span(obs::Track::Workload, "compute", iter_start, max_compute);
-      tracer_->span(obs::Track::Collective, "ring_step", comm_start,
-                    now - comm_start, {},
-                    static_cast<double>(cfg_.comm_bytes) * cfg_.hosts);
-      tracer_->span(obs::Track::Workload, "iteration", iter_start, now - iter_start,
-                    {}, static_cast<double>(iter));
-    }
-    iter_useful[static_cast<std::size_t>(iter)] = now - iter_start;
-    out.useful_time += now - iter_start;
-    ++iter;
-  }
-
-  out.completed = true;
-  finalize(out);
-  // A run that completed but ran slow is a fail-slow manifestation.
-  for (const FaultRt& fr : faults_) {
-    if (fr.spec.manifestation == Manifestation::FailSlow ||
-        fr.spec.cause == RootCause::LinkFlap) {
-      out.observed = Manifestation::FailSlow;
-    }
-  }
-  if (!out.observed && !out.mitigations.empty()) {
-    out.observed = out.mitigations.front().observed;
-  }
+  engine_->restore_downed_links();
   return out;
 }
 

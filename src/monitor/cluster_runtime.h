@@ -17,6 +17,12 @@
 // MTTR, useful vs. wasted iteration time, downtime, and effective
 // goodput. With recovery disabled the runtime reproduces the legacy
 // stop-at-first-fault behaviour bit for bit.
+//
+// The lifecycle logic itself lives in monitor::JobEngine (the resumable
+// coroutine form the fleet scheduler multiplexes); ClusterRuntime is the
+// single-job shell over it: it owns the FluidSim, acquires hosts through
+// the placement-policy seam (JobConfig::placement; InOrder reproduces
+// the legacy first-n acquisition), and drives the engine to completion.
 #pragma once
 
 #include <memory>
@@ -25,6 +31,7 @@
 
 #include "coll/comm_group.h"
 #include "monitor/faults.h"
+#include "monitor/job_engine.h"
 #include "monitor/store.h"
 #include "net/fluid_sim.h"
 
@@ -37,129 +44,56 @@ namespace astral::monitor {
 
 class TelemetryFaultModel;
 
-/// How the job reacts to a localized failure (§3.3 -> operations).
-struct RecoveryConfig {
-  bool enabled = false;
-  /// A checkpoint is durable every this many committed iterations;
-  /// restarts replay from the last multiple.
-  int checkpoint_interval = 2;
-  int max_restarts = 4;  ///< IsolateRestart budget before giving up.
-  int max_retries = 3;   ///< Retry budget per transient fault.
-  /// Modeled time from failure to the monitoring system noticing.
-  core::Seconds detect_time = 5.0;
-  /// Scheduler + framework time to relaunch from a checkpoint.
-  core::Seconds restart_time = 60.0;
-  core::Seconds backoff_base = 2.0;  ///< First retry wait.
-  double backoff_factor = 2.0;       ///< Exponential backoff multiplier.
-};
-
-struct JobConfig {
-  int hosts = 16;         ///< Job hosts (taken from the fabric in order).
-  int iterations = 10;
-  core::Seconds compute_time = 0.05;  ///< Healthy per-iteration compute.
-  core::Bytes comm_bytes = 32 * 1024 * 1024;  ///< Per ring QP per iteration.
-  core::Seconds qp_sample_interval = core::msec(2.0);
-  /// Communication exceeding this multiple of the expected time is a
-  /// hang (the job's collective timeout).
-  double hang_timeout_factor = 50.0;
-  /// §5 PCIe incident: physical-layer PCIe monitoring was added only
-  /// after the first occurrence; before that the root cause is invisible.
-  bool pcie_monitoring = true;
-  RecoveryConfig recovery;
-  /// Ambient trace key identifying this job in a campaign-wide flight
-  /// recording (see obs::TraceKeys); purely observational.
-  std::int64_t job_id = 0;
-};
-
-enum class MitigationAction : std::uint8_t {
-  None,            ///< No mitigation ran (recovery disabled).
-  RetryBackoff,    ///< Transient fault: wait it out, retry the iteration.
-  Reroute,         ///< Network fault: route around the dead link/switch.
-  IsolateRestart,  ///< Host fault: cordon the host, restart from checkpoint.
-  Abort,           ///< Budget exhausted; job gives up (legacy behaviour).
-};
-
-const char* to_string(MitigationAction a);
-
-/// One mitigation attempt. MTTR decomposes per the paper's pipeline:
-/// detect (monitoring latency) + locate (hierarchical analyzer) +
-/// recover (backoff / failover / restart-from-checkpoint).
-struct MitigationRecord {
-  int fault_index = 0;   ///< Index into the injected schedule.
-  int at_iteration = 0;  ///< Iteration the failure surfaced in.
-  Manifestation observed = Manifestation::FailStop;
-  MitigationAction action = MitigationAction::None;
-  bool succeeded = false;
-  core::Seconds detect_time = 0.0;
-  core::Seconds locate_time = 0.0;
-  core::Seconds recover_time = 0.0;
-  core::Seconds mttr() const { return detect_time + locate_time + recover_time; }
-};
-
-struct RunOutcome {
-  bool completed = false;
-  int stopped_at_iteration = -1;  ///< Iteration of abort/hang; -1 if none.
-  std::optional<Manifestation> observed;  ///< Empty for a healthy run.
-
-  // ---- Recovery ledger (zeros when recovery is disabled).
-  std::vector<MitigationRecord> mitigations;
-  int restarts = 0;  ///< IsolateRestart mitigations taken.
-  int retries = 0;   ///< RetryBackoff mitigations taken.
-  int reroutes = 0;  ///< Flows moved by in-flight failover.
-  int committed_iterations = 0;  ///< Iterations done and checkpoint-safe.
-  core::Seconds useful_time = 0.0;  ///< Time in iterations that committed.
-  core::Seconds wasted_time = 0.0;  ///< Failed attempts + replayed work.
-  core::Seconds downtime = 0.0;     ///< Detect + locate + recover stalls.
-  core::Seconds makespan = 0.0;     ///< Wall clock of the whole run.
-  /// committed * healthy-iteration-time / makespan: the fraction of wall
-  /// clock converted into training progress (1.0 = no faults, no noise).
-  double goodput = 0.0;
-};
-
 class ClusterRuntime {
  public:
+  /// Acquires cfg.hosts fabric hosts through the placement policy
+  /// (cfg.placement; the default InOrder takes the first n in fabric
+  /// order, the legacy behaviour). Throws std::invalid_argument when
+  /// the job does not fit the fabric or cfg.recovery is enabled and
+  /// invalid (see validate_recovery).
   ClusterRuntime(topo::Fabric& fabric, JobConfig cfg, std::uint64_t seed = 1);
 
   /// Schedules one fault; call before run(). May be called repeatedly —
   /// each call appends to the run's schedule. Throws std::invalid_argument
   /// when the spec fails validate_fault (out-of-range rank, network cause
   /// without a target link, ...).
-  void inject(const FaultSpec& fault);
+  void inject(const FaultSpec& fault) { engine_->inject(fault); }
 
   /// Schedules a whole multi-fault scenario (validated spec by spec).
-  void inject(const FaultSchedule& schedule);
+  void inject(const FaultSchedule& schedule) { engine_->inject(schedule); }
 
   /// Picks a deterministic injection target for a fault of this cause
   /// (a host rank or a fabric link on a job path) and returns the spec.
-  FaultSpec make_fault(RootCause cause, Manifestation m, int at_iteration);
+  FaultSpec make_fault(RootCause cause, Manifestation m, int at_iteration) {
+    return engine_->make_fault(cause, m, at_iteration);
+  }
 
   /// A ToR-death scenario striking `fraction` into `at_iteration`'s
   /// transfer: the whole switch over the job's rail-0 uplink goes down
   /// with flows in flight — the case dual-ToR failover exists for.
-  FaultSpec make_mid_transfer_tor_death(int at_iteration, double fraction = 0.5);
+  FaultSpec make_mid_transfer_tor_death(int at_iteration, double fraction = 0.5) {
+    return engine_->make_mid_transfer_tor_death(at_iteration, fraction);
+  }
 
   RunOutcome run();
 
-  const TelemetryStore& telemetry() const { return store_; }
-  const JobConfig& config() const { return cfg_; }
-  const std::vector<topo::NodeId>& job_hosts() const { return hosts_; }
+  const TelemetryStore& telemetry() const { return engine_->store(); }
+  const JobConfig& config() const { return engine_->config(); }
+  const std::vector<topo::NodeId>& job_hosts() const { return engine_->hosts(); }
   net::FluidSim& sim() { return *sim_; }
 
   /// Expected healthy per-iteration times ("thresholds obtained by fast
   /// forecasts using the Seer", §3.3).
-  core::Seconds expected_compute() const { return cfg_.compute_time; }
-  core::Seconds expected_comm() const;
+  core::Seconds expected_compute() const { return engine_->expected_compute(); }
+  core::Seconds expected_comm() const { return engine_->expected_comm(); }
 
   /// Host config fingerprints for the offline config-verify tool; the
-  /// HostEnvConfig fault plants an inconsistency.
-  struct HostConfig {
-    std::string nccl_version = "2.21.5";
-    std::string driver_version = "535.161.08";
-    bool pfc_enabled = true;
-    int dcqcn_k = 55;
-    bool operator==(const HostConfig&) const = default;
-  };
-  const std::vector<HostConfig>& host_configs() const { return host_configs_; }
+  /// HostEnvConfig fault plants an inconsistency. (The definition moved
+  /// to job_engine.h; the alias keeps ClusterRuntime::HostConfig working.)
+  using HostConfig = monitor::HostConfig;
+  const std::vector<HostConfig>& host_configs() const {
+    return engine_->host_configs();
+  }
 
   /// Attaches the flight recorder to the runtime and its FluidSim: the
   /// runtime stamps the ambient job key (JobConfig::job_id), emits
@@ -178,49 +112,14 @@ class ClusterRuntime {
   /// telemetry record is routed through it, and run() flushes held-back
   /// records at the end. A clean profile is bit-identical to no model.
   /// nullptr detaches. The model must outlive the runtime's run() calls.
-  void set_telemetry_faults(TelemetryFaultModel* model) { degrade_ = model; }
+  void set_telemetry_faults(TelemetryFaultModel* model) {
+    engine_->set_telemetry_faults(model);
+  }
 
  private:
-  /// Runtime state of one scheduled fault.
-  struct FaultRt {
-    FaultSpec spec;
-    bool applied = false;  ///< Syslog emitted / network effect active.
-    bool healed = false;   ///< Self-repaired or healed by a mitigation.
-    bool mitigated = false;  ///< A mitigation has dealt with it.
-    int active_iters = 0;  ///< Iteration attempts survived while active.
-    int retries = 0;       ///< RetryBackoff attempts spent on it.
-    bool resolved() const { return healed || mitigated; }
-  };
-
-  RunOutcome run_job();
-  void emit_injection_syslog(const FaultSpec& f, core::Seconds t);
-  void apply_network_fault(const FaultSpec& f);
-  /// Takes a link (or, with switch_scope, its whole fabric-side switch)
-  /// down in both routing and the solver, remembering it for restore.
-  void fail_links(const FaultSpec& f);
-  void heal_fault(FaultRt& fr);
-  topo::LinkId pick_job_path_link(int hops_from_src) const;
-  /// Runs the hierarchical analyzer on the telemetry recorded so far and
-  /// returns its modeled localization latency.
-  core::Seconds analyzer_locate_time() const;
-  /// Routes one telemetry record through the degradation model when one
-  /// is attached, else straight into the store.
-  template <typename T>
-  void ingest(T rec);
-
   topo::Fabric& fabric_;
-  JobConfig cfg_;
-  core::Rng rng_;
   std::unique_ptr<net::FluidSim> sim_;
-  TelemetryStore store_;
-  std::vector<topo::NodeId> hosts_;
-  std::vector<HostConfig> host_configs_;
-  std::vector<FaultRt> faults_;
-  std::vector<double> host_slow_;  ///< Compute slow-down factor per host.
-  std::vector<topo::LinkId> downed_links_;  ///< Fabric state to restore.
-  obs::Tracer* tracer_ = nullptr;
-  obs::Metrics* metrics_ = nullptr;
-  TelemetryFaultModel* degrade_ = nullptr;
+  std::unique_ptr<JobEngine> engine_;
 };
 
 }  // namespace astral::monitor

@@ -1,5 +1,6 @@
 #include "parallel/placement.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace astral::parallel {
@@ -35,6 +36,168 @@ Placement Placement::fragmented(const topo::Fabric& fabric, int n, int parts) {
     ++host_cursor;
   }
   return p;
+}
+
+const char* to_string(HostPolicy policy) {
+  switch (policy) {
+    case HostPolicy::InOrder: return "in-order";
+    case HostPolicy::RailAligned: return "rail-aligned";
+    case HostPolicy::Scattered: return "scattered";
+    case HostPolicy::LocalityFirst: return "locality-first";
+  }
+  return "?";
+}
+
+namespace {
+
+struct HostIndex {
+  int pods = 0;
+  int blocks = 0;           ///< blocks per pod.
+  int hosts_per_block = 0;  ///< hosts per block.
+  std::vector<char> free_hosts;
+
+  int total() const { return pods * blocks * hosts_per_block; }
+  int host_of(int pod, int block, int idx) const {
+    return (pod * blocks + block) * hosts_per_block + idx;
+  }
+  bool is_free(int host) const {
+    return free_hosts[static_cast<std::size_t>(host)] != 0;
+  }
+  void take(int host, std::vector<int>& out) {
+    free_hosts[static_cast<std::size_t>(host)] = 0;
+    out.push_back(host);
+  }
+  int free_in_block(int pod, int block) const {
+    int n = 0;
+    for (int h = 0; h < hosts_per_block; ++h) {
+      n += is_free(host_of(pod, block, h)) ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+HostIndex make_index(const topo::Fabric& fabric, const std::vector<char>& free_hosts) {
+  const auto& fp = fabric.params();
+  HostIndex ix;
+  ix.pods = fp.total_pods();
+  ix.blocks = fp.blocks_per_pod;
+  ix.hosts_per_block = fp.hosts_per_block;
+  if (free_hosts.empty()) {
+    ix.free_hosts.assign(static_cast<std::size_t>(ix.total()), 1);
+  } else {
+    assert(static_cast<int>(free_hosts.size()) == ix.total());
+    ix.free_hosts = free_hosts;
+  }
+  return ix;
+}
+
+std::vector<int> place_in_order(HostIndex& ix, int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int h = 0; h < ix.total() && static_cast<int>(out.size()) < n; ++h) {
+    if (ix.is_free(h)) ix.take(h, out);
+  }
+  return out;
+}
+
+std::vector<int> place_scattered(HostIndex& ix, int n) {
+  // Visit (pod, block) slots round-robin, taking the lowest free host of
+  // each slot per visit; a full sweep with no progress means we're out of
+  // capacity.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    bool progressed = false;
+    for (int pod = 0; pod < ix.pods && static_cast<int>(out.size()) < n; ++pod) {
+      for (int block = 0; block < ix.blocks && static_cast<int>(out.size()) < n;
+           ++block) {
+        for (int h = 0; h < ix.hosts_per_block; ++h) {
+          int host = ix.host_of(pod, block, h);
+          if (ix.is_free(host)) {
+            ix.take(host, out);
+            progressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!progressed) break;
+  }
+  return out;
+}
+
+std::vector<int> place_locality_first(HostIndex& ix, int n) {
+  // Best-fit over blocks: take the block with the smallest free count
+  // that still covers the remaining demand (whole remainder in one block
+  // when possible); otherwise drain the fullest block and recurse. Ties
+  // break toward the lowest (pod, block) index, keeping the result
+  // deterministic.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    int need = n - static_cast<int>(out.size());
+    int best_pod = -1, best_block = -1, best_free = 0;
+    bool best_fits = false;
+    for (int pod = 0; pod < ix.pods; ++pod) {
+      for (int block = 0; block < ix.blocks; ++block) {
+        int free_count = ix.free_in_block(pod, block);
+        if (free_count == 0) continue;
+        bool fits = free_count >= need;
+        bool better;
+        if (best_pod < 0) {
+          better = true;
+        } else if (fits != best_fits) {
+          better = fits;  // a covering block beats any partial block
+        } else if (fits) {
+          better = free_count < best_free;  // tightest covering block
+        } else {
+          better = free_count > best_free;  // else the fullest block
+        }
+        if (better) {
+          best_pod = pod;
+          best_block = block;
+          best_free = free_count;
+          best_fits = fits;
+        }
+      }
+    }
+    if (best_pod < 0) break;
+    int take = std::min(need, best_free);
+    for (int h = 0; h < ix.hosts_per_block && take > 0; ++h) {
+      int host = ix.host_of(best_pod, best_block, h);
+      if (ix.is_free(host)) {
+        ix.take(host, out);
+        --take;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> place_hosts(const topo::Fabric& fabric, int n, HostPolicy policy,
+                             const std::vector<char>& free_hosts) {
+  if (n <= 0) return {};
+  HostIndex ix = make_index(fabric, free_hosts);
+  std::vector<int> out;
+  switch (policy) {
+    case HostPolicy::InOrder:
+    case HostPolicy::RailAligned:
+      // Rail-aligned packing and the legacy in-order acquisition coincide:
+      // fabric host order is (pod, block, host), so first-fit fills blocks
+      // contiguously and ring neighbours share rail ToRs.
+      out = place_in_order(ix, n);
+      break;
+    case HostPolicy::Scattered:
+      out = place_scattered(ix, n);
+      break;
+    case HostPolicy::LocalityFirst:
+      out = place_locality_first(ix, n);
+      break;
+  }
+  if (static_cast<int>(out.size()) < n) return {};
+  return out;
 }
 
 }  // namespace astral::parallel

@@ -1,8 +1,19 @@
 // Job placement policies (§2's flexibility attribute): packed placement
 // fills blocks/pods contiguously; fragmented placement spreads a job
 // across pods, the situation Fig. 2 quantifies.
+//
+// Host-granularity policies (place_hosts) serve the fleet scheduler: a
+// job asks for n whole hosts out of whatever the fabric has free, and
+// the policy decides the failure-domain shape of the allocation —
+// rail-aligned packing (ring neighbours share ToRs, smallest blast
+// surface per link but a whole block rides on one Agg group), scattering
+// across pods (one switch death touches few of the job's hosts, at the
+// cost of cross-pod ring hops), or locality-first best-fit (fewest
+// blocks that still fit, the bin-packing middle ground). "Rail-only"
+// and "99 Problems But FLOPS Ain't One" (PAPERS.md) ground the spectrum.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "topo/fabric.h"
@@ -25,5 +36,36 @@ struct Placement {
   /// per-pod slice to fit.
   static Placement fragmented(const topo::Fabric& fabric, int n, int parts);
 };
+
+/// Whole-host allocation policy for the fleet scheduler (and the single
+/// job runtime's host-acquisition seam).
+enum class HostPolicy : std::uint8_t {
+  /// Legacy ClusterRuntime behaviour: the first n free hosts in fabric
+  /// index order. On an empty fabric this is exactly hosts 0..n-1.
+  InOrder,
+  /// Packed first-fit: fills blocks contiguously so ring neighbours share
+  /// rail ToRs (the paper's same-rail alignment). Equals InOrder on an
+  /// empty fabric; under fragmentation it still prefers contiguous runs.
+  RailAligned,
+  /// Round-robin over pods, then blocks: each visit takes the lowest free
+  /// host of the next (pod, block), minimizing hosts lost to any single
+  /// switch/block failure at the cost of longer ring paths.
+  Scattered,
+  /// Best-fit by block: repeatedly picks the block whose free-host count
+  /// is the smallest that still covers the remaining demand (whole job
+  /// in one block when possible), falling back to the fullest block.
+  /// Minimizes the number of blocks, then pods, the job spans.
+  LocalityFirst,
+};
+
+const char* to_string(HostPolicy policy);
+
+/// Picks n hosts (indices into fabric.topo().hosts() order) honouring the
+/// free mask (`free[i]` nonzero = host i available; an empty mask means
+/// every host is free). Returns an empty vector when the demand does not
+/// fit. Deterministic: equal inputs give equal placements.
+std::vector<int> place_hosts(const topo::Fabric& fabric, int n,
+                             HostPolicy policy,
+                             const std::vector<char>& free_hosts = {});
 
 }  // namespace astral::parallel

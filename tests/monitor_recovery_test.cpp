@@ -284,5 +284,147 @@ TEST(Recovery, CampaignSurvivesMultiFaultRuns) {
   EXPECT_DOUBLE_EQ(baseline.completion_rate(), 0.0);  // stop at first fault
 }
 
+TEST(Recovery, ValidateRecoveryReportsIndexedDiagnostics) {
+  RecoveryConfig rc;
+  rc.enabled = true;
+  EXPECT_FALSE(validate_recovery(rc).has_value());  // defaults are sane
+
+  rc.checkpoint_interval = 0;
+  rc.backoff_base = -1.0;
+  rc.backoff_jitter = 1.0;  // must be < 1
+  auto err = validate_recovery(rc);
+  ASSERT_TRUE(err.has_value());
+  // Every problem is reported, each with its own index.
+  EXPECT_NE(err->find("[0]"), std::string::npos);
+  EXPECT_NE(err->find("[1]"), std::string::npos);
+  EXPECT_NE(err->find("[2]"), std::string::npos);
+  EXPECT_NE(err->find("checkpoint_interval"), std::string::npos);
+  EXPECT_NE(err->find("backoff_base"), std::string::npos);
+  EXPECT_NE(err->find("backoff_jitter"), std::string::npos);
+}
+
+TEST(Recovery, ConstructionRejectsInvalidRecoveryConfig) {
+  topo::Fabric fabric(fabric_params());
+  JobConfig job = job_config();
+  job.recovery.checkpoint_interval = -2;
+  EXPECT_THROW(ClusterRuntime(fabric, job), std::invalid_argument);
+
+  // Disabled recovery is never validated (legacy configs keep working).
+  job.recovery.enabled = false;
+  EXPECT_NO_THROW(ClusterRuntime(fabric, job));
+}
+
+TEST(Recovery, BackoffJitterOffIsByteIdentical) {
+  topo::Fabric fabric(fabric_params());
+  auto run_once = [&](double jitter) {
+    JobConfig job = job_config();
+    job.recovery.backoff_jitter = jitter;
+    ClusterRuntime rt(fabric, job, /*seed=*/11);
+    rt.inject(rt.make_fault(RootCause::LinkFlap, Manifestation::FailStop, 2));
+    return rt.run();
+  };
+  // jitter = 0 must not draw from any rng: bit-identical to the default.
+  expect_same_outcome(run_once(0.0), run_once(0.0));
+
+  RunOutcome plain = run_once(0.0);
+  RunOutcome jittered = run_once(0.25);
+  // Same seed -> deterministic jitter...
+  expect_same_outcome(jittered, run_once(0.25));
+  // ...that perturbs ONLY retry waits, within the +/-25% band.
+  ASSERT_EQ(plain.mitigations.size(), jittered.mitigations.size());
+  bool saw_difference = false;
+  for (std::size_t i = 0; i < plain.mitigations.size(); ++i) {
+    const MitigationRecord& a = plain.mitigations[i];
+    const MitigationRecord& b = jittered.mitigations[i];
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_DOUBLE_EQ(a.detect_time, b.detect_time);
+    EXPECT_DOUBLE_EQ(a.locate_time, b.locate_time);
+    if (a.action != MitigationAction::RetryBackoff) continue;
+    EXPECT_GE(b.recover_time, a.recover_time * 0.75 - 1e-12);
+    EXPECT_LE(b.recover_time, a.recover_time * 1.25 + 1e-12);
+    if (a.recover_time != b.recover_time) saw_difference = true;
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(Recovery, MaxRestartsZeroAbortsOnFirstHostFault) {
+  topo::Fabric fabric(fabric_params());
+  JobConfig job = job_config();
+  job.recovery.max_restarts = 0;
+  ClusterRuntime rt(fabric, job, /*seed=*/17);
+  rt.inject(rt.make_fault(RootCause::GpuHardware, Manifestation::FailStop, 3));
+  RunOutcome out = rt.run();
+
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.stopped_at_iteration, 3);
+  EXPECT_EQ(out.restarts, 0);
+  ASSERT_FALSE(out.mitigations.empty());
+  EXPECT_EQ(out.mitigations.back().action, MitigationAction::Abort);
+  EXPECT_FALSE(out.mitigations.back().succeeded);
+  // Committed work up to the failure survives in the ledger.
+  EXPECT_EQ(out.committed_iterations, 3);
+  EXPECT_GT(out.useful_time, 0.0);
+}
+
+TEST(Recovery, FaultDuringReplayWindowIsMitigatedAgain) {
+  topo::Fabric fabric(fabric_params());
+  JobConfig job = job_config();
+  job.recovery.checkpoint_interval = 4;
+  ClusterRuntime rt(fabric, job, /*seed=*/23);
+  // First fault at iteration 5 restarts from the checkpoint at 4; the
+  // second fault is scheduled INSIDE the replay window (iteration 5
+  // again, after the rewind), so it strikes while the job is replaying
+  // already-committed work.
+  rt.inject(rt.make_fault(RootCause::GpuHardware, Manifestation::FailStop, 5));
+  rt.inject(rt.make_mid_transfer_tor_death(5, 0.5));
+  RunOutcome out = rt.run();
+
+  EXPECT_TRUE(out.completed);
+  EXPECT_GE(out.restarts, 1);
+  ASSERT_GE(out.mitigations.size(), 2u);
+  EXPECT_EQ(out.committed_iterations, job.iterations);
+  // The replayed iterations are charged to waste, not useful time.
+  EXPECT_GT(out.wasted_time, 0.0);
+  bool saw_restart = false, saw_other = false;
+  for (const auto& m : out.mitigations) {
+    if (m.action == MitigationAction::IsolateRestart) saw_restart = true;
+    if (m.action != MitigationAction::IsolateRestart &&
+        m.action != MitigationAction::Abort) {
+      saw_other = true;
+    }
+    EXPECT_TRUE(m.succeeded);
+  }
+  EXPECT_TRUE(saw_restart);
+  EXPECT_TRUE(saw_other);
+}
+
+TEST(Recovery, OverlappingFaultsResolvedByDifferentActions) {
+  topo::Fabric fabric(fabric_params());
+  JobConfig job = job_config();
+  ClusterRuntime rt(fabric, job, /*seed=*/31);
+  // Two faults active in the same iteration, resolved by different arms
+  // of the state machine: the transient flap is waited out (RetryBackoff)
+  // while the dead GPU forces a checkpoint restart (IsolateRestart).
+  rt.inject(rt.make_fault(RootCause::LinkFlap, Manifestation::FailStop, 3));
+  rt.inject(rt.make_fault(RootCause::GpuHardware, Manifestation::FailStop, 3));
+  RunOutcome out = rt.run();
+
+  EXPECT_TRUE(out.completed);
+  ASSERT_GE(out.mitigations.size(), 2u);
+  bool saw_retry = false, saw_restart = false;
+  for (const auto& m : out.mitigations) {
+    if (m.action == MitigationAction::RetryBackoff) saw_retry = true;
+    if (m.action == MitigationAction::IsolateRestart) saw_restart = true;
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_restart);
+  EXPECT_GE(out.retries, 1);
+  EXPECT_GE(out.restarts, 1);
+  // Both mitigations' stalls land in downtime exactly once.
+  double mttr_sum = 0.0;
+  for (const auto& m : out.mitigations) mttr_sum += m.mttr();
+  EXPECT_NEAR(out.downtime, mttr_sum, 1e-9);
+}
+
 }  // namespace
 }  // namespace astral::monitor
