@@ -1,0 +1,241 @@
+// Streaming-diagnosis ingest benchmark: a synthetic telemetry stream
+// (QP-rate samples dominant, link counters with utilization, nccl
+// timeline events, INT probes, syslog — roughly the per-record mix a
+// faulted campaign produces) is pushed through a TelemetryStore three
+// ways: store alone, store with a subscribed StreamAnalyzer, and store
+// + analyzer with a live per-frame dashboard publish. Per point it
+// records sustained ingest records/sec and the analyzer's rollup
+// footprint at 25% / 50% / 100% of the stream — the bounded-memory
+// contract says the footprint plateaus (ratio 100%/25% == 1.0) while
+// the store keeps growing. Writes BENCH_monitor.json (path = argv[1],
+// default ./BENCH_monitor.json). Exit status mirrors the acceptance
+// checks: sustained store+analyzer ingest >= 200k records/s and
+// plateau_ratio <= 1.001.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "monitor/stream_analyzer.h"
+#include "obs/metrics.h"
+#include "topo/fabric.h"
+
+namespace {
+
+using namespace astral;
+using Clock = std::chrono::steady_clock;
+
+topo::FabricParams bench_params() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 8;
+  p.blocks_per_pod = 2;
+  p.pods = 4;  // 64 hosts, four dashboard rows
+  return p;
+}
+
+/// Deterministic synthetic record mix per index: ~60% QP rates, ~25%
+/// link counters, ~10% timeline, ~4% INT probes, ~1% syslog. Healthy
+/// (no stall / slow / fatal) so the measured hot path is pure rollup
+/// ingestion, not batch re-diagnosis.
+struct StreamGen {
+  topo::Fabric& fabric;
+  core::Rng rng;
+  int hosts;
+  std::size_t links;
+
+  StreamGen(topo::Fabric& f, std::uint64_t seed)
+      : fabric(f), rng(seed), hosts(static_cast<int>(f.topo().hosts().size())),
+        links(f.topo().link_count()) {}
+
+  void emit(monitor::TelemetryStore& store, std::uint64_t i) {
+    double t = 1e-5 * static_cast<double>(i);
+    std::uint64_t k = rng.next_u64() % 100;
+    if (k < 60) {
+      monitor::QpRateSample s;
+      s.t = t;
+      s.qp = rng.next_u64() % static_cast<std::uint64_t>(hosts);
+      s.rate_bps = 1e9 + static_cast<double>(rng.next_u64() % 1000) * 1e8;
+      store.record(s);
+    } else if (k < 85) {
+      monitor::LinkCounterSample s;
+      s.t = t;
+      s.link = static_cast<topo::LinkId>(rng.next_u64() % links);
+      s.ecn_marks = rng.next_u64() % 4;
+      s.pfc_pauses = rng.next_u64() % 2;
+      s.utilization = 0.3 + static_cast<double>(rng.next_u64() % 60) / 100.0;
+      store.record(s);
+    } else if (k < 95) {
+      monitor::NcclTimelineEvent ev;
+      ev.t = t;
+      ev.host_rank = static_cast<int>(rng.next_u64() % 8);
+      ev.iteration = static_cast<int>(i / 10000);
+      ev.compute_time = 0.05;
+      ev.comm_time = 0.01;
+      store.record(ev);
+    } else if (k < 99) {
+      monitor::IntProbeResult r;
+      r.t = t;
+      topo::LinkId l = static_cast<topo::LinkId>(rng.next_u64() % links);
+      r.path = {l};
+      r.hop_latency = {1e-6 + static_cast<double>(rng.next_u64() % 10) * 1e-7};
+      store.record(r);
+    } else {
+      monitor::SyslogEvent ev;
+      ev.t = t;
+      ev.node = fabric.topo().hosts()[rng.next_u64() %
+                                      static_cast<std::uint64_t>(hosts)];
+      ev.host_rank = static_cast<int>(rng.next_u64() % 8);
+      ev.severity = "warn";
+      ev.message = "link flap notice";
+      store.record(ev);
+    }
+  }
+};
+
+struct Point {
+  const char* mode = "";
+  std::uint64_t records = 0;
+  double wall_ms = 0.0;
+  double records_per_sec = 0.0;
+  std::size_t footprint_25 = 0;
+  std::size_t footprint_50 = 0;
+  std::size_t footprint_100 = 0;
+  double plateau_ratio = 0.0;
+};
+
+Point measure(const char* mode, std::uint64_t n, bool attach, bool frames) {
+  topo::Fabric fabric(bench_params());
+  monitor::TelemetryStore store;
+  monitor::StreamAnalyzer stream(fabric.topo());
+  obs::Metrics metrics;
+  std::uint64_t published = 0;
+  if (frames) {
+    stream.set_frame_callback(0.05, [&](core::Seconds) {
+      stream.publish(metrics);
+      ++published;
+    });
+  }
+  if (attach) {
+    monitor::StreamAnalyzer::JobContext ctx;
+    ctx.job_id = 0;
+    ctx.expected_compute = 0.05;
+    ctx.expected_comm = 0.01;
+    stream.subscribe(store, std::move(ctx));
+  }
+  // Register the QPs the rate samples reference (job setup cost, not
+  // part of the measured stream).
+  for (int h = 0; h < static_cast<int>(fabric.topo().hosts().size()); ++h) {
+    monitor::QpMeta meta;
+    meta.qp = static_cast<monitor::QpId>(h);
+    meta.src_host_rank = h % 8;
+    meta.src_host = fabric.topo().hosts()[static_cast<std::size_t>(h)];
+    store.register_qp(meta);
+  }
+
+  StreamGen gen(fabric, /*seed=*/42);
+  Point pt;
+  pt.mode = mode;
+  pt.records = n;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    gen.emit(store, i);
+    if (attach) {
+      if (i + 1 == n / 4) pt.footprint_25 = stream.footprint_bytes();
+      if (i + 1 == n / 2) pt.footprint_50 = stream.footprint_bytes();
+    }
+  }
+  pt.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  pt.records_per_sec = static_cast<double>(n) / (pt.wall_ms / 1e3);
+  if (attach) {
+    pt.footprint_100 = stream.footprint_bytes();
+    pt.plateau_ratio = pt.footprint_25 > 0
+                           ? static_cast<double>(pt.footprint_100) /
+                                 static_cast<double>(pt.footprint_25)
+                           : 0.0;
+    stream.unsubscribe(store);
+  }
+  if (frames && published == 0) pt.records_per_sec = 0.0;  // gate trips
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_monitor.json";
+  if (argc > 1) out_path = argv[1];
+  std::uint64_t n = 2'000'000;
+  if (argc > 2) n = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  std::vector<Point> points;
+  points.push_back(measure("store_only", n, false, false));
+  points.push_back(measure("store_plus_analyzer", n, true, false));
+  points.push_back(measure("store_analyzer_dashboard", n, true, true));
+  for (const Point& p : points) {
+    std::printf("%-26s  %9llu rec  %8.1f ms  %10.0f rec/s", p.mode,
+                static_cast<unsigned long long>(p.records), p.wall_ms,
+                p.records_per_sec);
+    if (p.footprint_100 > 0) {
+      std::printf("  footprint 25/50/100%%: %zu/%zu/%zu B (ratio %.4f)",
+                  p.footprint_25, p.footprint_50, p.footprint_100,
+                  p.plateau_ratio);
+    }
+    std::printf("\n");
+  }
+
+  const Point& attached = points[1];
+  double overhead = points[0].records_per_sec > 0.0
+                        ? points[0].records_per_sec / attached.records_per_sec
+                        : 0.0;
+  double worst_ratio = 0.0;
+  for (const Point& p : points) {
+    if (p.plateau_ratio > worst_ratio) worst_ratio = p.plateau_ratio;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"streaming_diagnosis_ingest\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"%llu-record synthetic mix (60%% QP rates, "
+               "25%% link counters, 10%% timeline, 4%% INT, 1%% syslog) on a "
+               "64-host 4-pod fabric\",\n",
+               static_cast<unsigned long long>(n));
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"records\": %llu, \"wall_ms\": %.2f, "
+                 "\"records_per_sec\": %.0f, \"footprint_25_bytes\": %zu, "
+                 "\"footprint_50_bytes\": %zu, \"footprint_100_bytes\": %zu, "
+                 "\"plateau_ratio\": %.6f}%s\n",
+                 p.mode, static_cast<unsigned long long>(p.records), p.wall_ms,
+                 p.records_per_sec, p.footprint_25, p.footprint_50,
+                 p.footprint_100, p.plateau_ratio,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"criteria\": {\n");
+  std::fprintf(f, "    \"records_per_sec\": %.0f,\n", attached.records_per_sec);
+  std::fprintf(f, "    \"records_per_sec_required\": 200000,\n");
+  std::fprintf(f, "    \"plateau_ratio\": %.6f,\n", worst_ratio);
+  std::fprintf(f, "    \"plateau_ratio_required\": 1.001,\n");
+  std::fprintf(f, "    \"overhead_vs_store_only\": %.3f\n", overhead);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%.0f rec/s attached, plateau ratio %.4f, %.2fx "
+              "overhead vs store-only)\n",
+              out_path.c_str(), attached.records_per_sec, worst_ratio,
+              overhead);
+
+  const bool ok =
+      attached.records_per_sec >= 200000.0 && worst_ratio <= 1.001 &&
+      points[2].records_per_sec > 0.0;
+  return ok ? 0 : 2;
+}

@@ -1,0 +1,216 @@
+// Live per-Pod dashboard over the always-on streaming diagnosis
+// service: a multi-tenant fleet runs a faulted campaign on a two-pod
+// fabric while monitor::StreamAnalyzer consumes every telemetry record
+// at the store's ingestion seam, maintains the Pod -> tier -> fabric
+// rollups, and re-renders the compact text dashboard once per frame of
+// telemetry time. Emits
+//   monitor_dashboard.txt   the final rendered frame
+//   monitor_dashboard.json  the full "stream.*" metrics snapshot
+// and prints the first and final frames. The binary self-gates
+// (nonzero exit) on: frames rendered, records streamed, per-pod gauges
+// present, blast-radius gauges populated by the injected fleet faults,
+// and streaming-vs-batch diagnosis equality on a reference scenario.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "monitor/cluster_runtime.h"
+#include "monitor/fleet_runtime.h"
+#include "monitor/stream_analyzer.h"
+#include "obs/metrics.h"
+
+using namespace astral;
+
+namespace {
+
+bool write_file(const char* path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path);
+    return false;
+  }
+  out << text << '\n';
+  return out.good();
+}
+
+topo::FabricParams fabric_params() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;  // 16 hosts across two pods: the dashboard has rows to show
+  return p;
+}
+
+monitor::RecoveryConfig campaign_recovery() {
+  monitor::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.checkpoint_interval = 2;
+  rc.max_restarts = 0;  // dead host is terminal -> elastic shrink path
+  rc.detect_time = 0.05;
+  rc.restart_time = 0.2;
+  rc.backoff_base = 0.05;
+  return rc;
+}
+
+/// Gate: the streaming service must produce the exact batch diagnosis
+/// on a reference single-job scenario (the per-scenario equivalence
+/// contract monitor_stream_test pins exhaustively).
+bool streaming_equals_batch() {
+  topo::Fabric fabric(fabric_params());
+  monitor::StreamAnalyzer stream(fabric.topo());
+  monitor::JobConfig job;
+  job.hosts = 8;
+  job.iterations = 5;
+  job.comm_bytes = 8ull * 1024 * 1024;
+  monitor::ClusterRuntime rt(fabric, job, /*seed=*/33);
+  rt.set_stream_analyzer(&stream);
+  rt.inject(rt.make_fault(monitor::RootCause::OpticalFiber,
+                          monitor::Manifestation::FailSlow, 2));
+  rt.run();
+  monitor::HierarchicalAnalyzer batch(rt.telemetry(), fabric.topo(),
+                                      rt.expected_compute(), rt.expected_comm());
+  return stream.diagnosis() == batch.diagnose();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 8;
+  std::uint64_t seed = 1;
+  if (argc > 1) jobs = std::max(2, std::atoi(argv[1]));
+  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  core::print_banner("Streaming diagnosis - live per-Pod dashboard");
+
+  topo::Fabric fabric(fabric_params());
+  obs::Metrics metrics;
+  // The analyzer must outlive the fleet (engines detach at retirement).
+  monitor::StreamAnalyzer stream(fabric.topo());
+
+  std::vector<std::string> frames;
+  stream.set_frame_callback(0.5, [&](core::Seconds t) {
+    stream.publish(metrics);
+    frames.push_back("t=" + core::Table::num(t, 2) + "s\n" +
+                     monitor::render_pod_dashboard(metrics, stream.pods()));
+  });
+
+  monitor::FleetConfig fc;
+  fc.elastic.cordon_heal_time = 0.15;
+  fc.seed = seed;
+  monitor::FleetRuntime fleet(fabric, fc);
+  fleet.set_metrics(&metrics);
+  fleet.set_stream_analyzer(&stream);
+
+  monitor::ArrivalProcessConfig ap;
+  ap.jobs = jobs;
+  ap.arrival_rate = 4.0;
+  ap.sizes = {4, 8};
+  ap.size_weights = {0.6, 0.4};
+  ap.iterations = 8;
+  ap.comm_bytes = 8ull * 1024 * 1024;
+  ap.recovery = campaign_recovery();
+  ap.seed = seed;
+  for (const monitor::FleetJobSpec& spec : monitor::generate_arrivals(ap)) {
+    fleet.submit(spec);
+  }
+
+  // A deterministic long-running tenant holding most of the fabric when
+  // the faults strike, so the blast-radius charges (shrink rewinds,
+  // mitigation MTTR) reliably land on the dashboard at every seed.
+  monitor::FleetJobSpec vip;
+  vip.job.hosts = 12;
+  vip.job.iterations = 16;
+  vip.job.comm_bytes = 8ull * 1024 * 1024;
+  vip.job.recovery = campaign_recovery();
+  vip.arrival = 0.0;
+  vip.priority = 1;
+  vip.seed = seed * 1000003ull + 777;
+  fleet.submit(vip);
+
+  // Fleet faults with distinct blast shapes: a host dies for good, a
+  // rail-0 ToR blackholes and heals, a degraded optic drags a link.
+  monitor::FleetFault host_death;
+  host_death.at_time = 0.7;
+  host_death.cause = monitor::RootCause::GpuHardware;
+  host_death.manifestation = monitor::Manifestation::FailStop;
+  host_death.target_host = 1;
+  fleet.inject(host_death);
+
+  monitor::FleetFault tor_death;
+  tor_death.at_time = 1.0;
+  tor_death.cause = monitor::RootCause::SwitchBug;
+  tor_death.manifestation = monitor::Manifestation::FailStop;
+  tor_death.target_link = fabric.topo().out_links(fabric.topo().hosts()[0])[0];
+  tor_death.switch_scope = true;
+  tor_death.heal_after = 1.5;
+  fleet.inject(tor_death);
+
+  monitor::FleetFault optic;
+  optic.at_time = 1.3;
+  optic.cause = monitor::RootCause::OpticalFiber;
+  optic.manifestation = monitor::Manifestation::FailSlow;
+  optic.target_link = fabric.topo().out_links(fabric.topo().hosts()[8])[0];
+  optic.degrade_factor = 0.2;
+  optic.heal_after = 1.0;
+  fleet.inject(optic);
+
+  monitor::FleetOutcome out = fleet.run();
+
+  // Final frame: publish after the run so retirement-time finalized
+  // diagnoses and the last blast charges are on the board.
+  stream.publish(metrics);
+  std::string final_frame =
+      monitor::render_pod_dashboard(metrics, stream.pods());
+
+  if (!frames.empty()) {
+    std::printf("first frame (%zu rendered during the run):\n%s\n",
+                frames.size(), frames.front().c_str());
+  }
+  std::printf("final frame:\n%s\n", final_frame.c_str());
+  std::printf("fleet: %zu jobs, %zu fleet faults, goodput %.3f, makespan %.2fs\n",
+              out.jobs.size(), out.faults.size(), out.fleet_goodput,
+              out.makespan);
+
+  bool ok = write_file("monitor_dashboard.txt", final_frame);
+  ok = write_file("monitor_dashboard.json", metrics.to_json().dump(2)) && ok;
+
+  // ---- Acceptance gates.
+  int failures = 0;
+  auto gate = [&](bool pass, const char* what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what);
+    if (!pass) ++failures;
+  };
+  gate(ok, "artifacts written");
+  gate(!frames.empty(), "live frames rendered during the run");
+  gate(metrics.gauge("stream.records_ingested") > 0.0,
+       "telemetry records streamed through the service");
+  gate(metrics.gauge("stream.pods") == 2.0, "per-pod rollups cover both pods");
+  gate(metrics.gauge("stream.diag.jobs") >= static_cast<double>(jobs),
+       "every tenant has a finalized online diagnosis");
+  bool struck = false;
+  for (const auto& fl : out.faults) struck = struck || !fl.jobs_touched.empty();
+  gate(struck, "fleet faults touched tenants");
+  gate(metrics.gauge("stream.blast.jobs_touched") > 0.0,
+       "blast-radius jobs-touched gauge populated");
+  gate(metrics.gauge("stream.blast.host_hours_lost") > 0.0,
+       "blast-radius host-hours gauge populated");
+  gate(metrics.gauge("fleet.blast.jobs_touched_total") ==
+           metrics.gauge("stream.blast.jobs_touched"),
+       "fleet ledger and streaming rollup agree on jobs touched");
+  gate(final_frame.find("pod0") != std::string::npos &&
+           final_frame.find("pod1") != std::string::npos &&
+           final_frame.find("fabric") != std::string::npos,
+       "dashboard renders pod and fabric rows");
+  gate(streaming_equals_batch(), "streaming diagnosis == batch diagnosis");
+
+  if (failures) {
+    std::printf("\n%d gate(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall gates passed\n");
+  return 0;
+}

@@ -34,6 +34,10 @@ void ClusterRuntime::set_tracer(obs::Tracer* tracer) {
   sim_->set_tracer(tracer);
 }
 
+void ClusterRuntime::set_stream_analyzer(StreamAnalyzer* stream) {
+  engine_->set_stream_analyzer(stream);
+}
+
 void ClusterRuntime::set_metrics(obs::Metrics* metrics) {
   engine_->set_metrics(metrics);
   sim_->set_metrics(metrics);

@@ -43,6 +43,7 @@ class Metrics;
 namespace astral::monitor {
 
 class TelemetryFaultModel;
+class StreamAnalyzer;
 
 class ClusterRuntime {
  public:
@@ -115,6 +116,14 @@ class ClusterRuntime {
   void set_telemetry_faults(TelemetryFaultModel* model) {
     engine_->set_telemetry_faults(model);
   }
+
+  /// Subscribes the always-on streaming diagnosis service at the job's
+  /// telemetry store: every record the store accepts (post-degrade)
+  /// streams into its rollups and online triggers as it is ingested,
+  /// and completed mitigations feed its MTTR histograms. nullptr
+  /// detaches (finalizing the job's online diagnosis). The analyzer
+  /// must outlive the runtime or be detached first.
+  void set_stream_analyzer(StreamAnalyzer* stream);
 
  private:
   topo::Fabric& fabric_;

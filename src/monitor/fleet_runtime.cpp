@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/math.h"
+#include "monitor/stream_analyzer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -256,6 +257,7 @@ void FleetRuntime::start_segment(JobRt& job) {
                                            job.start_iteration);
   job.engine->set_tracer(tracer_);
   job.engine->set_metrics(metrics_);
+  if (stream_) job.engine->set_stream_analyzer(stream_);
   job.fault_map.clear();
   if (!job.local_faults_spent) {
     for (const FaultSpec& f : job.local_faults) job.engine->inject(f);
@@ -405,11 +407,13 @@ void FleetRuntime::retire_segment(JobRt& job, SegmentEnd end) {
   for (const MitigationRecord& rec : seg.outcome.mitigations) {
     auto it = job.fault_map.find(rec.fault_index);
     if (it != job.fault_map.end()) {
-      faults_[static_cast<std::size_t>(it->second)].host_hours_lost +=
-          host_hours(rec.mttr(), seg.hosts);
+      charge_blast(it->second, host_hours(rec.mttr(), seg.hosts));
     }
   }
   e.flush_telemetry();
+  // Post-flush, so the final online diagnosis saw every held-back
+  // collector batch the batch analyzer would see.
+  e.set_stream_analyzer(nullptr);
   // Restore this segment's Reroute-cordoned links through the shared sim
   // (capacity AND routing: the fabric outlives the tenant).
   for (topo::LinkId l : e.downed_links()) sim_->set_link_up(l, true);
@@ -489,8 +493,8 @@ void FleetRuntime::handle_engine_done(JobRt& job) {
   auto it = job.fault_map.find(fault_idx);
   if (it != job.fault_map.end()) {
     // The shrink's rewind + restart gap are part of the fault's blast.
-    faults_[static_cast<std::size_t>(it->second)].host_hours_lost +=
-        host_hours(moved + job.spec.job.recovery.restart_time, cur_hosts);
+    charge_blast(it->second,
+                 host_hours(moved + job.spec.job.recovery.restart_time, cur_hosts));
   }
   retire_segment(job, SegmentEnd::Shrunk);
   // Cordon the dead host: it leaves the job but NOT the free pool until
@@ -561,10 +565,33 @@ bool FleetRuntime::try_regrow(JobRt& job) {
   return true;
 }
 
+int FleetRuntime::fault_pod(const FleetFault& f) const {
+  const auto& topo = fabric_.topo();
+  if (f.target_link != topo::kInvalidLink) return link_pod(topo, f.target_link);
+  if (f.target_host >= 0 &&
+      f.target_host < static_cast<int>(topo.hosts().size())) {
+    return topo.node(topo.hosts()[static_cast<std::size_t>(f.target_host)]).pod;
+  }
+  return 0;
+}
+
+void FleetRuntime::charge_blast(int fault_id, double hours) {
+  FleetFaultLedger& fl = faults_[static_cast<std::size_t>(fault_id)];
+  fl.host_hours_lost += hours;
+  if (stream_) stream_->note_blast_radius(fault_pod(fl.fault), hours);
+}
+
 void FleetRuntime::strike_fleet_fault(int fault_id) {
   FleetFaultLedger& fl = faults_[static_cast<std::size_t>(fault_id)];
   const FleetFault& f = fl.fault;
   if (metrics_) metrics_->add("fleet.faults.injected");
+  // Blast-radius export once the strike's delivery is known: jobs
+  // touched as a fleet counter, and the fault landing in its pod's
+  // streaming rollup.
+  auto export_blast = [&] {
+    if (metrics_) metrics_->add("fleet.blast.jobs_touched", fl.jobs_touched.size());
+    if (stream_) stream_->note_fleet_fault(fault_pod(f), fl.jobs_touched.size());
+  };
 
   if (f.target_host >= 0) {
     // Host fault: lands on whoever owns the host right now.
@@ -587,6 +614,7 @@ void FleetRuntime::strike_fleet_fault(int fault_id) {
       int idx = job.engine->deliver_fault(spec);
       job.fault_map[idx] = fault_id;
       fl.jobs_touched.push_back(job.ledger.job_id);
+      export_blast();
       return;  // a host belongs to at most one tenant
     }
     // Unowned host: cordon it so nobody lands on dead hardware.
@@ -597,6 +625,7 @@ void FleetRuntime::strike_fleet_fault(int fault_id) {
                    f.target_host);
       }
     }
+    export_blast();
     return;
   }
 
@@ -625,6 +654,7 @@ void FleetRuntime::strike_fleet_fault(int fault_id) {
     if (f.heal_after >= 0.0) {
       push_event(sim_->now() + f.heal_after, EventKind::FaultHeal, fault_id);
     }
+    export_blast();
     return;
   }
 
@@ -691,6 +721,7 @@ void FleetRuntime::strike_fleet_fault(int fault_id) {
   if (f.heal_after >= 0.0) {
     push_event(sim_->now() + f.heal_after, EventKind::FaultHeal, fault_id);
   }
+  export_blast();
 }
 
 void FleetRuntime::heal_fleet_fault(int fault_id) {
@@ -821,6 +852,21 @@ FleetOutcome FleetRuntime::run() {
   }
   if (!jobs_.empty()) {
     out.completion_rate = completed / static_cast<double>(jobs_.size());
+  }
+  // Final blast-radius ledger export: totals as gauges next to the
+  // per-strike counters, so dashboards see jobs touched AND host-hours
+  // lost without reading FleetOutcome.
+  if (metrics_) {
+    double hours = 0.0;
+    std::size_t touched = 0;
+    for (const FleetFaultLedger& fl : faults_) {
+      hours += fl.host_hours_lost;
+      touched += fl.jobs_touched.size();
+    }
+    metrics_->set_gauge("fleet.blast.host_hours_lost", hours);
+    metrics_->set_gauge("fleet.blast.jobs_touched_total",
+                        static_cast<double>(touched));
+    metrics_->set_gauge("fleet.blast.faults", static_cast<double>(faults_.size()));
   }
   return out;
 }

@@ -203,6 +203,12 @@ class FleetRuntime {
 
   void set_tracer(obs::Tracer* tracer);
   void set_metrics(obs::Metrics* metrics);
+  /// Attaches the always-on streaming diagnosis service: every segment
+  /// engine subscribes it to its telemetry store, fleet faults and
+  /// blast-radius charges stream into its per-Pod rollups, and segment
+  /// retirement finalizes each job's online diagnosis. The analyzer
+  /// must outlive the fleet run. nullptr detaches for future segments.
+  void set_stream_analyzer(StreamAnalyzer* stream) { stream_ = stream; }
 
  private:
   enum class JobState : std::uint8_t { Queued, Starting, Running, Done };
@@ -258,6 +264,10 @@ class FleetRuntime {
   void heal_cordon(int host);
   void strike_fleet_fault(int fault_id);
   void heal_fleet_fault(int fault_id);
+  /// Pod a fleet fault's target lives in (for the streaming rollups).
+  int fault_pod(const FleetFault& f) const;
+  /// Streams a blast-radius host-hour charge + updates the ledger.
+  void charge_blast(int fault_id, double hours);
   void resume_engine(JobRt& job);
   /// Allocated-capacity charge helper: seconds * hosts -> host-hours.
   static double host_hours(core::Seconds s, int hosts) {
@@ -280,6 +290,7 @@ class FleetRuntime {
   std::map<int, int> cordon_owner_;
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  StreamAnalyzer* stream_ = nullptr;
   bool ran_ = false;
 };
 

@@ -8,6 +8,7 @@
 
 #include "monitor/analyzer.h"
 #include "monitor/degrade.h"
+#include "monitor/stream_analyzer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -121,7 +122,22 @@ JobEngine::JobEngine(topo::Fabric& fabric, net::FluidSim& sim, JobConfig cfg,
 }
 
 JobEngine::~JobEngine() {
+  if (stream_) stream_->unsubscribe(store_);
   if (handle_) handle_.destroy();
+}
+
+void JobEngine::set_stream_analyzer(StreamAnalyzer* stream) {
+  if (stream_ == stream) return;
+  if (stream_) stream_->unsubscribe(store_);
+  stream_ = stream;
+  if (!stream_) return;
+  StreamAnalyzer::JobContext ctx;
+  ctx.job_id = cfg_.job_id;
+  ctx.expected_compute = expected_compute();
+  ctx.expected_comm = expected_comm();
+  ctx.host_pods.reserve(hosts_.size());
+  for (topo::NodeId h : hosts_) ctx.host_pods.push_back(fabric_.topo().node(h).pod);
+  stream_->subscribe(store_, std::move(ctx));
 }
 
 net::FlowSpec JobEngine::ring_spec(int rank) const {
@@ -398,6 +414,19 @@ void JobEngine::trace_mitigation(const MitigationRecord& rec, Seconds t0) {
   if (metrics_) {
     metrics_->add("runtime.mitigations");
     metrics_->histogram("runtime.mttr_s").record(rec.mttr());
+  }
+  if (stream_) {
+    // Attribute the repair to the pod the fault lives in (the stricken
+    // link's pod, or the culprit host's).
+    const FaultSpec& fs = fault_spec(rec.fault_index);
+    int pod = 0;
+    if (fs.target_link != topo::kInvalidLink) {
+      pod = link_pod(fabric_.topo(), fs.target_link);
+    } else if (fs.target_host_rank >= 0 &&
+               fs.target_host_rank < static_cast<int>(hosts_.size())) {
+      pod = fabric_.topo().node(hosts_[static_cast<std::size_t>(fs.target_host_rank)]).pod;
+    }
+    stream_->note_mitigation(cfg_.job_id, rec.mttr(), pod);
   }
   if (!tracer_) return;
   obs::TraceKeys k;

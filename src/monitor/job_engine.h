@@ -43,6 +43,7 @@ class Metrics;
 namespace astral::monitor {
 
 class TelemetryFaultModel;
+class StreamAnalyzer;
 
 /// How the job reacts to a localized failure (§3.3 -> operations).
 struct RecoveryConfig {
@@ -236,6 +237,12 @@ class JobEngine {
   void set_metrics(obs::Metrics* metrics) { metrics_ = metrics; }
   void set_telemetry_faults(TelemetryFaultModel* model) { degrade_ = model; }
   TelemetryFaultModel* telemetry_faults() const { return degrade_; }
+  /// Subscribes the streaming diagnosis service at this engine's store
+  /// (post-degrade: the analyzer sees exactly what the store accepted)
+  /// and feeds it completed mitigations. nullptr detaches/finalizes.
+  /// The analyzer must outlive the engine or be detached first.
+  void set_stream_analyzer(StreamAnalyzer* stream);
+  StreamAnalyzer* stream_analyzer() const { return stream_; }
   /// Lands held-back (reordered) collector batches after the run ends.
   void flush_telemetry();
 
@@ -333,6 +340,7 @@ class JobEngine {
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
   TelemetryFaultModel* degrade_ = nullptr;
+  StreamAnalyzer* stream_ = nullptr;
 
   // ---- Run state (members so fleet hooks can read/adjust them while
   // the coroutine is parked; the old run_job() locals otherwise).

@@ -27,10 +27,11 @@ std::vector<topo::LinkId> TelemetryStore::path_of(QpId qp) const {
 }
 
 std::vector<QpId> TelemetryStore::qps_of_host(int host_rank) const {
-  std::vector<QpId> out;
-  for (const auto& [qp, meta] : qp_meta_) {
-    if (meta.src_host_rank == host_rank) out.push_back(qp);
-  }
+  // Served from the host -> QP index maintained by register_qp; the old
+  // implementation scanned every QP's metadata per call.
+  auto it = host_qps_.find(host_rank);
+  if (it == host_qps_.end()) return {};
+  std::vector<QpId> out = it->second;
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -49,10 +50,16 @@ double TelemetryStore::mean_qp_rate(QpId qp, core::Seconds from, core::Seconds t
   // Mean rate while transmitting: idle samples (QP drained between
   // messages) are excluded, matching how the ms-level monitor computes
   // per-message throughput from mirrored RETH lengths.
+  // Served from the per-QP sample index maintained by record(): only this
+  // QP's samples are touched, in arrival order, so the floating-point sum
+  // is bitwise identical to the old whole-stream scan.
   double sum = 0.0;
   int n = 0;
-  for (const auto& s : qp_rates_) {
-    if (s.qp == qp && s.t >= from && s.t <= to && s.rate_bps > 0.0) {
+  auto it = qp_sample_idx_.find(qp);
+  if (it == qp_sample_idx_.end()) return 0.0;
+  for (std::uint32_t idx : it->second) {
+    const QpRateSample& s = qp_rates_[idx];
+    if (s.t >= from && s.t <= to && s.rate_bps > 0.0) {
       sum += s.rate_bps;
       ++n;
     }
@@ -87,9 +94,9 @@ std::vector<SyslogEvent> TelemetryStore::node_syslog(topo::NodeId node) const {
 }
 
 int TelemetryStore::last_iteration() const {
-  int last = -1;
-  for (const auto& ev : nccl_) last = std::max(last, ev.iteration);
-  return last;
+  // Running max maintained at ingestion (empty sentinel stays -1); the
+  // old implementation rescanned the whole timeline per call.
+  return last_iteration_;
 }
 
 std::size_t TelemetryStore::record_count() const {

@@ -13,6 +13,32 @@
 
 namespace astral::monitor {
 
+/// Subscriber at the TelemetryStore ingestion seam. The store invokes the
+/// sink once per record it ACCEPTS, in acceptance order — after the
+/// degrade-hardening logic ran, so a subscriber sees exactly the stream
+/// the store itself believes (sFlow newest-by-timestamp winners only,
+/// cumulative switch counters already delta'd with wrap/reset
+/// resynchronization). This is the seam the streaming diagnosis service
+/// (monitor::StreamAnalyzer) consumes record-by-record instead of
+/// re-scanning raw streams after the fact.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void on_record(const NcclTimelineEvent&) {}
+  virtual void on_record(const QpRateSample&) {}
+  virtual void on_record(const ErrCqeEvent&) {}
+  virtual void on_record(const SflowPathRecord&) {}
+  virtual void on_record(const IntProbeResult&) {}
+  /// `d_ecn`/`d_pfc` are the effective per-interval deltas the store
+  /// credited for this sample (equal to the raw fields for delta-style
+  /// samples; derived for SNMP-cumulative ones, zero when the sample was
+  /// rejected as stale).
+  virtual void on_link_counters(const LinkCounterSample& /*raw*/,
+                                std::uint64_t /*d_ecn*/, std::uint64_t /*d_pfc*/) {}
+  virtual void on_record(const SyslogEvent&) {}
+  virtual void on_register_qp(const QpMeta&) {}
+};
+
 class TelemetryStore {
  public:
   // Ingestion (collectors append). Collector batches may arrive lossy,
@@ -20,9 +46,23 @@ class TelemetryStore {
   // keyed records is idempotent: sFlow paths keep the newest record by
   // collector timestamp, and cumulative switch counters are delta'd
   // against the last-seen total with wrap/reset resynchronization.
-  void record(NcclTimelineEvent ev) { nccl_.push_back(ev); }
-  void record(QpRateSample s) { qp_rates_.push_back(s); }
-  void record(ErrCqeEvent ev) { err_cqes_.push_back(std::move(ev)); }
+  void record(NcclTimelineEvent ev) {
+    nccl_.push_back(ev);
+    // Running max so last_iteration() is O(1) instead of a timeline scan.
+    if (ev.iteration > last_iteration_) last_iteration_ = ev.iteration;
+    if (sink_) sink_->on_record(ev);
+  }
+  void record(QpRateSample s) {
+    // Per-QP index (arrival order preserved) so mean_qp_rate walks only
+    // this QP's samples instead of every sample of the run.
+    qp_sample_idx_[s.qp].push_back(static_cast<std::uint32_t>(qp_rates_.size()));
+    qp_rates_.push_back(s);
+    if (sink_) sink_->on_record(s);
+  }
+  void record(ErrCqeEvent ev) {
+    err_cqes_.push_back(std::move(ev));
+    if (sink_) sink_->on_record(err_cqes_.back());
+  }
   void record(SflowPathRecord r) {
     // Newest-by-timestamp wins, not arrival order: a reordered or
     // re-delivered collector batch must never regress a QP's path to a
@@ -30,16 +70,23 @@ class TelemetryStore {
     // exact duplicates idempotent.
     auto it = sflow_.find(r.qp);
     if (it == sflow_.end() || r.t >= it->second.t) {
-      sflow_[r.qp] = std::move(r);
+      auto& slot = sflow_[r.qp];
+      slot = std::move(r);
+      if (sink_) sink_->on_record(slot);
     }
   }
-  void record(IntProbeResult r) { int_probes_.push_back(std::move(r)); }
+  void record(IntProbeResult r) {
+    int_probes_.push_back(std::move(r));
+    if (sink_) sink_->on_record(int_probes_.back());
+  }
   void record(LinkCounterSample s) {
     // Per-link running totals are maintained here so total_pfc/total_ecn
     // are O(1) lookups instead of a scan over every sample of the run —
     // the analyzer calls them per candidate link on the hot diagnosis
     // path of long campaigns.
     auto& agg = link_totals_[s.link];
+    std::uint64_t d_ecn = 0;
+    std::uint64_t d_pfc = 0;
     if (s.cumulative) {
       // Since-boot switch totals (the SNMP convention). Stale samples
       // (at or before the last accepted timestamp) are ignored so
@@ -48,14 +95,12 @@ class TelemetryStore {
       // switch reboot — resynchronize on the new baseline, counting only
       // what accumulated since the reset instead of adding garbage.
       if (!agg.have_cumulative || s.t > agg.last_t) {
-        std::uint64_t d_ecn =
-            agg.have_cumulative && s.ecn_marks >= agg.last_ecn
-                ? s.ecn_marks - agg.last_ecn
-                : s.ecn_marks;
-        std::uint64_t d_pfc =
-            agg.have_cumulative && s.pfc_pauses >= agg.last_pfc
-                ? s.pfc_pauses - agg.last_pfc
-                : s.pfc_pauses;
+        d_ecn = agg.have_cumulative && s.ecn_marks >= agg.last_ecn
+                    ? s.ecn_marks - agg.last_ecn
+                    : s.ecn_marks;
+        d_pfc = agg.have_cumulative && s.pfc_pauses >= agg.last_pfc
+                    ? s.pfc_pauses - agg.last_pfc
+                    : s.pfc_pauses;
         agg.ecn_marks += d_ecn;
         agg.pfc_pauses += d_pfc;
         agg.last_ecn = s.ecn_marks;
@@ -64,13 +109,38 @@ class TelemetryStore {
         agg.have_cumulative = true;
       }
     } else {
-      agg.ecn_marks += s.ecn_marks;
-      agg.pfc_pauses += s.pfc_pauses;
+      d_ecn = s.ecn_marks;
+      d_pfc = s.pfc_pauses;
+      agg.ecn_marks += d_ecn;
+      agg.pfc_pauses += d_pfc;
     }
     link_counters_.push_back(s);
+    if (sink_) sink_->on_link_counters(s, d_ecn, d_pfc);
   }
-  void record(SyslogEvent ev) { syslog_.push_back(std::move(ev)); }
-  void register_qp(QpMeta meta) { qp_meta_[meta.qp] = meta; }
+  void record(SyslogEvent ev) {
+    syslog_.push_back(std::move(ev));
+    if (sink_) sink_->on_record(syslog_.back());
+  }
+  void register_qp(QpMeta meta) {
+    // host -> QP index, kept consistent under the re-registration the
+    // runtime does when it learns a QP's 5-tuple (same host, updated
+    // meta) and under a QP genuinely moving hosts.
+    auto it = qp_meta_.find(meta.qp);
+    if (it != qp_meta_.end() && it->second.src_host_rank != meta.src_host_rank) {
+      auto& old = host_qps_[it->second.src_host_rank];
+      std::erase(old, meta.qp);
+    }
+    if (it == qp_meta_.end() || it->second.src_host_rank != meta.src_host_rank) {
+      host_qps_[meta.src_host_rank].push_back(meta.qp);
+    }
+    qp_meta_[meta.qp] = meta;
+    if (sink_) sink_->on_register_qp(meta);
+  }
+
+  /// Subscribes `sink` at the ingestion seam (nullptr detaches). At most
+  /// one sink; the caller guarantees it outlives the subscription.
+  void set_sink(TelemetrySink* sink) { sink_ = sink; }
+  TelemetrySink* sink() const { return sink_; }
 
   // Raw streams.
   std::span<const NcclTimelineEvent> nccl_timeline() const { return nccl_; }
@@ -80,8 +150,15 @@ class TelemetryStore {
   std::span<const LinkCounterSample> link_counters() const { return link_counters_; }
   std::span<const SyslogEvent> syslog() const { return syslog_; }
 
+  /// All sFlow winners by QP (unordered; sinks replay them on attach).
+  const std::unordered_map<QpId, SflowPathRecord>& sflow_paths() const {
+    return sflow_;
+  }
+
   // Cross-layer lookups.
   std::optional<QpMeta> qp_meta(QpId qp) const;
+  /// All registered QP metadata (unordered; sinks replay it on attach).
+  const std::unordered_map<QpId, QpMeta>& qp_metas() const { return qp_meta_; }
   /// sFlow-reconstructed path for a QP (empty when never sampled).
   std::vector<topo::LinkId> path_of(QpId qp) const;
   /// All QPs whose source is the given host rank.
@@ -120,6 +197,14 @@ class TelemetryStore {
   std::vector<LinkCounterSample> link_counters_;
   std::vector<SyslogEvent> syslog_;
   std::unordered_map<QpId, QpMeta> qp_meta_;
+  /// src host rank -> QPs registered there (see register_qp).
+  std::unordered_map<int, std::vector<QpId>> host_qps_;
+  /// Per-QP positions into qp_rates_, in arrival order, so windowed rate
+  /// queries touch only the QP's own samples (bitwise-identical sums to
+  /// the old full scan: filtering preserves arrival order).
+  std::unordered_map<QpId, std::vector<std::uint32_t>> qp_sample_idx_;
+  int last_iteration_ = -1;  ///< Running max over nccl_ (empty: -1).
+  TelemetrySink* sink_ = nullptr;
 
   /// Running per-link counter totals (see record(LinkCounterSample)).
   struct LinkTotals {

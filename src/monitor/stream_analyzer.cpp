@@ -1,0 +1,613 @@
+#include "monitor/stream_analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "core/table.h"
+
+namespace astral::monitor {
+
+namespace {
+
+/// Bytes one obs::Histogram retains (fixed bucket array + bookkeeping).
+constexpr std::size_t kHistogramBytes =
+    sizeof(obs::Histogram) +
+    static_cast<std::size_t>(1 + (obs::Histogram::kMaxExponent -
+                                  obs::Histogram::kMinExponent) *
+                                     obs::Histogram::kSubBuckets) *
+        sizeof(std::uint32_t);
+
+/// Hierarchy rank of a node kind, for tier classification.
+int kind_rank(topo::NodeKind k) {
+  switch (k) {
+    case topo::NodeKind::Host: return 0;
+    case topo::NodeKind::Tor: return 1;
+    case topo::NodeKind::Agg: return 2;
+    case topo::NodeKind::Core: return 3;
+  }
+  return 0;
+}
+
+void ewma_update(double& ewma, std::uint64_t& n, double x, double alpha) {
+  ewma = n == 0 ? x : alpha * x + (1.0 - alpha) * ewma;
+  ++n;
+}
+
+/// Sample-weighted EWMA merge for the upward reduction.
+void ewma_merge(double& ewma, std::uint64_t& n, double other, std::uint64_t m) {
+  if (m == 0) return;
+  ewma = n == 0 ? other
+                : (ewma * static_cast<double>(n) + other * static_cast<double>(m)) /
+                      static_cast<double>(n + m);
+  n += m;
+}
+
+}  // namespace
+
+const char* to_string(LinkTier tier) {
+  switch (tier) {
+    case LinkTier::HostUplink: return "host-tor";
+    case LinkTier::LeafAgg: return "tor-agg";
+    case LinkTier::Spine: return "agg-core";
+  }
+  return "?";
+}
+
+LinkTier link_tier(const topo::Topology& topo, topo::LinkId link) {
+  const auto& l = topo.link(link);
+  int hi = std::max(kind_rank(topo.node(l.src).kind), kind_rank(topo.node(l.dst).kind));
+  // Host<->Tor -> 0, Tor<->Agg -> 1, Agg<->Core (and core<->core) -> 2.
+  return static_cast<LinkTier>(std::clamp(hi - 1, 0, kLinkTiers - 1));
+}
+
+int link_pod(const topo::Topology& topo, topo::LinkId link) {
+  const auto& l = topo.link(link);
+  int p = topo.node(l.src).pod;
+  if (p < 0) p = topo.node(l.dst).pod;
+  return p;
+}
+
+void TierRollup::reduce_from(const TierRollup& child) {
+  counter_samples += child.counter_samples;
+  ecn_marks += child.ecn_marks;
+  pfc_pauses += child.pfc_pauses;
+  mod_drops += child.mod_drops;
+  ewma_merge(util_ewma, util_samples, child.util_ewma, child.util_samples);
+  ewma_merge(hop_latency_ewma, probe_hops, child.hop_latency_ewma, child.probe_hops);
+}
+
+TierRollup PodRollup::links() const {
+  TierRollup out;
+  for (const TierRollup& t : tiers) out.reduce_from(t);
+  return out;
+}
+
+// ---- Subscription: forward each sink callback into the owner with the
+// subscription identity attached.
+
+void StreamAnalyzer::Subscription::on_record(const NcclTimelineEvent& ev) {
+  owner->ingest(*this, ev);
+}
+void StreamAnalyzer::Subscription::on_record(const QpRateSample& s) {
+  owner->ingest(*this, s);
+}
+void StreamAnalyzer::Subscription::on_record(const ErrCqeEvent& ev) {
+  owner->ingest(*this, ev);
+}
+void StreamAnalyzer::Subscription::on_record(const SflowPathRecord& r) {
+  owner->ingest(*this, r);
+}
+void StreamAnalyzer::Subscription::on_record(const IntProbeResult& r) {
+  owner->ingest(*this, r);
+}
+void StreamAnalyzer::Subscription::on_link_counters(const LinkCounterSample& raw,
+                                                    std::uint64_t d_ecn,
+                                                    std::uint64_t d_pfc) {
+  owner->ingest_link(*this, raw, d_ecn, d_pfc);
+}
+void StreamAnalyzer::Subscription::on_record(const SyslogEvent& ev) {
+  owner->ingest(*this, ev);
+}
+void StreamAnalyzer::Subscription::on_register_qp(const QpMeta& meta) {
+  owner->ingest_meta(*this, meta);
+}
+
+// ---- Service lifecycle.
+
+StreamAnalyzer::StreamAnalyzer(const topo::Topology& topo, StreamAnalyzerConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  int npods = 0;
+  for (const auto& n : topo.nodes()) npods = std::max(npods, n.pod + 1);
+  pods_.resize(static_cast<std::size_t>(std::max(npods, 1)));
+}
+
+StreamAnalyzer::~StreamAnalyzer() {
+  // Detach from any store still pointing at one of our subscriptions so
+  // a store outliving the analyzer never calls into freed memory.
+  for (Subscription& s : subs_) {
+    if (s.active && s.store && s.store->sink() == &s) s.store->set_sink(nullptr);
+  }
+}
+
+void StreamAnalyzer::subscribe(TelemetryStore& store, JobContext ctx) {
+  subs_.emplace_back();
+  Subscription& s = subs_.back();
+  s.owner = this;
+  s.store = &store;
+  s.ctx = std::move(ctx);
+  s.active = true;
+  ++live_;
+  store.set_sink(&s);
+
+  // Replay what the store already holds (QP registrations happen at job
+  // setup, before the runtime exposes its attach hook), reproducing the
+  // exact per-record feed a from-the-start subscriber would have seen.
+  for (const auto& [qp, meta] : store.qp_metas()) ingest_meta(s, meta);
+  for (const auto& ev : store.nccl_timeline()) ingest(s, ev);
+  for (const auto& smp : store.qp_rates()) ingest(s, smp);
+  for (const auto& ev : store.err_cqes()) ingest(s, ev);
+  for (const auto& [qp, rec] : store.sflow_paths()) ingest(s, rec);
+  for (const auto& r : store.int_probes()) ingest(s, r);
+  {
+    // Re-derive the effective deltas the store credited at ingestion
+    // (same cumulative-counter resynchronization, in arrival order).
+    struct Baseline {
+      std::uint64_t ecn = 0, pfc = 0;
+      core::Seconds t = 0.0;
+      bool have = false;
+    };
+    std::unordered_map<topo::LinkId, Baseline> base;
+    for (const auto& smp : store.link_counters()) {
+      std::uint64_t d_ecn = 0, d_pfc = 0;
+      if (smp.cumulative) {
+        Baseline& b = base[smp.link];
+        if (!b.have || smp.t > b.t) {
+          d_ecn = b.have && smp.ecn_marks >= b.ecn ? smp.ecn_marks - b.ecn
+                                                   : smp.ecn_marks;
+          d_pfc = b.have && smp.pfc_pauses >= b.pfc ? smp.pfc_pauses - b.pfc
+                                                    : smp.pfc_pauses;
+          b.ecn = smp.ecn_marks;
+          b.pfc = smp.pfc_pauses;
+          b.t = smp.t;
+          b.have = true;
+        }
+      } else {
+        d_ecn = smp.ecn_marks;
+        d_pfc = smp.pfc_pauses;
+      }
+      ingest_link(s, smp, d_ecn, d_pfc);
+    }
+  }
+  for (const auto& ev : store.syslog()) ingest(s, ev);
+}
+
+void StreamAnalyzer::unsubscribe(TelemetryStore& store) {
+  for (Subscription& s : subs_) {
+    if (!s.active || s.store != &store) continue;
+    if (store.sink() == &s) store.set_sink(nullptr);
+    // Final (flush) diagnosis over everything the store holds.
+    if (s.dirty || !s.have_diag) rediagnose(s);
+    Finalized& fin = finalized_[s.ctx.job_id];
+    fin.diag = s.diag;
+    fin.revisions = s.revisions;
+    fin.anomaly = s.anomaly;
+    s.active = false;
+    s.store = nullptr;
+    s.qp_pod.clear();
+    --live_;
+    return;
+  }
+}
+
+// ---- Diagnosis (delegated drill-down + online triggers).
+
+void StreamAnalyzer::rediagnose(Subscription& s) {
+  HierarchicalAnalyzer analyzer(*s.store, topo_, s.ctx.expected_compute,
+                                s.ctx.expected_comm, cfg_.analyzer);
+  Diagnosis d = analyzer.diagnose();
+  ++s.revisions;
+  bool changed = !s.have_diag || !(d == s.diag);
+  s.diag = std::move(d);
+  s.have_diag = true;
+  s.dirty = false;
+  s.last_diag_iter = s.max_iteration;
+  if (changed && on_diagnosis_) on_diagnosis_(s.ctx.job_id, s.diag, now_);
+}
+
+void StreamAnalyzer::maybe_rediagnose(Subscription& s, bool eager) {
+  s.dirty = true;
+  if (eager) rediagnose(s);
+}
+
+Diagnosis StreamAnalyzer::diagnosis(std::int64_t job_id) {
+  for (auto it = subs_.rbegin(); it != subs_.rend(); ++it) {
+    if (it->active && it->ctx.job_id == job_id) {
+      if (it->dirty || !it->have_diag) rediagnose(*it);
+      return it->diag;
+    }
+  }
+  auto fit = finalized_.find(job_id);
+  if (fit != finalized_.end()) return fit->second.diag;
+  return {};
+}
+
+std::uint64_t StreamAnalyzer::revisions(std::int64_t job_id) const {
+  for (auto it = subs_.rbegin(); it != subs_.rend(); ++it) {
+    if (it->active && it->ctx.job_id == job_id) return it->revisions;
+  }
+  auto fit = finalized_.find(job_id);
+  return fit != finalized_.end() ? fit->second.revisions : 0;
+}
+
+bool StreamAnalyzer::online_anomaly(std::int64_t job_id) const {
+  for (auto it = subs_.rbegin(); it != subs_.rend(); ++it) {
+    if (it->active && it->ctx.job_id == job_id) return it->anomaly;
+  }
+  auto fit = finalized_.find(job_id);
+  return fit != finalized_.end() && fit->second.anomaly;
+}
+
+void StreamAnalyzer::set_frame_callback(core::Seconds interval, FrameCallback cb) {
+  frame_interval_ = interval;
+  on_frame_ = std::move(cb);
+  next_frame_ = now_;
+}
+
+// ---- Per-record ingestion (the O(1) hot path).
+
+PodRollup& StreamAnalyzer::pod_of(int pod) {
+  if (pod < 0) pod = 0;
+  if (pod >= static_cast<int>(pods_.size())) pod = static_cast<int>(pods_.size()) - 1;
+  return pods_[static_cast<std::size_t>(pod)];
+}
+
+int StreamAnalyzer::pod_of_rank(const Subscription& s, int host_rank) const {
+  if (host_rank >= 0 && host_rank < static_cast<int>(s.ctx.host_pods.size())) {
+    return s.ctx.host_pods[static_cast<std::size_t>(host_rank)];
+  }
+  return 0;
+}
+
+void StreamAnalyzer::advance_clock(core::Seconds t) {
+  ++records_;
+  if (t > now_) now_ = t;
+  if (frame_interval_ > 0.0 && on_frame_ && now_ >= next_frame_) {
+    next_frame_ = now_ + frame_interval_;
+    on_frame_(now_);
+  }
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const NcclTimelineEvent& ev) {
+  advance_clock(ev.t);
+  bool completed_new_iter = ev.iteration > s.max_iteration;
+  if (completed_new_iter) s.max_iteration = ev.iteration;
+  if (ev.comm_time < 0.0) s.stall_seen = true;
+  if ((s.ctx.expected_comm > 0.0 &&
+       ev.comm_time > cfg_.analyzer.comm_slow_factor * s.ctx.expected_comm) ||
+      (s.ctx.expected_compute > 0.0 &&
+       ev.compute_time > cfg_.analyzer.compute_slow_factor * s.ctx.expected_compute)) {
+    s.slow_seen = true;
+  }
+  bool was = s.anomaly;
+  s.anomaly = s.stall_seen || s.slow_seen || s.cqe_count > 0 || s.fatal_count > 0;
+  // Eager refresh on anomaly onset, then once per newly seen iteration
+  // while the job stays anomalous — bounds full re-diagnoses per job to
+  // O(iterations), everything else only marks the cache dirty.
+  bool eager = s.anomaly && (!was || (completed_new_iter &&
+                                      s.max_iteration > s.last_diag_iter));
+  maybe_rediagnose(s, eager);
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const QpRateSample& smp) {
+  advance_clock(smp.t);
+  auto it = s.qp_pod.find(smp.qp);
+  PodRollup& p = pod_of(it != s.qp_pod.end() ? it->second : 0);
+  ewma_update(p.qp_rate_ewma_bps, p.qp_samples, smp.rate_bps, cfg_.ewma_alpha);
+  s.dirty = true;
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const ErrCqeEvent& ev) {
+  advance_clock(ev.t);
+  auto it = s.qp_pod.find(ev.qp);
+  PodRollup& p =
+      pod_of(it != s.qp_pod.end() ? it->second : pod_of_rank(s, ev.host_rank));
+  ++p.err_cqes;
+  ++s.cqe_count;
+  bool was = s.anomaly;
+  s.anomaly = true;
+  maybe_rediagnose(s, !was);
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const SflowPathRecord& r) {
+  advance_clock(r.t);
+  s.dirty = true;
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const IntProbeResult& r) {
+  advance_clock(r.t);
+  std::size_t hops = std::min(r.path.size(), r.hop_latency.size());
+  for (std::size_t i = 0; i < hops; ++i) {
+    auto [pod, tier] = [&] {
+      auto it = link_class_.find(r.path[i]);
+      if (it == link_class_.end()) {
+        it = link_class_
+                 .emplace(r.path[i],
+                          std::pair<std::int16_t, std::int8_t>(
+                              static_cast<std::int16_t>(link_pod(topo_, r.path[i])),
+                              static_cast<std::int8_t>(link_tier(topo_, r.path[i]))))
+                 .first;
+      }
+      return it->second;
+    }();
+    TierRollup& t = pod_of(pod).tiers[static_cast<std::size_t>(tier)];
+    ewma_update(t.hop_latency_ewma, t.probe_hops, r.hop_latency[i], cfg_.ewma_alpha);
+  }
+  s.dirty = true;
+}
+
+void StreamAnalyzer::ingest_link(Subscription& s, const LinkCounterSample& raw,
+                                 std::uint64_t d_ecn, std::uint64_t d_pfc) {
+  advance_clock(raw.t);
+  auto it = link_class_.find(raw.link);
+  if (it == link_class_.end()) {
+    it = link_class_
+             .emplace(raw.link, std::pair<std::int16_t, std::int8_t>(
+                                    static_cast<std::int16_t>(link_pod(topo_, raw.link)),
+                                    static_cast<std::int8_t>(link_tier(topo_, raw.link))))
+             .first;
+  }
+  TierRollup& t = pod_of(it->second.first).tiers[static_cast<std::size_t>(it->second.second)];
+  ++t.counter_samples;
+  t.ecn_marks += d_ecn;
+  t.pfc_pauses += d_pfc;
+  t.mod_drops += raw.mod_drops;
+  if (raw.utilization > 0.0) {
+    ewma_update(t.util_ewma, t.util_samples, raw.utilization, cfg_.ewma_alpha);
+  }
+  s.dirty = true;
+}
+
+void StreamAnalyzer::ingest(Subscription& s, const SyslogEvent& ev) {
+  advance_clock(ev.t);
+  int pod = ev.node != topo::kInvalidNode &&
+                    ev.node < static_cast<topo::NodeId>(topo_.node_count())
+                ? topo_.node(ev.node).pod
+                : pod_of_rank(s, ev.host_rank);
+  PodRollup& p = pod_of(pod);
+  if (ev.severity == "fatal") {
+    ++p.syslog_fatal;
+    ++s.fatal_count;
+    bool was = s.anomaly;
+    s.anomaly = true;
+    maybe_rediagnose(s, !was);
+    return;
+  }
+  if (ev.severity == "error") {
+    ++p.syslog_error;
+  } else {
+    ++p.syslog_warn;
+  }
+  s.dirty = true;
+}
+
+void StreamAnalyzer::ingest_meta(Subscription& s, const QpMeta& meta) {
+  int pod = 0;
+  if (meta.src_host != topo::kInvalidNode &&
+      meta.src_host < static_cast<topo::NodeId>(topo_.node_count())) {
+    pod = topo_.node(meta.src_host).pod;
+  }
+  s.qp_pod[meta.qp] = pod;
+}
+
+// ---- Runtime ledger feeds.
+
+void StreamAnalyzer::note_mitigation(std::int64_t job_id, core::Seconds mttr_s,
+                                     int pod) {
+  (void)job_id;
+  PodRollup& p = pod_of(pod);
+  ++p.faults;
+  p.mttr_s.record(mttr_s);
+  fabric_mttr_.record(mttr_s);
+}
+
+void StreamAnalyzer::note_fleet_fault(int pod, std::size_t jobs_touched) {
+  PodRollup& p = pod_of(pod);
+  ++p.faults;
+  p.blast_jobs_touched += jobs_touched;
+}
+
+void StreamAnalyzer::note_blast_radius(int pod, double host_hours_lost) {
+  pod_of(pod).blast_host_hours_lost += host_hours_lost;
+}
+
+// ---- Upward reduction.
+
+TierRollup StreamAnalyzer::tier(LinkTier t) const {
+  TierRollup out;
+  for (const PodRollup& p : pods_) {
+    out.reduce_from(p.tiers[static_cast<std::size_t>(t)]);
+  }
+  return out;
+}
+
+FabricRollup StreamAnalyzer::fabric() const {
+  FabricRollup out;
+  for (const PodRollup& p : pods_) {
+    out.links.reduce_from(p.links());
+    ewma_merge(out.qp_rate_ewma_bps, out.qp_samples, p.qp_rate_ewma_bps,
+               p.qp_samples);
+    out.err_cqes += p.err_cqes;
+    out.syslog_fatal += p.syslog_fatal;
+    out.faults += p.faults;
+    out.blast_jobs_touched += p.blast_jobs_touched;
+    out.blast_host_hours_lost += p.blast_host_hours_lost;
+  }
+  return out;
+}
+
+std::size_t StreamAnalyzer::footprint_bytes() const {
+  std::size_t b = sizeof(*this);
+  b += pods_.capacity() * (sizeof(PodRollup) - sizeof(obs::Histogram) + kHistogramBytes);
+  b += kHistogramBytes - sizeof(obs::Histogram);  // fabric_mttr_ buckets
+  b += link_class_.bucket_count() * sizeof(void*) +
+       link_class_.size() *
+           (sizeof(std::pair<topo::LinkId, std::pair<std::int16_t, std::int8_t>>) +
+            2 * sizeof(void*));
+  for (const Subscription& s : subs_) {
+    b += sizeof(Subscription);
+    b += s.qp_pod.bucket_count() * sizeof(void*) +
+         s.qp_pod.size() * (sizeof(std::pair<QpId, int>) + 2 * sizeof(void*));
+    b += s.diag.evidence.size() * sizeof(std::string) +
+         s.diag.evidence_gaps.size() * sizeof(std::string) +
+         s.diag.candidates.size() * sizeof(CandidateCause) +
+         s.diag.culprit_hosts.size() * sizeof(int) +
+         s.diag.culprit_links.size() * sizeof(topo::LinkId) +
+         s.ctx.host_pods.size() * sizeof(int);
+  }
+  for (const auto& [id, fin] : finalized_) {
+    b += sizeof(std::int64_t) + sizeof(Finalized) +
+         fin.diag.evidence.size() * sizeof(std::string) +
+         fin.diag.evidence_gaps.size() * sizeof(std::string) +
+         fin.diag.candidates.size() * sizeof(CandidateCause);
+  }
+  return b;
+}
+
+// ---- Metrics publication.
+
+void StreamAnalyzer::publish(obs::Metrics& m) const {
+  char name[96];
+  for (std::size_t pi = 0; pi < pods_.size(); ++pi) {
+    const PodRollup& p = pods_[pi];
+    auto set = [&](const char* suffix, double v) {
+      std::snprintf(name, sizeof(name), "stream.pod%zu.%s", pi, suffix);
+      m.set_gauge(name, v);
+    };
+    TierRollup all = p.links();
+    set("qp_rate_gbps", core::to_gbps(p.qp_rate_ewma_bps));
+    set("util", all.util_ewma);
+    set("hop_us", all.hop_latency_ewma * 1e6);
+    set("pfc", static_cast<double>(all.pfc_pauses));
+    set("ecn", static_cast<double>(all.ecn_marks));
+    set("drops", static_cast<double>(all.mod_drops));
+    set("err_cqes", static_cast<double>(p.err_cqes));
+    set("syslog_fatal", static_cast<double>(p.syslog_fatal));
+    set("faults", static_cast<double>(p.faults));
+    set("mttr_p99_s", p.mttr_s.percentile(99.0));
+    set("blast.jobs_touched", static_cast<double>(p.blast_jobs_touched));
+    set("blast.host_hours_lost", p.blast_host_hours_lost);
+    for (int ti = 0; ti < kLinkTiers; ++ti) {
+      const TierRollup& t = p.tiers[static_cast<std::size_t>(ti)];
+      auto set_tier = [&](const char* suffix, double v) {
+        std::snprintf(name, sizeof(name), "stream.pod%zu.tier%d.%s", pi, ti, suffix);
+        m.set_gauge(name, v);
+      };
+      set_tier("pfc", static_cast<double>(t.pfc_pauses));
+      set_tier("ecn", static_cast<double>(t.ecn_marks));
+      set_tier("drops", static_cast<double>(t.mod_drops));
+      set_tier("util", t.util_ewma);
+      set_tier("hop_us", t.hop_latency_ewma * 1e6);
+    }
+  }
+
+  FabricRollup f = fabric();
+  m.set_gauge("stream.fabric.qp_rate_gbps", core::to_gbps(f.qp_rate_ewma_bps));
+  m.set_gauge("stream.fabric.util", f.links.util_ewma);
+  m.set_gauge("stream.fabric.hop_us", f.links.hop_latency_ewma * 1e6);
+  m.set_gauge("stream.fabric.pfc", static_cast<double>(f.links.pfc_pauses));
+  m.set_gauge("stream.fabric.ecn", static_cast<double>(f.links.ecn_marks));
+  m.set_gauge("stream.fabric.drops", static_cast<double>(f.links.mod_drops));
+  m.set_gauge("stream.fabric.err_cqes", static_cast<double>(f.err_cqes));
+  m.set_gauge("stream.fabric.faults", static_cast<double>(f.faults));
+  m.set_gauge("stream.fabric.mttr_p50_s", fabric_mttr_.percentile(50.0));
+  m.set_gauge("stream.fabric.mttr_p99_s", fabric_mttr_.percentile(99.0));
+  m.set_gauge("stream.blast.jobs_touched", static_cast<double>(f.blast_jobs_touched));
+  m.set_gauge("stream.blast.host_hours_lost", f.blast_host_hours_lost);
+
+  std::uint64_t revs = 0;
+  std::uint64_t anomalies = 0;
+  std::uint64_t located = 0;
+  std::uint64_t manual = 0;
+  std::uint64_t jobs = 0;
+  double conf_sum = 0.0;
+  std::uint64_t conf_n = 0;
+  auto tally = [&](const Diagnosis& d, bool have, std::uint64_t r, bool anom) {
+    ++jobs;
+    revs += r;
+    if (anom) ++anomalies;
+    if (!have) return;
+    if (d.root_cause_found) ++located;
+    if (d.needs_manual) ++manual;
+    conf_sum += d.confidence;
+    ++conf_n;
+  };
+  for (const Subscription& s : subs_) {
+    if (s.active) tally(s.diag, s.have_diag, s.revisions, s.anomaly);
+  }
+  for (const auto& [id, fin] : finalized_) {
+    tally(fin.diag, true, fin.revisions, fin.anomaly);
+  }
+  m.set_gauge("stream.diag.jobs", static_cast<double>(jobs));
+  m.set_gauge("stream.diag.revisions", static_cast<double>(revs));
+  m.set_gauge("stream.diag.anomalies", static_cast<double>(anomalies));
+  m.set_gauge("stream.diag.root_cause_found", static_cast<double>(located));
+  m.set_gauge("stream.diag.needs_manual", static_cast<double>(manual));
+  m.set_gauge("stream.diag.confidence_mean",
+              conf_n ? conf_sum / static_cast<double>(conf_n) : 0.0);
+
+  m.set_gauge("stream.records_ingested", static_cast<double>(records_));
+  m.set_gauge("stream.footprint_bytes", static_cast<double>(footprint_bytes()));
+  m.set_gauge("stream.pods", static_cast<double>(pods_.size()));
+}
+
+std::string render_pod_dashboard(const obs::Metrics& m, int pods) {
+  char name[96];
+  auto g = [&](const char* fmt, auto... a) {
+    std::snprintf(name, sizeof(name), fmt, a...);
+    return m.gauge(name);
+  };
+  using core::Table;
+  Table t({"pod", "qp Gb/s", "util", "hop us", "pfc", "ecn", "drops", "errCQE",
+           "fatal", "faults", "mttr p99 s", "blast hh"});
+  for (int p = 0; p < pods; ++p) {
+    t.add_row({"pod" + std::to_string(p),
+               Table::num(g("stream.pod%d.qp_rate_gbps", p), 2),
+               Table::num(g("stream.pod%d.util", p), 3),
+               Table::num(g("stream.pod%d.hop_us", p), 2),
+               Table::num(g("stream.pod%d.pfc", p), 0),
+               Table::num(g("stream.pod%d.ecn", p), 0),
+               Table::num(g("stream.pod%d.drops", p), 0),
+               Table::num(g("stream.pod%d.err_cqes", p), 0),
+               Table::num(g("stream.pod%d.syslog_fatal", p), 0),
+               Table::num(g("stream.pod%d.faults", p), 0),
+               Table::num(g("stream.pod%d.mttr_p99_s", p), 1),
+               Table::num(g("stream.pod%d.blast.host_hours_lost", p), 3)});
+  }
+  t.add_row({"fabric", Table::num(g("stream.fabric.qp_rate_gbps"), 2),
+             Table::num(g("stream.fabric.util"), 3),
+             Table::num(g("stream.fabric.hop_us"), 2),
+             Table::num(g("stream.fabric.pfc"), 0),
+             Table::num(g("stream.fabric.ecn"), 0),
+             Table::num(g("stream.fabric.drops"), 0),
+             Table::num(g("stream.fabric.err_cqes"), 0), "",
+             Table::num(g("stream.fabric.faults"), 0),
+             Table::num(g("stream.fabric.mttr_p99_s"), 1),
+             Table::num(g("stream.blast.host_hours_lost"), 3)});
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "== streaming diagnosis | records %.0f | jobs %.0f | anomalies "
+                "%.0f | located %.0f | manual %.0f | revisions %.0f | mean conf "
+                "%.2f | footprint %.0f B ==\n",
+                m.gauge("stream.records_ingested"), m.gauge("stream.diag.jobs"),
+                m.gauge("stream.diag.anomalies"),
+                m.gauge("stream.diag.root_cause_found"),
+                m.gauge("stream.diag.needs_manual"),
+                m.gauge("stream.diag.revisions"),
+                m.gauge("stream.diag.confidence_mean"),
+                m.gauge("stream.footprint_bytes"));
+  return std::string(head) + t.str();
+}
+
+}  // namespace astral::monitor

@@ -213,6 +213,110 @@ TEST(TelemetryStore, JsonSnapshotConsolidatesAllLayers) {
   EXPECT_EQ((*reparsed)["application"].size(), 1u);
 }
 
+TEST(TelemetryStore, QpsOfHostSurvivesReRegistration) {
+  // qps_of_host is served from a host->QP index maintained at
+  // register_qp time; re-registration (fleet segments re-register ring
+  // QPs after elastic transitions, possibly with new host mappings) must
+  // neither duplicate entries nor leave stale ones behind.
+  TelemetryStore store;
+  QpMeta meta;
+  meta.qp = 5;
+  meta.src_host_rank = 1;
+  store.register_qp(meta);
+  store.register_qp(meta);  // same host twice: no duplicate
+  EXPECT_EQ(store.qps_of_host(1), (std::vector<QpId>{5}));
+  meta.src_host_rank = 2;  // the QP moves hosts: erased from the old one
+  store.register_qp(meta);
+  EXPECT_TRUE(store.qps_of_host(1).empty());
+  EXPECT_EQ(store.qps_of_host(2), (std::vector<QpId>{5}));
+}
+
+TEST(TelemetryStore, IndexedQueriesMatchBruteForceScans) {
+  // mean_qp_rate / last_iteration / qps_of_host are served from indexes
+  // maintained at record() time; this pins each to the brute-force
+  // definition over the public record spans, under a randomized
+  // interleaved ingestion stream (bitwise-identical sums: the index
+  // walks samples in the same arrival order the full scan does).
+  TelemetryStore store;
+  std::uint64_t state = 999;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 3000; ++i) {
+    switch (next() % 3) {
+      case 0: {
+        QpRateSample s;
+        s.t = 0.001 * static_cast<double>(next() % 5000);
+        s.qp = next() % 7;
+        s.rate_bps = next() % 4 == 0 ? 0.0 : static_cast<double>(next() % 1000) * 1e8;
+        store.record(s);
+        break;
+      }
+      case 1: {
+        NcclTimelineEvent ev;
+        ev.t = 0.001 * i;
+        ev.host_rank = static_cast<int>(next() % 4);
+        ev.iteration = static_cast<int>(next() % 40);
+        store.record(ev);
+        break;
+      }
+      default: {
+        QpMeta meta;
+        meta.qp = next() % 11;
+        meta.src_host_rank = static_cast<int>(next() % 4);
+        store.register_qp(meta);
+        break;
+      }
+    }
+  }
+
+  for (QpId qp = 0; qp < 8; ++qp) {
+    for (auto [from, to] : {std::pair{0.0, 5.0}, {1.0, 2.5}, {4.9, 4.0}}) {
+      double sum = 0.0;
+      std::uint64_t n = 0;
+      for (const auto& s : store.qp_rates()) {
+        if (s.qp == qp && s.t >= from && s.t <= to && s.rate_bps > 0.0) {
+          sum += s.rate_bps;
+          ++n;
+        }
+      }
+      double brute = n ? sum / static_cast<double>(n) : 0.0;
+      EXPECT_DOUBLE_EQ(store.mean_qp_rate(qp, from, to), brute)
+          << "qp " << qp << " [" << from << ", " << to << "]";
+    }
+  }
+
+  int brute_last = -1;
+  for (const auto& ev : store.nccl_timeline()) {
+    brute_last = std::max(brute_last, ev.iteration);
+  }
+  EXPECT_EQ(store.last_iteration(), brute_last);
+
+  for (int host = 0; host < 5; ++host) {
+    std::vector<QpId> brute;
+    for (QpId qp = 0; qp < 11; ++qp) {
+      auto meta = store.qp_meta(qp);
+      if (meta && meta->src_host_rank == host) brute.push_back(qp);
+    }
+    EXPECT_EQ(store.qps_of_host(host), brute) << "host " << host;
+  }
+}
+
+TEST(TelemetryStore, LastIterationEmptySentinel) {
+  TelemetryStore store;
+  EXPECT_EQ(store.last_iteration(), -1);
+  store.record(QpRateSample{0.0, 1, 1.0});  // non-timeline records: still -1
+  EXPECT_EQ(store.last_iteration(), -1);
+  store.record(NcclTimelineEvent{.t = 0, .host_rank = 0, .iteration = 0});
+  EXPECT_EQ(store.last_iteration(), 0);
+  store.record(NcclTimelineEvent{.t = 1, .host_rank = 0, .iteration = 3});
+  store.record(NcclTimelineEvent{.t = 2, .host_rank = 1, .iteration = 1});
+  EXPECT_EQ(store.last_iteration(), 3);  // running max, not last arrival
+}
+
 TEST(FaultTaxonomy, PrevalencesSumToOne) {
   double sum = 0.0;
   for (auto c : {RootCause::HostEnvConfig, RootCause::NicError, RootCause::UserCode,
