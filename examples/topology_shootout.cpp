@@ -1,0 +1,44 @@
+// Topology-zoo shootout: every FabricStyle member runs the same
+// adversarial campaigns (polarization storm + controller defuse,
+// mixed-collective incast, failure blast radius) and is ranked on
+// cost / performance / availability. Exits nonzero when any self-gate
+// fails — CI runs this binary as the `topology-shootout` job.
+//
+//   ./topology_shootout            # default 64-host zoo instances
+//
+// See EXPERIMENTS.md ("Topology shootout") for reading the table.
+#include <cstdio>
+
+#include "core/table.h"
+#include "zoo/shootout.h"
+
+int main() {
+  using namespace astral;
+
+  core::print_banner("Topology-zoo shootout: adversarial routing campaigns");
+  zoo::ShootoutConfig cfg;
+  std::printf(
+      "zoo scale: %d rails x %d hosts/block x %d blocks/pod x %d pods "
+      "(dual-ToR), clos oversub %.1f\n"
+      "campaigns: polarization storm (adversarial ECMP ports, controller "
+      "defuse), rail-0 incast vs rail-1 background, fault blast radius\n\n",
+      cfg.rails, cfg.hosts_per_block, cfg.blocks_per_pod, cfg.pods,
+      cfg.clos_oversub);
+
+  auto report = zoo::run_shootout(cfg);
+  std::printf("%s\n", report.table.c_str());
+  std::printf(
+      "columns: ecmp-load = adversarial max link load -> after controller "
+      "rebalance / documented bound; incast = background makespan alone / "
+      "under incast (1.0 = full rail isolation); avail = blast-radius "
+      "availability; $/good-gpu-h = cost / (GPUs x availability).\n\n");
+
+  if (!report.ok()) {
+    std::printf("GATE FAILURES (%zu):\n", report.gate_failures.size());
+    for (const auto& g : report.gate_failures) std::printf("  %s\n", g.c_str());
+    return 1;
+  }
+  std::printf("all self-gates passed (%zu zoo members ranked)\n",
+              report.rows.size());
+  return 0;
+}

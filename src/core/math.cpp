@@ -43,6 +43,17 @@ std::vector<double> zscores(std::span<const double> xs) {
   return out;
 }
 
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq < 1e-12) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 double Polynomial::eval(double x) const {
   double acc = 0.0;
   // Horner evaluation from the highest coefficient.

@@ -24,6 +24,12 @@ double percentile(std::span<const double> xs, double p);
 /// spread is ~0 all scores are 0 (no outliers in a constant series).
 std::vector<double> zscores(std::span<const double> xs);
 
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// allocations: 1.0 when perfectly even, approaching 1/n under total
+/// polarization (one user takes everything). 1.0 for empty or all-zero
+/// spans (nothing is unfairly shared).
+double jain_fairness(std::span<const double> xs);
+
 /// A polynomial sum_i coeffs[i] * x^i.
 struct Polynomial {
   std::vector<double> coeffs;

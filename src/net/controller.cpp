@@ -1,6 +1,7 @@
 #include "net/controller.h"
 
 #include <algorithm>
+#include <map>
 
 namespace astral::net {
 
@@ -21,6 +22,45 @@ int EcmpController::max_link_load(const std::vector<FlowSpec>& specs) const {
   int max_load = 0;
   for (const auto& [l, n] : estimate_load(specs)) max_load = std::max(max_load, n);
   return max_load;
+}
+
+int EcmpController::balanced_load(const std::vector<FlowSpec>& specs) const {
+  const topo::Topology& topo = sim_.fabric().topo();
+
+  // (a) Tier pigeonhole: shortest paths of a fixed endpoint pair cross
+  // each tier (directed kind pair) the same number of times regardless of
+  // the ECMP choice, so the crossings can at best spread evenly over the
+  // tier's link census.
+  using Tier = std::pair<int, int>;
+  std::map<Tier, long long> tier_links;
+  for (const auto& l : topo.links()) {
+    tier_links[{static_cast<int>(topo.node(l.src).kind),
+                static_cast<int>(topo.node(l.dst).kind)}]++;
+  }
+  std::map<Tier, long long> crossings;
+  // (b) NIC floor: a flow's first and last hops are pinned to its
+  // (host, rail) pair, with only the dual-ToR sides to split over.
+  std::map<std::pair<topo::NodeId, int>, long long> src_nic, dst_nic;
+  for (const FlowSpec& s : specs) {
+    auto path = sim_.predict_path(s);
+    if (!path) continue;
+    for (topo::LinkId l : *path) {
+      crossings[{static_cast<int>(topo.node(topo.link(l).src).kind),
+                 static_cast<int>(topo.node(topo.link(l).dst).kind)}]++;
+    }
+    src_nic[{s.src_host, s.src_rail}]++;
+    dst_nic[{s.dst_host, s.dst_rail}]++;
+  }
+
+  long long bound = 0;
+  for (const auto& [tier, n] : crossings) {
+    long long links = tier_links[tier];
+    if (links > 0) bound = std::max(bound, (n + links - 1) / links);
+  }
+  const long long sides = topo.sides();
+  for (const auto& [nic, n] : src_nic) bound = std::max(bound, (n + sides - 1) / sides);
+  for (const auto& [nic, n] : dst_nic) bound = std::max(bound, (n + sides - 1) / sides);
+  return static_cast<int>(bound);
 }
 
 int EcmpController::rebalance(std::vector<FlowSpec>& specs) const {

@@ -45,6 +45,25 @@ class EcmpController {
   /// and Fig. 17 track).
   int max_link_load(const std::vector<FlowSpec>& specs) const;
 
+  /// Pigeonhole lower bound on the max per-link flow count ANY port
+  /// assignment could achieve for `specs`: the worse of (a) per-tier
+  /// crossings spread perfectly evenly over that tier's links and (b) the
+  /// NIC floor — flows sharing a (host, rail) injection point have only
+  /// `sides` first-hop links to split over. No rewrite can beat this.
+  int balanced_load(const std::vector<FlowSpec>& specs) const;
+
+  /// The controller's documented guarantee: once rebalance() converges
+  /// (max_link_load stops improving, <= ~8 rounds in practice),
+  /// max_link_load(specs) <= rebalance_bound(specs). The greedy
+  /// worst-first local search with a bounded port-candidate set is not
+  /// optimal, so the bound is 2x the pigeonhole optimum plus one — the
+  /// zoo-wide property test in tests/net_controller_test.cpp and the
+  /// polarization-defuse gate in examples/topology_shootout both enforce
+  /// exactly this expression.
+  int rebalance_bound(const std::vector<FlowSpec>& specs) const {
+    return 2 * balanced_load(specs) + 1;
+  }
+
  private:
   const FluidSim& sim_;
   Config cfg_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "core/rng.h"
@@ -14,8 +15,42 @@ const char* to_string(FabricStyle style) {
     case FabricStyle::RailOptimized: return "rail-optimized";
     case FabricStyle::Clos: return "clos";
     case FabricStyle::RailOnly: return "rail-only";
+    case FabricStyle::UBMesh: return "ub-mesh";
   }
   return "?";
+}
+
+std::optional<std::string> validate_params(const FabricParams& p) {
+  std::vector<std::string> problems;
+  auto bad = [&](std::string msg) {
+    problems.push_back("[" + std::to_string(problems.size()) + "] " + std::move(msg));
+  };
+  auto positive = [&](const char* name, int v) {
+    if (v <= 0) bad(std::string(name) + " must be > 0 (got " + std::to_string(v) + ")");
+  };
+  positive("rails", p.rails);
+  positive("hosts_per_block", p.hosts_per_block);
+  positive("blocks_per_pod", p.blocks_per_pod);
+  positive("pods", p.pods);
+  positive("datacenters", p.datacenters);
+  if (p.host_port_gbps <= 0.0) {
+    bad("host_port_gbps must be > 0 (got " + std::to_string(p.host_port_gbps) + ")");
+  }
+  if (p.trunk_gbps <= 0.0) {
+    bad("trunk_gbps must be > 0 (got " + std::to_string(p.trunk_gbps) + ")");
+  }
+  if (p.tier3_oversub < 1.0) {
+    bad("tier3_oversub must be >= 1 (got " + std::to_string(p.tier3_oversub) +
+        "); oversubscription thins the core, it cannot add capacity");
+  }
+  if (p.datacenters > 1 && p.crossdc_oversub <= 0.0) {
+    bad("crossdc_oversub must be > 0 when datacenters > 1 (got " +
+        std::to_string(p.crossdc_oversub) + ")");
+  }
+  if (problems.empty()) return std::nullopt;
+  std::string joined = problems.front();
+  for (std::size_t i = 1; i < problems.size(); ++i) joined += "; " + problems[i];
+  return joined;
 }
 
 FabricParams FabricParams::paper_scale() {
@@ -33,12 +68,135 @@ FabricParams FabricParams::paper_scale() {
 int FabricParams::tor_uplinks() const {
   // ToR downlink capacity must equal uplink capacity (identical aggregated
   // bandwidth); with single-ToR wiring both NIC ports land on one link.
-  double per_link = host_port_gbps * (dual_tor ? 1.0 : 2.0);
-  double down = hosts_per_block * per_link;
+  double down = hosts_per_block * host_link_gbps();
   return static_cast<int>(std::ceil(down / trunk_gbps));
 }
 
-Fabric::Fabric(FabricParams params) : params_(params) { build(); }
+int FabricParams::agg_count() const {
+  // Same-rail styles: rails*sides groups of tor_uplinks() Aggs per pod.
+  // Full-mesh styles: one pod-wide group of the same total. UBMesh: the
+  // pod's tor_uplinks() border switches.
+  int per_pod = style == FabricStyle::UBMesh ? tor_uplinks()
+                                             : rails * sides() * tor_uplinks();
+  return total_pods() * per_pod;
+}
+
+int FabricParams::core_count() const {
+  if (style == FabricStyle::RailOnly || style == FabricStyle::UBMesh) return 0;
+  return datacenters * tor_uplinks() * blocks_per_pod;
+}
+
+long long FabricParams::link_count() const {
+  const long long hosts = host_count();
+  const long long tier1 = 2ll * hosts * rails * sides();
+  // Every style wires blocks_per_pod*rails*sides ToRs to tor_uplinks()
+  // Aggs-worth of trunk per pod (same-rail: per group; full-mesh: shuffled
+  // slots; UBMesh: every ToR to every border switch).
+  const long long tier2 = 2ll * total_pods() * tors_per_pod() * tor_uplinks();
+  long long total = tier1 + tier2;
+  const int T = tors_per_pod();
+  switch (style) {
+    case FabricStyle::RailOnly:
+      break;
+    case FabricStyle::AstralSameRail:
+    case FabricStyle::RailOptimized:
+    case FabricStyle::Clos:
+      // Each Agg uplinks to blocks_per_pod same-rank cores; long haul
+      // pairs same-index cores of adjacent datacenters.
+      total += 2ll * total_pods() * rails * sides() * tor_uplinks() * blocks_per_pod;
+      total += 2ll * (datacenters - 1) * tor_uplinks() * blocks_per_pod;
+      break;
+    case FabricStyle::UBMesh:
+      // Dim-2 intra-pod ToR mesh, dim-3 per-rank pod mesh per DC, dim-4
+      // same-(pod,rank) long-haul pairs.
+      total += static_cast<long long>(total_pods()) * T * (T - 1);
+      total += static_cast<long long>(datacenters) * tor_uplinks() * pods * (pods - 1);
+      total += 2ll * (datacenters - 1) * pods * tor_uplinks();
+      break;
+  }
+  return total;
+}
+
+double FabricParams::expected_tier_gbps(NodeKind a, NodeKind b) const {
+  const double per_link = host_link_gbps();
+  const int U = tor_uplinks();
+  const int T = tors_per_pod();
+  const int PT = total_pods();
+  const bool has_core = style != FabricStyle::RailOnly && style != FabricStyle::UBMesh;
+  if ((a == NodeKind::Host && b == NodeKind::Tor) ||
+      (a == NodeKind::Tor && b == NodeKind::Host)) {
+    return static_cast<double>(host_count()) * rails * sides() * per_link;
+  }
+  if ((a == NodeKind::Tor && b == NodeKind::Agg) ||
+      (a == NodeKind::Agg && b == NodeKind::Tor)) {
+    return static_cast<double>(PT) * T * U * trunk_gbps;
+  }
+  if (a == NodeKind::Tor && b == NodeKind::Tor) {
+    // UBMesh dim 2: per-ToR mesh capacity = host-side down capacity,
+    // spread across T-1 neighbors; tier_bandwidth sums both directions.
+    if (style != FabricStyle::UBMesh || T <= 1) return 0.0;
+    return static_cast<double>(PT) * T * hosts_per_block * per_link;
+  }
+  if ((a == NodeKind::Agg && b == NodeKind::Core) ||
+      (a == NodeKind::Core && b == NodeKind::Agg)) {
+    if (!has_core) return 0.0;
+    return static_cast<double>(PT) * rails * sides() * U * blocks_per_pod * trunk_gbps /
+           tier3_oversub;
+  }
+  if (a == NodeKind::Agg && b == NodeKind::Agg) {
+    if (style != FabricStyle::UBMesh) return 0.0;
+    // Dim 3: per-rank pod mesh, each border switch spending its ToR-side
+    // down capacity (T*trunk) over pods-1 peers, thinned by the
+    // oversubscription knob...
+    double total = pods > 1 ? static_cast<double>(datacenters) * U * pods * T *
+                                  trunk_gbps / tier3_oversub
+                            : 0.0;
+    // ...plus dim 4: both directions of the long-haul pairs.
+    if (datacenters > 1) {
+      total += 2.0 * (datacenters - 1) * pods * U * T * trunk_gbps /
+               (tier3_oversub * crossdc_oversub);
+    }
+    return total;
+  }
+  if (a == NodeKind::Core && b == NodeKind::Core) {
+    if (!has_core || datacenters <= 1) return 0.0;
+    return 2.0 * (datacenters - 1) * U * blocks_per_pod * pods * rails * sides() *
+           trunk_gbps / (tier3_oversub * crossdc_oversub);
+  }
+  return 0.0;
+}
+
+double FabricParams::expected_bisection_gbps() const {
+  const int PT = total_pods();
+  if (PT < 2 || PT % 2 != 0) return 0.0;
+  if (style == FabricStyle::RailOnly) return 0.0;
+  const int U = tor_uplinks();
+  const int T = tors_per_pod();
+  if (datacenters == 1) {
+    if (style == FabricStyle::UBMesh) {
+      // Full-mesh capacity between the halves: (P/2)^2 same-rank border
+      // pairs out of the P-1 peers each switch spreads its uplink over.
+      return static_cast<double>(U) * (PT / 2) * (PT / 2) * T * trunk_gbps /
+             ((PT - 1) * tier3_oversub);
+    }
+    // Clos-like: the cut runs between one half's Aggs and the shared
+    // core layer — half the pods' worth of Agg->Core capacity.
+    return static_cast<double>(PT / 2) * rails * sides() * U * blocks_per_pod *
+           trunk_gbps / tier3_oversub;
+  }
+  if (datacenters % 2 != 0) return 0.0;
+  // The canonical halves split between datacenters: the cut is one
+  // long-haul boundary (identical per boundary for both wirings).
+  return static_cast<double>(pods) * U * T * trunk_gbps /
+         (tier3_oversub * crossdc_oversub);
+}
+
+Fabric::Fabric(FabricParams params) : params_(params) {
+  if (auto err = validate_params(params_)) {
+    throw std::invalid_argument("Fabric: invalid FabricParams: " + *err);
+  }
+  build();
+}
 
 Fabric build_fabric(FabricParams params) { return Fabric(params); }
 
@@ -79,15 +237,22 @@ void Fabric::build() {
   build_tier1();
   switch (params_.style) {
     case FabricStyle::AstralSameRail:
-    case FabricStyle::RailOnly:
       build_tier2_same_rail();
+      build_tier3();
+      break;
+    case FabricStyle::RailOnly:
+      build_tier2_same_rail();  // per-rail islands; no Core tier
       break;
     case FabricStyle::RailOptimized:
     case FabricStyle::Clos:
       build_tier2_full_mesh();
+      build_tier3();
+      break;
+    case FabricStyle::UBMesh:
+      build_tier2_ubmesh();
+      build_tier3_ubmesh();
       break;
   }
-  if (params_.style != FabricStyle::RailOnly) build_tier3();
 }
 
 void Fabric::build_tier1() {
@@ -219,6 +384,96 @@ void Fabric::build_tier2_full_mesh() {
           for (int k = 0; k < uplinks; ++k) {
             topo_.add_duplex(tor, slots[cursor++], core::gbps(params_.trunk_gbps));
           }
+        }
+      }
+    }
+  }
+}
+
+void Fabric::build_tier2_ubmesh() {
+  // Dimension 2 of the nD-FullMesh: every ToR of a pod links directly to
+  // every other ToR of the pod (across blocks, rails AND sides — locality
+  // replaces the aggregation tier for intra-pod traffic). Each ToR's
+  // aggregate mesh capacity equals its host-side down capacity (the P2
+  // invariant at the ToR boundary), spread evenly over its T-1 neighbors.
+  const int T = params_.tors_per_pod();
+  if (T <= 1) return;
+  const double mesh_gbps =
+      params_.hosts_per_block * params_.host_link_gbps() / (T - 1);
+  for (int p = 0; p < params_.total_pods(); ++p) {
+    const int base = p * T;  // tors_ is flattened pod-major
+    for (int i = 0; i < T; ++i) {
+      for (int j = i + 1; j < T; ++j) {
+        topo_.add_duplex(tors_[static_cast<std::size_t>(base + i)],
+                         tors_[static_cast<std::size_t>(base + j)],
+                         core::gbps(mesh_gbps));
+      }
+    }
+  }
+}
+
+void Fabric::build_tier3_ubmesh() {
+  // Dimensions 3 and 4: each pod gets tor_uplinks() border switches
+  // (NodeKind::Agg), every ToR trunk-connected to each of them. Same-rank
+  // border switches form a full mesh across the pods of a datacenter —
+  // each spreads its ToR-side down capacity (T * trunk / tier3_oversub)
+  // over its pods-1 peers — and same-(pod,rank) switches of adjacent
+  // datacenters carry the long haul, further thinned by crossdc_oversub.
+  const int U = params_.tor_uplinks();
+  const int T = params_.tors_per_pod();
+  agg_groups_per_pod_ = 1;
+  aggs_by_group_.assign(static_cast<std::size_t>(params_.total_pods()), {});
+
+  for (int p = 0; p < params_.total_pods(); ++p) {
+    auto& group = aggs_by_group_[static_cast<std::size_t>(p)];
+    for (int i = 0; i < U; ++i) {
+      Node n;
+      n.kind = NodeKind::Agg;
+      n.pod = p;
+      n.group = 0;
+      n.index = i;
+      n.name = "p" + std::to_string(p) + ".agg.ub.i" + std::to_string(i);
+      group.push_back(topo_.add_node(std::move(n)));
+    }
+    const int base = p * T;
+    for (int t = 0; t < T; ++t) {
+      for (NodeId agg : group) {
+        topo_.add_duplex(tors_[static_cast<std::size_t>(base + t)], agg,
+                         core::gbps(params_.trunk_gbps));
+      }
+    }
+  }
+
+  if (params_.pods > 1) {
+    const double pod_gbps =
+        T * params_.trunk_gbps / ((params_.pods - 1) * params_.tier3_oversub);
+    for (int dc = 0; dc < params_.datacenters; ++dc) {
+      for (int rank = 0; rank < U; ++rank) {
+        for (int pa = 0; pa < params_.pods; ++pa) {
+          for (int pb = pa + 1; pb < params_.pods; ++pb) {
+            NodeId a = aggs_by_group_[static_cast<std::size_t>(dc * params_.pods + pa)]
+                                     [static_cast<std::size_t>(rank)];
+            NodeId b = aggs_by_group_[static_cast<std::size_t>(dc * params_.pods + pb)]
+                                     [static_cast<std::size_t>(rank)];
+            topo_.add_duplex(a, b, core::gbps(pod_gbps));
+          }
+        }
+      }
+    }
+  }
+
+  if (params_.datacenters > 1) {
+    const double haul_gbps = T * params_.trunk_gbps /
+                             (params_.tier3_oversub * params_.crossdc_oversub);
+    for (int dc = 0; dc + 1 < params_.datacenters; ++dc) {
+      for (int p = 0; p < params_.pods; ++p) {
+        for (int rank = 0; rank < U; ++rank) {
+          NodeId a = aggs_by_group_[static_cast<std::size_t>(dc * params_.pods + p)]
+                                   [static_cast<std::size_t>(rank)];
+          NodeId b =
+              aggs_by_group_[static_cast<std::size_t>((dc + 1) * params_.pods + p)]
+                            [static_cast<std::size_t>(rank)];
+          topo_.add_duplex(a, b, core::gbps(haul_gbps));
         }
       }
     }

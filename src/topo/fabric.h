@@ -10,12 +10,30 @@
 //    host's NIC ports are scrambled across ToRs; tier 2 is a full mesh.
 //  * RailOnly — Meta's rail-only design: per-rail islands, no Core tier;
 //    cross-rail traffic must use the intra-host interconnect.
+//  * UBMesh — UB-Mesh-like hierarchically localized nD-FullMesh: rail
+//    ToRs at dimension 1 (dual-ToR preserved), a direct full mesh over
+//    all ToRs of a Pod at dimension 2 (per-ToR mesh capacity equals its
+//    host-side down capacity), per-Pod border switches forming a
+//    same-rank full mesh across the Pods of a datacenter at dimension 3
+//    (thinned by tier3_oversub), and same-(pod,rank) long-haul pairs
+//    between adjacent datacenters at dimension 4. Short traffic stays
+//    low-dimension (2 switch hops intra-Pod vs. Clos's 3) at the price
+//    of bisection bandwidth spread across all Pod pairs.
 //
 // All builders expose a tier-3 oversubscription knob (the paper's Fig. 2
 // study) and produce scaled-down instances by default; paper_scale()
 // gives the published 512K-GPU parameterization for capacity math.
+//
+// FabricParams doubles as the closed-form oracle for the topology-zoo
+// conformance suite: expected node/link censuses, per-tier aggregate
+// bandwidth, and bisection bandwidth are all derivable from the
+// parameters alone (see the "closed-form census" block below), and
+// tests/topo_zoo_conformance_test.cpp checks every built member against
+// them.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "topo/topology.h"
@@ -27,9 +45,15 @@ enum class FabricStyle : std::uint8_t {
   RailOptimized,
   Clos,
   RailOnly,
+  UBMesh,
 };
 
 const char* to_string(FabricStyle style);
+
+/// All zoo members, in canonical comparison order.
+inline constexpr FabricStyle kAllFabricStyles[] = {
+    FabricStyle::AstralSameRail, FabricStyle::RailOptimized, FabricStyle::Clos,
+    FabricStyle::RailOnly, FabricStyle::UBMesh};
 
 struct FabricParams {
   FabricStyle style = FabricStyle::AstralSameRail;
@@ -54,12 +78,49 @@ struct FabricParams {
   static FabricParams paper_scale();
 
   int sides() const { return dual_tor ? 2 : 1; }
-  /// ToR uplink count; equals Aggs per tier-2 group for same-rail styles.
+  /// ToR uplink count; equals Aggs per tier-2 group for same-rail styles
+  /// and border switches per Pod for UBMesh.
   int tor_uplinks() const;
   int total_pods() const { return pods * datacenters; }
   int gpu_count() const { return total_pods() * blocks_per_pod * hosts_per_block * rails; }
   int host_count() const { return total_pods() * blocks_per_pod * hosts_per_block; }
+
+  // --- closed-form census & capacity math (the conformance oracle) ---
+
+  /// Host-side capacity of one host<->ToR link, Gbps (both NIC ports
+  /// collapse onto one link without dual-ToR wiring).
+  double host_link_gbps() const { return host_port_gbps * (dual_tor ? 1.0 : 2.0); }
+  /// ToRs per pod (every style keeps one ToR per rail and side per block).
+  int tors_per_pod() const { return blocks_per_pod * rails * sides(); }
+
+  int tor_count() const { return total_pods() * tors_per_pod(); }
+  int agg_count() const;
+  int core_count() const;
+  int switch_count() const { return tor_count() + agg_count() + core_count(); }
+  int node_count() const { return host_count() + switch_count(); }
+  /// Total directed link count (add_duplex adds two).
+  long long link_count() const;
+
+  /// What Topology::tier_bandwidth(a, b) must report for the built
+  /// fabric, in Gbps: one direction for up/down tier pairs, both
+  /// directions of each duplex pair for same-kind mesh tiers (Tor-Tor,
+  /// Agg-Agg, Core-Core). Zero for pairs the style does not wire.
+  double expected_tier_gbps(NodeKind a, NodeKind b) const;
+
+  /// Aggregate one-way capacity crossing the canonical pod bisection
+  /// (first total_pods()/2 pods vs. the rest; cores side with their home
+  /// datacenter's pods). Defined for an even total pod count with
+  /// datacenters == 1 or an even datacenter count; 0 for rail-only
+  /// fabrics (no inter-pod connectivity) and degenerate splits.
+  double expected_bisection_gbps() const;
 };
+
+/// Construction-time validation: nullopt when the parameters describe a
+/// buildable fabric, otherwise a description of every problem found
+/// (mirrors monitor::validate_recovery). Fabric's constructor throws
+/// std::invalid_argument with this message instead of silently building
+/// a malformed graph.
+std::optional<std::string> validate_params(const FabricParams& params);
 
 /// Where a global GPU index lives.
 struct GpuLoc {
@@ -103,7 +164,9 @@ class Fabric {
   void build_tier1();
   void build_tier2_same_rail();
   void build_tier2_full_mesh();
+  void build_tier2_ubmesh();
   void build_tier3();
+  void build_tier3_ubmesh();
   void build_long_haul(const std::vector<std::vector<NodeId>>& cores_by_dc);
 
   FabricParams params_;

@@ -105,5 +105,17 @@ TEST(RelativeDeviation, Basics) {
   EXPECT_GT(relative_deviation(1.0, 0.0), 1e9);
 }
 
+TEST(JainFairness, Basics) {
+  std::vector<double> even{4, 4, 4, 4};
+  EXPECT_DOUBLE_EQ(jain_fairness(even), 1.0);
+  std::vector<double> polarized{16, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(polarized), 0.25);  // 1/n
+  std::vector<double> skewed{2, 1, 1};
+  EXPECT_NEAR(jain_fairness(skewed), 16.0 / 18.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
 }  // namespace
 }  // namespace astral::core

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "core/math.h"
+#include "core/rng.h"
+
 namespace astral::net {
 namespace {
 
@@ -109,6 +115,101 @@ TEST(EcmpController, ReassignmentLowersEcnMarksAcrossRounds) {
   }
   EXPECT_LE(marks_per_round.back(), marks_per_round.front());
 }
+
+// --- Zoo-wide rebalance-bound property -------------------------------
+//
+// For every topology-zoo member, seeded adversarial permutations must
+// end under the controller's documented guarantee: after convergence no
+// link's predicted ECMP load exceeds rebalance_bound() = 2x the
+// pigeonhole-balanced load + 1, and Jain's fairness over link loads must
+// not degrade. The shootout's polarization-defuse gate enforces the same
+// expression at campaign scale.
+
+class RebalanceBound : public ::testing::TestWithParam<topo::FabricStyle> {
+ protected:
+  topo::Fabric fabric() const {
+    topo::FabricParams p;
+    p.style = GetParam();
+    p.rails = 4;
+    p.hosts_per_block = 8;
+    p.blocks_per_pod = 4;
+    p.pods = 2;
+    return topo::Fabric(p);
+  }
+
+  // Seeded rail-0 permutation: every host sends to a shuffled peer.
+  // Rail-only fabrics route only inside a pod, so the permutation is
+  // drawn per pod; the other styles shuffle across the whole cluster.
+  std::vector<FlowSpec> seeded_permutation(const topo::Fabric& f,
+                                           std::uint64_t seed) const {
+    const int hosts = f.host_count();
+    const int span = GetParam() == topo::FabricStyle::RailOnly
+                         ? f.params().blocks_per_pod * f.params().hosts_per_block
+                         : hosts;
+    core::Rng rng(seed);
+    std::vector<int> perm(static_cast<std::size_t>(hosts));
+    for (int h = 0; h < hosts; ++h) perm[static_cast<std::size_t>(h)] = h;
+    for (int base = 0; base < hosts; base += span) {
+      for (int i = span; i > 1; --i) {
+        std::swap(perm[static_cast<std::size_t>(base + i - 1)],
+                  perm[static_cast<std::size_t>(base) +
+                       rng.uniform_int(static_cast<std::size_t>(i))]);
+      }
+    }
+    std::vector<FlowSpec> specs;
+    for (int h = 0; h < hosts; ++h) {
+      int peer = perm[static_cast<std::size_t>(h)];
+      if (peer == h) continue;
+      FlowSpec s;
+      s.src_host = f.topo().hosts()[static_cast<std::size_t>(h)];
+      s.dst_host = f.topo().hosts()[static_cast<std::size_t>(peer)];
+      s.src_rail = 0;
+      s.dst_rail = 0;
+      s.size = 16_MiB;
+      s.tag = static_cast<std::uint64_t>(h);
+      specs.push_back(s);
+    }
+    return specs;
+  }
+
+  static std::vector<double> link_loads(const EcmpController& ctl,
+                                        const std::vector<FlowSpec>& specs) {
+    std::vector<double> loads;
+    for (const auto& [l, n] : ctl.estimate_load(specs)) {
+      loads.push_back(static_cast<double>(n));
+    }
+    return loads;
+  }
+};
+
+TEST_P(RebalanceBound, ConvergedLoadStaysUnderDocumentedBound) {
+  auto f = fabric();
+  FluidSim sim(f);
+  EcmpController ctl(sim);
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull}) {
+    auto specs = seeded_permutation(f, seed);
+    ASSERT_FALSE(specs.empty());
+    double fairness_before = core::jain_fairness(link_loads(ctl, specs));
+    for (int round = 0; round < 8; ++round) {
+      if (ctl.rebalance(specs) == 0) break;
+    }
+    int bound = ctl.rebalance_bound(specs);
+    EXPECT_GE(ctl.balanced_load(specs), 1);
+    EXPECT_LE(ctl.max_link_load(specs), bound) << "seed " << seed;
+    double fairness_after = core::jain_fairness(link_loads(ctl, specs));
+    EXPECT_GE(fairness_after, fairness_before - 0.05) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, RebalanceBound,
+                         ::testing::ValuesIn(topo::kAllFabricStyles),
+                         [](const auto& info) {
+                           std::string name = topo::to_string(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 TEST(EcmpController, NoTrafficNoWork) {
   auto f = bench_fabric();

@@ -162,7 +162,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(topo::FabricStyle::AstralSameRail,
                                          topo::FabricStyle::RailOptimized,
                                          topo::FabricStyle::Clos,
-                                         topo::FabricStyle::RailOnly),
+                                         topo::FabricStyle::RailOnly,
+                                         topo::FabricStyle::UBMesh),
                        ::testing::Values(8, 32, 96),
                        ::testing::Values(1ull, 42ull)),
     param_name);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "net/fluid_sim.h"
 
 namespace astral::topo {
@@ -200,12 +203,142 @@ TEST(Fabric, CrossDcFlowsAreBandwidthLimited) {
 
 TEST(Fabric, AllStylesConnectAllHostPairsExceptRailOnly) {
   for (auto style : {FabricStyle::AstralSameRail, FabricStyle::RailOptimized,
-                     FabricStyle::Clos}) {
+                     FabricStyle::Clos, FabricStyle::UBMesh}) {
     Fabric f(small_params(style));
     NodeId a = f.host_at(0, 0, 0);
     NodeId b = f.host_at(1, 1, 3);
     EXPECT_GT(f.topo().distance(a, b), 0) << to_string(style);
   }
+}
+
+TEST(Fabric, UBMeshIntraPodIsTwoSwitchHops) {
+  // The locality claim: any two hosts of a Pod are host -> ToR -> ToR ->
+  // host over the dimension-2 full mesh, one switch hop fewer than the
+  // Clos-style host-ToR-Agg-ToR-host path.
+  Fabric f(small_params(FabricStyle::UBMesh));
+  NodeId a = f.host_at(0, 0, 0);
+  NodeId b = f.host_at(0, 1, 3);
+  EXPECT_EQ(f.topo().distance(a, b), 3);
+  Fabric clos(small_params(FabricStyle::Clos));
+  EXPECT_EQ(clos.topo().distance(clos.host_at(0, 0, 0), clos.host_at(0, 1, 3)), 4);
+}
+
+TEST(Fabric, UBMeshHasNoCoreTier) {
+  Fabric f(small_params(FabricStyle::UBMesh));
+  EXPECT_EQ(f.params().core_count(), 0);
+  EXPECT_DOUBLE_EQ(f.topo().tier_bandwidth(NodeKind::Agg, NodeKind::Core), 0.0);
+  // Cross-pod traffic instead rides the dimension-3 border-switch mesh.
+  EXPECT_GT(f.topo().tier_bandwidth(NodeKind::Agg, NodeKind::Agg), 0.0);
+}
+
+TEST(Fabric, UBMeshTorMeshCapacityMatchesHostDownlinks) {
+  // Dimension-2 sizing rule: a ToR's mesh capacity toward the other ToRs
+  // of its Pod equals its host-side down capacity, spread evenly.
+  auto p = small_params(FabricStyle::UBMesh);
+  Fabric f(p);
+  const auto& t = f.topo();
+  int tors_per_pod = p.tors_per_pod();
+  double per_link = p.hosts_per_block * p.host_link_gbps() / (tors_per_pod - 1);
+  NodeId tor = f.tor_at(0, 0, 0, 0);
+  double mesh_out = 0.0;
+  for (LinkId l : t.out_links(tor)) {
+    if (t.node(t.link(l).dst).kind != NodeKind::Tor) continue;
+    EXPECT_NEAR(core::to_gbps(t.link(l).capacity), per_link, 1e-9);
+    mesh_out += core::to_gbps(t.link(l).capacity);
+  }
+  EXPECT_NEAR(mesh_out, p.hosts_per_block * p.host_link_gbps(), 1e-6);
+}
+
+// --- construction-time validation: one test per rejection -------------
+
+// Fabric's constructor must throw std::invalid_argument whose message
+// contains `fragment`, instead of silently building a malformed graph.
+void expect_rejected(const FabricParams& p, const std::string& fragment) {
+  ASSERT_TRUE(validate_params(p).has_value()) << fragment;
+  EXPECT_NE(validate_params(p)->find(fragment), std::string::npos)
+      << "actual: " << *validate_params(p);
+  try {
+    Fabric f(p);
+    FAIL() << "construction accepted invalid params: " << fragment;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+  }
+}
+
+TEST(FabricValidation, AcceptsEveryZooStyleAtDefaults) {
+  for (auto style : kAllFabricStyles) {
+    EXPECT_FALSE(validate_params(small_params(style)).has_value()) << to_string(style);
+  }
+}
+
+TEST(FabricValidation, RejectsNonPositiveRails) {
+  auto p = small_params(FabricStyle::AstralSameRail);
+  p.rails = 0;
+  expect_rejected(p, "rails must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositiveHostsPerBlock) {
+  auto p = small_params(FabricStyle::AstralSameRail);
+  p.hosts_per_block = -1;
+  expect_rejected(p, "hosts_per_block must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositiveBlocksPerPod) {
+  auto p = small_params(FabricStyle::RailOptimized);
+  p.blocks_per_pod = 0;
+  expect_rejected(p, "blocks_per_pod must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositivePods) {
+  auto p = small_params(FabricStyle::Clos);
+  p.pods = 0;
+  expect_rejected(p, "pods must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositiveDatacenters) {
+  auto p = small_params(FabricStyle::AstralSameRail);
+  p.datacenters = 0;
+  expect_rejected(p, "datacenters must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositiveHostPortGbps) {
+  auto p = small_params(FabricStyle::UBMesh);
+  p.host_port_gbps = 0.0;
+  expect_rejected(p, "host_port_gbps must be > 0");
+}
+
+TEST(FabricValidation, RejectsNonPositiveTrunkGbps) {
+  auto p = small_params(FabricStyle::RailOnly);
+  p.trunk_gbps = -400.0;
+  expect_rejected(p, "trunk_gbps must be > 0");
+}
+
+TEST(FabricValidation, RejectsSubUnityTier3Oversub) {
+  auto p = small_params(FabricStyle::AstralSameRail);
+  p.tier3_oversub = 0.5;
+  expect_rejected(p, "tier3_oversub must be >= 1");
+}
+
+TEST(FabricValidation, RejectsNonPositiveCrossDcOversubWhenMultiDc) {
+  auto p = small_params(FabricStyle::AstralSameRail);
+  p.datacenters = 2;
+  p.crossdc_oversub = 0.0;
+  expect_rejected(p, "crossdc_oversub must be > 0");
+  // Single-DC fabrics never consult the knob, so the same value passes.
+  p.datacenters = 1;
+  EXPECT_FALSE(validate_params(p).has_value());
+}
+
+TEST(FabricValidation, ReportsEveryProblemNumbered) {
+  FabricParams p;
+  p.rails = 0;
+  p.pods = -2;
+  p.trunk_gbps = 0.0;
+  auto err = validate_params(p);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("[0] "), std::string::npos) << *err;
+  EXPECT_NE(err->find("[1] "), std::string::npos) << *err;
+  EXPECT_NE(err->find("[2] "), std::string::npos) << *err;
 }
 
 }  // namespace

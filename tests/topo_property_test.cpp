@@ -70,6 +70,16 @@ TEST_P(FabricProperty, Tier3MatchesWhenPresent) {
   double t3 = f.topo().tier_bandwidth(NodeKind::Agg, NodeKind::Core);
   if (p.style == FabricStyle::RailOnly) {
     EXPECT_DOUBLE_EQ(t3, 0.0);
+  } else if (p.style == FabricStyle::UBMesh) {
+    // No Core tier: dimension 3 is the border-switch full mesh, present
+    // exactly when there is more than one Pod to interconnect.
+    EXPECT_DOUBLE_EQ(t3, 0.0);
+    double mesh = f.topo().tier_bandwidth(NodeKind::Agg, NodeKind::Agg);
+    if (p.pods > 1) {
+      EXPECT_GT(mesh, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(mesh, 0.0);
+    }
   } else {
     EXPECT_NEAR(t3 / t2, 1.0, 1e-9);
   }
@@ -137,7 +147,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, FabricProperty,
     ::testing::Combine(
         ::testing::Values(FabricStyle::AstralSameRail, FabricStyle::RailOptimized,
-                          FabricStyle::Clos, FabricStyle::RailOnly),
+                          FabricStyle::Clos, FabricStyle::RailOnly,
+                          FabricStyle::UBMesh),
         ::testing::Values(2, 4),        // rails
         ::testing::Values(4, 8),        // hosts per block
         ::testing::Values(2, 4),        // blocks per pod

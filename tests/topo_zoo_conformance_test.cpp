@@ -1,0 +1,326 @@
+// Topology-zoo conformance harness: every FabricStyle member, across a
+// parameter grid that includes oversubscribed and multi-datacenter
+// points, is checked against the closed-form oracle in FabricParams
+// (node/link/degree censuses, per-tier aggregate capacity, bisection
+// bandwidth) plus structural routing invariants (duplex symmetry, ECMP
+// candidate-set symmetry, up-down path validity, dual-ToR reachability
+// under single-ToR failure). DESIGN.md §"Topology zoo" derives the
+// formulas these tests pin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "topo/fabric.h"
+
+namespace astral::topo {
+namespace {
+
+enum class Variant : int {
+  Base,       // tier3_oversub = 1, one datacenter
+  Oversub,    // tier3_oversub = 4
+  TwinDc,     // datacenters = 2, crossdc_oversub = 4
+};
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::Base: return "base";
+    case Variant::Oversub: return "oversub4";
+    case Variant::TwinDc: return "twindc";
+  }
+  return "?";
+}
+
+// (style, variant, rails, dual_tor)
+using Params = std::tuple<FabricStyle, Variant, int, bool>;
+
+class ZooConformance : public ::testing::TestWithParam<Params> {
+ protected:
+  FabricParams params() const {
+    auto [style, variant, rails, dual] = GetParam();
+    FabricParams p;
+    p.style = style;
+    p.rails = rails;
+    p.hosts_per_block = 4;
+    p.blocks_per_pod = 2;
+    p.pods = 2;
+    p.dual_tor = dual;
+    if (variant == Variant::Oversub) p.tier3_oversub = 4.0;
+    if (variant == Variant::TwinDc) {
+      p.datacenters = 2;
+      p.crossdc_oversub = 4.0;
+    }
+    return p;
+  }
+
+  static int level(NodeKind k) {
+    switch (k) {
+      case NodeKind::Host: return 0;
+      case NodeKind::Tor: return 1;
+      case NodeKind::Agg: return 2;
+      case NodeKind::Core: return 3;
+    }
+    return -1;
+  }
+
+  /// Host pairs that exercise every distance class the style can route:
+  /// same block, cross block, cross pod, cross datacenter.
+  std::vector<std::pair<NodeId, NodeId>> sample_pairs(const Fabric& f) const {
+    const auto& p = f.params();
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.emplace_back(f.host_at(0, 0, 0), f.host_at(0, 0, 1));
+    pairs.emplace_back(f.host_at(0, 0, 0), f.host_at(0, 1, p.hosts_per_block - 1));
+    if (p.style != FabricStyle::RailOnly) {
+      pairs.emplace_back(f.host_at(0, 0, 0), f.host_at(p.pods - 1, 0, 0));
+      if (p.datacenters > 1) {
+        pairs.emplace_back(f.host_at(0, 0, 0),
+                           f.host_at(p.total_pods() - 1, p.blocks_per_pod - 1, 0));
+      }
+    }
+    return pairs;
+  }
+};
+
+TEST_P(ZooConformance, NodeCensusMatchesOracle) {
+  auto p = params();
+  Fabric f(p);
+  std::map<NodeKind, int> by_kind;
+  for (const auto& n : f.topo().nodes()) by_kind[n.kind]++;
+  EXPECT_EQ(by_kind[NodeKind::Host], p.host_count());
+  EXPECT_EQ(by_kind[NodeKind::Tor], p.tor_count());
+  EXPECT_EQ(by_kind[NodeKind::Agg], p.agg_count());
+  EXPECT_EQ(by_kind[NodeKind::Core], p.core_count());
+  EXPECT_EQ(static_cast<int>(f.topo().node_count()), p.node_count());
+}
+
+TEST_P(ZooConformance, LinkCensusMatchesOracle) {
+  auto p = params();
+  Fabric f(p);
+  EXPECT_EQ(static_cast<long long>(f.topo().link_count()), p.link_count());
+  for (const auto& l : f.topo().links()) {
+    EXPECT_GT(l.capacity, 0.0) << f.topo().node(l.src).name << " -> "
+                               << f.topo().node(l.dst).name;
+    EXPECT_TRUE(l.up);
+  }
+}
+
+TEST_P(ZooConformance, DegreesMatchOracle) {
+  auto p = params();
+  Fabric f(p);
+  const int uplinks = p.tor_uplinks();
+  for (const auto& n : f.topo().nodes()) {
+    int to_host = 0, to_tor = 0, to_agg = 0, to_core = 0;
+    for (LinkId l : f.topo().out_links(n.id)) {
+      switch (f.topo().node(f.topo().link(l).dst).kind) {
+        case NodeKind::Host: ++to_host; break;
+        case NodeKind::Tor: ++to_tor; break;
+        case NodeKind::Agg: ++to_agg; break;
+        case NodeKind::Core: ++to_core; break;
+      }
+    }
+    switch (n.kind) {
+      case NodeKind::Host:
+        // One NIC-port link per (rail, side); hosts never peer directly.
+        EXPECT_EQ(to_tor, p.rails * p.sides()) << n.name;
+        EXPECT_EQ(to_host + to_agg + to_core, 0) << n.name;
+        break;
+      case NodeKind::Tor:
+        EXPECT_EQ(to_host, p.hosts_per_block) << n.name;
+        EXPECT_EQ(to_agg, uplinks) << n.name;
+        EXPECT_EQ(to_tor, p.style == FabricStyle::UBMesh ? p.tors_per_pod() - 1 : 0)
+            << n.name;
+        break;
+      case NodeKind::Agg:
+        EXPECT_EQ(to_host, 0) << n.name;
+        if (p.style == FabricStyle::UBMesh) {
+          EXPECT_EQ(to_tor, p.tors_per_pod()) << n.name;
+          int mesh = p.pods - 1;  // dim-3 peers
+          int haul = 0;           // dim-4 long-haul neighbors
+          if (p.datacenters > 1) haul = (n.pod / p.pods == 0 ||
+                                         n.pod / p.pods == p.datacenters - 1)
+                                            ? 1
+                                            : 2;
+          EXPECT_EQ(to_agg, mesh + haul) << n.name;
+          EXPECT_EQ(to_core, 0) << n.name;
+        } else {
+          EXPECT_EQ(to_tor, p.blocks_per_pod) << n.name;
+          EXPECT_EQ(to_core,
+                    p.style == FabricStyle::RailOnly ? 0 : p.blocks_per_pod)
+              << n.name;
+        }
+        break;
+      case NodeKind::Core:
+        // Every core serves its rank's Aggs across all pods of its DC.
+        EXPECT_EQ(to_agg, p.pods * p.rails * p.sides()) << n.name;
+        EXPECT_EQ(to_host + to_tor, 0) << n.name;
+        break;
+    }
+  }
+}
+
+TEST_P(ZooConformance, DuplexSymmetry) {
+  Fabric f(params());
+  std::map<std::pair<NodeId, NodeId>, double> cap;
+  for (const auto& l : f.topo().links()) cap[{l.src, l.dst}] += l.capacity;
+  for (const auto& [key, c] : cap) {
+    auto rev = cap.find({key.second, key.first});
+    ASSERT_NE(rev, cap.end()) << f.topo().node(key.first).name << " <-> "
+                              << f.topo().node(key.second).name;
+    EXPECT_NEAR(rev->second, c, c * 1e-9);
+  }
+}
+
+TEST_P(ZooConformance, TierBandwidthMatchesOracle) {
+  auto p = params();
+  Fabric f(p);
+  const std::pair<NodeKind, NodeKind> tiers[] = {
+      {NodeKind::Host, NodeKind::Tor}, {NodeKind::Tor, NodeKind::Host},
+      {NodeKind::Tor, NodeKind::Agg},  {NodeKind::Agg, NodeKind::Tor},
+      {NodeKind::Tor, NodeKind::Tor},  {NodeKind::Agg, NodeKind::Core},
+      {NodeKind::Core, NodeKind::Agg}, {NodeKind::Agg, NodeKind::Agg},
+      {NodeKind::Core, NodeKind::Core}};
+  for (auto [a, b] : tiers) {
+    double expected = core::gbps(p.expected_tier_gbps(a, b));
+    double actual = f.topo().tier_bandwidth(a, b);
+    EXPECT_NEAR(actual, expected, std::max(1.0, expected) * 1e-9)
+        << to_string(a) << " -> " << to_string(b);
+  }
+}
+
+TEST_P(ZooConformance, BisectionMatchesOracle) {
+  auto p = params();
+  Fabric f(p);
+  const int PT = p.total_pods();
+  const int half = PT / 2;
+  // Canonical halves: first PT/2 pods vs. the rest. Cores carry their
+  // home datacenter's first pod as a marker, so they side with it.
+  auto in_half_a = [&](NodeId id) { return f.topo().node(id).pod < half; };
+  double cut = 0.0;
+  for (const auto& l : f.topo().links()) {
+    if (in_half_a(l.src) && !in_half_a(l.dst)) cut += l.capacity;
+  }
+  double expected = core::gbps(p.expected_bisection_gbps());
+  if (p.style == FabricStyle::RailOnly) {
+    EXPECT_DOUBLE_EQ(cut, 0.0);
+    EXPECT_DOUBLE_EQ(expected, 0.0);
+  } else {
+    EXPECT_NEAR(cut, expected, expected * 1e-9);
+    EXPECT_GT(expected, 0.0);
+  }
+}
+
+TEST_P(ZooConformance, EcmpCandidateSetSymmetry) {
+  Fabric f(params());
+  for (auto [a, b] : sample_pairs(f)) {
+    int d_ab = f.topo().distance(a, b);
+    int d_ba = f.topo().distance(b, a);
+    EXPECT_EQ(d_ab, d_ba);
+    ASSERT_GT(d_ab, 0);
+    // Duplex construction makes the equal-cost path set direction
+    // symmetric: each shortest path reverses into one.
+    EXPECT_EQ(f.topo().shortest_paths(a, b, 64).size(),
+              f.topo().shortest_paths(b, a, 64).size());
+    auto fwd = f.topo().next_hops(a, b);
+    auto rev = f.topo().next_hops(b, a);
+    EXPECT_FALSE(fwd.empty());
+    EXPECT_FALSE(rev.empty());
+    if (f.params().style != FabricStyle::RailOptimized &&
+        f.params().style != FabricStyle::Clos) {
+      // Structured (non-scrambled) tiers also mirror the injection-point
+      // candidate count; the seeded full-mesh shuffle deliberately breaks
+      // this host-level symmetry while keeping the path set symmetric.
+      EXPECT_EQ(fwd.size(), rev.size());
+    }
+    for (LinkId l : fwd) {
+      EXPECT_TRUE(f.topo().link(l).up);
+      EXPECT_EQ(f.topo().distance(f.topo().link(l).dst, b), d_ab - 1);
+    }
+  }
+}
+
+TEST_P(ZooConformance, ShortestPathsAreUpDownValid) {
+  Fabric f(params());
+  for (auto [a, b] : sample_pairs(f)) {
+    for (const auto& path : f.topo().shortest_paths(a, b, 32)) {
+      // Tier levels along the path must rise to the path's summit, may
+      // plateau only at the summit (mesh tiers: Tor-Tor on UBMesh,
+      // Agg-Agg pod mesh and long haul, Core-Core long haul), and then
+      // strictly descend — the up-down rule generalized to meshes.
+      std::vector<int> levels;
+      levels.push_back(level(f.topo().node(a).kind));
+      for (LinkId l : path) {
+        levels.push_back(level(f.topo().node(f.topo().link(l).dst).kind));
+      }
+      int summit = *std::max_element(levels.begin(), levels.end());
+      bool descending = false;
+      for (std::size_t i = 1; i < levels.size(); ++i) {
+        if (levels[i] > levels[i - 1]) {
+          EXPECT_FALSE(descending) << "re-ascent at hop " << i;
+        } else if (levels[i] == levels[i - 1]) {
+          EXPECT_EQ(levels[i], summit) << "plateau below summit at hop " << i;
+          EXPECT_FALSE(descending) << "plateau after descent at hop " << i;
+        } else {
+          descending = true;
+        }
+      }
+      // No intermediate hop transits a host.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_NE(f.topo().node(f.topo().link(path[i]).dst).kind, NodeKind::Host);
+      }
+    }
+  }
+}
+
+TEST_P(ZooConformance, DualTorSurvivesSingleTorFailure) {
+  auto p = params();
+  if (!p.dual_tor) GTEST_SKIP() << "single-ToR wiring has no ToR redundancy";
+  Fabric f(p);
+  // Kill every link touching the side-0 ToR of (pod 0, block 0, rail 0).
+  NodeId victim = f.tor_at(0, 0, 0, 0);
+  ASSERT_NE(victim, kInvalidNode);
+  std::vector<LinkId> downed;
+  for (LinkId l : f.topo().out_links(victim)) downed.push_back(l);
+  for (LinkId l : f.topo().in_links(victim)) downed.push_back(l);
+  for (LinkId l : downed) f.topo().set_link_state(l, false);
+
+  // P3: the side-1 twin keeps every sampled pair reachable, and the
+  // surviving uplink of the victim's own hosts still routes.
+  for (auto [a, b] : sample_pairs(f)) {
+    EXPECT_GT(f.topo().distance(a, b), 0);
+  }
+  NodeId host = f.host_at(0, 0, 0);
+  LinkId side1 = f.topo().host_uplink(host, 0, 1);
+  ASSERT_NE(side1, kInvalidLink);
+  EXPECT_TRUE(f.topo().link(side1).up);
+  NodeId twin = f.topo().link(side1).dst;
+  EXPECT_GT(f.topo().distance(twin, f.host_at(0, 1, 0)), 0);
+
+  for (LinkId l : downed) f.topo().set_link_state(l, true);
+  for (auto [a, b] : sample_pairs(f)) EXPECT_GT(f.topo().distance(a, b), 0);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  auto [style, variant, rails, dual] = info.param;
+  std::string name = astral::topo::to_string(style);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_" + to_string(variant) + "_r" + std::to_string(rails) +
+         (dual ? "_dual" : "_single");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooConformance,
+    ::testing::Combine(::testing::ValuesIn(kAllFabricStyles),
+                       ::testing::Values(Variant::Base, Variant::Oversub,
+                                         Variant::TwinDc),
+                       ::testing::Values(2, 4),        // rails
+                       ::testing::Values(true, false)  // dual ToR
+                       ),
+    param_name);
+
+}  // namespace
+}  // namespace astral::topo
