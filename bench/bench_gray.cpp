@@ -1,0 +1,181 @@
+// Gray-routing benchmark: the cost of watching link health. Measures
+// (a) WcmpController::observe throughput (the per-control-tick hot
+// path: every watched link, every iteration), (b) weighted-rebalance
+// latency over a ring's flow specs with a derated link in play, (c) one
+// campaign-shaped gray run under the damped WCMP controller, and (d)
+// the do-no-harm check — a clean run with the controller armed must
+// produce the identical availability ledger to the legacy engine.
+// Writes BENCH_gray.json (path = argv[1], default ./BENCH_gray.json).
+// Exit status mirrors the acceptance checks: observe >= 1M obs/s,
+// rebalance >= 100/s, zero oscillation on the gray run, ledger identity
+// on the clean pair.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "monitor/cluster_runtime.h"
+#include "net/wcmp.h"
+#include "topo/fabric.h"
+
+namespace {
+
+using namespace astral;
+using Clock = std::chrono::steady_clock;
+
+topo::FabricParams bench_params() {
+  topo::FabricParams p;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 2;
+  p.dual_tor = true;
+  return p;
+}
+
+monitor::JobConfig gray_job() {
+  monitor::JobConfig job;
+  job.hosts = 8;
+  job.iterations = 10;
+  job.compute_time = 0.005;
+  job.comm_bytes = 64ull * 1024 * 1024;
+  job.recovery.enabled = true;
+  return job;
+}
+
+double wall_ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_gray.json";
+  if (argc > 1) out_path = argv[1];
+
+  topo::Fabric fabric(bench_params());
+  net::FluidSim sim(fabric);
+
+  // (a) observe(): 1M health observations over 64 links with an
+  // adversarial flapping fraction pattern (worst case for the damping
+  // arithmetic: onsets, decay, and state churn all exercised).
+  constexpr std::uint64_t kObs = 1'000'000;
+  constexpr topo::LinkId kLinks = 64;
+  double obs_per_sec = 0.0;
+  {
+    net::WcmpController wcmp(sim);
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kObs; ++i) {
+      topo::LinkId l = static_cast<topo::LinkId>(i % kLinks);
+      if (l == 0) wcmp.tick();
+      wcmp.observe(l, (i / kLinks) % 2 == 0 ? 0.3 : 1.0);
+    }
+    obs_per_sec = static_cast<double>(kObs) / (wall_ms(t0) / 1e3);
+  }
+
+  // (b) rebalance(): ring-shaped spec set with one link derated hard,
+  // so every pass scores the widened candidate sets.
+  constexpr int kRebalances = 200;
+  double rebalance_per_sec = 0.0;
+  {
+    net::WcmpController wcmp(sim);
+    monitor::JobConfig job = gray_job();
+    monitor::ClusterRuntime rt(fabric, job, 1);
+    std::vector<net::FlowSpec> ring;
+    for (int i = 0; i < job.hosts; ++i) {
+      net::FlowSpec s;
+      auto hosts = rt.job_hosts();
+      s.src_host = hosts[static_cast<std::size_t>(i)];
+      s.dst_host = hosts[static_cast<std::size_t>((i + 1) % job.hosts)];
+      s.size = job.comm_bytes;
+      ring.push_back(s);
+    }
+    auto path = sim.predict_path(ring[0]);
+    if (path && path->size() > 1) {
+      wcmp.tick();
+      wcmp.observe((*path)[1], 0.2);
+    }
+    auto t0 = Clock::now();
+    for (int i = 0; i < kRebalances; ++i) {
+      auto specs = ring;
+      wcmp.rebalance(specs);
+    }
+    rebalance_per_sec = kRebalances / (wall_ms(t0) / 1e3);
+  }
+
+  // (c) one campaign-shaped gray run: flapper + partial degrade under
+  // the damped controller.
+  monitor::RunOutcome gray;
+  double gray_run_ms = 0.0;
+  {
+    monitor::JobConfig job = gray_job();
+    job.gray.mode = monitor::GrayRoutingConfig::Mode::Wcmp;
+    monitor::ClusterRuntime rt(fabric, job, 7);
+    monitor::FaultSchedule s;
+    s.add(rt.make_gray_fault(monitor::GrayKind::FlappingLink, 1, 1));
+    s.add(rt.make_gray_fault(monitor::GrayKind::PartialDegrade, 2, 2));
+    rt.inject(s);
+    auto t0 = Clock::now();
+    gray = rt.run();
+    gray_run_ms = wall_ms(t0);
+  }
+
+  // (d) do-no-harm: clean run, legacy engine vs. armed-but-idle WCMP.
+  monitor::RunOutcome off, wc;
+  {
+    monitor::ClusterRuntime rt(fabric, gray_job(), 7);
+    off = rt.run();
+  }
+  {
+    monitor::JobConfig job = gray_job();
+    job.gray.mode = monitor::GrayRoutingConfig::Mode::Wcmp;
+    monitor::ClusterRuntime rt(fabric, job, 7);
+    wc = rt.run();
+  }
+  bool clean_identical = off.makespan == wc.makespan &&
+                         off.goodput == wc.goodput &&
+                         off.downtime == wc.downtime && wc.derates == 0;
+
+  std::printf("wcmp observe:    %12.0f obs/s (%llu observations)\n",
+              obs_per_sec, static_cast<unsigned long long>(kObs));
+  std::printf("wcmp rebalance:  %12.0f rebalances/s (%d-flow ring)\n",
+              rebalance_per_sec, gray_job().hosts);
+  std::printf("gray run:        %8.1f ms wall, goodput %.3f, %d derates, "
+              "%d oscillations\n",
+              gray_run_ms, gray.goodput, gray.derates, gray.oscillations);
+  std::printf("clean identity:  %s\n", clean_identical ? "ok" : "DIVERGED");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"gray_routing\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"1M flap observations over 64 links; %d "
+               "weighted rebalances of an 8-flow ring; campaign-shaped gray "
+               "run on a 16-host dual-ToR fabric\",\n",
+               kRebalances);
+  std::fprintf(f, "  \"points\": {\n");
+  std::fprintf(f, "    \"observe_per_sec\": %.0f,\n", obs_per_sec);
+  std::fprintf(f, "    \"rebalance_per_sec\": %.0f,\n", rebalance_per_sec);
+  std::fprintf(f, "    \"gray_run_wall_ms\": %.2f,\n", gray_run_ms);
+  std::fprintf(f, "    \"gray_run_goodput\": %.4f,\n", gray.goodput);
+  std::fprintf(f, "    \"gray_run_derates\": %d,\n", gray.derates);
+  std::fprintf(f, "    \"gray_run_oscillations\": %d\n", gray.oscillations);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"criteria\": {\n");
+  std::fprintf(f, "    \"observe_per_sec_required\": 1000000,\n");
+  std::fprintf(f, "    \"rebalance_per_sec_required\": 100,\n");
+  std::fprintf(f, "    \"oscillations_required\": 0,\n");
+  std::fprintf(f, "    \"clean_ledger_identical\": %s\n",
+               clean_identical ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  const bool ok = obs_per_sec >= 1e6 && rebalance_per_sec >= 100.0 &&
+                  gray.oscillations == 0 && gray.completed && clean_identical;
+  return ok ? 0 : 2;
+}

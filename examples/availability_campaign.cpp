@@ -4,7 +4,13 @@
 // in-flight dual-ToR failover, and restart-from-checkpoint, and the
 // campaign reports MTTR, downtime, and effective training goodput next to
 // the familiar MTTLF.
+//
+//   availability_campaign [runs] [fabric-style]
+//
+// fabric-style is any topology-zoo member name (astral-same-rail,
+// rail-optimized, clos, rail-only, ub-mesh); default astral-same-rail.
 #include <cstdio>
+#include <cstring>
 
 #include "core/table.h"
 #include "monitor/mttlf.h"
@@ -14,11 +20,24 @@ using namespace astral;
 int main(int argc, char** argv) {
   monitor::AvailabilityConfig cfg;
   if (argc > 1) cfg.runs = std::max(1, std::atoi(argv[1]));
+  if (argc > 2) {
+    auto style = topo::style_from_string(argv[2]);
+    if (!style) {
+      std::fprintf(stderr, "unknown fabric style '%s'; members:", argv[2]);
+      for (topo::FabricStyle s : topo::kAllFabricStyles) {
+        std::fprintf(stderr, " %s", topo::to_string(s));
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    cfg.fabric.style = *style;
+  }
 
   core::print_banner("Availability campaign - recovery-aware job lifecycle");
-  std::printf("%d runs x %d faults (taxonomy sample + mid-transfer ToR death), "
-              "checkpoint every %d iterations\n\n",
-              cfg.runs, cfg.faults_per_run, cfg.job.recovery.checkpoint_interval);
+  std::printf("%d runs x %d faults (taxonomy sample + mid-transfer ToR death) "
+              "on %s, checkpoint every %d iterations\n\n",
+              cfg.runs, cfg.faults_per_run, topo::to_string(cfg.fabric.style),
+              cfg.job.recovery.checkpoint_interval);
 
   auto result = monitor::run_availability_campaign(cfg);
 

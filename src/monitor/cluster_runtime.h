@@ -76,7 +76,23 @@ class ClusterRuntime {
     return engine_->make_mid_transfer_tor_death(at_iteration, fraction);
   }
 
+  /// A seeded gray fault on the job's path: flapping link, partial
+  /// capacity degrade, or slow-NIC straggler (see GrayKind). Distinct
+  /// `hops_from_src` values target distinct path links, keeping a
+  /// multi-gray schedule clear of the overlap validator.
+  FaultSpec make_gray_fault(GrayKind kind, int at_iteration,
+                            int hops_from_src = 2) {
+    return engine_->make_gray_fault(kind, at_iteration, hops_from_src);
+  }
+
   RunOutcome run();
+
+  /// Simulation time a scheduled fault activated (by schedule index;
+  /// -1 until it strikes). Gray-campaign lead-time accounting compares
+  /// this against the stream analyzer's first precursor alarm.
+  core::Seconds fault_applied_time(int index) const {
+    return engine_->fault_applied_time(index);
+  }
 
   const TelemetryStore& telemetry() const { return engine_->store(); }
   const JobConfig& config() const { return engine_->config(); }

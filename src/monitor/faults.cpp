@@ -1,6 +1,9 @@
 #include "monitor/faults.h"
 
+#include <algorithm>
 #include <array>
+#include <limits>
+#include <utility>
 
 namespace astral::monitor {
 
@@ -18,6 +21,16 @@ const char* to_string(RootCause cause) {
     case RootCause::Memory: return "Memory";
     case RootCause::LinkFlap: return "Link Flap";
     case RootCause::PcieDegrade: return "PCIe Degrade";
+  }
+  return "?";
+}
+
+const char* to_string(GrayKind k) {
+  switch (k) {
+    case GrayKind::None: return "none";
+    case GrayKind::FlappingLink: return "flapping-link";
+    case GrayKind::PartialDegrade: return "partial-degrade";
+    case GrayKind::SlowNic: return "slow-nic";
   }
   return "?";
 }
@@ -142,6 +155,137 @@ std::optional<std::string> validate_fault(const FaultSpec& f, int hosts,
     }
   }
   return std::nullopt;
+}
+
+namespace {
+
+// Appends every gray-field problem of `f` to `out` (unnumbered prose;
+// callers number). Crisp specs (`gray == None`) contribute nothing.
+void gray_problems(const FaultSpec& f, int hosts, std::size_t links,
+                   const std::string& where, std::vector<std::string>& out) {
+  if (f.gray == GrayKind::None) return;
+  std::string kind = to_string(f.gray);
+  if (f.gray == GrayKind::SlowNic) {
+    if (f.target_host_rank < 0 || f.target_host_rank >= hosts) {
+      out.push_back(where + kind + " target_host_rank " +
+                    std::to_string(f.target_host_rank) + " outside job of " +
+                    std::to_string(hosts) + " hosts");
+    }
+  } else {
+    if (f.target_link == topo::kInvalidLink ||
+        static_cast<std::size_t>(f.target_link) >= links) {
+      out.push_back(where + kind + " needs a valid target_link (got " +
+                    std::to_string(f.target_link) + " in a fabric of " +
+                    std::to_string(links) + " links)");
+    }
+    if (f.switch_scope) {
+      out.push_back(where + kind +
+                    " cannot be switch_scope (gray faults degrade one "
+                    "element, they do not kill switches)");
+    }
+  }
+  if (!(f.degrade_factor > 0.0 && f.degrade_factor < 1.0)) {
+    out.push_back(where + kind + " degrade_factor must be in (0, 1) (got " +
+                  std::to_string(f.degrade_factor) +
+                  "); 0 is a crisp outage, 1 is no fault");
+  }
+  if (f.gray == GrayKind::FlappingLink) {
+    if (f.flap_up_iters < 1) {
+      out.push_back(where + kind + " flap_up_iters must be >= 1 (got " +
+                    std::to_string(f.flap_up_iters) + ")");
+    }
+    if (f.flap_down_iters < 1) {
+      out.push_back(where + kind + " flap_down_iters must be >= 1 (got " +
+                    std::to_string(f.flap_down_iters) + ")");
+    }
+  }
+  if (f.manifestation != Manifestation::FailSlow) {
+    out.push_back(where + kind + " manifestation must be fail-slow (got " +
+                  std::string(to_string(f.manifestation)) +
+                  "); gray faults never trip binary detectors");
+  }
+  if (f.mid_transfer_fraction != 0.0) {
+    out.push_back(where + kind +
+                  " mid_transfer_fraction must be 0; gray faults apply at "
+                  "iteration boundaries");
+  }
+}
+
+// Joins problems as "[0] ...; [1] ..." (validate_recovery's style).
+std::string numbered(const std::vector<std::string>& problems) {
+  std::string msg;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    if (!msg.empty()) msg += "; ";
+    msg += "[" + std::to_string(i) + "] " + problems[i];
+  }
+  return msg;
+}
+
+// Active-iteration window of a fault as [start, end); permanent faults
+// extend to the horizon.
+constexpr int kForever = std::numeric_limits<int>::max();
+
+std::pair<int, int> fault_window(const FaultSpec& f) {
+  if (f.repair_iterations < 0) return {f.at_iteration, kForever};
+  return {f.at_iteration, f.at_iteration + f.repair_iterations};
+}
+
+bool fault_is_host_scoped(const FaultSpec& f) {
+  if (f.gray == GrayKind::SlowNic) return true;
+  if (f.gray != GrayKind::None) return false;
+  return is_host_side(f.cause);
+}
+
+}  // namespace
+
+std::optional<std::string> validate_gray(const FaultSpec& f, int hosts,
+                                         std::size_t links) {
+  std::vector<std::string> problems;
+  gray_problems(f, hosts, links, "", problems);
+  if (problems.empty()) return std::nullopt;
+  return numbered(problems);
+}
+
+std::optional<std::string> validate_schedule(const FaultSchedule& s,
+                                             int hosts, std::size_t links) {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    const auto& f = s.faults[i];
+    std::string where = "fault " + std::to_string(i) + ": ";
+    if (auto m = validate_fault(f, hosts, links)) problems.push_back(where + *m);
+    gray_problems(f, hosts, links, where, problems);
+  }
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.faults.size(); ++j) {
+      const auto& a = s.faults[i];
+      const auto& b = s.faults[j];
+      bool ah = fault_is_host_scoped(a), bh = fault_is_host_scoped(b);
+      if (ah != bh) continue;
+      if (ah ? a.target_host_rank != b.target_host_rank
+             : a.target_link != b.target_link) {
+        continue;
+      }
+      auto [as, ae] = fault_window(a);
+      auto [bs, be] = fault_window(b);
+      if (std::max(as, bs) >= std::min(ae, be)) continue;
+      std::string target = ah ? "host rank " + std::to_string(a.target_host_rank)
+                              : "link " + std::to_string(a.target_link);
+      problems.push_back(
+          "faults " + std::to_string(i) + " and " + std::to_string(j) +
+          " have overlapping windows on " + target +
+          "; capacity restoration would be ambiguous (split the windows or "
+          "retarget one fault)");
+    }
+  }
+  if (problems.empty()) return std::nullopt;
+  return numbered(problems);
+}
+
+bool has_gray(const FaultSchedule& s) {
+  for (const auto& f : s.faults) {
+    if (f.gray != GrayKind::None) return true;
+  }
+  return false;
 }
 
 bool is_host_side(RootCause cause) {

@@ -50,6 +50,25 @@ Manifestation sample_manifestation(RootCause cause, core::Rng& rng);
 /// the network (Branch #2).
 bool is_host_side(RootCause cause);
 
+/// Gray-failure manifestations: faults that degrade a run without ever
+/// tripping a binary detector (no errCQE, no fatal syslog, no hang).
+/// Production taxonomies attribute most lost GPU-hours to these, not to
+/// the crisp Fig. 7 fail-stops. `None` marks an ordinary crisp fault —
+/// every pre-existing code path sees only `None` and behaves exactly as
+/// before.
+enum class GrayKind : std::uint8_t {
+  None,           ///< Crisp fault; legacy semantics.
+  FlappingLink,   ///< Duty-cycled capacity: `flap_down_iters` iterations at
+                  ///< `degrade_factor` residual capacity, then
+                  ///< `flap_up_iters` healthy, repeating.
+  PartialDegrade, ///< Persistent fractional capacity loss ECMP cannot see
+                  ///< (corroded optics, one dead lane in a bundle).
+  SlowNic,        ///< Straggler host: its rail uplinks deliver only
+                  ///< `degrade_factor` of nominal bandwidth.
+};
+
+const char* to_string(GrayKind k);
+
 struct FaultSpec {
   RootCause cause = RootCause::NicError;
   Manifestation manifestation = Manifestation::FailStop;
@@ -70,6 +89,16 @@ struct FaultSpec {
   /// end dies (every attached link goes down), not just the one link —
   /// the ToR-death scenario dual-homing exists for.
   bool switch_scope = false;
+  /// Gray manifestation. When not `None` the fault never produces errCQEs,
+  /// fatal syslog, or hangs — it only shifts capacity — and the engine
+  /// dispatches on this field before `cause`.
+  GrayKind gray = GrayKind::None;
+  /// FlappingLink duty cycle, in whole iterations. The link spends
+  /// `flap_down_iters` iterations degraded to `degrade_factor`, then
+  /// `flap_up_iters` at full capacity, repeating until it self-heals
+  /// (`repair_iterations`) or the run ends. Min dwell is 1 on each side.
+  int flap_up_iters = 2;
+  int flap_down_iters = 1;
 };
 
 /// Faults injected into one run: concurrent and cascading failures (a
@@ -91,5 +120,33 @@ struct FaultSchedule {
 /// with this message instead of silently no-op'ing or indexing OOB.
 std::optional<std::string> validate_fault(const FaultSpec& f, int hosts,
                                           std::size_t links);
+
+/// Gray-field validation for one spec. Returns every problem as a
+/// numbered `[N]` diagnostic joined by "; " (matching validate_recovery's
+/// house style), or nullopt when the gray fields are injectable. Specs
+/// with `gray == None` always pass — crisp faults are validated by
+/// validate_fault alone.
+std::optional<std::string> validate_gray(const FaultSpec& f, int hosts,
+                                         std::size_t links);
+
+/// Whole-schedule validation: every spec passes validate_fault +
+/// validate_gray, and no two faults own the same target (link id, or host
+/// rank for host-side causes) with overlapping active windows
+/// [at_iteration, at_iteration + repair_iterations) — permanent faults
+/// (`repair_iterations < 0`) own their target forever. Overlap would make
+/// capacity restoration ambiguous (one fault's heal resets the
+/// degradation the other is still applying), which matters once gray
+/// faults toggle capacity mid-run. Numbered `[N]` diagnostics joined by
+/// "; "; nullopt when the schedule is injectable.
+///
+/// JobEngine::inject enforces this only for schedules containing gray
+/// faults: legacy crisp campaigns deliberately model cascades on one
+/// element (a NIC error followed by that ToR dying) and keep the
+/// permissive per-spec validation.
+std::optional<std::string> validate_schedule(const FaultSchedule& s,
+                                             int hosts, std::size_t links);
+
+/// Whether any fault in the schedule has a gray manifestation.
+bool has_gray(const FaultSchedule& s);
 
 }  // namespace astral::monitor

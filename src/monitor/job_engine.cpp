@@ -21,6 +21,7 @@ const char* to_string(MitigationAction a) {
     case MitigationAction::None: return "none";
     case MitigationAction::RetryBackoff: return "retry-backoff";
     case MitigationAction::Reroute: return "reroute";
+    case MitigationAction::Derate: return "derate";
     case MitigationAction::IsolateRestart: return "isolate-restart";
     case MitigationAction::Abort: return "abort";
   }
@@ -94,6 +95,12 @@ JobEngine::JobEngine(topo::Fabric& fabric, net::FluidSim& sim, JobConfig cfg,
          start_iteration_ % cfg_.recovery.checkpoint_interval == 0);
   host_configs_.assign(static_cast<std::size_t>(cfg_.hosts), HostConfig{});
   host_slow_.assign(static_cast<std::size_t>(cfg_.hosts), 1.0);
+  if (cfg_.gray.mode == GrayRoutingConfig::Mode::Wcmp) {
+    net::WcmpConfig wc = cfg_.gray.wcmp;
+    wc.damping = cfg_.gray.flap_damping;
+    wcmp_ = std::make_unique<net::WcmpController>(*sim_, wc);
+    ring_ports_.assign(static_cast<std::size_t>(cfg_.hosts), 0);
+  }
   iter_useful_.assign(static_cast<std::size_t>(cfg_.iterations), 0.0);
   hang_deadline_ = expected_comm() * cfg_.hang_timeout_factor;
   healthy_iter_ = cfg_.compute_time + expected_comm();
@@ -147,6 +154,11 @@ net::FlowSpec JobEngine::ring_spec(int rank) const {
   spec.src_rail = 0;
   spec.dst_rail = 0;
   spec.tag = static_cast<std::uint64_t>(rank);
+  // WCMP derate pushes steer ranks off degraded links by overriding the
+  // deterministic default source port (0 = untouched legacy spread).
+  if (!ring_ports_.empty() && ring_ports_[static_cast<std::size_t>(rank)] != 0) {
+    spec.src_port = ring_ports_[static_cast<std::size_t>(rank)];
+  }
   return spec;
 }
 
@@ -159,6 +171,9 @@ void JobEngine::inject(const FaultSpec& fault) {
   if (auto err = validate_fault(fault, cfg_.hosts, fabric_.topo().link_count())) {
     throw std::invalid_argument("ClusterRuntime::inject: " + *err);
   }
+  if (auto err = validate_gray(fault, cfg_.hosts, fabric_.topo().link_count())) {
+    throw std::invalid_argument("ClusterRuntime::inject: " + *err);
+  }
   FaultRt fr;
   fr.spec = fault;
   fr.index = static_cast<int>(faults_.size());
@@ -166,6 +181,15 @@ void JobEngine::inject(const FaultSpec& fault) {
 }
 
 void JobEngine::inject(const FaultSchedule& schedule) {
+  // Gray windows toggle link capacity, so two faults owning one element
+  // would make restoration ambiguous; crisp-only schedules keep the
+  // permissive legacy validation (cascades on one element are a feature).
+  if (has_gray(schedule)) {
+    if (auto err =
+            validate_schedule(schedule, cfg_.hosts, fabric_.topo().link_count())) {
+      throw std::invalid_argument("JobEngine::inject: " + *err);
+    }
+  }
   for (const FaultSpec& f : schedule.faults) inject(f);
 }
 
@@ -231,6 +255,40 @@ FaultSpec JobEngine::make_fault(RootCause cause, Manifestation m, int at_iterati
     case Manifestation::FailSlow: f.degrade_factor = 0.2; break;
     case Manifestation::FailHang: f.degrade_factor = 0.0; break;
     default: break;
+  }
+  return f;
+}
+
+FaultSpec JobEngine::make_gray_fault(GrayKind kind, int at_iteration,
+                                     int hops_from_src) {
+  FaultSpec f;
+  f.gray = kind;
+  f.manifestation = Manifestation::FailSlow;
+  f.at_iteration = at_iteration;
+  switch (kind) {
+    case GrayKind::FlappingLink:
+      f.cause = RootCause::LinkFlap;
+      f.target_link = pick_job_path_link(hops_from_src);
+      f.degrade_factor = 0.2;
+      f.repair_iterations = -1;  // flaps until the run ends
+      break;
+    case GrayKind::PartialDegrade:
+      f.cause = RootCause::OpticalFiber;
+      f.target_link = pick_job_path_link(hops_from_src);
+      f.degrade_factor = 0.5;
+      break;
+    case GrayKind::SlowNic: {
+      f.cause = RootCause::NicError;
+      f.target_host_rank = static_cast<int>(
+          rng_.uniform_int(static_cast<std::uint64_t>(cfg_.hosts)));
+      f.degrade_factor = 0.5;
+      // The telemetry anchor: the straggler's rail-0 uplink (activation
+      // degrades every side's uplink).
+      f.target_link = fabric_.topo().host_uplink(
+          hosts_[static_cast<std::size_t>(f.target_host_rank)], 0, 0);
+      break;
+    }
+    case GrayKind::None: break;
   }
   return f;
 }
@@ -350,8 +408,94 @@ void JobEngine::fail_links(const FaultSpec& f) {
   }
 }
 
+// Seeds a gray fault's degraded-link set and applies the initial
+// degradation. Silent by design: no syslog, no errCQE — gray faults are
+// visible only through their effect on rates and counters.
+void JobEngine::activate_gray(FaultRt& fr) {
+  const FaultSpec& f = fr.spec;
+  fr.gray_links.clear();
+  if (f.gray == GrayKind::SlowNic) {
+    topo::NodeId host = hosts_[static_cast<std::size_t>(f.target_host_rank)];
+    for (int side = 0; side < fabric_.topo().sides(); ++side) {
+      topo::LinkId l = fabric_.topo().host_uplink(host, 0, side);
+      if (l != topo::kInvalidLink) fr.gray_links.push_back(l);
+    }
+  } else if (f.target_link != topo::kInvalidLink) {
+    fr.gray_links.push_back(f.target_link);
+  }
+  fr.gray_down_phase = true;  // flapping starts in its degraded phase
+  for (topo::LinkId l : fr.gray_links) sim_->degrade_link(l, f.degrade_factor);
+}
+
+// FlappingLink duty cycle, driven off committed active iterations so the
+// phase pattern is deterministic: `flap_down_iters` degraded, then
+// `flap_up_iters` healthy, repeating. Runs at iteration boundaries.
+void JobEngine::tick_gray_phases() {
+  for (FaultRt& fr : faults_) {
+    if (!fr.applied || fr.healed || fr.spec.gray != GrayKind::FlappingLink) continue;
+    int cycle = fr.spec.flap_down_iters + fr.spec.flap_up_iters;
+    bool down = fr.active_iters % cycle < fr.spec.flap_down_iters;
+    if (down != fr.gray_down_phase) {
+      fr.gray_down_phase = down;
+      for (topo::LinkId l : fr.gray_links) {
+        sim_->degrade_link(l, down ? fr.spec.degrade_factor : 1.0);
+      }
+    }
+  }
+}
+
+std::vector<std::pair<topo::LinkId, double>> JobEngine::gray_observations()
+    const {
+  std::vector<topo::LinkId> watch;
+  auto add = [&](topo::LinkId l) {
+    if (l == topo::kInvalidLink) return;
+    if (std::find(watch.begin(), watch.end(), l) == watch.end()) watch.push_back(l);
+  };
+  for (net::FlowId fid : flows_) {
+    const auto& st = sim_->flow(fid);
+    if (!st.admitted) continue;
+    for (topo::LinkId l : st.path) add(l);
+  }
+  for (const FaultRt& fr : faults_) {
+    if (!fr.applied || fr.healed) continue;
+    for (topo::LinkId l : fr.gray_links) add(l);
+  }
+  // Cordoned links stay under observation so recovery is noticed.
+  for (topo::LinkId l : gray_cordoned_) add(l);
+  std::vector<std::pair<topo::LinkId, double>> out;
+  out.reserve(watch.size());
+  for (topo::LinkId l : watch) {
+    double nominal = static_cast<double>(fabric_.topo().link(l).capacity);
+    double frac =
+        nominal > 0.0 ? sim_->effective_capacity(l) / nominal : 1.0;
+    out.emplace_back(l, frac);
+  }
+  return out;
+}
+
+int JobEngine::gray_fault_index_for(topo::LinkId link) const {
+  for (const FaultRt& fr : faults_) {
+    if (!fr.applied) continue;
+    for (topo::LinkId l : fr.gray_links) {
+      if (l == link) return fr.index;
+    }
+  }
+  for (const FaultRt& fr : faults_) {
+    if (fr.applied && fr.spec.target_link == link) return fr.index;
+  }
+  for (const FaultRt& fr : faults_) {
+    if (fr.applied && fr.spec.gray != GrayKind::None) return fr.index;
+  }
+  return -1;
+}
+
 void JobEngine::heal_fault(FaultRt& fr) {
   const FaultSpec& f = fr.spec;
+  if (f.gray != GrayKind::None) {
+    for (topo::LinkId l : fr.gray_links) sim_->degrade_link(l, 1.0);
+    fr.healed = true;
+    return;
+  }
   if (is_host_side(f.cause)) {
     host_slow_[static_cast<std::size_t>(f.target_host_rank)] = 1.0;
     host_configs_[static_cast<std::size_t>(f.target_host_rank)] = HostConfig{};
@@ -390,6 +534,9 @@ void JobEngine::restore_downed_links() {
 void JobEngine::finalize_outcome() {
   out_.makespan = std::max(now_, sim_->now()) - start_time_;
   out_.committed_iterations = iter_;
+  out_.oscillations =
+      gray_binary_osc_ +
+      (wcmp_ ? static_cast<int>(wcmp_->oscillations()) : 0);
   out_.goodput = 0.0;
   if (out_.makespan > 0.0) {
     out_.goodput =
@@ -448,12 +595,17 @@ void JobEngine::trace_mitigation(const MitigationRecord& rec, Seconds t0) {
 // activated unresolved fault, falling back to the last activated one
 // (residual damage of an already-mitigated fault).
 JobEngine::FaultRt* JobEngine::responsible() {
+  // Gray faults never cause the hard failures this attributes (they only
+  // shift capacity), so they are skipped: blaming a flapping link for an
+  // unrelated hang would steer the crisp ladder at the wrong element.
   FaultRt* best = nullptr;
   for (FaultRt& fr : faults_) {
+    if (fr.spec.gray != GrayKind::None) continue;
     if (fr.applied && !fr.resolved()) best = &fr;
   }
   if (best) return best;
   for (FaultRt& fr : faults_) {
+    if (fr.spec.gray != GrayKind::None) continue;
     if (fr.applied) best = &fr;
   }
   return best;
@@ -479,7 +631,10 @@ bool JobEngine::begin_mitigation(FaultRt* fr, Manifestation observed,
   if (fr->resolved()) {
     // Residual damage from an already-handled fault: just retry.
     action = MitigationAction::RetryBackoff;
-  } else if (is_host_side(fr->spec.cause)) {
+  } else if (is_host_side(fr->spec.cause) ||
+             fr->spec.gray == GrayKind::SlowNic) {
+    // SlowNic is host-scoped despite its network-side cause: the ladder
+    // escalation from Derate cordons the straggler host itself.
     action = MitigationAction::IsolateRestart;
   } else if (fr->spec.repair_iterations >= 0) {
     action = MitigationAction::RetryBackoff;
@@ -575,6 +730,7 @@ void JobEngine::strike_fault(FaultRt& fr) {
   emit_injection_syslog(f, sim_->now());
   trace_injection(fr, sim_->now());
   fr.applied = true;
+  fr.applied_at = sim_->now();
   if (is_host_side(f.cause)) {
     if (f.manifestation == Manifestation::FailStop) {
       // The host dies with flows in flight: its QPs abort and the
@@ -659,18 +815,29 @@ JobEngine::RunTask JobEngine::run_co() {
     flows_.clear();
 
     // Iteration-boundary fault activation (mid-transfer faults strike
-    // inside the communication phase instead).
+    // inside the communication phase instead). Gray faults activate
+    // silently — no syslog, no binary detector ever fires.
     for (FaultRt& fr : faults_) {
       if (!fr.applied && fr.spec.mid_transfer_fraction <= 0.0 &&
           iter_ >= fr.spec.at_iteration) {
+        if (fr.spec.gray != GrayKind::None) {
+          trace_injection(fr, now_);
+          activate_gray(fr);
+          fr.applied = true;
+          fr.applied_at = now_;
+          continue;
+        }
         emit_injection_syslog(fr.spec, now_);
         trace_injection(fr, now_);
         if (!is_host_side(fr.spec.cause) || fr.spec.cause == RootCause::PcieDegrade) {
           apply_network_fault(fr.spec);
         }
         fr.applied = true;
+        fr.applied_at = now_;
       }
     }
+    // Flapping links swing between phases at iteration boundaries.
+    tick_gray_phases();
 
     // Fail-on-start / host-side fail-stop: job aborts before or during
     // this iteration's compute.
@@ -851,6 +1018,9 @@ JobEngine::RunTask JobEngine::run_co() {
       const auto& ls = sim_->link_stats(static_cast<topo::LinkId>(l));
       std::uint64_t drops = 0;
       for (const FaultRt& fr : faults_) {
+        // Gray faults slow traffic down but drop nothing; phantom MOD
+        // drops would read as a blackhole to the analyzer.
+        if (fr.spec.gray != GrayKind::None) continue;
         if (fr.applied && !fr.healed &&
             fr.spec.target_link == static_cast<topo::LinkId>(l)) {
           for (net::FlowId fid : flows_) {
@@ -953,6 +1123,14 @@ JobEngine::RunTask JobEngine::run_co() {
         if (fr.active_iters >= fr.spec.repair_iterations) heal_fault(fr);
       }
     }
+    // Permanent gray faults tick too: FlappingLink's duty cycle runs off
+    // active_iters (legacy permanent faults never read theirs).
+    for (FaultRt& fr : faults_) {
+      if (fr.applied && !fr.healed && fr.spec.gray != GrayKind::None &&
+          fr.spec.repair_iterations < 0) {
+        ++fr.active_iters;
+      }
+    }
 
     if (metrics_) metrics_->add("runtime.iterations.committed");
     if (tracer_) {
@@ -970,6 +1148,138 @@ JobEngine::RunTask JobEngine::run_co() {
     out_.useful_time += now_ - iter_start_;
     in_attempt_ = false;
     ++iter_;
+
+    // ---- Gray routing control tick (no-op with GrayRoutingConfig off).
+    // Runs on the committed iteration's observations, outside the useful
+    // wall clock: push stalls are downtime, not training time.
+    if (cfg_.gray.mode != GrayRoutingConfig::Mode::Off) {
+      const GrayRoutingConfig& gc = cfg_.gray;
+      const double thr = gc.wcmp.derate_threshold;
+      const bool slow_iter =
+          now_ - iter_start_ > healthy_iter_ * gc.arm_slowdown;
+      const auto observations = gray_observations();
+      if (gc.mode == GrayRoutingConfig::Mode::Wcmp) {
+        wcmp_->tick();
+        bool changed = false;
+        topo::LinkId changed_link = topo::kInvalidLink;
+        for (const auto& [l, frac] : observations) {
+          // Engage only when the job actually runs slow (clean runs never
+          // mitigate on noise); a derated/suppressed link stays under
+          // observation until the damper restores it.
+          bool tracked = wcmp_->health(l).state != net::WcmpState::Healthy;
+          if (!tracked && !slow_iter) continue;
+          if (wcmp_->observe(l, frac)) {
+            if (changed_link == topo::kInvalidLink || frac < thr) changed_link = l;
+            changed = true;
+          }
+        }
+        if (changed) {
+          // One centralized weights + ports push per control tick, however
+          // many links changed — the churn asymmetry vs. binary isolate.
+          std::vector<net::FlowSpec> specs;
+          specs.reserve(static_cast<std::size_t>(cfg_.hosts));
+          for (int i = 0; i < cfg_.hosts; ++i) specs.push_back(ring_spec(i));
+          wcmp_->rebalance(specs);
+          for (int i = 0; i < cfg_.hosts; ++i) {
+            ring_ports_[static_cast<std::size_t>(i)] =
+                specs[static_cast<std::size_t>(i)].src_port;
+          }
+          ++out_.derates;
+          if (metrics_) metrics_->add("runtime.gray.derates");
+          int fi = gray_fault_index_for(changed_link);
+          if (fi >= 0) {
+            MitigationRecord rec;
+            rec.fault_index = fi;
+            rec.at_iteration = iter_ - 1;
+            rec.observed = Manifestation::FailSlow;
+            rec.action = MitigationAction::Derate;
+            rec.succeeded = true;
+            rec.recover_time = gc.derate_push_time;
+            trace_mitigation(rec, sim_->now());
+            out_.mitigations.push_back(rec);
+          }
+          co_await sim_until(sim_->now() + gc.derate_push_time);
+          out_.downtime += gc.derate_push_time;
+          now_ = sim_->now();
+        }
+        // Ladder escalation: a SlowNic straggler the derate cannot route
+        // around climbs from Derate to IsolateRestart.
+        if (gc.escalate_after_ticks > 0 && rc.enabled) {
+          for (FaultRt& fr : faults_) {
+            if (fr.spec.gray != GrayKind::SlowNic || !fr.applied ||
+                fr.resolved()) {
+              continue;
+            }
+            bool degraded = false;
+            for (const auto& [l, frac] : observations) {
+              for (topo::LinkId gl : fr.gray_links) {
+                degraded |= l == gl && frac < thr;
+              }
+            }
+            fr.gray_degraded_ticks = degraded ? fr.gray_degraded_ticks + 1 : 0;
+            if (fr.gray_degraded_ticks >= gc.escalate_after_ticks &&
+                out_.restarts < rc.max_restarts &&
+                begin_mitigation(&fr, Manifestation::FailSlow, 0.0)) {
+              co_await sim_until(sim_->now() + pending_rec_.mttr());
+              finish_mitigation();
+            }
+          }
+        }
+      } else {
+        // BinaryIsolate baseline: cordon on degradation, restore on
+        // recovery — every swing of a flapping link is a fresh drain +
+        // config push (the churn WCMP + damping exists to avoid).
+        for (const auto& [l, frac] : observations) {
+          bool cordoned = std::find(gray_cordoned_.begin(), gray_cordoned_.end(),
+                                    l) != gray_cordoned_.end();
+          bool degraded = frac < thr;
+          if (degraded && !cordoned && slow_iter) {
+            sim_->set_link_up(l, false);
+            // Pre-flight: never cordon a link the ring cannot live
+            // without (a single-homed NIC uplink).
+            bool routable = true;
+            for (int i = 0; i < cfg_.hosts && routable; ++i) {
+              routable = sim_->predict_path(ring_spec(i)).has_value();
+            }
+            if (!routable) {
+              sim_->set_link_up(l, true);
+              continue;
+            }
+            gray_cordoned_.push_back(l);
+            downed_links_.push_back(l);
+            if (++gray_cordon_count_[l] > 1) ++gray_binary_osc_;
+            sim_->reroute_flows();
+          } else if (!degraded && cordoned) {
+            sim_->set_link_up(l, true);
+            gray_cordoned_.erase(
+                std::remove(gray_cordoned_.begin(), gray_cordoned_.end(), l),
+                gray_cordoned_.end());
+            downed_links_.erase(
+                std::remove(downed_links_.begin(), downed_links_.end(), l),
+                downed_links_.end());
+          } else {
+            continue;
+          }
+          ++out_.gray_isolates;
+          if (metrics_) metrics_->add("runtime.gray.isolates");
+          int fi = gray_fault_index_for(l);
+          if (fi >= 0) {
+            MitigationRecord rec;
+            rec.fault_index = fi;
+            rec.at_iteration = iter_ - 1;
+            rec.observed = Manifestation::FailSlow;
+            rec.action = MitigationAction::Reroute;
+            rec.succeeded = true;
+            rec.recover_time = gc.isolate_push_time;
+            trace_mitigation(rec, sim_->now());
+            out_.mitigations.push_back(rec);
+          }
+          co_await sim_until(sim_->now() + gc.isolate_push_time);
+          out_.downtime += gc.isolate_push_time;
+          now_ = sim_->now();
+        }
+      }
+    }
   }
 
   out_.completed = true;
@@ -1078,9 +1388,19 @@ int JobEngine::deliver_fault(FaultSpec spec) {
   rt.index = static_cast<int>(faults_.size());
   faults_.push_back(std::move(rt));
   FaultRt& fr = faults_.back();
+  if (fr.spec.gray != GrayKind::None) {
+    // Gray faults are silent: trace for the ledger, but no syslog — the
+    // binary detectors must never see them.
+    trace_injection(fr, sim_->now());
+    activate_gray(fr);
+    fr.applied = true;
+    fr.applied_at = sim_->now();
+    return fr.index;
+  }
   emit_injection_syslog(fr.spec, sim_->now());
   trace_injection(fr, sim_->now());
   fr.applied = true;
+  fr.applied_at = sim_->now();
   const FaultSpec& f = fr.spec;
   if (is_host_side(f.cause)) {
     if (f.manifestation == Manifestation::FailStop) {

@@ -28,11 +28,14 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "monitor/faults.h"
 #include "monitor/store.h"
 #include "net/fluid_sim.h"
+#include "net/wcmp.h"
 #include "parallel/placement.h"
 
 namespace astral::obs {
@@ -72,6 +75,37 @@ struct RecoveryConfig {
 /// construction instead of silently misbehaving mid-run.
 std::optional<std::string> validate_recovery(const RecoveryConfig& rc);
 
+/// Gray-failure routing policy: what the engine does about links that
+/// degrade without dying. Default `Off` never watches link health, so
+/// every legacy code path stays byte-identical to the pre-gray engine.
+struct GrayRoutingConfig {
+  enum class Mode : std::uint8_t {
+    Off,            ///< Gray faults degrade the run; nobody reacts.
+    BinaryIsolate,  ///< Old-school: cordon a degraded link outright and
+                    ///< restore it when it recovers — oscillates under
+                    ///< flapping, paying a config push each swing.
+    Wcmp,           ///< Weighted derate + flap damping (net::WcmpController);
+                    ///< mitigation latches instead of oscillating.
+  };
+  Mode mode = Mode::Off;
+  /// Wcmp mode only: false disables the suppress/reuse hysteresis (the
+  /// oscillating baseline the property tests compare against).
+  bool flap_damping = true;
+  net::WcmpConfig wcmp;  ///< Health thresholds + weighted-rebalance knobs.
+  /// A committed iteration slower than healthy by this factor arms
+  /// engage-direction mitigation; below it observed degradations are
+  /// noted but not acted on (clean runs never mitigate on noise).
+  double arm_slowdown = 1.15;
+  /// Config-push stall charged per WCMP weight/port update (hitless-ish).
+  core::Seconds derate_push_time = 1.0;
+  /// Drain + cordon (or restore) stall charged per binary isolate event.
+  core::Seconds isolate_push_time = 5.0;
+  /// Wcmp mode, > 0: a SlowNic straggler whose uplinks stay degraded for
+  /// this many consecutive control ticks escalates up the ladder from
+  /// Derate to IsolateRestart (needs recovery.enabled). 0 = never.
+  int escalate_after_ticks = 0;
+};
+
 struct JobConfig {
   int hosts = 16;         ///< Job hosts (acquired via `placement`).
   int iterations = 10;
@@ -91,12 +125,17 @@ struct JobConfig {
   /// Ambient trace key identifying this job in a campaign-wide flight
   /// recording (see obs::TraceKeys); purely observational.
   std::int64_t job_id = 0;
+  /// Gray-failure mitigation policy (default Off: byte-identical legacy).
+  GrayRoutingConfig gray;
 };
 
 enum class MitigationAction : std::uint8_t {
   None,            ///< No mitigation ran (recovery disabled).
   RetryBackoff,    ///< Transient fault: wait it out, retry the iteration.
   Reroute,         ///< Network fault: route around the dead link/switch.
+  Derate,          ///< Gray fault: reweight WCMP + re-spread ports; the
+                   ///< link stays up at reduced weight. Sits between
+                   ///< Reroute and IsolateRestart on the severity ladder.
   IsolateRestart,  ///< Host fault: cordon the host, restart from checkpoint.
   Abort,           ///< Budget exhausted; job gives up (legacy behaviour).
 };
@@ -128,6 +167,12 @@ struct RunOutcome {
   int restarts = 0;  ///< IsolateRestart mitigations taken.
   int retries = 0;   ///< RetryBackoff mitigations taken.
   int reroutes = 0;  ///< Flows moved by in-flight failover.
+  int derates = 0;   ///< WCMP Derate mitigations taken (gray routing).
+  int gray_isolates = 0;  ///< Binary-isolate cordon/restore events.
+  /// Times gray mitigation re-engaged on a link after disengaging (a
+  /// cordon after a restore, a derate after a reinstatement). The damped
+  /// WCMP mode provably keeps this 0 under adversarial flapping.
+  int oscillations = 0;
   int committed_iterations = 0;  ///< Iterations done and checkpoint-safe.
   core::Seconds useful_time = 0.0;  ///< Time in iterations that committed.
   core::Seconds wasted_time = 0.0;  ///< Failed attempts + replayed work.
@@ -165,9 +210,19 @@ class JobEngine {
 
   // ---- Fault injection (before start()).
   void inject(const FaultSpec& fault);
+  /// Injects a whole schedule. Schedules containing gray faults are
+  /// additionally checked with validate_schedule (overlapping windows on
+  /// one link/host rejected); crisp-only schedules keep the permissive
+  /// legacy per-spec validation (cascades on one element are a feature).
   void inject(const FaultSchedule& schedule);
   FaultSpec make_fault(RootCause cause, Manifestation m, int at_iteration);
   FaultSpec make_mid_transfer_tor_death(int at_iteration, double fraction = 0.5);
+  /// Builds a gray fault targeted at this job: FlappingLink /
+  /// PartialDegrade pick a job-path link `hops_from_src` in (distinct
+  /// hops give distinct targets for multi-fault schedules); SlowNic draws
+  /// a straggler rank and pins its rail-0 uplink as the telemetry anchor.
+  FaultSpec make_gray_fault(GrayKind kind, int at_iteration,
+                            int hops_from_src = 2);
 
   // ---- Drive protocol. start() begins the run; in single mode it
   // executes to completion, in fleet mode it runs until the first
@@ -218,6 +273,13 @@ class JobEngine {
   /// (optional) receives the useful seconds charged.
   int rewind_to_checkpoint(core::Seconds* moved = nullptr);
   const FaultSpec& fault_spec(int index) const { return faults_[static_cast<std::size_t>(index)].spec; }
+  /// Simulated time the fault actually struck (applied), or -1 before.
+  /// Campaigns compute detection lead times against this.
+  core::Seconds fault_applied_time(int index) const {
+    return faults_[static_cast<std::size_t>(index)].applied_at;
+  }
+  /// The WCMP health tracker (Wcmp mode after start()); nullptr otherwise.
+  const net::WcmpController* wcmp() const { return wcmp_.get(); }
   /// Fabric links this engine took down (Reroute mitigations); the owner
   /// restores them when the job leaves the fabric.
   const std::vector<topo::LinkId>& downed_links() const { return downed_links_; }
@@ -256,6 +318,12 @@ class JobEngine {
     bool mitigated = false;  ///< A mitigation has dealt with it.
     int active_iters = 0;  ///< Iteration attempts survived while active.
     int retries = 0;       ///< RetryBackoff attempts spent on it.
+    core::Seconds applied_at = -1.0;  ///< Sim time the fault struck.
+    /// Gray faults: the fabric links this fault degrades (the target
+    /// link, or a SlowNic straggler's uplinks). Seeded at activation.
+    std::vector<topo::LinkId> gray_links;
+    bool gray_down_phase = false;  ///< FlappingLink: currently degraded.
+    int gray_degraded_ticks = 0;   ///< Consecutive degraded control ticks.
     bool resolved() const { return healed || mitigated; }
   };
 
@@ -304,6 +372,13 @@ class JobEngine {
   void apply_network_fault(const FaultSpec& f);
   void fail_links(const FaultSpec& f);
   void heal_fault(FaultRt& fr);
+  void activate_gray(FaultRt& fr);
+  void tick_gray_phases();
+  /// Links the gray controller watches this tick (live flow paths + every
+  /// active gray fault's links) with their observed capacity fractions.
+  std::vector<std::pair<topo::LinkId, double>> gray_observations() const;
+  /// Ledger attribution for a gray routing event on `link`.
+  int gray_fault_index_for(topo::LinkId link) const;
   topo::LinkId pick_job_path_link(int hops_from_src) const;
   core::Seconds analyzer_locate_time() const;
   template <typename T>
@@ -337,6 +412,14 @@ class JobEngine {
   std::deque<FaultRt> faults_;
   std::vector<double> host_slow_;  ///< Compute slow-down factor per host.
   std::vector<topo::LinkId> downed_links_;  ///< Fabric state to restore.
+  // ---- Gray routing state (all empty/null with GrayRoutingConfig off).
+  std::unique_ptr<net::WcmpController> wcmp_;  ///< Wcmp mode only.
+  std::vector<std::uint16_t> ring_ports_;  ///< Per-rank port overrides (0 = default).
+  /// BinaryIsolate mode: links this engine has cordoned for gray
+  /// degradation, with per-link cordon counts (oscillation basis).
+  std::vector<topo::LinkId> gray_cordoned_;
+  std::unordered_map<topo::LinkId, int> gray_cordon_count_;
+  int gray_binary_osc_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
   TelemetryFaultModel* degrade_ = nullptr;

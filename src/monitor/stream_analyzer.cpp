@@ -45,6 +45,15 @@ void ewma_merge(double& ewma, std::uint64_t& n, double other, std::uint64_t m) {
 
 }  // namespace
 
+const char* to_string(GraySignal s) {
+  switch (s) {
+    case GraySignal::QpRateRegression: return "qp-rate-regression";
+    case GraySignal::PfcPrecursor: return "pfc-precursor";
+    case GraySignal::HopLatencyRegression: return "hop-latency-regression";
+  }
+  return "?";
+}
+
 const char* to_string(LinkTier tier) {
   switch (tier) {
     case LinkTier::HostUplink: return "host-tor";
@@ -120,6 +129,10 @@ StreamAnalyzer::StreamAnalyzer(const topo::Topology& topo, StreamAnalyzerConfig 
   int npods = 0;
   for (const auto& n : topo.nodes()) npods = std::max(npods, n.pod + 1);
   pods_.resize(static_cast<std::size_t>(std::max(npods, 1)));
+  gray_.resize(pods_.size());
+  if (cfg_.gray.enabled && cfg_.gray.max_alarms > 0) {
+    gray_alarms_.reserve(cfg_.gray.max_alarms);
+  }
 }
 
 StreamAnalyzer::~StreamAnalyzer() {
@@ -278,6 +291,69 @@ void StreamAnalyzer::advance_clock(core::Seconds t) {
   }
 }
 
+// One observation of a gray signal: update the fast/slow EWMA pair and
+// run the edge detector. An alarm is the RISING edge of the ratio
+// crossing its threshold; the latch clears only once the ratio retreats
+// past the threshold by clear_margin, so a ratio hovering at the
+// boundary raises once, not per sample. A raised alarm feeds the
+// existing trigger policy exactly like the binary detectors: the
+// subscription turns anomalous and an eager re-diagnosis fires.
+void StreamAnalyzer::gray_observe(Subscription& s, int pod, GraySignal signal,
+                                  double x, core::Seconds t) {
+  const GrayAlarmConfig& gc = cfg_.gray;
+  if (!gc.enabled) return;
+  if (pod < 0) pod = 0;
+  if (pod >= static_cast<int>(gray_.size())) pod = static_cast<int>(gray_.size()) - 1;
+  GrayPodState& g = gray_[static_cast<std::size_t>(pod)];
+  auto si = static_cast<std::size_t>(signal);
+  GrayEwma& e = g.sig[si];
+  e.fast = e.n == 0 ? x : gc.fast_alpha * x + (1.0 - gc.fast_alpha) * e.fast;
+  e.slow = e.n == 0 ? x : gc.slow_alpha * x + (1.0 - gc.slow_alpha) * e.slow;
+  ++e.n;
+  if (e.n < gc.min_samples) return;
+
+  double ratio = e.slow > 0.0 ? e.fast / e.slow : (e.fast > 0.0 ? 1e9 : 1.0);
+  bool over;   // Condition currently met.
+  bool clear;  // Condition retreated past the hysteresis band.
+  switch (signal) {
+    case GraySignal::QpRateRegression:
+      over = ratio < gc.qp_regress_factor;
+      clear = ratio > gc.qp_regress_factor * (1.0 + gc.clear_margin);
+      break;
+    case GraySignal::PfcPrecursor:
+      over = e.fast > gc.pfc_storm_min && ratio > gc.pfc_storm_factor;
+      clear = ratio < gc.pfc_storm_factor * (1.0 - gc.clear_margin) ||
+              e.fast < gc.pfc_storm_min;
+      break;
+    case GraySignal::HopLatencyRegression:
+    default:
+      over = ratio > gc.hop_regress_factor;
+      clear = ratio < gc.hop_regress_factor * (1.0 - gc.clear_margin);
+      break;
+  }
+  if (over && !g.raised[si]) {
+    g.raised[si] = true;
+    ++g.alarms;
+    ++gray_raised_;
+    if (gray_alarms_.size() < gc.max_alarms) {
+      gray_alarms_.push_back({t, pod, signal, ratio, s.ctx.job_id});
+    }
+    s.gray_seen = true;
+    bool was = s.anomaly;
+    s.anomaly = true;
+    maybe_rediagnose(s, !was);
+  } else if (clear && g.raised[si]) {
+    g.raised[si] = false;
+  }
+}
+
+core::Seconds StreamAnalyzer::first_alarm_time(int pod) const {
+  for (const GrayAlarm& a : gray_alarms_) {
+    if (pod < 0 || a.pod == pod) return a.t;
+  }
+  return -1.0;
+}
+
 void StreamAnalyzer::ingest(Subscription& s, const NcclTimelineEvent& ev) {
   advance_clock(ev.t);
   bool completed_new_iter = ev.iteration > s.max_iteration;
@@ -290,7 +366,8 @@ void StreamAnalyzer::ingest(Subscription& s, const NcclTimelineEvent& ev) {
     s.slow_seen = true;
   }
   bool was = s.anomaly;
-  s.anomaly = s.stall_seen || s.slow_seen || s.cqe_count > 0 || s.fatal_count > 0;
+  s.anomaly = s.stall_seen || s.slow_seen || s.gray_seen || s.cqe_count > 0 ||
+              s.fatal_count > 0;
   // Eager refresh on anomaly onset, then once per newly seen iteration
   // while the job stays anomalous — bounds full re-diagnoses per job to
   // O(iterations), everything else only marks the cache dirty.
@@ -302,8 +379,15 @@ void StreamAnalyzer::ingest(Subscription& s, const NcclTimelineEvent& ev) {
 void StreamAnalyzer::ingest(Subscription& s, const QpRateSample& smp) {
   advance_clock(smp.t);
   auto it = s.qp_pod.find(smp.qp);
-  PodRollup& p = pod_of(it != s.qp_pod.end() ? it->second : 0);
+  int pod = it != s.qp_pod.end() ? it->second : 0;
+  PodRollup& p = pod_of(pod);
   ewma_update(p.qp_rate_ewma_bps, p.qp_samples, smp.rate_bps, cfg_.ewma_alpha);
+  // Zero-rate samples (drained or unadmitted QPs) are not a gray signal:
+  // a degraded link slows its flows, it never nulls them — and a clean
+  // run's drain tail would otherwise read as a regression.
+  if (smp.rate_bps > 0.0) {
+    gray_observe(s, pod, GraySignal::QpRateRegression, smp.rate_bps, smp.t);
+  }
   s.dirty = true;
 }
 
@@ -342,6 +426,7 @@ void StreamAnalyzer::ingest(Subscription& s, const IntProbeResult& r) {
     }();
     TierRollup& t = pod_of(pod).tiers[static_cast<std::size_t>(tier)];
     ewma_update(t.hop_latency_ewma, t.probe_hops, r.hop_latency[i], cfg_.ewma_alpha);
+    gray_observe(s, pod, GraySignal::HopLatencyRegression, r.hop_latency[i], r.t);
   }
   s.dirty = true;
 }
@@ -365,6 +450,10 @@ void StreamAnalyzer::ingest_link(Subscription& s, const LinkCounterSample& raw,
   if (raw.utilization > 0.0) {
     ewma_update(t.util_ewma, t.util_samples, raw.utilization, cfg_.ewma_alpha);
   }
+  gray_observe(s, it->second.first, GraySignal::PfcPrecursor,
+               static_cast<double>(d_pfc) +
+                   cfg_.gray.ecn_weight * static_cast<double>(d_ecn),
+               raw.t);
   s.dirty = true;
 }
 
@@ -450,6 +539,8 @@ std::size_t StreamAnalyzer::footprint_bytes() const {
   std::size_t b = sizeof(*this);
   b += pods_.capacity() * (sizeof(PodRollup) - sizeof(obs::Histogram) + kHistogramBytes);
   b += kHistogramBytes - sizeof(obs::Histogram);  // fabric_mttr_ buckets
+  b += gray_.capacity() * sizeof(GrayPodState);
+  b += gray_alarms_.capacity() * sizeof(GrayAlarm);
   b += link_class_.bucket_count() * sizeof(void*) +
        link_class_.size() *
            (sizeof(std::pair<topo::LinkId, std::pair<std::int16_t, std::int8_t>>) +
@@ -555,6 +646,30 @@ void StreamAnalyzer::publish(obs::Metrics& m) const {
   m.set_gauge("stream.diag.needs_manual", static_cast<double>(manual));
   m.set_gauge("stream.diag.confidence_mean",
               conf_n ? conf_sum / static_cast<double>(conf_n) : 0.0);
+
+  // Gray precursor gauges exist only when the alarms are on, so a
+  // default-config metrics snapshot is unchanged by this subsystem.
+  if (cfg_.gray.enabled) {
+    m.set_gauge("stream.gray.alarms", static_cast<double>(gray_raised_));
+    m.set_gauge("stream.gray.first_alarm_t", first_alarm_time());
+    for (std::size_t pi = 0; pi < gray_.size(); ++pi) {
+      const GrayPodState& g = gray_[pi];
+      auto set_gray = [&](const char* suffix, double v) {
+        std::snprintf(name, sizeof(name), "stream.pod%zu.gray.%s", pi, suffix);
+        m.set_gauge(name, v);
+      };
+      set_gray("alarms", static_cast<double>(g.alarms));
+      auto ratio = [](const GrayEwma& e) {
+        return e.slow > 0.0 ? e.fast / e.slow : 1.0;
+      };
+      set_gray("qp_ratio",
+               ratio(g.sig[static_cast<std::size_t>(GraySignal::QpRateRegression)]));
+      set_gray("pfc_ratio",
+               ratio(g.sig[static_cast<std::size_t>(GraySignal::PfcPrecursor)]));
+      set_gray("hop_ratio", ratio(g.sig[static_cast<std::size_t>(
+                   GraySignal::HopLatencyRegression)]));
+    }
+  }
 
   m.set_gauge("stream.records_ingested", static_cast<double>(records_));
   m.set_gauge("stream.footprint_bytes", static_cast<double>(footprint_bytes()));

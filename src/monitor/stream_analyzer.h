@@ -55,6 +55,44 @@ LinkTier link_tier(const topo::Topology& topo, topo::LinkId link);
 /// <-> core links return -1; callers clamp into pod 0).
 int link_pod(const topo::Topology& topo, topo::LinkId link);
 
+/// EWMA regression alarms over the per-Pod rollups: the gray-failure
+/// precursor detector. A gray fault (flapping link, partial degrade,
+/// slow NIC) never trips the binary triggers — no stall, no errCQE, no
+/// fatal syslog — but it bends the rollup EWMAs: per-Pod QP goodput
+/// sags, PFC/ECN delta rates climb toward a storm, INT hop latency
+/// regresses. Each signal keeps a fast and a slow EWMA; an alarm is the
+/// rising edge of their ratio crossing its threshold (with hysteresis,
+/// so a noisy ratio does not re-raise every sample). Default-disabled:
+/// with `enabled == false` nothing here executes and the analyzer's
+/// behavior is byte-identical to the pre-alarm service.
+struct GrayAlarmConfig {
+  bool enabled = false;
+  /// Fast / slow EWMA decay rates (fast tracks the incident, slow is
+  /// the self-calibrating baseline).
+  double fast_alpha = 0.3;
+  double slow_alpha = 0.02;
+  /// Observations of a signal before its ratio is trusted (startup
+  /// guard: both EWMAs seed from the first sample).
+  std::uint64_t min_samples = 8;
+  /// QP-rate regression: alarm when fast < factor * slow.
+  double qp_regress_factor = 0.8;
+  /// PFC-storm precursor: alarm when the fast pause-delta EWMA exceeds
+  /// factor * slow AND the absolute floor (pauses per sample).
+  double pfc_storm_factor = 3.0;
+  double pfc_storm_min = 1.0;
+  /// ECN marks count toward the storm precursor at this weight (marks
+  /// precede pauses in the congestion cascade).
+  double ecn_weight = 0.1;
+  /// Hop-latency regression: alarm when fast > factor * slow.
+  double hop_regress_factor = 1.5;
+  /// Hysteresis: a raised alarm clears only when the ratio retreats
+  /// past its threshold by this fraction.
+  double clear_margin = 0.1;
+  /// Retained alarm records (raising keeps counting past the cap; the
+  /// earliest alarms are kept — lead time reads the first one).
+  std::size_t max_alarms = 256;
+};
+
 struct StreamAnalyzerConfig {
   /// Thresholds for the delegated drill-down AND the online triggers.
   /// Must match the batch analyzer's config for the equivalence
@@ -63,6 +101,28 @@ struct StreamAnalyzerConfig {
   /// Decay of the per-record rollup EWMAs (QP rate, link utilization,
   /// INT hop latency).
   double ewma_alpha = 0.2;
+  /// Gray-failure precursor alarms (off by default).
+  GrayAlarmConfig gray;
+};
+
+/// Which rollup EWMA a gray alarm fired on.
+enum class GraySignal : std::uint8_t {
+  QpRateRegression = 0,   ///< Per-Pod QP goodput sagged below baseline.
+  PfcPrecursor = 1,       ///< PFC/ECN delta rate climbing toward a storm.
+  HopLatencyRegression = 2,  ///< INT hop latency regressed.
+};
+inline constexpr int kGraySignals = 3;
+const char* to_string(GraySignal s);
+
+/// One precursor alarm: the rising edge of a signal ratio crossing its
+/// threshold in one Pod, stamped with the telemetry time that raised it
+/// (lead time = hard-failure time minus this).
+struct GrayAlarm {
+  core::Seconds t = 0.0;
+  int pod = 0;
+  GraySignal signal = GraySignal::QpRateRegression;
+  double ratio = 0.0;  ///< fast/slow at the moment of raising.
+  std::int64_t job_id = 0;
 };
 
 /// Link-level aggregate of one (pod, tier) rollup leaf. Fixed size; the
@@ -157,8 +217,20 @@ class StreamAnalyzer {
   /// How many times the job's online diagnosis was (re)computed.
   std::uint64_t revisions(std::int64_t job_id = 0) const;
   /// Online anomaly suspicion (stall / slow / errCQE / fatal syslog
-  /// seen) — the trigger driving eager re-diagnosis.
+  /// seen, or a gray precursor alarm when those are enabled) — the
+  /// trigger driving eager re-diagnosis.
   bool online_anomaly(std::int64_t job_id = 0) const;
+
+  // ---- Gray precursor alarms (empty unless cfg.gray.enabled).
+
+  /// Retained alarm records, oldest first (bounded by
+  /// cfg.gray.max_alarms; see alarms_raised for the true total).
+  const std::vector<GrayAlarm>& alarms() const { return gray_alarms_; }
+  /// Total rising edges, including any past the retention cap.
+  std::uint64_t alarms_raised() const { return gray_raised_; }
+  /// Telemetry time of the earliest alarm (in `pod`, or anywhere with
+  /// pod < 0); -1 when none fired.
+  core::Seconds first_alarm_time(int pod = -1) const;
 
   /// Fires whenever an online trigger produces a *changed* diagnosis
   /// for a job (anomaly onset, then once per completed iteration while
@@ -222,6 +294,7 @@ class StreamAnalyzer {
     int max_iteration = -1;
     bool stall_seen = false;  ///< comm_time < 0 on any host.
     bool slow_seen = false;   ///< compute/comm over the slow factors.
+    bool gray_seen = false;   ///< A gray precursor alarm raised.
     std::uint64_t cqe_count = 0;
     std::uint64_t fatal_count = 0;
     bool anomaly = false;
@@ -265,9 +338,30 @@ class StreamAnalyzer {
   void ingest(Subscription& s, const SyslogEvent& ev);
   void ingest_meta(Subscription& s, const QpMeta& meta);
 
+  /// Fast + slow EWMA pair of one gray signal (fixed size).
+  struct GrayEwma {
+    double fast = 0.0;
+    double slow = 0.0;
+    std::uint64_t n = 0;
+  };
+  /// Per-Pod gray alarm state: one EWMA pair and one raised-latch per
+  /// signal (the latch is the hysteresis edge detector).
+  struct GrayPodState {
+    std::array<GrayEwma, kGraySignals> sig;
+    std::array<bool, kGraySignals> raised{};
+    std::uint64_t alarms = 0;
+  };
+  /// Feeds one observation of `signal` in `pod` and raises/clears the
+  /// alarm latch. No-op unless cfg_.gray.enabled.
+  void gray_observe(Subscription& s, int pod, GraySignal signal, double x,
+                    core::Seconds t);
+
   const topo::Topology& topo_;
   StreamAnalyzerConfig cfg_;
   std::vector<PodRollup> pods_;
+  std::vector<GrayPodState> gray_;
+  std::vector<GrayAlarm> gray_alarms_;
+  std::uint64_t gray_raised_ = 0;
   obs::Histogram fabric_mttr_;
   /// Link -> (pod, tier) classification cache, filled lazily per link
   /// (bounded by the fabric's link count).

@@ -1,0 +1,186 @@
+#include "net/wcmp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace astral::net {
+
+WcmpController::WcmpController(const FluidSim& sim, Config cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+void WcmpController::decay(LinkHealth& h) {
+  if (tick_ > h.last_tick && h.penalty > 0.0 && cfg_.half_life_ticks > 0.0) {
+    double dt = static_cast<double>(tick_ - h.last_tick);
+    h.penalty *= std::exp2(-dt / cfg_.half_life_ticks);
+  }
+  h.last_tick = tick_;
+}
+
+bool WcmpController::observe(topo::LinkId link, double capacity_fraction) {
+  LinkHealth& h = health_[link];
+  decay(h);
+  bool was_degraded = h.fraction < cfg_.derate_threshold;
+  bool degraded = capacity_fraction < cfg_.derate_threshold;
+  h.fraction = capacity_fraction;
+  if (degraded && !was_degraded) {
+    ++h.onsets;
+    h.penalty += cfg_.penalty_per_flap;
+  }
+
+  WcmpState next = h.state;
+  double next_weight = h.weight;
+  if (degraded) {
+    // Fast down: derate (or suppress) the moment degradation is seen.
+    bool suppress = cfg_.damping && h.penalty >= cfg_.suppress_threshold;
+    next = suppress ? WcmpState::Suppressed : WcmpState::Derated;
+    next_weight = suppress ? 0.0 : std::max(cfg_.min_weight, capacity_fraction);
+  } else if (h.state != WcmpState::Healthy) {
+    // Slow up: a derated/suppressed link is only restored once the flap
+    // penalty has decayed below the reuse threshold (undamped: at once).
+    if (!cfg_.damping || h.penalty < cfg_.reuse_threshold) {
+      next = WcmpState::Healthy;
+      next_weight = 1.0;
+    } else if (h.state == WcmpState::Derated) {
+      // Still in penalty: keep the derated weight pinned at the worst
+      // fraction seen so the healthy phase of a flap changes nothing.
+      next_weight = h.weight;
+    }
+  }
+
+  bool changed = next != h.state;
+  if (changed) {
+    if (h.state == WcmpState::Healthy) ++h.engagements;
+    if (next == WcmpState::Suppressed) ++suppressions_;
+    if (next == WcmpState::Healthy) ++restorations_;
+    ++route_changes_;
+  }
+  h.state = next;
+  h.weight = next_weight;
+  return changed;
+}
+
+double WcmpController::weight(topo::LinkId link) const {
+  auto it = health_.find(link);
+  return it == health_.end() ? 1.0 : it->second.weight;
+}
+
+LinkHealth WcmpController::health(topo::LinkId link) const {
+  auto it = health_.find(link);
+  return it == health_.end() ? LinkHealth{} : it->second;
+}
+
+std::uint64_t WcmpController::oscillations() const {
+  std::uint64_t n = 0;
+  for (const auto& [l, h] : health_) {
+    if (h.engagements > 1) n += h.engagements - 1;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::uint16_t, std::vector<topo::LinkId>>>
+WcmpController::candidate_paths(const FlowSpec& spec, int k) const {
+  std::vector<std::pair<std::uint16_t, std::vector<topo::LinkId>>> out;
+  FlowSpec candidate = spec;
+  for (int i = 0; i < cfg_.port_candidates && static_cast<int>(out.size()) < k;
+       ++i) {
+    candidate.src_port = static_cast<std::uint16_t>(
+        cfg_.port_base +
+        (static_cast<std::uint32_t>(spec.src_host) * 131u +
+         static_cast<std::uint32_t>(i)) %
+            60000u);
+    auto p = sim_.predict_path(candidate);
+    if (!p) continue;
+    bool seen = false;
+    for (const auto& [port, path] : out) seen |= path == *p;
+    if (!seen) out.emplace_back(candidate.src_port, std::move(*p));
+  }
+  return out;
+}
+
+int WcmpController::rebalance(std::vector<FlowSpec>& specs) const {
+  // Weighted load: flow count per link from the hash simulator, exactly
+  // like EcmpController, but path cost divides by the routing weight so
+  // derated links attract proportionally less traffic and suppressed
+  // links none at all.
+  std::unordered_map<topo::LinkId, int> load;
+  std::vector<std::vector<topo::LinkId>> paths(specs.size());
+  std::vector<std::size_t> affected;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto p = sim_.predict_path(specs[i]);
+    if (!p) continue;
+    paths[i] = std::move(*p);
+    for (topo::LinkId l : paths[i]) ++load[l];
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (topo::LinkId l : paths[i]) {
+      if (weight(l) < 1.0) {
+        affected.push_back(i);
+        break;
+      }
+    }
+  }
+  if (affected.empty()) return 0;
+
+  // Worst-first: flows crossing the most-derated link move first.
+  auto path_floor = [&](std::size_t i) {
+    double w = 1.0;
+    for (topo::LinkId l : paths[i]) w = std::min(w, weight(l));
+    return w;
+  };
+  std::sort(affected.begin(), affected.end(),
+            [&](std::size_t a, std::size_t b) { return path_floor(a) < path_floor(b); });
+
+  struct Score {
+    int suppressed;
+    double max_cost;
+    double sum_cost;
+    bool operator<(const Score& o) const {
+      if (suppressed != o.suppressed) return suppressed < o.suppressed;
+      if (max_cost != o.max_cost) return max_cost < o.max_cost;
+      return sum_cost < o.sum_cost;
+    }
+  };
+
+  int reassigned = 0;
+  for (std::size_t i : affected) {
+    for (topo::LinkId l : paths[i]) --load[l];
+
+    auto score = [&](const std::vector<topo::LinkId>& path) {
+      Score s{0, 0.0, 0.0};
+      for (topo::LinkId l : path) {
+        double w = weight(l);
+        if (w <= 0.0) {
+          ++s.suppressed;
+          continue;
+        }
+        double c = static_cast<double>(load[l] + 1) / w;
+        s.max_cost = std::max(s.max_cost, c);
+        s.sum_cost += c;
+      }
+      return s;
+    };
+
+    auto best_path = paths[i];
+    Score best_score = score(best_path);
+    std::uint16_t best_port = specs[i].src_port;
+    for (auto& [port, path] : candidate_paths(specs[i], cfg_.k_paths)) {
+      Score s = score(path);
+      if (s < best_score) {
+        best_score = s;
+        best_path = std::move(path);
+        best_port = port;
+      }
+    }
+
+    if (best_port != specs[i].src_port) {
+      specs[i].src_port = best_port;
+      paths[i] = std::move(best_path);
+      ++reassigned;
+    }
+    for (topo::LinkId l : paths[i]) ++load[l];
+  }
+  return reassigned;
+}
+
+}  // namespace astral::net

@@ -1,0 +1,135 @@
+// Weighted-cost multipath (WCMP) with BGP-style flap damping — the
+// adaptive-routing alternative to the binary isolate-and-reroute ladder
+// for gray failures. A flapping or partially-degraded link never goes
+// administratively down; instead it carries a routing weight in (0, 1]
+// that the controller derates on observation and the rebalancer treats
+// as a cost divisor. Route-state transitions are damped exactly like BGP
+// route-flap damping: every degradation onset accrues an exponentially
+// decaying penalty; a link whose penalty crosses the suppress threshold
+// is excluded from the candidate set entirely, and a derated or
+// suppressed link is only restored once the penalty decays below the
+// reuse threshold. Under an adversarial flap schedule the penalty is
+// topped up faster than it decays, so after at most
+// ceil(suppress_threshold / penalty_per_flap) onsets the link latches
+// and mitigation provably stops oscillating.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fluid_sim.h"
+
+namespace astral::net {
+
+struct WcmpConfig {
+  /// Observed capacity fraction below which a link counts as degraded.
+  double derate_threshold = 0.9;
+  /// Weight floor for derated links (keeps path costs finite).
+  double min_weight = 0.05;
+  /// Penalty accrued on each healthy→degraded onset observation.
+  double penalty_per_flap = 1.0;
+  /// Penalty at which the link is suppressed (excluded from candidates).
+  double suppress_threshold = 3.0;
+  /// Penalty below which a derated/suppressed link may be restored.
+  double reuse_threshold = 0.5;
+  /// Exponential penalty decay half-life, in observe() ticks.
+  double half_life_ticks = 8.0;
+  /// Disables the hysteresis entirely: links restore the moment they are
+  /// observed healthy and are never suppressed. This is the oscillating
+  /// baseline the property tests compare against.
+  bool damping = true;
+  /// Source ports scanned per flow during weighted rebalance.
+  int port_candidates = 64;
+  /// Distinct predicted paths collected from that scan before scoring —
+  /// the k-shortest-path candidate widening. On mesh fabrics (UBMesh's
+  /// thin dim-3) many ports hash onto few paths, so the scan keeps going
+  /// until it has seen `k_paths` genuinely different candidates.
+  int k_paths = 8;
+  std::uint16_t port_base = 2048;  ///< Candidate ports start here.
+};
+
+/// Routing state of one link as WCMP sees it.
+enum class WcmpState : std::uint8_t {
+  Healthy,     ///< Full weight, in the candidate set.
+  Derated,     ///< Reduced weight, still usable at higher cost.
+  Suppressed,  ///< Excluded from the candidate set until reuse.
+};
+
+struct LinkHealth {
+  WcmpState state = WcmpState::Healthy;
+  double weight = 1.0;       ///< Routing weight in (0, 1]; 0 when suppressed.
+  double penalty = 0.0;      ///< Accumulated flap penalty (decaying).
+  double fraction = 1.0;     ///< Last observed capacity fraction.
+  std::uint32_t onsets = 0;  ///< healthy→degraded observation transitions.
+  std::uint32_t engagements = 0;  ///< Healthy→{Derated,Suppressed} route
+                                  ///< transitions (oscillation basis).
+  std::uint64_t last_tick = 0;    ///< For per-link penalty decay.
+};
+
+/// Per-link health tracker + weighted rebalancer. Feed one observation
+/// per watched link per control tick; `observe` returns true exactly when
+/// the link's *routing* state changed (fresh derate, suppression, or
+/// restoration) — the caller's cue to re-spread traffic, and the unit the
+/// no-oscillation guarantee is stated in.
+class WcmpController {
+ public:
+  using Config = WcmpConfig;
+
+  explicit WcmpController(const FluidSim& sim, Config cfg = {});
+
+  /// Advances the damping clock one control tick (call once per
+  /// iteration, before that tick's observations).
+  void tick() { ++tick_; }
+
+  /// One observation of `link`: `capacity_fraction` is the fraction of
+  /// nominal bandwidth the link currently delivers (in production an
+  /// SNMP-utilization + INT estimate; here fed from the fluid model's
+  /// effective capacity). Updates weight/penalty/state; returns true when
+  /// the routing state changed.
+  bool observe(topo::LinkId link, double capacity_fraction);
+
+  /// Routing weight of a link: 1 when healthy/untracked, (0, 1) when
+  /// derated, 0 when suppressed.
+  double weight(topo::LinkId link) const;
+  bool usable(topo::LinkId link) const { return weight(link) > 0.0; }
+  /// Health record (default-constructed Healthy for untracked links).
+  LinkHealth health(topo::LinkId link) const;
+
+  /// Up to `k` distinct predicted paths for `spec`, found by scanning
+  /// candidate source ports (paired with the port that produced each).
+  /// The widened candidate set the weighted rebalance scores.
+  std::vector<std::pair<std::uint16_t, std::vector<topo::LinkId>>>
+  candidate_paths(const FlowSpec& spec, int k) const;
+
+  /// Weighted-cost rebalance: reassigns source ports of flows whose
+  /// predicted path crosses a derated or suppressed link, scoring each
+  /// candidate path by (#suppressed links, max load/weight, sum
+  /// load/weight). Mutates specs in place; returns the number of flows
+  /// whose port changed. With every link healthy this is a no-op (specs
+  /// stay byte-identical).
+  int rebalance(std::vector<FlowSpec>& specs) const;
+
+  /// Total routing-state changes observe() reported.
+  std::uint64_t route_changes() const { return route_changes_; }
+  std::uint64_t suppressions() const { return suppressions_; }
+  std::uint64_t restorations() const { return restorations_; }
+  /// Mitigation oscillation metric: a link that re-engages (leaves
+  /// Healthy again) after having been restored oscillated. Sum over
+  /// links of max(0, engagements - 1). Damped adversarial flapping
+  /// latches each link after one engagement, so this stays 0.
+  std::uint64_t oscillations() const;
+
+ private:
+  void decay(LinkHealth& h);
+
+  const FluidSim& sim_;
+  Config cfg_;
+  std::unordered_map<topo::LinkId, LinkHealth> health_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t route_changes_ = 0;
+  std::uint64_t suppressions_ = 0;
+  std::uint64_t restorations_ = 0;
+};
+
+}  // namespace astral::net

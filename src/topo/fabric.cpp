@@ -20,6 +20,13 @@ const char* to_string(FabricStyle style) {
   return "?";
 }
 
+std::optional<FabricStyle> style_from_string(const std::string& name) {
+  for (FabricStyle s : kAllFabricStyles) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> validate_params(const FabricParams& p) {
   std::vector<std::string> problems;
   auto bad = [&](std::string msg) {

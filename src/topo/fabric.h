@@ -49,6 +49,9 @@ enum class FabricStyle : std::uint8_t {
 };
 
 const char* to_string(FabricStyle style);
+/// Inverse of to_string (the CLI seam for style-parameterized
+/// campaigns); nullopt for an unknown name.
+std::optional<FabricStyle> style_from_string(const std::string& name);
 
 /// All zoo members, in canonical comparison order.
 inline constexpr FabricStyle kAllFabricStyles[] = {

@@ -1,0 +1,269 @@
+#include "zoo/gray_campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/table.h"
+
+namespace astral::zoo {
+
+using monitor::ClusterRuntime;
+using monitor::FaultSchedule;
+using monitor::GrayKind;
+using monitor::GrayRoutingConfig;
+using monitor::RunOutcome;
+using monitor::StreamAnalyzer;
+using monitor::StreamAnalyzerConfig;
+using topo::FabricStyle;
+
+const char* to_string(GrayProfile p) {
+  switch (p) {
+    case GrayProfile::Crisp: return "crisp";
+    case GrayProfile::Gray: return "gray";
+    case GrayProfile::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+GrayCampaignConfig::GrayCampaignConfig() {
+  job.hosts = 8;  // One pod's worth on every member (intra-pod ring).
+  job.iterations = 10;
+  // Comm-heavy iteration so a silently derated link actually slows the
+  // wall clock past the mitigation arm threshold.
+  job.compute_time = 0.005;
+  job.comm_bytes = 64ull * 1024 * 1024;
+  job.recovery.enabled = true;
+  binary.mode = GrayRoutingConfig::Mode::BinaryIsolate;
+  alarm.enabled = true;
+}
+
+topo::FabricParams gray_style_params(const GrayCampaignConfig& cfg,
+                                     FabricStyle style) {
+  topo::FabricParams p;
+  p.style = style;
+  p.rails = cfg.rails;
+  p.hosts_per_block = cfg.hosts_per_block;
+  p.blocks_per_pod = cfg.blocks_per_pod;
+  p.pods = cfg.pods;
+  p.dual_tor = cfg.dual_tor;
+  if (style == FabricStyle::Clos) p.tier3_oversub = cfg.clos_oversub;
+  return p;
+}
+
+FaultSchedule gray_schedule(ClusterRuntime& runtime, GrayProfile profile,
+                            int iterations, std::vector<int>* gray_indexes) {
+  FaultSchedule sched;
+  if (gray_indexes) gray_indexes->clear();
+  int tor_iter = std::min(iterations - 1, 4);
+  auto mark_gray = [&] {
+    if (gray_indexes) gray_indexes->push_back(static_cast<int>(sched.size()) - 1);
+  };
+  switch (profile) {
+    case GrayProfile::Crisp:
+      // The availability-campaign classic: a fail-slow optics degrade
+      // followed by a whole ToR dying mid-transfer.
+      sched.add(runtime.make_fault(monitor::RootCause::OpticalFiber,
+                                   monitor::Manifestation::FailSlow, 1));
+      sched.add(runtime.make_mid_transfer_tor_death(tor_iter));
+      break;
+    case GrayProfile::Gray:
+      // All silent. Distinct hops keep the three clear of the overlap
+      // validator; the flapper swings every iteration (adversarial dwell).
+      sched.add(runtime.make_gray_fault(GrayKind::FlappingLink, 1, 1));
+      mark_gray();
+      sched.add(runtime.make_gray_fault(GrayKind::PartialDegrade, 2, 2));
+      mark_gray();
+      sched.add(runtime.make_gray_fault(GrayKind::SlowNic, 3));
+      mark_gray();
+      break;
+    case GrayProfile::Mixed:
+      // Gray flapping underneath a crisp mid-transfer ToR death: the
+      // damper must not confuse the two ladders.
+      sched.add(runtime.make_gray_fault(GrayKind::FlappingLink, 1, 1));
+      mark_gray();
+      sched.add(runtime.make_mid_transfer_tor_death(tor_iter));
+      break;
+  }
+  return sched;
+}
+
+namespace {
+
+struct RunStats {
+  RunOutcome outcome;
+  std::uint64_t alarms = 0;
+  int gray_faults = 0;
+  int gray_alarmed = 0;
+  double lead_sum = 0.0;
+};
+
+/// One seeded run of `profile` on `fabric` under `mode`, with the EWMA
+/// precursor alarms attached (the analyzer outlives the runtime; the
+/// engine detaches at destruction).
+RunStats run_one(topo::Fabric& fabric, const GrayCampaignConfig& cfg,
+                 GrayProfile profile, const GrayRoutingConfig& mode,
+                 std::uint64_t seed) {
+  RunStats rs;
+  StreamAnalyzerConfig sc;
+  sc.gray = cfg.alarm;
+  sc.gray.enabled = true;
+  StreamAnalyzer stream(fabric.topo(), sc);
+
+  monitor::JobConfig job = cfg.job;
+  job.gray = mode;
+  ClusterRuntime runtime(fabric, job, seed);
+  runtime.set_stream_analyzer(&stream);
+  std::vector<int> gray_idx;
+  runtime.inject(gray_schedule(runtime, profile, job.iterations, &gray_idx));
+  rs.outcome = runtime.run();
+
+  rs.alarms = stream.alarms_raised();
+  rs.gray_faults = static_cast<int>(gray_idx.size());
+  core::Seconds end = rs.outcome.makespan;
+  for (int gi : gray_idx) {
+    core::Seconds applied = runtime.fault_applied_time(gi);
+    if (applied < 0.0) continue;  // Never struck (schedule past run end).
+    bool fresh = false, standing = false;
+    core::Seconds fresh_t = 0.0;
+    for (const monitor::GrayAlarm& a : stream.alarms()) {
+      if (a.t >= applied - 1e-9) {
+        // A fresh rising edge after this fault landed.
+        if (!fresh) fresh_t = a.t;
+        fresh = true;
+      } else {
+        // An alarm already standing when the fault landed: the pod was
+        // flagged before this fault deepened the regression (a second
+        // gray fault cannot re-raise a latched signal).
+        standing = true;
+      }
+    }
+    if (!fresh && !standing) continue;
+    // Lead time: from the moment the precursor covered this fault to
+    // run end — the window a scheduler could act in.
+    core::Seconds lead = end - (fresh ? std::max(fresh_t, applied) : applied);
+    if (lead > 0.0) {
+      ++rs.gray_alarmed;
+      rs.lead_sum += lead;
+    }
+  }
+  return rs;
+}
+
+/// Fault-free run under `mode` (the do-no-harm gate input).
+RunOutcome run_clean(topo::Fabric& fabric, const GrayCampaignConfig& cfg,
+                     const GrayRoutingConfig& mode, std::uint64_t seed) {
+  monitor::JobConfig job = cfg.job;
+  job.gray = mode;
+  ClusterRuntime runtime(fabric, job, seed);
+  return runtime.run();
+}
+
+}  // namespace
+
+GrayCampaignReport run_gray_campaign(const GrayCampaignConfig& cfg) {
+  GrayCampaignReport report;
+  GrayRoutingConfig wcmp_mode = cfg.wcmp;
+  wcmp_mode.mode = GrayRoutingConfig::Mode::Wcmp;
+  wcmp_mode.flap_damping = true;
+  GrayRoutingConfig binary_mode = cfg.binary;
+  binary_mode.mode = GrayRoutingConfig::Mode::BinaryIsolate;
+
+  core::Table table({"style", "profile", "wcmp gp", "binary gp", "derates",
+                     "isolates", "osc w", "osc b", "alarms", "lead s"});
+
+  for (FabricStyle style : topo::kAllFabricStyles) {
+    topo::Fabric fabric(gray_style_params(cfg, style));
+
+    // Do-no-harm: with no gray fault firing the Wcmp controller never
+    // engages, so a clean run under it matches the legacy path exactly.
+    {
+      RunOutcome off = run_clean(fabric, cfg, GrayRoutingConfig{}, cfg.seed);
+      RunOutcome wc = run_clean(fabric, cfg, wcmp_mode, cfg.seed);
+      if (off.makespan != wc.makespan || off.goodput != wc.goodput ||
+          off.downtime != wc.downtime || wc.derates != 0 ||
+          off.mitigations.size() != wc.mitigations.size()) {
+        report.gate_failures.push_back(
+            std::string("do-no-harm: clean run under Wcmp diverged from "
+                        "legacy on ") +
+            topo::to_string(style));
+      }
+    }
+
+    for (GrayProfile profile : kAllGrayProfiles) {
+      GrayCell cell;
+      cell.style = style;
+      cell.profile = profile;
+      double lead_sum = 0.0;
+      for (int r = 0; r < cfg.runs; ++r) {
+        std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(r);
+        RunStats w = run_one(fabric, cfg, profile, wcmp_mode, seed);
+        RunStats b = run_one(fabric, cfg, profile, binary_mode, seed);
+        cell.goodput_wcmp += w.outcome.goodput;
+        cell.goodput_binary += b.outcome.goodput;
+        cell.derates += w.outcome.derates;
+        cell.isolates += b.outcome.gray_isolates;
+        cell.osc_wcmp += w.outcome.oscillations;
+        cell.osc_binary += b.outcome.oscillations;
+        cell.alarms += w.alarms;
+        cell.gray_faults += w.gray_faults;
+        cell.gray_alarmed += w.gray_alarmed;
+        lead_sum += w.lead_sum;
+      }
+      cell.goodput_wcmp /= cfg.runs;
+      cell.goodput_binary /= cfg.runs;
+      cell.mean_lead =
+          cell.gray_alarmed > 0 ? lead_sum / cell.gray_alarmed : 0.0;
+
+      table.add_row({topo::to_string(style), to_string(cell.profile),
+                     core::Table::num(cell.goodput_wcmp * 100.0, 1) + " %",
+                     core::Table::num(cell.goodput_binary * 100.0, 1) + " %",
+                     std::to_string(cell.derates),
+                     std::to_string(cell.isolates),
+                     std::to_string(cell.osc_wcmp),
+                     std::to_string(cell.osc_binary),
+                     std::to_string(cell.alarms),
+                     core::Table::num(cell.mean_lead, 2)});
+
+      // Gate: under the adversarial flapping profile the damped WCMP
+      // controller must out-goodput binary isolation on every member.
+      if (profile == GrayProfile::Gray &&
+          cell.goodput_wcmp <= cell.goodput_binary) {
+        char msg[160];
+        std::snprintf(msg, sizeof(msg),
+                      "flapping goodput: wcmp %.3f <= binary %.3f on %s",
+                      cell.goodput_wcmp, cell.goodput_binary,
+                      topo::to_string(style));
+        report.gate_failures.push_back(msg);
+      }
+      // Gate: damped WCMP mitigation never oscillates.
+      if (profile != GrayProfile::Crisp && cell.osc_wcmp != 0) {
+        report.gate_failures.push_back(
+            std::string("oscillation: damped wcmp oscillated on ") +
+            topo::to_string(style) + " " + to_string(profile));
+      }
+      report.cells.push_back(cell);
+    }
+  }
+
+  // Gate: EWMA precursor alarms caught >= 90% of gray faults with
+  // positive lead time, campaign-wide.
+  int gray_total = 0, gray_hit = 0;
+  for (const GrayCell& c : report.cells) {
+    gray_total += c.gray_faults;
+    gray_hit += c.gray_alarmed;
+  }
+  if (gray_total > 0 &&
+      static_cast<double>(gray_hit) < 0.9 * static_cast<double>(gray_total)) {
+    char msg[120];
+    std::snprintf(msg, sizeof(msg),
+                  "alarm coverage: %d/%d gray faults alarmed with lead > 0",
+                  gray_hit, gray_total);
+    report.gate_failures.push_back(msg);
+  }
+
+  report.table = table.str();
+  return report;
+}
+
+}  // namespace astral::zoo

@@ -1,0 +1,110 @@
+// Zoo-wide gray-failure availability campaign: every FabricStyle member
+// runs the same seeded schedules across three fault profiles — crisp
+// (the classic taxonomy sample + mid-transfer ToR death), gray (flapping
+// link, partial capacity degrade, slow-NIC straggler; all silent), and
+// mixed (gray flapping under a crisp ToR death) — once with the damped
+// WCMP adaptive-routing controller and once with the binary
+// isolate-and-reroute baseline. The report carries per-cell goodput,
+// mitigation-event counts, oscillation totals, and EWMA precursor alarm
+// lead times, plus the acceptance self-gates:
+//
+//  * WCMP + flap damping beats binary isolation on goodput under the
+//    flapping (gray) profile on every zoo member.
+//  * The stream analyzer's EWMA alarms fire after injection and before
+//    run end (positive lead time) for >= 90% of gray faults.
+//  * Damped WCMP mitigation never oscillates (RunOutcome::oscillations
+//    == 0 on every gray/mixed cell).
+//  * With gray routing off, a clean run is identical to a clean run
+//    under Wcmp mode that never engages (the do-no-harm gate).
+//
+// examples/gray_failure_campaign prints the table and exits nonzero when
+// any gate fails; CI runs it as the gray-failure-campaign job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/cluster_runtime.h"
+#include "monitor/stream_analyzer.h"
+#include "topo/fabric.h"
+
+namespace astral::zoo {
+
+/// Which fault population a campaign cell injects.
+enum class GrayProfile : std::uint8_t {
+  Crisp,  ///< Taxonomy sample + mid-transfer ToR death (no gray).
+  Gray,   ///< FlappingLink + PartialDegrade + SlowNic, all silent.
+  Mixed,  ///< Gray flapping underneath a crisp ToR death.
+};
+inline constexpr GrayProfile kAllGrayProfiles[] = {
+    GrayProfile::Crisp, GrayProfile::Gray, GrayProfile::Mixed};
+const char* to_string(GrayProfile p);
+
+struct GrayCampaignConfig {
+  // Fabric scale shared by every zoo member (16 hosts / 32 GPUs —
+  // small enough that 5 styles x 3 profiles x 2 controllers stays
+  // CI-sized).
+  int rails = 2;
+  int hosts_per_block = 4;
+  int blocks_per_pod = 2;
+  int pods = 2;
+  bool dual_tor = true;
+  double clos_oversub = 4.0;
+
+  /// Seeded runs per (style, profile, controller) cell.
+  int runs = 2;
+  monitor::JobConfig job;
+  /// WCMP controller knobs for the adaptive cells (mode/damping are
+  /// forced to Wcmp/on per cell).
+  monitor::GrayRoutingConfig wcmp;
+  /// Push cost of one binary cordon/restore event (the churn the
+  /// damped controller amortizes away).
+  monitor::GrayRoutingConfig binary;
+  /// Gray precursor alarms (enabled is forced on for campaign runs).
+  monitor::GrayAlarmConfig alarm;
+  std::uint64_t seed = 7;
+
+  GrayCampaignConfig();
+};
+
+/// One (style, profile) cell, aggregated over the seeded runs.
+struct GrayCell {
+  topo::FabricStyle style = topo::FabricStyle::AstralSameRail;
+  GrayProfile profile = GrayProfile::Crisp;
+
+  double goodput_wcmp = 0.0;    ///< Mean goodput, damped WCMP controller.
+  double goodput_binary = 0.0;  ///< Mean goodput, binary isolate baseline.
+  int derates = 0;              ///< WCMP derate pushes across runs.
+  int isolates = 0;             ///< Binary cordon/restore events across runs.
+  int osc_wcmp = 0;             ///< Oscillations under damped WCMP.
+  int osc_binary = 0;           ///< Oscillations under binary isolation.
+  std::uint64_t alarms = 0;     ///< Precursor alarms raised (WCMP runs).
+  int gray_faults = 0;          ///< Gray faults injected across runs.
+  int gray_alarmed = 0;         ///< ...that an alarm followed with lead > 0.
+  double mean_lead = 0.0;       ///< Mean alarm lead time (s) over alarmed.
+};
+
+struct GrayCampaignReport {
+  std::vector<GrayCell> cells;  ///< Style-major, profile-minor order.
+  std::string table;            ///< Rendered campaign table.
+  std::vector<std::string> gate_failures;  ///< Empty when all gates hold.
+  bool ok() const { return gate_failures.empty(); }
+};
+
+/// The FabricParams a zoo member runs with in this campaign. RailOnly
+/// keeps its pods but the job is placed intra-pod (it has no inter-pod
+/// fabric to cross).
+topo::FabricParams gray_style_params(const GrayCampaignConfig& cfg,
+                                     topo::FabricStyle style);
+
+/// The seeded fault schedule of one run; `gray_indexes` receives the
+/// schedule positions of the gray members (for lead-time accounting).
+monitor::FaultSchedule gray_schedule(monitor::ClusterRuntime& runtime,
+                                     GrayProfile profile, int iterations,
+                                     std::vector<int>* gray_indexes);
+
+/// Runs every profile over every style under both controllers and
+/// assembles the gated report.
+GrayCampaignReport run_gray_campaign(const GrayCampaignConfig& cfg = {});
+
+}  // namespace astral::zoo

@@ -1,0 +1,216 @@
+// Gray-field and whole-schedule validation: every rejection carries a
+// numbered "[N]" diagnostic, overlapping fault windows on one element
+// are refused, and JobEngine::inject surfaces the same message for
+// gray-containing schedules.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "monitor/cluster_runtime.h"
+#include "monitor/faults.h"
+
+namespace astral::monitor {
+namespace {
+
+constexpr int kHosts = 8;
+constexpr std::size_t kLinks = 100;
+
+void expect_contains(const std::optional<std::string>& msg,
+                     const std::string& needle) {
+  ASSERT_TRUE(msg.has_value()) << "expected a rejection containing '" << needle
+                               << "'";
+  EXPECT_NE(msg->find(needle), std::string::npos) << *msg;
+}
+
+// A gray spec that passes both validate_fault and validate_gray; the
+// tests below break one field at a time.
+FaultSpec link_gray(GrayKind kind, topo::LinkId link, int at = 1) {
+  FaultSpec f;
+  f.cause = kind == GrayKind::FlappingLink ? RootCause::LinkFlap
+                                           : RootCause::OpticalFiber;
+  f.manifestation = Manifestation::FailSlow;
+  f.gray = kind;
+  f.target_link = link;
+  f.at_iteration = at;
+  f.degrade_factor = 0.25;
+  return f;
+}
+
+FaultSpec slow_nic(int rank, topo::LinkId anchor, int at = 1) {
+  FaultSpec f;
+  f.cause = RootCause::NicError;
+  f.manifestation = Manifestation::FailSlow;
+  f.gray = GrayKind::SlowNic;
+  f.target_host_rank = rank;
+  f.target_link = anchor;
+  f.at_iteration = at;
+  f.degrade_factor = 0.5;
+  return f;
+}
+
+TEST(ValidateGray, CrispSpecAlwaysPasses) {
+  // Crisp specs never enter gray validation, however odd their fields.
+  FaultSpec f;
+  f.gray = GrayKind::None;
+  f.degrade_factor = 7.0;
+  f.flap_up_iters = 0;
+  EXPECT_FALSE(validate_gray(f, kHosts, kLinks).has_value());
+}
+
+TEST(ValidateGray, ValidSpecsPass) {
+  EXPECT_FALSE(validate_gray(link_gray(GrayKind::FlappingLink, 3), kHosts,
+                             kLinks)
+                   .has_value());
+  EXPECT_FALSE(
+      validate_gray(link_gray(GrayKind::PartialDegrade, 4), kHosts, kLinks)
+          .has_value());
+  EXPECT_FALSE(validate_gray(slow_nic(2, 5), kHosts, kLinks).has_value());
+}
+
+TEST(ValidateGray, SlowNicRankOutsideJob) {
+  auto msg = validate_gray(slow_nic(kHosts, 5), kHosts, kLinks);
+  expect_contains(msg, "[0]");
+  expect_contains(msg, "target_host_rank");
+  expect_contains(msg, "outside job");
+  expect_contains(validate_gray(slow_nic(-1, 5), kHosts, kLinks),
+                  "target_host_rank");
+}
+
+TEST(ValidateGray, LinkGrayNeedsValidTargetLink) {
+  auto f = link_gray(GrayKind::PartialDegrade, topo::kInvalidLink);
+  expect_contains(validate_gray(f, kHosts, kLinks), "needs a valid target_link");
+  f.target_link = static_cast<topo::LinkId>(kLinks);  // one past the end
+  expect_contains(validate_gray(f, kHosts, kLinks), "needs a valid target_link");
+}
+
+TEST(ValidateGray, SwitchScopeRejected) {
+  auto f = link_gray(GrayKind::FlappingLink, 3);
+  f.switch_scope = true;
+  expect_contains(validate_gray(f, kHosts, kLinks), "switch_scope");
+}
+
+TEST(ValidateGray, DegradeFactorMustBeFractional) {
+  for (double bad : {0.0, 1.0, 1.5, -0.25}) {
+    auto f = link_gray(GrayKind::PartialDegrade, 3);
+    f.degrade_factor = bad;
+    expect_contains(validate_gray(f, kHosts, kLinks),
+                    "degrade_factor must be in (0, 1)");
+  }
+}
+
+TEST(ValidateGray, FlapDwellFloorIsOneIteration) {
+  auto f = link_gray(GrayKind::FlappingLink, 3);
+  f.flap_up_iters = 0;
+  expect_contains(validate_gray(f, kHosts, kLinks), "flap_up_iters");
+  f = link_gray(GrayKind::FlappingLink, 3);
+  f.flap_down_iters = -2;
+  expect_contains(validate_gray(f, kHosts, kLinks), "flap_down_iters");
+}
+
+TEST(ValidateGray, ManifestationMustBeFailSlow) {
+  auto f = link_gray(GrayKind::PartialDegrade, 3);
+  f.manifestation = Manifestation::FailStop;
+  expect_contains(validate_gray(f, kHosts, kLinks),
+                  "manifestation must be fail-slow");
+}
+
+TEST(ValidateGray, MidTransferStrikeRejected) {
+  auto f = link_gray(GrayKind::PartialDegrade, 3);
+  f.mid_transfer_fraction = 0.5;
+  expect_contains(validate_gray(f, kHosts, kLinks), "mid_transfer_fraction");
+}
+
+TEST(ValidateGray, MultipleProblemsAreNumbered) {
+  auto f = link_gray(GrayKind::FlappingLink, topo::kInvalidLink);
+  f.degrade_factor = 2.0;
+  f.flap_up_iters = 0;
+  auto msg = validate_gray(f, kHosts, kLinks);
+  expect_contains(msg, "[0] ");
+  expect_contains(msg, "[1] ");
+  expect_contains(msg, "[2] ");
+  expect_contains(msg, "; ");
+}
+
+TEST(ValidateSchedule, OverlappingWindowsOnOneLinkRejected) {
+  FaultSchedule s;
+  s.add(link_gray(GrayKind::FlappingLink, 3, 1));      // permanent
+  s.add(link_gray(GrayKind::PartialDegrade, 3, 4));    // same link, inside
+  auto msg = validate_schedule(s, kHosts, kLinks);
+  expect_contains(msg, "faults 0 and 1");
+  expect_contains(msg, "overlapping windows on link 3");
+}
+
+TEST(ValidateSchedule, OverlappingWindowsOnOneHostRejected) {
+  FaultSchedule s;
+  s.add(slow_nic(2, 5, 1));
+  s.add(slow_nic(2, 6, 3));  // same straggler rank, both permanent
+  expect_contains(validate_schedule(s, kHosts, kLinks),
+                  "overlapping windows on host rank 2");
+}
+
+TEST(ValidateSchedule, DisjointWindowsAccepted) {
+  FaultSchedule s;
+  auto a = link_gray(GrayKind::PartialDegrade, 3, 1);
+  a.repair_iterations = 2;  // active [1, 3)
+  auto b = link_gray(GrayKind::PartialDegrade, 3, 3);
+  b.repair_iterations = 2;  // active [3, 5)
+  s.add(a);
+  s.add(b);
+  EXPECT_FALSE(validate_schedule(s, kHosts, kLinks).has_value());
+}
+
+TEST(ValidateSchedule, DistinctTargetsAccepted) {
+  FaultSchedule s;
+  s.add(link_gray(GrayKind::FlappingLink, 3, 1));
+  s.add(link_gray(GrayKind::PartialDegrade, 4, 1));
+  s.add(slow_nic(2, 5, 1));
+  EXPECT_FALSE(validate_schedule(s, kHosts, kLinks).has_value());
+}
+
+TEST(ValidateSchedule, PerSpecProblemsCarryFaultIndex) {
+  FaultSchedule s;
+  s.add(link_gray(GrayKind::PartialDegrade, 3, 1));
+  auto bad = link_gray(GrayKind::PartialDegrade, 4, 1);
+  bad.degrade_factor = 1.5;
+  s.add(bad);
+  auto msg = validate_schedule(s, kHosts, kLinks);
+  expect_contains(msg, "[0] fault 1: ");
+  expect_contains(msg, "degrade_factor");
+}
+
+// inject(schedule) enforces validate_schedule only when the schedule
+// contains a gray fault; the numbered diagnostic reaches the caller.
+TEST(ValidateSchedule, InjectRejectsGraySchedulesWithNumberedDiagnostic) {
+  topo::FabricParams fp;
+  fp.rails = 2;
+  fp.hosts_per_block = 4;
+  fp.blocks_per_pod = 2;
+  fp.pods = 1;
+  topo::Fabric fabric(fp);
+  JobConfig job;
+  job.hosts = 6;
+  job.iterations = 4;
+  ClusterRuntime rt(fabric, job, 7);
+
+  FaultSchedule s;
+  s.add(rt.make_gray_fault(GrayKind::FlappingLink, 1, 1));
+  s.add(rt.make_gray_fault(GrayKind::PartialDegrade, 2, 1));  // same hop
+  try {
+    rt.inject(s);
+    FAIL() << "overlapping gray schedule was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("[0]"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("overlapping windows"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Distinct hops pass (the documented make_gray_fault contract).
+  FaultSchedule ok;
+  ok.add(rt.make_gray_fault(GrayKind::FlappingLink, 1, 1));
+  ok.add(rt.make_gray_fault(GrayKind::PartialDegrade, 2, 2));
+  EXPECT_NO_THROW(rt.inject(ok));
+}
+
+}  // namespace
+}  // namespace astral::monitor

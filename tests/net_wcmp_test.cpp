@@ -1,0 +1,250 @@
+// WCMP flap damping: fast-down/slow-up hysteresis, suppression latch,
+// penalty decay, the oscillation metric, k-widened candidate paths, and
+// the weighted rebalance (no-op when healthy, steers off suppressed
+// links).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/units.h"
+#include "net/wcmp.h"
+#include "topo/fabric.h"
+
+namespace astral::net {
+namespace {
+
+using namespace core;  // literal operators (_MiB)
+
+topo::Fabric small_fabric() {
+  topo::FabricParams p;
+  p.style = topo::FabricStyle::AstralSameRail;
+  p.rails = 2;
+  p.hosts_per_block = 4;
+  p.blocks_per_pod = 2;
+  p.pods = 1;
+  return topo::Fabric(p);
+}
+
+FlowSpec make_spec(const topo::Fabric& f, int src_gpu, int dst_gpu) {
+  auto a = f.gpu(src_gpu);
+  auto b = f.gpu(dst_gpu);
+  FlowSpec s;
+  s.src_host = a.host;
+  s.dst_host = b.host;
+  s.src_rail = a.rail;
+  s.dst_rail = b.rail;
+  s.size = 16_MiB;
+  return s;
+}
+
+constexpr topo::LinkId kLink = 7;
+
+TEST(Wcmp, UndampedDeratesAndRestoresImmediately) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpConfig cfg;
+  cfg.damping = false;
+  WcmpController wcmp(sim, cfg);
+
+  wcmp.tick();
+  EXPECT_TRUE(wcmp.observe(kLink, 0.5));
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Derated);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 0.5);
+  EXPECT_TRUE(wcmp.usable(kLink));
+
+  // Undamped: the first healthy observation restores, penalty or not.
+  wcmp.tick();
+  EXPECT_TRUE(wcmp.observe(kLink, 1.0));
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Healthy);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 1.0);
+  EXPECT_EQ(wcmp.restorations(), 1u);
+}
+
+TEST(Wcmp, UndampedFlappingOscillates) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpConfig cfg;
+  cfg.damping = false;
+  WcmpController wcmp(sim, cfg);
+
+  // Adversarial duty cycle: down, up, down, up. Without damping every
+  // swing is a route change, and the second engagement is an oscillation.
+  for (double fr : {0.4, 1.0, 0.4, 1.0}) {
+    wcmp.tick();
+    EXPECT_TRUE(wcmp.observe(kLink, fr));
+  }
+  EXPECT_EQ(wcmp.health(kLink).engagements, 2u);
+  EXPECT_EQ(wcmp.oscillations(), 1u);
+  EXPECT_EQ(wcmp.route_changes(), 4u);
+}
+
+TEST(Wcmp, DampedHealthyPhaseDoesNotRestore) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);  // damping on by default
+
+  wcmp.tick();
+  EXPECT_TRUE(wcmp.observe(kLink, 0.4));
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Derated);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 0.4);
+
+  // Slow up: one tick of decay leaves the penalty far above reuse, so
+  // the healthy phase of the flap changes nothing — state and weight
+  // stay pinned, no route change to push.
+  wcmp.tick();
+  EXPECT_FALSE(wcmp.observe(kLink, 1.0));
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Derated);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 0.4);
+  EXPECT_EQ(wcmp.restorations(), 0u);
+  EXPECT_EQ(wcmp.health(kLink).engagements, 1u);
+  EXPECT_EQ(wcmp.oscillations(), 0u);
+}
+
+TEST(Wcmp, AdversarialFlappingSuppressesAndNeverOscillates) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+
+  // Flap down/up every tick. Each down onset tops the penalty up faster
+  // than the half-life decays it; once it crosses the suppress threshold
+  // the link latches out of the candidate set.
+  for (int i = 0; i < 10; ++i) {
+    wcmp.tick();
+    wcmp.observe(kLink, i % 2 == 0 ? 0.3 : 1.0);
+  }
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Suppressed);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 0.0);
+  EXPECT_FALSE(wcmp.usable(kLink));
+  EXPECT_EQ(wcmp.suppressions(), 1u);
+  // The no-oscillation guarantee: one engagement, however long the flap.
+  EXPECT_EQ(wcmp.health(kLink).engagements, 1u);
+  EXPECT_EQ(wcmp.oscillations(), 0u);
+  EXPECT_GE(wcmp.health(kLink).onsets, 5u);
+}
+
+TEST(Wcmp, PenaltyDecayEventuallyRestores) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+
+  wcmp.tick();
+  EXPECT_TRUE(wcmp.observe(kLink, 0.4));
+
+  // One onset = penalty 1.0; with an 8-tick half-life it sinks below the
+  // 0.5 reuse threshold right around one half-life of healthy ticks
+  // (per-tick rounding may land either side of the exact boundary).
+  int restored_at = -1;
+  for (int t = 1; t <= 20; ++t) {
+    wcmp.tick();
+    if (wcmp.observe(kLink, 1.0)) {
+      restored_at = t;
+      break;
+    }
+  }
+  EXPECT_GE(restored_at, 8);
+  EXPECT_LE(restored_at, 9);
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Healthy);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 1.0);
+  EXPECT_EQ(wcmp.restorations(), 1u);
+}
+
+TEST(Wcmp, UntrackedLinksAreHealthy) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+  EXPECT_DOUBLE_EQ(wcmp.weight(12345), 1.0);
+  EXPECT_TRUE(wcmp.usable(12345));
+  EXPECT_EQ(wcmp.health(12345).state, WcmpState::Healthy);
+  EXPECT_EQ(wcmp.oscillations(), 0u);
+}
+
+TEST(Wcmp, WeightFloorKeepsCostsFinite) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+  wcmp.tick();
+  wcmp.observe(kLink, 0.001);  // nearly dead, but not suppressed yet
+  EXPECT_EQ(wcmp.health(kLink).state, WcmpState::Derated);
+  EXPECT_DOUBLE_EQ(wcmp.weight(kLink), 0.05);  // min_weight floor
+}
+
+TEST(Wcmp, CandidatePathsAreDistinctAndBounded) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+
+  // Cross-block flow: multiple spine choices exist for the middle hops.
+  int dst = f.params().rails * f.params().hosts_per_block;  // other block
+  FlowSpec spec = make_spec(f, 0, dst);
+
+  auto cands = wcmp.candidate_paths(spec, 8);
+  ASSERT_GE(cands.size(), 2u) << "ECMP fabric should offer >1 distinct path";
+  EXPECT_LE(cands.size(), 8u);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_FALSE(cands[i].second.empty());
+    for (std::size_t j = i + 1; j < cands.size(); ++j) {
+      EXPECT_NE(cands[i].second, cands[j].second)
+          << "candidates " << i << " and " << j << " are the same path";
+    }
+  }
+
+  // k caps the widening.
+  EXPECT_EQ(wcmp.candidate_paths(spec, 1).size(), 1u);
+}
+
+TEST(Wcmp, RebalanceIsANoOpWhenHealthy) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpController wcmp(sim);
+
+  int dst = f.params().rails * f.params().hosts_per_block;
+  std::vector<FlowSpec> specs = {make_spec(f, 0, dst), make_spec(f, 2, dst + 2),
+                                 make_spec(f, 4, dst + 4)};
+  std::vector<FlowSpec> before = specs;
+
+  EXPECT_EQ(wcmp.rebalance(specs), 0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].src_port, before[i].src_port) << "flow " << i;
+  }
+}
+
+TEST(Wcmp, RebalanceSteersOffSuppressedLink) {
+  auto f = small_fabric();
+  FluidSim sim(f);
+  WcmpConfig cfg;
+  cfg.penalty_per_flap = 10.0;  // one onset suppresses outright
+  WcmpController wcmp(sim, cfg);
+
+  int dst = f.params().rails * f.params().hosts_per_block;
+  std::vector<FlowSpec> specs = {make_spec(f, 0, dst)};
+  auto cands = wcmp.candidate_paths(specs[0], 8);
+  ASSERT_GE(cands.size(), 2u);
+
+  // Suppress a link the current path crosses but some candidate avoids.
+  auto current = sim.predict_path(specs[0]);
+  ASSERT_TRUE(current.has_value());
+  topo::LinkId victim = topo::kInvalidLink;
+  for (topo::LinkId l : *current) {
+    for (const auto& [port, path] : cands) {
+      if (std::find(path.begin(), path.end(), l) == path.end()) {
+        victim = l;
+        break;
+      }
+    }
+    if (victim != topo::kInvalidLink) break;
+  }
+  ASSERT_NE(victim, topo::kInvalidLink) << "no avoidable link on the path";
+
+  wcmp.tick();
+  wcmp.observe(victim, 0.2);
+  ASSERT_EQ(wcmp.health(victim).state, WcmpState::Suppressed);
+
+  EXPECT_EQ(wcmp.rebalance(specs), 1);
+  auto after = sim.predict_path(specs[0]);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(std::find(after->begin(), after->end(), victim), after->end())
+      << "rebalanced path still crosses the suppressed link";
+}
+
+}  // namespace
+}  // namespace astral::net
